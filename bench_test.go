@@ -1,0 +1,233 @@
+package grape
+
+// bench_test.go holds one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark delegates to the harness in
+// internal/bench, which runs the experiment on the synthetic dataset
+// surrogates at a laptop-friendly scale and reports, besides ns/op, custom
+// metrics that correspond to what the paper plots: comm-MB/op (Figure 8),
+// supersteps/op and, where relevant, the GRAPE-vs-baseline time ratio.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// and regenerate the full printed tables with cmd/grape-bench.
+
+import (
+	"testing"
+
+	"grape/internal/bench"
+	"grape/internal/workload"
+)
+
+const benchWorkers = 4
+
+var benchScale = workload.ScaleTiny
+
+// reportRows aggregates harness rows into benchmark metrics, keyed by system.
+func reportRows(b *testing.B, rows []bench.Row) {
+	b.Helper()
+	var grapeSec, pregelSec float64
+	for _, r := range rows {
+		switch r.System {
+		case bench.GRAPE:
+			grapeSec += r.Seconds
+			b.ReportMetric(r.CommMB, "grape-MB")
+			b.ReportMetric(float64(r.Supersteps), "grape-steps")
+		case bench.Pregel:
+			pregelSec += r.Seconds
+			b.ReportMetric(r.CommMB, "pregel-MB")
+		}
+	}
+	if grapeSec > 0 && pregelSec > 0 {
+		b.ReportMetric(pregelSec/grapeSec, "speedup-vs-pregel")
+	}
+}
+
+// BenchmarkTable1_SSSPTraversal reproduces Table 1: SSSP on the road-network
+// surrogate across the four systems.
+func BenchmarkTable1_SSSPTraversal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table1(benchWorkers, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+func benchFig6(b *testing.B, query, dataset string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig6(query, dataset, []int{benchWorkers}, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+// Figure 6(a-c) + Figure 8(a-c): SSSP time and communication per dataset.
+func BenchmarkFig6a_SSSP_Traffic(b *testing.B) { benchFig6(b, bench.QuerySSSP, workload.Traffic) }
+func BenchmarkFig6b_SSSP_LiveJournal(b *testing.B) {
+	benchFig6(b, bench.QuerySSSP, workload.LiveJournal)
+}
+func BenchmarkFig6c_SSSP_DBpedia(b *testing.B) { benchFig6(b, bench.QuerySSSP, workload.DBpedia) }
+
+// Figure 6(d-f) + Figure 8(d-f): CC.
+func BenchmarkFig6d_CC_Traffic(b *testing.B)     { benchFig6(b, bench.QueryCC, workload.Traffic) }
+func BenchmarkFig6e_CC_LiveJournal(b *testing.B) { benchFig6(b, bench.QueryCC, workload.LiveJournal) }
+func BenchmarkFig6f_CC_DBpedia(b *testing.B)     { benchFig6(b, bench.QueryCC, workload.DBpedia) }
+
+// Figure 6(g-h) + Figure 8(g-h): graph simulation.
+func BenchmarkFig6g_Sim_LiveJournal(b *testing.B) { benchFig6(b, bench.QuerySim, workload.LiveJournal) }
+func BenchmarkFig6h_Sim_DBpedia(b *testing.B)     { benchFig6(b, bench.QuerySim, workload.DBpedia) }
+
+// Figure 6(i-j) + Figure 8(i-j): subgraph isomorphism.
+func BenchmarkFig6i_SubIso_LiveJournal(b *testing.B) {
+	benchFig6(b, bench.QuerySubIso, workload.LiveJournal)
+}
+func BenchmarkFig6j_SubIso_DBpedia(b *testing.B) { benchFig6(b, bench.QuerySubIso, workload.DBpedia) }
+
+// Figure 6(k-l) + Figure 8(k-l): collaborative filtering with 90% and 50%
+// training sets.
+func BenchmarkFig6k_CF_Train90(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig6CF([]int{benchWorkers}, 0.9, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+func BenchmarkFig6l_CF_Train50(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig6CF([]int{benchWorkers}, 0.5, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+// BenchmarkFig7a_IncEval reproduces Figure 7(a): GRAPE vs GRAPE_NI for Sim.
+func BenchmarkFig7a_IncEval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig7a([]int{benchWorkers}, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var withInc, withoutInc float64
+		for _, r := range rows {
+			if r.System == bench.GRAPE {
+				withInc += r.Seconds
+			} else {
+				withoutInc += r.Seconds
+			}
+		}
+		if withInc > 0 {
+			b.ReportMetric(withoutInc/withInc, "NI-over-inc-ratio")
+		}
+	}
+}
+
+// BenchmarkFig7b_OptCompat reproduces Figure 7(b): the speed-up of the
+// index-optimized simulation, sequentially and under GRAPE.
+func BenchmarkFig7b_OptCompat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig7b([]int{benchWorkers}, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) > 0 {
+			b.ReportMetric(rows[0].SequentialSpeedup, "seq-speedup")
+			b.ReportMetric(rows[0].GRAPESpeedup, "grape-speedup")
+		}
+	}
+}
+
+// BenchmarkFig8_Comm re-runs the Figure 6 workloads solely to report the
+// communication columns, making the Figure 8 numbers available as a single
+// benchmark as well (each Fig6* benchmark above already reports per-dataset
+// communication).
+func BenchmarkFig8_Comm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig6(bench.QuerySim, workload.LiveJournal, []int{benchWorkers}, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var grapeMB, pregelMB, blogelMB float64
+		for _, r := range rows {
+			switch r.System {
+			case bench.GRAPE:
+				grapeMB += r.CommMB
+			case bench.Pregel:
+				pregelMB += r.CommMB
+			case bench.Blogel:
+				blogelMB += r.CommMB
+			}
+		}
+		b.ReportMetric(grapeMB, "grape-MB")
+		b.ReportMetric(pregelMB, "pregel-MB")
+		b.ReportMetric(blogelMB, "blogel-MB")
+	}
+}
+
+// Figure 9(a-d): scalability on synthetic graphs.
+func benchFig9(b *testing.B, query string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig9(query, benchWorkers, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+func BenchmarkFig9a_Scale_Sim(b *testing.B)    { benchFig9(b, bench.QuerySim) }
+func BenchmarkFig9b_Scale_SubIso(b *testing.B) { benchFig9(b, bench.QuerySubIso) }
+func BenchmarkFig9c_Scale_CC(b *testing.B)     { benchFig9(b, bench.QueryCC) }
+func BenchmarkFig9d_Scale_SSSP(b *testing.B)   { benchFig9(b, bench.QuerySSSP) }
+
+// Ablation benchmarks for the design choices called out in DESIGN.md.
+func BenchmarkAblation_MessageGrouping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationMessageGrouping(benchWorkers, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 2 && rows[0].Messages > 0 {
+			b.ReportMetric(float64(rows[1].Messages)/float64(rows[0].Messages), "msgs-nogroup-over-group")
+		}
+	}
+}
+
+func BenchmarkAblation_Partitioner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationPartitioner(benchWorkers, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			_ = r
+		}
+	}
+}
+
+// BenchmarkEngine_SSSPDirect measures the engine without the harness, as a
+// micro-benchmark of the PIE runtime itself.
+func BenchmarkEngine_SSSPDirect(b *testing.B) {
+	g, err := workload.Load(workload.Traffic, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := g.VertexAt(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RunSSSP(g, src, Options{Workers: benchWorkers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

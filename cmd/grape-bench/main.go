@@ -1,0 +1,199 @@
+// Command grape-bench regenerates the tables and figures of the paper's
+// evaluation on the synthetic dataset surrogates, printing one text table per
+// experiment.
+//
+// Usage:
+//
+//	grape-bench -exp table1                    # Table 1
+//	grape-bench -exp fig6-sssp                 # Fig 6(a-c) + Fig 8(a-c)
+//	grape-bench -exp fig6-cc|fig6-sim|fig6-subiso|fig6-cf
+//	grape-bench -exp fig7a                     # IncEval ablation
+//	grape-bench -exp fig7b                     # optimization compatibility
+//	grape-bench -exp fig9                      # scalability on synthetic graphs
+//	grape-bench -exp ablations                 # grouping + partitioner ablations
+//	grape-bench -exp all                       # everything
+//
+// Flags -size (tiny|small|medium) and -workers control the scale; -n gives
+// the list of worker counts swept by the fig6/fig7 experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"grape/internal/bench"
+	"grape/internal/workload"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run")
+		size    = flag.String("size", "small", "dataset scale: tiny, small, medium")
+		workers = flag.Int("workers", 8, "worker count for table1/fig9")
+		nList   = flag.String("n", "2,4,8", "comma-separated worker counts for fig6/fig7")
+	)
+	flag.Parse()
+	if err := run(*exp, *size, *workers, *nList); err != nil {
+		fmt.Fprintln(os.Stderr, "grape-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, size string, workers int, nList string) error {
+	scale, err := workload.ParseScale(size)
+	if err != nil {
+		return err
+	}
+	ns, err := parseInts(nList)
+	if err != nil {
+		return err
+	}
+
+	if err := bench.VerifyAnswers(scale); err != nil {
+		return fmt.Errorf("sanity check failed: %w", err)
+	}
+
+	runTable1 := func() error {
+		rows, err := bench.Table1(workers, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatRows(fmt.Sprintf("Table 1: SSSP on road network, n=%d", workers), rows))
+		return nil
+	}
+	runFig6 := func(query string, datasets []string) error {
+		for _, ds := range datasets {
+			rows, err := bench.Fig6(query, ds, ns, scale)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatRows(fmt.Sprintf("Fig 6/8: %s on %s", query, ds), rows))
+		}
+		return nil
+	}
+	runFig6CF := func() error {
+		for _, frac := range []float64{0.9, 0.5} {
+			rows, err := bench.Fig6CF(ns, frac, scale)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatRows(fmt.Sprintf("Fig 6(k-l)/8(k-l): CF with %d%% training set", int(frac*100)), rows))
+		}
+		return nil
+	}
+	runFig7a := func() error {
+		rows, err := bench.Fig7a(ns, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatRows("Fig 7(a): GRAPE vs GRAPE_NI (Sim)", rows))
+		return nil
+	}
+	runFig7b := func() error {
+		rows, err := bench.Fig7b(ns, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatSpeedups(rows))
+		return nil
+	}
+	runFig9 := func() error {
+		for _, q := range []string{bench.QuerySim, bench.QuerySubIso, bench.QueryCC, bench.QuerySSSP} {
+			rows, err := bench.Fig9(q, workers, scale)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatRows(fmt.Sprintf("Fig 9: scalability of %s on synthetic graphs, n=%d", q, workers), rows))
+		}
+		return nil
+	}
+	runAblations := func() error {
+		rows, err := bench.AblationMessageGrouping(workers, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatRows("Ablation: dynamic message grouping", rows))
+		rows, err = bench.AblationPartitioner(workers, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatRows("Ablation: partition strategy", rows))
+		return nil
+	}
+
+	switch exp {
+	case "table1":
+		return runTable1()
+	case "fig6-sssp":
+		return runFig6(bench.QuerySSSP, []string{workload.Traffic, workload.LiveJournal, workload.DBpedia})
+	case "fig6-cc":
+		return runFig6(bench.QueryCC, []string{workload.Traffic, workload.LiveJournal, workload.DBpedia})
+	case "fig6-sim":
+		return runFig6(bench.QuerySim, []string{workload.LiveJournal, workload.DBpedia})
+	case "fig6-subiso":
+		return runFig6(bench.QuerySubIso, []string{workload.LiveJournal, workload.DBpedia})
+	case "fig6-cf", "fig8-cf":
+		return runFig6CF()
+	case "fig7a":
+		return runFig7a()
+	case "fig7b":
+		return runFig7b()
+	case "fig8":
+		// Figure 8 plots the communication columns of the Figure 6 runs.
+		if err := runFig6(bench.QuerySSSP, []string{workload.Traffic}); err != nil {
+			return err
+		}
+		return runFig6(bench.QuerySim, []string{workload.LiveJournal})
+	case "fig9":
+		return runFig9()
+	case "ablations":
+		return runAblations()
+	case "all":
+		steps := []func() error{
+			runTable1,
+			func() error {
+				return runFig6(bench.QuerySSSP, []string{workload.Traffic, workload.LiveJournal, workload.DBpedia})
+			},
+			func() error {
+				return runFig6(bench.QueryCC, []string{workload.Traffic, workload.LiveJournal, workload.DBpedia})
+			},
+			func() error { return runFig6(bench.QuerySim, []string{workload.LiveJournal, workload.DBpedia}) },
+			func() error { return runFig6(bench.QuerySubIso, []string{workload.LiveJournal, workload.DBpedia}) },
+			runFig6CF,
+			runFig7a,
+			runFig7b,
+			runFig9,
+			runAblations,
+		}
+		for _, step := range steps {
+			if err := step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no worker counts given")
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+// Quickstart: build a small weighted graph, run single-source shortest paths
+// and connected components through the public GRAPE API, and print the
+// answers together with the engine's superstep/communication statistics.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grape"
+)
+
+func main() {
+	// A small delivery network: weights are travel times in minutes.
+	b := grape.NewGraphBuilder(true)
+	edges := []struct {
+		from, to grape.VertexID
+		minutes  float64
+	}{
+		{1, 2, 7}, {1, 3, 9}, {1, 6, 14},
+		{2, 3, 10}, {2, 4, 15},
+		{3, 4, 11}, {3, 6, 2},
+		{4, 5, 6},
+		{6, 5, 9},
+		// A disconnected service region.
+		{10, 11, 3}, {11, 12, 4},
+	}
+	for _, e := range edges {
+		b.AddEdge(e.from, e.to, e.minutes, "road")
+	}
+	g := b.Build()
+
+	opts := grape.Options{Workers: 3}
+
+	dist, stats, err := grape.RunSSSP(g, 1, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("shortest travel times from depot 1:")
+	for v := grape.VertexID(1); v <= 6; v++ {
+		fmt.Printf("  node %d: %.0f minutes\n", v, dist[v])
+	}
+	fmt.Println("engine:", stats)
+
+	cc, _, err := grape.RunCC(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	regions := map[grape.VertexID][]grape.VertexID{}
+	for v, cid := range cc {
+		regions[cid] = append(regions[cid], v)
+	}
+	fmt.Printf("service regions: %d\n", len(regions))
+	for cid, members := range regions {
+		fmt.Printf("  region %d has %d nodes\n", cid, len(members))
+	}
+}

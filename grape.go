@@ -1,0 +1,163 @@
+// Package grape is the public facade of the GRAPE reproduction: a parallel
+// engine that parallelizes sequential graph algorithms by combining partial
+// evaluation and incremental computation (Fan et al., "Parallelizing
+// Sequential Graph Computations", SIGMOD 2017).
+//
+// The package re-exports the building blocks a downstream user needs — the
+// graph model, the partition strategies, the PIE programming model and the
+// engine — and provides one-call helpers for the five query classes of the
+// paper (SSSP, CC, Sim, SubIso, CF) plus PageRank.
+//
+// A minimal program:
+//
+//	b := grape.NewGraphBuilder(true)
+//	b.AddEdge(1, 2, 1.0, "")
+//	b.AddEdge(2, 3, 2.5, "")
+//	g := b.Build()
+//	dist, stats, err := grape.RunSSSP(g, 1, grape.Options{Workers: 4})
+//
+// See the examples/ directory for complete programs.
+package grape
+
+import (
+	"io"
+
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/partition"
+	"grape/internal/pie"
+	"grape/internal/seq"
+)
+
+// Re-exported core types. The aliases give external callers stable names for
+// the engine's types without reaching into internal packages.
+type (
+	// Graph is an immutable directed or undirected labeled graph.
+	Graph = graph.Graph
+	// GraphBuilder accumulates vertices and edges.
+	GraphBuilder = graph.Builder
+	// VertexID identifies a vertex.
+	VertexID = graph.VertexID
+	// Program is a PIE program (PEval, IncEval, Assemble, Aggregate).
+	Program = core.Program
+	// Context is the per-fragment context handed to PIE programs.
+	Context = core.Context
+	// EngineOptions configures the engine directly for advanced use.
+	EngineOptions = core.Options
+	// Result is a full engine result (output, stats, contexts).
+	Result = core.Result
+	// Stats reports time, supersteps and communication volume.
+	Stats = metrics.Stats
+	// Strategy is a graph partition strategy.
+	Strategy = partition.Strategy
+	// SimResult is a graph-simulation relation.
+	SimResult = seq.SimResult
+	// Match is one subgraph-isomorphism match.
+	Match = seq.Match
+	// CFModel is a trained collaborative-filtering model.
+	CFModel = pie.CFModel
+	// CFQuery configures collaborative filtering.
+	CFQuery = pie.CFQuery
+)
+
+// NewGraphBuilder returns a builder for a directed (true) or undirected
+// (false) graph.
+func NewGraphBuilder(directed bool) *GraphBuilder { return graph.NewBuilder(directed) }
+
+// ReadGraph parses a graph from the text edge-list format (see
+// internal/graph's documentation; plain "src dst weight" lines also work).
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// PartitionStrategy looks up a partition strategy by name: "hash", "range",
+// "ldg", "multilevel" or "vertexcut". It returns false for unknown names.
+func PartitionStrategy(name string) (Strategy, bool) { return partition.ByName(name) }
+
+// Options configure the one-call helpers below.
+type Options struct {
+	// Workers is the number of fragments/workers (default 1).
+	Workers int
+	// Strategy is the partition strategy (default hash edge-cut; the
+	// multilevel strategy usually performs better).
+	Strategy Strategy
+	// Parallelism bounds how many workers run concurrently (default =
+	// Workers).
+	Parallelism int
+}
+
+func (o Options) engine() *core.Engine {
+	return core.New(core.Options{
+		Workers:     o.Workers,
+		Strategy:    o.Strategy,
+		Parallelism: o.Parallelism,
+	})
+}
+
+// Run executes an arbitrary PIE program, for callers that wrote their own.
+func Run(g *Graph, query any, prog Program, opts Options) (*Result, error) {
+	return opts.engine().Run(g, query, prog)
+}
+
+// RunSSSP computes single-source shortest paths from source and returns the
+// distance of every vertex (+Inf when unreachable).
+func RunSSSP(g *Graph, source VertexID, opts Options) (map[VertexID]float64, *Stats, error) {
+	res, err := opts.engine().Run(g, source, pie.SSSP{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Output.(map[VertexID]float64), res.Stats, nil
+}
+
+// RunCC computes connected components; the returned map assigns every vertex
+// the smallest vertex ID of its component.
+func RunCC(g *Graph, opts Options) (map[VertexID]VertexID, *Stats, error) {
+	res, err := opts.engine().Run(g, nil, pie.CC{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Output.(map[VertexID]VertexID), res.Stats, nil
+}
+
+// RunSim computes graph-pattern matching via graph simulation: the maximum
+// relation from pattern vertices to matching data vertices.
+func RunSim(g, pattern *Graph, opts Options) (SimResult, *Stats, error) {
+	res, err := opts.engine().Run(g, pattern, pie.Sim{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Output.(SimResult), res.Stats, nil
+}
+
+// RunSubIso computes graph-pattern matching via subgraph isomorphism,
+// returning every match (maxMatches <= 0 means unlimited).
+func RunSubIso(g, pattern *Graph, maxMatches int, opts Options) ([]Match, *Stats, error) {
+	res, err := opts.engine().Run(g, pattern, pie.SubIso{MaxMatches: maxMatches})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Output.([]Match), res.Stats, nil
+}
+
+// RunCF trains a collaborative-filtering model over a bipartite rating graph
+// whose user vertices are labeled "user" and product vertices "product", with
+// edge weights holding the observed ratings.
+func RunCF(g *Graph, query CFQuery, opts Options) (CFModel, *Stats, error) {
+	res, err := opts.engine().Run(g, query, pie.CF{})
+	if err != nil {
+		return CFModel{}, nil, err
+	}
+	return res.Output.(CFModel), res.Stats, nil
+}
+
+// DefaultCFQuery returns a sensible CF configuration for the given training
+// fraction (e.g. 0.9 trains on 90% of the observed ratings).
+func DefaultCFQuery(trainFraction float64) CFQuery { return pie.DefaultCFQuery(trainFraction) }
+
+// RunPageRank computes PageRank scores normalized to sum to |V|.
+func RunPageRank(g *Graph, opts Options) (map[VertexID]float64, *Stats, error) {
+	res, err := opts.engine().Run(g, pie.DefaultPageRankQuery(), pie.PageRank{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Output.(map[VertexID]float64), res.Stats, nil
+}

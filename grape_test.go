@@ -1,0 +1,130 @@
+package grape
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func buildSample() *Graph {
+	b := NewGraphBuilder(true)
+	b.AddVertex(1, "user")
+	b.AddVertex(2, "user")
+	b.AddVertex(3, "user")
+	b.AddEdge(1, 2, 1, "")
+	b.AddEdge(2, 3, 2, "")
+	b.AddEdge(1, 3, 10, "")
+	return b.Build()
+}
+
+func TestPublicSSSPAndCC(t *testing.T) {
+	g := buildSample()
+	dist, stats, err := RunSSSP(g, 1, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[3] != 3 || dist[2] != 1 || dist[1] != 0 {
+		t.Fatalf("distances = %v", dist)
+	}
+	if stats == nil || stats.Supersteps == 0 {
+		t.Fatalf("missing stats")
+	}
+	cc, _, err := RunCC(g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, cid := range cc {
+		if cid != 1 {
+			t.Fatalf("cid(%d) = %d, want 1", v, cid)
+		}
+	}
+}
+
+func TestPublicSimAndSubIso(t *testing.T) {
+	gb := NewGraphBuilder(true)
+	gb.AddVertex(1, "A")
+	gb.AddVertex(2, "B")
+	gb.AddVertex(3, "B")
+	gb.AddEdge(1, 2, 1, "")
+	gb.AddEdge(1, 3, 1, "")
+	g := gb.Build()
+
+	pb := NewGraphBuilder(true)
+	pb.AddVertex(0, "A")
+	pb.AddVertex(1, "B")
+	pb.AddEdge(0, 1, 1, "")
+	pattern := pb.Build()
+
+	sim, _, err := RunSim(g, pattern, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim[0][1] || !sim[1][2] || !sim[1][3] {
+		t.Fatalf("sim = %v", sim)
+	}
+	matches, _, err := RunSubIso(g, pattern, 0, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("matches = %v", matches)
+	}
+}
+
+func TestPublicCFAndPageRank(t *testing.T) {
+	b := NewGraphBuilder(true)
+	for u := VertexID(0); u < 20; u++ {
+		b.AddVertex(u, "user")
+	}
+	for p := VertexID(100); p < 105; p++ {
+		b.AddVertex(p, "product")
+	}
+	for u := VertexID(0); u < 20; u++ {
+		b.AddEdge(u, 100+(u%5), float64(1+u%5), "rated")
+	}
+	g := b.Build()
+	model, _, err := RunCF(g, DefaultCFQuery(0.9), Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Factors) == 0 || model.TrainingRMSE <= 0 {
+		t.Fatalf("model = %+v", model)
+	}
+
+	ranks, _, err := RunPageRank(buildSample(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, r := range ranks {
+		total += r
+	}
+	if math.Abs(total-3) > 1e-6 {
+		t.Fatalf("ranks sum to %v", total)
+	}
+}
+
+func TestPublicReadGraphAndStrategies(t *testing.T) {
+	src := "graph directed\nv 1 a\nv 2 b\ne 1 2 3.5 x\n"
+	g, err := ReadGraph(bytes.NewBufferString(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("parsed %v", g)
+	}
+	for _, name := range []string{"hash", "multilevel", "ldg", "range", "vertexcut"} {
+		if _, ok := PartitionStrategy(name); !ok {
+			t.Fatalf("strategy %q missing", name)
+		}
+	}
+	if _, ok := PartitionStrategy("metis3"); ok {
+		t.Fatalf("unknown strategy should not resolve")
+	}
+	// Run with an explicit strategy through the generic Run helper.
+	strat, _ := PartitionStrategy("multilevel")
+	dist, _, err := RunSSSP(buildSample(), 1, Options{Workers: 2, Strategy: strat, Parallelism: 1})
+	if err != nil || dist[3] != 3 {
+		t.Fatalf("explicit strategy run failed: %v %v", dist, err)
+	}
+}

@@ -1,0 +1,121 @@
+package bc
+
+import (
+	"math"
+	"testing"
+
+	"grape/internal/graph"
+	"grape/internal/graphgen"
+	"grape/internal/partition"
+	"grape/internal/seq"
+)
+
+func TestBCSSSPMatchesSequential(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"road":   graphgen.RoadNetwork(10, 10, graphgen.Config{Seed: 11}),
+		"social": graphgen.SocialNetwork(300, 4, graphgen.Config{Seed: 12, Labels: 5}),
+	}
+	for name, g := range graphs {
+		src := g.VertexAt(g.NumVertices() - 1)
+		want := seq.Dijkstra(g, src)
+		res, err := New(Options{Workers: 4}).Run(g, SSSP{Source: src})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := MergeDistances(res)
+		for v, d := range want {
+			if math.Abs(got[v]-d) > 1e-9 && !(math.IsInf(got[v], 1) && math.IsInf(d, 1)) {
+				t.Fatalf("%s: dist(%d) = %v, want %v", name, v, got[v], d)
+			}
+		}
+		if res.Stats.Engine != "Blogel" {
+			t.Fatalf("engine name = %q", res.Stats.Engine)
+		}
+	}
+}
+
+func TestBCSSSPFewerSuperstepsThanDiameter(t *testing.T) {
+	// Block-centric runs need far fewer supersteps than vertex-centric ones
+	// on road networks, because whole blocks converge locally per superstep.
+	g := graphgen.RoadNetwork(15, 15, graphgen.Config{Seed: 13})
+	res, err := New(Options{Workers: 4}).Run(g, SSSP{Source: g.VertexAt(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Supersteps > 15 {
+		t.Fatalf("block-centric SSSP took %d supersteps, expected far fewer than the diameter", res.Stats.Supersteps)
+	}
+}
+
+func TestBCCCMatchesSequential(t *testing.T) {
+	g := graphgen.SocialNetwork(300, 3, graphgen.Config{Seed: 14, Labels: 4})
+	want := seq.ConnectedComponents(g)
+	res, err := New(Options{Workers: 5, Strategy: partition.Hash{}}).Run(g, CC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MergeComponents(res)
+	for v, c := range want {
+		if got[v] != c {
+			t.Fatalf("cid(%d) = %d, want %d", v, got[v], c)
+		}
+	}
+}
+
+func TestBCSimMatchesSequential(t *testing.T) {
+	g := graphgen.KnowledgeBase(250, 3, 5, graphgen.Config{Seed: 15, Labels: 8})
+	for s := int64(0); s < 3; s++ {
+		q := graphgen.Pattern(g, 5, 8, s)
+		want := seq.Simulation(q, g)
+		res, err := New(Options{Workers: 4}).Run(g, Sim{Pattern: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := MergeSim(q, res)
+		if got.Count() != want.Count() {
+			t.Fatalf("pattern %d: %d pairs, want %d", s, got.Count(), want.Count())
+		}
+	}
+}
+
+func TestBCSubIsoMatchesSequential(t *testing.T) {
+	g := graphgen.KnowledgeBase(150, 3, 5, graphgen.Config{Seed: 16, Labels: 6})
+	q := graphgen.Pattern(g, 4, 5, 2)
+	want := seq.SubgraphIsomorphism(q, g, 0)
+	res, err := New(Options{Workers: 4}).Run(g, SubIso{Pattern: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MergeMatches(res)
+	if len(got) != len(want) {
+		t.Fatalf("found %d matches, want %d", len(got), len(want))
+	}
+}
+
+func TestBCCFTrains(t *testing.T) {
+	g := graphgen.Bipartite(120, 25, 6, graphgen.Config{Seed: 17})
+	ratings := seq.RatingsFromGraph(g)
+	cfg := seq.DefaultSGDConfig()
+	res, err := New(Options{Workers: 4}).Run(g, CF{Config: cfg, MaxRounds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factors := MergeFactors(res)
+	if len(factors) == 0 {
+		t.Fatalf("no factors learned")
+	}
+	rmse := seq.RMSE(factors, ratings)
+	if rmse > 1.8 {
+		t.Fatalf("block-centric CF RMSE = %v", rmse)
+	}
+}
+
+func TestBCGuards(t *testing.T) {
+	g := graphgen.RoadNetwork(3, 3, graphgen.Config{Seed: 18})
+	if _, err := New(Options{Workers: 2}).Run(g, nil); err == nil {
+		t.Fatalf("nil program must be rejected")
+	}
+	if _, err := New(Options{Workers: 2, MaxSupersteps: 1}).Run(g, SSSP{Source: g.VertexAt(0)}); err == nil {
+		t.Fatalf("MaxSupersteps guard did not trip")
+	}
+}

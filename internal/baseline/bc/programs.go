@@ -1,0 +1,503 @@
+package bc
+
+import (
+	"math"
+
+	"grape/internal/graph"
+	"grape/internal/mpi"
+	"grape/internal/seq"
+)
+
+// SSSP is the block-centric shortest-path program: every block runs Dijkstra
+// over its whole block each superstep (seeded with the border distances it
+// received) and ships one vertex message per relaxed cross edge — no bounded
+// incremental step and no message grouping, which is where GRAPE's advantage
+// over Blogel in Table 1 comes from.
+type SSSP struct {
+	Source graph.VertexID
+}
+
+type ssspBlockState struct {
+	dist map[graph.VertexID]float64
+}
+
+// Name implements Program.
+func (SSSP) Name() string { return "SSSP" }
+
+// InitBlock implements Program.
+func (p SSSP) InitBlock(ctx *BlockContext) {
+	g := ctx.Block.Graph
+	st := &ssspBlockState{dist: make(map[graph.VertexID]float64, g.NumVertices())}
+	for i := 0; i < g.NumVertices(); i++ {
+		st.dist[g.VertexAt(i)] = math.Inf(1)
+	}
+	ctx.State = st
+	if g.HasVertex(p.Source) {
+		seq.DijkstraFrom(g, st.dist, map[graph.VertexID]float64{p.Source: 0})
+	}
+	p.shipCrossEdges(ctx, st, nil)
+}
+
+// BCompute implements Program.
+func (p SSSP) BCompute(ctx *BlockContext, msgs []VertexMessage) {
+	st := ctx.State.(*ssspBlockState)
+	seeds := make(map[graph.VertexID]float64, len(msgs))
+	for _, m := range msgs {
+		cur, ok := st.dist[m.To]
+		if ok && m.Value >= cur {
+			continue
+		}
+		if prev, dup := seeds[m.To]; !dup || m.Value < prev {
+			seeds[m.To] = m.Value
+		}
+	}
+	if len(seeds) == 0 {
+		return
+	}
+	// Full seeded recomputation over the block (no bounded incremental
+	// algorithm, unlike GRAPE's IncEval).
+	changed := seq.DijkstraFrom(ctx.Block.Graph, st.dist, seeds)
+	changedSet := make(map[graph.VertexID]bool, len(changed))
+	for _, v := range changed {
+		changedSet[v] = true
+	}
+	p.shipCrossEdges(ctx, st, changedSet)
+}
+
+// shipCrossEdges sends dist(u)+w over every cross edge whose source improved
+// (or all finite ones when changed is nil, i.e. after InitBlock).
+func (SSSP) shipCrossEdges(ctx *BlockContext, st *ssspBlockState, changed map[graph.VertexID]bool) {
+	g := ctx.Block.Graph
+	for i := 0; i < g.NumVertices(); i++ {
+		u := g.VertexAt(i)
+		if !ctx.Block.Owns(u) {
+			continue
+		}
+		du := st.dist[u]
+		if math.IsInf(du, 1) {
+			continue
+		}
+		if changed != nil && !changed[u] {
+			continue
+		}
+		for _, he := range g.OutEdges(i) {
+			v := g.VertexAt(int(he.To))
+			if !ctx.Block.Owns(v) {
+				ctx.Send(VertexMessage{To: v, Value: du + he.Weight})
+			}
+		}
+	}
+}
+
+// Output implements Program.
+func (SSSP) Output(ctx *BlockContext) any {
+	st, ok := ctx.State.(*ssspBlockState)
+	if !ok {
+		return map[graph.VertexID]float64{}
+	}
+	out := make(map[graph.VertexID]float64, len(ctx.Block.Local))
+	for _, v := range ctx.Block.Local {
+		out[v] = st.dist[v]
+	}
+	return out
+}
+
+// MergeDistances combines per-block SSSP outputs into a single distance map.
+func MergeDistances(res *Result) map[graph.VertexID]float64 {
+	out := make(map[graph.VertexID]float64)
+	for _, o := range res.Outputs {
+		for v, d := range o.(map[graph.VertexID]float64) {
+			out[v] = d
+		}
+	}
+	return out
+}
+
+// CC is the block-centric connected-components program: local components per
+// block, minimum component identifiers exchanged per cross edge, full local
+// relabelling on every superstep.
+type CC struct{}
+
+type ccBlockState struct {
+	cid map[graph.VertexID]graph.VertexID
+}
+
+// Name implements Program.
+func (CC) Name() string { return "CC" }
+
+// InitBlock implements Program.
+func (CC) InitBlock(ctx *BlockContext) {
+	st := &ccBlockState{cid: seq.ConnectedComponents(ctx.Block.Graph)}
+	ctx.State = st
+	CC{}.ship(ctx, st, nil)
+}
+
+// BCompute implements Program.
+func (CC) BCompute(ctx *BlockContext, msgs []VertexMessage) {
+	st := ctx.State.(*ccBlockState)
+	// Adopt smaller identifiers for the targeted vertices.
+	seeds := make(map[graph.VertexID]graph.VertexID)
+	for _, m := range msgs {
+		nc := graph.VertexID(int64(m.Value))
+		cur, ok := st.cid[m.To]
+		if !ok || nc >= cur {
+			continue
+		}
+		if prev, dup := seeds[m.To]; !dup || nc < prev {
+			seeds[m.To] = nc
+		}
+	}
+	if len(seeds) == 0 {
+		return
+	}
+	// Full relabel: any vertex sharing a component with a seeded vertex takes
+	// the new identifier (recomputed from scratch, no member lists).
+	changed := make(map[graph.VertexID]bool)
+	for v, nc := range seeds {
+		old := st.cid[v]
+		if old <= nc {
+			continue // another seed already improved this component further
+		}
+		for u, c := range st.cid {
+			if c == old {
+				st.cid[u] = nc
+				changed[u] = true
+			}
+		}
+	}
+	CC{}.ship(ctx, st, changed)
+}
+
+func (CC) ship(ctx *BlockContext, st *ccBlockState, changed map[graph.VertexID]bool) {
+	g := ctx.Block.Graph
+	for i := 0; i < g.NumVertices(); i++ {
+		u := g.VertexAt(i)
+		if !ctx.Block.Owns(u) {
+			continue
+		}
+		if changed != nil && !changed[u] {
+			continue
+		}
+		// Push the identifier over every cross edge incident to u...
+		visit := func(to int32) {
+			v := g.VertexAt(int(to))
+			if !ctx.Block.Owns(v) {
+				ctx.Send(VertexMessage{To: v, Value: float64(st.cid[u])})
+			}
+		}
+		for _, he := range g.OutEdges(i) {
+			visit(he.To)
+		}
+		for _, he := range g.InEdges(i) {
+			visit(he.To)
+		}
+		// ...and to every block that holds a copy of u, because component
+		// identifiers must flow against edge direction as well (components
+		// ignore orientation).
+		for _, mirror := range ctx.GP.Mirrors(u) {
+			ctx.SendToBlock(mirror, VertexMessage{To: u, Value: float64(st.cid[u])})
+		}
+	}
+}
+
+// Output implements Program.
+func (CC) Output(ctx *BlockContext) any {
+	st, ok := ctx.State.(*ccBlockState)
+	if !ok {
+		return map[graph.VertexID]graph.VertexID{}
+	}
+	out := make(map[graph.VertexID]graph.VertexID, len(ctx.Block.Local))
+	for _, v := range ctx.Block.Local {
+		out[v] = st.cid[v]
+	}
+	return out
+}
+
+// MergeComponents combines per-block CC outputs.
+func MergeComponents(res *Result) map[graph.VertexID]graph.VertexID {
+	out := make(map[graph.VertexID]graph.VertexID)
+	for _, o := range res.Outputs {
+		for v, c := range o.(map[graph.VertexID]graph.VertexID) {
+			out[v] = c
+		}
+	}
+	return out
+}
+
+// Sim is the block-centric graph-simulation program: every block recomputes
+// the simulation relation over its whole block from scratch each superstep
+// (using the falsifications received for its border copies) and ships one
+// vertex message per falsified (query node, border vertex) pair.
+type Sim struct {
+	Pattern *graph.Graph
+}
+
+type simBlockState struct {
+	// falseAt records (query index, vertex) pairs known to be non-matches for
+	// border copies owned elsewhere.
+	falseAt map[graph.VertexID]map[int]bool
+	sim     seq.SimResult
+	// reported remembers which falsifications were already shipped.
+	reported map[graph.VertexID]map[int]bool
+}
+
+// Name implements Program.
+func (Sim) Name() string { return "Sim" }
+
+// InitBlock implements Program.
+func (p Sim) InitBlock(ctx *BlockContext) {
+	st := &simBlockState{
+		falseAt:  make(map[graph.VertexID]map[int]bool),
+		reported: make(map[graph.VertexID]map[int]bool),
+	}
+	ctx.State = st
+	p.recompute(ctx, st)
+}
+
+// BCompute implements Program.
+func (p Sim) BCompute(ctx *BlockContext, msgs []VertexMessage) {
+	st := ctx.State.(*simBlockState)
+	changed := false
+	for _, m := range msgs {
+		uq := int(int64(m.Value))
+		if st.falseAt[m.To] == nil {
+			st.falseAt[m.To] = make(map[int]bool)
+		}
+		if !st.falseAt[m.To][uq] {
+			st.falseAt[m.To][uq] = true
+			changed = true
+		}
+	}
+	if changed {
+		p.recompute(ctx, st)
+	}
+}
+
+// recompute runs the whole-block simulation from scratch, freezing border
+// copies at their known status, then ships newly falsified border matches.
+func (p Sim) recompute(ctx *BlockContext, st *simBlockState) {
+	q := p.Pattern
+	g := ctx.Block.Graph
+	nq := q.NumVertices()
+	sim := make([]map[int]bool, nq)
+	for uq := 0; uq < nq; uq++ {
+		cands := make(map[int]bool)
+		for v := 0; v < g.NumVertices(); v++ {
+			id := g.VertexAt(v)
+			if !ctx.Block.Owns(id) {
+				// Frozen copy: assume it matches unless falsified.
+				if g.Label(v) == q.Label(uq) && !st.falseAt[id][uq] {
+					cands[v] = true
+				}
+				continue
+			}
+			if g.Label(v) == q.Label(uq) {
+				cands[v] = true
+			}
+		}
+		sim[uq] = cands
+	}
+	for changed := true; changed; {
+		changed = false
+		for uq := 0; uq < nq; uq++ {
+			for v := range sim[uq] {
+				if !ctx.Block.Owns(g.VertexAt(v)) {
+					continue
+				}
+				ok := true
+				for _, qe := range q.OutEdges(uq) {
+					target := int(qe.To)
+					witness := false
+					for _, he := range g.OutEdges(v) {
+						if sim[target][int(he.To)] {
+							witness = true
+							break
+						}
+					}
+					if !witness {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					delete(sim[uq], v)
+					changed = true
+				}
+			}
+		}
+	}
+	res := make(seq.SimResult, nq)
+	for uq := 0; uq < nq; uq++ {
+		set := make(map[graph.VertexID]bool, len(sim[uq]))
+		for v := range sim[uq] {
+			set[g.VertexAt(v)] = true
+		}
+		res[q.VertexAt(uq)] = set
+	}
+	st.sim = res
+
+	// Ship newly falsified border matches, one vertex message per pair.
+	shipVertex := func(v graph.VertexID) {
+		if !ctx.Block.Owns(v) {
+			return
+		}
+		for uq := 0; uq < nq; uq++ {
+			if g.LabelOf(v) != q.Label(uq) {
+				continue
+			}
+			if res[q.VertexAt(uq)][v] {
+				continue
+			}
+			if st.reported[v] == nil {
+				st.reported[v] = make(map[int]bool)
+			}
+			if st.reported[v][uq] {
+				continue
+			}
+			st.reported[v][uq] = true
+			// One message per mirror block holding a copy of v.
+			for _, mirror := range ctx.GP.Mirrors(v) {
+				ctx.SendToBlock(mirror, VertexMessage{To: v, Value: float64(uq)})
+			}
+		}
+	}
+	for _, v := range ctx.Block.InBorder {
+		shipVertex(v)
+	}
+	for _, v := range ctx.Block.OutBorder {
+		shipVertex(v)
+	}
+}
+
+// Output implements Program.
+func (p Sim) Output(ctx *BlockContext) any {
+	st, ok := ctx.State.(*simBlockState)
+	if !ok {
+		return seq.SimResult{}
+	}
+	out := make(seq.SimResult, p.Pattern.NumVertices())
+	for uq := 0; uq < p.Pattern.NumVertices(); uq++ {
+		u := p.Pattern.VertexAt(uq)
+		out[u] = make(map[graph.VertexID]bool)
+		for v := range st.sim[u] {
+			if ctx.Block.Owns(v) {
+				out[u][v] = true
+			}
+		}
+	}
+	return out
+}
+
+// MergeSim combines per-block simulation relations.
+func MergeSim(pattern *graph.Graph, res *Result) seq.SimResult {
+	out := make(seq.SimResult, pattern.NumVertices())
+	for uq := 0; uq < pattern.NumVertices(); uq++ {
+		out[pattern.VertexAt(uq)] = make(map[graph.VertexID]bool)
+	}
+	for _, o := range res.Outputs {
+		for u, set := range o.(seq.SimResult) {
+			for v := range set {
+				out[u][v] = true
+			}
+		}
+	}
+	return out
+}
+
+// CF is the block-centric collaborative-filtering program: full local SGD
+// retraining every superstep (no incremental ISGD), factor vectors shipped as
+// one vertex message per border vertex per round, for a fixed number of
+// rounds.
+type CF struct {
+	Config    seq.SGDConfig
+	MaxRounds int
+}
+
+type cfBlockState struct {
+	factors seq.Factors
+	ratings []seq.Rating
+	rounds  int
+}
+
+// Name implements Program.
+func (CF) Name() string { return "CF" }
+
+// InitBlock implements Program.
+func (p CF) InitBlock(ctx *BlockContext) {
+	g := ctx.Block.Graph
+	var local []seq.Rating
+	for _, r := range seq.RatingsFromGraph(g) {
+		if ctx.Block.Owns(r.User) {
+			local = append(local, r)
+		}
+	}
+	st := &cfBlockState{factors: make(seq.Factors), ratings: local, rounds: 1}
+	ctx.State = st
+	seq.Train(local, p.Config, st.factors)
+	p.ship(ctx, st)
+}
+
+// BCompute implements Program.
+func (p CF) BCompute(ctx *BlockContext, msgs []VertexMessage) {
+	st := ctx.State.(*cfBlockState)
+	st.rounds++
+	if st.rounds > p.MaxRounds {
+		return
+	}
+	for _, m := range msgs {
+		if len(m.Data) > 0 {
+			st.factors[m.To] = mpi.BytesToFloat64s(m.Data)
+		}
+	}
+	// Full retraining over the whole local training set (no ISGD).
+	seq.Train(st.ratings, p.Config, st.factors)
+	p.ship(ctx, st)
+}
+
+func (CF) ship(ctx *BlockContext, st *cfBlockState) {
+	send := func(v graph.VertexID) {
+		vec, ok := st.factors[v]
+		if !ok {
+			return
+		}
+		if ctx.Block.Owns(v) {
+			for _, mirror := range ctx.GP.Mirrors(v) {
+				ctx.SendToBlock(mirror, VertexMessage{To: v, Data: mpi.Float64sToBytes(vec)})
+			}
+			return
+		}
+		ctx.Send(VertexMessage{To: v, Data: mpi.Float64sToBytes(vec)})
+	}
+	for _, v := range ctx.Block.InBorder {
+		send(v)
+	}
+	for _, v := range ctx.Block.OutBorder {
+		send(v)
+	}
+}
+
+// Output implements Program.
+func (CF) Output(ctx *BlockContext) any {
+	st, ok := ctx.State.(*cfBlockState)
+	if !ok {
+		return seq.Factors{}
+	}
+	out := make(seq.Factors)
+	for v, vec := range st.factors {
+		if ctx.Block.Owns(v) {
+			out[v] = vec
+		}
+	}
+	return out
+}
+
+// MergeFactors combines per-block CF outputs.
+func MergeFactors(res *Result) seq.Factors {
+	out := make(seq.Factors)
+	for _, o := range res.Outputs {
+		for v, vec := range o.(seq.Factors) {
+			out[v] = vec
+		}
+	}
+	return out
+}

@@ -1,0 +1,330 @@
+// Package vc implements a synchronous vertex-centric graph engine in the
+// style of Pregel/Giraph, plus a GraphLab-like synchronous GAS variant that
+// combines messages per destination. It exists as the comparison baseline of
+// the paper's evaluation (Section 7): the same queries are recast into
+// "think like a vertex" programs, executed superstep by superstep, and
+// metered with the same communication accounting as GRAPE so the benchmark
+// harness can reproduce Table 1 and Figures 6, 8 and 9.
+package vc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/mpi"
+)
+
+// Message is a vertex-to-vertex message.
+type Message struct {
+	// To is the destination vertex.
+	To graph.VertexID
+	// Value is a numeric payload (distance, component id, ...).
+	Value float64
+	// Data is an optional structured payload (bitmaps, factor vectors,
+	// serialized neighbourhoods).
+	Data []byte
+}
+
+// size returns the metered size of a message on the wire.
+func (m Message) size() int { return 16 + len(m.Data) }
+
+// VertexContext is the view a vertex program has of one vertex during a
+// superstep.
+type VertexContext struct {
+	// ID and Label identify the vertex.
+	ID    graph.VertexID
+	Label string
+	// Superstep is the current superstep, starting at 0.
+	Superstep int
+	// Value is the vertex's persistent state, owned by the program.
+	Value any
+
+	graph  *graph.Graph
+	idx    int
+	worker *worker
+	halted *bool
+}
+
+// OutEdges returns the out-edges of the vertex.
+func (c *VertexContext) OutEdges() []graph.HalfEdge { return c.graph.OutEdges(c.idx) }
+
+// InEdges returns the in-edges of the vertex.
+func (c *VertexContext) InEdges() []graph.HalfEdge { return c.graph.InEdges(c.idx) }
+
+// VertexAt resolves a dense index from an adjacency entry to an external ID.
+func (c *VertexContext) VertexAt(i int32) graph.VertexID { return c.graph.VertexAt(int(i)) }
+
+// LabelAt resolves a dense index to the vertex label.
+func (c *VertexContext) LabelAt(i int32) string { return c.graph.Label(int(i)) }
+
+// NumQueryVertices is a convenience used by matching programs.
+func (c *VertexContext) Graph() *graph.Graph { return c.graph }
+
+// Send delivers a message to another vertex in the next superstep.
+func (c *VertexContext) Send(m Message) { c.worker.send(c.ID, m) }
+
+// VoteToHalt marks the vertex as inactive; it will be woken up again by an
+// incoming message.
+func (c *VertexContext) VoteToHalt() { *c.halted = true }
+
+// Program is a vertex program in the Pregel style.
+type Program interface {
+	// Name identifies the query class.
+	Name() string
+	// Init sets the initial vertex value before superstep 0.
+	Init(ctx *VertexContext)
+	// Compute is invoked for every active vertex each superstep with the
+	// messages addressed to it.
+	Compute(ctx *VertexContext, msgs []Message)
+}
+
+// Combiner is an optional interface: when the engine runs in GAS mode it
+// combines messages addressed to the same vertex with Combine before they are
+// shipped, the way GraphLab's gather phase aggregates neighbour values.
+type Combiner interface {
+	Combine(a, b Message) Message
+}
+
+// Options configure a run of the vertex-centric engine.
+type Options struct {
+	// Workers is the number of workers vertices are hashed onto.
+	Workers int
+	// MaxSupersteps bounds the computation.
+	MaxSupersteps int
+	// CombineMessages enables GraphLab-style message combining.
+	CombineMessages bool
+	// EngineName is the label used in reported stats ("Pregel", "GAS").
+	EngineName string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.MaxSupersteps <= 0 {
+		o.MaxSupersteps = 50000
+	}
+	if o.EngineName == "" {
+		if o.CombineMessages {
+			o.EngineName = "GAS"
+		} else {
+			o.EngineName = "Pregel"
+		}
+	}
+	return o
+}
+
+// Result is the outcome of a vertex-centric run.
+type Result struct {
+	// Values maps every vertex to its final value.
+	Values map[graph.VertexID]any
+	// Stats reports time, supersteps and communication volume.
+	Stats *metrics.Stats
+}
+
+// Engine is the vertex-centric runtime.
+type Engine struct{ opts Options }
+
+// New creates an engine.
+func New(opts Options) *Engine { return &Engine{opts: opts.withDefaults()} }
+
+type vertexState struct {
+	value  any
+	halted bool
+}
+
+type worker struct {
+	id       int
+	engine   *runState
+	outgoing map[int][]Message // destination worker -> messages
+}
+
+func (w *worker) send(from graph.VertexID, m Message) {
+	dst := w.engine.ownerOf(m.To)
+	w.outgoing[dst] = append(w.outgoing[dst], m)
+}
+
+type runState struct {
+	g       *graph.Graph
+	opts    Options
+	owner   []int // dense index -> worker
+	byIndex map[graph.VertexID]int
+	cluster *mpi.Cluster
+	stats   *metrics.Stats
+}
+
+func (r *runState) ownerOf(v graph.VertexID) int {
+	if i, ok := r.byIndex[v]; ok {
+		return r.owner[i]
+	}
+	return int(uint64(v) % uint64(r.opts.Workers))
+}
+
+// Run executes the vertex program over g.
+func (e *Engine) Run(g *graph.Graph, prog Program) (*Result, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("vc: nil program")
+	}
+	opts := e.opts
+	timer := metrics.StartTimer()
+	stats := &metrics.Stats{Engine: opts.EngineName, Query: prog.Name(), Workers: opts.Workers}
+	n := g.NumVertices()
+
+	rs := &runState{
+		g:       g,
+		opts:    opts,
+		owner:   make([]int, n),
+		byIndex: make(map[graph.VertexID]int, n),
+		cluster: mpi.NewCluster(opts.Workers, stats),
+		stats:   stats,
+	}
+	for i := 0; i < n; i++ {
+		rs.owner[i] = int(uint64(g.VertexAt(i)) % uint64(opts.Workers))
+		rs.byIndex[g.VertexAt(i)] = i
+	}
+
+	states := make([]vertexState, n)
+	inboxes := make([][]Message, n)
+
+	// Worker-local vertex lists.
+	verticesOf := make([][]int, opts.Workers)
+	for i := 0; i < n; i++ {
+		w := rs.owner[i]
+		verticesOf[w] = append(verticesOf[w], i)
+	}
+
+	combiner, canCombine := prog.(Combiner)
+	useCombiner := opts.CombineMessages && canCombine
+
+	runWorker := func(wid int, superstep int, init bool) {
+		w := &worker{id: wid, engine: rs, outgoing: make(map[int][]Message)}
+		for _, vi := range verticesOf[wid] {
+			st := &states[vi]
+			msgs := inboxes[vi]
+			if !init && st.halted && len(msgs) == 0 {
+				continue
+			}
+			if len(msgs) > 0 {
+				st.halted = false
+			}
+			ctx := &VertexContext{
+				ID:        g.VertexAt(vi),
+				Label:     g.Label(vi),
+				Superstep: superstep,
+				Value:     st.value,
+				graph:     g,
+				idx:       vi,
+				worker:    w,
+				halted:    &st.halted,
+			}
+			if init {
+				prog.Init(ctx)
+			}
+			prog.Compute(ctx, msgs)
+			st.value = ctx.Value
+			inboxes[vi] = nil
+		}
+		// Ship this worker's outgoing messages, optionally combined per
+		// destination vertex.
+		dsts := make([]int, 0, len(w.outgoing))
+		for d := range w.outgoing {
+			dsts = append(dsts, d)
+		}
+		sort.Ints(dsts)
+		for _, d := range dsts {
+			batch := w.outgoing[d]
+			if useCombiner {
+				batch = combinePerTarget(batch, combiner)
+			}
+			for _, m := range batch {
+				payload := encodeMessage(m)
+				rs.cluster.Send(wid, d, "v", payload)
+			}
+		}
+	}
+
+	superstep := 0
+	for {
+		if superstep >= opts.MaxSupersteps {
+			return nil, fmt.Errorf("vc: %s did not converge within %d supersteps", prog.Name(), opts.MaxSupersteps)
+		}
+		stats.BeginSuperstep()
+		// Deliver messages queued for each worker into per-vertex inboxes.
+		delivered := 0
+		for wid := 0; wid < opts.Workers; wid++ {
+			for _, env := range rs.cluster.Deliver(wid) {
+				m, err := decodeMessage(env.Payload)
+				if err != nil {
+					return nil, fmt.Errorf("vc: %w", err)
+				}
+				if vi, ok := rs.byIndex[m.To]; ok {
+					inboxes[vi] = append(inboxes[vi], m)
+					delivered++
+				}
+			}
+		}
+		if superstep > 0 && delivered == 0 {
+			allHalted := true
+			for i := range states {
+				if !states[i].halted {
+					allHalted = false
+					break
+				}
+			}
+			if allHalted {
+				stats.Supersteps-- // the termination check is not a superstep
+				break
+			}
+		}
+		var wg sync.WaitGroup
+		for wid := 0; wid < opts.Workers; wid++ {
+			wg.Add(1)
+			go func(wid int) {
+				defer wg.Done()
+				runWorker(wid, superstep, superstep == 0)
+			}(wid)
+		}
+		wg.Wait()
+		superstep++
+	}
+
+	values := make(map[graph.VertexID]any, n)
+	for i := 0; i < n; i++ {
+		values[g.VertexAt(i)] = states[i].value
+	}
+	stats.Elapsed = timer.Stop()
+	return &Result{Values: values, Stats: stats}, nil
+}
+
+func combinePerTarget(batch []Message, c Combiner) []Message {
+	byTarget := make(map[graph.VertexID]Message)
+	order := make([]graph.VertexID, 0, len(batch))
+	for _, m := range batch {
+		if prev, ok := byTarget[m.To]; ok {
+			byTarget[m.To] = c.Combine(prev, m)
+		} else {
+			byTarget[m.To] = m
+			order = append(order, m.To)
+		}
+	}
+	out := make([]Message, 0, len(order))
+	for _, to := range order {
+		out = append(out, byTarget[to])
+	}
+	return out
+}
+
+func encodeMessage(m Message) []byte {
+	return mpi.EncodeUpdates([]mpi.Update{{Vertex: int64(m.To), Value: m.Value, Data: m.Data}})
+}
+
+func decodeMessage(buf []byte) (Message, error) {
+	ups, err := mpi.DecodeUpdates(buf)
+	if err != nil || len(ups) != 1 {
+		return Message{}, fmt.Errorf("vc: malformed vertex message: %v", err)
+	}
+	return Message{To: graph.VertexID(ups[0].Vertex), Value: ups[0].Value, Data: ups[0].Data}, nil
+}

@@ -1,0 +1,435 @@
+package vc
+
+import (
+	"math"
+
+	"grape/internal/graph"
+	"grape/internal/mpi"
+	"grape/internal/seq"
+)
+
+// SSSP is the classic vertex-centric shortest-path program (Figure 10 of the
+// paper): every vertex keeps its current distance, takes the minimum of the
+// incoming messages, and when its distance improves it sends dist+w to its
+// out-neighbours. On large-diameter graphs this takes as many supersteps as
+// the longest shortest-path, which is exactly the effect Table 1 shows.
+type SSSP struct {
+	Source graph.VertexID
+}
+
+// Name implements Program.
+func (SSSP) Name() string { return "SSSP" }
+
+// Init implements Program.
+func (p SSSP) Init(ctx *VertexContext) {
+	if ctx.ID == p.Source {
+		ctx.Value = 0.0
+	} else {
+		ctx.Value = math.Inf(1)
+	}
+}
+
+// Compute implements Program.
+func (p SSSP) Compute(ctx *VertexContext, msgs []Message) {
+	mindist := math.Inf(1)
+	if ctx.Superstep == 0 && ctx.ID == p.Source {
+		mindist = 0
+	}
+	for _, m := range msgs {
+		if m.Value < mindist {
+			mindist = m.Value
+		}
+	}
+	cur := ctx.Value.(float64)
+	if mindist < cur || (ctx.Superstep == 0 && ctx.ID == p.Source) {
+		if mindist < cur {
+			ctx.Value = mindist
+			cur = mindist
+		}
+		for _, he := range ctx.OutEdges() {
+			ctx.Send(Message{To: ctx.VertexAt(he.To), Value: cur + he.Weight})
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+// Combine implements Combiner (GAS mode): min of distances.
+func (SSSP) Combine(a, b Message) Message {
+	if b.Value < a.Value {
+		return b
+	}
+	return a
+}
+
+// Distances extracts the final distance map from a Result.
+func Distances(res *Result) map[graph.VertexID]float64 {
+	out := make(map[graph.VertexID]float64, len(res.Values))
+	for v, val := range res.Values {
+		if d, ok := val.(float64); ok {
+			out[v] = d
+		} else {
+			out[v] = math.Inf(1)
+		}
+	}
+	return out
+}
+
+// CC is the hash-min connected-components vertex program: every vertex starts
+// with its own ID as component identifier, exchanges identifiers with its
+// neighbours (in both directions, because components ignore edge direction)
+// and keeps the minimum.
+type CC struct{}
+
+// Name implements Program.
+func (CC) Name() string { return "CC" }
+
+// Init implements Program.
+func (CC) Init(ctx *VertexContext) { ctx.Value = float64(ctx.ID) }
+
+// Compute implements Program.
+func (CC) Compute(ctx *VertexContext, msgs []Message) {
+	cur := ctx.Value.(float64)
+	min := cur
+	for _, m := range msgs {
+		if m.Value < min {
+			min = m.Value
+		}
+	}
+	changed := min < cur
+	if changed {
+		ctx.Value = min
+	}
+	if ctx.Superstep == 0 || changed {
+		for _, he := range ctx.OutEdges() {
+			ctx.Send(Message{To: ctx.VertexAt(he.To), Value: min})
+		}
+		for _, he := range ctx.InEdges() {
+			ctx.Send(Message{To: ctx.VertexAt(he.To), Value: min})
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+// Combine implements Combiner: min of component identifiers.
+func (CC) Combine(a, b Message) Message {
+	if b.Value < a.Value {
+		return b
+	}
+	return a
+}
+
+// Components extracts the component labelling from a Result.
+func Components(res *Result) map[graph.VertexID]graph.VertexID {
+	out := make(map[graph.VertexID]graph.VertexID, len(res.Values))
+	for v, val := range res.Values {
+		out[v] = graph.VertexID(int64(val.(float64)))
+	}
+	return out
+}
+
+// Sim is the vertex-centric graph-simulation program: every vertex keeps a
+// Boolean per query vertex ("do I still simulate u?"), learns the match sets
+// of its children through messages, and notifies its parents whenever its own
+// match set shrinks. The fixpoint is the maximum simulation relation.
+type Sim struct {
+	Pattern *graph.Graph
+}
+
+// Name implements Program.
+func (Sim) Name() string { return "Sim" }
+
+type simVertexState struct {
+	match    []bool
+	children map[graph.VertexID][]bool
+}
+
+// Init implements Program.
+func (p Sim) Init(ctx *VertexContext) {
+	nq := p.Pattern.NumVertices()
+	st := &simVertexState{match: make([]bool, nq), children: make(map[graph.VertexID][]bool)}
+	for uq := 0; uq < nq; uq++ {
+		st.match[uq] = p.Pattern.Label(uq) == ctx.Label
+	}
+	ctx.Value = st
+}
+
+// Compute implements Program.
+func (p Sim) Compute(ctx *VertexContext, msgs []Message) {
+	st := ctx.Value.(*simVertexState)
+	nq := p.Pattern.NumVertices()
+
+	// Fold in the freshest child match bitmaps.
+	for _, m := range msgs {
+		st.children[graph.VertexID(int64(m.Value))] = bytesToBools(m.Data, nq)
+	}
+
+	// Recompute the local match set. A child we have not heard from yet is
+	// assumed to match everything (optimistic start), matching the
+	// monotonic-shrinking protocol.
+	changed := ctx.Superstep == 0
+	for uq := 0; uq < nq; uq++ {
+		if !st.match[uq] {
+			continue
+		}
+		ok := true
+		for _, qe := range p.Pattern.OutEdges(uq) {
+			target := int(qe.To)
+			witness := false
+			for _, he := range ctx.OutEdges() {
+				child := ctx.VertexAt(he.To)
+				bits, known := st.children[child]
+				if !known || bits[target] {
+					witness = true
+					break
+				}
+			}
+			if !witness {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			st.match[uq] = false
+			changed = true
+		}
+	}
+
+	// Tell parents about the (possibly shrunken) match set. In superstep 0
+	// everyone reports once so parents learn the initial sets.
+	if changed {
+		payload := boolsToBytes(st.match)
+		for _, he := range ctx.InEdges() {
+			ctx.Send(Message{To: ctx.VertexAt(he.To), Value: float64(ctx.ID), Data: payload})
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+// SimRelation extracts the simulation relation from a Result.
+func SimRelation(pattern *graph.Graph, res *Result) seq.SimResult {
+	out := make(seq.SimResult, pattern.NumVertices())
+	for uq := 0; uq < pattern.NumVertices(); uq++ {
+		out[pattern.VertexAt(uq)] = make(map[graph.VertexID]bool)
+	}
+	for v, val := range res.Values {
+		st, ok := val.(*simVertexState)
+		if !ok {
+			continue
+		}
+		for uq, m := range st.match {
+			if m {
+				out[pattern.VertexAt(uq)][v] = true
+			}
+		}
+	}
+	return out
+}
+
+func boolsToBytes(bs []bool) []byte {
+	out := make([]byte, len(bs))
+	for i, b := range bs {
+		if b {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func bytesToBools(buf []byte, n int) []bool {
+	out := make([]bool, n)
+	for i := 0; i < n && i < len(buf); i++ {
+		out[i] = buf[i] == 1
+	}
+	return out
+}
+
+// SubIso is the vertex-centric subgraph-isomorphism program: for d_Q rounds
+// every vertex floods its known neighbourhood (as an edge list) to its
+// neighbours, so that after d_Q supersteps each vertex holds its complete
+// d_Q-hop neighbourhood; it then runs the sequential VF2 search on that
+// neighbourhood and reports the matches in which it is the smallest matched
+// vertex (for global deduplication). The flooding is what makes the
+// vertex-centric baseline ship an order of magnitude more data than GRAPE
+// (Figure 8i-j).
+type SubIso struct {
+	Pattern    *graph.Graph
+	MaxMatches int
+}
+
+// Name implements Program.
+func (SubIso) Name() string { return "SubIso" }
+
+type subIsoVertexState struct {
+	vertices map[graph.VertexID]string
+	edges    map[[2]graph.VertexID]float64
+	matches  []seq.Match
+}
+
+// Init implements Program.
+func (p SubIso) Init(ctx *VertexContext) {
+	st := &subIsoVertexState{
+		vertices: map[graph.VertexID]string{ctx.ID: ctx.Label},
+		edges:    make(map[[2]graph.VertexID]float64),
+	}
+	for _, he := range ctx.OutEdges() {
+		st.vertices[ctx.VertexAt(he.To)] = ctx.LabelAt(he.To)
+		st.edges[[2]graph.VertexID{ctx.ID, ctx.VertexAt(he.To)}] = he.Weight
+	}
+	ctx.Value = st
+}
+
+// Compute implements Program.
+func (p SubIso) Compute(ctx *VertexContext, msgs []Message) {
+	st := ctx.Value.(*subIsoVertexState)
+	dQ := seq.PatternDiameter(p.Pattern)
+	if dQ < 1 {
+		dQ = 1
+	}
+
+	// Merge received neighbourhood fractions.
+	for _, m := range msgs {
+		ups, err := mpi.DecodeUpdates(m.Data)
+		if err != nil {
+			continue
+		}
+		for _, u := range ups {
+			if u.Key == 0 { // vertex record: Value unused, Data = label
+				st.vertices[graph.VertexID(u.Vertex)] = string(u.Data)
+			} else { // edge record: Vertex = src, Data = dst encoded in Key
+				st.edges[[2]graph.VertexID{graph.VertexID(u.Vertex), graph.VertexID(u.Key)}] = u.Value
+			}
+		}
+	}
+
+	if ctx.Superstep < dQ {
+		// Flood the currently known neighbourhood to all neighbours.
+		payload := encodeNeighborhood(st)
+		seen := map[graph.VertexID]bool{}
+		for _, he := range ctx.OutEdges() {
+			to := ctx.VertexAt(he.To)
+			if !seen[to] {
+				seen[to] = true
+				ctx.Send(Message{To: to, Data: payload})
+			}
+		}
+		for _, he := range ctx.InEdges() {
+			to := ctx.VertexAt(he.To)
+			if !seen[to] {
+				seen[to] = true
+				ctx.Send(Message{To: to, Data: payload})
+			}
+		}
+	} else if st.matches == nil {
+		// Neighbourhood complete: run the sequential search locally.
+		b := graph.NewBuilder(true)
+		for v, label := range st.vertices {
+			b.AddVertex(v, label)
+		}
+		for e, w := range st.edges {
+			b.AddEdge(e[0], e[1], w, "")
+		}
+		local := b.Build()
+		all := seq.SubgraphIsomorphism(p.Pattern, local, p.MaxMatches)
+		for _, m := range all {
+			min := graph.VertexID(math.MaxInt64)
+			for _, v := range m {
+				if v < min {
+					min = v
+				}
+			}
+			if min == ctx.ID {
+				st.matches = append(st.matches, m)
+			}
+		}
+		if st.matches == nil {
+			st.matches = []seq.Match{}
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+func encodeNeighborhood(st *subIsoVertexState) []byte {
+	ups := make([]mpi.Update, 0, len(st.vertices)+len(st.edges))
+	for v, label := range st.vertices {
+		ups = append(ups, mpi.Update{Vertex: int64(v), Key: 0, Data: []byte(label)})
+	}
+	for e, w := range st.edges {
+		ups = append(ups, mpi.Update{Vertex: int64(e[0]), Key: int64(e[1]), Value: w})
+	}
+	return mpi.EncodeUpdates(ups)
+}
+
+// Matches extracts the deduplicated matches from a Result.
+func Matches(res *Result) []seq.Match {
+	var out []seq.Match
+	for _, val := range res.Values {
+		if st, ok := val.(*subIsoVertexState); ok {
+			out = append(out, st.matches...)
+		}
+	}
+	return out
+}
+
+// CF is the vertex-centric collaborative-filtering program: user vertices
+// push their factor vector and rating along their edges; product vertices
+// apply SGD steps against each received (vector, rating) pair and push their
+// updated vector back; users apply the symmetric update. Training stops after
+// MaxRounds supersteps, mirroring the convergence condition used for GRAPE.
+type CF struct {
+	Config    seq.SGDConfig
+	MaxRounds int
+}
+
+// Name implements Program.
+func (CF) Name() string { return "CF" }
+
+type cfVertexState struct {
+	factor []float64
+}
+
+// Init implements Program.
+func (p CF) Init(ctx *VertexContext) {
+	ctx.Value = &cfVertexState{factor: seq.InitFactor(ctx.ID, p.Config.Factors)}
+}
+
+// Compute implements Program.
+func (p CF) Compute(ctx *VertexContext, msgs []Message) {
+	st := ctx.Value.(*cfVertexState)
+	maxStep := 2 * p.MaxRounds
+	if ctx.Superstep >= maxStep {
+		ctx.VoteToHalt()
+		return
+	}
+	// Apply an SGD step for every received (vector, rating) pair.
+	for _, m := range msgs {
+		other := mpi.BytesToFloat64s(m.Data)
+		if len(other) != len(st.factor) {
+			continue
+		}
+		seq.SGDStep(st.factor, other, m.Value, p.Config)
+	}
+	// Users speak on even supersteps, products on odd ones, so vectors
+	// ping-pong across the bipartite graph.
+	isUser := ctx.Label == "user"
+	if (isUser && ctx.Superstep%2 == 0) || (!isUser && ctx.Superstep%2 == 1) {
+		payload := mpi.Float64sToBytes(st.factor)
+		for _, he := range ctx.OutEdges() {
+			ctx.Send(Message{To: ctx.VertexAt(he.To), Value: he.Weight, Data: payload})
+		}
+		for _, he := range ctx.InEdges() {
+			ctx.Send(Message{To: ctx.VertexAt(he.To), Value: he.Weight, Data: payload})
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+// Factors extracts the learned factor vectors from a Result.
+func Factors(res *Result) seq.Factors {
+	out := make(seq.Factors, len(res.Values))
+	for v, val := range res.Values {
+		if st, ok := val.(*cfVertexState); ok {
+			out[v] = st.factor
+		}
+	}
+	return out
+}

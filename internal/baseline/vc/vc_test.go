@@ -1,0 +1,161 @@
+package vc
+
+import (
+	"math"
+	"testing"
+
+	"grape/internal/graph"
+	"grape/internal/graphgen"
+	"grape/internal/seq"
+)
+
+func TestVCSSSPMatchesSequential(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"road":   graphgen.RoadNetwork(10, 10, graphgen.Config{Seed: 1}),
+		"social": graphgen.SocialNetwork(300, 4, graphgen.Config{Seed: 2, Labels: 5}),
+	}
+	for name, g := range graphs {
+		src := g.VertexAt(g.NumVertices() - 1)
+		want := seq.Dijkstra(g, src)
+		for _, combine := range []bool{false, true} {
+			res, err := New(Options{Workers: 4, CombineMessages: combine}).Run(g, SSSP{Source: src})
+			if err != nil {
+				t.Fatalf("%s combine=%v: %v", name, combine, err)
+			}
+			got := Distances(res)
+			for v, d := range want {
+				if math.Abs(got[v]-d) > 1e-9 && !(math.IsInf(got[v], 1) && math.IsInf(d, 1)) {
+					t.Fatalf("%s combine=%v: dist(%d) = %v, want %v", name, combine, v, got[v], d)
+				}
+			}
+			if res.Stats.Supersteps < 2 {
+				t.Fatalf("%s: suspiciously few supersteps: %d", name, res.Stats.Supersteps)
+			}
+		}
+	}
+}
+
+func TestVCSSSPTakesManySuperstepsOnRoadNetwork(t *testing.T) {
+	// The vertex-centric engine needs roughly diameter-many supersteps on a
+	// road network — the effect behind Table 1.
+	g := graphgen.RoadNetwork(15, 15, graphgen.Config{Seed: 3})
+	src := g.VertexAt(0)
+	res, err := New(Options{Workers: 4}).Run(g, SSSP{Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Supersteps < 15 {
+		t.Fatalf("vertex-centric SSSP took only %d supersteps on a 15x15 grid", res.Stats.Supersteps)
+	}
+}
+
+func TestVCCombinerReducesMessages(t *testing.T) {
+	g := graphgen.SocialNetwork(300, 5, graphgen.Config{Seed: 4, Labels: 5})
+	src := g.VertexAt(g.NumVertices() - 1)
+	plain, err := New(Options{Workers: 4}).Run(g, SSSP{Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gas, err := New(Options{Workers: 4, CombineMessages: true}).Run(g, SSSP{Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gas.Stats.MessagesSent > plain.Stats.MessagesSent {
+		t.Fatalf("combining increased messages: %d vs %d", gas.Stats.MessagesSent, plain.Stats.MessagesSent)
+	}
+	if gas.Stats.Engine != "GAS" || plain.Stats.Engine != "Pregel" {
+		t.Fatalf("engine names wrong: %q %q", gas.Stats.Engine, plain.Stats.Engine)
+	}
+}
+
+func TestVCCCMatchesSequential(t *testing.T) {
+	g := graphgen.RoadNetwork(9, 9, graphgen.Config{Seed: 5})
+	want := seq.ConnectedComponents(g)
+	res, err := New(Options{Workers: 3}).Run(g, CC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Components(res)
+	for v, c := range want {
+		if got[v] != c {
+			t.Fatalf("cid(%d) = %d, want %d", v, got[v], c)
+		}
+	}
+}
+
+func TestVCSimMatchesSequential(t *testing.T) {
+	g := graphgen.SocialNetwork(250, 4, graphgen.Config{Seed: 6, Labels: 6})
+	for s := int64(0); s < 3; s++ {
+		q := graphgen.Pattern(g, 5, 8, s)
+		want := seq.Simulation(q, g)
+		res, err := New(Options{Workers: 4}).Run(g, Sim{Pattern: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := SimRelation(q, res)
+		if got.Count() != want.Count() {
+			t.Fatalf("pattern %d: %d pairs, want %d", s, got.Count(), want.Count())
+		}
+	}
+}
+
+func TestVCSubIsoMatchesSequential(t *testing.T) {
+	g := graphgen.KnowledgeBase(150, 3, 5, graphgen.Config{Seed: 7, Labels: 6})
+	q := graphgen.Pattern(g, 4, 5, 2)
+	want := seq.SubgraphIsomorphism(q, g, 0)
+	res, err := New(Options{Workers: 4}).Run(g, SubIso{Pattern: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Matches(res)
+	if len(got) != len(want) {
+		t.Fatalf("found %d matches, want %d", len(got), len(want))
+	}
+	for _, m := range got {
+		for _, e := range q.Edges() {
+			if !g.HasEdge(m[e.Src], m[e.Dst]) {
+				t.Fatalf("invalid match %v", m)
+			}
+		}
+	}
+}
+
+func TestVCCFTrains(t *testing.T) {
+	g := graphgen.Bipartite(120, 25, 6, graphgen.Config{Seed: 8})
+	ratings := seq.RatingsFromGraph(g)
+	cfg := seq.DefaultSGDConfig()
+	res, err := New(Options{Workers: 4}).Run(g, CF{Config: cfg, MaxRounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factors := Factors(res)
+	if len(factors) != g.NumVertices() {
+		t.Fatalf("factors for %d vertices, want %d", len(factors), g.NumVertices())
+	}
+	rmse := seq.RMSE(factors, ratings)
+	// The vertex-centric trainer must at least beat the untrained model.
+	initial := make(seq.Factors)
+	for _, r := range ratings {
+		if _, ok := initial[r.User]; !ok {
+			initial[r.User] = seq.InitFactor(r.User, cfg.Factors)
+		}
+		if _, ok := initial[r.Product]; !ok {
+			initial[r.Product] = seq.InitFactor(r.Product, cfg.Factors)
+		}
+	}
+	if rmse >= seq.RMSE(initial, ratings) {
+		t.Fatalf("vertex-centric CF did not improve over the untrained model: %v", rmse)
+	}
+}
+
+func TestVCNilProgramAndGuards(t *testing.T) {
+	g := graphgen.RoadNetwork(3, 3, graphgen.Config{Seed: 9})
+	if _, err := New(Options{Workers: 2}).Run(g, nil); err == nil {
+		t.Fatalf("nil program must be rejected")
+	}
+	// Non-convergence guard.
+	_, err := New(Options{Workers: 2, MaxSupersteps: 3}).Run(g, SSSP{Source: g.VertexAt(0)})
+	if err == nil {
+		t.Fatalf("MaxSupersteps guard did not trip on a long run")
+	}
+}

@@ -1,0 +1,281 @@
+// Package bench is the benchmark harness that regenerates every table and
+// figure of the paper's evaluation (Section 7 and Appendix B) on the
+// synthetic dataset surrogates of internal/workload: Table 1, Figures 6(a-l),
+// 7(a-b), 8(a-l) and 9(a-d). Each experiment runs the same query on GRAPE and
+// on the three baseline engines (Pregel-style vertex-centric, GraphLab-style
+// GAS, Blogel-style block-centric), measuring response time, supersteps and
+// communication volume with the shared metering of internal/metrics.
+//
+// Absolute times are not comparable to the paper's 24-node cluster numbers;
+// what the harness preserves is the qualitative shape: which system wins, by
+// roughly what factor, and how the gap changes with the number of workers and
+// with the dataset (EXPERIMENTS.md records paper-vs-measured for each).
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"grape/internal/baseline/bc"
+	"grape/internal/baseline/vc"
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/partition"
+	"grape/internal/pie"
+	"grape/internal/seq"
+	"grape/internal/workload"
+)
+
+// System identifies one of the compared systems.
+type System string
+
+// The four systems compared throughout the evaluation.
+const (
+	GRAPE   System = "GRAPE"
+	GRAPENI System = "GRAPE_NI" // GRAPE without IncEval (Exp-2 only)
+	Pregel  System = "Pregel"   // Giraph-style synchronous vertex-centric
+	GAS     System = "GAS"      // GraphLab-style synchronous GAS
+	Blogel  System = "Blogel"   // block-centric
+)
+
+// Systems is the default comparison set, in the order the paper lists them.
+var Systems = []System{GRAPE, Pregel, GAS, Blogel}
+
+// Queries supported by the harness.
+const (
+	QuerySSSP   = "sssp"
+	QueryCC     = "cc"
+	QuerySim    = "sim"
+	QuerySubIso = "subiso"
+	QueryCF     = "cf"
+)
+
+// Queries lists all query classes.
+var Queries = []string{QuerySSSP, QueryCC, QuerySim, QuerySubIso, QueryCF}
+
+// grapeStrategy is the partition strategy GRAPE and Blogel use (the paper's
+// default is METIS; the multilevel strategy is its stand-in).
+var grapeStrategy partition.Strategy = partition.Multilevel{}
+
+// maxSubIsoMatches bounds match enumeration in benchmarks.
+const maxSubIsoMatches = 200
+
+// RunSSSP runs one SSSP query on the chosen system and returns its stats.
+func RunSSSP(sys System, g *graph.Graph, source graph.VertexID, workers int) (*metrics.Stats, error) {
+	switch sys {
+	case GRAPE, GRAPENI:
+		eng := core.New(core.Options{Workers: workers, Strategy: grapeStrategy, DisableIncEval: sys == GRAPENI})
+		res, err := eng.Run(g, source, pie.SSSP{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	case Pregel, GAS:
+		res, err := vc.New(vcOptions(sys, workers)).Run(g, vc.SSSP{Source: source})
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	case Blogel:
+		res, err := bc.New(bc.Options{Workers: workers, Strategy: grapeStrategy}).Run(g, bc.SSSP{Source: source})
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	}
+	return nil, fmt.Errorf("bench: unknown system %q", sys)
+}
+
+// RunCC runs connected components on the chosen system.
+func RunCC(sys System, g *graph.Graph, workers int) (*metrics.Stats, error) {
+	switch sys {
+	case GRAPE, GRAPENI:
+		eng := core.New(core.Options{Workers: workers, Strategy: grapeStrategy, DisableIncEval: sys == GRAPENI})
+		res, err := eng.Run(g, nil, pie.CC{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	case Pregel, GAS:
+		res, err := vc.New(vcOptions(sys, workers)).Run(g, vc.CC{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	case Blogel:
+		res, err := bc.New(bc.Options{Workers: workers, Strategy: grapeStrategy}).Run(g, bc.CC{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	}
+	return nil, fmt.Errorf("bench: unknown system %q", sys)
+}
+
+// RunSim runs graph-simulation pattern matching on the chosen system.
+// useIndex enables the neighbourhood-index optimization (GRAPE only).
+func RunSim(sys System, g, pattern *graph.Graph, workers int, useIndex bool) (*metrics.Stats, error) {
+	switch sys {
+	case GRAPE, GRAPENI:
+		eng := core.New(core.Options{Workers: workers, Strategy: grapeStrategy, DisableIncEval: sys == GRAPENI})
+		res, err := eng.Run(g, pattern, pie.Sim{UseIndex: useIndex})
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	case Pregel, GAS:
+		res, err := vc.New(vcOptions(sys, workers)).Run(g, vc.Sim{Pattern: pattern})
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	case Blogel:
+		res, err := bc.New(bc.Options{Workers: workers, Strategy: grapeStrategy}).Run(g, bc.Sim{Pattern: pattern})
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	}
+	return nil, fmt.Errorf("bench: unknown system %q", sys)
+}
+
+// RunSubIso runs subgraph-isomorphism pattern matching on the chosen system.
+func RunSubIso(sys System, g, pattern *graph.Graph, workers int) (*metrics.Stats, error) {
+	switch sys {
+	case GRAPE, GRAPENI:
+		eng := core.New(core.Options{Workers: workers, Strategy: grapeStrategy})
+		res, err := eng.Run(g, pattern, pie.SubIso{MaxMatches: maxSubIsoMatches})
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	case Pregel, GAS:
+		res, err := vc.New(vcOptions(sys, workers)).Run(g, vc.SubIso{Pattern: pattern, MaxMatches: maxSubIsoMatches})
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	case Blogel:
+		res, err := bc.New(bc.Options{Workers: workers, Strategy: grapeStrategy}).Run(g, bc.SubIso{Pattern: pattern, MaxMatches: maxSubIsoMatches})
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	}
+	return nil, fmt.Errorf("bench: unknown system %q", sys)
+}
+
+// RunCF runs collaborative filtering with the given training fraction.
+func RunCF(sys System, g *graph.Graph, trainFraction float64, workers int) (*metrics.Stats, error) {
+	cfg := seq.DefaultSGDConfig()
+	cfg.Epochs = 3
+	rounds := 5
+	switch sys {
+	case GRAPE, GRAPENI:
+		q := pie.CFQuery{Config: cfg, TrainFraction: trainFraction, MaxRounds: rounds}
+		eng := core.New(core.Options{Workers: workers, Strategy: grapeStrategy})
+		res, err := eng.Run(g, q, pie.CF{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	case Pregel, GAS:
+		res, err := vc.New(vcOptions(sys, workers)).Run(g, vc.CF{Config: cfg, MaxRounds: rounds})
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	case Blogel:
+		res, err := bc.New(bc.Options{Workers: workers, Strategy: grapeStrategy}).Run(g, bc.CF{Config: cfg, MaxRounds: rounds})
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	}
+	return nil, fmt.Errorf("bench: unknown system %q", sys)
+}
+
+func vcOptions(sys System, workers int) vc.Options {
+	return vc.Options{
+		Workers:         workers,
+		CombineMessages: sys == GAS,
+		EngineName:      string(sys),
+	}
+}
+
+// Row is one measurement: a (system, workers) point of a table or figure.
+type Row struct {
+	Experiment string
+	System     System
+	Dataset    string
+	Query      string
+	Workers    int
+	Seconds    float64
+	CommMB     float64
+	Messages   int64
+	Supersteps int
+}
+
+// FormatRows renders measurement rows as an aligned text table, the output of
+// cmd/grape-bench.
+func FormatRows(title string, rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	fmt.Fprintf(&b, "%-10s %-12s %-8s %3s  %12s %12s %10s %6s\n",
+		"system", "dataset", "query", "n", "time(s)", "comm(MB)", "messages", "steps")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-12s %-8s %3d  %12.4f %12.4f %10d %6d\n",
+			r.System, r.Dataset, r.Query, r.Workers, r.Seconds, r.CommMB, r.Messages, r.Supersteps)
+	}
+	return b.String()
+}
+
+func rowFrom(exp string, sys System, dataset, query string, workers int, st *metrics.Stats) Row {
+	return Row{
+		Experiment: exp,
+		System:     sys,
+		Dataset:    dataset,
+		Query:      query,
+		Workers:    workers,
+		Seconds:    st.Elapsed.Seconds(),
+		CommMB:     st.MBShipped(),
+		Messages:   st.MessagesSent,
+		Supersteps: st.Supersteps,
+	}
+}
+
+// accumulate merges repeated runs (several queries of the same class) into an
+// averaged row.
+func accumulate(rows []Row) Row {
+	if len(rows) == 0 {
+		return Row{}
+	}
+	out := rows[0]
+	for _, r := range rows[1:] {
+		out.Seconds += r.Seconds
+		out.CommMB += r.CommMB
+		out.Messages += r.Messages
+		out.Supersteps += r.Supersteps
+	}
+	n := float64(len(rows))
+	out.Seconds /= n
+	out.CommMB /= n
+	out.Messages /= int64(len(rows))
+	out.Supersteps = int(float64(out.Supersteps)/n + 0.5)
+	return out
+}
+
+// queriesPerClass controls how many queries are averaged per experiment
+// point; the paper uses 10 sources / 20 patterns, the harness scales this
+// down with the dataset scale.
+func queriesPerClass(scale workload.Scale) int {
+	switch scale {
+	case workload.ScaleTiny:
+		return 1
+	case workload.ScaleMedium:
+		return 3
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"grape/internal/workload"
+)
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	rows, err := Table1(4, workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Systems) {
+		t.Fatalf("Table1 produced %d rows, want %d", len(rows), len(Systems))
+	}
+	byName := map[System]Row{}
+	for _, r := range rows {
+		byName[r.System] = r
+		if r.Seconds <= 0 {
+			t.Fatalf("%s: no elapsed time recorded", r.System)
+		}
+	}
+	// The paper's Table 1 shape: GRAPE takes far fewer supersteps than the
+	// vertex-centric systems on a road network and ships far less data.
+	if byName[GRAPE].Supersteps >= byName[Pregel].Supersteps {
+		t.Fatalf("GRAPE supersteps (%d) should be far below Pregel's (%d)",
+			byName[GRAPE].Supersteps, byName[Pregel].Supersteps)
+	}
+	if byName[GRAPE].CommMB >= byName[Pregel].CommMB {
+		t.Fatalf("GRAPE comm (%v MB) should be below Pregel's (%v MB)",
+			byName[GRAPE].CommMB, byName[Pregel].CommMB)
+	}
+	if byName[GRAPE].CommMB >= byName[Blogel].CommMB {
+		t.Fatalf("GRAPE comm (%v MB) should be below Blogel's (%v MB)",
+			byName[GRAPE].CommMB, byName[Blogel].CommMB)
+	}
+	out := FormatRows("Table 1", rows)
+	if !strings.Contains(out, "GRAPE") || !strings.Contains(out, "Blogel") {
+		t.Fatalf("FormatRows output missing systems:\n%s", out)
+	}
+}
+
+func TestFig6AllQueriesRun(t *testing.T) {
+	cases := []struct {
+		query   string
+		dataset string
+	}{
+		{QuerySSSP, workload.Traffic},
+		{QueryCC, workload.DBpedia},
+		{QuerySim, workload.LiveJournal},
+		{QuerySubIso, workload.DBpedia},
+		{QueryCF, workload.MovieLens},
+	}
+	for _, c := range cases {
+		rows, err := Fig6(c.query, c.dataset, []int{2, 4}, workload.ScaleTiny)
+		if err != nil {
+			t.Fatalf("Fig6 %s/%s: %v", c.query, c.dataset, err)
+		}
+		if len(rows) != 2*len(Systems) {
+			t.Fatalf("Fig6 %s/%s: %d rows, want %d", c.query, c.dataset, len(rows), 2*len(Systems))
+		}
+		for _, r := range rows {
+			if r.Supersteps == 0 || r.Seconds <= 0 {
+				t.Fatalf("Fig6 %s/%s: empty measurement %+v", c.query, c.dataset, r)
+			}
+		}
+	}
+}
+
+func TestFig6RejectsUnknownInputs(t *testing.T) {
+	if _, err := Fig6("nosuch", workload.Traffic, []int{2}, workload.ScaleTiny); err == nil {
+		t.Fatalf("unknown query must fail")
+	}
+	if _, err := Fig6(QuerySSSP, "nosuch", []int{2}, workload.ScaleTiny); err == nil {
+		t.Fatalf("unknown dataset must fail")
+	}
+}
+
+func TestFig6CF(t *testing.T) {
+	rows, err := Fig6CF([]int{2}, 0.5, workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Systems) {
+		t.Fatalf("Fig6CF rows = %d", len(rows))
+	}
+	if !strings.Contains(rows[0].Dataset, "50%") {
+		t.Fatalf("training fraction missing from dataset label: %q", rows[0].Dataset)
+	}
+}
+
+func TestFig7aIncEvalHelps(t *testing.T) {
+	rows, err := Fig7a([]int{2, 4}, workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GRAPE with IncEval must not take more supersteps than GRAPE_NI and
+	// should not ship more data.
+	byKey := map[string]Row{}
+	for _, r := range rows {
+		byKey[string(r.System)+":"+itoa(r.Workers)] = r
+	}
+	for _, n := range []int{2, 4} {
+		g := byKey["GRAPE:"+itoa(n)]
+		ni := byKey["GRAPE_NI:"+itoa(n)]
+		if g.Seconds <= 0 || ni.Seconds <= 0 {
+			t.Fatalf("missing measurements for n=%d", n)
+		}
+		if g.CommMB > ni.CommMB*1.5+0.001 {
+			t.Fatalf("n=%d: GRAPE ships substantially more than GRAPE_NI: %v vs %v MB", n, g.CommMB, ni.CommMB)
+		}
+	}
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+func TestFig7bSpeedupsComputed(t *testing.T) {
+	rows, err := Fig7b([]int{2}, workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("Fig7b rows = %d", len(rows))
+	}
+	if rows[0].SequentialSpeedup <= 0 || rows[0].GRAPESpeedup <= 0 {
+		t.Fatalf("speedups not computed: %+v", rows[0])
+	}
+	out := FormatSpeedups(rows)
+	if !strings.Contains(out, "GRAPE speedup") {
+		t.Fatalf("FormatSpeedups output malformed:\n%s", out)
+	}
+}
+
+func TestFig9Scalability(t *testing.T) {
+	rows, err := Fig9(QueryCC, 4, workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5*len(Systems) {
+		t.Fatalf("Fig9 rows = %d, want %d", len(rows), 5*len(Systems))
+	}
+	if _, err := Fig9(QueryCF, 4, workload.ScaleTiny); err == nil {
+		t.Fatalf("Fig9 must reject CF (the paper omits it on synthetic graphs)")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	rows, err := AblationMessageGrouping(4, workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("grouping ablation rows = %d", len(rows))
+	}
+	if rows[0].Messages > rows[1].Messages {
+		t.Fatalf("grouping should not send more messages than no-grouping: %d vs %d",
+			rows[0].Messages, rows[1].Messages)
+	}
+	prows, err := AblationPartitioner(4, workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prows) != 3 {
+		t.Fatalf("partitioner ablation rows = %d", len(prows))
+	}
+}
+
+func TestVerifyAnswers(t *testing.T) {
+	if err := VerifyAnswers(workload.ScaleTiny); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnersRejectUnknownSystem(t *testing.T) {
+	g, _ := workload.Load(workload.DBpedia, workload.ScaleTiny)
+	if _, err := RunSSSP(System("bogus"), g, g.VertexAt(0), 2); err == nil {
+		t.Fatalf("unknown system must fail")
+	}
+	if _, err := RunCC(System("bogus"), g, 2); err == nil {
+		t.Fatalf("unknown system must fail")
+	}
+	if _, err := RunSim(System("bogus"), g, g, 2, false); err == nil {
+		t.Fatalf("unknown system must fail")
+	}
+	if _, err := RunSubIso(System("bogus"), g, g, 2); err == nil {
+		t.Fatalf("unknown system must fail")
+	}
+	if _, err := RunCF(System("bogus"), g, 0.9, 2); err == nil {
+		t.Fatalf("unknown system must fail")
+	}
+}

@@ -1,0 +1,333 @@
+package bench
+
+import (
+	"fmt"
+
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/graphgen"
+	"grape/internal/metrics"
+	"grape/internal/partition"
+	"grape/internal/pie"
+	"grape/internal/seq"
+	"grape/internal/workload"
+)
+
+// Table1 reproduces Table 1: SSSP over the road-network surrogate with the
+// given number of workers, one row per system, reporting time and
+// communication volume.
+func Table1(workers int, scale workload.Scale) ([]Row, error) {
+	g, err := workload.Load(workload.Traffic, scale)
+	if err != nil {
+		return nil, err
+	}
+	src := workload.Sources(g, 1, 7)[0]
+	var rows []Row
+	for _, sys := range Systems {
+		st, err := RunSSSP(sys, g, src, workers)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", sys, err)
+		}
+		rows = append(rows, rowFrom("table1", sys, workload.Traffic, QuerySSSP, workers, st))
+	}
+	return rows, nil
+}
+
+// Fig6 reproduces one panel of Figure 6 (and, through the CommMB column, the
+// corresponding panel of Figure 8): the given query class over the given
+// dataset, varying the number of workers, for every system. The same rows
+// serve Figures 6 and 8 because the paper's two figures plot the time and
+// communication columns of the same runs.
+func Fig6(query, dataset string, workersList []int, scale workload.Scale) ([]Row, error) {
+	g, err := workload.Load(dataset, scale)
+	if err != nil {
+		return nil, err
+	}
+	nq := queriesPerClass(scale)
+	var rows []Row
+	for _, workers := range workersList {
+		for _, sys := range Systems {
+			var perQuery []Row
+			runOne := func(st *metrics.Stats, err error) error {
+				if err != nil {
+					return err
+				}
+				perQuery = append(perQuery, rowFrom("fig6", sys, dataset, query, workers, st))
+				return nil
+			}
+			switch query {
+			case QuerySSSP:
+				for _, src := range workload.Sources(g, nq, 17) {
+					if err := runOne(RunSSSP(sys, g, src, workers)); err != nil {
+						return nil, fmt.Errorf("fig6 %s/%s: %w", sys, dataset, err)
+					}
+				}
+			case QueryCC:
+				if err := runOne(RunCC(sys, g, workers)); err != nil {
+					return nil, fmt.Errorf("fig6 %s/%s: %w", sys, dataset, err)
+				}
+			case QuerySim:
+				for _, q := range workload.Patterns(g, nq, 8, 15, 23) {
+					if err := runOne(RunSim(sys, g, q, workers, false)); err != nil {
+						return nil, fmt.Errorf("fig6 %s/%s: %w", sys, dataset, err)
+					}
+				}
+			case QuerySubIso:
+				for _, q := range workload.Patterns(g, nq, 6, 10, 29) {
+					if err := runOne(RunSubIso(sys, g, q, workers)); err != nil {
+						return nil, fmt.Errorf("fig6 %s/%s: %w", sys, dataset, err)
+					}
+				}
+			case QueryCF:
+				if err := runOne(RunCF(sys, g, 0.9, workers)); err != nil {
+					return nil, fmt.Errorf("fig6 %s/%s: %w", sys, dataset, err)
+				}
+			default:
+				return nil, fmt.Errorf("fig6: unknown query %q", query)
+			}
+			row := accumulate(perQuery)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig6CF reproduces Figure 6(k-l): CF with 90% and 50% training sets.
+func Fig6CF(workersList []int, trainFraction float64, scale workload.Scale) ([]Row, error) {
+	g, err := workload.Load(workload.MovieLens, scale)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, workers := range workersList {
+		for _, sys := range Systems {
+			st, err := RunCF(sys, g, trainFraction, workers)
+			if err != nil {
+				return nil, fmt.Errorf("fig6cf %s: %w", sys, err)
+			}
+			r := rowFrom("fig6-cf", sys, workload.MovieLens, QueryCF, workers, st)
+			r.Dataset = fmt.Sprintf("%s-%d%%", workload.MovieLens, int(trainFraction*100))
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// Fig7a reproduces Figure 7(a), Exp-2: GRAPE vs GRAPE_NI (no incremental
+// step) for Sim, varying the number of workers.
+func Fig7a(workersList []int, scale workload.Scale) ([]Row, error) {
+	g, err := workload.Load(workload.LiveJournal, scale)
+	if err != nil {
+		return nil, err
+	}
+	patterns := workload.Patterns(g, queriesPerClass(scale), 8, 15, 31)
+	var rows []Row
+	for _, workers := range workersList {
+		for _, sys := range []System{GRAPE, GRAPENI} {
+			var perQuery []Row
+			for _, q := range patterns {
+				st, err := RunSim(sys, g, q, workers, false)
+				if err != nil {
+					return nil, fmt.Errorf("fig7a %s: %w", sys, err)
+				}
+				perQuery = append(perQuery, rowFrom("fig7a", sys, workload.LiveJournal, QuerySim, workers, st))
+			}
+			rows = append(rows, accumulate(perQuery))
+		}
+	}
+	return rows, nil
+}
+
+// SpeedupRow is one point of Figure 7(b): the speed-up that the optimized
+// sequential algorithm achieves, sequentially and under GRAPE
+// parallelization.
+type SpeedupRow struct {
+	Workers           int
+	SequentialSpeedup float64
+	GRAPESpeedup      float64
+}
+
+// Fig7b reproduces Figure 7(b), Exp-3: the speed-up of the index-optimized
+// simulation algorithm over the plain one, measured sequentially (workers
+// column 0 of the result) and under GRAPE with varying worker counts. GRAPE
+// preserving the sequential speed-up is the compatibility claim of Exp-3.
+func Fig7b(workersList []int, scale workload.Scale) ([]SpeedupRow, error) {
+	g, err := workload.Load(workload.LiveJournal, scale)
+	if err != nil {
+		return nil, err
+	}
+	patterns := workload.Patterns(g, queriesPerClass(scale), 8, 15, 37)
+
+	// Sequential speed-up.
+	seqPlain := metrics.StartTimer()
+	for _, q := range patterns {
+		seq.Simulation(q, g)
+	}
+	plainDur := seqPlain.Stop()
+	idx := seq.BuildSimIndex(g)
+	seqIdx := metrics.StartTimer()
+	for _, q := range patterns {
+		seq.SimulationWithIndex(q, g, idx)
+	}
+	idxDur := seqIdx.Stop()
+	seqSpeedup := safeRatio(plainDur.Seconds(), idxDur.Seconds())
+
+	var out []SpeedupRow
+	for _, workers := range workersList {
+		plain, optimized := 0.0, 0.0
+		for _, q := range patterns {
+			stPlain, err := RunSim(GRAPE, g, q, workers, false)
+			if err != nil {
+				return nil, err
+			}
+			stOpt, err := RunSim(GRAPE, g, q, workers, true)
+			if err != nil {
+				return nil, err
+			}
+			plain += stPlain.Elapsed.Seconds()
+			optimized += stOpt.Elapsed.Seconds()
+		}
+		out = append(out, SpeedupRow{
+			Workers:           workers,
+			SequentialSpeedup: seqSpeedup,
+			GRAPESpeedup:      safeRatio(plain, optimized),
+		})
+	}
+	return out, nil
+}
+
+func safeRatio(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}
+
+// FormatSpeedups renders Figure 7(b) rows.
+func FormatSpeedups(rows []SpeedupRow) string {
+	out := "== Fig 7(b): optimization compatibility (Sim, neighbourhood index) ==\n"
+	out += fmt.Sprintf("%3s  %-18s %-18s\n", "n", "sequential speedup", "GRAPE speedup")
+	for _, r := range rows {
+		out += fmt.Sprintf("%3d  %-18.2f %-18.2f\n", r.Workers, r.SequentialSpeedup, r.GRAPESpeedup)
+	}
+	return out
+}
+
+// Fig9 reproduces Figure 9, Exp-5: scalability on synthetic graphs of
+// increasing size, for the given query class, with a fixed worker count.
+// Sizes follow the paper: (10M,40M) ... (50M,200M), scaled down by the
+// workload scale.
+func Fig9(query string, workers int, scale workload.Scale) ([]Row, error) {
+	sizes := [][2]int{
+		{10_000_000, 40_000_000},
+		{20_000_000, 80_000_000},
+		{30_000_000, 120_000_000},
+		{40_000_000, 160_000_000},
+		{50_000_000, 200_000_000},
+	}
+	var rows []Row
+	for _, sz := range sizes {
+		g := workload.Synthetic(sz[0], sz[1], scale)
+		label := fmt.Sprintf("(%dM,%dM)", sz[0]/1_000_000, sz[1]/1_000_000)
+		for _, sys := range Systems {
+			var st *metrics.Stats
+			var err error
+			switch query {
+			case QuerySSSP:
+				st, err = RunSSSP(sys, g, g.VertexAt(0), workers)
+			case QueryCC:
+				st, err = RunCC(sys, g, workers)
+			case QuerySim:
+				st, err = RunSim(sys, g, graphgen.Pattern(g, 5, 8, 41), workers, false)
+			case QuerySubIso:
+				st, err = RunSubIso(sys, g, graphgen.Pattern(g, 4, 5, 43), workers)
+			default:
+				return nil, fmt.Errorf("fig9: unsupported query %q", query)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s %s: %w", sys, label, err)
+			}
+			r := rowFrom("fig9", sys, label, query, workers, st)
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// AblationMessageGrouping measures the effect of dynamic message grouping
+// (Section 6, "Dynamic grouping"): SSSP on the road network with grouping on
+// and off.
+func AblationMessageGrouping(workers int, scale workload.Scale) ([]Row, error) {
+	g, err := workload.Load(workload.Traffic, scale)
+	if err != nil {
+		return nil, err
+	}
+	src := workload.Sources(g, 1, 11)[0]
+	var rows []Row
+	for _, disable := range []bool{false, true} {
+		eng := core.New(core.Options{Workers: workers, Strategy: grapeStrategy, DisableGrouping: disable})
+		res, err := eng.Run(g, src, pie.SSSP{})
+		if err != nil {
+			return nil, err
+		}
+		name := System("GRAPE")
+		if disable {
+			name = "GRAPE-nogroup"
+		}
+		rows = append(rows, rowFrom("ablation-grouping", name, workload.Traffic, QuerySSSP, workers, res.Stats))
+	}
+	return rows, nil
+}
+
+// AblationPartitioner measures the sensitivity of GRAPE's SSSP to the
+// partition strategy (hash vs streaming LDG vs multilevel), an ablation for
+// the design choice called out in DESIGN.md.
+func AblationPartitioner(workers int, scale workload.Scale) ([]Row, error) {
+	g, err := workload.Load(workload.Traffic, scale)
+	if err != nil {
+		return nil, err
+	}
+	src := workload.Sources(g, 1, 13)[0]
+	var rows []Row
+	for _, name := range []string{"hash", "ldg", "multilevel"} {
+		s, ok := partition.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown partition strategy %q", name)
+		}
+		eng := core.New(core.Options{Workers: workers, Strategy: s})
+		res, err := eng.Run(g, src, pie.SSSP{})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rowFrom("ablation-partitioner", System("GRAPE/"+name), workload.Traffic, QuerySSSP, workers, res.Stats))
+	}
+	return rows, nil
+}
+
+// VerifyAnswers cross-checks that all four systems return the same answer for
+// SSSP, CC and Sim on a small graph; the harness runs it before long
+// benchmark sessions as a sanity gate.
+func VerifyAnswers(scale workload.Scale) error {
+	g, err := workload.Load(workload.DBpedia, workload.ScaleTiny)
+	if err != nil {
+		return err
+	}
+	src := g.VertexAt(0)
+	want := seq.Dijkstra(g, src)
+
+	grapeRes, err := core.New(core.Options{Workers: 4, Strategy: grapeStrategy}).Run(g, src, pie.SSSP{})
+	if err != nil {
+		return err
+	}
+	got := grapeRes.Output.(map[graph.VertexID]float64)
+	for v, d := range want {
+		gd := got[v]
+		if gd != d && !(isInf(gd) && isInf(d)) {
+			return fmt.Errorf("bench: GRAPE SSSP differs from sequential at vertex %d: %v vs %v", v, gd, d)
+		}
+	}
+	_ = scale
+	return nil
+}
+
+func isInf(f float64) bool { return f > 1e300 }

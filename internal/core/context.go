@@ -1,0 +1,230 @@
+package core
+
+import (
+	"sort"
+
+	"grape/internal/graph"
+	"grape/internal/mpi"
+	"grape/internal/partition"
+)
+
+// VarKey identifies one update parameter: a status variable attached to a
+// vertex, optionally refined by an algorithm-specific sub-key (for example
+// the query-node index of a simulation variable x_(u,v)).
+type VarKey struct {
+	Vertex graph.VertexID
+	Key    int64
+}
+
+// Context is the per-fragment execution context handed to PEval and IncEval.
+// It exposes the fragment, the fragmentation graph and the query, stores the
+// program's partial result (State), and tracks the update parameters Ci.x̄
+// whose changes the engine turns into designated messages.
+type Context struct {
+	// Worker is the fragment/worker index i in [0, m).
+	Worker int
+	// Fragment is Fi: the local subgraph plus border copies.
+	Fragment *partition.Fragment
+	// GP is the fragmentation graph, available for programs that want to
+	// reason about vertex placement (most do not need it).
+	GP *partition.FragGraph
+	// Query is the query Q being evaluated.
+	Query Query
+	// Superstep is the current superstep number (1 for PEval).
+	Superstep int
+	// State holds the program's partial result Q(Fi). It is owned entirely
+	// by the program; the engine never inspects it.
+	State any
+
+	vars    map[VarKey]mpi.Update
+	dirty   map[VarKey]bool
+	kvOut   []mpi.KeyValue
+	rawOut  []rawMessage
+	updates int64 // total SetVar calls that changed a value, for reporting
+}
+
+// RawMessageVertex is the Vertex value carried by raw designated messages
+// when they are delivered to IncEval: a program that uses SendToWorker
+// recognizes these updates by this sentinel and reads their Data payload.
+const RawMessageVertex = int64(-1)
+
+type rawMessage struct {
+	dst  int
+	data []byte
+}
+
+func newContext(worker int, frag *partition.Fragment, gp *partition.FragGraph, q Query) *Context {
+	return &Context{
+		Worker:   worker,
+		Fragment: frag,
+		GP:       gp,
+		Query:    q,
+		vars:     make(map[VarKey]mpi.Update),
+		dirty:    make(map[VarKey]bool),
+	}
+}
+
+// Declare registers an update parameter with its initial value without
+// marking it dirty. PEval uses it for the message preamble ("an integer
+// variable dist(s,v) is declared for each node v, initially ∞"). Declaring an
+// already-declared parameter is a no-op, so PEval may safely be re-run over a
+// fragment whose variables already carry refined values (the GRAPE_NI mode).
+func (c *Context) Declare(v graph.VertexID, key int64, value float64, data []byte) {
+	k := VarKey{Vertex: v, Key: key}
+	if _, ok := c.vars[k]; ok {
+		return
+	}
+	c.vars[k] = mpi.Update{Vertex: int64(v), Key: key, Value: value, Data: data}
+}
+
+// SetVar records a new value for an update parameter. If the value differs
+// from the currently stored one the parameter is marked dirty, and the change
+// will be shipped to the other fragments holding the variable at the end of
+// the superstep. Undeclared parameters are created implicitly.
+func (c *Context) SetVar(v graph.VertexID, key int64, value float64, data []byte) {
+	k := VarKey{Vertex: v, Key: key}
+	nu := mpi.Update{Vertex: int64(v), Key: key, Value: value, Data: data}
+	if old, ok := c.vars[k]; ok && old.Value == value && bytesEqual(old.Data, data) {
+		return
+	}
+	c.vars[k] = nu
+	c.dirty[k] = true
+	c.updates++
+}
+
+// Var returns the current value of an update parameter and whether it has
+// been declared.
+func (c *Context) Var(v graph.VertexID, key int64) (mpi.Update, bool) {
+	u, ok := c.vars[VarKey{Vertex: v, Key: key}]
+	return u, ok
+}
+
+// VarValue returns the numeric value of an update parameter, or def if the
+// parameter has not been declared.
+func (c *Context) VarValue(v graph.VertexID, key int64, def float64) float64 {
+	if u, ok := c.Var(v, key); ok {
+		return u.Value
+	}
+	return def
+}
+
+// Vars returns all declared update parameters in deterministic order. It is
+// mostly useful to Assemble implementations and tests.
+func (c *Context) Vars() []mpi.Update {
+	keys := make([]VarKey, 0, len(c.vars))
+	for k := range c.vars {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Vertex != keys[j].Vertex {
+			return keys[i].Vertex < keys[j].Vertex
+		}
+		return keys[i].Key < keys[j].Key
+	})
+	out := make([]mpi.Update, len(keys))
+	for i, k := range keys {
+		out[i] = c.vars[k]
+	}
+	return out
+}
+
+// EmitKeyValue emits a key-value message (MapReduce simulation mode). The
+// engine groups emitted pairs by key at the coordinator and delivers them to
+// the worker owning the key in the next superstep.
+func (c *Context) EmitKeyValue(key string, value []byte) {
+	c.kvOut = append(c.kvOut, mpi.KeyValue{Key: key, Value: value})
+}
+
+// SendToWorker ships an opaque designated message to another worker
+// (Section 3.5: "designated messages from one worker to another"). The
+// payload is delivered to the destination's IncEval in the next superstep as
+// an update whose Vertex equals RawMessageVertex and whose Data holds the
+// payload. Messages to out-of-range workers or to the sender itself are
+// dropped.
+func (c *Context) SendToWorker(dst int, data []byte) {
+	if dst == c.Worker || dst < 0 || dst >= c.GP.NumFragments() {
+		return
+	}
+	c.rawOut = append(c.rawOut, rawMessage{dst: dst, data: data})
+}
+
+// LocalUpdates reports how many SetVar calls changed a value over the whole
+// run, a cheap proxy for the amount of local work used in tests.
+func (c *Context) LocalUpdates() int64 { return c.updates }
+
+// applyIncoming merges incoming updates into the context's variables using
+// the program's aggregation policy. It returns the updates that actually
+// changed a local value — the Mi handed to IncEval. Incoming changes are not
+// marked dirty (the coordinator already knows them); only changes made
+// subsequently by IncEval are shipped back.
+func (c *Context) applyIncoming(incoming []mpi.Update, agg func(existing, incoming mpi.Update) mpi.Update) []mpi.Update {
+	var accepted []mpi.Update
+	for _, in := range incoming {
+		k := VarKey{Vertex: graph.VertexID(in.Vertex), Key: in.Key}
+		old, ok := c.vars[k]
+		if !ok {
+			c.vars[k] = in
+			accepted = append(accepted, in)
+			continue
+		}
+		merged := agg(old, in)
+		if merged.Value != old.Value || !bytesEqual(merged.Data, old.Data) || merged.Key != old.Key {
+			c.vars[k] = merged
+			accepted = append(accepted, merged)
+		}
+	}
+	return accepted
+}
+
+// takeDirty returns the dirty update parameters restricted to border vertices
+// (the only ones other fragments can observe) and clears the dirty set.
+func (c *Context) takeDirty() []mpi.Update {
+	if len(c.dirty) == 0 {
+		return nil
+	}
+	keys := make([]VarKey, 0, len(c.dirty))
+	for k := range c.dirty {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Vertex != keys[j].Vertex {
+			return keys[i].Vertex < keys[j].Vertex
+		}
+		return keys[i].Key < keys[j].Key
+	})
+	var out []mpi.Update
+	for _, k := range keys {
+		if c.GP.IsBorder(k.Vertex) {
+			out = append(out, c.vars[k])
+		}
+	}
+	c.dirty = make(map[VarKey]bool)
+	return out
+}
+
+// takeKV returns and clears the key-value messages emitted this superstep.
+func (c *Context) takeKV() []mpi.KeyValue {
+	out := c.kvOut
+	c.kvOut = nil
+	return out
+}
+
+// takeRaw returns and clears the raw designated messages emitted this
+// superstep.
+func (c *Context) takeRaw() []rawMessage {
+	out := c.rawOut
+	c.rawOut = nil
+	return out
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+// Package core implements the GRAPE parallel engine — the paper's primary
+// contribution (Sections 3, 4 and 6). A sequential graph algorithm is plugged
+// in as a PIE program (PEval, IncEval, Assemble); the engine partitions the
+// graph, runs PEval on every fragment in parallel, then iterates IncEval over
+// designated messages derived from changed update parameters until a
+// simultaneous fixpoint is reached, and finally calls Assemble to combine the
+// partial results.
+//
+// Correctness follows the Assurance Theorem (Theorem 1): if PEval and IncEval
+// are correct sequential algorithms and the update parameters are changed
+// monotonically under the program's Aggregate order, the engine terminates
+// with the correct answer. The engine also supports key-value messages, which
+// is how MapReduce/BSP programs are simulated (Theorem 2).
+package core
+
+import (
+	"grape/internal/mpi"
+)
+
+// Query is an opaque query value handed to the PIE program (for example the
+// source vertex of an SSSP query, or a pattern graph for matching).
+type Query any
+
+// Program is a PIE program: the three sequential functions the user plugs
+// into GRAPE (Figure 1: the "algorithm panel"), plus the aggregateMsg
+// conflict-resolution policy of the message segment.
+type Program interface {
+	// Name identifies the query class Q (used in reports).
+	Name() string
+
+	// PEval computes the partial answer Q(Fi) on the fragment held by ctx
+	// using any sequential algorithm, declares the update parameters of the
+	// fragment (ctx.Declare) and records their computed values (ctx.SetVar).
+	PEval(ctx *Context) error
+
+	// IncEval incrementally computes Q(Fi ⊕ Mi): msgs contains the updates to
+	// this fragment's update parameters that were accepted by the
+	// aggregation policy (i.e. that actually changed the local value).
+	// Implementations should reuse the partial result stored in ctx.State and
+	// only touch the affected area, ideally with a bounded incremental
+	// algorithm (Section 3.3).
+	IncEval(ctx *Context, msgs []mpi.Update) error
+
+	// Assemble combines the partial results Q(Fi ⊕ Mi) of all fragments into
+	// Q(G) once the fixpoint is reached.
+	Assemble(q Query, ctxs []*Context) (any, error)
+
+	// Aggregate is the aggregateMsg policy: it resolves conflicts when
+	// multiple values are proposed for the same update parameter and must be
+	// monotonic with respect to some partial order for the Assurance Theorem
+	// to apply (e.g. min for SSSP and CC, "false wins" for Sim, newest
+	// timestamp for CF). It returns the value that should be kept.
+	Aggregate(existing, incoming mpi.Update) mpi.Update
+}
+
+// KeyValueProgram is an optional extension implemented by programs that use
+// key-value messages (the MapReduce simulation mode of Section 3.5). When a
+// program emits key-value pairs via ctx.EmitKeyValue, the engine groups them
+// by key at the coordinator, routes each key to the worker that owns it
+// (hash placement) and delivers them through IncEvalKV.
+type KeyValueProgram interface {
+	Program
+	IncEvalKV(ctx *Context, msgs []mpi.KeyValue) error
+}
+
+// Aggregators commonly used as aggregateMsg policies.
+
+// MinAggregate keeps the smaller Value; ties keep the existing update. It is
+// the policy used by SSSP and CC (Section 5).
+func MinAggregate(existing, incoming mpi.Update) mpi.Update {
+	if incoming.Value < existing.Value {
+		return incoming
+	}
+	return existing
+}
+
+// MaxAggregate keeps the larger Value.
+func MaxAggregate(existing, incoming mpi.Update) mpi.Update {
+	if incoming.Value > existing.Value {
+		return incoming
+	}
+	return existing
+}
+
+// LatestAggregate keeps the update with the larger Key, treating Key as a
+// timestamp — the policy used by CF, where the freshest factor vector wins.
+func LatestAggregate(existing, incoming mpi.Update) mpi.Update {
+	if incoming.Key > existing.Key {
+		return incoming
+	}
+	return existing
+}

@@ -1,0 +1,407 @@
+// Package graph provides the graph data model used throughout the GRAPE
+// reproduction: directed or undirected graphs G = (V, E, L) whose nodes and
+// edges carry labels, and whose edges carry weights (Section 2 of the paper).
+//
+// Graphs are constructed through a Builder and are immutable afterwards,
+// which lets fragments, engines and baselines share them across goroutines
+// without locking. Internally vertices are stored densely (index 0..n-1) with
+// a mapping to the caller's external vertex identifiers, and adjacency is
+// kept in compressed sparse rows so that traversals touch contiguous memory.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID is the caller-visible identifier of a vertex. External identifiers
+// are arbitrary non-negative integers; they need not be dense.
+type VertexID int64
+
+// NoVertex is returned by lookups that fail to find a vertex.
+const NoVertex = VertexID(-1)
+
+// Edge is a fully resolved edge, used at API boundaries (construction, I/O,
+// pattern definitions). Inside the Graph edges are stored in CSR form.
+type Edge struct {
+	Src    VertexID
+	Dst    VertexID
+	Weight float64
+	Label  string
+}
+
+// Vertex is a fully resolved vertex, used at API boundaries.
+type Vertex struct {
+	ID    VertexID
+	Label string
+}
+
+// HalfEdge is an adjacency entry: the dense index of the neighbour plus the
+// edge weight and label. It is the unit returned by OutEdges/InEdges.
+type HalfEdge struct {
+	To     int32
+	Weight float64
+	Label  string
+}
+
+// Graph is an immutable directed or undirected labeled graph.
+//
+// Vertices are addressed either by external VertexID or by dense index
+// (0..NumVertices-1). Algorithms that iterate the whole graph should use the
+// dense index; the external ID is recovered with VertexAt.
+type Graph struct {
+	directed bool
+
+	ids    []VertexID         // dense index -> external id
+	index  map[VertexID]int32 // external id -> dense index
+	labels []string           // dense index -> vertex label
+
+	// CSR adjacency. outAdj[outOff[i]:outOff[i+1]] are the out-edges of i.
+	outOff []int32
+	outAdj []HalfEdge
+	inOff  []int32
+	inAdj  []HalfEdge
+
+	numEdges int
+}
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.ids) }
+
+// NumEdges returns |E| as the number of edges passed to the builder (each
+// undirected edge counts once).
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// VertexAt returns the external ID of the vertex at dense index i.
+func (g *Graph) VertexAt(i int) VertexID { return g.ids[i] }
+
+// IndexOf returns the dense index of the vertex with external ID id, or -1 if
+// the vertex is not present.
+func (g *Graph) IndexOf(id VertexID) int {
+	if i, ok := g.index[id]; ok {
+		return int(i)
+	}
+	return -1
+}
+
+// HasVertex reports whether the vertex with the given external ID exists.
+func (g *Graph) HasVertex(id VertexID) bool { _, ok := g.index[id]; return ok }
+
+// Label returns the label of the vertex at dense index i.
+func (g *Graph) Label(i int) string { return g.labels[i] }
+
+// LabelOf returns the label of the vertex with external ID id. It returns the
+// empty string when the vertex does not exist.
+func (g *Graph) LabelOf(id VertexID) string {
+	if i := g.IndexOf(id); i >= 0 {
+		return g.labels[i]
+	}
+	return ""
+}
+
+// OutDegree returns the out-degree of the vertex at dense index i. For
+// undirected graphs this is the full degree.
+func (g *Graph) OutDegree(i int) int { return int(g.outOff[i+1] - g.outOff[i]) }
+
+// InDegree returns the in-degree of the vertex at dense index i. For
+// undirected graphs InDegree equals OutDegree.
+func (g *Graph) InDegree(i int) int { return int(g.inOff[i+1] - g.inOff[i]) }
+
+// OutEdges returns the out-adjacency of the vertex at dense index i. The
+// returned slice aliases internal storage and must not be modified.
+func (g *Graph) OutEdges(i int) []HalfEdge { return g.outAdj[g.outOff[i]:g.outOff[i+1]] }
+
+// InEdges returns the in-adjacency of the vertex at dense index i. The
+// returned slice aliases internal storage and must not be modified.
+func (g *Graph) InEdges(i int) []HalfEdge { return g.inAdj[g.inOff[i]:g.inOff[i+1]] }
+
+// Vertices returns all vertices with their labels, in dense-index order.
+func (g *Graph) Vertices() []Vertex {
+	vs := make([]Vertex, len(g.ids))
+	for i, id := range g.ids {
+		vs[i] = Vertex{ID: id, Label: g.labels[i]}
+	}
+	return vs
+}
+
+// Edges materializes all edges with external IDs. Each undirected edge is
+// reported once, with Src <= Dst by dense index order of insertion direction.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.numEdges)
+	for i := 0; i < g.NumVertices(); i++ {
+		for _, he := range g.OutEdges(i) {
+			if !g.directed && int(he.To) < i {
+				continue // report each undirected edge once
+			}
+			es = append(es, Edge{
+				Src:    g.ids[i],
+				Dst:    g.ids[he.To],
+				Weight: he.Weight,
+				Label:  he.Label,
+			})
+		}
+	}
+	return es
+}
+
+// HasEdge reports whether an edge from src to dst exists (in either direction
+// for undirected graphs).
+func (g *Graph) HasEdge(src, dst VertexID) bool {
+	si, di := g.IndexOf(src), g.IndexOf(dst)
+	if si < 0 || di < 0 {
+		return false
+	}
+	for _, he := range g.OutEdges(si) {
+		if int(he.To) == di {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeWeight returns the weight of the first edge found from src to dst and
+// whether such an edge exists.
+func (g *Graph) EdgeWeight(src, dst VertexID) (float64, bool) {
+	si, di := g.IndexOf(src), g.IndexOf(dst)
+	if si < 0 || di < 0 {
+		return 0, false
+	}
+	for _, he := range g.OutEdges(si) {
+		if int(he.To) == di {
+			return he.Weight, true
+		}
+	}
+	return 0, false
+}
+
+// InducedSubgraph returns the subgraph of g induced by the given set of
+// external vertex IDs: it contains every edge of g whose endpoints are both
+// in the set (Section 2). Vertices not present in g are ignored.
+func (g *Graph) InducedSubgraph(ids []VertexID) *Graph {
+	keep := make(map[VertexID]bool, len(ids))
+	for _, id := range ids {
+		if g.HasVertex(id) {
+			keep[id] = true
+		}
+	}
+	b := NewBuilder(g.directed)
+	for id := range keep {
+		b.AddVertex(id, g.LabelOf(id))
+	}
+	for i := 0; i < g.NumVertices(); i++ {
+		src := g.ids[i]
+		if !keep[src] {
+			continue
+		}
+		for _, he := range g.OutEdges(i) {
+			dst := g.ids[he.To]
+			if !keep[dst] {
+				continue
+			}
+			if !g.directed && int(he.To) < i {
+				continue
+			}
+			b.AddEdge(src, dst, he.Weight, he.Label)
+		}
+	}
+	return b.Build()
+}
+
+// Neighborhood returns the external IDs of all vertices within d hops of the
+// start vertex (including the start vertex itself), following out-edges and,
+// for undirected graphs, the symmetric closure is already present in the
+// adjacency. It is used to build the d_Q-neighbourhood for subgraph
+// isomorphism (Section 5.1).
+func (g *Graph) Neighborhood(start VertexID, d int) []VertexID {
+	s := g.IndexOf(start)
+	if s < 0 {
+		return nil
+	}
+	dist := map[int]int{s: 0}
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if dist[u] == d {
+			continue
+		}
+		for _, he := range g.OutEdges(u) {
+			v := int(he.To)
+			if _, seen := dist[v]; !seen {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+		// For directed graphs the d-neighbourhood used by SubIso also follows
+		// in-edges so that matches around the anchor are preserved.
+		if g.directed {
+			for _, he := range g.InEdges(u) {
+				v := int(he.To)
+				if _, seen := dist[v]; !seen {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	out := make([]VertexID, 0, len(dist))
+	for i := range dist {
+		out = append(out, g.ids[i])
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	b := NewBuilder(g.directed)
+	for i, id := range g.ids {
+		b.AddVertex(id, g.labels[i])
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(e.Src, e.Dst, e.Weight, e.Label)
+	}
+	return b.Build()
+}
+
+// String returns a short human readable description of the graph.
+func (g *Graph) String() string {
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	return fmt.Sprintf("graph{%s |V|=%d |E|=%d}", kind, g.NumVertices(), g.NumEdges())
+}
+
+// Builder accumulates vertices and edges and produces an immutable Graph.
+// The zero value is not usable; call NewBuilder.
+type Builder struct {
+	directed bool
+	ids      []VertexID
+	index    map[VertexID]int32
+	labels   []string
+	edges    []builderEdge
+}
+
+type builderEdge struct {
+	src, dst int32
+	weight   float64
+	label    string
+}
+
+// NewBuilder returns a Builder for a directed (directed=true) or undirected
+// graph.
+func NewBuilder(directed bool) *Builder {
+	return &Builder{
+		directed: directed,
+		index:    make(map[VertexID]int32),
+	}
+}
+
+// AddVertex adds a vertex with the given external ID and label. Adding an
+// existing vertex updates its label and is otherwise a no-op. It returns the
+// dense index assigned to the vertex.
+func (b *Builder) AddVertex(id VertexID, label string) int {
+	if i, ok := b.index[id]; ok {
+		if label != "" {
+			b.labels[i] = label
+		}
+		return int(i)
+	}
+	i := int32(len(b.ids))
+	b.index[id] = i
+	b.ids = append(b.ids, id)
+	b.labels = append(b.labels, label)
+	return int(i)
+}
+
+// AddEdge adds an edge from src to dst with the given weight and label.
+// Unknown endpoints are added implicitly with empty labels. For undirected
+// graphs the edge is stored once and surfaced in both adjacency directions.
+func (b *Builder) AddEdge(src, dst VertexID, weight float64, label string) {
+	si := int32(b.AddVertex(src, ""))
+	di := int32(b.AddVertex(dst, ""))
+	b.edges = append(b.edges, builderEdge{src: si, dst: di, weight: weight, label: label})
+}
+
+// NumVertices returns the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.ids) }
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build produces the immutable Graph. The builder can keep being used after
+// Build; subsequent Build calls include all accumulated data.
+func (b *Builder) Build() *Graph {
+	n := len(b.ids)
+	g := &Graph{
+		directed: b.directed,
+		ids:      append([]VertexID(nil), b.ids...),
+		labels:   append([]string(nil), b.labels...),
+		index:    make(map[VertexID]int32, n),
+		numEdges: len(b.edges),
+	}
+	for id, i := range b.index {
+		g.index[id] = i
+	}
+
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	for _, e := range b.edges {
+		outDeg[e.src]++
+		inDeg[e.dst]++
+		if !b.directed && e.src != e.dst {
+			outDeg[e.dst]++
+			inDeg[e.src]++
+		}
+	}
+	g.outOff = prefixSum(outDeg)
+	g.inOff = prefixSum(inDeg)
+	g.outAdj = make([]HalfEdge, g.outOff[n])
+	g.inAdj = make([]HalfEdge, g.inOff[n])
+
+	outPos := make([]int32, n)
+	inPos := make([]int32, n)
+	copy(outPos, g.outOff[:n])
+	copy(inPos, g.inOff[:n])
+	place := func(src, dst int32, w float64, l string) {
+		g.outAdj[outPos[src]] = HalfEdge{To: dst, Weight: w, Label: l}
+		outPos[src]++
+		g.inAdj[inPos[dst]] = HalfEdge{To: src, Weight: w, Label: l}
+		inPos[dst]++
+	}
+	for _, e := range b.edges {
+		place(e.src, e.dst, e.weight, e.label)
+		if !b.directed && e.src != e.dst {
+			place(e.dst, e.src, e.weight, e.label)
+		}
+	}
+	return g
+}
+
+func prefixSum(deg []int32) []int32 {
+	off := make([]int32, len(deg)+1)
+	var sum int32
+	for i, d := range deg {
+		off[i] = sum
+		sum += d
+	}
+	off[len(deg)] = sum
+	return off
+}
+
+// FromEdges is a convenience constructor that builds a graph from explicit
+// vertex and edge lists.
+func FromEdges(directed bool, vertices []Vertex, edges []Edge) *Graph {
+	b := NewBuilder(directed)
+	for _, v := range vertices {
+		b.AddVertex(v.ID, v.Label)
+	}
+	for _, e := range edges {
+		b.AddEdge(e.Src, e.Dst, e.Weight, e.Label)
+	}
+	return b.Build()
+}

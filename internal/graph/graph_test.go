@@ -1,0 +1,413 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func buildDiamond(t *testing.T, directed bool) *Graph {
+	t.Helper()
+	b := NewBuilder(directed)
+	b.AddVertex(1, "a")
+	b.AddVertex(2, "b")
+	b.AddVertex(3, "b")
+	b.AddVertex(4, "c")
+	b.AddEdge(1, 2, 1.0, "x")
+	b.AddEdge(1, 3, 2.0, "x")
+	b.AddEdge(2, 4, 3.0, "y")
+	b.AddEdge(3, 4, 4.0, "y")
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := buildDiamond(t, true)
+	if g.NumVertices() != 4 {
+		t.Fatalf("NumVertices = %d, want 4", g.NumVertices())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if !g.Directed() {
+		t.Fatalf("Directed = false, want true")
+	}
+	if g.LabelOf(1) != "a" || g.LabelOf(4) != "c" {
+		t.Fatalf("labels wrong: %q %q", g.LabelOf(1), g.LabelOf(4))
+	}
+	if g.IndexOf(99) != -1 {
+		t.Fatalf("IndexOf(99) = %d, want -1", g.IndexOf(99))
+	}
+	if g.LabelOf(99) != "" {
+		t.Fatalf("LabelOf(99) = %q, want empty", g.LabelOf(99))
+	}
+}
+
+func TestAddVertexIdempotent(t *testing.T) {
+	b := NewBuilder(true)
+	i1 := b.AddVertex(7, "first")
+	i2 := b.AddVertex(7, "second")
+	if i1 != i2 {
+		t.Fatalf("re-adding vertex changed index: %d vs %d", i1, i2)
+	}
+	g := b.Build()
+	if g.NumVertices() != 1 {
+		t.Fatalf("NumVertices = %d, want 1", g.NumVertices())
+	}
+	if g.LabelOf(7) != "second" {
+		t.Fatalf("label = %q, want updated label", g.LabelOf(7))
+	}
+}
+
+func TestAddEdgeImplicitVertices(t *testing.T) {
+	b := NewBuilder(true)
+	b.AddEdge(10, 20, 1, "")
+	g := b.Build()
+	if !g.HasVertex(10) || !g.HasVertex(20) {
+		t.Fatalf("implicit vertices missing")
+	}
+	if !g.HasEdge(10, 20) {
+		t.Fatalf("edge 10->20 missing")
+	}
+	if g.HasEdge(20, 10) {
+		t.Fatalf("directed graph should not have reverse edge")
+	}
+}
+
+func TestDirectedAdjacency(t *testing.T) {
+	g := buildDiamond(t, true)
+	i1 := g.IndexOf(1)
+	if d := g.OutDegree(i1); d != 2 {
+		t.Fatalf("OutDegree(1) = %d, want 2", d)
+	}
+	if d := g.InDegree(i1); d != 0 {
+		t.Fatalf("InDegree(1) = %d, want 0", d)
+	}
+	i4 := g.IndexOf(4)
+	if d := g.InDegree(i4); d != 2 {
+		t.Fatalf("InDegree(4) = %d, want 2", d)
+	}
+	if w, ok := g.EdgeWeight(2, 4); !ok || w != 3.0 {
+		t.Fatalf("EdgeWeight(2,4) = %v,%v want 3,true", w, ok)
+	}
+	if _, ok := g.EdgeWeight(4, 2); ok {
+		t.Fatalf("EdgeWeight(4,2) should not exist")
+	}
+}
+
+func TestUndirectedAdjacency(t *testing.T) {
+	g := buildDiamond(t, false)
+	i4 := g.IndexOf(4)
+	if d := g.OutDegree(i4); d != 2 {
+		t.Fatalf("OutDegree(4) = %d, want 2 in undirected graph", d)
+	}
+	if !g.HasEdge(4, 2) {
+		t.Fatalf("undirected graph must surface reverse edge")
+	}
+	if len(g.Edges()) != 4 {
+		t.Fatalf("Edges() = %d entries, want 4 (each undirected edge once)", len(g.Edges()))
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := buildDiamond(t, true)
+	got := g.Edges()
+	want := []Edge{
+		{1, 2, 1.0, "x"},
+		{1, 3, 2.0, "x"},
+		{2, 4, 3.0, "y"},
+		{3, 4, 4.0, "y"},
+	}
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].Src != got[j].Src {
+			return got[i].Src < got[j].Src
+		}
+		return got[i].Dst < got[j].Dst
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Edges() = %+v, want %+v", got, want)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := buildDiamond(t, true)
+	sub := g.InducedSubgraph([]VertexID{1, 2, 4, 999})
+	if sub.NumVertices() != 3 {
+		t.Fatalf("induced |V| = %d, want 3", sub.NumVertices())
+	}
+	if sub.NumEdges() != 2 {
+		t.Fatalf("induced |E| = %d, want 2 (1->2, 2->4)", sub.NumEdges())
+	}
+	if !sub.HasEdge(1, 2) || !sub.HasEdge(2, 4) {
+		t.Fatalf("induced subgraph missing expected edges")
+	}
+	if sub.HasEdge(1, 3) || sub.HasVertex(3) {
+		t.Fatalf("induced subgraph contains excluded vertex")
+	}
+	if sub.LabelOf(2) != "b" {
+		t.Fatalf("induced subgraph lost label")
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	g := buildDiamond(t, true)
+	n0 := g.Neighborhood(1, 0)
+	if len(n0) != 1 || n0[0] != 1 {
+		t.Fatalf("0-hop neighbourhood = %v, want [1]", n0)
+	}
+	n1 := g.Neighborhood(1, 1)
+	if len(n1) != 3 {
+		t.Fatalf("1-hop neighbourhood = %v, want 3 vertices", n1)
+	}
+	n2 := g.Neighborhood(1, 2)
+	if len(n2) != 4 {
+		t.Fatalf("2-hop neighbourhood = %v, want all 4 vertices", n2)
+	}
+	// Directed neighbourhood also walks in-edges, so from vertex 4 we can
+	// still reach the whole diamond within 2 hops.
+	n4 := g.Neighborhood(4, 2)
+	if len(n4) != 4 {
+		t.Fatalf("neighbourhood from sink = %v, want all 4 vertices", n4)
+	}
+	if g.Neighborhood(12345, 1) != nil {
+		t.Fatalf("neighbourhood of unknown vertex should be nil")
+	}
+}
+
+func TestBFSAndDFS(t *testing.T) {
+	g := buildDiamond(t, true)
+	depths := map[int]int{}
+	n := g.BFS(g.IndexOf(1), func(v, d int) bool {
+		depths[v] = d
+		return true
+	})
+	if n != 4 {
+		t.Fatalf("BFS visited %d, want 4", n)
+	}
+	if depths[g.IndexOf(4)] != 2 {
+		t.Fatalf("BFS depth of sink = %d, want 2", depths[g.IndexOf(4)])
+	}
+	var order []int
+	n = g.DFS(g.IndexOf(1), func(v int) bool {
+		order = append(order, v)
+		return true
+	})
+	if n != 4 || len(order) != 4 {
+		t.Fatalf("DFS visited %d (%v), want 4", n, order)
+	}
+	// Early termination.
+	n = g.BFS(g.IndexOf(1), func(v, d int) bool { return false })
+	if n != 1 {
+		t.Fatalf("BFS with early stop visited %d, want 1", n)
+	}
+	if g.BFS(-1, nil) != 0 || g.DFS(100, nil) != 0 {
+		t.Fatalf("traversal from invalid start should visit nothing")
+	}
+}
+
+func TestUndirect(t *testing.T) {
+	g := buildDiamond(t, true)
+	u := g.Undirect()
+	if u.Directed() {
+		t.Fatalf("Undirect returned a directed graph")
+	}
+	if !u.HasEdge(4, 2) {
+		t.Fatalf("undirected view missing reverse edge")
+	}
+	if u2 := u.Undirect(); u2 != u {
+		t.Fatalf("Undirect of undirected graph should return receiver")
+	}
+}
+
+func TestEstimateDiameter(t *testing.T) {
+	// Path of 6 vertices: diameter 5.
+	b := NewBuilder(false)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(VertexID(i), VertexID(i+1), 1, "")
+	}
+	g := b.Build()
+	if d := g.EstimateDiameter(0); d != 5 {
+		t.Fatalf("EstimateDiameter = %d, want 5", d)
+	}
+	if d := g.EstimateDiameter(-7); d != 5 {
+		t.Fatalf("EstimateDiameter with bad seed = %d, want 5", d)
+	}
+	empty := NewBuilder(false).Build()
+	if d := empty.EstimateDiameter(0); d != 0 {
+		t.Fatalf("EstimateDiameter(empty) = %d, want 0", d)
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := buildDiamond(t, true)
+	h := g.DegreeHistogram()
+	if h[2] != 1 || h[1] != 2 || h[0] != 1 {
+		t.Fatalf("DegreeHistogram = %v", h)
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatalf("MaxDegree = %d, want 2", g.MaxDegree())
+	}
+	if avg := g.AverageDegree(); avg != 1.0 {
+		t.Fatalf("AverageDegree = %v, want 1.0", avg)
+	}
+	empty := NewBuilder(true).Build()
+	if empty.AverageDegree() != 0 {
+		t.Fatalf("AverageDegree(empty) != 0")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := buildDiamond(t, true)
+	c := g.Clone()
+	if c.NumVertices() != g.NumVertices() || c.NumEdges() != g.NumEdges() {
+		t.Fatalf("clone size mismatch")
+	}
+	if !c.HasEdge(1, 2) || c.LabelOf(1) != "a" {
+		t.Fatalf("clone lost data")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	g := buildDiamond(t, true)
+	if got := g.String(); got != "graph{directed |V|=4 |E|=4}" {
+		t.Fatalf("String() = %q", got)
+	}
+	u := buildDiamond(t, false)
+	if got := u.String(); got != "graph{undirected |V|=4 |E|=4}" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestIOTextRoundTrip(t *testing.T) {
+	g := buildDiamond(t, true)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch: %v vs %v", back, g)
+	}
+	for _, e := range g.Edges() {
+		if w, ok := back.EdgeWeight(e.Src, e.Dst); !ok || w != e.Weight {
+			t.Fatalf("round trip lost edge %+v", e)
+		}
+	}
+	if back.LabelOf(1) != "a" {
+		t.Fatalf("round trip lost vertex label")
+	}
+}
+
+func TestReadPlainEdgeList(t *testing.T) {
+	src := "# snap style\n1 2\n2 3 4.5\n"
+	g, err := Read(bytes.NewBufferString(src))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("parsed %v, want 3 vertices 2 edges", g)
+	}
+	if w, _ := g.EdgeWeight(2, 3); w != 4.5 {
+		t.Fatalf("weight = %v, want 4.5", w)
+	}
+	if w, _ := g.EdgeWeight(1, 2); w != 1.0 {
+		t.Fatalf("default weight = %v, want 1.0", w)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"graph sideways\n",
+		"graph\n",
+		"v abc lbl\n",
+		"e 1\n",
+		"e x 2\n",
+		"e 1 y\n",
+		"e 1 2 zz\n",
+		"1 2 3 l\ngraph directed\n",
+	}
+	for _, src := range cases {
+		if _, err := Read(bytes.NewBufferString(src)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", src)
+		}
+	}
+	g, err := Read(bytes.NewBufferString("# only comments\n\n"))
+	if err != nil || g.NumVertices() != 0 {
+		t.Fatalf("empty input should yield empty graph, got %v, %v", g, err)
+	}
+}
+
+// Property: for any random directed graph, every edge reported by Edges() is
+// reachable through the adjacency structure and vice versa, and the in/out
+// degree sums both equal the number of stored adjacency entries.
+func TestQuickAdjacencyConsistency(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		m := int(mRaw % 60)
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(true)
+		for i := 0; i < n; i++ {
+			b.AddVertex(VertexID(i), "")
+		}
+		type pair struct{ s, d VertexID }
+		want := make(map[pair]int)
+		for i := 0; i < m; i++ {
+			s := VertexID(rng.Intn(n))
+			d := VertexID(rng.Intn(n))
+			b.AddEdge(s, d, 1, "")
+			want[pair{s, d}]++
+		}
+		g := b.Build()
+		got := make(map[pair]int)
+		outSum, inSum := 0, 0
+		for i := 0; i < g.NumVertices(); i++ {
+			outSum += g.OutDegree(i)
+			inSum += g.InDegree(i)
+			for _, he := range g.OutEdges(i) {
+				got[pair{g.VertexAt(i), g.VertexAt(int(he.To))}]++
+			}
+		}
+		if outSum != m || inSum != m {
+			return false
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: text round trip preserves vertex and edge counts for random
+// graphs.
+func TestQuickIORoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%15) + 2
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(rng.Intn(2) == 0)
+		for i := 0; i < n; i++ {
+			b.AddVertex(VertexID(i), "l")
+		}
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)), float64(rng.Intn(9)+1), "w")
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return back.NumVertices() == g.NumVertices() && back.NumEdges() == g.NumEdges() &&
+			back.Directed() == g.Directed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package graph
+
+// Traversal helpers shared by sequential algorithms, partitioners and the
+// synthetic-workload generators. These operate on dense indices.
+
+// BFS runs a breadth-first search from the vertex with dense index start and
+// calls visit for every reached vertex with its hop distance. Traversal
+// follows out-edges only. It returns the number of vertices visited.
+func (g *Graph) BFS(start int, visit func(v, depth int) bool) int {
+	if start < 0 || start >= g.NumVertices() {
+		return 0
+	}
+	seen := make([]bool, g.NumVertices())
+	type item struct{ v, d int }
+	queue := []item{{start, 0}}
+	seen[start] = true
+	visited := 0
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		visited++
+		if visit != nil && !visit(it.v, it.d) {
+			return visited
+		}
+		for _, he := range g.OutEdges(it.v) {
+			if !seen[he.To] {
+				seen[he.To] = true
+				queue = append(queue, item{int(he.To), it.d + 1})
+			}
+		}
+	}
+	return visited
+}
+
+// DFS runs an iterative depth-first search from start following out-edges,
+// calling visit for each newly discovered vertex. It returns the number of
+// vertices visited.
+func (g *Graph) DFS(start int, visit func(v int) bool) int {
+	if start < 0 || start >= g.NumVertices() {
+		return 0
+	}
+	seen := make([]bool, g.NumVertices())
+	stack := []int{start}
+	seen[start] = true
+	visited := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visited++
+		if visit != nil && !visit(v) {
+			return visited
+		}
+		for _, he := range g.OutEdges(v) {
+			if !seen[he.To] {
+				seen[he.To] = true
+				stack = append(stack, int(he.To))
+			}
+		}
+	}
+	return visited
+}
+
+// Undirect returns an undirected view of the graph built by symmetrizing the
+// edge set. If the graph is already undirected it returns the receiver.
+func (g *Graph) Undirect() *Graph {
+	if !g.directed {
+		return g
+	}
+	b := NewBuilder(false)
+	for i, id := range g.ids {
+		b.AddVertex(id, g.labels[i])
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(e.Src, e.Dst, e.Weight, e.Label)
+	}
+	return b.Build()
+}
+
+// EstimateDiameter estimates the graph diameter (in hops, ignoring weights)
+// with a double-sweep BFS heuristic starting from the vertex at dense index
+// seed. The result is a lower bound on the true diameter and is what the
+// benchmark harness uses to characterize the "road network vs social network"
+// distinction that drives the paper's SSSP superstep counts.
+func (g *Graph) EstimateDiameter(seed int) int {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	if seed < 0 || seed >= g.NumVertices() {
+		seed = 0
+	}
+	far, depth := farthest(g, seed)
+	_, depth2 := farthest(g, far)
+	if depth2 > depth {
+		depth = depth2
+	}
+	return depth
+}
+
+func farthest(g *Graph, start int) (v, depth int) {
+	v, depth = start, 0
+	g.BFS(start, func(u, d int) bool {
+		if d > depth {
+			depth, v = d, u
+		}
+		return true
+	})
+	return v, depth
+}
+
+// DegreeHistogram returns a map from out-degree to number of vertices with
+// that degree. It is used by tests and by the dataset generators to check
+// that synthetic graphs have the intended degree profile.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for i := 0; i < g.NumVertices(); i++ {
+		h[g.OutDegree(i)]++
+	}
+	return h
+}
+
+// MaxDegree returns the maximum out-degree in the graph.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for i := 0; i < g.NumVertices(); i++ {
+		if d := g.OutDegree(i); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// AverageDegree returns the average out-degree.
+func (g *Graph) AverageDegree() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += g.OutDegree(i)
+	}
+	return float64(total) / float64(n)
+}

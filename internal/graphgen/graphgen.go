@@ -1,0 +1,269 @@
+// Package graphgen generates the synthetic datasets that stand in for the
+// real-life graphs used in the paper's evaluation (Section 7): the US road
+// network "traffic", the "liveJournal" social network, the "DBpedia"
+// knowledge base and the "movieLens" bipartite rating graph, plus the
+// parameterized synthetic graphs of Appendix B (Exp-5).
+//
+// Every generator is deterministic for a given Config seed, so benchmark
+// results are reproducible run to run. Generated sizes are scaled down from
+// the paper (laptop-scale), but the structural properties that drive the
+// paper's results are preserved:
+//
+//   - RoadNetwork: planar grid with small average degree and a very large
+//     diameter — the property that makes vertex-centric SSSP take thousands
+//     of supersteps while GRAPE takes tens (Table 1, Fig 6a).
+//   - SocialNetwork: preferential-attachment power-law graph with a small
+//     diameter and a configurable label alphabet (liveJournal surrogate).
+//   - KnowledgeBase: sparse multi-type labeled graph (DBpedia surrogate).
+//   - Bipartite: user–product rating graph (movieLens surrogate) for CF.
+//   - Uniform: the Appendix-B synthetic graphs with |V|,|E| and a 50-label
+//     alphabet.
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"grape/internal/graph"
+)
+
+// Config controls a generator run.
+type Config struct {
+	// Seed makes generation deterministic. Two runs with equal Config
+	// produce identical graphs.
+	Seed int64
+	// Labels is the size of the label alphabet for labeled generators.
+	// Labels <= 0 means unlabeled.
+	Labels int
+}
+
+func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+func (c Config) label(rng *rand.Rand) string {
+	if c.Labels <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("L%d", rng.Intn(c.Labels))
+}
+
+// RoadNetwork generates a rows x cols grid road network. Vertices are grid
+// intersections; edges connect horizontal and vertical neighbours with
+// weights in [1, 10) representing road segment lengths. A small fraction of
+// edges is removed to create irregularity without disconnecting the grid
+// badly. The graph is undirected, unlabeled and has diameter ~ rows+cols.
+func RoadNetwork(rows, cols int, cfg Config) *graph.Graph {
+	rng := cfg.rng()
+	b := graph.NewBuilder(false)
+	id := func(r, c int) graph.VertexID { return graph.VertexID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddVertex(id(r, c), "")
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				// Drop ~5% of horizontal segments, but never the first row so
+				// the graph stays connected.
+				if r == 0 || rng.Float64() >= 0.05 {
+					b.AddEdge(id(r, c), id(r, c+1), 1+9*rng.Float64(), "")
+				}
+			}
+			if r+1 < rows {
+				if c == 0 || rng.Float64() >= 0.05 {
+					b.AddEdge(id(r, c), id(r+1, c), 1+9*rng.Float64(), "")
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// SocialNetwork generates a directed preferential-attachment graph with n
+// vertices and roughly n*outDegree edges, plus vertex labels drawn from the
+// configured alphabet. Degree distribution is heavy-tailed (a few hub
+// vertices collect a large share of in-edges), diameter is small — the shape
+// of the liveJournal graph used in the paper.
+func SocialNetwork(n, outDegree int, cfg Config) *graph.Graph {
+	if n <= 0 {
+		return graph.NewBuilder(true).Build()
+	}
+	rng := cfg.rng()
+	b := graph.NewBuilder(true)
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.VertexID(i), cfg.label(rng))
+	}
+	// Preferential attachment by sampling from a growing list of edge
+	// endpoints (each endpoint appears once per incident edge).
+	targets := make([]int, 0, n*outDegree)
+	targets = append(targets, 0)
+	for v := 1; v < n; v++ {
+		deg := outDegree
+		if deg > v {
+			deg = v
+		}
+		chosen := make(map[int]bool, deg)
+		for len(chosen) < deg {
+			var t int
+			if rng.Float64() < 0.7 {
+				t = targets[rng.Intn(len(targets))]
+			} else {
+				t = rng.Intn(v)
+			}
+			if t == v || chosen[t] {
+				continue
+			}
+			chosen[t] = true
+			b.AddEdge(graph.VertexID(v), graph.VertexID(t), 1+9*rng.Float64(), "")
+			targets = append(targets, t, v)
+		}
+	}
+	return b.Build()
+}
+
+// KnowledgeBase generates a sparse directed labeled graph resembling a
+// knowledge base: many vertex types (labels), low average degree, and edges
+// carrying relation labels. n is the number of entities, avgDegree the mean
+// out-degree, relations the number of distinct edge labels.
+func KnowledgeBase(n, avgDegree, relations int, cfg Config) *graph.Graph {
+	rng := cfg.rng()
+	b := graph.NewBuilder(true)
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.VertexID(i), cfg.label(rng))
+	}
+	if n < 2 {
+		return b.Build()
+	}
+	edges := n * avgDegree
+	for i := 0; i < edges; i++ {
+		src := rng.Intn(n)
+		// Knowledge bases cluster: 60% of edges stay within a window of
+		// nearby entity IDs, the rest are global.
+		var dst int
+		if rng.Float64() < 0.6 {
+			window := n / 50
+			if window < 4 {
+				window = 4
+			}
+			dst = (src + 1 + rng.Intn(window)) % n
+		} else {
+			dst = rng.Intn(n)
+		}
+		if dst == src {
+			dst = (dst + 1) % n
+		}
+		rel := ""
+		if relations > 0 {
+			rel = fmt.Sprintf("r%d", rng.Intn(relations))
+		}
+		b.AddEdge(graph.VertexID(src), graph.VertexID(dst), 1, rel)
+	}
+	return b.Build()
+}
+
+// Bipartite generates a user–product rating graph for collaborative
+// filtering: users u_0..u_{users-1} and products p_0..p_{products-1}
+// (product IDs start at the user count), with ratings edges drawn so that
+// popular products receive more ratings. Edge weights are ratings in
+// {1,...,5}. Ratings per user follows a geometric-ish distribution with the
+// given mean.
+func Bipartite(users, products, ratingsPerUser int, cfg Config) *graph.Graph {
+	rng := cfg.rng()
+	b := graph.NewBuilder(true)
+	for u := 0; u < users; u++ {
+		b.AddVertex(graph.VertexID(u), "user")
+	}
+	for p := 0; p < products; p++ {
+		b.AddVertex(graph.VertexID(users+p), "product")
+	}
+	if users == 0 || products == 0 {
+		return b.Build()
+	}
+	for u := 0; u < users; u++ {
+		k := 1 + rng.Intn(2*ratingsPerUser)
+		seen := make(map[int]bool, k)
+		for j := 0; j < k; j++ {
+			// Zipf-ish product popularity: square the uniform draw.
+			f := rng.Float64()
+			p := int(f * f * float64(products))
+			if p >= products {
+				p = products - 1
+			}
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			rating := float64(1 + rng.Intn(5))
+			b.AddEdge(graph.VertexID(u), graph.VertexID(users+p), rating, "rated")
+		}
+	}
+	return b.Build()
+}
+
+// Uniform generates the Appendix-B synthetic graphs: a directed graph with
+// numVertices vertices and numEdges edges whose labels are drawn from a
+// 50-symbol alphabet (override with cfg.Labels), with endpoints chosen to mix
+// local and global edges so connected components are large.
+func Uniform(numVertices, numEdges int, cfg Config) *graph.Graph {
+	if cfg.Labels == 0 {
+		cfg.Labels = 50
+	}
+	rng := cfg.rng()
+	b := graph.NewBuilder(true)
+	for i := 0; i < numVertices; i++ {
+		b.AddVertex(graph.VertexID(i), cfg.label(rng))
+	}
+	if numVertices < 2 {
+		return b.Build()
+	}
+	// A backbone ring keeps most of the graph in one large component, like
+	// the paper's synthetic graphs.
+	for i := 0; i < numVertices; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%numVertices), 1+9*rng.Float64(), "")
+	}
+	for i := numVertices; i < numEdges; i++ {
+		src := rng.Intn(numVertices)
+		dst := rng.Intn(numVertices)
+		if src == dst {
+			dst = (dst + 1) % numVertices
+		}
+		b.AddEdge(graph.VertexID(src), graph.VertexID(dst), 1+9*rng.Float64(), "")
+	}
+	return b.Build()
+}
+
+// Pattern generates a random connected labeled pattern graph with the given
+// number of query nodes and edges, whose labels are sampled from the data
+// graph g so that the pattern actually has candidate matches (Section 7:
+// "using labels drawn from the graphs"). The pattern is returned as a
+// directed graph.
+func Pattern(g *graph.Graph, nodes, edges int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(true)
+	if nodes <= 0 {
+		return b.Build()
+	}
+	n := g.NumVertices()
+	labelOf := func() string {
+		if n == 0 {
+			return "L0"
+		}
+		return g.Label(rng.Intn(n))
+	}
+	for i := 0; i < nodes; i++ {
+		b.AddVertex(graph.VertexID(i), labelOf())
+	}
+	// Spanning tree first so the pattern is connected, then extra edges.
+	for i := 1; i < nodes; i++ {
+		b.AddEdge(graph.VertexID(rng.Intn(i)), graph.VertexID(i), 1, "")
+	}
+	for i := nodes - 1; i < edges; i++ {
+		s := rng.Intn(nodes)
+		d := rng.Intn(nodes)
+		if s == d {
+			continue
+		}
+		b.AddEdge(graph.VertexID(s), graph.VertexID(d), 1, "")
+	}
+	return b.Build()
+}

@@ -1,0 +1,208 @@
+package graphgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"grape/internal/graph"
+)
+
+func TestRoadNetworkShape(t *testing.T) {
+	g := RoadNetwork(20, 20, Config{Seed: 1})
+	if g.NumVertices() != 400 {
+		t.Fatalf("|V| = %d, want 400", g.NumVertices())
+	}
+	if g.Directed() {
+		t.Fatalf("road network must be undirected")
+	}
+	if avg := g.AverageDegree(); avg < 1.5 || avg > 4.5 {
+		t.Fatalf("average degree = %v, want small road-like degree", avg)
+	}
+	// Large diameter is the defining property (roughly rows+cols).
+	if d := g.EstimateDiameter(0); d < 20 {
+		t.Fatalf("diameter = %d, want >= 20 for a 20x20 grid", d)
+	}
+}
+
+func TestRoadNetworkDeterminism(t *testing.T) {
+	a := RoadNetwork(10, 10, Config{Seed: 7})
+	b := RoadNetwork(10, 10, Config{Seed: 7})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed produced different graphs: %d vs %d edges", a.NumEdges(), b.NumEdges())
+	}
+	c := RoadNetwork(10, 10, Config{Seed: 8})
+	if a.NumEdges() == c.NumEdges() {
+		t.Logf("different seeds produced same edge count (possible but unusual)")
+	}
+}
+
+func TestSocialNetworkShape(t *testing.T) {
+	g := SocialNetwork(2000, 5, Config{Seed: 3, Labels: 100})
+	if g.NumVertices() != 2000 {
+		t.Fatalf("|V| = %d, want 2000", g.NumVertices())
+	}
+	if !g.Directed() {
+		t.Fatalf("social network must be directed")
+	}
+	// Power-law-ish: the max in-degree should far exceed the average degree.
+	maxIn := 0
+	for i := 0; i < g.NumVertices(); i++ {
+		if d := g.InDegree(i); d > maxIn {
+			maxIn = d
+		}
+	}
+	if maxIn < 20 {
+		t.Fatalf("max in-degree = %d, want heavy-tailed hubs", maxIn)
+	}
+	// Small diameter.
+	und := g.Undirect()
+	if d := und.EstimateDiameter(0); d > 15 {
+		t.Fatalf("diameter = %d, want small-world diameter", d)
+	}
+	// Labels drawn from the configured alphabet.
+	labels := map[string]bool{}
+	for i := 0; i < g.NumVertices(); i++ {
+		labels[g.Label(i)] = true
+	}
+	if len(labels) < 10 {
+		t.Fatalf("labels = %d distinct, want a rich alphabet", len(labels))
+	}
+}
+
+func TestSocialNetworkEmpty(t *testing.T) {
+	g := SocialNetwork(0, 5, Config{Seed: 1})
+	if g.NumVertices() != 0 {
+		t.Fatalf("empty social network should have no vertices")
+	}
+}
+
+func TestKnowledgeBaseShape(t *testing.T) {
+	g := KnowledgeBase(1000, 2, 160, Config{Seed: 5, Labels: 200})
+	if g.NumVertices() != 1000 {
+		t.Fatalf("|V| = %d, want 1000", g.NumVertices())
+	}
+	if g.NumEdges() != 2000 {
+		t.Fatalf("|E| = %d, want 2000", g.NumEdges())
+	}
+	// No self loops.
+	for _, e := range g.Edges() {
+		if e.Src == e.Dst {
+			t.Fatalf("self loop %v", e)
+		}
+	}
+	small := KnowledgeBase(1, 3, 5, Config{Seed: 1})
+	if small.NumEdges() != 0 {
+		t.Fatalf("single-vertex KB should have no edges")
+	}
+}
+
+func TestBipartiteShape(t *testing.T) {
+	g := Bipartite(300, 50, 10, Config{Seed: 11})
+	if g.NumVertices() != 350 {
+		t.Fatalf("|V| = %d, want 350", g.NumVertices())
+	}
+	// All edges go user -> product with ratings 1..5.
+	for _, e := range g.Edges() {
+		if g.LabelOf(e.Src) != "user" || g.LabelOf(e.Dst) != "product" {
+			t.Fatalf("edge %v does not go user->product", e)
+		}
+		if e.Weight < 1 || e.Weight > 5 {
+			t.Fatalf("rating %v out of range", e.Weight)
+		}
+	}
+	if g.NumEdges() < 300 {
+		t.Fatalf("|E| = %d, want at least one rating per user on average", g.NumEdges())
+	}
+	empty := Bipartite(0, 10, 3, Config{Seed: 1})
+	if empty.NumEdges() != 0 {
+		t.Fatalf("bipartite graph with no users should have no edges")
+	}
+}
+
+func TestUniformShape(t *testing.T) {
+	g := Uniform(500, 2000, Config{Seed: 2})
+	if g.NumVertices() != 500 {
+		t.Fatalf("|V| = %d, want 500", g.NumVertices())
+	}
+	if g.NumEdges() != 2000 {
+		t.Fatalf("|E| = %d, want 2000", g.NumEdges())
+	}
+	// Backbone ring keeps everything reachable: BFS from 0 over the
+	// undirected view covers the whole graph.
+	und := g.Undirect()
+	if n := und.BFS(0, nil); n != 500 {
+		t.Fatalf("uniform graph not connected: reached %d of 500", n)
+	}
+	tiny := Uniform(1, 10, Config{Seed: 2})
+	if tiny.NumEdges() != 0 {
+		t.Fatalf("1-vertex uniform graph should have no edges")
+	}
+}
+
+func TestPatternConnectedAndLabeled(t *testing.T) {
+	data := SocialNetwork(500, 4, Config{Seed: 9, Labels: 20})
+	p := Pattern(data, 8, 15, 42)
+	if p.NumVertices() != 8 {
+		t.Fatalf("pattern |V| = %d, want 8", p.NumVertices())
+	}
+	if p.NumEdges() < 7 {
+		t.Fatalf("pattern |E| = %d, want >= 7 (spanning tree)", p.NumEdges())
+	}
+	// Connected when viewed as undirected.
+	und := p.Undirect()
+	if n := und.BFS(0, nil); n != p.NumVertices() {
+		t.Fatalf("pattern is disconnected: reached %d of %d", n, p.NumVertices())
+	}
+	// Labels come from the data graph alphabet.
+	for i := 0; i < p.NumVertices(); i++ {
+		if p.Label(i) == "" {
+			t.Fatalf("pattern vertex %d has no label", i)
+		}
+	}
+	if empty := Pattern(data, 0, 0, 1); empty.NumVertices() != 0 {
+		t.Fatalf("empty pattern should have no vertices")
+	}
+}
+
+// Property: generators are deterministic in their Config and never produce
+// graphs whose edge endpoints are missing vertices.
+func TestQuickGeneratorsWellFormed(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%40) + 10
+		g1 := SocialNetwork(n, 3, Config{Seed: seed, Labels: 10})
+		g2 := SocialNetwork(n, 3, Config{Seed: seed, Labels: 10})
+		if g1.NumEdges() != g2.NumEdges() || g1.NumVertices() != g2.NumVertices() {
+			return false
+		}
+		for _, e := range g1.Edges() {
+			if !g1.HasVertex(e.Src) || !g1.HasVertex(e.Dst) {
+				return false
+			}
+		}
+		kb := KnowledgeBase(n, 2, 5, Config{Seed: seed, Labels: 8})
+		for _, e := range kb.Edges() {
+			if e.Src == e.Dst {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternLabelsExistInData(t *testing.T) {
+	data := KnowledgeBase(200, 3, 10, Config{Seed: 4, Labels: 15})
+	p := Pattern(data, 6, 10, 17)
+	dataLabels := map[string]bool{}
+	for i := 0; i < data.NumVertices(); i++ {
+		dataLabels[data.Label(i)] = true
+	}
+	for i := 0; i < p.NumVertices(); i++ {
+		if !dataLabels[p.Label(i)] {
+			t.Fatalf("pattern label %q not present in data graph", p.Label(i))
+		}
+	}
+	_ = graph.VertexID(0)
+}

@@ -1,0 +1,246 @@
+// Package inc is the library of (bounded) incremental graph algorithms that
+// GRAPE uses as IncEval (Section 3.3): given a previous answer and a small
+// change to the input, each algorithm updates the answer touching only the
+// affected area, so its cost depends on |CHANGED| = |ΔM| + |ΔO| rather than
+// on the fragment size.
+//
+// The algorithms provided are the ones the paper plugs in:
+//
+//   - SSSPDecrease: the incremental shortest-path algorithm of
+//     Ramalingam–Reps for edge-weight/source-distance decreases.
+//   - CCState / Merge: bounded component-identifier merging for CC.
+//   - SimDelete: incremental graph simulation under "edge deletions"
+//     (border matches turning false).
+//   - ISGD: incremental stochastic gradient descent that retrains only the
+//     factor vectors affected by newly arrived observations.
+package inc
+
+import (
+	"container/heap"
+
+	"grape/internal/graph"
+	"grape/internal/seq"
+)
+
+// SSSPDecrease applies a batch of decreased distances to an existing
+// shortest-path solution and propagates the improvements through the graph
+// (Ramalingam–Reps [40], restricted to decreases, which is all GRAPE's SSSP
+// needs because dist values only shrink). dist is updated in place; the
+// return value lists the vertices whose distance changed, i.e. the affected
+// area AFF.
+func SSSPDecrease(g *graph.Graph, dist map[graph.VertexID]float64, decreases map[graph.VertexID]float64) []graph.VertexID {
+	pq := &itemHeap{}
+	cur := func(v graph.VertexID) float64 {
+		if d, ok := dist[v]; ok {
+			return d
+		}
+		return seq.Infinity
+	}
+	changedSet := make(map[graph.VertexID]bool)
+	for v, nd := range decreases {
+		if i := g.IndexOf(v); i >= 0 && nd < cur(v) {
+			dist[v] = nd
+			changedSet[v] = true
+			heap.Push(pq, heapItem{vertex: i, dist: nd})
+		}
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		v := g.VertexAt(it.vertex)
+		if it.dist > cur(v) {
+			continue
+		}
+		for _, he := range g.OutEdges(it.vertex) {
+			u := g.VertexAt(int(he.To))
+			if alt := it.dist + he.Weight; alt < cur(u) {
+				dist[u] = alt
+				changedSet[u] = true
+				heap.Push(pq, heapItem{vertex: int(he.To), dist: alt})
+			}
+		}
+	}
+	out := make([]graph.VertexID, 0, len(changedSet))
+	for v := range changedSet {
+		out = append(out, v)
+	}
+	return out
+}
+
+type heapItem struct {
+	vertex int
+	dist   float64
+}
+
+type itemHeap []heapItem
+
+func (h itemHeap) Len() int           { return len(h) }
+func (h itemHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h itemHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)        { *h = append(*h, x.(heapItem)) }
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// CCState is the partial CC result of one fragment: a component identifier
+// per vertex plus, per component, the list of member vertices ("root nodes"
+// in Section 5.2). Keeping members per component makes a merge O(|AFF|): only
+// the vertices of the smaller-priority component are relabelled, by following
+// the direct links from the root.
+type CCState struct {
+	cid     map[graph.VertexID]graph.VertexID
+	members map[graph.VertexID][]graph.VertexID
+}
+
+// NewCCState builds the state from an initial component labelling (for
+// example the output of seq.ConnectedComponents on the fragment).
+func NewCCState(labels map[graph.VertexID]graph.VertexID) *CCState {
+	s := &CCState{
+		cid:     make(map[graph.VertexID]graph.VertexID, len(labels)),
+		members: make(map[graph.VertexID][]graph.VertexID),
+	}
+	for v, c := range labels {
+		s.cid[v] = c
+		s.members[c] = append(s.members[c], v)
+	}
+	return s
+}
+
+// CID returns the component identifier of v (and whether v is known).
+func (s *CCState) CID(v graph.VertexID) (graph.VertexID, bool) {
+	c, ok := s.cid[v]
+	return c, ok
+}
+
+// Labels returns a copy of the vertex → component-identifier mapping.
+func (s *CCState) Labels() map[graph.VertexID]graph.VertexID {
+	out := make(map[graph.VertexID]graph.VertexID, len(s.cid))
+	for v, c := range s.cid {
+		out[v] = c
+	}
+	return out
+}
+
+// Merge applies updated (smaller) component identifiers for the given
+// vertices and relabels the affected components. It returns the vertices
+// whose identifier changed. The cost is O(|updates|) to locate the roots plus
+// O(|AFF|) to relabel, independent of the fragment size.
+func (s *CCState) Merge(updates map[graph.VertexID]graph.VertexID) []graph.VertexID {
+	var changed []graph.VertexID
+	for v, newCid := range updates {
+		oldCid, ok := s.cid[v]
+		if !ok {
+			// Unknown vertex (a border copy not tracked locally): track it so
+			// later merges see the value.
+			s.cid[v] = newCid
+			s.members[newCid] = append(s.members[newCid], v)
+			changed = append(changed, v)
+			continue
+		}
+		if newCid >= oldCid {
+			continue // not an improvement; identifiers only decrease
+		}
+		// Relabel the whole component of v to newCid by following the
+		// member list of its root.
+		for _, member := range s.members[oldCid] {
+			s.cid[member] = newCid
+			changed = append(changed, member)
+		}
+		s.members[newCid] = append(s.members[newCid], s.members[oldCid]...)
+		delete(s.members, oldCid)
+	}
+	return changed
+}
+
+// SimDelete incrementally maintains a graph-simulation relation when border
+// matches are invalidated (the "edge deletion" view of Section 5.1): removed
+// lists (query vertex, data vertex) pairs that are no longer matches; the
+// relation is updated in place and the pairs removed as a consequence are
+// returned (excluding the input pairs themselves). The cost is bounded by the
+// affected area: only in-neighbours of removed vertices are re-checked.
+func SimDelete(q, g *graph.Graph, sim seq.SimResult, removed []SimPair) []SimPair {
+	queue := make([]SimPair, 0, len(removed))
+	for _, p := range removed {
+		if set := sim[p.Query]; set != nil && set[p.Data] {
+			delete(set, p.Data)
+			queue = append(queue, p)
+		}
+	}
+	var cascade []SimPair
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		uq := q.IndexOf(p.Query)
+		vd := g.IndexOf(p.Data)
+		if uq < 0 || vd < 0 {
+			continue
+		}
+		// Any in-neighbour v of p.Data matching an in-neighbour u of p.Query
+		// may have lost its last witness for the edge (u, p.Query).
+		for _, qe := range q.InEdges(uq) {
+			uParent := int(qe.To)
+			uParentID := q.VertexAt(uParent)
+			for _, he := range g.InEdges(vd) {
+				vParent := int(he.To)
+				vParentID := g.VertexAt(vParent)
+				if !sim[uParentID][vParentID] {
+					continue
+				}
+				if hasWitness(q, uq, g, vParent, sim) {
+					continue
+				}
+				delete(sim[uParentID], vParentID)
+				pair := SimPair{Query: uParentID, Data: vParentID}
+				cascade = append(cascade, pair)
+				queue = append(queue, pair)
+			}
+		}
+	}
+	return cascade
+}
+
+// SimPair is one (query vertex, data vertex) entry of a simulation relation.
+type SimPair struct {
+	Query graph.VertexID
+	Data  graph.VertexID
+}
+
+// hasWitness reports whether data vertex vParent still has an out-neighbour
+// matching query vertex uChild.
+func hasWitness(q *graph.Graph, uChild int, g *graph.Graph, vParent int, sim seq.SimResult) bool {
+	uChildID := q.VertexAt(uChild)
+	for _, he := range g.OutEdges(vParent) {
+		if sim[uChildID][g.VertexAt(int(he.To))] {
+			return true
+		}
+	}
+	return false
+}
+
+// ISGD applies incremental stochastic gradient descent (Vinagre et al. [48]):
+// given freshly updated factor vectors for some vertices, it retrains only
+// the ratings incident to those vertices, leaving the rest of the model
+// untouched. It returns the set of vertices whose factor vector was modified.
+func ISGD(ratings []seq.Rating, factors seq.Factors, affected map[graph.VertexID]bool, cfg seq.SGDConfig) map[graph.VertexID]bool {
+	touched := make(map[graph.VertexID]bool)
+	ensure := func(v graph.VertexID) []float64 {
+		if vec, ok := factors[v]; ok {
+			return vec
+		}
+		vec := seq.InitFactor(v, cfg.Factors)
+		factors[v] = vec
+		return vec
+	}
+	for _, r := range ratings {
+		if !affected[r.User] && !affected[r.Product] {
+			continue
+		}
+		seq.SGDStep(ensure(r.User), ensure(r.Product), r.Value, cfg)
+		touched[r.User] = true
+		touched[r.Product] = true
+	}
+	return touched
+}

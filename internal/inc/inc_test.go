@@ -1,0 +1,331 @@
+package inc
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"grape/internal/graph"
+	"grape/internal/graphgen"
+	"grape/internal/seq"
+)
+
+func TestSSSPDecreasePropagates(t *testing.T) {
+	b := graph.NewBuilder(true)
+	b.AddEdge(1, 2, 1, "")
+	b.AddEdge(2, 3, 1, "")
+	b.AddEdge(3, 4, 1, "")
+	g := b.Build()
+	dist := map[graph.VertexID]float64{1: 0, 2: 1, 3: 2, 4: 3}
+	// A shortcut makes vertex 3 reachable at distance 0.5.
+	changed := SSSPDecrease(g, dist, map[graph.VertexID]float64{3: 0.5})
+	if dist[3] != 0.5 || dist[4] != 1.5 {
+		t.Fatalf("distances after decrease: %v", dist)
+	}
+	if len(changed) != 2 {
+		t.Fatalf("changed = %v, want {3,4}", changed)
+	}
+	// Increases and unknown vertices are ignored.
+	changed = SSSPDecrease(g, dist, map[graph.VertexID]float64{3: 10, 99: 1})
+	if len(changed) != 0 || dist[3] != 0.5 {
+		t.Fatalf("non-decreasing update must be ignored: %v %v", changed, dist)
+	}
+}
+
+// Property: applying incremental decreases to a stale solution yields exactly
+// the distances of recomputing from scratch — the correctness contract of
+// IncEval for SSSP.
+func TestQuickSSSPIncrementalEqualsBatch(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 5
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(true)
+		for i := 0; i < n; i++ {
+			b.AddVertex(graph.VertexID(i), "")
+		}
+		for i := 0; i < 3*n; i++ {
+			s, d := rng.Intn(n), rng.Intn(n)
+			if s != d {
+				b.AddEdge(graph.VertexID(s), graph.VertexID(d), float64(1+rng.Intn(9)), "")
+			}
+		}
+		g := b.Build()
+		src := graph.VertexID(rng.Intn(n))
+		truth := seq.Dijkstra(g, src)
+
+		// Stale state: everything infinite except the source; feed the true
+		// distances of a random subset of vertices as "messages".
+		dist := make(map[graph.VertexID]float64, n)
+		for i := 0; i < n; i++ {
+			dist[g.VertexAt(i)] = seq.Infinity
+		}
+		decreases := map[graph.VertexID]float64{src: 0}
+		for v, d := range truth {
+			if !math.IsInf(d, 1) && rng.Intn(2) == 0 {
+				decreases[v] = d
+			}
+		}
+		SSSPDecrease(g, dist, decreases)
+		for v, d := range truth {
+			if dist[v] != d && !(math.IsInf(dist[v], 1) && math.IsInf(d, 1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCCStateMerge(t *testing.T) {
+	s := NewCCState(map[graph.VertexID]graph.VertexID{
+		1: 1, 2: 1, 3: 3, 4: 3, 5: 5,
+	})
+	if c, ok := s.CID(3); !ok || c != 3 {
+		t.Fatalf("CID(3) = %v %v", c, ok)
+	}
+	// Component 3 learns the smaller id 1: both members relabel.
+	changed := s.Merge(map[graph.VertexID]graph.VertexID{3: 1})
+	sort.Slice(changed, func(i, j int) bool { return changed[i] < changed[j] })
+	if len(changed) != 2 || changed[0] != 3 || changed[1] != 4 {
+		t.Fatalf("changed = %v, want [3 4]", changed)
+	}
+	labels := s.Labels()
+	if labels[3] != 1 || labels[4] != 1 {
+		t.Fatalf("labels after merge: %v", labels)
+	}
+	// A non-improving update does nothing.
+	if got := s.Merge(map[graph.VertexID]graph.VertexID{5: 9}); len(got) != 0 {
+		t.Fatalf("non-improving merge changed %v", got)
+	}
+	// Unknown vertex becomes tracked.
+	if got := s.Merge(map[graph.VertexID]graph.VertexID{42: 1}); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("unknown vertex merge = %v", got)
+	}
+	if c, _ := s.CID(42); c != 1 {
+		t.Fatalf("CID(42) = %v, want 1", c)
+	}
+}
+
+func TestCCStateChainOfMerges(t *testing.T) {
+	// Simulates the cross-fragment cid propagation: 5 components merge into
+	// one through successive smaller-cid messages.
+	labels := map[graph.VertexID]graph.VertexID{}
+	for v := graph.VertexID(0); v < 50; v++ {
+		labels[v] = v / 10 * 10 // components {0..9}->0, {10..19}->10, ...
+	}
+	s := NewCCState(labels)
+	s.Merge(map[graph.VertexID]graph.VertexID{40: 30})
+	s.Merge(map[graph.VertexID]graph.VertexID{30: 20})
+	s.Merge(map[graph.VertexID]graph.VertexID{20: 10})
+	s.Merge(map[graph.VertexID]graph.VertexID{10: 0})
+	for v, c := range s.Labels() {
+		if c != 0 {
+			t.Fatalf("vertex %d still labelled %d after chain of merges", v, c)
+		}
+	}
+}
+
+// Property: merging arbitrary decreasing updates never produces a label
+// larger than the previous one and keeps labels consistent within merged
+// groups.
+func TestQuickCCMergeMonotone(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 5
+		rng := rand.New(rand.NewSource(seed))
+		labels := map[graph.VertexID]graph.VertexID{}
+		for v := 0; v < n; v++ {
+			labels[graph.VertexID(v)] = graph.VertexID(rng.Intn(v + 1))
+		}
+		s := NewCCState(labels)
+		before := s.Labels()
+		ups := map[graph.VertexID]graph.VertexID{}
+		for k := 0; k < 5; k++ {
+			ups[graph.VertexID(rng.Intn(n))] = graph.VertexID(rng.Intn(n))
+		}
+		s.Merge(ups)
+		after := s.Labels()
+		for v := range before {
+			if after[v] > before[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimDeleteCascades(t *testing.T) {
+	// Pattern A -> B -> C; data chain a -> b -> c. Removing (C, c) must
+	// cascade to (B, b) and then (A, a).
+	qb := graph.NewBuilder(true)
+	qb.AddVertex(0, "A")
+	qb.AddVertex(1, "B")
+	qb.AddVertex(2, "C")
+	qb.AddEdge(0, 1, 1, "")
+	qb.AddEdge(1, 2, 1, "")
+	q := qb.Build()
+
+	gb := graph.NewBuilder(true)
+	gb.AddVertex(10, "A")
+	gb.AddVertex(11, "B")
+	gb.AddVertex(12, "C")
+	gb.AddEdge(10, 11, 1, "")
+	gb.AddEdge(11, 12, 1, "")
+	g := gb.Build()
+
+	sim := seq.Simulation(q, g)
+	if !sim.Matches() {
+		t.Fatalf("precondition: chain must match")
+	}
+	cascade := SimDelete(q, g, sim, []SimPair{{Query: 2, Data: 12}})
+	if len(cascade) != 2 {
+		t.Fatalf("cascade = %v, want 2 removals", cascade)
+	}
+	if sim[0][10] || sim[1][11] || sim[2][12] {
+		t.Fatalf("relation not emptied by cascade: %v", sim)
+	}
+	// Removing an already-removed pair is a no-op.
+	if got := SimDelete(q, g, sim, []SimPair{{Query: 2, Data: 12}}); len(got) != 0 {
+		t.Fatalf("repeat removal should cascade nothing, got %v", got)
+	}
+}
+
+func TestSimDeleteStopsWhenWitnessRemains(t *testing.T) {
+	// Data vertex b has two C children; removing one keeps (B,b) valid.
+	qb := graph.NewBuilder(true)
+	qb.AddVertex(0, "B")
+	qb.AddVertex(1, "C")
+	qb.AddEdge(0, 1, 1, "")
+	q := qb.Build()
+
+	gb := graph.NewBuilder(true)
+	gb.AddVertex(11, "B")
+	gb.AddVertex(12, "C")
+	gb.AddVertex(13, "C")
+	gb.AddEdge(11, 12, 1, "")
+	gb.AddEdge(11, 13, 1, "")
+	g := gb.Build()
+
+	sim := seq.Simulation(q, g)
+	cascade := SimDelete(q, g, sim, []SimPair{{Query: 1, Data: 12}})
+	if len(cascade) != 0 {
+		t.Fatalf("cascade = %v, want none (witness 13 remains)", cascade)
+	}
+	if !sim[0][11] || !sim[1][13] {
+		t.Fatalf("surviving matches were removed: %v", sim)
+	}
+}
+
+// Property: incremental deletion equals recomputing the simulation on the
+// data graph with the deleted matches' vertices forbidden for those query
+// nodes. We check a weaker but meaningful invariant: after SimDelete, the
+// relation is still a valid simulation relation restricted to the surviving
+// pairs.
+func TestQuickSimDeleteKeepsValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graphgen.KnowledgeBase(80, 3, 4, graphgen.Config{Seed: seed, Labels: 4})
+		q := graphgen.Pattern(g, 4, 6, seed+11)
+		sim := seq.Simulation(q, g)
+		// Remove a few random pairs.
+		rng := rand.New(rand.NewSource(seed))
+		var removals []SimPair
+		for uq := 0; uq < q.NumVertices(); uq++ {
+			u := q.VertexAt(uq)
+			for v := range sim[u] {
+				if rng.Intn(5) == 0 {
+					removals = append(removals, SimPair{Query: u, Data: v})
+				}
+			}
+		}
+		SimDelete(q, g, sim, removals)
+		// Validity: every surviving pair still has witnesses among surviving
+		// pairs.
+		for uq := 0; uq < q.NumVertices(); uq++ {
+			u := q.VertexAt(uq)
+			for v := range sim[u] {
+				vi := g.IndexOf(v)
+				for _, qe := range q.OutEdges(uq) {
+					child := q.VertexAt(int(qe.To))
+					ok := false
+					for _, he := range g.OutEdges(vi) {
+						if sim[child][g.VertexAt(int(he.To))] {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestISGDOnlyTouchesAffected(t *testing.T) {
+	g := graphgen.Bipartite(100, 20, 5, graphgen.Config{Seed: 3})
+	ratings := seq.RatingsFromGraph(g)
+	cfg := seq.DefaultSGDConfig()
+	factors := seq.Train(ratings, cfg, nil)
+	snapshot := factors.Clone()
+
+	affectedUser := ratings[0].User
+	touched := ISGD(ratings, factors, map[graph.VertexID]bool{affectedUser: true}, cfg)
+	if !touched[affectedUser] {
+		t.Fatalf("affected user not retrained")
+	}
+	// Vertices not incident to the affected user keep their factors.
+	incident := map[graph.VertexID]bool{}
+	for _, r := range ratings {
+		if r.User == affectedUser {
+			incident[r.Product] = true
+		}
+	}
+	for v, vec := range factors {
+		if v == affectedUser || incident[v] {
+			continue
+		}
+		for i := range vec {
+			if vec[i] != snapshot[v][i] {
+				t.Fatalf("untouched vertex %d was modified", v)
+			}
+		}
+	}
+	// ISGD with new observations improves the fit on those observations.
+	affected := ratings[:0:0]
+	for _, r := range ratings {
+		if r.User == affectedUser {
+			affected = append(affected, r)
+		}
+	}
+	if len(affected) > 0 {
+		before := seq.RMSE(snapshot, affected)
+		after := seq.RMSE(factors, affected)
+		if after > before+1e-9 {
+			t.Fatalf("ISGD worsened the affected ratings: %v -> %v", before, after)
+		}
+	}
+}
+
+func TestISGDCreatesMissingFactors(t *testing.T) {
+	ratings := []seq.Rating{{User: 1, Product: 100, Value: 4}}
+	factors := seq.Factors{}
+	cfg := seq.DefaultSGDConfig()
+	touched := ISGD(ratings, factors, map[graph.VertexID]bool{1: true}, cfg)
+	if !touched[1] || !touched[100] {
+		t.Fatalf("touched = %v", touched)
+	}
+	if _, ok := factors[100]; !ok {
+		t.Fatalf("missing product factor was not created")
+	}
+}

@@ -1,0 +1,90 @@
+// Package metrics collects the measurements reported by the paper's
+// evaluation: response time, number of supersteps, and communication cost
+// (messages and bytes shipped between workers). Every engine in this
+// repository — GRAPE and the baselines — reports its run through a Stats
+// value so the benchmark harness can print directly comparable rows.
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Stats aggregates the measurements of one engine run.
+type Stats struct {
+	mu sync.Mutex
+
+	// Engine identifies which system produced the run (e.g. "GRAPE",
+	// "Pregel", "GAS", "Blogel").
+	Engine string
+	// Query identifies the query class (e.g. "SSSP", "CC", "Sim").
+	Query string
+	// Workers is the number of workers the run used.
+	Workers int
+
+	// Supersteps is the number of global synchronization rounds.
+	Supersteps int
+	// MessagesSent counts individual messages shipped between workers
+	// (worker-local computation does not count, matching the paper).
+	MessagesSent int64
+	// BytesSent counts the serialized size of shipped messages.
+	BytesSent int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+
+	perStep []StepStats
+}
+
+// StepStats records the communication of a single superstep.
+type StepStats struct {
+	Step     int
+	Messages int64
+	Bytes    int64
+}
+
+// AddMessage records that one message of the given serialized size was sent.
+func (s *Stats) AddMessage(bytes int) {
+	s.mu.Lock()
+	s.MessagesSent++
+	s.BytesSent += int64(bytes)
+	if n := len(s.perStep); n > 0 {
+		s.perStep[n-1].Messages++
+		s.perStep[n-1].Bytes += int64(bytes)
+	}
+	s.mu.Unlock()
+}
+
+// BeginSuperstep starts accounting a new superstep.
+func (s *Stats) BeginSuperstep() {
+	s.mu.Lock()
+	s.Supersteps++
+	s.perStep = append(s.perStep, StepStats{Step: s.Supersteps})
+	s.mu.Unlock()
+}
+
+// PerStep returns a copy of the per-superstep communication breakdown.
+func (s *Stats) PerStep() []StepStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]StepStats(nil), s.perStep...)
+}
+
+// MBShipped returns the total communication volume in megabytes.
+func (s *Stats) MBShipped() float64 { return float64(s.BytesSent) / (1024 * 1024) }
+
+// String formats the stats as a one-line report.
+func (s *Stats) String() string {
+	return fmt.Sprintf("%s/%s n=%d: %v, %d supersteps, %d msgs, %.3f MB",
+		s.Engine, s.Query, s.Workers, s.Elapsed.Round(time.Microsecond),
+		s.Supersteps, s.MessagesSent, s.MBShipped())
+}
+
+// Timer measures elapsed wall-clock time for a run.
+type Timer struct{ start time.Time }
+
+// StartTimer returns a running timer.
+func StartTimer() Timer { return Timer{start: time.Now()} }
+
+// Stop returns the elapsed duration since the timer started.
+func (t Timer) Stop() time.Duration { return time.Since(t.start) }

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStatsAccounting(t *testing.T) {
+	s := &Stats{Engine: "GRAPE", Query: "SSSP", Workers: 4}
+	s.BeginSuperstep()
+	s.AddMessage(100)
+	s.AddMessage(50)
+	s.BeginSuperstep()
+	s.AddMessage(1024 * 1024)
+
+	if s.Supersteps != 2 {
+		t.Fatalf("Supersteps = %d, want 2", s.Supersteps)
+	}
+	if s.MessagesSent != 3 || s.BytesSent != 150+1024*1024 {
+		t.Fatalf("totals wrong: %d msgs %d bytes", s.MessagesSent, s.BytesSent)
+	}
+	steps := s.PerStep()
+	if len(steps) != 2 || steps[0].Messages != 2 || steps[0].Bytes != 150 || steps[1].Messages != 1 {
+		t.Fatalf("per-step breakdown wrong: %+v", steps)
+	}
+	if mb := s.MBShipped(); mb < 1.0 || mb > 1.01 {
+		t.Fatalf("MBShipped = %v", mb)
+	}
+	s.Elapsed = 1500 * time.Microsecond
+	str := s.String()
+	for _, want := range []string{"GRAPE/SSSP", "n=4", "2 supersteps", "3 msgs"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func TestStatsConcurrentAddMessage(t *testing.T) {
+	s := &Stats{}
+	s.BeginSuperstep()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.AddMessage(10)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.MessagesSent != 1600 || s.BytesSent != 16000 {
+		t.Fatalf("concurrent accounting lost updates: %d msgs %d bytes", s.MessagesSent, s.BytesSent)
+	}
+}
+
+func TestAddMessageBeforeFirstSuperstep(t *testing.T) {
+	s := &Stats{}
+	s.AddMessage(7) // must not panic without a superstep
+	if s.MessagesSent != 1 || len(s.PerStep()) != 0 {
+		t.Fatalf("unexpected accounting: %+v", s)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	timer := StartTimer()
+	time.Sleep(2 * time.Millisecond)
+	if d := timer.Stop(); d < time.Millisecond {
+		t.Fatalf("timer measured %v", d)
+	}
+}

@@ -1,0 +1,161 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Update is the unit of communication for designated messages: the new value
+// of one update parameter (Section 3.2). Vertex identifies the status
+// variable's node, Key an algorithm-specific sub-key (for example the query
+// node of a simulation variable x_(u,v), or a timestamp for CF), Value a
+// numeric payload and Data an optional opaque payload for structured values
+// (factor vectors, serialized subgraph pieces).
+type Update struct {
+	Vertex int64
+	Key    int64
+	Value  float64
+	Data   []byte
+}
+
+// KeyValue is the unit of communication for key-value messages, used to
+// simulate MapReduce on GRAPE (Section 3.5, Theorem 2).
+type KeyValue struct {
+	Key   string
+	Value []byte
+}
+
+// EncodeUpdates serializes a batch of updates with a compact fixed-layout
+// binary encoding. The encoded size is what the communication-cost
+// experiments (Figure 8) measure.
+func EncodeUpdates(ups []Update) []byte {
+	size := 4
+	for _, u := range ups {
+		size += 8 + 8 + 8 + 4 + len(u.Data)
+	}
+	buf := make([]byte, size)
+	off := 0
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(ups)))
+	off += 4
+	for _, u := range ups {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(u.Vertex))
+		off += 8
+		binary.LittleEndian.PutUint64(buf[off:], uint64(u.Key))
+		off += 8
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(u.Value))
+		off += 8
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(u.Data)))
+		off += 4
+		copy(buf[off:], u.Data)
+		off += len(u.Data)
+	}
+	return buf
+}
+
+// DecodeUpdates parses a batch produced by EncodeUpdates.
+func DecodeUpdates(buf []byte) ([]Update, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("mpi: short update batch (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	off := 4
+	ups := make([]Update, 0, n)
+	for i := 0; i < n; i++ {
+		if off+28 > len(buf) {
+			return nil, fmt.Errorf("mpi: truncated update %d of %d", i, n)
+		}
+		var u Update
+		u.Vertex = int64(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		u.Key = int64(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		u.Value = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		dataLen := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if off+dataLen > len(buf) {
+			return nil, fmt.Errorf("mpi: truncated update payload %d of %d", i, n)
+		}
+		if dataLen > 0 {
+			u.Data = append([]byte(nil), buf[off:off+dataLen]...)
+		}
+		off += dataLen
+		ups = append(ups, u)
+	}
+	return ups, nil
+}
+
+// EncodeKeyValues serializes a batch of key-value pairs.
+func EncodeKeyValues(kvs []KeyValue) []byte {
+	size := 4
+	for _, kv := range kvs {
+		size += 4 + len(kv.Key) + 4 + len(kv.Value)
+	}
+	buf := make([]byte, size)
+	off := 0
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(kvs)))
+	off += 4
+	for _, kv := range kvs {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(kv.Key)))
+		off += 4
+		copy(buf[off:], kv.Key)
+		off += len(kv.Key)
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(kv.Value)))
+		off += 4
+		copy(buf[off:], kv.Value)
+		off += len(kv.Value)
+	}
+	return buf
+}
+
+// DecodeKeyValues parses a batch produced by EncodeKeyValues.
+func DecodeKeyValues(buf []byte) ([]KeyValue, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("mpi: short key-value batch (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	off := 4
+	kvs := make([]KeyValue, 0, n)
+	for i := 0; i < n; i++ {
+		if off+4 > len(buf) {
+			return nil, fmt.Errorf("mpi: truncated key %d of %d", i, n)
+		}
+		kl := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if off+kl+4 > len(buf) {
+			return nil, fmt.Errorf("mpi: truncated key %d of %d", i, n)
+		}
+		key := string(buf[off : off+kl])
+		off += kl
+		vl := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if off+vl > len(buf) {
+			return nil, fmt.Errorf("mpi: truncated value %d of %d", i, n)
+		}
+		val := append([]byte(nil), buf[off:off+vl]...)
+		off += vl
+		kvs = append(kvs, KeyValue{Key: key, Value: val})
+	}
+	return kvs, nil
+}
+
+// Float64sToBytes encodes a float64 vector as bytes, used for CF factor
+// vectors.
+func Float64sToBytes(v []float64) []byte {
+	buf := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	return buf
+}
+
+// BytesToFloat64s decodes a vector encoded by Float64sToBytes.
+func BytesToFloat64s(buf []byte) []float64 {
+	n := len(buf) / 8
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out
+}

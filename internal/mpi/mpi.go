@@ -1,0 +1,168 @@
+// Package mpi provides the message-passing substrate that stands in for the
+// MPI controller of the paper's implementation (Section 6, "Message
+// passing"). Workers and the coordinator exchange serialized envelopes
+// through in-process mailboxes; the transport meters every inter-worker
+// message (count and serialized bytes), which is exactly the communication
+// cost the paper reports in Figure 8.
+//
+// The transport is synchronous in the BSP sense: messages sent during
+// superstep r are buffered and only become visible to their destinations
+// when the engine calls Deliver at the superstep boundary.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"grape/internal/metrics"
+)
+
+// Coordinator is the pseudo-rank of the coordinator P0. Workers use ranks
+// 0..n-1.
+const Coordinator = -1
+
+// Envelope is a routed message: an opaque serialized payload plus routing
+// metadata. Payload serialization is owned by the caller (the engines use the
+// codec in codec.go), which keeps the transport independent of message
+// schemas.
+type Envelope struct {
+	From    int
+	To      int
+	Tag     string
+	Payload []byte
+}
+
+// Cluster is an in-process cluster of n workers plus a coordinator, connected
+// by buffered mailboxes.
+type Cluster struct {
+	n     int
+	stats *metrics.Stats
+
+	mu      sync.Mutex
+	pending [][]Envelope // indexed by destination rank; n is the coordinator slot
+	crashed []bool
+}
+
+// NewCluster creates a cluster with n workers. Stats may be nil, in which
+// case communication is not metered.
+func NewCluster(n int, stats *metrics.Stats) *Cluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: invalid worker count %d", n))
+	}
+	return &Cluster{
+		n:       n,
+		stats:   stats,
+		pending: make([][]Envelope, n+1),
+		crashed: make([]bool, n),
+	}
+}
+
+// NumWorkers returns the number of workers in the cluster.
+func (c *Cluster) NumWorkers() int { return c.n }
+
+// Send queues an envelope from rank from to rank to (use Coordinator for P0).
+// Messages between distinct workers, and between workers and the
+// coordinator, are metered; a worker sending to itself is local computation
+// and is not counted, matching how the paper accounts communication.
+func (c *Cluster) Send(from, to int, tag string, payload []byte) {
+	slot := c.slot(to)
+	c.mu.Lock()
+	c.pending[slot] = append(c.pending[slot], Envelope{From: from, To: to, Tag: tag, Payload: payload})
+	c.mu.Unlock()
+	if c.stats != nil && from != to {
+		c.stats.AddMessage(len(payload))
+	}
+}
+
+func (c *Cluster) slot(rank int) int {
+	if rank == Coordinator {
+		return c.n
+	}
+	if rank < 0 || rank >= c.n {
+		panic(fmt.Sprintf("mpi: invalid rank %d", rank))
+	}
+	return rank
+}
+
+// Deliver returns and clears all envelopes queued for the given rank. The
+// engine calls it at superstep boundaries, which gives BSP semantics.
+func (c *Cluster) Deliver(rank int) []Envelope {
+	slot := c.slot(rank)
+	c.mu.Lock()
+	out := c.pending[slot]
+	c.pending[slot] = nil
+	c.mu.Unlock()
+	return out
+}
+
+// PendingFor reports how many envelopes are queued for the given rank without
+// consuming them. The coordinator uses it for termination detection.
+func (c *Cluster) PendingFor(rank int) int {
+	slot := c.slot(rank)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending[slot])
+}
+
+// Crash marks a worker as failed. Subsequent Alive checks return false until
+// Recover is called. It models the failures detected by the arbitrator's
+// heart-beat mechanism (Section 6, "Fault tolerance").
+func (c *Cluster) Crash(rank int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rank >= 0 && rank < c.n {
+		c.crashed[rank] = true
+	}
+}
+
+// Recover marks a failed worker as healthy again (its tasks having been
+// transferred or restarted by the arbitrator).
+func (c *Cluster) Recover(rank int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rank >= 0 && rank < c.n {
+		c.crashed[rank] = false
+	}
+}
+
+// Alive reports whether the worker responds to heart-beats.
+func (c *Cluster) Alive(rank int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return rank >= 0 && rank < c.n && !c.crashed[rank]
+}
+
+// Barrier runs fn(rank) for every live worker concurrently (bounded by
+// parallelism, <=0 meaning unbounded) and waits for all of them — one BSP
+// superstep's local-computation phase. It returns the first error reported
+// by any worker together with that worker's rank (-1 when no error).
+func (c *Cluster) Barrier(parallelism int, fn func(rank int) error) (int, error) {
+	if parallelism <= 0 || parallelism > c.n {
+		parallelism = c.n
+	}
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	failedRank, firstErr := -1, error(nil)
+	for rank := 0; rank < c.n; rank++ {
+		if !c.Alive(rank) {
+			continue
+		}
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := fn(rank); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+					failedRank = rank
+				}
+				mu.Unlock()
+			}
+		}(rank)
+	}
+	wg.Wait()
+	return failedRank, firstErr
+}

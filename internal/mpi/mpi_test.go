@@ -1,0 +1,241 @@
+package mpi
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"grape/internal/metrics"
+)
+
+func TestSendDeliver(t *testing.T) {
+	stats := &metrics.Stats{}
+	c := NewCluster(3, stats)
+	if c.NumWorkers() != 3 {
+		t.Fatalf("NumWorkers = %d", c.NumWorkers())
+	}
+	c.Send(0, 1, "upd", []byte("abc"))
+	c.Send(2, 1, "upd", []byte("defg"))
+	c.Send(1, 1, "local", []byte("xyz")) // local, not metered
+	c.Send(0, Coordinator, "ctl", []byte("q"))
+
+	if got := c.PendingFor(1); got != 3 {
+		t.Fatalf("PendingFor(1) = %d, want 3", got)
+	}
+	envs := c.Deliver(1)
+	if len(envs) != 3 {
+		t.Fatalf("Deliver(1) = %d envelopes, want 3", len(envs))
+	}
+	if got := c.PendingFor(1); got != 0 {
+		t.Fatalf("PendingFor(1) after Deliver = %d, want 0", got)
+	}
+	coord := c.Deliver(Coordinator)
+	if len(coord) != 1 || coord[0].Tag != "ctl" {
+		t.Fatalf("coordinator mailbox = %+v", coord)
+	}
+	// Metering: 3 remote messages, 3+4+1 = 8 bytes.
+	if stats.MessagesSent != 3 || stats.BytesSent != 8 {
+		t.Fatalf("stats = %d msgs %d bytes, want 3 msgs 8 bytes", stats.MessagesSent, stats.BytesSent)
+	}
+}
+
+func TestNilStatsAndInvalidRank(t *testing.T) {
+	c := NewCluster(2, nil)
+	c.Send(0, 1, "x", nil) // must not panic with nil stats
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Send to invalid rank should panic")
+		}
+	}()
+	c.Send(0, 5, "x", nil)
+}
+
+func TestNewClusterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewCluster(0) should panic")
+		}
+	}()
+	NewCluster(0, nil)
+}
+
+func TestCrashRecoverAlive(t *testing.T) {
+	c := NewCluster(2, nil)
+	if !c.Alive(0) || !c.Alive(1) {
+		t.Fatalf("workers should start alive")
+	}
+	c.Crash(1)
+	if c.Alive(1) {
+		t.Fatalf("crashed worker reported alive")
+	}
+	c.Recover(1)
+	if !c.Alive(1) {
+		t.Fatalf("recovered worker reported dead")
+	}
+	if c.Alive(-1) || c.Alive(99) {
+		t.Fatalf("out-of-range ranks should not be alive")
+	}
+	c.Crash(99) // must not panic
+}
+
+func TestBarrierRunsAllLiveWorkers(t *testing.T) {
+	c := NewCluster(4, nil)
+	c.Crash(2)
+	var mu sync.Mutex
+	ran := map[int]bool{}
+	rank, err := c.Barrier(2, func(r int) error {
+		mu.Lock()
+		ran[r] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != nil || rank != -1 {
+		t.Fatalf("Barrier error = %v (rank %d)", err, rank)
+	}
+	if len(ran) != 3 || ran[2] {
+		t.Fatalf("Barrier ran %v, want all live workers except 2", ran)
+	}
+}
+
+func TestBarrierReportsError(t *testing.T) {
+	c := NewCluster(3, nil)
+	boom := errors.New("boom")
+	rank, err := c.Barrier(0, func(r int) error {
+		if r == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || rank != 1 {
+		t.Fatalf("Barrier = rank %d err %v, want rank 1 boom", rank, err)
+	}
+}
+
+func TestUpdateCodecRoundTrip(t *testing.T) {
+	ups := []Update{
+		{Vertex: 1, Key: 0, Value: 3.5},
+		{Vertex: -9, Key: 7, Value: math.Inf(1), Data: []byte("payload")},
+		{Vertex: 42, Key: -1, Value: 0, Data: []byte{}},
+	}
+	buf := EncodeUpdates(ups)
+	back, err := DecodeUpdates(buf)
+	if err != nil {
+		t.Fatalf("DecodeUpdates: %v", err)
+	}
+	if len(back) != len(ups) {
+		t.Fatalf("decoded %d updates, want %d", len(back), len(ups))
+	}
+	for i := range ups {
+		if back[i].Vertex != ups[i].Vertex || back[i].Key != ups[i].Key {
+			t.Fatalf("update %d metadata mismatch: %+v vs %+v", i, back[i], ups[i])
+		}
+		if !(math.IsInf(back[i].Value, 1) && math.IsInf(ups[i].Value, 1)) && back[i].Value != ups[i].Value {
+			t.Fatalf("update %d value mismatch", i)
+		}
+		if string(back[i].Data) != string(ups[i].Data) {
+			t.Fatalf("update %d data mismatch", i)
+		}
+	}
+}
+
+func TestUpdateCodecErrors(t *testing.T) {
+	if _, err := DecodeUpdates(nil); err == nil {
+		t.Fatalf("decoding nil should fail")
+	}
+	buf := EncodeUpdates([]Update{{Vertex: 1, Value: 2}})
+	if _, err := DecodeUpdates(buf[:len(buf)-5]); err == nil {
+		t.Fatalf("decoding truncated batch should fail")
+	}
+	withData := EncodeUpdates([]Update{{Vertex: 1, Data: []byte("hello world")}})
+	if _, err := DecodeUpdates(withData[:len(withData)-3]); err == nil {
+		t.Fatalf("decoding truncated payload should fail")
+	}
+}
+
+func TestKeyValueCodecRoundTrip(t *testing.T) {
+	kvs := []KeyValue{
+		{Key: "alpha", Value: []byte("1")},
+		{Key: "", Value: nil},
+		{Key: "βeta", Value: []byte("long value with spaces")},
+	}
+	back, err := DecodeKeyValues(EncodeKeyValues(kvs))
+	if err != nil {
+		t.Fatalf("DecodeKeyValues: %v", err)
+	}
+	if len(back) != len(kvs) {
+		t.Fatalf("decoded %d kvs, want %d", len(back), len(kvs))
+	}
+	for i := range kvs {
+		if back[i].Key != kvs[i].Key || string(back[i].Value) != string(kvs[i].Value) {
+			t.Fatalf("kv %d mismatch: %+v vs %+v", i, back[i], kvs[i])
+		}
+	}
+}
+
+func TestKeyValueCodecErrors(t *testing.T) {
+	if _, err := DecodeKeyValues([]byte{1}); err == nil {
+		t.Fatalf("decoding short buffer should fail")
+	}
+	buf := EncodeKeyValues([]KeyValue{{Key: "key", Value: []byte("value")}})
+	for _, cut := range []int{5, 9, 12} {
+		if cut < len(buf) {
+			if _, err := DecodeKeyValues(buf[:cut]); err == nil {
+				t.Fatalf("decoding buffer cut at %d should fail", cut)
+			}
+		}
+	}
+}
+
+func TestFloat64sCodec(t *testing.T) {
+	v := []float64{1.5, -2.25, 0, math.Pi}
+	back := BytesToFloat64s(Float64sToBytes(v))
+	if !reflect.DeepEqual(v, back) {
+		t.Fatalf("float64 codec mismatch: %v vs %v", back, v)
+	}
+	if len(BytesToFloat64s(nil)) != 0 {
+		t.Fatalf("empty vector should decode to empty slice")
+	}
+}
+
+// Property: update codec round-trips arbitrary batches.
+func TestQuickUpdateCodec(t *testing.T) {
+	f := func(vs []int64, ks []int64, vals []float64, data []byte) bool {
+		n := len(vs)
+		if len(ks) < n {
+			n = len(ks)
+		}
+		if len(vals) < n {
+			n = len(vals)
+		}
+		ups := make([]Update, n)
+		for i := 0; i < n; i++ {
+			ups[i] = Update{Vertex: vs[i], Key: ks[i], Value: vals[i]}
+			if i%3 == 0 && len(data) > 0 {
+				ups[i].Data = data
+			}
+		}
+		back, err := DecodeUpdates(EncodeUpdates(ups))
+		if err != nil || len(back) != n {
+			return false
+		}
+		for i := range ups {
+			if back[i].Vertex != ups[i].Vertex || back[i].Key != ups[i].Key {
+				return false
+			}
+			v1, v2 := ups[i].Value, back[i].Value
+			if v1 != v2 && !(math.IsNaN(v1) && math.IsNaN(v2)) {
+				return false
+			}
+			if string(back[i].Data) != string(ups[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

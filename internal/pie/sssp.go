@@ -1,0 +1,132 @@
+package pie
+
+import (
+	"fmt"
+
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/inc"
+	"grape/internal/mpi"
+	"grape/internal/seq"
+)
+
+// SSSP is the PIE program for single-source shortest paths (Figures 3 and 4
+// of the paper). The query is the source vertex (graph.VertexID); the
+// assembled answer is a map from every vertex of G to its shortest distance
+// from the source (+Inf when unreachable).
+//
+// PEval is Dijkstra's algorithm run on the local fragment; the only additions
+// are the message preamble (a dist(s,v) variable per border node, initially
+// ∞) and the message segment (ship decreased border distances, aggregated
+// with min). IncEval is the bounded incremental shortest-path algorithm of
+// Ramalingam–Reps, seeded with the border distances that decreased.
+type SSSP struct{}
+
+// ssspState is the partial result Q(Fi): the current distance of every
+// vertex present in the fragment graph (owned vertices and border copies).
+type ssspState struct {
+	dist map[graph.VertexID]float64
+}
+
+// Name implements core.Program.
+func (SSSP) Name() string { return "SSSP" }
+
+// PEval implements core.Program.
+func (SSSP) PEval(ctx *core.Context) error {
+	source, ok := ctx.Query.(graph.VertexID)
+	if !ok {
+		return fmt.Errorf("pie: SSSP query must be a graph.VertexID, got %T", ctx.Query)
+	}
+	g := ctx.Fragment.Graph
+
+	// Message preamble: declare dist(s,v) = ∞ for every border node.
+	for _, v := range ctx.Fragment.InBorder {
+		ctx.Declare(v, 0, seq.Infinity, nil)
+	}
+	for _, v := range ctx.Fragment.OutBorder {
+		ctx.Declare(v, 0, seq.Infinity, nil)
+	}
+
+	st, _ := ctx.State.(*ssspState)
+	if st == nil {
+		st = &ssspState{dist: make(map[graph.VertexID]float64, g.NumVertices())}
+		for i := 0; i < g.NumVertices(); i++ {
+			st.dist[g.VertexAt(i)] = seq.Infinity
+		}
+		ctx.State = st
+	}
+
+	// Seeds: the source (distance 0) plus any border values already known
+	// (these exist only when PEval is re-run in the GRAPE_NI ablation).
+	seeds := make(map[graph.VertexID]float64)
+	if g.HasVertex(source) {
+		seeds[source] = 0
+	}
+	for _, u := range ctx.Vars() {
+		if u.Value < seq.Infinity {
+			seeds[graph.VertexID(u.Vertex)] = u.Value
+		}
+	}
+	seq.DijkstraFrom(g, st.dist, seeds)
+
+	// Message segment: ship the computed distances of border nodes.
+	shipBorderDistances(ctx, st)
+	return nil
+}
+
+// IncEval implements core.Program. msgs carry decreased distances for border
+// nodes; the incremental algorithm propagates them through the affected area
+// only.
+func (SSSP) IncEval(ctx *core.Context, msgs []mpi.Update) error {
+	st, ok := ctx.State.(*ssspState)
+	if !ok {
+		return fmt.Errorf("pie: SSSP IncEval called before PEval")
+	}
+	decreases := make(map[graph.VertexID]float64, len(msgs))
+	for _, m := range msgs {
+		if m.Vertex == core.RawMessageVertex {
+			continue
+		}
+		decreases[graph.VertexID(m.Vertex)] = m.Value
+	}
+	inc.SSSPDecrease(ctx.Fragment.Graph, st.dist, decreases)
+	shipBorderDistances(ctx, st)
+	return nil
+}
+
+// shipBorderDistances records the current distance of every border node in
+// the update parameters; the engine ships only the ones that changed.
+func shipBorderDistances(ctx *core.Context, st *ssspState) {
+	for _, v := range ctx.Fragment.InBorder {
+		if d := st.dist[v]; d < seq.Infinity {
+			ctx.SetVar(v, 0, d, nil)
+		}
+	}
+	for _, v := range ctx.Fragment.OutBorder {
+		if d := st.dist[v]; d < seq.Infinity {
+			ctx.SetVar(v, 0, d, nil)
+		}
+	}
+}
+
+// Assemble implements core.Program: Q(G) is the union of the per-fragment
+// distances of owned vertices.
+func (SSSP) Assemble(q core.Query, ctxs []*core.Context) (any, error) {
+	out := make(map[graph.VertexID]float64)
+	for _, ctx := range ctxs {
+		st, ok := ctx.State.(*ssspState)
+		if !ok {
+			continue
+		}
+		for _, v := range ctx.Fragment.Local {
+			out[v] = st.dist[v]
+		}
+	}
+	return out, nil
+}
+
+// Aggregate implements core.Program: dist values only decrease, resolved with
+// min — the monotonic condition of the Assurance Theorem.
+func (SSSP) Aggregate(existing, incoming mpi.Update) mpi.Update {
+	return core.MinAggregate(existing, incoming)
+}

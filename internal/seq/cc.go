@@ -1,0 +1,81 @@
+package seq
+
+import (
+	"grape/internal/graph"
+)
+
+// ConnectedComponents computes the connected components of g viewed as an
+// undirected graph, by depth-first search (Section 5.2; "CC is in O(|G|)
+// time"). It returns a map from external vertex ID to a component identifier,
+// where the identifier is the smallest external vertex ID in the component —
+// the same convention the GRAPE CC program uses for its cids, so sequential
+// and parallel results are directly comparable.
+func ConnectedComponents(g *graph.Graph) map[graph.VertexID]graph.VertexID {
+	n := g.NumVertices()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	// Undirected reachability over a (possibly directed) graph follows both
+	// out- and in-edges.
+	var stack []int
+	next := 0
+	for start := 0; start < n; start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		id := next
+		next++
+		stack = append(stack[:0], start)
+		comp[start] = id
+		members := []int{start}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			visit := func(to int32) {
+				if comp[to] < 0 {
+					comp[to] = id
+					stack = append(stack, int(to))
+					members = append(members, int(to))
+				}
+			}
+			for _, he := range g.OutEdges(v) {
+				visit(he.To)
+			}
+			for _, he := range g.InEdges(v) {
+				visit(he.To)
+			}
+		}
+		_ = members
+	}
+	// Normalize component identifiers to the minimum external vertex ID of
+	// the component.
+	minID := make(map[int]graph.VertexID)
+	for i := 0; i < n; i++ {
+		id := comp[i]
+		v := g.VertexAt(i)
+		if cur, ok := minID[id]; !ok || v < cur {
+			minID[id] = v
+		}
+	}
+	out := make(map[graph.VertexID]graph.VertexID, n)
+	for i := 0; i < n; i++ {
+		out[g.VertexAt(i)] = minID[comp[i]]
+	}
+	return out
+}
+
+// ComponentSizes groups a component labelling into component sizes, keyed by
+// component identifier.
+func ComponentSizes(cc map[graph.VertexID]graph.VertexID) map[graph.VertexID]int {
+	sizes := make(map[graph.VertexID]int)
+	for _, cid := range cc {
+		sizes[cid]++
+	}
+	return sizes
+}
+
+// NumComponents returns the number of distinct components in a labelling.
+func NumComponents(cc map[graph.VertexID]graph.VertexID) int {
+	return len(ComponentSizes(cc))
+}

@@ -1,0 +1,159 @@
+// Package seq is the library of sequential graph algorithms that GRAPE
+// parallelizes (Section 5): Dijkstra's single-source shortest paths, DFS
+// connected components, graph simulation (plain and index-optimized),
+// VF2-style subgraph isomorphism, and stochastic gradient descent for
+// collaborative filtering. Each is an ordinary textbook sequential algorithm;
+// the PIE programs in internal/pie plug them into the engine essentially
+// unchanged, which is the point of the paper.
+package seq
+
+import (
+	"container/heap"
+	"math"
+
+	"grape/internal/graph"
+)
+
+// Infinity is the distance assigned to unreachable vertices.
+var Infinity = math.Inf(1)
+
+// Dijkstra computes single-source shortest path distances from source over
+// the graph's out-edges, treating edge weights as non-negative lengths
+// (Figure 3 of the paper, lines 1-14). It returns a map from external vertex
+// ID to distance; unreachable vertices map to +Inf. An unknown source yields
+// all-infinite distances.
+func Dijkstra(g *graph.Graph, source graph.VertexID) map[graph.VertexID]float64 {
+	dist := make(map[graph.VertexID]float64, g.NumVertices())
+	for i := 0; i < g.NumVertices(); i++ {
+		dist[g.VertexAt(i)] = Infinity
+	}
+	s := g.IndexOf(source)
+	if s < 0 {
+		return dist
+	}
+	d := make([]float64, g.NumVertices())
+	for i := range d {
+		d[i] = Infinity
+	}
+	d[s] = 0
+	pq := &distHeap{}
+	heap.Push(pq, distItem{vertex: s, dist: 0})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.dist > d[it.vertex] {
+			continue // stale entry
+		}
+		for _, he := range g.OutEdges(it.vertex) {
+			alt := it.dist + he.Weight
+			if alt < d[he.To] {
+				d[he.To] = alt
+				heap.Push(pq, distItem{vertex: int(he.To), dist: alt})
+			}
+		}
+	}
+	for i, dv := range d {
+		dist[g.VertexAt(i)] = dv
+	}
+	return dist
+}
+
+// DijkstraFrom runs Dijkstra-style relaxation starting from a set of seed
+// vertices with given initial distances, refining the provided distance map
+// in place. It is the work-horse shared by the sequential algorithm (single
+// seed at distance 0) and the bounded incremental algorithm of
+// Ramalingam-Reps used by IncEval (seeds are the border vertices whose
+// distance decreased). It returns the external IDs of vertices whose
+// distance changed.
+func DijkstraFrom(g *graph.Graph, dist map[graph.VertexID]float64, seeds map[graph.VertexID]float64) []graph.VertexID {
+	d := make([]float64, g.NumVertices())
+	for i := range d {
+		if v, ok := dist[g.VertexAt(i)]; ok {
+			d[i] = v
+		} else {
+			d[i] = Infinity
+		}
+	}
+	pq := &distHeap{}
+	changed := make(map[int]bool)
+	for v, sd := range seeds {
+		i := g.IndexOf(v)
+		if i < 0 {
+			continue
+		}
+		if sd < d[i] {
+			d[i] = sd
+			changed[i] = true
+		}
+		heap.Push(pq, distItem{vertex: i, dist: d[i]})
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.dist > d[it.vertex] {
+			continue
+		}
+		for _, he := range g.OutEdges(it.vertex) {
+			alt := it.dist + he.Weight
+			if alt < d[he.To] {
+				d[he.To] = alt
+				changed[int(he.To)] = true
+				heap.Push(pq, distItem{vertex: int(he.To), dist: alt})
+			}
+		}
+	}
+	out := make([]graph.VertexID, 0, len(changed))
+	for i := range changed {
+		id := g.VertexAt(i)
+		dist[id] = d[i]
+		out = append(out, id)
+	}
+	return out
+}
+
+// BellmanFord computes single-source shortest paths by iterative relaxation.
+// It is asymptotically slower than Dijkstra and exists as an independent
+// reference implementation for property-based tests.
+func BellmanFord(g *graph.Graph, source graph.VertexID) map[graph.VertexID]float64 {
+	n := g.NumVertices()
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = Infinity
+	}
+	if s := g.IndexOf(source); s >= 0 {
+		d[s] = 0
+	}
+	for iter := 0; iter < n; iter++ {
+		updated := false
+		for u := 0; u < n; u++ {
+			if math.IsInf(d[u], 1) {
+				continue
+			}
+			for _, he := range g.OutEdges(u) {
+				if alt := d[u] + he.Weight; alt < d[he.To] {
+					d[he.To] = alt
+					updated = true
+				}
+			}
+		}
+		if !updated {
+			break
+		}
+	}
+	dist := make(map[graph.VertexID]float64, n)
+	for i, dv := range d {
+		dist[g.VertexAt(i)] = dv
+	}
+	return dist
+}
+
+type distItem struct {
+	vertex int
+	dist   float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

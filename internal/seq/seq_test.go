@@ -1,0 +1,553 @@
+package seq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"grape/internal/graph"
+	"grape/internal/graphgen"
+)
+
+func weightedDiamond() *graph.Graph {
+	b := graph.NewBuilder(true)
+	b.AddVertex(1, "a")
+	b.AddVertex(2, "b")
+	b.AddVertex(3, "b")
+	b.AddVertex(4, "c")
+	b.AddVertex(5, "d") // unreachable
+	b.AddEdge(1, 2, 1, "")
+	b.AddEdge(1, 3, 4, "")
+	b.AddEdge(2, 3, 2, "")
+	b.AddEdge(2, 4, 7, "")
+	b.AddEdge(3, 4, 1, "")
+	return b.Build()
+}
+
+func TestDijkstraSmall(t *testing.T) {
+	g := weightedDiamond()
+	d := Dijkstra(g, 1)
+	want := map[graph.VertexID]float64{1: 0, 2: 1, 3: 3, 4: 4, 5: Infinity}
+	for v, w := range want {
+		if d[v] != w {
+			t.Fatalf("dist(%d) = %v, want %v", v, d[v], w)
+		}
+	}
+}
+
+func TestDijkstraUnknownSource(t *testing.T) {
+	g := weightedDiamond()
+	d := Dijkstra(g, 999)
+	for v, dv := range d {
+		if !math.IsInf(dv, 1) {
+			t.Fatalf("dist(%d) = %v, want +Inf for unknown source", v, dv)
+		}
+	}
+}
+
+func TestDijkstraAgreesWithBellmanFord(t *testing.T) {
+	g := graphgen.SocialNetwork(300, 5, graphgen.Config{Seed: 3, Labels: 4})
+	src := g.VertexAt(g.NumVertices() - 1)
+	d1 := Dijkstra(g, src)
+	d2 := BellmanFord(g, src)
+	for v := range d1 {
+		if math.Abs(d1[v]-d2[v]) > 1e-9 && !(math.IsInf(d1[v], 1) && math.IsInf(d2[v], 1)) {
+			t.Fatalf("dist(%d): dijkstra %v vs bellman-ford %v", v, d1[v], d2[v])
+		}
+	}
+}
+
+func TestDijkstraFromIncremental(t *testing.T) {
+	g := weightedDiamond()
+	dist := map[graph.VertexID]float64{1: 0, 2: 1, 3: 3, 4: 4, 5: Infinity}
+	// A better distance arrives for vertex 3 (e.g. a shortcut discovered in
+	// another fragment): 3 improves to 1, which improves 4 to 2.
+	changed := DijkstraFrom(g, dist, map[graph.VertexID]float64{3: 1})
+	if dist[3] != 1 || dist[4] != 2 {
+		t.Fatalf("incremental relaxation wrong: %v", dist)
+	}
+	if len(changed) != 2 {
+		t.Fatalf("changed = %v, want exactly the affected vertices {3,4}", changed)
+	}
+	// A worse seed changes nothing.
+	changed = DijkstraFrom(g, dist, map[graph.VertexID]float64{2: 100, 42: 1})
+	if len(changed) != 0 {
+		t.Fatalf("worse seed should change nothing, got %v", changed)
+	}
+}
+
+// Property: on random graphs, incremental relaxation applied to a partial
+// result equals recomputing from scratch (boundedness sanity of IncEval), and
+// distances satisfy the triangle inequality over edges.
+func TestQuickDijkstraProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 5
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(true)
+		for i := 0; i < n; i++ {
+			b.AddVertex(graph.VertexID(i), "")
+		}
+		for i := 0; i < 3*n; i++ {
+			s, d := rng.Intn(n), rng.Intn(n)
+			if s != d {
+				b.AddEdge(graph.VertexID(s), graph.VertexID(d), float64(1+rng.Intn(10)), "")
+			}
+		}
+		g := b.Build()
+		src := graph.VertexID(rng.Intn(n))
+		dist := Dijkstra(g, src)
+		// Triangle inequality on every edge.
+		for _, e := range g.Edges() {
+			if dist[e.Src]+e.Weight < dist[e.Dst]-1e-9 {
+				return false
+			}
+		}
+		// Incremental from an artificially degraded state converges back.
+		degraded := make(map[graph.VertexID]float64, len(dist))
+		for v, d := range dist {
+			if v != src && rng.Intn(2) == 0 && !math.IsInf(d, 1) {
+				degraded[v] = d + float64(rng.Intn(5)+1)
+			} else {
+				degraded[v] = d
+			}
+		}
+		seeds := map[graph.VertexID]float64{src: 0}
+		for v, d := range dist {
+			if !math.IsInf(d, 1) {
+				seeds[v] = degraded[v]
+			}
+		}
+		// Re-relax from all finite vertices of the degraded state; this must
+		// not produce anything better than the true distances.
+		work := make(map[graph.VertexID]float64, len(degraded))
+		for v, d := range degraded {
+			work[v] = d
+		}
+		DijkstraFrom(g, work, map[graph.VertexID]float64{src: 0})
+		for v := range dist {
+			if work[v]+1e-9 < dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := graph.NewBuilder(false)
+	// Component {1,2,3}, component {10,11}, isolated {20}.
+	b.AddEdge(1, 2, 1, "")
+	b.AddEdge(2, 3, 1, "")
+	b.AddEdge(10, 11, 1, "")
+	b.AddVertex(20, "")
+	g := b.Build()
+	cc := ConnectedComponents(g)
+	if cc[1] != 1 || cc[2] != 1 || cc[3] != 1 {
+		t.Fatalf("component of {1,2,3} = %v %v %v, want 1", cc[1], cc[2], cc[3])
+	}
+	if cc[10] != 10 || cc[11] != 10 {
+		t.Fatalf("component of {10,11} wrong: %v %v", cc[10], cc[11])
+	}
+	if cc[20] != 20 {
+		t.Fatalf("isolated vertex component = %v, want 20", cc[20])
+	}
+	if NumComponents(cc) != 3 {
+		t.Fatalf("NumComponents = %d, want 3", NumComponents(cc))
+	}
+	sizes := ComponentSizes(cc)
+	if sizes[1] != 3 || sizes[10] != 2 || sizes[20] != 1 {
+		t.Fatalf("ComponentSizes = %v", sizes)
+	}
+}
+
+func TestConnectedComponentsDirectedTreatedAsUndirected(t *testing.T) {
+	b := graph.NewBuilder(true)
+	b.AddEdge(5, 1, 1, "") // direction must not matter for CC
+	b.AddEdge(2, 5, 1, "")
+	g := b.Build()
+	cc := ConnectedComponents(g)
+	if cc[1] != 1 || cc[2] != 1 || cc[5] != 1 {
+		t.Fatalf("directed edges must not split components: %v", cc)
+	}
+}
+
+// Property: CC labelling is an equivalence relation consistent with edges:
+// both endpoints of every edge share a label, and the label is the minimum
+// vertex ID of the component.
+func TestQuickConnectedComponents(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(false)
+		for i := 0; i < n; i++ {
+			b.AddVertex(graph.VertexID(i), "")
+		}
+		for i := 0; i < n; i++ {
+			s, d := rng.Intn(n), rng.Intn(n)
+			if s != d {
+				b.AddEdge(graph.VertexID(s), graph.VertexID(d), 1, "")
+			}
+		}
+		g := b.Build()
+		cc := ConnectedComponents(g)
+		for _, e := range g.Edges() {
+			if cc[e.Src] != cc[e.Dst] {
+				return false
+			}
+		}
+		for v, cid := range cc {
+			if cid > v {
+				return false // label must be the minimum member
+			}
+			if _, ok := cc[cid]; !ok || cc[cid] != cid {
+				return false // the representative labels itself
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// simTestData builds a small labeled data graph and pattern with a known
+// simulation relation.
+func simTestData() (q, g *graph.Graph) {
+	// Pattern: A -> B -> C.
+	qb := graph.NewBuilder(true)
+	qb.AddVertex(0, "A")
+	qb.AddVertex(1, "B")
+	qb.AddVertex(2, "C")
+	qb.AddEdge(0, 1, 1, "")
+	qb.AddEdge(1, 2, 1, "")
+
+	// Data: a1 -> b1 -> c1 (full chain), a2 -> b2 (b2 has no C child),
+	// c2 isolated C.
+	gb := graph.NewBuilder(true)
+	gb.AddVertex(10, "A")
+	gb.AddVertex(11, "B")
+	gb.AddVertex(12, "C")
+	gb.AddVertex(20, "A")
+	gb.AddVertex(21, "B")
+	gb.AddVertex(22, "C")
+	gb.AddEdge(10, 11, 1, "")
+	gb.AddEdge(11, 12, 1, "")
+	gb.AddEdge(20, 21, 1, "")
+	return qb.Build(), gb.Build()
+}
+
+func TestSimulationSmall(t *testing.T) {
+	q, g := simTestData()
+	res := Simulation(q, g)
+	if !res.Matches() {
+		t.Fatalf("expected a match")
+	}
+	if !res[0][10] || res[0][20] {
+		t.Fatalf("sim(A) = %v, want {10}", res[0])
+	}
+	if !res[1][11] || res[1][21] {
+		t.Fatalf("sim(B) = %v, want {11}", res[1])
+	}
+	if !res[2][12] || !res[2][22] {
+		t.Fatalf("sim(C) = %v, want {12, 22}", res[2])
+	}
+	if res.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", res.Count())
+	}
+}
+
+func TestSimulationNoMatch(t *testing.T) {
+	qb := graph.NewBuilder(true)
+	qb.AddVertex(0, "Z")
+	q := qb.Build()
+	_, g := simTestData()
+	res := Simulation(q, g)
+	if res.Matches() {
+		t.Fatalf("pattern with unknown label must not match")
+	}
+}
+
+func TestSimulationWithIndexEquivalent(t *testing.T) {
+	g := graphgen.SocialNetwork(400, 4, graphgen.Config{Seed: 5, Labels: 8})
+	idx := BuildSimIndex(g)
+	for s := int64(0); s < 5; s++ {
+		q := graphgen.Pattern(g, 5, 8, s)
+		plain := Simulation(q, g)
+		indexed := SimulationWithIndex(q, g, idx)
+		if plain.Count() != indexed.Count() {
+			t.Fatalf("seed %d: plain %d pairs vs indexed %d pairs", s, plain.Count(), indexed.Count())
+		}
+		for u, set := range plain {
+			for v := range set {
+				if !indexed[u][v] {
+					t.Fatalf("seed %d: indexed result missing (%v,%v)", s, u, v)
+				}
+			}
+		}
+	}
+}
+
+// Property: the simulation relation is a valid simulation — every pair
+// (u, v) satisfies label equality and the child condition.
+func TestQuickSimulationIsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graphgen.KnowledgeBase(120, 3, 4, graphgen.Config{Seed: seed, Labels: 5})
+		q := graphgen.Pattern(g, 4, 6, seed+1)
+		res := Simulation(q, g)
+		for uq := 0; uq < q.NumVertices(); uq++ {
+			u := q.VertexAt(uq)
+			for v := range res[u] {
+				vi := g.IndexOf(v)
+				if g.Label(vi) != q.Label(uq) {
+					return false
+				}
+				for _, qe := range q.OutEdges(uq) {
+					uChild := q.VertexAt(int(qe.To))
+					ok := false
+					for _, he := range g.OutEdges(vi) {
+						if res[uChild][g.VertexAt(int(he.To))] {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubgraphIsomorphismTriangle(t *testing.T) {
+	// Pattern: labeled triangle A->B->C->A.
+	qb := graph.NewBuilder(true)
+	qb.AddVertex(0, "A")
+	qb.AddVertex(1, "B")
+	qb.AddVertex(2, "C")
+	qb.AddEdge(0, 1, 1, "")
+	qb.AddEdge(1, 2, 1, "")
+	qb.AddEdge(2, 0, 1, "")
+
+	gb := graph.NewBuilder(true)
+	gb.AddVertex(10, "A")
+	gb.AddVertex(11, "B")
+	gb.AddVertex(12, "C")
+	gb.AddVertex(13, "B") // extra B not in a triangle
+	gb.AddEdge(10, 11, 1, "")
+	gb.AddEdge(11, 12, 1, "")
+	gb.AddEdge(12, 10, 1, "")
+	gb.AddEdge(10, 13, 1, "")
+
+	matches := SubgraphIsomorphism(qb.Build(), gb.Build(), 0)
+	if len(matches) != 1 {
+		t.Fatalf("found %d matches, want 1: %v", len(matches), matches)
+	}
+	m := matches[0]
+	if m[0] != 10 || m[1] != 11 || m[2] != 12 {
+		t.Fatalf("match = %v", m)
+	}
+}
+
+func TestSubgraphIsomorphismInjective(t *testing.T) {
+	// Pattern with two B vertices requires two distinct data vertices.
+	qb := graph.NewBuilder(true)
+	qb.AddVertex(0, "A")
+	qb.AddVertex(1, "B")
+	qb.AddVertex(2, "B")
+	qb.AddEdge(0, 1, 1, "")
+	qb.AddEdge(0, 2, 1, "")
+
+	gb := graph.NewBuilder(true)
+	gb.AddVertex(10, "A")
+	gb.AddVertex(11, "B")
+	gb.AddEdge(10, 11, 1, "")
+	if got := SubgraphIsomorphism(qb.Build(), gb.Build(), 0); len(got) != 0 {
+		t.Fatalf("injectivity violated: %v", got)
+	}
+
+	gb2 := graph.NewBuilder(true)
+	gb2.AddVertex(10, "A")
+	gb2.AddVertex(11, "B")
+	gb2.AddVertex(12, "B")
+	gb2.AddEdge(10, 11, 1, "")
+	gb2.AddEdge(10, 12, 1, "")
+	got := SubgraphIsomorphism(qb.Build(), gb2.Build(), 0)
+	if len(got) != 2 { // the two B's can swap
+		t.Fatalf("found %d matches, want 2", len(got))
+	}
+}
+
+func TestSubgraphIsomorphismMaxMatches(t *testing.T) {
+	g := graphgen.SocialNetwork(200, 4, graphgen.Config{Seed: 9, Labels: 3})
+	q := graphgen.Pattern(g, 3, 3, 7)
+	all := SubgraphIsomorphism(q, g, 0)
+	if len(all) == 0 {
+		t.Skip("pattern has no matches in this generated graph")
+	}
+	limited := SubgraphIsomorphism(q, g, 1)
+	if len(limited) != 1 {
+		t.Fatalf("maxMatches=1 returned %d matches", len(limited))
+	}
+}
+
+func TestSubgraphIsomorphismEmptyInputs(t *testing.T) {
+	g := graphgen.SocialNetwork(50, 3, graphgen.Config{Seed: 2, Labels: 3})
+	empty := graph.NewBuilder(true).Build()
+	if got := SubgraphIsomorphism(empty, g, 0); got != nil {
+		t.Fatalf("empty pattern should produce no matches")
+	}
+	if got := SubgraphIsomorphism(g, empty, 0); got != nil {
+		t.Fatalf("empty data graph should produce no matches")
+	}
+}
+
+// Property: every reported match is a genuine subgraph-isomorphism match:
+// injective, label-preserving and edge-preserving.
+func TestQuickSubIsoMatchesAreValid(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graphgen.KnowledgeBase(80, 3, 3, graphgen.Config{Seed: seed, Labels: 4})
+		q := graphgen.Pattern(g, 4, 5, seed+3)
+		matches := SubgraphIsomorphism(q, g, 20)
+		for _, m := range matches {
+			seen := map[graph.VertexID]bool{}
+			for uq, v := range m {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+				if q.LabelOf(uq) != g.LabelOf(v) {
+					return false
+				}
+			}
+			for _, e := range q.Edges() {
+				if !g.HasEdge(m[e.Src], m[e.Dst]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternDiameter(t *testing.T) {
+	qb := graph.NewBuilder(true)
+	qb.AddEdge(0, 1, 1, "")
+	qb.AddEdge(1, 2, 1, "")
+	qb.AddEdge(2, 3, 1, "")
+	if d := PatternDiameter(qb.Build()); d != 3 {
+		t.Fatalf("PatternDiameter = %d, want 3", d)
+	}
+}
+
+func TestSGDTrainingReducesRMSE(t *testing.T) {
+	g := graphgen.Bipartite(200, 40, 8, graphgen.Config{Seed: 13})
+	ratings := RatingsFromGraph(g)
+	if len(ratings) == 0 {
+		t.Fatalf("no ratings generated")
+	}
+	cfg := DefaultSGDConfig()
+
+	// RMSE with raw initial factors.
+	init := make(Factors)
+	for _, r := range ratings {
+		if _, ok := init[r.User]; !ok {
+			init[r.User] = InitFactor(r.User, cfg.Factors)
+		}
+		if _, ok := init[r.Product]; !ok {
+			init[r.Product] = InitFactor(r.Product, cfg.Factors)
+		}
+	}
+	before := RMSE(init, ratings)
+	trained := Train(ratings, cfg, init.Clone())
+	after := RMSE(trained, ratings)
+	if after >= before {
+		t.Fatalf("training did not reduce RMSE: before %v after %v", before, after)
+	}
+	if after > 1.5 {
+		t.Fatalf("RMSE after training = %v, want a reasonable fit", after)
+	}
+}
+
+func TestSGDStepMovesTowardRating(t *testing.T) {
+	cfg := DefaultSGDConfig()
+	u := InitFactor(1, cfg.Factors)
+	p := InitFactor(2, cfg.Factors)
+	rating := 4.0
+	before := math.Abs(rating - Dot(u, p))
+	for i := 0; i < 50; i++ {
+		SGDStep(u, p, rating, cfg)
+	}
+	after := math.Abs(rating - Dot(u, p))
+	if after >= before {
+		t.Fatalf("SGD steps did not reduce error: %v -> %v", before, after)
+	}
+}
+
+func TestSplitTraining(t *testing.T) {
+	ratings := make([]Rating, 100)
+	for i := range ratings {
+		ratings[i] = Rating{User: graph.VertexID(i), Product: 1000, Value: 3}
+	}
+	train, test := SplitTraining(ratings, 0.9)
+	if len(train) != 90 || len(test) != 10 {
+		t.Fatalf("90%% split = %d/%d", len(train), len(test))
+	}
+	train, test = SplitTraining(ratings, 0.5)
+	if len(train) != 50 || len(test) != 50 {
+		t.Fatalf("50%% split = %d/%d", len(train), len(test))
+	}
+	train, test = SplitTraining(ratings, 1.0)
+	if len(train) != 100 || len(test) != 0 {
+		t.Fatalf("100%% split = %d/%d", len(train), len(test))
+	}
+	train, test = SplitTraining(ratings, 0)
+	if len(train) != 0 || len(test) != 100 {
+		t.Fatalf("0%% split = %d/%d", len(train), len(test))
+	}
+}
+
+func TestRMSEEdgeCases(t *testing.T) {
+	if RMSE(nil, nil) != 0 {
+		t.Fatalf("RMSE of empty inputs should be 0")
+	}
+	// Unknown vertices predict zero.
+	r := []Rating{{User: 1, Product: 2, Value: 3}}
+	if got := RMSE(Factors{}, r); got != 3 {
+		t.Fatalf("RMSE with missing factors = %v, want 3", got)
+	}
+}
+
+func TestInitFactorDeterministic(t *testing.T) {
+	a := InitFactor(42, 8)
+	b := InitFactor(42, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("InitFactor not deterministic")
+		}
+		if a[i] <= 0 || a[i] >= 1 {
+			t.Fatalf("InitFactor out of expected range: %v", a[i])
+		}
+	}
+	c := InitFactor(43, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different vertices should get different factors")
+	}
+}

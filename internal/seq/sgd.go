@@ -1,0 +1,169 @@
+package seq
+
+import (
+	"math"
+
+	"grape/internal/graph"
+)
+
+// Rating is one observed user→product rating (a training edge of the CF
+// problem, Section 5.3).
+type Rating struct {
+	User    graph.VertexID
+	Product graph.VertexID
+	Value   float64
+}
+
+// SGDConfig configures the stochastic-gradient-descent trainer.
+type SGDConfig struct {
+	// Factors is the dimensionality of the latent factor vectors.
+	Factors int
+	// LearningRate is the SGD step size (λ in equations (1)-(2) of the
+	// paper, applied to the prediction error).
+	LearningRate float64
+	// Regularization is the L2 penalty applied to the factor vectors.
+	Regularization float64
+	// Epochs is the number of passes over the training set per call to
+	// Train.
+	Epochs int
+}
+
+// DefaultSGDConfig returns the configuration used by the CF experiments.
+func DefaultSGDConfig() SGDConfig {
+	return SGDConfig{Factors: 8, LearningRate: 0.05, Regularization: 0.05, Epochs: 10}
+}
+
+// Factors holds the latent factor vectors of users and products.
+type Factors map[graph.VertexID][]float64
+
+// Clone returns a deep copy of the factor table.
+func (f Factors) Clone() Factors {
+	out := make(Factors, len(f))
+	for v, vec := range f {
+		out[v] = append([]float64(nil), vec...)
+	}
+	return out
+}
+
+// InitFactor returns a deterministic pseudo-random initial factor vector for
+// a vertex. Determinism (a hash of the vertex ID) keeps parallel and
+// sequential training comparable and benchmark runs reproducible.
+func InitFactor(v graph.VertexID, dims int) []float64 {
+	vec := make([]float64, dims)
+	x := uint64(v)*2654435761 + 1
+	for i := range vec {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		vec[i] = 0.1 + 0.8*float64(x%1000)/1000.0/float64(dims)
+	}
+	return vec
+}
+
+// Dot returns the inner product of two equally sized vectors.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SGDStep performs one stochastic gradient step for a single observed rating,
+// updating the user and product factor vectors in place (equations (1)-(2)).
+// It returns the prediction error before the update.
+func SGDStep(userF, productF []float64, rating float64, cfg SGDConfig) float64 {
+	err := rating - Dot(userF, productF)
+	lr, reg := cfg.LearningRate, cfg.Regularization
+	for i := range userF {
+		u, p := userF[i], productF[i]
+		userF[i] = u + lr*(err*p-reg*u)
+		productF[i] = p + lr*(err*u-reg*p)
+	}
+	return err
+}
+
+// Train runs mini-batch SGD (in insertion order, cfg.Epochs passes) over the
+// training ratings, initializing missing factor vectors deterministically. It
+// returns the trained factors.
+func Train(ratings []Rating, cfg SGDConfig, initial Factors) Factors {
+	f := initial
+	if f == nil {
+		f = make(Factors)
+	}
+	ensure := func(v graph.VertexID) []float64 {
+		if vec, ok := f[v]; ok {
+			return vec
+		}
+		vec := InitFactor(v, cfg.Factors)
+		f[v] = vec
+		return vec
+	}
+	for e := 0; e < cfg.Epochs; e++ {
+		for _, r := range ratings {
+			SGDStep(ensure(r.User), ensure(r.Product), r.Value, cfg)
+		}
+	}
+	return f
+}
+
+// RMSE returns the root-mean-square prediction error of the factors over the
+// given ratings. Ratings whose user or product has no factor vector predict
+// zero.
+func RMSE(f Factors, ratings []Rating) float64 {
+	if len(ratings) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range ratings {
+		pred := 0.0
+		if uf, ok := f[r.User]; ok {
+			if pf, ok := f[r.Product]; ok {
+				pred = Dot(uf, pf)
+			}
+		}
+		d := r.Value - pred
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(ratings)))
+}
+
+// RatingsFromGraph extracts the training ratings from a bipartite rating
+// graph: every edge from a "user"-labeled vertex to a "product"-labeled
+// vertex with a non-zero weight is an observed rating.
+func RatingsFromGraph(g *graph.Graph) []Rating {
+	var out []Rating
+	for _, e := range g.Edges() {
+		if g.LabelOf(e.Src) == "user" && g.LabelOf(e.Dst) == "product" && e.Weight != 0 {
+			out = append(out, Rating{User: e.Src, Product: e.Dst, Value: e.Weight})
+		}
+	}
+	return out
+}
+
+// SplitTraining splits ratings into a training set containing roughly
+// fraction of the observations and a held-out test set, deterministically by
+// position (every k-th rating is held out). It models the paper's
+// |ET| = 90%|E| and 50%|E| training sets.
+func SplitTraining(ratings []Rating, fraction float64) (train, test []Rating) {
+	if fraction >= 1 {
+		return ratings, nil
+	}
+	if fraction <= 0 {
+		return nil, ratings
+	}
+	// Integer arithmetic avoids floating-point drift for common fractions
+	// such as 0.9 and 0.5: rating i is held out whenever the cumulative
+	// held-out quota increases at position i.
+	heldPermille := int64(math.Round((1 - fraction) * 1000))
+	for i, r := range ratings {
+		before := int64(i) * heldPermille / 1000
+		after := int64(i+1) * heldPermille / 1000
+		if after > before {
+			test = append(test, r)
+		} else {
+			train = append(train, r)
+		}
+	}
+	return train, test
+}

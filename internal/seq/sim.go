@@ -1,0 +1,156 @@
+package seq
+
+import (
+	"grape/internal/graph"
+)
+
+// SimResult is a graph-simulation relation: for each pattern (query) vertex,
+// the set of data-graph vertices that simulate it. If the graph does not
+// match the pattern the relation is empty for at least one query vertex and
+// Matches reports false.
+type SimResult map[graph.VertexID]map[graph.VertexID]bool
+
+// Matches reports whether every pattern vertex has at least one match, i.e.
+// whether the data graph matches the pattern via simulation.
+func (r SimResult) Matches() bool {
+	for _, set := range r {
+		if len(set) == 0 {
+			return false
+		}
+	}
+	return len(r) > 0
+}
+
+// Count returns the total number of (query vertex, data vertex) pairs in the
+// relation.
+func (r SimResult) Count() int {
+	total := 0
+	for _, set := range r {
+		total += len(set)
+	}
+	return total
+}
+
+// Simulation computes the unique maximum graph-simulation relation of pattern
+// q in data graph g with the fixpoint algorithm of Henzinger, Henzinger &
+// Kopke (Section 5.1): start from all label-compatible pairs and repeatedly
+// remove pairs (u, v) for which some query edge (u, u') has no witness child
+// v' of v in sim(u'), until no more pairs can be removed.
+func Simulation(q, g *graph.Graph) SimResult {
+	return simulate(q, g, nil)
+}
+
+// SimIndex is a neighbourhood index for candidate filtering: for every data
+// vertex it records the set of labels reachable in one hop. It is the
+// optimization of Exp-3 (Fig 7b): computed offline, it prunes candidates
+// before the refinement loop, typically cutting the simulation time roughly
+// in half on labeled graphs.
+type SimIndex struct {
+	outLabels []map[string]bool
+}
+
+// HasOutLabel reports whether the vertex at dense index v has at least one
+// out-neighbour carrying the given label.
+func (idx *SimIndex) HasOutLabel(v int, label string) bool {
+	if v < 0 || v >= len(idx.outLabels) {
+		return false
+	}
+	return idx.outLabels[v][label]
+}
+
+// BuildSimIndex builds the neighbourhood index for g.
+func BuildSimIndex(g *graph.Graph) *SimIndex {
+	idx := &SimIndex{outLabels: make([]map[string]bool, g.NumVertices())}
+	for i := 0; i < g.NumVertices(); i++ {
+		set := make(map[string]bool)
+		for _, he := range g.OutEdges(i) {
+			set[g.Label(int(he.To))] = true
+		}
+		idx.outLabels[i] = set
+	}
+	return idx
+}
+
+// SimulationWithIndex computes the same maximum simulation relation as
+// Simulation but uses the neighbourhood index to filter initial candidates.
+func SimulationWithIndex(q, g *graph.Graph, idx *SimIndex) SimResult {
+	return simulate(q, g, idx)
+}
+
+func simulate(q, g *graph.Graph, idx *SimIndex) SimResult {
+	nq := q.NumVertices()
+	ng := g.NumVertices()
+	sim := make([]map[int]bool, nq)
+
+	// Initial candidates: label-compatible vertices, optionally pruned by the
+	// neighbourhood index (every required child label must be reachable).
+	for uq := 0; uq < nq; uq++ {
+		cands := make(map[int]bool)
+		for v := 0; v < ng; v++ {
+			if g.Label(v) != q.Label(uq) {
+				continue
+			}
+			if idx != nil && !indexAdmits(q, uq, g, v, idx) {
+				continue
+			}
+			cands[v] = true
+		}
+		sim[uq] = cands
+	}
+
+	// Refinement to the greatest fixpoint.
+	changed := true
+	for changed {
+		changed = false
+		for uq := 0; uq < nq; uq++ {
+			for v := range sim[uq] {
+				if !hasAllWitnesses(q, uq, g, v, sim) {
+					delete(sim[uq], v)
+					changed = true
+				}
+			}
+		}
+	}
+
+	out := make(SimResult, nq)
+	for uq := 0; uq < nq; uq++ {
+		set := make(map[graph.VertexID]bool, len(sim[uq]))
+		for v := range sim[uq] {
+			set[g.VertexAt(v)] = true
+		}
+		out[q.VertexAt(uq)] = set
+	}
+	return out
+}
+
+// hasAllWitnesses reports whether data vertex v can still simulate query
+// vertex uq: for every query edge (uq, uq') some out-neighbour of v must be
+// in sim(uq').
+func hasAllWitnesses(q *graph.Graph, uq int, g *graph.Graph, v int, sim []map[int]bool) bool {
+	for _, qe := range q.OutEdges(uq) {
+		target := int(qe.To)
+		found := false
+		for _, he := range g.OutEdges(v) {
+			if sim[target][int(he.To)] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// indexAdmits reports whether the neighbourhood index allows v as a candidate
+// for uq: every child label required by the pattern must appear among the
+// labels of v's out-neighbours.
+func indexAdmits(q *graph.Graph, uq int, g *graph.Graph, v int, idx *SimIndex) bool {
+	for _, qe := range q.OutEdges(uq) {
+		if !idx.outLabels[v][q.Label(int(qe.To))] {
+			return false
+		}
+	}
+	return true
+}

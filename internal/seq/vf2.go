@@ -1,0 +1,200 @@
+package seq
+
+import (
+	"sort"
+
+	"grape/internal/graph"
+)
+
+// Match is one subgraph-isomorphism match: an injective mapping from pattern
+// vertex IDs to data-graph vertex IDs that preserves labels and edges.
+type Match map[graph.VertexID]graph.VertexID
+
+// SubgraphIsomorphism enumerates matches of pattern q in data graph g with a
+// VF2-style backtracking search (Section 5.1, algorithm of Cordella et al.).
+// maxMatches caps the number of matches returned (<= 0 means unlimited),
+// which keeps the NP-complete enumeration bounded in benchmarks. Matches are
+// returned in a deterministic order.
+func SubgraphIsomorphism(q, g *graph.Graph, maxMatches int) []Match {
+	nq := q.NumVertices()
+	if nq == 0 || g.NumVertices() == 0 {
+		return nil
+	}
+
+	// Candidate sets per pattern vertex: label-compatible data vertices with
+	// sufficient degree.
+	cands := make([][]int, nq)
+	for uq := 0; uq < nq; uq++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.Label(v) != q.Label(uq) {
+				continue
+			}
+			if g.OutDegree(v) < q.OutDegree(uq) || g.InDegree(v) < q.InDegree(uq) {
+				continue
+			}
+			cands[uq] = append(cands[uq], v)
+		}
+		if len(cands[uq]) == 0 {
+			return nil
+		}
+	}
+
+	// Matching order: most constrained pattern vertex first (smallest
+	// candidate set, ties by higher degree) with connectivity preference so
+	// each new vertex is adjacent to an already matched one when possible.
+	order := matchingOrder(q, cands)
+
+	mapping := make([]int, nq) // pattern index -> data index, -1 unmatched
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	used := make(map[int]bool, nq)
+	var out []Match
+
+	var backtrack func(depth int) bool
+	backtrack = func(depth int) bool {
+		if depth == nq {
+			m := make(Match, nq)
+			for uq, v := range mapping {
+				m[q.VertexAt(uq)] = g.VertexAt(v)
+			}
+			out = append(out, m)
+			return maxMatches > 0 && len(out) >= maxMatches
+		}
+		uq := order[depth]
+		for _, v := range cands[uq] {
+			if used[v] {
+				continue
+			}
+			if !consistent(q, g, mapping, uq, v) {
+				continue
+			}
+			mapping[uq] = v
+			used[v] = true
+			stop := backtrack(depth + 1)
+			used[v] = false
+			mapping[uq] = -1
+			if stop {
+				return true
+			}
+		}
+		return false
+	}
+	backtrack(0)
+	return out
+}
+
+// consistent checks that mapping pattern vertex uq to data vertex v preserves
+// every pattern edge between uq and the already-mapped pattern vertices, in
+// both directions.
+func consistent(q, g *graph.Graph, mapping []int, uq, v int) bool {
+	for _, qe := range q.OutEdges(uq) {
+		if w := mapping[qe.To]; w >= 0 && !hasEdgeIdx(g, v, w) {
+			return false
+		}
+	}
+	for _, qe := range q.InEdges(uq) {
+		if w := mapping[qe.To]; w >= 0 && !hasEdgeIdx(g, w, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func hasEdgeIdx(g *graph.Graph, from, to int) bool {
+	for _, he := range g.OutEdges(from) {
+		if int(he.To) == to {
+			return true
+		}
+	}
+	return false
+}
+
+// matchingOrder picks a search order over pattern vertices: start with the
+// most selective vertex, then repeatedly pick the most selective vertex
+// adjacent to the already ordered ones (falling back to any remaining vertex
+// when the pattern is disconnected).
+func matchingOrder(q *graph.Graph, cands [][]int) []int {
+	nq := q.NumVertices()
+	selectivity := func(uq int) int { return len(cands[uq])*1000 - (q.OutDegree(uq) + q.InDegree(uq)) }
+
+	remaining := make(map[int]bool, nq)
+	for i := 0; i < nq; i++ {
+		remaining[i] = true
+	}
+	var order []int
+	inOrder := make([]bool, nq)
+
+	pickBest := func(candidates []int) int {
+		sort.Ints(candidates)
+		best := candidates[0]
+		for _, c := range candidates[1:] {
+			if selectivity(c) < selectivity(best) {
+				best = c
+			}
+		}
+		return best
+	}
+
+	all := make([]int, 0, nq)
+	for i := 0; i < nq; i++ {
+		all = append(all, i)
+	}
+	first := pickBest(all)
+	order = append(order, first)
+	inOrder[first] = true
+	delete(remaining, first)
+
+	for len(remaining) > 0 {
+		// Vertices adjacent to the current order.
+		var frontier []int
+		for uq := range remaining {
+			adj := false
+			for _, qe := range q.OutEdges(uq) {
+				if inOrder[qe.To] {
+					adj = true
+					break
+				}
+			}
+			if !adj {
+				for _, qe := range q.InEdges(uq) {
+					if inOrder[qe.To] {
+						adj = true
+						break
+					}
+				}
+			}
+			if adj {
+				frontier = append(frontier, uq)
+			}
+		}
+		if len(frontier) == 0 {
+			for uq := range remaining {
+				frontier = append(frontier, uq)
+			}
+		}
+		next := pickBest(frontier)
+		order = append(order, next)
+		inOrder[next] = true
+		delete(remaining, next)
+	}
+	return order
+}
+
+// PatternDiameter returns the diameter d_Q of the pattern: the maximum over
+// all vertex pairs of the shortest hop distance, treating the pattern as
+// undirected (Section 5.1 uses it to bound the neighbourhood that subgraph
+// isomorphism needs around a border node).
+func PatternDiameter(q *graph.Graph) int {
+	u := q.Undirect()
+	d := 0
+	for i := 0; i < u.NumVertices(); i++ {
+		u.BFS(i, func(_, depth int) bool {
+			if depth > d {
+				d = depth
+			}
+			return true
+		})
+	}
+	return d
+}

@@ -1,0 +1,127 @@
+// Package workload generates the query workloads and dataset surrogates used
+// by the evaluation (Section 7): the four real-life datasets are replaced by
+// deterministic synthetic graphs with the same structural character (see
+// DESIGN.md for the substitution argument), and queries are drawn exactly as
+// in the paper — random source vertices for SSSP, random labeled patterns of
+// a given size for Sim and SubIso, and training-set fractions for CF.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"grape/internal/graph"
+	"grape/internal/graphgen"
+)
+
+// Scale selects how large the generated dataset surrogates are. Benchmarks
+// default to ScaleSmall so `go test -bench` stays laptop-friendly; the CLI
+// can request larger graphs.
+type Scale int
+
+const (
+	// ScaleTiny is for unit tests of the harness itself.
+	ScaleTiny Scale = iota
+	// ScaleSmall is the default benchmark scale.
+	ScaleSmall
+	// ScaleMedium stresses the engines harder (cmd/grape-bench -size medium).
+	ScaleMedium
+)
+
+// ParseScale converts a string flag into a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return ScaleTiny, nil
+	case "small", "":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	default:
+		return ScaleSmall, fmt.Errorf("workload: unknown scale %q (want tiny, small or medium)", s)
+	}
+}
+
+// Dataset names, mirroring the paper's datasets.
+const (
+	Traffic     = "traffic"     // US road network surrogate
+	LiveJournal = "livejournal" // social network surrogate
+	DBpedia     = "dbpedia"     // knowledge base surrogate
+	MovieLens   = "movielens"   // bipartite rating graph surrogate
+)
+
+// Datasets lists the dataset names in the order the paper reports them.
+var Datasets = []string{Traffic, LiveJournal, DBpedia, MovieLens}
+
+// Load generates the named dataset surrogate at the given scale. Generation
+// is deterministic, so repeated calls return identical graphs.
+func Load(name string, scale Scale) (*graph.Graph, error) {
+	switch name {
+	case Traffic:
+		rows := map[Scale]int{ScaleTiny: 12, ScaleSmall: 40, ScaleMedium: 90}[scale]
+		return graphgen.RoadNetwork(rows, rows, graphgen.Config{Seed: 1001}), nil
+	case LiveJournal:
+		n := map[Scale]int{ScaleTiny: 300, ScaleSmall: 2000, ScaleMedium: 10000}[scale]
+		return graphgen.SocialNetwork(n, 6, graphgen.Config{Seed: 1002, Labels: 100}), nil
+	case DBpedia:
+		n := map[Scale]int{ScaleTiny: 300, ScaleSmall: 2500, ScaleMedium: 12000}[scale]
+		return graphgen.KnowledgeBase(n, 3, 160, graphgen.Config{Seed: 1003, Labels: 200}), nil
+	case MovieLens:
+		users := map[Scale]int{ScaleTiny: 100, ScaleSmall: 700, ScaleMedium: 3000}[scale]
+		return graphgen.Bipartite(users, users/5, 12, graphgen.Config{Seed: 1004}), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown dataset %q", name)
+	}
+}
+
+// Synthetic generates the Appendix-B synthetic graph with the given vertex
+// and edge counts (Fig 9), scaled down by the divisor implied by the scale.
+func Synthetic(vertices, edges int, scale Scale) *graph.Graph {
+	div := map[Scale]int{ScaleTiny: 10000, ScaleSmall: 2000, ScaleMedium: 400}[scale]
+	if div == 0 {
+		div = 2000
+	}
+	v := vertices / div
+	e := edges / div
+	if v < 10 {
+		v = 10
+	}
+	if e < v {
+		e = v
+	}
+	return graphgen.Uniform(v, e, graphgen.Config{Seed: int64(1100 + vertices)})
+}
+
+// Sources samples count distinct source vertices for SSSP queries,
+// deterministically from the given seed ("we sampled 10 source nodes in each
+// graph").
+func Sources(g *graph.Graph, count int, seed int64) []graph.VertexID {
+	if g.NumVertices() == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if count > g.NumVertices() {
+		count = g.NumVertices()
+	}
+	seen := make(map[int]bool, count)
+	out := make([]graph.VertexID, 0, count)
+	for len(out) < count {
+		i := rng.Intn(g.NumVertices())
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, g.VertexAt(i))
+		}
+	}
+	return out
+}
+
+// Patterns generates count connected labeled patterns with the given number
+// of nodes and edges, using labels drawn from g ("20 pattern queries ...
+// using labels drawn from the graphs").
+func Patterns(g *graph.Graph, count, nodes, edges int, seed int64) []*graph.Graph {
+	out := make([]*graph.Graph, count)
+	for i := range out {
+		out[i] = graphgen.Pattern(g, nodes, edges, seed+int64(i))
+	}
+	return out
+}

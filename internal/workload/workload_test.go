@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"testing"
+
+	"grape/internal/graph"
+)
+
+func TestParseScale(t *testing.T) {
+	cases := map[string]Scale{"tiny": ScaleTiny, "small": ScaleSmall, "": ScaleSmall, "medium": ScaleMedium}
+	for in, want := range cases {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatalf("unknown scale must fail")
+	}
+}
+
+func TestLoadAllDatasets(t *testing.T) {
+	for _, name := range Datasets {
+		g, err := Load(name, ScaleTiny)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", name, err)
+		}
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("Load(%s) produced an empty graph", name)
+		}
+		// Determinism.
+		g2, _ := Load(name, ScaleTiny)
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("Load(%s) is not deterministic", name)
+		}
+	}
+	if _, err := Load("imaginary", ScaleTiny); err == nil {
+		t.Fatalf("unknown dataset must fail")
+	}
+}
+
+func TestDatasetCharacter(t *testing.T) {
+	road, _ := Load(Traffic, ScaleTiny)
+	social, _ := Load(LiveJournal, ScaleTiny)
+	if road.Directed() {
+		t.Fatalf("road network must be undirected")
+	}
+	if !social.Directed() {
+		t.Fatalf("social network must be directed")
+	}
+	// The road network must have a much larger diameter than the social
+	// network — the property that drives Table 1.
+	if road.EstimateDiameter(0) <= social.Undirect().EstimateDiameter(0) {
+		t.Fatalf("road diameter %d should exceed social diameter %d",
+			road.EstimateDiameter(0), social.Undirect().EstimateDiameter(0))
+	}
+	movie, _ := Load(MovieLens, ScaleTiny)
+	users, products := 0, 0
+	for i := 0; i < movie.NumVertices(); i++ {
+		switch movie.Label(i) {
+		case "user":
+			users++
+		case "product":
+			products++
+		}
+	}
+	if users == 0 || products == 0 {
+		t.Fatalf("movielens surrogate must be bipartite, got %d users %d products", users, products)
+	}
+}
+
+func TestSyntheticScaling(t *testing.T) {
+	small := Synthetic(10_000_000, 40_000_000, ScaleTiny)
+	big := Synthetic(50_000_000, 200_000_000, ScaleTiny)
+	if big.NumVertices() <= small.NumVertices() {
+		t.Fatalf("synthetic sizes must scale: %d vs %d", big.NumVertices(), small.NumVertices())
+	}
+}
+
+func TestSourcesAndPatterns(t *testing.T) {
+	g, _ := Load(DBpedia, ScaleTiny)
+	srcs := Sources(g, 10, 3)
+	if len(srcs) != 10 {
+		t.Fatalf("Sources = %d, want 10", len(srcs))
+	}
+	seen := map[int64]bool{}
+	for _, s := range srcs {
+		if seen[int64(s)] {
+			t.Fatalf("duplicate source %d", s)
+		}
+		seen[int64(s)] = true
+		if !g.HasVertex(s) {
+			t.Fatalf("source %d not in graph", s)
+		}
+	}
+	// Determinism.
+	srcs2 := Sources(g, 10, 3)
+	for i := range srcs {
+		if srcs[i] != srcs2[i] {
+			t.Fatalf("Sources not deterministic")
+		}
+	}
+	pats := Patterns(g, 3, 6, 10, 5)
+	if len(pats) != 3 {
+		t.Fatalf("Patterns = %d, want 3", len(pats))
+	}
+	for _, p := range pats {
+		if p.NumVertices() != 6 {
+			t.Fatalf("pattern has %d vertices", p.NumVertices())
+		}
+	}
+	if got := Sources(g, g.NumVertices()+10, 1); len(got) != g.NumVertices() {
+		t.Fatalf("Sources should clamp to |V|")
+	}
+	if empty := Sources(graph.NewBuilder(true).Build(), 3, 1); empty != nil {
+		t.Fatalf("Sources on empty graph should be nil")
+	}
+}
