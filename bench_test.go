@@ -231,3 +231,61 @@ func BenchmarkEngine_SSSPDirect(b *testing.B) {
 		}
 	}
 }
+
+// Session-mode benchmarks: ns/op is the amortized per-query latency of each
+// serving mode, so comparing the pair directly shows the win of partitioning
+// once ("the graph is partitioned once for all queries Q posed on G",
+// Section 3.1). BenchmarkSessionMode_SSSP answers every query over one
+// resident session; BenchmarkPartitionPerQuery_SSSP re-partitions per query,
+// which is what every query paid before sessions existed.
+func sessionBenchSetup(b *testing.B) (*Graph, []VertexID) {
+	b.Helper()
+	g, err := workload.Load(workload.Traffic, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcs := workload.Sources(g, 8, 19)
+	return g, srcs
+}
+
+func BenchmarkSessionMode_SSSP(b *testing.B) {
+	g, srcs := sessionBenchSetup(b)
+	strat, _ := PartitionStrategy("multilevel")
+	s, err := NewSession(g, Options{Workers: benchWorkers, Strategy: strat})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.SSSP(srcs[i%len(srcs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionPerQuery_SSSP(b *testing.B) {
+	g, srcs := sessionBenchSetup(b)
+	strat, _ := PartitionStrategy("multilevel")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RunSSSP(g, srcs[i%len(srcs)], Options{Workers: benchWorkers, Strategy: strat}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionAmortization runs the full harness experiment (mixed
+// SSSP/CC/PageRank stream in both modes) and reports the amortized per-query
+// latencies and the session speedup as custom metrics.
+func BenchmarkSessionAmortization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := bench.SessionAmortization(benchWorkers, 20, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(c.SessionAmortizedMS, "session-ms/query")
+		b.ReportMetric(c.PerQueryAmortizedMS, "perquery-ms/query")
+		b.ReportMetric(c.Speedup, "session-speedup")
+	}
+}

@@ -11,6 +11,7 @@
 //	grape-bench -exp fig7b                     # optimization compatibility
 //	grape-bench -exp fig9                      # scalability on synthetic graphs
 //	grape-bench -exp ablations                 # grouping + partitioner ablations
+//	grape-bench -exp session                   # partition-once session vs per-query
 //	grape-bench -exp all                       # everything
 //
 // Flags -size (tiny|small|medium) and -workers control the scale; -n gives
@@ -110,6 +111,14 @@ func run(exp, size string, workers int, nList string) error {
 		}
 		return nil
 	}
+	runSession := func() error {
+		c, err := bench.SessionAmortization(workers, 20, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatSessionComparison(c))
+		return nil
+	}
 	runAblations := func() error {
 		rows, err := bench.AblationMessageGrouping(workers, scale)
 		if err != nil {
@@ -151,6 +160,8 @@ func run(exp, size string, workers int, nList string) error {
 		return runFig9()
 	case "ablations":
 		return runAblations()
+	case "session":
+		return runSession()
 	case "all":
 		steps := []func() error{
 			runTable1,
@@ -167,6 +178,7 @@ func run(exp, size string, workers int, nList string) error {
 			runFig7b,
 			runFig9,
 			runAblations,
+			runSession,
 		}
 		for _, step := range steps {
 			if err := step(); err != nil {

@@ -1,10 +1,25 @@
-// Command grape runs a graph query on a graph file with the GRAPE engine.
+// Command grape runs graph queries on a graph file with the GRAPE engine.
 //
-// Usage:
+// Single-query mode partitions, answers one query and exits:
 //
 //	grape -graph road.txt -query sssp -source 17 -workers 8 -strategy multilevel
 //	grape -graph social.txt -query cc -workers 4
 //	grape -graph social.txt -query pagerank -workers 4
+//
+// Serve mode (-serve) loads and partitions the graph once, then answers a
+// stream of queries read from stdin — one query per line — over the resident
+// session, so every query after the first pays only its own evaluation time:
+//
+//	grape -graph road.txt -workers 8 -serve <<'EOF'
+//	sssp 17
+//	sssp 42
+//	cc
+//	pagerank
+//	EOF
+//
+// Supported serve commands: "sssp <source>", "cc", "pagerank", "help" and
+// "quit". On EOF (or "quit") a summary reports the amortized per-query
+// latency and throughput of the session.
 //
 // The graph file uses the text edge-list format of internal/graph (plain
 // "src dst weight" lines also work). For sssp the -source flag picks the
@@ -13,10 +28,15 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"grape"
 )
@@ -29,15 +49,16 @@ func main() {
 		workers   = flag.Int("workers", 4, "number of workers (fragments)")
 		strategy  = flag.String("strategy", "multilevel", "partition strategy: hash, range, ldg, multilevel, vertexcut")
 		top       = flag.Int("top", 10, "number of per-vertex results to print")
+		serve     = flag.Bool("serve", false, "partition once, then answer a stream of queries from stdin")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *query, grape.VertexID(*source), *workers, *strategy, *top); err != nil {
+	if err := run(*graphPath, *query, grape.VertexID(*source), *workers, *strategy, *top, *serve); err != nil {
 		fmt.Fprintln(os.Stderr, "grape:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, query string, source grape.VertexID, workers int, strategy string, top int) error {
+func run(graphPath, query string, source grape.VertexID, workers int, strategy string, top int, serve bool) error {
 	if graphPath == "" {
 		return fmt.Errorf("missing -graph")
 	}
@@ -57,35 +78,124 @@ func run(graphPath, query string, source grape.VertexID, workers int, strategy s
 	opts := grape.Options{Workers: workers, Strategy: strat}
 	fmt.Printf("loaded %v\n", g)
 
+	setup := time.Now()
+	s, err := grape.NewSession(g, opts)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	setupDur := time.Since(setup)
+	fmt.Printf("partitioned once into %d fragments (%s strategy) in %v\n",
+		s.NumFragments(), strategy, setupDur.Round(time.Microsecond))
+
+	if serve {
+		return serveQueries(s, os.Stdin, top, setupDur)
+	}
 	switch query {
 	case "sssp":
-		dist, stats, err := grape.RunSSSP(g, source, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(stats)
-		printFloats("dist", dist, top)
+		return answerSSSP(s, source, top)
 	case "cc":
-		cc, stats, err := grape.RunCC(g, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(stats)
-		sizes := map[grape.VertexID]int{}
-		for _, cid := range cc {
-			sizes[cid]++
-		}
-		fmt.Printf("connected components: %d\n", len(sizes))
+		return answerCC(s)
 	case "pagerank":
-		ranks, stats, err := grape.RunPageRank(g, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(stats)
-		printFloats("rank", ranks, top)
+		return answerPageRank(s, top)
 	default:
 		return fmt.Errorf("unknown query %q (want sssp, cc or pagerank)", query)
 	}
+}
+
+// serveQueries answers a stream of queries over the resident session: the
+// partition-once multi-query mode of Section 3.1.
+func serveQueries(s *grape.Session, in io.Reader, top int, setupDur time.Duration) error {
+	const usage = "commands: sssp <source> | cc | pagerank | help | quit"
+	fmt.Println(usage)
+	var queryTime time.Duration
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		fields := strings.Fields(scanner.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		start := time.Now()
+		var err error
+		switch fields[0] {
+		case "quit", "exit":
+			printSummary(s.Queries(), setupDur, queryTime)
+			return nil
+		case "help":
+			fmt.Println(usage)
+			continue
+		case "sssp":
+			if len(fields) != 2 {
+				fmt.Println("usage: sssp <source>")
+				continue
+			}
+			src, perr := strconv.ParseInt(fields[1], 10, 64)
+			if perr != nil {
+				fmt.Printf("bad source %q\n", fields[1])
+				continue
+			}
+			err = answerSSSP(s, grape.VertexID(src), top)
+		case "cc":
+			err = answerCC(s)
+		case "pagerank":
+			err = answerPageRank(s, top)
+		default:
+			fmt.Printf("unknown query %q; %s\n", fields[0], usage)
+			continue
+		}
+		queryTime += time.Since(start)
+		if err != nil {
+			fmt.Printf("query failed: %v\n", err)
+		}
+	}
+	printSummary(s.Queries(), setupDur, queryTime)
+	return scanner.Err()
+}
+
+func printSummary(queries int64, setupDur, queryTime time.Duration) {
+	fmt.Printf("session summary: %d queries served\n", queries)
+	if queries == 0 {
+		return
+	}
+	amortized := queryTime / time.Duration(queries)
+	fmt.Printf("  setup (load+partition, paid once): %v\n", setupDur.Round(time.Microsecond))
+	fmt.Printf("  query time total %v, amortized %v/query (%.1f queries/sec)\n",
+		queryTime.Round(time.Microsecond), amortized.Round(time.Microsecond),
+		float64(queries)/queryTime.Seconds())
+}
+
+func answerSSSP(s *grape.Session, source grape.VertexID, top int) error {
+	dist, stats, err := s.SSSP(source)
+	if err != nil {
+		return err
+	}
+	fmt.Println(stats)
+	printFloats("dist", dist, top)
+	return nil
+}
+
+func answerCC(s *grape.Session) error {
+	cc, stats, err := s.CC()
+	if err != nil {
+		return err
+	}
+	fmt.Println(stats)
+	sizes := map[grape.VertexID]int{}
+	for _, cid := range cc {
+		sizes[cid]++
+	}
+	fmt.Printf("connected components: %d\n", len(sizes))
+	return nil
+}
+
+func answerPageRank(s *grape.Session, top int) error {
+	ranks, stats, err := s.PageRank()
+	if err != nil {
+		return err
+	}
+	fmt.Println(stats)
+	printFloats("rank", ranks, top)
 	return nil
 }
 

@@ -1,0 +1,3 @@
+module grape
+
+go 1.24

@@ -16,6 +16,16 @@
 //	g := b.Build()
 //	dist, stats, err := grape.RunSSSP(g, 1, grape.Options{Workers: 4})
 //
+// Callers issuing many queries over one graph should open a Session, which
+// partitions the graph once and keeps the worker cluster resident ("the
+// graph is partitioned once for all queries Q posed on G", Section 3.1):
+//
+//	s, err := grape.NewSession(g, grape.Options{Workers: 4})
+//	defer s.Close()
+//	dist1, _, err := s.SSSP(1)   // safe to call concurrently
+//	dist2, _, err := s.SSSP(2)
+//	comps, _, err := s.CC()
+//
 // See the examples/ directory for complete programs.
 package grape
 
@@ -41,6 +51,9 @@ type (
 	VertexID = graph.VertexID
 	// Program is a PIE program (PEval, IncEval, Assemble, Aggregate).
 	Program = core.Program
+	// Query is the opaque query value handed to a PIE program (needed to
+	// implement Program's Assemble signature outside this module).
+	Query = core.Query
 	// Context is the per-fragment context handed to PIE programs.
 	Context = core.Context
 	// EngineOptions configures the engine directly for advanced use.
@@ -85,68 +98,175 @@ type Options struct {
 	Parallelism int
 }
 
-func (o Options) engine() *core.Engine {
-	return core.New(core.Options{
+func (o Options) core() core.Options {
+	return core.Options{
 		Workers:     o.Workers,
 		Strategy:    o.Strategy,
 		Parallelism: o.Parallelism,
-	})
+	}
 }
 
-// Run executes an arbitrary PIE program, for callers that wrote their own.
-func Run(g *Graph, query any, prog Program, opts Options) (*Result, error) {
-	return opts.engine().Run(g, query, prog)
+// Session serves many queries over a graph that is partitioned exactly once:
+// the fragments stay resident in a persistent worker/coordinator cluster, so
+// every query pays only its own evaluation time, amortizing partitioning and
+// cluster setup over the whole stream. All methods are safe to call from
+// many goroutines concurrently; each query runs in its own BSP contexts with
+// its own message mailboxes and Stats.
+//
+// Close the session when done; the one-call RunXXX helpers below remain the
+// convenient form for single-query use.
+type Session struct {
+	s *core.Session
 }
 
-// RunSSSP computes single-source shortest paths from source and returns the
+// NewSession partitions g once with the configured strategy and brings up
+// the resident worker cluster.
+func NewSession(g *Graph, opts Options) (*Session, error) {
+	s, err := core.NewSession(g, opts.core())
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s}, nil
+}
+
+// Close stops accepting new queries and waits for in-flight ones to finish.
+func (s *Session) Close() error { return s.s.Close() }
+
+// Queries reports how many queries the session has served.
+func (s *Session) Queries() int64 { return s.s.Queries() }
+
+// NumFragments returns the number of resident fragments (workers) the graph
+// was partitioned into.
+func (s *Session) NumFragments() int { return s.s.NumFragments() }
+
+// Run executes an arbitrary PIE program over the resident fragments, for
+// callers that wrote their own.
+func (s *Session) Run(prog Program, query any) (*Result, error) {
+	return s.s.Run(query, prog)
+}
+
+// SSSP computes single-source shortest paths from source and returns the
 // distance of every vertex (+Inf when unreachable).
-func RunSSSP(g *Graph, source VertexID, opts Options) (map[VertexID]float64, *Stats, error) {
-	res, err := opts.engine().Run(g, source, pie.SSSP{})
+func (s *Session) SSSP(source VertexID) (map[VertexID]float64, *Stats, error) {
+	res, err := s.s.Run(source, pie.SSSP{})
 	if err != nil {
 		return nil, nil, err
 	}
 	return res.Output.(map[VertexID]float64), res.Stats, nil
 }
 
-// RunCC computes connected components; the returned map assigns every vertex
+// CC computes connected components; the returned map assigns every vertex
 // the smallest vertex ID of its component.
-func RunCC(g *Graph, opts Options) (map[VertexID]VertexID, *Stats, error) {
-	res, err := opts.engine().Run(g, nil, pie.CC{})
+func (s *Session) CC() (map[VertexID]VertexID, *Stats, error) {
+	res, err := s.s.Run(nil, pie.CC{})
 	if err != nil {
 		return nil, nil, err
 	}
 	return res.Output.(map[VertexID]VertexID), res.Stats, nil
 }
 
-// RunSim computes graph-pattern matching via graph simulation: the maximum
+// Sim computes graph-pattern matching via graph simulation: the maximum
 // relation from pattern vertices to matching data vertices.
-func RunSim(g, pattern *Graph, opts Options) (SimResult, *Stats, error) {
-	res, err := opts.engine().Run(g, pattern, pie.Sim{})
+func (s *Session) Sim(pattern *Graph) (SimResult, *Stats, error) {
+	res, err := s.s.Run(pattern, pie.Sim{})
 	if err != nil {
 		return nil, nil, err
 	}
 	return res.Output.(SimResult), res.Stats, nil
 }
 
-// RunSubIso computes graph-pattern matching via subgraph isomorphism,
-// returning every match (maxMatches <= 0 means unlimited).
-func RunSubIso(g, pattern *Graph, maxMatches int, opts Options) ([]Match, *Stats, error) {
-	res, err := opts.engine().Run(g, pattern, pie.SubIso{MaxMatches: maxMatches})
+// SubIso computes graph-pattern matching via subgraph isomorphism, returning
+// every match (maxMatches <= 0 means unlimited).
+func (s *Session) SubIso(pattern *Graph, maxMatches int) ([]Match, *Stats, error) {
+	res, err := s.s.Run(pattern, pie.SubIso{MaxMatches: maxMatches})
 	if err != nil {
 		return nil, nil, err
 	}
 	return res.Output.([]Match), res.Stats, nil
 }
 
-// RunCF trains a collaborative-filtering model over a bipartite rating graph
-// whose user vertices are labeled "user" and product vertices "product", with
-// edge weights holding the observed ratings.
-func RunCF(g *Graph, query CFQuery, opts Options) (CFModel, *Stats, error) {
-	res, err := opts.engine().Run(g, query, pie.CF{})
+// CF trains a collaborative-filtering model over a bipartite rating graph
+// whose user vertices are labeled "user" and product vertices "product",
+// with edge weights holding the observed ratings.
+func (s *Session) CF(query CFQuery) (CFModel, *Stats, error) {
+	res, err := s.s.Run(query, pie.CF{})
 	if err != nil {
 		return CFModel{}, nil, err
 	}
 	return res.Output.(CFModel), res.Stats, nil
+}
+
+// PageRank computes PageRank scores normalized to sum to |V|.
+func (s *Session) PageRank() (map[VertexID]float64, *Stats, error) {
+	res, err := s.s.Run(pie.DefaultPageRankQuery(), pie.PageRank{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Output.(map[VertexID]float64), res.Stats, nil
+}
+
+// The one-call helpers below run a single query on a throwaway session:
+// partition, evaluate, tear down.
+
+func withSession[T any](g *Graph, opts Options, fn func(*Session) (T, *Stats, error)) (T, *Stats, error) {
+	s, err := NewSession(g, opts)
+	if err != nil {
+		var zero T
+		return zero, nil, err
+	}
+	defer s.Close()
+	return fn(s)
+}
+
+// Run executes an arbitrary PIE program, for callers that wrote their own.
+func Run(g *Graph, query any, prog Program, opts Options) (*Result, error) {
+	s, err := NewSession(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.Run(prog, query)
+}
+
+// RunSSSP computes single-source shortest paths from source and returns the
+// distance of every vertex (+Inf when unreachable).
+func RunSSSP(g *Graph, source VertexID, opts Options) (map[VertexID]float64, *Stats, error) {
+	return withSession(g, opts, func(s *Session) (map[VertexID]float64, *Stats, error) {
+		return s.SSSP(source)
+	})
+}
+
+// RunCC computes connected components; the returned map assigns every vertex
+// the smallest vertex ID of its component.
+func RunCC(g *Graph, opts Options) (map[VertexID]VertexID, *Stats, error) {
+	return withSession(g, opts, func(s *Session) (map[VertexID]VertexID, *Stats, error) {
+		return s.CC()
+	})
+}
+
+// RunSim computes graph-pattern matching via graph simulation: the maximum
+// relation from pattern vertices to matching data vertices.
+func RunSim(g, pattern *Graph, opts Options) (SimResult, *Stats, error) {
+	return withSession(g, opts, func(s *Session) (SimResult, *Stats, error) {
+		return s.Sim(pattern)
+	})
+}
+
+// RunSubIso computes graph-pattern matching via subgraph isomorphism,
+// returning every match (maxMatches <= 0 means unlimited).
+func RunSubIso(g, pattern *Graph, maxMatches int, opts Options) ([]Match, *Stats, error) {
+	return withSession(g, opts, func(s *Session) ([]Match, *Stats, error) {
+		return s.SubIso(pattern, maxMatches)
+	})
+}
+
+// RunCF trains a collaborative-filtering model over a bipartite rating graph
+// whose user vertices are labeled "user" and product vertices "product", with
+// edge weights holding the observed ratings.
+func RunCF(g *Graph, query CFQuery, opts Options) (CFModel, *Stats, error) {
+	return withSession(g, opts, func(s *Session) (CFModel, *Stats, error) {
+		return s.CF(query)
+	})
 }
 
 // DefaultCFQuery returns a sensible CF configuration for the given training
@@ -155,9 +275,7 @@ func DefaultCFQuery(trainFraction float64) CFQuery { return pie.DefaultCFQuery(t
 
 // RunPageRank computes PageRank scores normalized to sum to |V|.
 func RunPageRank(g *Graph, opts Options) (map[VertexID]float64, *Stats, error) {
-	res, err := opts.engine().Run(g, pie.DefaultPageRankQuery(), pie.PageRank{})
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.Output.(map[VertexID]float64), res.Stats, nil
+	return withSession(g, opts, func(s *Session) (map[VertexID]float64, *Stats, error) {
+		return s.PageRank()
+	})
 }

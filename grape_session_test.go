@@ -1,0 +1,202 @@
+package grape
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"grape/internal/graphgen"
+	"grape/internal/mpi"
+)
+
+func sessionTestGraph() *Graph {
+	// An undirected grid road network: every source reaches every vertex and
+	// queries take several supersteps across fragments.
+	return graphgen.RoadNetwork(10, 10, graphgen.Config{Seed: 7})
+}
+
+// TestSessionConcurrentMixedQueries fires a mixed SSSP/CC/PageRank workload
+// in parallel against one Session and asserts every result matches a fresh
+// single-query run. With -race this is the interference-freedom proof for
+// the session architecture at the public API level.
+func TestSessionConcurrentMixedQueries(t *testing.T) {
+	g := sessionTestGraph()
+	opts := Options{Workers: 4}
+
+	// Reference answers from fresh partition-per-query runs.
+	wantCC, _, err := RunCC(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPR, _, err := RunPageRank(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := make([]VertexID, 6)
+	wantDist := make([]map[VertexID]float64, len(sources))
+	for i := range sources {
+		sources[i] = g.VertexAt((i * 17) % g.NumVertices())
+		wantDist[i], _, err = RunSSSP(g, sources[i], opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s, err := NewSession(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const rounds = 2
+	total := rounds * (len(sources) + 2)
+	errs := make([]error, 0, total)
+	var mu sync.Mutex
+	fail := func(err error) {
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for i := range sources {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				dist, stats, err := s.SSSP(sources[i])
+				if err != nil {
+					fail(fmt.Errorf("sssp(%d): %w", sources[i], err))
+					return
+				}
+				if stats == nil || stats.Supersteps == 0 || stats.Elapsed <= 0 {
+					fail(fmt.Errorf("sssp(%d): missing per-query stats", sources[i]))
+					return
+				}
+				for v, d := range wantDist[i] {
+					if dist[v] != d && !(math.IsInf(dist[v], 1) && math.IsInf(d, 1)) {
+						fail(fmt.Errorf("sssp(%d): dist(%d) = %v, want %v", sources[i], v, dist[v], d))
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			cc, _, err := s.CC()
+			if err != nil {
+				fail(fmt.Errorf("cc: %w", err))
+				return
+			}
+			for v, cid := range wantCC {
+				if cc[v] != cid {
+					fail(fmt.Errorf("cc: component(%d) = %d, want %d", v, cc[v], cid))
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			pr, _, err := s.PageRank()
+			if err != nil {
+				fail(fmt.Errorf("pagerank: %w", err))
+				return
+			}
+			for v, r := range wantPR {
+				if math.Abs(pr[v]-r) > 1e-9 {
+					fail(fmt.Errorf("pagerank: rank(%d) = %v, want %v", v, pr[v], r))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		t.Error(err)
+	}
+	if got := s.Queries(); got != int64(total) {
+		t.Fatalf("session served %d queries, want %d", got, total)
+	}
+}
+
+// degreeProgram is a caller-supplied PIE program: it counts, for each owned
+// vertex, its out-degree, and Assemble sums them — i.e. it computes |E| (per
+// direction) without any cross-fragment messages.
+type degreeProgram struct{}
+
+func (degreeProgram) Name() string { return "degree" }
+
+func (degreeProgram) PEval(ctx *Context) error {
+	total := 0
+	g := ctx.Fragment.Graph
+	for _, v := range ctx.Fragment.Local {
+		total += len(g.OutEdges(g.IndexOf(v)))
+	}
+	ctx.State = total
+	return nil
+}
+
+func (degreeProgram) IncEval(ctx *Context, msgs []mpi.Update) error { return nil }
+
+func (degreeProgram) Assemble(q Query, ctxs []*Context) (any, error) {
+	total := 0
+	for _, ctx := range ctxs {
+		total += ctx.State.(int)
+	}
+	return total, nil
+}
+
+func (degreeProgram) Aggregate(existing, incoming mpi.Update) mpi.Update { return existing }
+
+// TestSessionPatternAndCustomProgram covers the remaining session methods:
+// Sim, SubIso and Run with a caller-supplied PIE program.
+func TestSessionPatternAndCustomProgram(t *testing.T) {
+	gb := NewGraphBuilder(true)
+	gb.AddVertex(1, "A")
+	gb.AddVertex(2, "B")
+	gb.AddVertex(3, "B")
+	gb.AddEdge(1, 2, 1, "")
+	gb.AddEdge(1, 3, 1, "")
+	g := gb.Build()
+
+	pb := NewGraphBuilder(true)
+	pb.AddVertex(0, "A")
+	pb.AddVertex(1, "B")
+	pb.AddEdge(0, 1, 1, "")
+	pattern := pb.Build()
+
+	s, err := NewSession(g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	sim, _, err := s.Sim(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim[0][1] || !sim[1][2] || !sim[1][3] {
+		t.Fatalf("sim = %v", sim)
+	}
+	matches, _, err := s.SubIso(pattern, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("matches = %v", matches)
+	}
+
+	// A caller-supplied PIE program through Session.Run (prog first, query
+	// second — unlike the package-level Run).
+	res, err := s.Run(degreeProgram{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Output.(int); got != g.NumEdges() {
+		t.Fatalf("custom program counted %d edges, want %d", got, g.NumEdges())
+	}
+	if res.Stats == nil || res.Stats.Query != "degree" {
+		t.Fatalf("custom program stats = %+v", res.Stats)
+	}
+}

@@ -167,6 +167,26 @@ func TestAblations(t *testing.T) {
 	}
 }
 
+func TestSessionAmortization(t *testing.T) {
+	c, err := SessionAmortization(4, 10, workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Queries != 10 || c.Workers != 4 {
+		t.Fatalf("comparison header wrong: %+v", c)
+	}
+	if c.SessionTotalSec <= 0 || c.PerQueryTotalSec <= 0 || c.Speedup <= 0 {
+		t.Fatalf("empty measurement: %+v", c)
+	}
+	if c.SessionQPS <= 0 || c.SessionAmortizedMS <= 0 {
+		t.Fatalf("derived metrics missing: %+v", c)
+	}
+	out := FormatSessionComparison(c)
+	if !strings.Contains(out, "partition-per-query") || !strings.Contains(out, "speedup") {
+		t.Fatalf("FormatSessionComparison output malformed:\n%s", out)
+	}
+}
+
 func TestVerifyAnswers(t *testing.T) {
 	if err := VerifyAnswers(workload.ScaleTiny); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/pie"
+	"grape/internal/workload"
+)
+
+// SessionComparison reports the amortization experiment: the same multi-query
+// workload evaluated in session mode (partition once, queries over the
+// resident fragments — the operating model of Section 3.1) and in
+// partition-per-query mode (one full engine run per query, re-partitioning
+// every time). Totals include everything each mode pays: session mode pays
+// one partitioning, per-query mode pays one per query.
+type SessionComparison struct {
+	Dataset string
+	Workers int
+	Queries int
+
+	SessionTotalSec  float64
+	PerQueryTotalSec float64
+
+	SessionAmortizedMS  float64 // per-query latency, session mode
+	PerQueryAmortizedMS float64 // per-query latency, partition-per-query mode
+
+	SessionQPS  float64
+	PerQueryQPS float64
+
+	// Speedup is PerQueryTotalSec / SessionTotalSec: how much faster the
+	// query stream completes when the graph is partitioned once.
+	Speedup float64
+}
+
+// sessionWorkload builds the mixed query sequence both modes evaluate: mostly
+// SSSP from rotating sources, with a CC and a PageRank query interleaved
+// every few queries, mirroring a multi-user query mix.
+type sessionQuery struct {
+	kind string // "sssp", "cc" or "pagerank"
+	src  graph.VertexID
+}
+
+func sessionWorkload(g *graph.Graph, numQueries int) []sessionQuery {
+	srcs := workload.Sources(g, 8, 19)
+	qs := make([]sessionQuery, 0, numQueries)
+	for i := 0; i < numQueries; i++ {
+		switch {
+		case i%5 == 3:
+			qs = append(qs, sessionQuery{kind: "cc"})
+		case i%5 == 4:
+			qs = append(qs, sessionQuery{kind: "pagerank"})
+		default:
+			qs = append(qs, sessionQuery{kind: "sssp", src: srcs[i%len(srcs)]})
+		}
+	}
+	return qs
+}
+
+func runSessionQuery(run func(q core.Query, prog core.Program) (*core.Result, error), sq sessionQuery) error {
+	var err error
+	switch sq.kind {
+	case "sssp":
+		_, err = run(sq.src, pie.SSSP{})
+	case "cc":
+		_, err = run(nil, pie.CC{})
+	case "pagerank":
+		_, err = run(pie.DefaultPageRankQuery(), pie.PageRank{})
+	default:
+		err = fmt.Errorf("bench: unknown session query kind %q", sq.kind)
+	}
+	return err
+}
+
+// SessionAmortization runs the amortization experiment on the road-network
+// surrogate: numQueries mixed queries (SSSP/CC/PageRank) in session mode vs
+// partition-per-query mode, reporting amortized per-query latency and
+// queries/sec for both.
+func SessionAmortization(workers, numQueries int, scale workload.Scale) (*SessionComparison, error) {
+	g, err := workload.Load(workload.Traffic, scale)
+	if err != nil {
+		return nil, err
+	}
+	if numQueries <= 0 {
+		numQueries = 10
+	}
+	qs := sessionWorkload(g, numQueries)
+	opts := core.Options{Workers: workers, Strategy: grapeStrategy}
+
+	// Session mode: one partitioning + one resident cluster, then the stream.
+	sessTimer := metrics.StartTimer()
+	s, err := core.NewSession(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, sq := range qs {
+		if err := runSessionQuery(s.Run, sq); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("bench: session query %d (%s): %w", i, sq.kind, err)
+		}
+	}
+	s.Close()
+	sessTotal := sessTimer.Stop().Seconds()
+
+	// Partition-per-query mode: a fresh engine run (including partitioning
+	// and cluster setup) for every query.
+	eng := core.New(opts)
+	perTimer := metrics.StartTimer()
+	for i, sq := range qs {
+		run := func(q core.Query, prog core.Program) (*core.Result, error) { return eng.Run(g, q, prog) }
+		if err := runSessionQuery(run, sq); err != nil {
+			return nil, fmt.Errorf("bench: per-query query %d (%s): %w", i, sq.kind, err)
+		}
+	}
+	perTotal := perTimer.Stop().Seconds()
+
+	n := float64(numQueries)
+	return &SessionComparison{
+		Dataset:             workload.Traffic,
+		Workers:             workers,
+		Queries:             numQueries,
+		SessionTotalSec:     sessTotal,
+		PerQueryTotalSec:    perTotal,
+		SessionAmortizedMS:  sessTotal / n * 1000,
+		PerQueryAmortizedMS: perTotal / n * 1000,
+		SessionQPS:          safeRatio(n, sessTotal),
+		PerQueryQPS:         safeRatio(n, perTotal),
+		Speedup:             safeRatio(perTotal, sessTotal),
+	}, nil
+}
+
+// FormatSessionComparison renders the amortization experiment as a table.
+func FormatSessionComparison(c *SessionComparison) string {
+	out := fmt.Sprintf("== Session amortization: %d mixed queries on %s, n=%d ==\n",
+		c.Queries, c.Dataset, c.Workers)
+	out += fmt.Sprintf("%-22s %12s %14s %10s\n", "mode", "total(s)", "latency(ms/q)", "q/s")
+	out += fmt.Sprintf("%-22s %12.4f %14.4f %10.1f\n",
+		"session (1 partition)", c.SessionTotalSec, c.SessionAmortizedMS, c.SessionQPS)
+	out += fmt.Sprintf("%-22s %12.4f %14.4f %10.1f\n",
+		"partition-per-query", c.PerQueryTotalSec, c.PerQueryAmortizedMS, c.PerQueryQPS)
+	out += fmt.Sprintf("session speedup: %.2fx\n", c.Speedup)
+	return out
+}

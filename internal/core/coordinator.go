@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"grape/internal/metrics"
+	"grape/internal/mpi"
+)
+
+// coordinator drives one query's BSP loop over a session's resident workers:
+// it creates the query-scoped communicator and contexts, runs PEval, iterates
+// IncEval supersteps until the simultaneous fixpoint (Section 4.1), detects
+// termination from the communicator's pending envelopes, arbitrates worker
+// failures, and finally assembles Q(G).
+//
+// A coordinator is created per query; several coordinators run concurrently
+// over the same workers, isolated by their communicators. Worker-failure
+// bookkeeping is kept per query so that one query recovering a simulated
+// crash never hides a worker from the others.
+type coordinator struct {
+	opts    Options
+	cluster *mpi.Cluster
+	workers []*worker
+}
+
+// run evaluates one query with the given PIE program to fixpoint.
+func (c *coordinator) run(q Query, prog Program) (*Result, error) {
+	if prog == nil {
+		return nil, errors.New("core: nil program")
+	}
+	m := len(c.workers)
+	if m == 0 {
+		return nil, errors.New("core: partition has no fragments")
+	}
+
+	stats := &metrics.Stats{Engine: "GRAPE", Query: prog.Name(), Workers: m}
+	timer := metrics.StartTimer()
+	// Stop the timer on every return path so failed runs report wall time too.
+	defer func() { stats.Elapsed = timer.Stop() }()
+	comm := c.cluster.NewComm(stats)
+
+	tasks := make([]*task, m)
+	ctxs := make([]*Context, m)
+	for i, w := range c.workers {
+		tasks[i] = w.newTask(q, prog, comm, c.opts)
+		ctxs[i] = tasks[i].ctx
+	}
+	res := &Result{Stats: stats, Contexts: ctxs}
+
+	// runStep executes one superstep's local-computation phase across all
+	// workers. Injected failures are detected like missed heart-beats: the
+	// crashed worker's work unit is not executed, and after the barrier the
+	// arbitrator transfers every lost work unit to a standby worker
+	// (re-running it against the surviving in-memory fragment state).
+	runStep := func(superstep int, body func(w int) error) error {
+		var crashMu sync.Mutex
+		var crashed []int
+		_, err := c.cluster.BarrierFor(func(int) bool { return true }, 0, func(w int) error {
+			if c.opts.FailureInjector != nil && c.opts.FailureInjector(superstep, w) {
+				crashMu.Lock()
+				crashed = append(crashed, w)
+				crashMu.Unlock()
+				return nil
+			}
+			return safeCall(func() error { return body(w) })
+		})
+		if err != nil {
+			return err
+		}
+		sort.Ints(crashed)
+		for _, w := range crashed {
+			if res.RecoveredWorkers >= c.opts.MaxRecoveries {
+				return fmt.Errorf("core: worker %d failed and recovery budget exhausted", w)
+			}
+			res.RecoveredWorkers++
+			if err := safeCall(func() error { return body(w) }); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Superstep 1: partial evaluation.
+	superstep := 1
+	stats.BeginSuperstep()
+	err := runStep(superstep, func(w int) error { return tasks[w].peval(superstep) })
+	if err != nil {
+		return res, err
+	}
+
+	// Iterative supersteps: incremental evaluation until no fragment has
+	// pending messages (the simultaneous fixpoint of Section 4.1).
+	for {
+		if c.opts.CoordinatorFailureAt > 0 && superstep == c.opts.CoordinatorFailureAt {
+			// The standby coordinator S'c takes over; the coordinator's only
+			// state is termination detection, which is recomputed from the
+			// mailboxes, so the run continues seamlessly.
+			res.CoordinatorFailovers++
+		}
+		if comm.TotalPending() == 0 {
+			break
+		}
+		superstep++
+		if superstep > c.opts.MaxSupersteps {
+			return res, fmt.Errorf("core: %s did not converge within %d supersteps", prog.Name(), c.opts.MaxSupersteps)
+		}
+		stats.BeginSuperstep()
+		// Deliver all mailboxes before the barrier so that messages sent
+		// during this superstep only become visible in the next one — the
+		// BSP synchronization of Section 3.1, which also makes runs
+		// deterministic regardless of goroutine scheduling.
+		inboxes := make([][]mpi.Envelope, m)
+		for w := 0; w < m; w++ {
+			inboxes[w] = comm.Deliver(w)
+		}
+		err := runStep(superstep, func(w int) error { return tasks[w].incremental(superstep, inboxes[w]) })
+		if err != nil {
+			return res, err
+		}
+	}
+
+	// Termination: assemble partial results into Q(G).
+	out, err := prog.Assemble(q, ctxs)
+	if err != nil {
+		return res, fmt.Errorf("core: Assemble: %w", err)
+	}
+	res.Output = out
+	return res, nil
+}
+
+// safeCall runs fn, converting panics into errors so a buggy plugged-in
+// sequential algorithm cannot take down the whole engine.
+func safeCall(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: program panicked: %v", r)
+		}
+	}()
+	return fn()
+}

@@ -1,15 +1,8 @@
 package core
 
 import (
-	"errors"
-	"fmt"
-	"hash/fnv"
-	"sort"
-	"sync"
-
 	"grape/internal/graph"
 	"grape/internal/metrics"
-	"grape/internal/mpi"
 	"grape/internal/partition"
 )
 
@@ -19,13 +12,6 @@ const (
 	defaultMaxRecoveries = 16
 )
 
-// Message tags used on the transport.
-const (
-	tagUpdates = "updates"
-	tagKV      = "kv"
-	tagRaw     = "raw"
-)
-
 // Options configure an engine run (the "configuration panel" of Figure 1).
 type Options struct {
 	// Workers is the number of fragments m (virtual workers). It must be at
@@ -33,7 +19,8 @@ type Options struct {
 	Workers int
 	// Parallelism bounds how many workers compute concurrently (the number
 	// of physical workers n; Section 3.1 maps m virtual workers onto n
-	// physical ones). Zero means Parallelism = Workers.
+	// physical ones). For a Session the bound is shared by all in-flight
+	// queries. Zero means Parallelism = Workers.
 	Parallelism int
 	// Strategy is the graph partition strategy. Nil defaults to hash
 	// edge-cut.
@@ -98,7 +85,11 @@ type Result struct {
 	CoordinatorFailovers int
 }
 
-// Engine runs PIE programs over partitioned graphs.
+// Engine runs PIE programs over partitioned graphs. It is the one-shot form
+// of the runtime: every Run partitions (or adopts) a graph, evaluates a
+// single query and tears the cluster down. Callers serving many queries over
+// one graph should use a Session instead, which partitions once and keeps the
+// worker cluster resident.
 type Engine struct {
 	opts Options
 }
@@ -114,226 +105,13 @@ func (e *Engine) Run(g *graph.Graph, q Query, prog Program) (*Result, error) {
 }
 
 // RunPartitioned evaluates the query over an already partitioned graph
-// ("the graph is partitioned once for all queries Q posed on G", Section 3.1).
+// ("the graph is partitioned once for all queries Q posed on G", Section 3.1)
+// by running it on a throwaway single-query session.
 func (e *Engine) RunPartitioned(p *partition.Partitioned, q Query, prog Program) (*Result, error) {
-	if prog == nil {
-		return nil, errors.New("core: nil program")
-	}
-	m := len(p.Fragments)
-	if m == 0 {
-		return nil, errors.New("core: partition has no fragments")
-	}
-
-	stats := &metrics.Stats{Engine: "GRAPE", Query: prog.Name(), Workers: m}
-	timer := metrics.StartTimer()
-	cluster := mpi.NewCluster(m, stats)
-	kvProg, hasKV := prog.(KeyValueProgram)
-
-	ctxs := make([]*Context, m)
-	for i, f := range p.Fragments {
-		ctxs[i] = newContext(i, f, p.GP, q)
-	}
-	res := &Result{Stats: stats, Contexts: ctxs}
-
-	// runStep executes one superstep's local-computation phase across all
-	// workers. Injected failures are detected like missed heart-beats: the
-	// crashed worker's work unit is not executed, and after the barrier the
-	// arbitrator transfers every lost work unit to a standby worker
-	// (re-running it against the surviving in-memory fragment state).
-	runStep := func(superstep int, body func(w int) error) error {
-		var crashMu sync.Mutex
-		var crashed []int
-		_, err := cluster.Barrier(e.opts.Parallelism, func(w int) error {
-			if e.opts.FailureInjector != nil && e.opts.FailureInjector(superstep, w) {
-				crashMu.Lock()
-				crashed = append(crashed, w)
-				crashMu.Unlock()
-				return nil
-			}
-			return safeCall(func() error { return body(w) })
-		})
-		if err != nil {
-			return err
-		}
-		sort.Ints(crashed)
-		for _, w := range crashed {
-			if res.RecoveredWorkers >= e.opts.MaxRecoveries {
-				return fmt.Errorf("core: worker %d failed and recovery budget exhausted", w)
-			}
-			cluster.Crash(w)
-			res.RecoveredWorkers++
-			err := safeCall(func() error { return body(w) })
-			cluster.Recover(w)
-			if err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	// route ships a worker's dirty update parameters to every fragment that
-	// holds a copy of the variable, deducing destinations from GP exactly as
-	// Section 3.2(3) describes (each worker keeps a copy of GP and deduces
-	// destinations in parallel, avoiding a coordinator bottleneck).
-	route := func(w int, ctx *Context) {
-		dirty := ctx.takeDirty()
-		if len(dirty) > 0 {
-			perDest := make(map[int][]mpi.Update)
-			for _, u := range dirty {
-				for _, dst := range p.GP.Destinations(graph.VertexID(u.Vertex), w) {
-					perDest[dst] = append(perDest[dst], u)
-				}
-			}
-			dests := make([]int, 0, len(perDest))
-			for d := range perDest {
-				dests = append(dests, d)
-			}
-			sort.Ints(dests)
-			for _, dst := range dests {
-				batch := perDest[dst]
-				if e.opts.DisableGrouping {
-					for _, u := range batch {
-						cluster.Send(w, dst, tagUpdates, mpi.EncodeUpdates([]mpi.Update{u}))
-					}
-				} else {
-					cluster.Send(w, dst, tagUpdates, mpi.EncodeUpdates(batch))
-				}
-			}
-		}
-		for _, kv := range ctx.takeKV() {
-			dst := int(hashKey(kv.Key) % uint32(m))
-			cluster.Send(w, dst, tagKV, mpi.EncodeKeyValues([]mpi.KeyValue{kv}))
-		}
-		for _, raw := range ctx.takeRaw() {
-			cluster.Send(w, raw.dst, tagRaw, raw.data)
-		}
-	}
-
-	// Superstep 1: partial evaluation.
-	superstep := 1
-	stats.BeginSuperstep()
-	err := runStep(superstep, func(w int) error {
-		ctx := ctxs[w]
-		ctx.Superstep = superstep
-		if err := prog.PEval(ctx); err != nil {
-			return fmt.Errorf("core: PEval on fragment %d: %w", w, err)
-		}
-		route(w, ctx)
-		return nil
-	})
+	s, err := NewSessionPartitioned(p, e.opts)
 	if err != nil {
-		return res, err
+		return nil, err
 	}
-
-	// Iterative supersteps: incremental evaluation until no fragment has
-	// pending messages (the simultaneous fixpoint of Section 4.1).
-	for {
-		if e.opts.CoordinatorFailureAt > 0 && superstep == e.opts.CoordinatorFailureAt {
-			// The standby coordinator S'c takes over; the coordinator's only
-			// state is termination detection, which is recomputed from the
-			// mailboxes, so the run continues seamlessly.
-			res.CoordinatorFailovers++
-		}
-		pending := 0
-		for w := 0; w < m; w++ {
-			pending += cluster.PendingFor(w)
-		}
-		if pending == 0 {
-			break
-		}
-		superstep++
-		if superstep > e.opts.MaxSupersteps {
-			return res, fmt.Errorf("core: %s did not converge within %d supersteps", prog.Name(), e.opts.MaxSupersteps)
-		}
-		stats.BeginSuperstep()
-		// Deliver all mailboxes before the barrier so that messages sent
-		// during this superstep only become visible in the next one — the
-		// BSP synchronization of Section 3.1, which also makes runs
-		// deterministic regardless of goroutine scheduling.
-		inboxes := make([][]mpi.Envelope, m)
-		for w := 0; w < m; w++ {
-			inboxes[w] = cluster.Deliver(w)
-		}
-		err := runStep(superstep, func(w int) error {
-			ctx := ctxs[w]
-			ctx.Superstep = superstep
-			envs := inboxes[w]
-			if len(envs) == 0 {
-				return nil // inactive worker this superstep
-			}
-			var incoming []mpi.Update
-			var kvs []mpi.KeyValue
-			var raws []mpi.Update
-			for _, env := range envs {
-				switch env.Tag {
-				case tagUpdates:
-					ups, err := mpi.DecodeUpdates(env.Payload)
-					if err != nil {
-						return fmt.Errorf("core: fragment %d: %w", w, err)
-					}
-					incoming = append(incoming, ups...)
-				case tagKV:
-					pairs, err := mpi.DecodeKeyValues(env.Payload)
-					if err != nil {
-						return fmt.Errorf("core: fragment %d: %w", w, err)
-					}
-					kvs = append(kvs, pairs...)
-				case tagRaw:
-					raws = append(raws, mpi.Update{Vertex: RawMessageVertex, Key: int64(env.From), Data: env.Payload})
-				default:
-					return fmt.Errorf("core: fragment %d: unknown message tag %q", w, env.Tag)
-				}
-			}
-			accepted := ctx.applyIncoming(incoming, prog.Aggregate)
-			accepted = append(accepted, raws...)
-			if len(accepted) > 0 {
-				if e.opts.DisableIncEval {
-					if err := prog.PEval(ctx); err != nil {
-						return fmt.Errorf("core: PEval (NI mode) on fragment %d: %w", w, err)
-					}
-				} else if err := prog.IncEval(ctx, accepted); err != nil {
-					return fmt.Errorf("core: IncEval on fragment %d: %w", w, err)
-				}
-			}
-			if len(kvs) > 0 {
-				if !hasKV {
-					return fmt.Errorf("core: program %s received key-value messages but does not implement KeyValueProgram", prog.Name())
-				}
-				if err := kvProg.IncEvalKV(ctx, kvs); err != nil {
-					return fmt.Errorf("core: IncEvalKV on fragment %d: %w", w, err)
-				}
-			}
-			route(w, ctx)
-			return nil
-		})
-		if err != nil {
-			return res, err
-		}
-	}
-
-	// Termination: assemble partial results into Q(G).
-	out, err := prog.Assemble(q, ctxs)
-	if err != nil {
-		return res, fmt.Errorf("core: Assemble: %w", err)
-	}
-	res.Output = out
-	stats.Elapsed = timer.Stop()
-	return res, nil
-}
-
-// safeCall runs fn, converting panics into errors so a buggy plugged-in
-// sequential algorithm cannot take down the whole engine.
-func safeCall(fn func() error) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("core: program panicked: %v", r)
-		}
-	}()
-	return fn()
-}
-
-func hashKey(key string) uint32 {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return h.Sum32()
+	defer s.Close()
+	return s.Run(q, prog)
 }

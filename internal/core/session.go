@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"grape/internal/graph"
+	"grape/internal/mpi"
+	"grape/internal/partition"
+)
+
+// ErrSessionClosed is returned by Session.Run after Close.
+var ErrSessionClosed = errors.New("core: session closed")
+
+// Session is the partition-once query-serving form of the engine: the graph
+// is partitioned once, the fragments are held resident by a persistent
+// worker/coordinator cluster, and any number of queries — issued concurrently
+// from different goroutines — are evaluated over the shared immutable
+// fragments. This is the operating model of Section 3.1 ("the graph is
+// partitioned once for all queries Q posed on G"): partitioning and cluster
+// setup are paid once and amortized over the whole query stream.
+//
+// Per-query isolation: every Run creates a query-scoped communicator
+// (mailboxes namespaced by a query id, metered into that query's Stats) and
+// fresh per-fragment contexts, so concurrent BSP runs never interleave
+// envelopes or share mutable state. The cluster-wide parallelism limit is
+// shared, mapping all in-flight virtual workers onto the configured number of
+// physical workers.
+type Session struct {
+	opts    Options
+	part    *partition.Partitioned
+	cluster *mpi.Cluster
+	workers []*worker
+
+	mu       sync.Mutex
+	closed   bool
+	inFlight sync.WaitGroup
+	queries  atomic.Int64
+}
+
+// NewSession partitions g with the configured strategy and brings up the
+// resident worker cluster. The session is ready to serve queries from any
+// number of goroutines.
+func NewSession(g *graph.Graph, opts Options) (*Session, error) {
+	o := opts.withDefaults()
+	p := partition.Partition(g, o.Workers, o.Strategy)
+	return NewSessionPartitioned(p, opts)
+}
+
+// NewSessionPartitioned brings up a session over an already partitioned
+// graph. The session serves exactly the fragments of p; opts.Workers is
+// ignored in favor of the partition's fragment count.
+func NewSessionPartitioned(p *partition.Partitioned, opts Options) (*Session, error) {
+	m := len(p.Fragments)
+	if m == 0 {
+		return nil, errors.New("core: partition has no fragments")
+	}
+	o := opts
+	o.Workers = m
+	o = o.withDefaults()
+
+	cluster := mpi.NewCluster(m, nil)
+	cluster.LimitParallelism(o.Parallelism)
+	workers := make([]*worker, m)
+	for i, f := range p.Fragments {
+		workers[i] = newWorker(i, f, p.GP)
+	}
+	return &Session{opts: o, part: p, cluster: cluster, workers: workers}, nil
+}
+
+// Run evaluates one query with the given PIE program over the resident
+// fragments. It is safe to call from many goroutines concurrently; each call
+// gets its own contexts, communicator and Stats.
+func (s *Session) Run(q Query, prog Program) (*Result, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	s.inFlight.Add(1)
+	s.mu.Unlock()
+	defer s.inFlight.Done()
+	s.queries.Add(1)
+
+	co := &coordinator{opts: s.opts, cluster: s.cluster, workers: s.workers}
+	return co.run(q, prog)
+}
+
+// Partition exposes the session's resident partition (fragments, GP,
+// assignment) for inspection.
+func (s *Session) Partition() *partition.Partitioned { return s.part }
+
+// NumFragments returns the number of resident fragments m.
+func (s *Session) NumFragments() int { return len(s.workers) }
+
+// Queries reports how many queries the session has served (including ones
+// currently in flight).
+func (s *Session) Queries() int64 { return s.queries.Load() }
+
+// Close stops accepting new queries and waits for in-flight ones to finish.
+// Closing an already closed session is a no-op.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		s.inFlight.Wait()
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"grape/internal/graph"
+	"grape/internal/partition"
+)
+
+// countingStrategy wraps a partition strategy and counts Assign calls, which
+// lets the tests prove "partitioned once for all queries" deterministically.
+type countingStrategy struct {
+	inner partition.Strategy
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *countingStrategy) Name() string { return s.inner.Name() }
+
+func (s *countingStrategy) Assign(g *graph.Graph, m int) []int {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+	return s.inner.Assign(g, m)
+}
+
+func (s *countingStrategy) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func TestSessionPartitionsOnce(t *testing.T) {
+	g := testGraph()
+	strat := &countingStrategy{inner: partition.Hash{}}
+	s, err := NewSession(g, Options{Workers: 4, Strategy: strat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const queries = 8
+	for i := 0; i < queries; i++ {
+		src := g.VertexAt(i)
+		if _, err := s.Run(src, &minDistProgram{source: src}); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if got := strat.count(); got != 1 {
+		t.Fatalf("session partitioned %d times for %d queries, want 1", got, queries)
+	}
+	if s.Queries() != queries {
+		t.Fatalf("Queries() = %d, want %d", s.Queries(), queries)
+	}
+
+	// The one-shot engine, by contrast, partitions per query.
+	strat2 := &countingStrategy{inner: partition.Hash{}}
+	eng := New(Options{Workers: 4, Strategy: strat2})
+	for i := 0; i < queries; i++ {
+		src := g.VertexAt(i)
+		if _, err := eng.Run(g, src, &minDistProgram{source: src}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := strat2.count(); got != queries {
+		t.Fatalf("engine partitioned %d times for %d queries, want %d", got, queries, queries)
+	}
+}
+
+// TestSessionConcurrentQueries fires many queries in parallel against one
+// session and checks every answer against a fresh single-query run. Run with
+// -race this also proves the per-query isolation of contexts and mailboxes.
+func TestSessionConcurrentQueries(t *testing.T) {
+	g := testGraph()
+	s, err := NewSession(g, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const queries = 16
+	var wg sync.WaitGroup
+	errs := make([]error, queries)
+	for i := 0; i < queries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := g.VertexAt((i * 7) % g.NumVertices())
+			res, err := s.Run(src, &minDistProgram{source: src})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got := res.Output.(map[graph.VertexID]float64)
+			want := referenceHopDistances(g, src)
+			for v, d := range want {
+				if got[v] != d {
+					errs[i] = fmt.Errorf("query %d: dist(%d) = %v, want %v", i, v, got[v], d)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSessionQueryMetering runs the same query alone and then concurrently
+// with interfering traffic, asserting identical per-query Stats: with
+// query-scoped mailboxes the BSP run is deterministic, so a concurrent
+// neighbor must change neither the superstep count nor the message volume.
+func TestSessionQueryMetering(t *testing.T) {
+	g := testGraph()
+	s, err := NewSession(g, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	src := g.VertexAt(0)
+	alone, err := s.Run(src, &minDistProgram{source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			other := g.VertexAt((i + 1) * 13 % g.NumVertices())
+			s.Run(other, &minDistProgram{source: other}) //nolint:errcheck
+		}(i)
+	}
+	busy, err := s.Run(src, &minDistProgram{source: src})
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy.Stats.Supersteps != alone.Stats.Supersteps {
+		t.Fatalf("supersteps changed under concurrency: %d vs %d",
+			busy.Stats.Supersteps, alone.Stats.Supersteps)
+	}
+	if busy.Stats.MessagesSent != alone.Stats.MessagesSent || busy.Stats.BytesSent != alone.Stats.BytesSent {
+		t.Fatalf("communication changed under concurrency: %d msgs/%d B vs %d msgs/%d B",
+			busy.Stats.MessagesSent, busy.Stats.BytesSent,
+			alone.Stats.MessagesSent, alone.Stats.BytesSent)
+	}
+}
+
+func TestSessionClose(t *testing.T) {
+	g := testGraph()
+	s, err := NewSession(g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumFragments() != 2 {
+		t.Fatalf("NumFragments = %d, want 2", s.NumFragments())
+	}
+	if s.Partition() == nil || len(s.Partition().Fragments) != 2 {
+		t.Fatalf("Partition() not exposed")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	src := g.VertexAt(0)
+	if _, err := s.Run(src, &minDistProgram{source: src}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Run after Close = %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestStatsElapsedOnError asserts that failed runs report wall time too (the
+// timer used to be stopped only on the success path).
+func TestStatsElapsedOnError(t *testing.T) {
+	g := testGraph()
+	src := g.VertexAt(0)
+	res, err := New(Options{Workers: 3}).Run(g, src,
+		&faultyProgram{minDistProgram: minDistProgram{source: src}, failInc: true})
+	if err == nil {
+		t.Fatalf("expected IncEval error")
+	}
+	if res == nil || res.Stats == nil {
+		t.Fatalf("failed run must still return stats")
+	}
+	if res.Stats.Elapsed <= 0 {
+		t.Fatalf("failed run did not record elapsed time")
+	}
+}

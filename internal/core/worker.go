@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"grape/internal/graph"
+	"grape/internal/mpi"
+	"grape/internal/partition"
+)
+
+// Message tags used on the transport.
+const (
+	tagUpdates = "updates"
+	tagKV      = "kv"
+	tagRaw     = "raw"
+)
+
+// worker is the long-lived half of a session: it holds one fragment Fi (and
+// the fragmentation graph GP) resident across queries. All query-specific
+// state — the context, the program, the communicator — lives in a task, so
+// any number of queries can execute over the same worker concurrently.
+type worker struct {
+	rank int
+	frag *partition.Fragment
+	gp   *partition.FragGraph
+}
+
+func newWorker(rank int, frag *partition.Fragment, gp *partition.FragGraph) *worker {
+	return &worker{rank: rank, frag: frag, gp: gp}
+}
+
+// task is one worker's execution state for one query: a fresh context over
+// the resident (immutable) fragment, the PIE program, and the query-scoped
+// communicator the coordinator created for this run.
+type task struct {
+	worker *worker
+	ctx    *Context
+	comm   *mpi.Comm
+	prog   Program
+	kvProg KeyValueProgram // non-nil iff prog implements KeyValueProgram
+	opts   Options
+	m      int
+}
+
+// newTask creates the per-query execution state for this worker.
+func (w *worker) newTask(q Query, prog Program, comm *mpi.Comm, opts Options) *task {
+	kvProg, _ := prog.(KeyValueProgram)
+	return &task{
+		worker: w,
+		ctx:    newContext(w.rank, w.frag, w.gp, q),
+		comm:   comm,
+		prog:   prog,
+		kvProg: kvProg,
+		opts:   opts,
+		m:      w.gp.NumFragments(),
+	}
+}
+
+// peval runs the partial-evaluation superstep: PEval over the fragment, then
+// routing of the changed update parameters.
+func (t *task) peval(superstep int) error {
+	t.ctx.Superstep = superstep
+	if err := t.prog.PEval(t.ctx); err != nil {
+		return fmt.Errorf("core: PEval on fragment %d: %w", t.worker.rank, err)
+	}
+	t.route()
+	return nil
+}
+
+// incremental runs one iterative superstep: decode the envelopes delivered to
+// this worker, merge them under the program's aggregation policy, run IncEval
+// (or PEval in the GRAPE_NI ablation) on the accepted changes, and route the
+// resulting updates.
+func (t *task) incremental(superstep int, envs []mpi.Envelope) error {
+	t.ctx.Superstep = superstep
+	if len(envs) == 0 {
+		return nil // inactive worker this superstep
+	}
+	w := t.worker.rank
+	var incoming []mpi.Update
+	var kvs []mpi.KeyValue
+	var raws []mpi.Update
+	for _, env := range envs {
+		switch env.Tag {
+		case tagUpdates:
+			ups, err := mpi.DecodeUpdates(env.Payload)
+			if err != nil {
+				return fmt.Errorf("core: fragment %d: %w", w, err)
+			}
+			incoming = append(incoming, ups...)
+		case tagKV:
+			pairs, err := mpi.DecodeKeyValues(env.Payload)
+			if err != nil {
+				return fmt.Errorf("core: fragment %d: %w", w, err)
+			}
+			kvs = append(kvs, pairs...)
+		case tagRaw:
+			raws = append(raws, mpi.Update{Vertex: RawMessageVertex, Key: int64(env.From), Data: env.Payload})
+		default:
+			return fmt.Errorf("core: fragment %d: unknown message tag %q", w, env.Tag)
+		}
+	}
+	accepted := t.ctx.applyIncoming(incoming, t.prog.Aggregate)
+	accepted = append(accepted, raws...)
+	if len(accepted) > 0 {
+		if t.opts.DisableIncEval {
+			if err := t.prog.PEval(t.ctx); err != nil {
+				return fmt.Errorf("core: PEval (NI mode) on fragment %d: %w", w, err)
+			}
+		} else if err := t.prog.IncEval(t.ctx, accepted); err != nil {
+			return fmt.Errorf("core: IncEval on fragment %d: %w", w, err)
+		}
+	}
+	if len(kvs) > 0 {
+		if t.kvProg == nil {
+			return fmt.Errorf("core: program %s received key-value messages but does not implement KeyValueProgram", t.prog.Name())
+		}
+		if err := t.kvProg.IncEvalKV(t.ctx, kvs); err != nil {
+			return fmt.Errorf("core: IncEvalKV on fragment %d: %w", w, err)
+		}
+	}
+	t.route()
+	return nil
+}
+
+// route ships the task's dirty update parameters to every fragment that holds
+// a copy of the variable, deducing destinations from GP exactly as
+// Section 3.2(3) describes (each worker keeps a copy of GP and deduces
+// destinations in parallel, avoiding a coordinator bottleneck).
+func (t *task) route() {
+	w := t.worker.rank
+	dirty := t.ctx.takeDirty()
+	if len(dirty) > 0 {
+		perDest := make(map[int][]mpi.Update)
+		for _, u := range dirty {
+			for _, dst := range t.worker.gp.Destinations(graph.VertexID(u.Vertex), w) {
+				perDest[dst] = append(perDest[dst], u)
+			}
+		}
+		dests := make([]int, 0, len(perDest))
+		for d := range perDest {
+			dests = append(dests, d)
+		}
+		sort.Ints(dests)
+		for _, dst := range dests {
+			batch := perDest[dst]
+			if t.opts.DisableGrouping {
+				for _, u := range batch {
+					t.comm.Send(w, dst, tagUpdates, mpi.EncodeUpdates([]mpi.Update{u}))
+				}
+			} else {
+				t.comm.Send(w, dst, tagUpdates, mpi.EncodeUpdates(batch))
+			}
+		}
+	}
+	for _, kv := range t.ctx.takeKV() {
+		dst := int(hashKey(kv.Key) % uint32(t.m))
+		t.comm.Send(w, dst, tagKV, mpi.EncodeKeyValues([]mpi.KeyValue{kv}))
+	}
+	for _, raw := range t.ctx.takeRaw() {
+		t.comm.Send(w, raw.dst, tagRaw, raw.data)
+	}
+}
+
+func hashKey(key string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return h.Sum32()
+}

@@ -1,0 +1,128 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+
+	"grape/internal/metrics"
+)
+
+func TestCommIsolation(t *testing.T) {
+	c := NewCluster(2, nil)
+	a := c.NewComm(nil)
+	b := c.NewComm(nil)
+	if a.Query() == b.Query() {
+		t.Fatalf("communicators share query id %d", a.Query())
+	}
+
+	a.Send(0, 1, "upd", []byte("from-a"))
+	b.Send(0, 1, "upd", []byte("from-b"))
+	b.Send(1, 0, "upd", []byte("back"))
+
+	if got := a.PendingFor(1); got != 1 {
+		t.Fatalf("comm a PendingFor(1) = %d, want 1", got)
+	}
+	if got := b.TotalPending(); got != 2 {
+		t.Fatalf("comm b TotalPending = %d, want 2", got)
+	}
+	envs := a.Deliver(1)
+	if len(envs) != 1 || string(envs[0].Payload) != "from-a" {
+		t.Fatalf("comm a delivered %+v, want only its own envelope", envs)
+	}
+	if envs[0].Query != a.Query() {
+		t.Fatalf("envelope query id = %d, want %d", envs[0].Query, a.Query())
+	}
+	// Draining a must not touch b's mailboxes.
+	if got := b.TotalPending(); got != 2 {
+		t.Fatalf("comm b TotalPending after draining a = %d, want 2", got)
+	}
+}
+
+func TestCommPerQueryMetering(t *testing.T) {
+	c := NewCluster(2, nil)
+	sa, sb := &metrics.Stats{}, &metrics.Stats{}
+	a := c.NewComm(sa)
+	b := c.NewComm(sb)
+	a.Send(0, 1, "upd", []byte("abc"))
+	a.Send(0, 0, "upd", []byte("local")) // self-send: not metered
+	b.Send(1, 0, "upd", []byte("defgh"))
+	if sa.MessagesSent != 1 || sa.BytesSent != 3 {
+		t.Fatalf("comm a stats = %d msgs %d bytes, want 1/3", sa.MessagesSent, sa.BytesSent)
+	}
+	if sb.MessagesSent != 1 || sb.BytesSent != 5 {
+		t.Fatalf("comm b stats = %d msgs %d bytes, want 1/5", sb.MessagesSent, sb.BytesSent)
+	}
+}
+
+func TestClusterDefaultCommCompat(t *testing.T) {
+	// The Cluster-level Send/Deliver must not observe per-query traffic.
+	stats := &metrics.Stats{}
+	c := NewCluster(2, stats)
+	q := c.NewComm(nil)
+	q.Send(0, 1, "upd", []byte("query-scoped"))
+	if got := c.PendingFor(1); got != 0 {
+		t.Fatalf("default comm sees query traffic: PendingFor(1) = %d", got)
+	}
+	c.Send(0, 1, "upd", []byte("default"))
+	if got := c.PendingFor(1); got != 1 {
+		t.Fatalf("default comm PendingFor(1) = %d, want 1", got)
+	}
+	if stats.MessagesSent != 1 {
+		t.Fatalf("default comm metered %d msgs, want 1", stats.MessagesSent)
+	}
+}
+
+func TestLimitParallelism(t *testing.T) {
+	c := NewCluster(8, nil)
+	c.LimitParallelism(2)
+	var mu sync.Mutex
+	running, peak := 0, 0
+	_, err := c.Barrier(0, func(rank int) error {
+		mu.Lock()
+		running++
+		if running > peak {
+			peak = running
+		}
+		mu.Unlock()
+		mu.Lock()
+		running--
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > 2 {
+		t.Fatalf("peak concurrency %d exceeds cluster-wide limit 2", peak)
+	}
+	// Removing the limit restores unbounded behavior (no hang, all ranks run).
+	c.LimitParallelism(0)
+	ran := 0
+	c.Barrier(0, func(rank int) error { //nolint:errcheck
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		return nil
+	})
+	if ran != 8 {
+		t.Fatalf("ran %d ranks after removing limit, want 8", ran)
+	}
+}
+
+func TestBarrierForCustomLiveness(t *testing.T) {
+	c := NewCluster(4, nil)
+	var mu sync.Mutex
+	ran := map[int]bool{}
+	rank, err := c.BarrierFor(func(r int) bool { return r != 3 }, 0, func(r int) error {
+		mu.Lock()
+		ran[r] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != nil || rank != -1 {
+		t.Fatalf("BarrierFor error = %v (rank %d)", err, rank)
+	}
+	if len(ran) != 3 || ran[3] {
+		t.Fatalf("BarrierFor ran %v, want all ranks except 3", ran)
+	}
+}

@@ -8,11 +8,19 @@
 // The transport is synchronous in the BSP sense: messages sent during
 // superstep r are buffered and only become visible to their destinations
 // when the engine calls Deliver at the superstep boundary.
+//
+// Mailboxes are scoped to a query: a Cluster owns only the membership state
+// (worker count, liveness, compute slots), while envelopes travel through
+// per-query communicators (Comm). Concurrent queries over the same resident
+// cluster therefore cannot interleave envelopes, and communication is metered
+// per query ("the graph is partitioned once for all queries Q posed on G",
+// Section 3.1 — one cluster, many query-scoped message streams).
 package mpi
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"grape/internal/metrics"
 )
@@ -24,55 +32,147 @@ const Coordinator = -1
 // Envelope is a routed message: an opaque serialized payload plus routing
 // metadata. Payload serialization is owned by the caller (the engines use the
 // codec in codec.go), which keeps the transport independent of message
-// schemas.
+// schemas. Query identifies the communicator the envelope traveled through.
 type Envelope struct {
 	From    int
 	To      int
+	Query   uint64
 	Tag     string
 	Payload []byte
 }
 
-// Cluster is an in-process cluster of n workers plus a coordinator, connected
-// by buffered mailboxes.
+// Cluster is an in-process cluster of n workers plus a coordinator. It holds
+// the state that outlives any single query — membership, liveness, and the
+// shared compute slots that map m virtual workers onto n physical ones —
+// while mailboxes live in per-query communicators created with NewComm.
+//
+// The Send/Deliver/PendingFor methods on Cluster operate on a default
+// communicator, preserving the single-query API for callers that never run
+// queries concurrently.
 type Cluster struct {
-	n     int
-	stats *metrics.Stats
+	n int
 
 	mu      sync.Mutex
-	pending [][]Envelope // indexed by destination rank; n is the coordinator slot
 	crashed []bool
+	slots   chan struct{} // optional cluster-wide compute slots
+
+	nextQuery atomic.Uint64
+	def       *Comm
 }
 
 // NewCluster creates a cluster with n workers. Stats may be nil, in which
-// case communication is not metered.
+// case communication on the default communicator is not metered.
 func NewCluster(n int, stats *metrics.Stats) *Cluster {
 	if n <= 0 {
 		panic(fmt.Sprintf("mpi: invalid worker count %d", n))
 	}
-	return &Cluster{
-		n:       n,
-		stats:   stats,
-		pending: make([][]Envelope, n+1),
-		crashed: make([]bool, n),
-	}
+	c := &Cluster{n: n, crashed: make([]bool, n)}
+	c.def = c.NewComm(stats)
+	return c
 }
 
 // NumWorkers returns the number of workers in the cluster.
 func (c *Cluster) NumWorkers() int { return c.n }
 
+// LimitParallelism installs a cluster-wide cap on how many workers may run
+// local computation simultaneously, across all concurrent queries — the n
+// physical workers that the m virtual workers are mapped onto (Section 3.1).
+// k <= 0 removes the cap.
+func (c *Cluster) LimitParallelism(k int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if k <= 0 {
+		c.slots = nil
+		return
+	}
+	c.slots = make(chan struct{}, k)
+}
+
+// Comm is a query-scoped communicator: a private set of mailboxes over the
+// cluster's workers, identified by a unique query id. One query's BSP
+// messages never mix with another's, and each communicator meters its own
+// traffic into its own Stats.
+type Comm struct {
+	cluster *Cluster
+	query   uint64
+	stats   *metrics.Stats
+
+	mu      sync.Mutex
+	pending [][]Envelope // indexed by destination rank; n is the coordinator slot
+}
+
+// NewComm creates a communicator with a fresh query id over the cluster's
+// workers. Stats may be nil, in which case the communicator is not metered.
+func (c *Cluster) NewComm(stats *metrics.Stats) *Comm {
+	return &Comm{
+		cluster: c,
+		query:   c.nextQuery.Add(1),
+		stats:   stats,
+		pending: make([][]Envelope, c.n+1),
+	}
+}
+
+// Query returns the communicator's query id.
+func (m *Comm) Query() uint64 { return m.query }
+
 // Send queues an envelope from rank from to rank to (use Coordinator for P0).
 // Messages between distinct workers, and between workers and the
 // coordinator, are metered; a worker sending to itself is local computation
 // and is not counted, matching how the paper accounts communication.
-func (c *Cluster) Send(from, to int, tag string, payload []byte) {
-	slot := c.slot(to)
-	c.mu.Lock()
-	c.pending[slot] = append(c.pending[slot], Envelope{From: from, To: to, Tag: tag, Payload: payload})
-	c.mu.Unlock()
-	if c.stats != nil && from != to {
-		c.stats.AddMessage(len(payload))
+func (m *Comm) Send(from, to int, tag string, payload []byte) {
+	slot := m.cluster.slot(to)
+	m.mu.Lock()
+	m.pending[slot] = append(m.pending[slot],
+		Envelope{From: from, To: to, Query: m.query, Tag: tag, Payload: payload})
+	m.mu.Unlock()
+	if m.stats != nil && from != to {
+		m.stats.AddMessage(len(payload))
 	}
 }
+
+// Deliver returns and clears all envelopes queued for the given rank. The
+// engine calls it at superstep boundaries, which gives BSP semantics.
+func (m *Comm) Deliver(rank int) []Envelope {
+	slot := m.cluster.slot(rank)
+	m.mu.Lock()
+	out := m.pending[slot]
+	m.pending[slot] = nil
+	m.mu.Unlock()
+	return out
+}
+
+// PendingFor reports how many envelopes are queued for the given rank without
+// consuming them.
+func (m *Comm) PendingFor(rank int) int {
+	slot := m.cluster.slot(rank)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending[slot])
+}
+
+// TotalPending reports how many envelopes are queued for all workers (the
+// coordinator mailbox excluded). The coordinator uses it for termination
+// detection: zero pending envelopes is the simultaneous fixpoint.
+func (m *Comm) TotalPending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for rank := 0; rank < m.cluster.n; rank++ {
+		total += len(m.pending[rank])
+	}
+	return total
+}
+
+// Send queues an envelope on the cluster's default communicator.
+func (c *Cluster) Send(from, to int, tag string, payload []byte) {
+	c.def.Send(from, to, tag, payload)
+}
+
+// Deliver drains the default communicator's mailbox for the given rank.
+func (c *Cluster) Deliver(rank int) []Envelope { return c.def.Deliver(rank) }
+
+// PendingFor reports the default communicator's queue length for a rank.
+func (c *Cluster) PendingFor(rank int) int { return c.def.PendingFor(rank) }
 
 func (c *Cluster) slot(rank int) int {
 	if rank == Coordinator {
@@ -82,26 +182,6 @@ func (c *Cluster) slot(rank int) int {
 		panic(fmt.Sprintf("mpi: invalid rank %d", rank))
 	}
 	return rank
-}
-
-// Deliver returns and clears all envelopes queued for the given rank. The
-// engine calls it at superstep boundaries, which gives BSP semantics.
-func (c *Cluster) Deliver(rank int) []Envelope {
-	slot := c.slot(rank)
-	c.mu.Lock()
-	out := c.pending[slot]
-	c.pending[slot] = nil
-	c.mu.Unlock()
-	return out
-}
-
-// PendingFor reports how many envelopes are queued for the given rank without
-// consuming them. The coordinator uses it for termination detection.
-func (c *Cluster) PendingFor(rank int) int {
-	slot := c.slot(rank)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.pending[slot])
 }
 
 // Crash marks a worker as failed. Subsequent Alive checks return false until
@@ -137,22 +217,42 @@ func (c *Cluster) Alive(rank int) bool {
 // superstep's local-computation phase. It returns the first error reported
 // by any worker together with that worker's rank (-1 when no error).
 func (c *Cluster) Barrier(parallelism int, fn func(rank int) error) (int, error) {
-	if parallelism <= 0 || parallelism > c.n {
-		parallelism = c.n
+	return c.BarrierFor(c.Alive, parallelism, fn)
+}
+
+// BarrierFor is Barrier with a caller-supplied liveness predicate, which lets
+// a per-query coordinator exclude workers it considers failed without
+// touching the cluster-wide crash state (and thus without affecting other
+// queries running concurrently). When the cluster has a parallelism limit
+// installed, worker slots are drawn from that shared pool in addition to the
+// per-call bound.
+func (c *Cluster) BarrierFor(alive func(rank int) bool, parallelism int, fn func(rank int) error) (int, error) {
+	var local chan struct{}
+	if parallelism > 0 && parallelism < c.n {
+		local = make(chan struct{}, parallelism)
 	}
-	sem := make(chan struct{}, parallelism)
+	c.mu.Lock()
+	shared := c.slots
+	c.mu.Unlock()
+
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	failedRank, firstErr := -1, error(nil)
 	for rank := 0; rank < c.n; rank++ {
-		if !c.Alive(rank) {
+		if !alive(rank) {
 			continue
 		}
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			if local != nil {
+				local <- struct{}{}
+				defer func() { <-local }()
+			}
+			if shared != nil {
+				shared <- struct{}{}
+				defer func() { <-shared }()
+			}
 			if err := fn(rank); err != nil {
 				mu.Lock()
 				if firstErr == nil {
