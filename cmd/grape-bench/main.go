@@ -12,13 +12,17 @@
 //	grape-bench -exp fig9                      # scalability on synthetic graphs
 //	grape-bench -exp ablations                 # grouping + partitioner ablations
 //	grape-bench -exp session                   # partition-once session vs per-query
+//	grape-bench -exp incremental               # IncEval view maintenance vs full recompute
 //	grape-bench -exp all                       # everything
 //
 // Flags -size (tiny|small|medium) and -workers control the scale; -n gives
-// the list of worker counts swept by the fig6/fig7 experiments.
+// the list of worker counts swept by the fig6/fig7 experiments. The
+// incremental experiment additionally writes machine-readable results to
+// BENCH_incremental.json (configurable with -out).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,15 +39,16 @@ func main() {
 		size    = flag.String("size", "small", "dataset scale: tiny, small, medium")
 		workers = flag.Int("workers", 8, "worker count for table1/fig9")
 		nList   = flag.String("n", "2,4,8", "comma-separated worker counts for fig6/fig7")
+		out     = flag.String("out", "BENCH_incremental.json", "output file for the incremental experiment's JSON results")
 	)
 	flag.Parse()
-	if err := run(*exp, *size, *workers, *nList); err != nil {
+	if err := run(*exp, *size, *workers, *nList, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "grape-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, size string, workers int, nList string) error {
+func run(exp, size string, workers int, nList, incOut string) error {
 	scale, err := workload.ParseScale(size)
 	if err != nil {
 		return err
@@ -119,6 +124,22 @@ func run(exp, size string, workers int, nList string) error {
 		fmt.Print(bench.FormatSessionComparison(c))
 		return nil
 	}
+	runIncremental := func() error {
+		rows, err := bench.IncrementalMaintenance(workers, scale, []int{1, 2, 5, 10, 25}, 30)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatIncrementalRows(rows))
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(incOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", incOut)
+		return nil
+	}
 	runAblations := func() error {
 		rows, err := bench.AblationMessageGrouping(workers, scale)
 		if err != nil {
@@ -162,6 +183,8 @@ func run(exp, size string, workers int, nList string) error {
 		return runAblations()
 	case "session":
 		return runSession()
+	case "incremental":
+		return runIncremental()
 	case "all":
 		steps := []func() error{
 			runTable1,
@@ -179,6 +202,7 @@ func run(exp, size string, workers int, nList string) error {
 			runFig9,
 			runAblations,
 			runSession,
+			runIncremental,
 		}
 		for _, step := range steps {
 			if err := step(); err != nil {

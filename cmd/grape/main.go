@@ -17,9 +17,24 @@
 //	pagerank
 //	EOF
 //
-// Supported serve commands: "sssp <source>", "cc", "pagerank", "help" and
-// "quit". On EOF (or "quit") a summary reports the amortized per-query
-// latency and throughput of the session.
+// Serve mode also accepts graph updates interleaved with queries, and can
+// materialize queries into live views that are maintained incrementally
+// after each update (query → update → maintained answer):
+//
+//	grape -graph road.txt -workers 8 -serve <<'EOF'
+//	mat sssp 17
+//	insert 17 42 1.5
+//	view 1
+//	delete 17 42
+//	view 1
+//	EOF
+//
+// Supported serve commands: "sssp <source>", "cc", "pagerank",
+// "mat sssp <source>", "mat cc", "view <id>", "views",
+// "insert <u> <v> [w]", "delete <u> <v>", "reweight <u> <v> <w>",
+// "addv <id> [label]", "rmv <id>", "help" and "quit". On EOF (or "quit") a
+// summary reports the amortized per-query latency and throughput of the
+// session, plus how many update batches were absorbed.
 //
 // The graph file uses the text edge-list format of internal/graph (plain
 // "src dst weight" lines also work). For sssp the -source flag picks the
@@ -103,14 +118,75 @@ func run(graphPath, query string, source grape.VertexID, workers int, strategy s
 	}
 }
 
-// serveQueries answers a stream of queries over the resident session: the
-// partition-once multi-query mode of Section 3.1.
+// servedView is one materialized view created in serve mode.
+type servedView struct {
+	id   int
+	kind string // "sssp" or "cc"
+	sssp *grape.SSSPView
+	cc   *grape.CCView
+}
+
+func (v *servedView) print(top int) {
+	switch v.kind {
+	case "sssp":
+		dist, err := v.sssp.Distances()
+		if err != nil {
+			fmt.Printf("view %d: maintenance error: %v\n", v.id, err)
+			return
+		}
+		st := v.sssp.Stats()
+		fmt.Printf("view %d: sssp from %d (epoch %d, %d inc / %d recomputed)\n",
+			v.id, v.sssp.Source(), st.Epoch, st.Incremental, st.Recomputed)
+		printFloats("dist", dist, top)
+	case "cc":
+		comps, err := v.cc.Components()
+		if err != nil {
+			fmt.Printf("view %d: maintenance error: %v\n", v.id, err)
+			return
+		}
+		st := v.cc.Stats()
+		sizes := map[grape.VertexID]int{}
+		for _, cid := range comps {
+			sizes[cid]++
+		}
+		fmt.Printf("view %d: cc (epoch %d, %d inc / %d recomputed): %d components\n",
+			v.id, st.Epoch, st.Incremental, st.Recomputed, len(sizes))
+	}
+}
+
+// serveQueries answers a stream of queries, updates and view commands over
+// the resident session: the partition-once multi-query mode of Section 3.1
+// extended with the dynamic-graph mode of Section 3.4.
 func serveQueries(s *grape.Session, in io.Reader, top int, setupDur time.Duration) error {
-	const usage = "commands: sssp <source> | cc | pagerank | help | quit"
+	const usage = "commands: sssp <source> | cc | pagerank | mat sssp <source> | mat cc | view <id> | views |" +
+		" insert <u> <v> [w] | delete <u> <v> | reweight <u> <v> <w> | addv <id> [label] | rmv <id> | help | quit"
 	fmt.Println(usage)
 	var queryTime time.Duration
+	views := map[int]*servedView{}
+	nextView := 0
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+
+	parseID := func(s string) (grape.VertexID, bool) {
+		id, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			fmt.Printf("bad vertex id %q\n", s)
+			return 0, false
+		}
+		return grape.VertexID(id), true
+	}
+	applyBatch := func(batch []grape.Update) {
+		stats, err := s.ApplyUpdates(batch)
+		if err != nil {
+			fmt.Printf("update failed: %v\n", err)
+			return
+		}
+		fmt.Printf("epoch %d: %d/%d ops applied, %d fragments touched, %d views maintained (%d inc, %d recomputed) in %v\n",
+			stats.Epoch, stats.Applied, stats.Ops, stats.AffectedFragments,
+			stats.ViewsMaintained, stats.Incremental, stats.Recomputed,
+			(stats.PartitionElapsed + stats.MaintainElapsed).Round(time.Microsecond))
+	}
+
 	for scanner.Scan() {
 		fields := strings.Fields(scanner.Text())
 		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
@@ -120,7 +196,7 @@ func serveQueries(s *grape.Session, in io.Reader, top int, setupDur time.Duratio
 		var err error
 		switch fields[0] {
 		case "quit", "exit":
-			printSummary(s.Queries(), setupDur, queryTime)
+			printSummary(s, setupDur, queryTime)
 			return nil
 		case "help":
 			fmt.Println(usage)
@@ -130,18 +206,146 @@ func serveQueries(s *grape.Session, in io.Reader, top int, setupDur time.Duratio
 				fmt.Println("usage: sssp <source>")
 				continue
 			}
-			src, perr := strconv.ParseInt(fields[1], 10, 64)
-			if perr != nil {
-				fmt.Printf("bad source %q\n", fields[1])
+			src, ok := parseID(fields[1])
+			if !ok {
 				continue
 			}
-			err = answerSSSP(s, grape.VertexID(src), top)
+			err = answerSSSP(s, src, top)
 		case "cc":
 			err = answerCC(s)
 		case "pagerank":
 			err = answerPageRank(s, top)
+		case "mat":
+			if len(fields) < 2 {
+				fmt.Println("usage: mat sssp <source> | mat cc")
+				continue
+			}
+			switch fields[1] {
+			case "sssp":
+				if len(fields) != 3 {
+					fmt.Println("usage: mat sssp <source>")
+					continue
+				}
+				src, ok := parseID(fields[2])
+				if !ok {
+					continue
+				}
+				var view *grape.SSSPView
+				if view, err = s.MaterializeSSSP(src); err == nil {
+					nextView++
+					views[nextView] = &servedView{id: nextView, kind: "sssp", sssp: view}
+					fmt.Printf("view %d materialized: sssp from %d\n", nextView, src)
+				}
+			case "cc":
+				var view *grape.CCView
+				if view, err = s.MaterializeCC(); err == nil {
+					nextView++
+					views[nextView] = &servedView{id: nextView, kind: "cc", cc: view}
+					fmt.Printf("view %d materialized: cc\n", nextView)
+				}
+			default:
+				fmt.Printf("unknown view kind %q (want sssp or cc)\n", fields[1])
+				continue
+			}
+		case "view":
+			if len(fields) != 2 {
+				fmt.Println("usage: view <id>")
+				continue
+			}
+			id, perr := strconv.Atoi(fields[1])
+			v := views[id]
+			if perr != nil || v == nil {
+				fmt.Printf("no such view %q\n", fields[1])
+				continue
+			}
+			v.print(top)
+			continue
+		case "views":
+			if len(views) == 0 {
+				fmt.Println("no views materialized")
+			}
+			for id := 1; id <= nextView; id++ {
+				if v := views[id]; v != nil {
+					v.print(top)
+				}
+			}
+			continue
+		case "insert":
+			if len(fields) != 3 && len(fields) != 4 {
+				fmt.Println("usage: insert <u> <v> [w]")
+				continue
+			}
+			u, ok1 := parseID(fields[1])
+			v, ok2 := parseID(fields[2])
+			if !ok1 || !ok2 {
+				continue
+			}
+			w := 1.0
+			if len(fields) == 4 {
+				if w, err = strconv.ParseFloat(fields[3], 64); err != nil {
+					fmt.Printf("bad weight %q\n", fields[3])
+					continue
+				}
+			}
+			applyBatch([]grape.Update{grape.EdgeInsert(u, v, w)})
+			continue
+		case "delete":
+			if len(fields) != 3 {
+				fmt.Println("usage: delete <u> <v>")
+				continue
+			}
+			u, ok1 := parseID(fields[1])
+			v, ok2 := parseID(fields[2])
+			if !ok1 || !ok2 {
+				continue
+			}
+			applyBatch([]grape.Update{grape.EdgeDelete(u, v)})
+			continue
+		case "reweight":
+			if len(fields) != 4 {
+				fmt.Println("usage: reweight <u> <v> <w>")
+				continue
+			}
+			u, ok1 := parseID(fields[1])
+			v, ok2 := parseID(fields[2])
+			if !ok1 || !ok2 {
+				continue
+			}
+			w, perr := strconv.ParseFloat(fields[3], 64)
+			if perr != nil {
+				fmt.Printf("bad weight %q\n", fields[3])
+				continue
+			}
+			applyBatch([]grape.Update{grape.EdgeReweight(u, v, w)})
+			continue
+		case "addv":
+			if len(fields) != 2 && len(fields) != 3 {
+				fmt.Println("usage: addv <id> [label]")
+				continue
+			}
+			id, ok := parseID(fields[1])
+			if !ok {
+				continue
+			}
+			label := ""
+			if len(fields) == 3 {
+				label = fields[2]
+			}
+			applyBatch([]grape.Update{grape.VertexAdd(id, label)})
+			continue
+		case "rmv":
+			if len(fields) != 2 {
+				fmt.Println("usage: rmv <id>")
+				continue
+			}
+			id, ok := parseID(fields[1])
+			if !ok {
+				continue
+			}
+			applyBatch([]grape.Update{grape.VertexRemove(id)})
+			continue
 		default:
-			fmt.Printf("unknown query %q; %s\n", fields[0], usage)
+			fmt.Printf("unknown command %q; %s\n", fields[0], usage)
 			continue
 		}
 		queryTime += time.Since(start)
@@ -149,12 +353,14 @@ func serveQueries(s *grape.Session, in io.Reader, top int, setupDur time.Duratio
 			fmt.Printf("query failed: %v\n", err)
 		}
 	}
-	printSummary(s.Queries(), setupDur, queryTime)
+	printSummary(s, setupDur, queryTime)
 	return scanner.Err()
 }
 
-func printSummary(queries int64, setupDur, queryTime time.Duration) {
-	fmt.Printf("session summary: %d queries served\n", queries)
+func printSummary(s *grape.Session, setupDur, queryTime time.Duration) {
+	queries := s.Queries()
+	fmt.Printf("session summary: %d queries served, %d update batches absorbed (epoch %d)\n",
+		queries, s.Updates(), s.Epoch())
 	if queries == 0 {
 		return
 	}

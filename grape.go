@@ -26,6 +26,11 @@
 //	dist2, _, err := s.SSSP(2)
 //	comps, _, err := s.CC()
 //
+// Sessions are mutable: ApplyUpdates absorbs batches of edge/vertex changes
+// by rebuilding only the affected fragments, and MaterializeSSSP /
+// MaterializeCC / Materialize register live views whose answers are
+// maintained incrementally after every batch (see grape_update.go).
+//
 // See the examples/ directory for complete programs.
 package grape
 

@@ -1,0 +1,165 @@
+package grape
+
+// Dynamic graphs and materialized views: the public face of the update
+// subsystem. A Session is mutable — ApplyUpdates absorbs a batch of edge and
+// vertex changes by rebuilding only the affected fragments — and queries can
+// be materialized into live views whose answers are maintained after every
+// batch, incrementally where the program's IncEval supports the change class
+// and by transparent re-evaluation otherwise.
+
+import (
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/pie"
+)
+
+// Update is one graph change operation (edge insert/delete/reweight, vertex
+// add/remove). Build them with the constructors below and apply them in
+// batches with Session.ApplyUpdates.
+type Update = graph.Update
+
+// UpdateStats reports what one ApplyUpdates batch did: the epoch installed,
+// how many ops took effect, how many fragments were touched, and how every
+// materialized view was refreshed.
+type UpdateStats = core.UpdateStats
+
+// ViewStats reports how a materialized view has been maintained so far.
+type ViewStats = core.ViewStats
+
+// DeltaProgram is the optional interface a custom PIE program implements so
+// views over it can be maintained incrementally under graph updates.
+type DeltaProgram = core.DeltaProgram
+
+// FragmentDelta describes a batch's changes to one fragment, as handed to
+// DeltaProgram.EvalDelta.
+type FragmentDelta = core.FragmentDelta
+
+// EdgeInsert inserts an edge src→dst with the given weight.
+func EdgeInsert(src, dst VertexID, weight float64) Update {
+	return graph.AddEdgeUpdate(src, dst, weight, "")
+}
+
+// LabeledEdgeInsert inserts an edge src→dst with a weight and label.
+func LabeledEdgeInsert(src, dst VertexID, weight float64, label string) Update {
+	return graph.AddEdgeUpdate(src, dst, weight, label)
+}
+
+// EdgeDelete removes every edge between src and dst (both orientations for
+// undirected graphs).
+func EdgeDelete(src, dst VertexID) Update { return graph.RemoveEdgeUpdate(src, dst) }
+
+// EdgeReweight sets the weight of the edges between src and dst.
+func EdgeReweight(src, dst VertexID, weight float64) Update {
+	return graph.ReweightEdgeUpdate(src, dst, weight)
+}
+
+// VertexAdd adds a vertex (a no-op label refresh when it already exists).
+func VertexAdd(id VertexID, label string) Update { return graph.AddVertexUpdate(id, label) }
+
+// VertexRemove removes a vertex and every edge incident to it.
+func VertexRemove(id VertexID) Update { return graph.RemoveVertexUpdate(id) }
+
+// ApplyUpdates absorbs a batch of graph updates into the session: each op is
+// routed to the owning fragment, only the affected fragments are rebuilt,
+// and every materialized view is refreshed before the call returns. Queries
+// in flight keep reading the previous epoch (snapshot consistency); later
+// queries see the updated graph.
+func (s *Session) ApplyUpdates(batch []Update) (*UpdateStats, error) {
+	return s.s.ApplyUpdates(batch)
+}
+
+// Epoch returns the session's current epoch — the number of update batches
+// installed so far.
+func (s *Session) Epoch() int64 { return s.s.Epoch() }
+
+// Updates reports how many update batches the session has absorbed.
+func (s *Session) Updates() int64 { return s.s.Updates() }
+
+// View is a materialized query result kept fresh across graph updates. It is
+// returned by Session.Materialize; the typed SSSPView/CCView wrappers are
+// usually more convenient.
+type View struct {
+	v *core.View
+}
+
+// Result returns the view's current answer (the type depends on the
+// program) and the maintenance error of the last batch, if any.
+func (v *View) Result() (any, error) { return v.v.Result() }
+
+// Stats returns the view's maintenance counters.
+func (v *View) Stats() ViewStats { return v.v.Stats() }
+
+// Name returns the name of the program the view materializes.
+func (v *View) Name() string { return v.v.Name() }
+
+// Close stops maintaining the view; its last result stays readable.
+func (v *View) Close() error { return v.v.Close() }
+
+// Materialize evaluates an arbitrary PIE program once and keeps its answer
+// fresh across updates. Programs implementing DeltaProgram are maintained
+// incrementally where possible; others are transparently re-evaluated after
+// each batch.
+func (s *Session) Materialize(prog Program, query any) (*View, error) {
+	v, err := s.s.Materialize(query, prog)
+	if err != nil {
+		return nil, err
+	}
+	return &View{v: v}, nil
+}
+
+// SSSPView is a materialized single-source shortest-path result.
+type SSSPView struct {
+	View
+	source VertexID
+}
+
+// MaterializeSSSP materializes single-source shortest paths from source.
+// Edge inserts, weight decreases and vertex adds are absorbed incrementally
+// (distances only shrink, propagated by the bounded Ramalingam–Reps
+// IncEval); deletions and weight increases trigger a re-evaluation.
+func (s *Session) MaterializeSSSP(source VertexID) (*SSSPView, error) {
+	v, err := s.s.Materialize(source, pie.SSSP{})
+	if err != nil {
+		return nil, err
+	}
+	return &SSSPView{View: View{v: v}, source: source}, nil
+}
+
+// Source returns the query's source vertex.
+func (v *SSSPView) Source() VertexID { return v.source }
+
+// Distances returns the current distance of every vertex (+Inf when
+// unreachable) as of the last installed epoch.
+func (v *SSSPView) Distances() (map[VertexID]float64, error) {
+	out, err := v.v.Result()
+	if err != nil {
+		return nil, err
+	}
+	return out.(map[VertexID]float64), nil
+}
+
+// CCView is a materialized connected-components result.
+type CCView struct {
+	View
+}
+
+// MaterializeCC materializes connected components. Edge and vertex inserts
+// are absorbed incrementally (components only merge); deletions trigger a
+// re-evaluation because they can split components.
+func (s *Session) MaterializeCC() (*CCView, error) {
+	v, err := s.s.Materialize(nil, pie.CC{})
+	if err != nil {
+		return nil, err
+	}
+	return &CCView{View: View{v: v}}, nil
+}
+
+// Components returns the component identifier (smallest member vertex ID) of
+// every vertex as of the last installed epoch.
+func (v *CCView) Components() (map[VertexID]VertexID, error) {
+	out, err := v.v.Result()
+	if err != nil {
+		return nil, err
+	}
+	return out.(map[VertexID]VertexID), nil
+}

@@ -1,0 +1,134 @@
+package grape
+
+import (
+	"math"
+	"testing"
+
+	"grape/internal/workload"
+)
+
+func TestSessionApplyUpdatesAndViews(t *testing.T) {
+	b := NewGraphBuilder(false)
+	// Two components: 1-2-3 and 10-11.
+	b.AddEdge(1, 2, 1, "")
+	b.AddEdge(2, 3, 1, "")
+	b.AddEdge(10, 11, 1, "")
+	g := b.Build()
+
+	s, err := NewSession(g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	sssp, err := s.MaterializeSSSP(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := s.MaterializeCC()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dist, err := sssp.Distances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(dist[10], 1) {
+		t.Fatalf("initial dist[10] = %v, want +Inf", dist[10])
+	}
+	comps, err := cc.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps[10] != 10 || comps[1] != 1 {
+		t.Fatalf("initial components: %v", comps)
+	}
+
+	// Bridge the components; both views must refresh.
+	stats, err := s.ApplyUpdates([]Update{EdgeInsert(3, 10, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 1 || stats.ViewsMaintained != 2 || stats.Incremental != 2 {
+		t.Fatalf("stats after bridge: %+v epoch=%d", stats, s.Epoch())
+	}
+	dist, err = sssp.Distances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[10] != 4 || dist[11] != 5 {
+		t.Fatalf("after bridge: dist[10]=%v dist[11]=%v", dist[10], dist[11])
+	}
+	comps, err = cc.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps[10] != 1 || comps[11] != 1 {
+		t.Fatalf("after bridge: components %v", comps)
+	}
+
+	// Cut the bridge again: deletion falls back to recompute and answers
+	// grow back.
+	if _, err = s.ApplyUpdates([]Update{EdgeDelete(3, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	dist, err = sssp.Distances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(dist[10], 1) {
+		t.Fatalf("after cut: dist[10] = %v, want +Inf", dist[10])
+	}
+	comps, err = cc.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps[10] != 10 {
+		t.Fatalf("after cut: components %v", comps)
+	}
+	if vs := sssp.Stats(); vs.Maintenances != 2 || vs.Incremental != 1 || vs.Recomputed != 1 {
+		t.Fatalf("sssp view stats: %+v", vs)
+	}
+
+	// Plain queries keep working on the updated graph.
+	d2, _, err := s.SSSP(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2[11] != 1 {
+		t.Fatalf("query after updates: dist[11]=%v", d2[11])
+	}
+}
+
+func TestSessionReplayWorkloadStream(t *testing.T) {
+	g := sessionTestGraph()
+	s, err := NewSession(g, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	source := g.VertexAt(0)
+	view, err := s.MaterializeSSSP(source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := workload.UpdateStream(g, workload.StreamConfig{
+		Seed: 5, Batches: 15, BatchSize: 3,
+		Protect: []VertexID{source},
+	})
+	for _, tb := range stream {
+		if _, err := s.ApplyUpdates(tb.Ops); err != nil {
+			t.Fatalf("batch %d: %v", tb.Seq, err)
+		}
+	}
+	if s.Epoch() != 15 {
+		t.Fatalf("epoch = %d, want 15", s.Epoch())
+	}
+	if _, err := view.Distances(); err != nil {
+		t.Fatal(err)
+	}
+	if vs := view.Stats(); vs.Maintenances != 15 {
+		t.Fatalf("view stats: %+v", vs)
+	}
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+
+	"grape/internal/core"
+	"grape/internal/metrics"
+	"grape/internal/pie"
+	"grape/internal/workload"
+)
+
+// IncrementalRow is one point of the incremental-maintenance experiment: the
+// same monotone update stream absorbed by a session with materialized
+// SSSP+CC views (IncEval maintenance) versus a session that re-runs both
+// queries from scratch after every batch (full recompute). Both sides pay
+// the same partition-maintenance cost; the difference is pure answer
+// maintenance.
+type IncrementalRow struct {
+	Dataset             string  `json:"dataset"`
+	Workers             int     `json:"workers"`
+	BatchSize           int     `json:"batch_size"`
+	Batches             int     `json:"batches"`
+	MaintainTotalSec    float64 `json:"maintain_total_sec"`
+	RecomputeTotalSec   float64 `json:"recompute_total_sec"`
+	MaintainPerBatchMS  float64 `json:"maintain_per_batch_ms"`
+	RecomputePerBatchMS float64 `json:"recompute_per_batch_ms"`
+	// Speedup is RecomputeTotalSec / MaintainTotalSec.
+	Speedup float64 `json:"speedup"`
+	// IncrementalRounds / RecomputedRounds report how the two views were
+	// actually maintained (monotone streams should be all-incremental).
+	IncrementalRounds int64 `json:"incremental_rounds"`
+	RecomputedRounds  int64 `json:"recomputed_rounds"`
+}
+
+// IncrementalMaintenance runs the maintenance-vs-recompute experiment over
+// the road-network surrogate for each batch size: a monotone (insert-only)
+// stream of `batches` batches is absorbed twice, once by a session whose
+// SSSP and CC views are maintained by IncEval from the affected fragments,
+// once by a session that answers both queries from scratch after every
+// batch.
+func IncrementalMaintenance(workers int, scale workload.Scale, batchSizes []int, batches int) ([]IncrementalRow, error) {
+	if batches <= 0 {
+		batches = 30
+	}
+	var rows []IncrementalRow
+	for _, bs := range batchSizes {
+		g, err := workload.Load(workload.Traffic, scale)
+		if err != nil {
+			return nil, err
+		}
+		source := workload.Sources(g, 1, 7)[0]
+		stream := workload.UpdateStream(g, workload.MonotoneStreamConfig(31+int64(bs), batches, bs))
+		opts := core.Options{Workers: workers, Strategy: grapeStrategy}
+
+		// Maintained side: views absorb every batch incrementally.
+		sm, err := core.NewSession(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		ssspView, err := sm.Materialize(source, pie.SSSP{})
+		if err != nil {
+			sm.Close()
+			return nil, err
+		}
+		ccView, err := sm.Materialize(nil, pie.CC{})
+		if err != nil {
+			sm.Close()
+			return nil, err
+		}
+		mTimer := metrics.StartTimer()
+		for _, tb := range stream {
+			if _, err := sm.ApplyUpdates(tb.Ops); err != nil {
+				sm.Close()
+				return nil, fmt.Errorf("bench: maintain batch %d: %w", tb.Seq, err)
+			}
+		}
+		maintainTotal := mTimer.Stop().Seconds()
+		ss, cs := ssspView.Stats(), ccView.Stats()
+		sm.Close()
+
+		// Recompute side: same stream, but both answers are recomputed from
+		// scratch after every batch.
+		sr, err := core.NewSession(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		rTimer := metrics.StartTimer()
+		for _, tb := range stream {
+			if _, err := sr.ApplyUpdates(tb.Ops); err != nil {
+				sr.Close()
+				return nil, fmt.Errorf("bench: recompute batch %d: %w", tb.Seq, err)
+			}
+			if _, err := sr.Run(source, pie.SSSP{}); err != nil {
+				sr.Close()
+				return nil, fmt.Errorf("bench: recompute SSSP batch %d: %w", tb.Seq, err)
+			}
+			if _, err := sr.Run(nil, pie.CC{}); err != nil {
+				sr.Close()
+				return nil, fmt.Errorf("bench: recompute CC batch %d: %w", tb.Seq, err)
+			}
+		}
+		recomputeTotal := rTimer.Stop().Seconds()
+		sr.Close()
+
+		n := float64(batches)
+		rows = append(rows, IncrementalRow{
+			Dataset:             workload.Traffic,
+			Workers:             workers,
+			BatchSize:           bs,
+			Batches:             batches,
+			MaintainTotalSec:    maintainTotal,
+			RecomputeTotalSec:   recomputeTotal,
+			MaintainPerBatchMS:  maintainTotal / n * 1000,
+			RecomputePerBatchMS: recomputeTotal / n * 1000,
+			Speedup:             safeRatio(recomputeTotal, maintainTotal),
+			IncrementalRounds:   ss.Incremental + cs.Incremental,
+			RecomputedRounds:    ss.Recomputed + cs.Recomputed,
+		})
+	}
+	return rows, nil
+}
+
+// FormatIncrementalRows renders the experiment as a text table.
+func FormatIncrementalRows(rows []IncrementalRow) string {
+	out := "== Incremental maintenance: IncEval-maintained SSSP+CC views vs full recompute ==\n"
+	out += fmt.Sprintf("%9s %8s %16s %16s %8s %10s\n",
+		"batchsz", "batches", "maintain(ms/b)", "recompute(ms/b)", "speedup", "inc/recomp")
+	for _, r := range rows {
+		out += fmt.Sprintf("%9d %8d %16.3f %16.3f %7.2fx %6d/%d\n",
+			r.BatchSize, r.Batches, r.MaintainPerBatchMS, r.RecomputePerBatchMS,
+			r.Speedup, r.IncrementalRounds, r.RecomputedRounds)
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+
+	"grape/internal/workload"
+)
+
+func TestIncrementalMaintenance(t *testing.T) {
+	rows, err := IncrementalMaintenance(4, workload.ScaleTiny, []int{1, 5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Batches != 8 || r.Workers != 4 {
+			t.Fatalf("row shape: %+v", r)
+		}
+		if r.MaintainTotalSec <= 0 || r.RecomputeTotalSec <= 0 || r.Speedup <= 0 {
+			t.Fatalf("timings not populated: %+v", r)
+		}
+		// Monotone streams must be maintained purely incrementally: two
+		// views, one round each per batch.
+		if r.IncrementalRounds != 16 || r.RecomputedRounds != 0 {
+			t.Fatalf("maintenance mix: %+v", r)
+		}
+	}
+	if out := FormatIncrementalRows(rows); len(out) == 0 {
+		t.Fatal("empty table")
+	}
+}

@@ -92,6 +92,20 @@ func (c *Context) SetVar(v graph.VertexID, key int64, value float64, data []byte
 	c.updates++
 }
 
+// MarkDirty re-marks an already declared update parameter dirty, so its
+// current value is re-shipped at the end of the superstep even though it did
+// not change. View maintenance uses it when a vertex gains a new mirror
+// fragment that has never seen the value. It reports whether the parameter
+// exists.
+func (c *Context) MarkDirty(v graph.VertexID, key int64) bool {
+	k := VarKey{Vertex: v, Key: key}
+	if _, ok := c.vars[k]; !ok {
+		return false
+	}
+	c.dirty[k] = true
+	return true
+}
+
 // Var returns the current value of an update parameter and whether it has
 // been declared.
 func (c *Context) Var(v graph.VertexID, key int64) (mpi.Update, bool) {

@@ -91,8 +91,28 @@ func (c *coordinator) run(q Query, prog Program) (*Result, error) {
 		return res, err
 	}
 
-	// Iterative supersteps: incremental evaluation until no fragment has
-	// pending messages (the simultaneous fixpoint of Section 4.1).
+	// Iterative supersteps until the simultaneous fixpoint.
+	if err := c.iterate(tasks, comm, stats, res, runStep, superstep); err != nil {
+		return res, err
+	}
+
+	// Termination: assemble partial results into Q(G).
+	out, err := prog.Assemble(q, ctxs)
+	if err != nil {
+		return res, fmt.Errorf("core: Assemble: %w", err)
+	}
+	res.Output = out
+	return res, nil
+}
+
+// iterate drives the iterative supersteps — incremental evaluation until no
+// fragment has pending messages (the simultaneous fixpoint of Section 4.1).
+// It is shared by query runs (after PEval) and by view maintenance rounds
+// (after EvalDelta). superstep is the number of the superstep that just ran.
+func (c *coordinator) iterate(tasks []*task, comm *mpi.Comm, stats *metrics.Stats,
+	res *Result, runStep func(superstep int, body func(w int) error) error, superstep int) error {
+	m := len(tasks)
+	prog := tasks[0].prog
 	for {
 		if c.opts.CoordinatorFailureAt > 0 && superstep == c.opts.CoordinatorFailureAt {
 			// The standby coordinator S'c takes over; the coordinator's only
@@ -101,11 +121,11 @@ func (c *coordinator) run(q Query, prog Program) (*Result, error) {
 			res.CoordinatorFailovers++
 		}
 		if comm.TotalPending() == 0 {
-			break
+			return nil
 		}
 		superstep++
 		if superstep > c.opts.MaxSupersteps {
-			return res, fmt.Errorf("core: %s did not converge within %d supersteps", prog.Name(), c.opts.MaxSupersteps)
+			return fmt.Errorf("core: %s did not converge within %d supersteps", prog.Name(), c.opts.MaxSupersteps)
 		}
 		stats.BeginSuperstep()
 		// Deliver all mailboxes before the barrier so that messages sent
@@ -116,19 +136,10 @@ func (c *coordinator) run(q Query, prog Program) (*Result, error) {
 		for w := 0; w < m; w++ {
 			inboxes[w] = comm.Deliver(w)
 		}
-		err := runStep(superstep, func(w int) error { return tasks[w].incremental(superstep, inboxes[w]) })
-		if err != nil {
-			return res, err
+		if err := runStep(superstep, func(w int) error { return tasks[w].incremental(superstep, inboxes[w]) }); err != nil {
+			return err
 		}
 	}
-
-	// Termination: assemble partial results into Q(G).
-	out, err := prog.Assemble(q, ctxs)
-	if err != nil {
-		return res, fmt.Errorf("core: Assemble: %w", err)
-	}
-	res.Output = out
-	return res, nil
 }
 
 // safeCall runs fn, converting panics into errors so a buggy plugged-in

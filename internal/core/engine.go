@@ -25,6 +25,9 @@ type Options struct {
 	// Strategy is the graph partition strategy. Nil defaults to hash
 	// edge-cut.
 	Strategy partition.Strategy
+	// Placer assigns vertices created by graph updates to fragments. Nil
+	// defaults to hashing the vertex ID (consistent with the Hash strategy).
+	Placer func(graph.VertexID) int
 	// MaxSupersteps caps the number of supersteps as a safety net against
 	// non-monotonic programs. Zero means a large default.
 	MaxSupersteps int

@@ -11,6 +11,12 @@
 // monotonically under the program's Aggregate order, the engine terminates
 // with the correct answer. The engine also supports key-value messages, which
 // is how MapReduce/BSP programs are simulated (Theorem 2).
+//
+// Beyond single queries, a Session serves a query stream over resident
+// fragments, absorbs graph updates in epoch-versioned batches
+// (Session.ApplyUpdates) and keeps materialized views fresh across them
+// (Session.Materialize) — the dynamic-graph mode of Section 3.4, implemented
+// in update.go and view.go.
 package core
 
 import (

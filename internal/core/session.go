@@ -10,16 +10,24 @@ import (
 	"grape/internal/partition"
 )
 
-// ErrSessionClosed is returned by Session.Run after Close.
+// ErrSessionClosed is returned by Session.Run, Session.ApplyUpdates and
+// Session.Materialize after Close.
 var ErrSessionClosed = errors.New("core: session closed")
 
 // Session is the partition-once query-serving form of the engine: the graph
 // is partitioned once, the fragments are held resident by a persistent
 // worker/coordinator cluster, and any number of queries — issued concurrently
-// from different goroutines — are evaluated over the shared immutable
-// fragments. This is the operating model of Section 3.1 ("the graph is
-// partitioned once for all queries Q posed on G"): partitioning and cluster
-// setup are paid once and amortized over the whole query stream.
+// from different goroutines — are evaluated over the shared fragments. This
+// is the operating model of Section 3.1 ("the graph is partitioned once for
+// all queries Q posed on G"): partitioning and cluster setup are paid once
+// and amortized over the whole query stream.
+//
+// Sessions are mutable: ApplyUpdates absorbs a batch of graph changes by
+// rebuilding only the affected fragments and installing them as a new epoch.
+// Fragments are immutable values, so queries in flight keep reading the
+// epoch they started on (snapshot consistency); materialized views created
+// with Materialize are refreshed after each batch by an incremental
+// maintenance round (see view.go).
 //
 // Per-query isolation: every Run creates a query-scoped communicator
 // (mailboxes namespaced by a query id, metered into that query's Stats) and
@@ -29,14 +37,23 @@ var ErrSessionClosed = errors.New("core: session closed")
 // physical workers.
 type Session struct {
 	opts    Options
-	part    *partition.Partitioned
 	cluster *mpi.Cluster
-	workers []*worker
+	place   func(graph.VertexID) int
 
-	mu       sync.Mutex
+	mu       sync.Mutex // guards part, workers, epoch, views, closed
+	part     *partition.Partitioned
+	workers  []*worker
+	epoch    int64
+	views    map[*View]struct{}
 	closed   bool
 	inFlight sync.WaitGroup
-	queries  atomic.Int64
+
+	// updateMu serializes ApplyUpdates and Materialize so that view state
+	// always corresponds to exactly one epoch.
+	updateMu sync.Mutex
+
+	queries atomic.Int64
+	updates atomic.Int64
 }
 
 // NewSession partitions g with the configured strategy and brings up the
@@ -62,44 +79,91 @@ func NewSessionPartitioned(p *partition.Partitioned, opts Options) (*Session, er
 
 	cluster := mpi.NewCluster(m, nil)
 	cluster.LimitParallelism(o.Parallelism)
-	workers := make([]*worker, m)
+	place := o.Placer
+	if place == nil {
+		place = partition.HashPlacer(m)
+	}
+	s := &Session{
+		opts:    o,
+		cluster: cluster,
+		place:   place,
+		part:    p,
+		workers: newWorkers(p),
+		views:   make(map[*View]struct{}),
+	}
+	return s, nil
+}
+
+func newWorkers(p *partition.Partitioned) []*worker {
+	workers := make([]*worker, len(p.Fragments))
 	for i, f := range p.Fragments {
 		workers[i] = newWorker(i, f, p.GP)
 	}
-	return &Session{opts: o, part: p, cluster: cluster, workers: workers}, nil
+	return workers
 }
 
-// Run evaluates one query with the given PIE program over the resident
-// fragments. It is safe to call from many goroutines concurrently; each call
-// gets its own contexts, communicator and Stats.
-func (s *Session) Run(q Query, prog Program) (*Result, error) {
+// begin registers one unit of in-flight work, failing when the session is
+// closed, and returns a snapshot of the current epoch's workers.
+func (s *Session) begin() ([]*worker, error) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
 		return nil, ErrSessionClosed
 	}
 	s.inFlight.Add(1)
-	s.mu.Unlock()
+	return s.workers, nil
+}
+
+// Run evaluates one query with the given PIE program over the resident
+// fragments of the current epoch. It is safe to call from many goroutines
+// concurrently; each call gets its own contexts, communicator and Stats.
+// Queries overlapping an ApplyUpdates keep reading the fragments of the
+// epoch they started on.
+func (s *Session) Run(q Query, prog Program) (*Result, error) {
+	workers, err := s.begin()
+	if err != nil {
+		return nil, err
+	}
 	defer s.inFlight.Done()
 	s.queries.Add(1)
 
-	co := &coordinator{opts: s.opts, cluster: s.cluster, workers: s.workers}
+	co := &coordinator{opts: s.opts, cluster: s.cluster, workers: workers}
 	return co.run(q, prog)
 }
 
-// Partition exposes the session's resident partition (fragments, GP,
-// assignment) for inspection.
-func (s *Session) Partition() *partition.Partitioned { return s.part }
+// Partition exposes the session's current resident partition (fragments, GP,
+// assignment) for inspection. After updates, the partition's Source and
+// Assignment still describe epoch 0; the fragments and GP are current.
+func (s *Session) Partition() *partition.Partitioned {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.part
+}
 
 // NumFragments returns the number of resident fragments m.
-func (s *Session) NumFragments() int { return len(s.workers) }
+func (s *Session) NumFragments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.workers)
+}
 
 // Queries reports how many queries the session has served (including ones
 // currently in flight).
 func (s *Session) Queries() int64 { return s.queries.Load() }
 
-// Close stops accepting new queries and waits for in-flight ones to finish.
-// Closing an already closed session is a no-op.
+// Updates reports how many update batches the session has absorbed.
+func (s *Session) Updates() int64 { return s.updates.Load() }
+
+// Epoch returns the session's current epoch: the number of update batches
+// installed so far.
+func (s *Session) Epoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Close stops accepting new queries, updates and views, and waits for
+// in-flight ones to finish. Closing an already closed session is a no-op.
 func (s *Session) Close() error {
 	s.mu.Lock()
 	already := s.closed

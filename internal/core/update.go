@@ -1,0 +1,146 @@
+package core
+
+// Dynamic-graph updates: the maintenance half of the engine (the paper's
+// Section 3.4 "GRAPE handles dynamic graphs"). A batch of graph.Update ops is
+// routed to the owning fragments by internal/partition, the affected
+// fragments are rebuilt as a new epoch, and every materialized view is
+// refreshed — incrementally, via the program's IncEval seeded by EvalDelta,
+// when the program can absorb the change; by a full PEval re-run otherwise.
+// Maintenance rounds are a distinct execution mode from query rounds: they
+// reuse the per-fragment state of the view's last evaluation instead of
+// starting from scratch, so their cost is proportional to the affected area
+// AFF rather than to the graph.
+
+import (
+	"errors"
+	"time"
+
+	"grape/internal/graph"
+	"grape/internal/metrics"
+)
+
+// FragmentDelta describes what one update batch did to one fragment. It is
+// handed to DeltaProgram.EvalDelta during view maintenance; ctx.Fragment
+// already reflects the post-batch fragment when EvalDelta runs.
+type FragmentDelta struct {
+	// Ops are the update ops applied to this fragment's local graph, in
+	// batch order. Empty when only border metadata changed.
+	Ops []graph.Update
+	// OldGraph is the fragment graph before the batch.
+	OldGraph *graph.Graph
+	// NewInBorder lists owned vertices that gained a new mirror fragment in
+	// this batch. Their current values must be re-shipped (ctx.MarkDirty)
+	// because the new mirrors have never seen them.
+	NewInBorder []graph.VertexID
+}
+
+// DeltaProgram is the optional extension a PIE program implements to let
+// materialized views be maintained incrementally under graph updates. Given
+// the per-fragment state left behind by the view's previous evaluation
+// (ctx.State) and the batch's changes to this fragment, EvalDelta seeds the
+// incremental re-evaluation: it updates local state with the program's
+// bounded incremental algorithm (internal/inc) and marks changed or newly
+// mirrored border variables so the engine ships them. The engine then
+// iterates IncEval supersteps to the simultaneous fixpoint, exactly as in a
+// query run.
+//
+// EvalDelta returns absorbed=false when the change is outside the program's
+// incremental class (for example an edge deletion for SSSP, whose distances
+// only shrink): the engine falls back to a full PEval re-run of the view.
+// Programs that do not implement DeltaProgram always fall back.
+type DeltaProgram interface {
+	Program
+	EvalDelta(ctx *Context, d FragmentDelta) (absorbed bool, err error)
+}
+
+// errNotAbsorbable signals internally that a maintenance round bailed out to
+// a full recompute.
+var errNotAbsorbable = errors.New("core: delta not absorbable incrementally")
+
+// UpdateStats reports what one ApplyUpdates batch did.
+type UpdateStats struct {
+	// Epoch is the epoch installed by the batch.
+	Epoch int64
+	// Ops is the number of ops in the batch; Applied counts the ones that
+	// had an effect (removals of missing vertices/edges do not).
+	Ops, Applied int
+	// AffectedFragments is how many fragments were touched.
+	AffectedFragments int
+	// ViewsMaintained counts maintained views, split into incrementally
+	// maintained ones and full recomputes.
+	ViewsMaintained int
+	Incremental     int
+	Recomputed      int
+	// PartitionElapsed is the time spent rebuilding fragments and borders;
+	// MaintainElapsed the time spent refreshing views.
+	PartitionElapsed time.Duration
+	MaintainElapsed  time.Duration
+}
+
+// ApplyUpdates absorbs a batch of graph updates: it routes each op to the
+// owning fragment, rebuilds the affected fragments and their border/mirror
+// sets, installs the result as the session's next epoch, and refreshes every
+// materialized view. Queries in flight keep reading the previous epoch's
+// fragments; queries started after ApplyUpdates returns see the new one.
+//
+// Batches are serialized with respect to each other and to Materialize.
+// Updates proceed concurrently with queries. An error from a view's
+// maintenance does not abort the batch: the epoch is still installed, the
+// remaining views are still refreshed, and the collected errors are
+// returned alongside the stats.
+func (s *Session) ApplyUpdates(batch []graph.Update) (*UpdateStats, error) {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	s.inFlight.Add(1)
+	part := s.part
+	s.mu.Unlock()
+	defer s.inFlight.Done()
+
+	partTimer := metrics.StartTimer()
+	newPart, res := part.ApplyUpdates(batch, s.place)
+	workers := newWorkers(newPart)
+	partElapsed := partTimer.Stop()
+
+	s.mu.Lock()
+	s.part = newPart
+	s.workers = workers
+	s.epoch++
+	epoch := s.epoch
+	views := make([]*View, 0, len(s.views))
+	for v := range s.views {
+		views = append(views, v)
+	}
+	s.mu.Unlock()
+	s.updates.Add(1)
+
+	stats := &UpdateStats{
+		Epoch:             epoch,
+		Ops:               len(batch),
+		Applied:           res.Applied,
+		AffectedFragments: len(res.Changes),
+		PartitionElapsed:  partElapsed,
+	}
+
+	maintainTimer := metrics.StartTimer()
+	var errs []error
+	for _, v := range views {
+		inc, err := v.maintain(newPart, workers, res, epoch)
+		stats.ViewsMaintained++
+		if inc {
+			stats.Incremental++
+		} else {
+			stats.Recomputed++
+		}
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	stats.MaintainElapsed = maintainTimer.Stop()
+	return stats, errors.Join(errs...)
+}

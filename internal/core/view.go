@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"grape/internal/metrics"
+	"grape/internal/partition"
+)
+
+// View is a materialized query result kept fresh across graph updates: the
+// answer-maintenance counterpart of a query run. Materialize evaluates the
+// program once and retains the per-fragment contexts (each holding the
+// program's partial result Q(Fi)); after every ApplyUpdates batch the engine
+// refreshes the view, preferring an incremental maintenance round — the
+// program's EvalDelta seeds its bounded IncEval over the fragments whose AFF
+// set is non-empty, then the usual fixpoint iteration re-converges the
+// border values — and falling back to a full PEval re-run when the program
+// has no incremental form for the change (or none at all).
+//
+// Result is safe to call from any goroutine; it returns the answer as of the
+// last installed epoch.
+type View struct {
+	session *Session
+	prog    Program
+	query   Query
+
+	mu     sync.RWMutex
+	ctxs   []*Context
+	result any
+	err    error
+	stats  ViewStats
+	closed bool
+	// stale is set when a maintenance round failed: the retained contexts
+	// may have missed a batch, so the next round must recompute from scratch
+	// instead of trusting them for an incremental round.
+	stale bool
+}
+
+// ViewStats describes how a view has been maintained so far.
+type ViewStats struct {
+	// Epoch is the session epoch the view's result corresponds to.
+	Epoch int64
+	// Maintenances counts maintenance rounds, split into incremental ones
+	// (EvalDelta + IncEval fixpoint) and full PEval recomputes.
+	Maintenances int64
+	Incremental  int64
+	Recomputed   int64
+}
+
+// Materialize evaluates prog once over the session's resident fragments and
+// registers the result as a live view: after every ApplyUpdates batch the
+// view's answer is refreshed before ApplyUpdates returns. Close the view to
+// stop maintaining it.
+func (s *Session) Materialize(q Query, prog Program) (*View, error) {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+
+	workers, err := s.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer s.inFlight.Done()
+	s.queries.Add(1)
+
+	co := &coordinator{opts: s.opts, cluster: s.cluster, workers: workers}
+	res, err := co.run(q, prog)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{session: s, prog: prog, query: q, ctxs: res.Contexts, result: res.Output}
+	s.mu.Lock()
+	v.stats.Epoch = s.epoch
+	s.views[v] = struct{}{}
+	s.mu.Unlock()
+	return v, nil
+}
+
+// Name returns the program name the view materializes.
+func (v *View) Name() string { return v.prog.Name() }
+
+// Result returns the view's current answer and the maintenance error of the
+// last batch, if any. The answer always corresponds to a complete epoch.
+func (v *View) Result() (any, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.result, v.err
+}
+
+// Stats returns the view's maintenance counters.
+func (v *View) Stats() ViewStats {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.stats
+}
+
+// Close unregisters the view from its session; the result remains readable
+// but is no longer maintained. Closing twice is a no-op.
+func (v *View) Close() error {
+	v.mu.Lock()
+	already := v.closed
+	v.closed = true
+	v.mu.Unlock()
+	if already {
+		return nil
+	}
+	s := v.session
+	s.mu.Lock()
+	delete(s.views, v)
+	s.mu.Unlock()
+	return nil
+}
+
+// maintain refreshes the view for a freshly installed epoch. It is called by
+// ApplyUpdates with updateMu held, so maintenance rounds are serialized. It
+// reports whether the round was incremental.
+func (v *View) maintain(part *partition.Partitioned, workers []*worker, res *partition.UpdateResult, epoch int64) (incremental bool, err error) {
+	defer func() {
+		v.mu.Lock()
+		v.stats.Epoch = epoch
+		v.stats.Maintenances++
+		if incremental {
+			v.stats.Incremental++
+		} else {
+			v.stats.Recomputed++
+		}
+		v.err = err
+		v.stale = err != nil
+		v.mu.Unlock()
+	}()
+
+	v.mu.RLock()
+	stale := v.stale
+	v.mu.RUnlock()
+
+	co := &coordinator{opts: v.session.opts, cluster: v.session.cluster, workers: workers}
+	if dp, ok := v.prog.(DeltaProgram); ok && !stale {
+		// Rebind the retained contexts to the new epoch's fragments. The
+		// program state in ctx.State carries over: that is the whole point.
+		for i, ctx := range v.ctxs {
+			ctx.Fragment = part.Fragments[i]
+			ctx.GP = part.GP
+		}
+		out, incErr := co.maintainIncremental(dp, v.ctxs, v.query, res)
+		switch incErr {
+		case nil:
+			v.mu.Lock()
+			v.result = out
+			v.mu.Unlock()
+			return true, nil
+		case errNotAbsorbable:
+			// fall through to the full recompute
+		default:
+			// The incremental round failed midway; the contexts may be
+			// inconsistent, so recompute from scratch rather than surfacing
+			// a broken answer.
+		}
+	}
+
+	full, runErr := co.run(v.query, v.prog)
+	if runErr != nil {
+		return false, fmt.Errorf("core: view %s full recompute: %w", v.prog.Name(), runErr)
+	}
+	v.mu.Lock()
+	v.ctxs = full.Contexts
+	v.result = full.Output
+	v.mu.Unlock()
+	return false, nil
+}
+
+// maintainIncremental runs one maintenance round: EvalDelta on every
+// fragment with a non-empty AFF set (superstep 1 of the round), then the
+// IncEval fixpoint iteration, then Assemble. It returns errNotAbsorbable if
+// any fragment's EvalDelta declines the change.
+func (c *coordinator) maintainIncremental(dp DeltaProgram, ctxs []*Context, q Query, res *partition.UpdateResult) (any, error) {
+	m := len(c.workers)
+	stats := &metrics.Stats{Engine: "GRAPE", Query: dp.Name() + "+maintain", Workers: m}
+	timer := metrics.StartTimer()
+	defer func() { stats.Elapsed = timer.Stop() }()
+	comm := c.cluster.NewComm(stats)
+
+	tasks := make([]*task, m)
+	for i, w := range c.workers {
+		tasks[i] = w.taskWith(ctxs[i], dp, comm, c.opts)
+	}
+
+	// Maintenance rounds have no failure injection: injected failures model
+	// query-superstep crashes and are scoped to query runs.
+	runStep := func(superstep int, body func(w int) error) error {
+		_, err := c.cluster.BarrierFor(func(int) bool { return true }, 0, func(w int) error {
+			return safeCall(func() error { return body(w) })
+		})
+		return err
+	}
+
+	// Superstep 1: EvalDelta over the affected fragments only.
+	superstep := 1
+	stats.BeginSuperstep()
+	var mu sync.Mutex
+	absorbed := true
+	err := runStep(superstep, func(w int) error {
+		ch := res.Changes[w]
+		if ch == nil {
+			return nil // AFF is empty here: this fragment only reacts to messages
+		}
+		t := tasks[w]
+		t.ctx.Superstep = superstep
+		ok, derr := dp.EvalDelta(t.ctx, FragmentDelta{Ops: ch.Ops, OldGraph: ch.OldGraph, NewInBorder: ch.NewInBorder})
+		if derr != nil {
+			return fmt.Errorf("core: EvalDelta on fragment %d: %w", w, derr)
+		}
+		if !ok {
+			mu.Lock()
+			absorbed = false
+			mu.Unlock()
+			return nil
+		}
+		t.route()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !absorbed {
+		return nil, errNotAbsorbable
+	}
+
+	resTrack := &Result{Stats: stats, Contexts: ctxs}
+	if err := c.iterate(tasks, comm, stats, resTrack, runStep, superstep); err != nil {
+		return nil, err
+	}
+	out, err := dp.Assemble(q, ctxs)
+	if err != nil {
+		return nil, fmt.Errorf("core: Assemble after maintenance: %w", err)
+	}
+	return out, nil
+}

@@ -46,10 +46,18 @@ type task struct {
 
 // newTask creates the per-query execution state for this worker.
 func (w *worker) newTask(q Query, prog Program, comm *mpi.Comm, opts Options) *task {
+	return w.taskWith(newContext(w.rank, w.frag, w.gp, q), prog, comm, opts)
+}
+
+// taskWith wraps an existing context — the persistent state of a
+// materialized view — in a fresh task for one maintenance round. The
+// context's Fragment and GP must already point at the worker's current
+// epoch.
+func (w *worker) taskWith(ctx *Context, prog Program, comm *mpi.Comm, opts Options) *task {
 	kvProg, _ := prog.(KeyValueProgram)
 	return &task{
 		worker: w,
-		ctx:    newContext(w.rank, w.frag, w.gp, q),
+		ctx:    ctx,
 		comm:   comm,
 		prog:   prog,
 		kvProg: kvProg,

@@ -1,0 +1,258 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph updates. Graphs themselves stay immutable — a batch of Update ops is
+// applied with ApplyUpdates, which produces a new Graph and leaves the old
+// one untouched. This copy-on-write discipline is what lets the engine keep
+// snapshot-consistent fragments: queries in flight keep reading the epoch
+// they started on while the session installs the next one (Section 3.4 of
+// the paper: GRAPE handles dynamic graphs by treating each change as input
+// to incremental evaluation, not by mutating shared state in place).
+
+// UpdateKind discriminates the five supported graph change operations.
+type UpdateKind uint8
+
+const (
+	// UpdateAddVertex adds a vertex (Src holds the ID, Label the label).
+	// Adding an existing vertex only refreshes its label.
+	UpdateAddVertex UpdateKind = iota
+	// UpdateRemoveVertex removes a vertex and every edge incident to it.
+	UpdateRemoveVertex
+	// UpdateAddEdge inserts an edge Src→Dst with Weight and Label. Unknown
+	// endpoints are added implicitly with empty labels.
+	UpdateAddEdge
+	// UpdateRemoveEdge removes every edge between Src and Dst (both
+	// orientations for undirected graphs).
+	UpdateRemoveEdge
+	// UpdateReweightEdge sets the weight of every edge between Src and Dst
+	// to Weight.
+	UpdateReweightEdge
+)
+
+// String returns the op name used in logs and error messages.
+func (k UpdateKind) String() string {
+	switch k {
+	case UpdateAddVertex:
+		return "add-vertex"
+	case UpdateRemoveVertex:
+		return "remove-vertex"
+	case UpdateAddEdge:
+		return "add-edge"
+	case UpdateRemoveEdge:
+		return "remove-edge"
+	case UpdateReweightEdge:
+		return "reweight-edge"
+	default:
+		return fmt.Sprintf("update-kind(%d)", uint8(k))
+	}
+}
+
+// Update is one graph change operation. Vertex ops use Src as the vertex ID
+// and ignore Dst; edge ops use Src/Dst as the endpoints.
+type Update struct {
+	Kind   UpdateKind
+	Src    VertexID
+	Dst    VertexID
+	Weight float64
+	Label  string
+}
+
+// IsVertexOp reports whether the update is a vertex add/remove.
+func (u Update) IsVertexOp() bool {
+	return u.Kind == UpdateAddVertex || u.Kind == UpdateRemoveVertex
+}
+
+// String renders the update in a compact human-readable form.
+func (u Update) String() string {
+	switch u.Kind {
+	case UpdateAddVertex:
+		return fmt.Sprintf("+v %d", u.Src)
+	case UpdateRemoveVertex:
+		return fmt.Sprintf("-v %d", u.Src)
+	case UpdateAddEdge:
+		return fmt.Sprintf("+e %d->%d w=%g", u.Src, u.Dst, u.Weight)
+	case UpdateRemoveEdge:
+		return fmt.Sprintf("-e %d->%d", u.Src, u.Dst)
+	case UpdateReweightEdge:
+		return fmt.Sprintf("~e %d->%d w=%g", u.Src, u.Dst, u.Weight)
+	default:
+		return u.Kind.String()
+	}
+}
+
+// Convenience constructors for update ops.
+
+// AddVertexUpdate adds vertex id with the given label.
+func AddVertexUpdate(id VertexID, label string) Update {
+	return Update{Kind: UpdateAddVertex, Src: id, Label: label}
+}
+
+// RemoveVertexUpdate removes vertex id and its incident edges.
+func RemoveVertexUpdate(id VertexID) Update {
+	return Update{Kind: UpdateRemoveVertex, Src: id}
+}
+
+// AddEdgeUpdate inserts an edge src→dst.
+func AddEdgeUpdate(src, dst VertexID, weight float64, label string) Update {
+	return Update{Kind: UpdateAddEdge, Src: src, Dst: dst, Weight: weight, Label: label}
+}
+
+// RemoveEdgeUpdate removes the edges between src and dst.
+func RemoveEdgeUpdate(src, dst VertexID) Update {
+	return Update{Kind: UpdateRemoveEdge, Src: src, Dst: dst}
+}
+
+// ReweightEdgeUpdate sets the weight of the edges between src and dst.
+func ReweightEdgeUpdate(src, dst VertexID, weight float64) Update {
+	return Update{Kind: UpdateReweightEdge, Src: src, Dst: dst, Weight: weight}
+}
+
+// ApplyUpdates applies a batch of updates to g and returns the resulting
+// graph; g itself is unchanged. Ops are applied in order, so a batch may add
+// a vertex and then connect it. Removing a vertex or edge that does not
+// exist is a no-op (streams generated against a slightly stale snapshot stay
+// applicable); reweighting a missing edge inserts nothing and is likewise a
+// no-op.
+//
+// This is the reference (full-rebuild) implementation, used by tests and
+// benchmarks as the from-scratch ground truth; the partition layer maintains
+// fragments incrementally with the same semantics.
+func ApplyUpdates(g *Graph, batch []Update) *Graph {
+	d := NewDeltaBuilder(g)
+	for _, u := range batch {
+		d.Apply(u)
+	}
+	return d.Build()
+}
+
+// DeltaBuilder applies update ops to a mutable overlay of a graph and builds
+// the resulting immutable Graph. It is the workhorse behind both
+// ApplyUpdates and the per-fragment rebuilds in internal/partition.
+type DeltaBuilder struct {
+	directed bool
+	labels   map[VertexID]string // explicit vertices only
+	edges    []Edge              // live edges, insertion order preserved
+}
+
+// NewDeltaBuilder starts an overlay holding the current vertices and edges
+// of g. A nil g starts from an empty directed graph.
+func NewDeltaBuilder(g *Graph) *DeltaBuilder {
+	d := &DeltaBuilder{directed: true, labels: make(map[VertexID]string)}
+	if g == nil {
+		return d
+	}
+	d.directed = g.Directed()
+	for i := 0; i < g.NumVertices(); i++ {
+		d.labels[g.VertexAt(i)] = g.Label(i)
+	}
+	d.edges = g.Edges()
+	return d
+}
+
+// HasVertex reports whether the overlay currently contains the vertex.
+func (d *DeltaBuilder) HasVertex(id VertexID) bool {
+	_, ok := d.labels[id]
+	return ok
+}
+
+// matches reports whether edge e connects a and b (either orientation for
+// undirected overlays).
+func (d *DeltaBuilder) matches(e Edge, a, b VertexID) bool {
+	if e.Src == a && e.Dst == b {
+		return true
+	}
+	return !d.directed && e.Src == b && e.Dst == a
+}
+
+// Apply applies one update op to the overlay.
+func (d *DeltaBuilder) Apply(u Update) {
+	switch u.Kind {
+	case UpdateAddVertex:
+		if old, ok := d.labels[u.Src]; !ok || (u.Label != "" && old != u.Label) {
+			d.labels[u.Src] = u.Label
+		}
+	case UpdateRemoveVertex:
+		delete(d.labels, u.Src)
+		live := d.edges[:0]
+		for _, e := range d.edges {
+			if e.Src != u.Src && e.Dst != u.Src {
+				live = append(live, e)
+			}
+		}
+		d.edges = live
+	case UpdateAddEdge:
+		if _, ok := d.labels[u.Src]; !ok {
+			d.labels[u.Src] = ""
+		}
+		if _, ok := d.labels[u.Dst]; !ok {
+			d.labels[u.Dst] = ""
+		}
+		d.edges = append(d.edges, Edge{Src: u.Src, Dst: u.Dst, Weight: u.Weight, Label: u.Label})
+	case UpdateRemoveEdge:
+		live := d.edges[:0]
+		for _, e := range d.edges {
+			if !d.matches(e, u.Src, u.Dst) {
+				live = append(live, e)
+			}
+		}
+		d.edges = live
+	case UpdateReweightEdge:
+		for i, e := range d.edges {
+			if d.matches(e, u.Src, u.Dst) {
+				d.edges[i].Weight = u.Weight
+			}
+		}
+	}
+}
+
+// PruneIsolated removes every vertex that has no incident edge and for
+// which keep returns false. The partition layer uses it to drop border
+// copies orphaned by edge deletions while preserving owned vertices.
+func (d *DeltaBuilder) PruneIsolated(keep func(VertexID) bool) {
+	deg := make(map[VertexID]int, len(d.labels))
+	for _, e := range d.edges {
+		deg[e.Src]++
+		deg[e.Dst]++
+	}
+	for id := range d.labels {
+		if deg[id] == 0 && !keep(id) {
+			delete(d.labels, id)
+		}
+	}
+}
+
+// Build produces the immutable Graph for the overlay's current state.
+// Vertices appear in ascending order of external ID, so rebuilds are
+// deterministic regardless of op order.
+func (d *DeltaBuilder) Build() *Graph {
+	b := NewBuilder(d.directed)
+	// Recover a deterministic vertex order: edges alone would drop isolated
+	// vertices and maps iterate randomly, so track insertion order.
+	for _, id := range d.vertexOrder() {
+		b.AddVertex(id, d.labels[id])
+	}
+	for _, e := range d.edges {
+		b.AddEdge(e.Src, e.Dst, e.Weight, e.Label)
+	}
+	return b.Build()
+}
+
+// vertexOrder returns the overlay's vertices sorted by ID. External IDs are
+// the only stable key once vertices have been added and removed, and sorted
+// order makes rebuilds reproducible regardless of op order.
+func (d *DeltaBuilder) vertexOrder() []VertexID {
+	out := make([]VertexID, 0, len(d.labels))
+	for id := range d.labels {
+		out = append(out, id)
+	}
+	sortVertexIDs(out)
+	return out
+}
+
+func sortVertexIDs(ids []VertexID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func edgeSet(t *testing.T, g *Graph) map[Edge]int {
+	t.Helper()
+	set := make(map[Edge]int)
+	for _, e := range g.Edges() {
+		if !g.Directed() && e.Dst < e.Src {
+			e.Src, e.Dst = e.Dst, e.Src
+		}
+		set[e]++
+	}
+	return set
+}
+
+func wantGraphEqual(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.Directed() != want.Directed() {
+		t.Fatalf("directedness: got %v want %v", got.Directed(), want.Directed())
+	}
+	if got.NumVertices() != want.NumVertices() {
+		t.Fatalf("|V|: got %d want %d", got.NumVertices(), want.NumVertices())
+	}
+	for i := 0; i < want.NumVertices(); i++ {
+		id := want.VertexAt(i)
+		if !got.HasVertex(id) {
+			t.Fatalf("missing vertex %d", id)
+		}
+		if got.LabelOf(id) != want.Label(i) {
+			t.Fatalf("label of %d: got %q want %q", id, got.LabelOf(id), want.Label(i))
+		}
+	}
+	gs, ws := edgeSet(t, got), edgeSet(t, want)
+	if len(gs) != len(ws) {
+		t.Fatalf("edge sets differ: got %d distinct want %d", len(gs), len(ws))
+	}
+	for e, n := range ws {
+		if gs[e] != n {
+			t.Fatalf("edge %+v: got count %d want %d", e, gs[e], n)
+		}
+	}
+}
+
+func TestApplyUpdatesInsertAndRemove(t *testing.T) {
+	b := NewBuilder(true)
+	b.AddVertex(1, "a")
+	b.AddVertex(2, "b")
+	b.AddEdge(1, 2, 1.0, "")
+	g := b.Build()
+
+	g2 := ApplyUpdates(g, []Update{
+		AddVertexUpdate(3, "c"),
+		AddEdgeUpdate(2, 3, 2.0, "x"),
+		AddEdgeUpdate(3, 1, 0.5, ""),
+	})
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("original mutated: %v", g)
+	}
+	wb := NewBuilder(true)
+	wb.AddVertex(1, "a")
+	wb.AddVertex(2, "b")
+	wb.AddVertex(3, "c")
+	wb.AddEdge(1, 2, 1.0, "")
+	wb.AddEdge(2, 3, 2.0, "x")
+	wb.AddEdge(3, 1, 0.5, "")
+	wantGraphEqual(t, g2, wb.Build())
+
+	g3 := ApplyUpdates(g2, []Update{
+		RemoveEdgeUpdate(2, 3),
+		RemoveVertexUpdate(1), // removes 1->2 and 3->1
+	})
+	wb3 := NewBuilder(true)
+	wb3.AddVertex(2, "b")
+	wb3.AddVertex(3, "c")
+	wantGraphEqual(t, g3, wb3.Build())
+}
+
+func TestApplyUpdatesReweightAndNoOps(t *testing.T) {
+	b := NewBuilder(false)
+	b.AddEdge(1, 2, 1.0, "")
+	b.AddEdge(2, 3, 5.0, "")
+	g := b.Build()
+
+	g2 := ApplyUpdates(g, []Update{
+		ReweightEdgeUpdate(3, 2, 1.5), // reversed endpoints: undirected match
+		RemoveEdgeUpdate(7, 8),        // missing edge: no-op
+		RemoveVertexUpdate(99),        // missing vertex: no-op
+		ReweightEdgeUpdate(5, 6, 2.0), // missing edge: no-op
+	})
+	if w, ok := g2.EdgeWeight(2, 3); !ok || w != 1.5 {
+		t.Fatalf("reweight: got %v,%v want 1.5,true", w, ok)
+	}
+	if g2.NumVertices() != 3 || g2.NumEdges() != 2 {
+		t.Fatalf("no-op ops changed the graph: %v", g2)
+	}
+}
+
+func TestApplyUpdatesImplicitEndpointsAndIsolated(t *testing.T) {
+	g := NewBuilder(true).Build()
+	g2 := ApplyUpdates(g, []Update{
+		AddEdgeUpdate(10, 20, 1, ""),
+		AddVertexUpdate(30, "iso"),
+	})
+	if !g2.HasVertex(10) || !g2.HasVertex(20) || !g2.HasVertex(30) {
+		t.Fatalf("missing vertices in %v", g2)
+	}
+	if g2.LabelOf(30) != "iso" {
+		t.Fatalf("isolated vertex label lost")
+	}
+	// Removing the edge keeps the implicit endpoints.
+	g3 := ApplyUpdates(g2, []Update{RemoveEdgeUpdate(10, 20)})
+	if g3.NumVertices() != 3 || g3.NumEdges() != 0 {
+		t.Fatalf("remove edge: %v", g3)
+	}
+}
+
+func TestApplyUpdatesBatchOrder(t *testing.T) {
+	g := NewBuilder(true).Build()
+	// Add then remove within one batch: net effect is absence.
+	g2 := ApplyUpdates(g, []Update{
+		AddEdgeUpdate(1, 2, 1, ""),
+		RemoveEdgeUpdate(1, 2),
+		AddVertexUpdate(5, ""),
+		RemoveVertexUpdate(5),
+	})
+	if g2.NumEdges() != 0 {
+		t.Fatalf("edge survived add+remove: %v", g2)
+	}
+	if g2.HasVertex(5) {
+		t.Fatalf("vertex survived add+remove")
+	}
+	if !g2.HasVertex(1) || !g2.HasVertex(2) {
+		t.Fatalf("implicit endpoints of removed edge should remain")
+	}
+}
+
+func TestApplyUpdatesWeightsInfinity(t *testing.T) {
+	b := NewBuilder(true)
+	b.AddEdge(1, 2, 3, "")
+	g := b.Build()
+	g2 := ApplyUpdates(g, []Update{ReweightEdgeUpdate(1, 2, math.Inf(1))})
+	if w, _ := g2.EdgeWeight(1, 2); !math.IsInf(w, 1) {
+		t.Fatalf("infinite weight not preserved: %v", w)
+	}
+}

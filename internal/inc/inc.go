@@ -28,6 +28,12 @@ import (
 // needs because dist values only shrink). dist is updated in place; the
 // return value lists the vertices whose distance changed, i.e. the affected
 // area AFF.
+//
+// Vertices missing from dist are treated as having distance +Inf, so the
+// batch may freely reference vertices the solution has never seen — in
+// particular vertices freshly inserted by a graph update. A decreased vertex
+// that is not (or no longer) present in g still has its dist entry updated;
+// it just propagates nothing.
 func SSSPDecrease(g *graph.Graph, dist map[graph.VertexID]float64, decreases map[graph.VertexID]float64) []graph.VertexID {
 	pq := &itemHeap{}
 	cur := func(v graph.VertexID) float64 {
@@ -38,9 +44,12 @@ func SSSPDecrease(g *graph.Graph, dist map[graph.VertexID]float64, decreases map
 	}
 	changedSet := make(map[graph.VertexID]bool)
 	for v, nd := range decreases {
-		if i := g.IndexOf(v); i >= 0 && nd < cur(v) {
-			dist[v] = nd
-			changedSet[v] = true
+		if nd >= cur(v) {
+			continue
+		}
+		dist[v] = nd
+		changedSet[v] = true
+		if i := g.IndexOf(v); i >= 0 {
 			heap.Push(pq, heapItem{vertex: i, dist: nd})
 		}
 	}

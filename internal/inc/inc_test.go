@@ -27,10 +27,44 @@ func TestSSSPDecreasePropagates(t *testing.T) {
 	if len(changed) != 2 {
 		t.Fatalf("changed = %v, want {3,4}", changed)
 	}
-	// Increases and unknown vertices are ignored.
-	changed = SSSPDecrease(g, dist, map[graph.VertexID]float64{3: 10, 99: 1})
+	// Increases are ignored.
+	changed = SSSPDecrease(g, dist, map[graph.VertexID]float64{3: 10})
 	if len(changed) != 0 || dist[3] != 0.5 {
 		t.Fatalf("non-decreasing update must be ignored: %v %v", changed, dist)
+	}
+	// A vertex not present in the graph still has its distance recorded
+	// (treated as +Inf before), it just propagates nothing.
+	changed = SSSPDecrease(g, dist, map[graph.VertexID]float64{99: 1})
+	if len(changed) != 1 || dist[99] != 1 {
+		t.Fatalf("decrease for graph-unknown vertex: changed=%v dist=%v", changed, dist)
+	}
+}
+
+// Regression: a decrease addressed to a vertex that exists in the graph but
+// was never seen by the solution — the situation created by vertex inserts
+// on dynamic graphs — must be treated as a decrease from +Inf and propagate.
+// Before the dynamic-graph subsystem this path never fired, and vertices
+// missing from both dist and the graph were silently dropped.
+func TestSSSPDecreaseNewlyInsertedVertex(t *testing.T) {
+	b := graph.NewBuilder(true)
+	b.AddEdge(1, 2, 1, "")
+	b.AddEdge(5, 6, 1, "") // 5, 6 "newly inserted": absent from dist
+	g := b.Build()
+	dist := map[graph.VertexID]float64{1: 0, 2: 1}
+
+	changed := SSSPDecrease(g, dist, map[graph.VertexID]float64{5: 2})
+	if dist[5] != 2 {
+		t.Fatalf("dist[5] = %v, want 2 (missing treated as +Inf)", dist[5])
+	}
+	if dist[6] != 3 {
+		t.Fatalf("dist[6] = %v, want 3 (propagation through new vertices)", dist[6])
+	}
+	if len(changed) != 2 {
+		t.Fatalf("changed = %v, want {5,6}", changed)
+	}
+	// Unreached vertices stay untouched.
+	if d, ok := dist[1]; !ok || d != 0 {
+		t.Fatalf("dist[1] corrupted: %v %v", d, ok)
 	}
 }
 

@@ -72,6 +72,54 @@ func (CC) IncEval(ctx *core.Context, msgs []mpi.Update) error {
 	return nil
 }
 
+// EvalDelta implements core.DeltaProgram: edge and vertex insertions only
+// ever merge components, which is exactly what the bounded CC merge in
+// internal/inc does, so they are absorbed incrementally. Deletions can split
+// a component — the cid order has no way to grow identifiers back — so they
+// decline and the view is recomputed. Reweights are a no-op for CC.
+func (CC) EvalDelta(ctx *core.Context, d core.FragmentDelta) (bool, error) {
+	st, ok := ctx.State.(*ccState)
+	if !ok {
+		return false, fmt.Errorf("pie: CC EvalDelta called before PEval")
+	}
+	cidOf := func(v graph.VertexID) graph.VertexID {
+		if c, ok := st.state.CID(v); ok {
+			return c
+		}
+		// Unknown vertex (new, or a fresh border copy): register it as its
+		// own singleton component first.
+		st.state.Merge(map[graph.VertexID]graph.VertexID{v: v})
+		return v
+	}
+	for _, op := range d.Ops {
+		switch op.Kind {
+		case graph.UpdateAddVertex:
+			cidOf(op.Src)
+		case graph.UpdateAddEdge:
+			cu, cv := cidOf(op.Src), cidOf(op.Dst)
+			switch {
+			case cu < cv:
+				st.state.Merge(map[graph.VertexID]graph.VertexID{op.Dst: cu})
+			case cv < cu:
+				st.state.Merge(map[graph.VertexID]graph.VertexID{op.Src: cv})
+			}
+		case graph.UpdateReweightEdge:
+			// CC ignores weights.
+		case graph.UpdateRemoveEdge, graph.UpdateRemoveVertex:
+			return false, nil // deletions can split components
+		}
+	}
+	shipBorderCIDs(ctx, st)
+	// Re-ship the cid of vertices that gained a new mirror fragment.
+	for _, v := range d.NewInBorder {
+		if cid, ok := st.state.CID(v); ok {
+			ctx.SetVar(v, 0, float64(cid), nil)
+			ctx.MarkDirty(v, 0)
+		}
+	}
+	return true, nil
+}
+
 func shipBorderCIDs(ctx *core.Context, st *ccState) {
 	ship := func(v graph.VertexID) {
 		if cid, ok := st.state.CID(v); ok {

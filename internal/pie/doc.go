@@ -17,4 +17,11 @@
 //   - CF        — collaborative filtering: SGD + ISGD (5.3).
 //   - PageRank  — an extension beyond the paper's five classes, showing that
 //     fixpoint style analytics fit the same model.
+//
+// SSSP and CC additionally implement core.DeltaProgram, so materialized
+// views over them are maintained incrementally under graph updates
+// (Section 3.4): monotone changes — edge inserts, weight decreases, vertex
+// adds — are absorbed by an EvalDelta round that seeds the same bounded
+// incremental algorithms, while non-monotone changes fall back to a full
+// PEval re-run.
 package pie

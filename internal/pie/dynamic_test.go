@@ -1,0 +1,240 @@
+package pie
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/seq"
+	"grape/internal/workload"
+)
+
+// randomUpdateBatch generates a mixed batch of ops against the current graph
+// state: mostly edge inserts (the monotone class SSSP/CC absorb
+// incrementally) with deletions, reweights and vertex ops sprinkled in so
+// the full-recompute fallback is exercised too. The avoid set protects
+// vertices (the SSSP source) from removal.
+func randomUpdateBatch(rng *rand.Rand, cur *graph.Graph, size int, nextID *int64, avoid map[graph.VertexID]bool) []graph.Update {
+	var batch []graph.Update
+	edges := cur.Edges()
+	for len(batch) < size {
+		switch rng.Intn(12) {
+		case 0: // new vertex
+			*nextID++
+			batch = append(batch, graph.AddVertexUpdate(graph.VertexID(2_000_000+*nextID), ""))
+		case 1: // remove a vertex
+			v := cur.VertexAt(rng.Intn(cur.NumVertices()))
+			if !avoid[v] {
+				batch = append(batch, graph.RemoveVertexUpdate(v))
+			}
+		case 2: // remove an edge
+			if len(edges) > 0 {
+				e := edges[rng.Intn(len(edges))]
+				batch = append(batch, graph.RemoveEdgeUpdate(e.Src, e.Dst))
+			}
+		case 3: // reweight an edge (up or down)
+			if len(edges) > 0 {
+				e := edges[rng.Intn(len(edges))]
+				batch = append(batch, graph.ReweightEdgeUpdate(e.Src, e.Dst, 0.5+rng.Float64()*9))
+			}
+		default: // insert an edge, sometimes to a brand new vertex
+			u := cur.VertexAt(rng.Intn(cur.NumVertices()))
+			var v graph.VertexID
+			if rng.Intn(5) == 0 {
+				*nextID++
+				v = graph.VertexID(2_000_000 + *nextID)
+			} else {
+				v = cur.VertexAt(rng.Intn(cur.NumVertices()))
+			}
+			if u != v {
+				batch = append(batch, graph.AddEdgeUpdate(u, v, 0.5+rng.Float64()*9, ""))
+			}
+		}
+	}
+	return batch
+}
+
+func sameDist(a, b float64) bool {
+	const eps = 1e-9
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	return math.Abs(a-b) < eps
+}
+
+// TestMaterializedViewsStayFreshOver100Batches is the acceptance test of the
+// dynamic-graph subsystem: materialized SSSP and CC views over the
+// ScaleSmall road-network workload must stay equal to a from-scratch
+// recompute after every batch of a randomized 100-batch update stream.
+func TestMaterializedViewsStayFreshOver100Batches(t *testing.T) {
+	g, err := workload.Load(workload.Traffic, workload.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := workload.Sources(g, 1, 7)[0]
+
+	s, err := core.NewSession(g, core.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ssspView, err := s.Materialize(source, SSSP{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccView, err := s.Materialize(nil, CC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(4242))
+	cur := g
+	var nextID int64
+	avoid := map[graph.VertexID]bool{source: true}
+	for batchNo := 0; batchNo < 100; batchNo++ {
+		batch := randomUpdateBatch(rng, cur, 1+rng.Intn(5), &nextID, avoid)
+		if _, err := s.ApplyUpdates(batch); err != nil {
+			t.Fatalf("batch %d: %v", batchNo, err)
+		}
+		cur = graph.ApplyUpdates(cur, batch)
+
+		// From-scratch ground truth on the fully updated graph.
+		wantDist := seq.Dijkstra(cur, source)
+		wantCC := seq.ConnectedComponents(cur)
+
+		out, verr := ssspView.Result()
+		if verr != nil {
+			t.Fatalf("batch %d: sssp view error: %v", batchNo, verr)
+		}
+		gotDist := out.(map[graph.VertexID]float64)
+		if len(gotDist) != len(wantDist) {
+			t.Fatalf("batch %d: sssp view covers %d vertices, want %d", batchNo, len(gotDist), len(wantDist))
+		}
+		for v, want := range wantDist {
+			if got, ok := gotDist[v]; !ok || !sameDist(got, want) {
+				t.Fatalf("batch %d (%v): sssp dist of %d: got %v want %v", batchNo, batch, v, got, want)
+			}
+		}
+
+		out, verr = ccView.Result()
+		if verr != nil {
+			t.Fatalf("batch %d: cc view error: %v", batchNo, verr)
+		}
+		gotCC := out.(map[graph.VertexID]graph.VertexID)
+		if len(gotCC) != len(wantCC) {
+			t.Fatalf("batch %d: cc view covers %d vertices, want %d", batchNo, len(gotCC), len(wantCC))
+		}
+		for v, want := range wantCC {
+			if got, ok := gotCC[v]; !ok || got != want {
+				t.Fatalf("batch %d (%v): cc of %d: got %v want %v", batchNo, batch, v, got, want)
+			}
+		}
+	}
+
+	// The stream mixes monotone and non-monotone batches: both maintenance
+	// modes must have fired.
+	ss, cs := ssspView.Stats(), ccView.Stats()
+	if ss.Incremental == 0 || cs.Incremental == 0 {
+		t.Fatalf("incremental maintenance never fired: sssp=%+v cc=%+v", ss, cs)
+	}
+	if ss.Recomputed == 0 || cs.Recomputed == 0 {
+		t.Fatalf("full-recompute fallback never fired: sssp=%+v cc=%+v", ss, cs)
+	}
+	if ss.Maintenances != 100 || cs.Maintenances != 100 {
+		t.Fatalf("maintenance count: sssp=%+v cc=%+v", ss, cs)
+	}
+}
+
+// TestReweightOfSameBatchInsert is a regression test: a batch that inserts
+// an edge and then reweights it cannot be absorbed incrementally (the old
+// weight is unknown and relaxations with the inserted weight already
+// happened), so the view must fall back to a full recompute — in both the
+// weight-increase and weight-decrease directions.
+func TestReweightOfSameBatchInsert(t *testing.T) {
+	for _, tc := range []struct {
+		name            string
+		insertW, finalW float64
+		wantDist3       float64
+	}{
+		{"increase", 1, 5, 6},
+		{"decrease", 5, 1, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := graph.NewBuilder(true)
+			b.AddEdge(1, 2, 1, "")
+			g := b.Build()
+			s, err := core.NewSession(g, core.Options{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			view, err := s.Materialize(graph.VertexID(1), SSSP{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := s.ApplyUpdates([]graph.Update{
+				graph.AddEdgeUpdate(2, 3, tc.insertW, ""),
+				graph.ReweightEdgeUpdate(2, 3, tc.finalW),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Recomputed != 1 {
+				t.Fatalf("same-batch insert+reweight must recompute: %+v", stats)
+			}
+			out, verr := view.Result()
+			if verr != nil {
+				t.Fatal(verr)
+			}
+			if d := out.(map[graph.VertexID]float64); d[3] != tc.wantDist3 {
+				t.Fatalf("dist[3] = %v, want %v", d[3], tc.wantDist3)
+			}
+		})
+	}
+}
+
+// TestMaterializedViewsDirectedGraph runs a shorter stream over the directed
+// social-network surrogate to cover directed-edge routing and cid
+// propagation through in-edges.
+func TestMaterializedViewsDirectedGraph(t *testing.T) {
+	g, err := workload.Load(workload.LiveJournal, workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := workload.Sources(g, 1, 9)[0]
+	s, err := core.NewSession(g, core.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ssspView, err := s.Materialize(source, SSSP{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	cur := g
+	var nextID int64
+	avoid := map[graph.VertexID]bool{source: true}
+	for batchNo := 0; batchNo < 30; batchNo++ {
+		batch := randomUpdateBatch(rng, cur, 1+rng.Intn(4), &nextID, avoid)
+		if _, err := s.ApplyUpdates(batch); err != nil {
+			t.Fatalf("batch %d: %v", batchNo, err)
+		}
+		cur = graph.ApplyUpdates(cur, batch)
+		wantDist := seq.Dijkstra(cur, source)
+		out, verr := ssspView.Result()
+		if verr != nil {
+			t.Fatalf("batch %d: view error: %v", batchNo, verr)
+		}
+		gotDist := out.(map[graph.VertexID]float64)
+		for v, want := range wantDist {
+			if got := gotDist[v]; !sameDist(got, want) {
+				t.Fatalf("batch %d (%v): dist of %d: got %v want %v", batchNo, batch, v, got, want)
+			}
+		}
+	}
+}

@@ -94,6 +94,130 @@ func (SSSP) IncEval(ctx *core.Context, msgs []mpi.Update) error {
 	return nil
 }
 
+// EvalDelta implements core.DeltaProgram: it absorbs monotone graph changes
+// — edge inserts, weight decreases, vertex adds — by seeding the bounded
+// incremental algorithm with the distance relaxations the new edges enable.
+// Edge deletions and weight increases can raise distances, which the
+// min-monotone message discipline cannot retract, so they decline and the
+// view falls back to a full PEval re-run (exactly the split of Section 3.4:
+// IncEval handles the update classes its incremental algorithm is bounded
+// for).
+func (SSSP) EvalDelta(ctx *core.Context, d core.FragmentDelta) (bool, error) {
+	source, ok := ctx.Query.(graph.VertexID)
+	if !ok {
+		return false, fmt.Errorf("pie: SSSP query must be a graph.VertexID, got %T", ctx.Query)
+	}
+	st, ok := ctx.State.(*ssspState)
+	if !ok {
+		return false, fmt.Errorf("pie: SSSP EvalDelta called before PEval")
+	}
+	g := ctx.Fragment.Graph
+	cur := func(v graph.VertexID) float64 {
+		if dv, ok := st.dist[v]; ok {
+			return dv
+		}
+		return seq.Infinity
+	}
+	seeds := make(map[graph.VertexID]float64)
+	seed := func(v graph.VertexID, dv float64) {
+		if dv >= cur(v) {
+			return
+		}
+		if old, ok := seeds[v]; !ok || dv < old {
+			seeds[v] = dv
+		}
+	}
+	relax := func(u, v graph.VertexID, w float64) {
+		if du := cur(u); du < seq.Infinity {
+			seed(v, du+w)
+		}
+		if !g.Directed() {
+			if dv := cur(v); dv < seq.Infinity {
+				seed(u, dv+w)
+			}
+		}
+	}
+	// Edges inserted earlier in this same batch: a reweight targeting one of
+	// them cannot be resolved against OldGraph (relaxations with the old
+	// weight already happened), so it declines to a full recompute.
+	batchAdded := make(map[[2]graph.VertexID]bool)
+	edgeKey := func(u, v graph.VertexID) [2]graph.VertexID {
+		if !g.Directed() && v < u {
+			u, v = v, u
+		}
+		return [2]graph.VertexID{u, v}
+	}
+	for _, op := range d.Ops {
+		switch op.Kind {
+		case graph.UpdateAddVertex:
+			if _, ok := st.dist[op.Src]; !ok {
+				st.dist[op.Src] = seq.Infinity
+			}
+			if op.Src == source {
+				seed(op.Src, 0)
+			}
+		case graph.UpdateAddEdge:
+			if _, ok := st.dist[op.Src]; !ok {
+				st.dist[op.Src] = seq.Infinity
+				if op.Src == source {
+					seed(op.Src, 0)
+				}
+			}
+			if _, ok := st.dist[op.Dst]; !ok {
+				st.dist[op.Dst] = seq.Infinity
+				if op.Dst == source {
+					seed(op.Dst, 0)
+				}
+			}
+			batchAdded[edgeKey(op.Src, op.Dst)] = true
+			relax(op.Src, op.Dst, op.Weight)
+		case graph.UpdateReweightEdge:
+			if batchAdded[edgeKey(op.Src, op.Dst)] {
+				return false, nil // reweight of a same-batch insert: old weight unknown
+			}
+			// Compare against the smallest parallel edge: reweight sets all
+			// of them, so raising any currently-minimal weight is an increase.
+			oldW, existed := minEdgeWeight(d.OldGraph, op.Src, op.Dst)
+			if !existed {
+				continue // reweight of a missing edge: no-op
+			}
+			if op.Weight > oldW {
+				return false, nil // increase: distances may grow
+			}
+			relax(op.Src, op.Dst, op.Weight)
+		case graph.UpdateRemoveEdge, graph.UpdateRemoveVertex:
+			return false, nil // deletions can only raise distances
+		}
+	}
+	inc.SSSPDecrease(g, st.dist, seeds)
+	shipBorderDistances(ctx, st)
+	// Vertices that gained a new mirror must be re-shipped even when their
+	// distance did not change: the new mirror has never seen it.
+	for _, v := range d.NewInBorder {
+		if dv := cur(v); dv < seq.Infinity {
+			ctx.SetVar(v, 0, dv, nil)
+			ctx.MarkDirty(v, 0)
+		}
+	}
+	return true, nil
+}
+
+// minEdgeWeight returns the smallest weight among the (possibly parallel)
+// edges from u to v and whether any exists.
+func minEdgeWeight(g *graph.Graph, u, v graph.VertexID) (float64, bool) {
+	ui, vi := g.IndexOf(u), g.IndexOf(v)
+	if ui < 0 || vi < 0 {
+		return 0, false
+	}
+	w, found := 0.0, false
+	for _, he := range g.OutEdges(ui) {
+		if int(he.To) == vi && (!found || he.Weight < w) {
+			w, found = he.Weight, true
+		}
+	}
+	return w, found
+}
+
 // shipBorderDistances records the current distance of every border node in
 // the update parameters; the engine ships only the ones that changed.
 func shipBorderDistances(ctx *core.Context, st *ssspState) {
@@ -119,7 +243,11 @@ func (SSSP) Assemble(q core.Query, ctxs []*core.Context) (any, error) {
 			continue
 		}
 		for _, v := range ctx.Fragment.Local {
-			out[v] = st.dist[v]
+			if dv, ok := st.dist[v]; ok {
+				out[v] = dv
+			} else {
+				out[v] = seq.Infinity
+			}
 		}
 	}
 	return out, nil

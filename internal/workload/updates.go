@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"grape/internal/graph"
+)
+
+// Update streams: timestamped batches of graph changes replayed against a
+// session, standing in for the change feeds of the paper's dynamic-graph
+// experiments. Generation is deterministic for a given config (it relies on
+// graphgen's determinism for the base graph, see TestGraphgenDeterministic),
+// and the generator tracks the evolving graph so deletions and reweights
+// always reference edges that exist at the time the batch is issued.
+
+// StreamConfig controls an update-stream generation run.
+type StreamConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Batches and BatchSize shape the stream: Batches batches of BatchSize
+	// ops each. Zero values default to 50 batches of 4 ops.
+	Batches   int
+	BatchSize int
+	// Interval is the synthetic time between consecutive batches (timestamps
+	// are At = Seq*Interval). Zero defaults to 100ms.
+	Interval time.Duration
+	// Mix weights for the op kinds. All zero defaults to an insert-heavy mix
+	// (8:1:1:1:1 insert:delete:reweight:vertex-add:vertex-remove).
+	InsertWeight, DeleteWeight, ReweightWeight, VertexAddWeight, VertexRemoveWeight int
+	// Protect lists vertices the stream must never remove (for example the
+	// source of a materialized SSSP view).
+	Protect []graph.VertexID
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.Batches <= 0 {
+		c.Batches = 50
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 4
+	}
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.InsertWeight+c.DeleteWeight+c.ReweightWeight+c.VertexAddWeight+c.VertexRemoveWeight == 0 {
+		c.InsertWeight, c.DeleteWeight, c.ReweightWeight, c.VertexAddWeight, c.VertexRemoveWeight = 8, 1, 1, 1, 1
+	}
+	return c
+}
+
+// MonotoneStreamConfig returns a config whose ops are all in the monotone
+// class (edge inserts and vertex adds) that SSSP and CC views absorb purely
+// incrementally — the stream used to measure IncEval maintenance against
+// full recomputation.
+func MonotoneStreamConfig(seed int64, batches, batchSize int) StreamConfig {
+	return StreamConfig{
+		Seed:            seed,
+		Batches:         batches,
+		BatchSize:       batchSize,
+		InsertWeight:    9,
+		VertexAddWeight: 1,
+	}
+}
+
+// TimedBatch is one batch of an update stream: ops that arrive together at
+// synthetic time At.
+type TimedBatch struct {
+	Seq int
+	At  time.Duration
+	Ops []graph.Update
+}
+
+// UpdateStream generates a timestamped stream of update batches against g.
+// The generator applies each op to an internal shadow of the graph, so
+// deletions always target live edges and the stream is replayable in order
+// against a session opened on g.
+func UpdateStream(g *graph.Graph, cfg StreamConfig) []TimedBatch {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	protect := make(map[graph.VertexID]bool, len(cfg.Protect))
+	for _, v := range cfg.Protect {
+		protect[v] = true
+	}
+
+	// Shadow state: live vertices and edges, updated as ops are generated.
+	vertices := make([]graph.VertexID, 0, g.NumVertices())
+	for i := 0; i < g.NumVertices(); i++ {
+		vertices = append(vertices, g.VertexAt(i))
+	}
+	edges := g.Edges()
+	nextID := graph.VertexID(0)
+	for _, v := range vertices {
+		if v >= nextID {
+			nextID = v + 1
+		}
+	}
+
+	total := cfg.InsertWeight + cfg.DeleteWeight + cfg.ReweightWeight + cfg.VertexAddWeight + cfg.VertexRemoveWeight
+	pick := func() int {
+		r := rng.Intn(total)
+		for i, w := range []int{cfg.InsertWeight, cfg.DeleteWeight, cfg.ReweightWeight, cfg.VertexAddWeight, cfg.VertexRemoveWeight} {
+			if r < w {
+				return i
+			}
+			r -= w
+		}
+		return 0
+	}
+	weight := func() float64 { return 0.5 + rng.Float64()*9 }
+
+	out := make([]TimedBatch, 0, cfg.Batches)
+	for seq := 0; seq < cfg.Batches; seq++ {
+		var ops []graph.Update
+		for len(ops) < cfg.BatchSize {
+			switch pick() {
+			case 0: // edge insert
+				if len(vertices) == 0 {
+					continue
+				}
+				u := vertices[rng.Intn(len(vertices))]
+				var v graph.VertexID
+				if rng.Intn(6) == 0 {
+					v = nextID
+					nextID++
+					vertices = append(vertices, v)
+				} else {
+					v = vertices[rng.Intn(len(vertices))]
+				}
+				if u == v {
+					continue
+				}
+				ops = append(ops, graph.AddEdgeUpdate(u, v, weight(), ""))
+				edges = append(edges, graph.Edge{Src: u, Dst: v})
+			case 1: // edge delete
+				if len(edges) == 0 {
+					continue
+				}
+				i := rng.Intn(len(edges))
+				e := edges[i]
+				ops = append(ops, graph.RemoveEdgeUpdate(e.Src, e.Dst))
+				edges = removeMatchingEdges(edges, e.Src, e.Dst, g.Directed())
+			case 2: // edge reweight
+				if len(edges) == 0 {
+					continue
+				}
+				e := edges[rng.Intn(len(edges))]
+				ops = append(ops, graph.ReweightEdgeUpdate(e.Src, e.Dst, weight()))
+			case 3: // vertex add
+				v := nextID
+				nextID++
+				vertices = append(vertices, v)
+				ops = append(ops, graph.AddVertexUpdate(v, ""))
+			case 4: // vertex remove
+				if len(vertices) <= 2 {
+					continue
+				}
+				i := rng.Intn(len(vertices))
+				v := vertices[i]
+				if protect[v] {
+					continue
+				}
+				vertices = append(vertices[:i], vertices[i+1:]...)
+				live := edges[:0]
+				for _, e := range edges {
+					if e.Src != v && e.Dst != v {
+						live = append(live, e)
+					}
+				}
+				edges = live
+				ops = append(ops, graph.RemoveVertexUpdate(v))
+			}
+		}
+		out = append(out, TimedBatch{Seq: seq, At: time.Duration(seq) * cfg.Interval, Ops: ops})
+	}
+	return out
+}
+
+// removeMatchingEdges drops every edge between u and v (both orientations
+// for undirected graphs), mirroring RemoveEdgeUpdate semantics.
+func removeMatchingEdges(edges []graph.Edge, u, v graph.VertexID, directed bool) []graph.Edge {
+	live := edges[:0]
+	for _, e := range edges {
+		match := e.Src == u && e.Dst == v
+		if !directed && e.Src == v && e.Dst == u {
+			match = true
+		}
+		if !match {
+			live = append(live, e)
+		}
+	}
+	return live
+}

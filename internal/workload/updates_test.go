@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"grape/internal/graph"
+)
+
+func TestUpdateStreamDeterministic(t *testing.T) {
+	g, err := Load(Traffic, ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := StreamConfig{Seed: 7, Batches: 20, BatchSize: 5}
+	a := UpdateStream(g, cfg)
+	b := UpdateStream(g, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config produced different streams")
+	}
+	c := UpdateStream(g, StreamConfig{Seed: 8, Batches: 20, BatchSize: 5})
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical streams")
+	}
+	if len(a) != 20 {
+		t.Fatalf("batches = %d", len(a))
+	}
+	for i, tb := range a {
+		if tb.Seq != i {
+			t.Fatalf("batch %d has Seq %d", i, tb.Seq)
+		}
+		if len(tb.Ops) != 5 {
+			t.Fatalf("batch %d has %d ops", i, len(tb.Ops))
+		}
+		if i > 0 && tb.At <= a[i-1].At {
+			t.Fatalf("timestamps not increasing: %v then %v", a[i-1].At, tb.At)
+		}
+	}
+}
+
+func TestUpdateStreamDeletionsTargetLiveEdges(t *testing.T) {
+	g, err := Load(Traffic, ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := UpdateStream(g, StreamConfig{Seed: 21, Batches: 40, BatchSize: 4, DeleteWeight: 5, InsertWeight: 5})
+	cur := g
+	for _, tb := range stream {
+		for _, op := range tb.Ops {
+			if op.Kind == graph.UpdateRemoveEdge && !cur.HasEdge(op.Src, op.Dst) {
+				t.Fatalf("batch %d deletes missing edge %v", tb.Seq, op)
+			}
+			if op.Kind == graph.UpdateRemoveVertex && !cur.HasVertex(op.Src) {
+				t.Fatalf("batch %d removes missing vertex %v", tb.Seq, op)
+			}
+			cur = graph.ApplyUpdates(cur, []graph.Update{op})
+		}
+	}
+}
+
+func TestUpdateStreamProtectAndMonotone(t *testing.T) {
+	g, err := Load(Traffic, ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected := g.VertexAt(3)
+	stream := UpdateStream(g, StreamConfig{
+		Seed: 3, Batches: 30, BatchSize: 4,
+		VertexRemoveWeight: 10, InsertWeight: 1,
+		Protect: []graph.VertexID{protected},
+	})
+	for _, tb := range stream {
+		for _, op := range tb.Ops {
+			if op.Kind == graph.UpdateRemoveVertex && op.Src == protected {
+				t.Fatalf("protected vertex removed in batch %d", tb.Seq)
+			}
+		}
+	}
+
+	mono := UpdateStream(g, MonotoneStreamConfig(11, 25, 6))
+	for _, tb := range mono {
+		for _, op := range tb.Ops {
+			if op.Kind != graph.UpdateAddEdge && op.Kind != graph.UpdateAddVertex {
+				t.Fatalf("monotone stream emitted %v", op)
+			}
+		}
+	}
+}
