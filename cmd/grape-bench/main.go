@@ -13,12 +13,15 @@
 //	grape-bench -exp ablations                 # grouping + partitioner ablations
 //	grape-bench -exp session                   # partition-once session vs per-query
 //	grape-bench -exp incremental               # IncEval view maintenance vs full recompute
+//	grape-bench -exp async                     # BSP vs adaptive async execution plane
 //	grape-bench -exp all                       # everything
 //
 // Flags -size (tiny|small|medium) and -workers control the scale; -n gives
-// the list of worker counts swept by the fig6/fig7 experiments. The
-// incremental experiment additionally writes machine-readable results to
-// BENCH_incremental.json (configurable with -out).
+// the list of worker counts swept by the fig6/fig7 and async experiments.
+// The incremental and async experiments additionally write machine-readable
+// results to BENCH_incremental.json and BENCH_async.json (configurable with
+// -out and -async-out); -quick shrinks the async experiment to a smoke test
+// for CI.
 package main
 
 import (
@@ -35,20 +38,22 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run")
-		size    = flag.String("size", "small", "dataset scale: tiny, small, medium")
-		workers = flag.Int("workers", 8, "worker count for table1/fig9")
-		nList   = flag.String("n", "2,4,8", "comma-separated worker counts for fig6/fig7")
-		out     = flag.String("out", "BENCH_incremental.json", "output file for the incremental experiment's JSON results")
+		exp      = flag.String("exp", "all", "experiment to run")
+		size     = flag.String("size", "small", "dataset scale: tiny, small, medium")
+		workers  = flag.Int("workers", 8, "worker count for table1/fig9")
+		nList    = flag.String("n", "2,4,8", "comma-separated worker counts for fig6/fig7")
+		out      = flag.String("out", "BENCH_incremental.json", "output file for the incremental experiment's JSON results")
+		asyncOut = flag.String("async-out", "BENCH_async.json", "output file for the async experiment's JSON results")
+		quick    = flag.Bool("quick", false, "shrink the async experiment to a CI smoke run")
 	)
 	flag.Parse()
-	if err := run(*exp, *size, *workers, *nList, *out); err != nil {
+	if err := run(*exp, *size, *workers, *nList, *out, *asyncOut, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "grape-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, size string, workers int, nList, incOut string) error {
+func run(exp, size string, workers int, nList, incOut, asyncOut string, quick bool) error {
 	scale, err := workload.ParseScale(size)
 	if err != nil {
 		return err
@@ -140,6 +145,28 @@ func run(exp, size string, workers int, nList, incOut string) error {
 		fmt.Printf("wrote %s\n", incOut)
 		return nil
 	}
+	runAsync := func() error {
+		ns := ns
+		scale := scale
+		if quick {
+			ns = []int{2, 3}
+			scale = workload.ScaleTiny
+		}
+		rows, err := bench.AsyncComparison(ns, scale, quick)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatAsyncRows(rows))
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(asyncOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", asyncOut)
+		return nil
+	}
 	runAblations := func() error {
 		rows, err := bench.AblationMessageGrouping(workers, scale)
 		if err != nil {
@@ -185,6 +212,8 @@ func run(exp, size string, workers int, nList, incOut string) error {
 		return runSession()
 	case "incremental":
 		return runIncremental()
+	case "async":
+		return runAsync()
 	case "all":
 		steps := []func() error{
 			runTable1,
@@ -203,6 +232,7 @@ func run(exp, size string, workers int, nList, incOut string) error {
 			runAblations,
 			runSession,
 			runIncremental,
+			runAsync,
 		}
 		for _, step := range steps {
 			if err := step(); err != nil {

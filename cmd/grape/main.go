@@ -6,6 +6,10 @@
 //	grape -graph social.txt -query cc -workers 4
 //	grape -graph social.txt -query pagerank -workers 4
 //
+// The -mode flag picks the execution plane: bsp (default) or async. The
+// asynchronous plane is supported by sssp, cc and pagerank; it removes the
+// superstep barriers, so stragglers do not pace the whole query.
+//
 // Serve mode (-serve) loads and partitions the graph once, then answers a
 // stream of queries read from stdin — one query per line — over the resident
 // session, so every query after the first pays only its own evaluation time:
@@ -32,7 +36,9 @@
 // Supported serve commands: "sssp <source>", "cc", "pagerank",
 // "mat sssp <source>", "mat cc", "view <id>", "views",
 // "insert <u> <v> [w]", "delete <u> <v>", "reweight <u> <v> <w>",
-// "addv <id> [label]", "rmv <id>", "help" and "quit". On EOF (or "quit") a
+// "addv <id> [label]", "rmv <id>", "mode <bsp|async>", "help" and "quit".
+// The -mode flag sets the initial plane; "mode" switches it between
+// queries (views are always maintained on the BSP plane). On EOF (or "quit") a
 // summary reports the amortized per-query latency and throughput of the
 // session, plus how many update batches were absorbed.
 //
@@ -63,19 +69,24 @@ func main() {
 		source    = flag.Int64("source", 0, "source vertex for sssp")
 		workers   = flag.Int("workers", 4, "number of workers (fragments)")
 		strategy  = flag.String("strategy", "multilevel", "partition strategy: hash, range, ldg, multilevel, vertexcut")
+		mode      = flag.String("mode", "bsp", "execution plane: bsp or async (async supports sssp, cc, pagerank)")
 		top       = flag.Int("top", 10, "number of per-vertex results to print")
 		serve     = flag.Bool("serve", false, "partition once, then answer a stream of queries from stdin")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *query, grape.VertexID(*source), *workers, *strategy, *top, *serve); err != nil {
+	if err := run(*graphPath, *query, grape.VertexID(*source), *workers, *strategy, *mode, *top, *serve); err != nil {
 		fmt.Fprintln(os.Stderr, "grape:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, query string, source grape.VertexID, workers int, strategy string, top int, serve bool) error {
+func run(graphPath, query string, source grape.VertexID, workers int, strategy, mode string, top int, serve bool) error {
 	if graphPath == "" {
 		return fmt.Errorf("missing -graph")
+	}
+	execMode, err := grape.ParseMode(mode)
+	if err != nil {
+		return err
 	}
 	f, err := os.Open(graphPath)
 	if err != nil {
@@ -90,7 +101,7 @@ func run(graphPath, query string, source grape.VertexID, workers int, strategy s
 	if !ok {
 		return fmt.Errorf("unknown partition strategy %q", strategy)
 	}
-	opts := grape.Options{Workers: workers, Strategy: strat}
+	opts := grape.Options{Workers: workers, Strategy: strat, Mode: execMode}
 	fmt.Printf("loaded %v\n", g)
 
 	setup := time.Now()
@@ -100,8 +111,8 @@ func run(graphPath, query string, source grape.VertexID, workers int, strategy s
 	}
 	defer s.Close()
 	setupDur := time.Since(setup)
-	fmt.Printf("partitioned once into %d fragments (%s strategy) in %v\n",
-		s.NumFragments(), strategy, setupDur.Round(time.Microsecond))
+	fmt.Printf("partitioned once into %d fragments (%s strategy, %v plane) in %v\n",
+		s.NumFragments(), strategy, execMode, setupDur.Round(time.Microsecond))
 
 	if serve {
 		return serveQueries(s, os.Stdin, top, setupDur)
@@ -159,7 +170,8 @@ func (v *servedView) print(top int) {
 // extended with the dynamic-graph mode of Section 3.4.
 func serveQueries(s *grape.Session, in io.Reader, top int, setupDur time.Duration) error {
 	const usage = "commands: sssp <source> | cc | pagerank | mat sssp <source> | mat cc | view <id> | views |" +
-		" insert <u> <v> [w] | delete <u> <v> | reweight <u> <v> <w> | addv <id> [label] | rmv <id> | help | quit"
+		" insert <u> <v> [w] | delete <u> <v> | reweight <u> <v> <w> | addv <id> [label] | rmv <id> |" +
+		" mode <bsp|async> | help | quit"
 	fmt.Println(usage)
 	var queryTime time.Duration
 	views := map[int]*servedView{}
@@ -200,6 +212,19 @@ func serveQueries(s *grape.Session, in io.Reader, top int, setupDur time.Duratio
 			return nil
 		case "help":
 			fmt.Println(usage)
+			continue
+		case "mode":
+			if len(fields) != 2 {
+				fmt.Printf("current mode: %v; usage: mode <bsp|async>\n", s.ExecMode())
+				continue
+			}
+			m, perr := grape.ParseMode(fields[1])
+			if perr != nil {
+				fmt.Println(perr)
+				continue
+			}
+			s = s.WithMode(m)
+			fmt.Printf("execution plane: %v\n", m)
 			continue
 		case "sssp":
 			if len(fields) != 2 {

@@ -31,6 +31,21 @@
 // MaterializeCC / Materialize register live views whose answers are
 // maintained incrementally after every batch (see grape_update.go).
 //
+// Queries run on one of two execution planes. The default BSP plane is the
+// paper's superstep loop; the asynchronous plane (adaptive asynchronous
+// parallelization) lets workers keep evaluating on whatever messages have
+// already arrived instead of idling at superstep barriers, which removes the
+// straggler cost of BSP. Select it per session with Options.Mode, or per
+// query with Session.WithMode:
+//
+//	s, err := grape.NewSession(g, grape.Options{Workers: 8})
+//	dist, _, err := s.WithMode(grape.Async).SSSP(1)
+//
+// Async runs are supported by SSSP, CC and PageRank (programs whose update
+// accumulation is monotone and idempotent, so delivery order cannot change
+// the fixpoint); Sim, SubIso and CF are BSP-only and return
+// ErrAsyncUnsupported when forced onto the async plane.
+//
 // See the examples/ directory for complete programs.
 package grape
 
@@ -77,7 +92,27 @@ type (
 	CFModel = pie.CFModel
 	// CFQuery configures collaborative filtering.
 	CFQuery = pie.CFQuery
+	// Mode selects the execution plane queries run on (BSP or Async).
+	Mode = core.ExecMode
 )
+
+// Execution planes.
+const (
+	// BSP is the bulk-synchronous plane: superstep barriers, deterministic,
+	// supports every program. The default.
+	BSP = core.ModeBSP
+	// Async is the adaptive asynchronous plane: workers evaluate on whatever
+	// messages have arrived, with no superstep barriers. Supported by SSSP,
+	// CC and PageRank.
+	Async = core.ModeAsync
+)
+
+// ErrAsyncUnsupported is returned when the async plane is requested for a
+// program that has not declared async-safe accumulation (Sim, SubIso, CF).
+var ErrAsyncUnsupported = core.ErrAsyncUnsupported
+
+// ParseMode converts a flag value ("bsp" or "async") into a Mode.
+func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
 
 // NewGraphBuilder returns a builder for a directed (true) or undirected
 // (false) graph.
@@ -101,6 +136,9 @@ type Options struct {
 	// Parallelism bounds how many workers run concurrently (default =
 	// Workers).
 	Parallelism int
+	// Mode is the default execution plane (BSP unless set to Async).
+	// Individual queries can override it with Session.WithMode.
+	Mode Mode
 }
 
 func (o Options) core() core.Options {
@@ -108,6 +146,7 @@ func (o Options) core() core.Options {
 		Workers:     o.Workers,
 		Strategy:    o.Strategy,
 		Parallelism: o.Parallelism,
+		Mode:        o.Mode,
 	}
 }
 
@@ -121,7 +160,8 @@ func (o Options) core() core.Options {
 // Close the session when done; the one-call RunXXX helpers below remain the
 // convenient form for single-query use.
 type Session struct {
-	s *core.Session
+	s    *core.Session
+	mode Mode
 }
 
 // NewSession partitions g once with the configured strategy and brings up
@@ -131,8 +171,21 @@ func NewSession(g *Graph, opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{s: s}, nil
+	return &Session{s: s, mode: opts.Mode}, nil
 }
+
+// WithMode returns a handle over the same resident session whose queries run
+// on the given execution plane — a per-query override of Options.Mode. The
+// returned handle shares cluster, fragments, views and epochs with s (and
+// Close on either closes both); only the plane differs:
+//
+//	fast, _, err := s.WithMode(grape.Async).SSSP(src)
+func (s *Session) WithMode(mode Mode) *Session {
+	return &Session{s: s.s, mode: mode}
+}
+
+// ExecMode returns the execution plane this handle runs queries on.
+func (s *Session) ExecMode() Mode { return s.mode }
 
 // Close stops accepting new queries and waits for in-flight ones to finish.
 func (s *Session) Close() error { return s.s.Close() }
@@ -144,16 +197,16 @@ func (s *Session) Queries() int64 { return s.s.Queries() }
 // was partitioned into.
 func (s *Session) NumFragments() int { return s.s.NumFragments() }
 
-// Run executes an arbitrary PIE program over the resident fragments, for
-// callers that wrote their own.
+// Run executes an arbitrary PIE program over the resident fragments on the
+// handle's execution plane, for callers that wrote their own.
 func (s *Session) Run(prog Program, query any) (*Result, error) {
-	return s.s.Run(query, prog)
+	return s.s.RunMode(query, prog, s.mode)
 }
 
 // SSSP computes single-source shortest paths from source and returns the
 // distance of every vertex (+Inf when unreachable).
 func (s *Session) SSSP(source VertexID) (map[VertexID]float64, *Stats, error) {
-	res, err := s.s.Run(source, pie.SSSP{})
+	res, err := s.s.RunMode(source, pie.SSSP{}, s.mode)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -163,7 +216,7 @@ func (s *Session) SSSP(source VertexID) (map[VertexID]float64, *Stats, error) {
 // CC computes connected components; the returned map assigns every vertex
 // the smallest vertex ID of its component.
 func (s *Session) CC() (map[VertexID]VertexID, *Stats, error) {
-	res, err := s.s.Run(nil, pie.CC{})
+	res, err := s.s.RunMode(nil, pie.CC{}, s.mode)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -173,7 +226,7 @@ func (s *Session) CC() (map[VertexID]VertexID, *Stats, error) {
 // Sim computes graph-pattern matching via graph simulation: the maximum
 // relation from pattern vertices to matching data vertices.
 func (s *Session) Sim(pattern *Graph) (SimResult, *Stats, error) {
-	res, err := s.s.Run(pattern, pie.Sim{})
+	res, err := s.s.RunMode(pattern, pie.Sim{}, s.mode)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -183,7 +236,7 @@ func (s *Session) Sim(pattern *Graph) (SimResult, *Stats, error) {
 // SubIso computes graph-pattern matching via subgraph isomorphism, returning
 // every match (maxMatches <= 0 means unlimited).
 func (s *Session) SubIso(pattern *Graph, maxMatches int) ([]Match, *Stats, error) {
-	res, err := s.s.Run(pattern, pie.SubIso{MaxMatches: maxMatches})
+	res, err := s.s.RunMode(pattern, pie.SubIso{MaxMatches: maxMatches}, s.mode)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -194,7 +247,7 @@ func (s *Session) SubIso(pattern *Graph, maxMatches int) ([]Match, *Stats, error
 // whose user vertices are labeled "user" and product vertices "product",
 // with edge weights holding the observed ratings.
 func (s *Session) CF(query CFQuery) (CFModel, *Stats, error) {
-	res, err := s.s.Run(query, pie.CF{})
+	res, err := s.s.RunMode(query, pie.CF{}, s.mode)
 	if err != nil {
 		return CFModel{}, nil, err
 	}
@@ -203,7 +256,7 @@ func (s *Session) CF(query CFQuery) (CFModel, *Stats, error) {
 
 // PageRank computes PageRank scores normalized to sum to |V|.
 func (s *Session) PageRank() (map[VertexID]float64, *Stats, error) {
-	res, err := s.s.Run(pie.DefaultPageRankQuery(), pie.PageRank{})
+	res, err := s.s.RunMode(pie.DefaultPageRankQuery(), pie.PageRank{}, s.mode)
 	if err != nil {
 		return nil, nil, err
 	}

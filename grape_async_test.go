@@ -1,0 +1,112 @@
+package grape
+
+import (
+	"errors"
+	"testing"
+)
+
+// testModeGraph builds a ring-with-chords graph large enough to spread over
+// several fragments and force multiple evaluation rounds.
+func testModeGraph() *Graph {
+	b := NewGraphBuilder(false)
+	const n = 48
+	for i := int64(0); i < n; i++ {
+		b.AddVertex(VertexID(i), "user")
+		b.AddEdge(VertexID(i), VertexID((i+1)%n), 1+float64(i%5), "")
+		if i%4 == 0 {
+			b.AddEdge(VertexID(i), VertexID((i+11)%n), 2, "")
+		}
+	}
+	return b.Build()
+}
+
+// TestWithModeAsync checks the facade-level plane override: the async handle
+// shares the resident session, answers match BSP exactly for SSSP/CC, and
+// BSP-only programs are rejected with the exported error.
+func TestWithModeAsync(t *testing.T) {
+	g := testModeGraph()
+	s, err := NewSession(g, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.ExecMode() != BSP {
+		t.Fatalf("default mode = %v, want BSP", s.ExecMode())
+	}
+	async := s.WithMode(Async)
+	if async.ExecMode() != Async {
+		t.Fatalf("WithMode(Async).ExecMode() = %v", async.ExecMode())
+	}
+
+	src := g.VertexAt(0)
+	dist, bspStats, err := s.SSSP(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adist, asyncStats, err := async.SSSP(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adist) != len(dist) {
+		t.Fatalf("async returned %d distances, bsp %d", len(adist), len(dist))
+	}
+	for v, d := range dist {
+		if adist[v] != d {
+			t.Fatalf("dist(%d): async %v, bsp %v", v, adist[v], d)
+		}
+	}
+	if bspStats.Mode != "bsp" || asyncStats.Mode != "async" {
+		t.Fatalf("stats modes = %q/%q", bspStats.Mode, asyncStats.Mode)
+	}
+
+	cc, _, err := s.CC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _, err := async.CC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, cid := range cc {
+		if acc[v] != cid {
+			t.Fatalf("cc(%d): async %v, bsp %v", v, acc[v], cid)
+		}
+	}
+
+	// Both handles count into the same session.
+	if q := s.Queries(); q != 4 {
+		t.Fatalf("session served %d queries, want 4", q)
+	}
+
+	// BSP-only programs refuse the async plane.
+	pattern := NewGraphBuilder(true)
+	pattern.AddVertex(1, "user")
+	if _, _, err := async.Sim(pattern.Build()); !errors.Is(err, ErrAsyncUnsupported) {
+		t.Fatalf("async Sim err = %v, want ErrAsyncUnsupported", err)
+	}
+}
+
+// TestSessionModeOption checks Options.Mode sets the session default plane.
+func TestSessionModeOption(t *testing.T) {
+	g := testModeGraph()
+	s, err := NewSession(g, Options{Workers: 3, Mode: Async})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, stats, err := s.SSSP(g.VertexAt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mode != "async" {
+		t.Fatalf("Options.Mode not honored: stats.Mode = %q", stats.Mode)
+	}
+	// And back to BSP per query.
+	_, stats, err = s.WithMode(BSP).SSSP(g.VertexAt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mode != "bsp" {
+		t.Fatalf("WithMode(BSP) not honored: stats.Mode = %q", stats.Mode)
+	}
+}

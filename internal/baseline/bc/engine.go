@@ -136,7 +136,10 @@ func (e *Engine) RunPartitioned(p *partition.Partitioned, prog Program) (*Result
 	m := len(p.Fragments)
 	timer := metrics.StartTimer()
 	stats := &metrics.Stats{Engine: opts.EngineName, Query: prog.Name(), Workers: m}
-	cluster := mpi.NewCluster(m, stats)
+	cluster, err := mpi.NewCluster(m, stats)
+	if err != nil {
+		return nil, fmt.Errorf("bc: %w", err)
+	}
 
 	ctxs := make([]*BlockContext, m)
 	for i, f := range p.Fragments {

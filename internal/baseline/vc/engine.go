@@ -173,12 +173,16 @@ func (e *Engine) Run(g *graph.Graph, prog Program) (*Result, error) {
 	stats := &metrics.Stats{Engine: opts.EngineName, Query: prog.Name(), Workers: opts.Workers}
 	n := g.NumVertices()
 
+	cluster, err := mpi.NewCluster(opts.Workers, stats)
+	if err != nil {
+		return nil, fmt.Errorf("vc: %w", err)
+	}
 	rs := &runState{
 		g:       g,
 		opts:    opts,
 		owner:   make([]int, n),
 		byIndex: make(map[graph.VertexID]int, n),
-		cluster: mpi.NewCluster(opts.Workers, stats),
+		cluster: cluster,
 		stats:   stats,
 	}
 	for i := 0; i < n; i++ {

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/mpi"
+	"grape/internal/partition"
+	"grape/internal/pie"
+	"grape/internal/workload"
+)
+
+// AsyncRow is one point of the BSP-vs-async experiment: the same query
+// evaluated on both execution planes over the same resident partition, with
+// wall-clock, communication, depth (supersteps vs async rounds) and
+// per-worker idle time side by side.
+type AsyncRow struct {
+	Dataset  string `json:"dataset"`
+	Workload string `json:"workload"` // balanced, skewed or straggler
+	Query    string `json:"query"`
+	Workers  int    `json:"workers"`
+
+	BSPSeconds   float64 `json:"bsp_sec"`
+	AsyncSeconds float64 `json:"async_sec"`
+	// Speedup is BSPSeconds / AsyncSeconds.
+	Speedup float64 `json:"speedup"`
+
+	BSPMessages   int64 `json:"bsp_messages"`
+	AsyncMessages int64 `json:"async_messages"`
+	BSPBytes      int64 `json:"bsp_bytes"`
+	AsyncBytes    int64 `json:"async_bytes"`
+
+	// BSPRounds is the superstep count; AsyncRounds the deepest per-worker
+	// round count of the async run — the comparable depth metric.
+	BSPRounds   int `json:"bsp_rounds"`
+	AsyncRounds int `json:"async_rounds"`
+
+	BSPIdleSec   float64 `json:"bsp_idle_sec"`
+	AsyncIdleSec float64 `json:"async_idle_sec"`
+}
+
+// slowFragment wraps an async-capable PIE program with an artificial
+// per-round delay on one fragment — the straggler of the experiment (an
+// overloaded worker, an oversized fragment). It forwards the wrapped
+// program's async capability.
+type slowFragment struct {
+	core.Program
+	frag  int
+	delay time.Duration
+}
+
+func (s slowFragment) PEval(ctx *core.Context) error {
+	if ctx.Worker == s.frag {
+		time.Sleep(s.delay)
+	}
+	return s.Program.PEval(ctx)
+}
+
+func (s slowFragment) IncEval(ctx *core.Context, msgs []mpi.Update) error {
+	if ctx.Worker == s.frag {
+		time.Sleep(s.delay)
+	}
+	return s.Program.IncEval(ctx, msgs)
+}
+
+func (s slowFragment) AsyncSafe() bool { return core.SupportsAsync(s.Program) }
+
+// skewedPartition assigns roughly `share` (in percent) of the vertices to
+// fragment 0 and spreads the rest over the remaining fragments — the
+// skewed-partition regime where BSP runs at the pace of the big fragment.
+func skewedPartition(g *graph.Graph, m, share int) *partition.Partitioned {
+	assign := make([]int, g.NumVertices())
+	for i := range assign {
+		h := uint64(g.VertexAt(i)) * 0x9E3779B97F4A7C15
+		if int(h%100) < share || m == 1 {
+			assign[i] = 0
+		} else {
+			assign[i] = 1 + int((h>>32)%uint64(m-1))
+		}
+	}
+	return partition.Build(g, assign, m, fmt.Sprintf("skew%d", share))
+}
+
+// runModes evaluates the same query on both planes over one resident
+// session and folds the two Stats into a row.
+func runModes(row AsyncRow, p *partition.Partitioned, q core.Query, prog core.Program) (AsyncRow, error) {
+	s, err := core.NewSessionPartitioned(p, core.Options{})
+	if err != nil {
+		return row, err
+	}
+	defer s.Close()
+
+	bsp, err := s.RunMode(q, prog, core.ModeBSP)
+	if err != nil {
+		return row, fmt.Errorf("bench: bsp %s: %w", row.Workload, err)
+	}
+	async, err := s.RunMode(q, prog, core.ModeAsync)
+	if err != nil {
+		return row, fmt.Errorf("bench: async %s: %w", row.Workload, err)
+	}
+
+	bs, as := bsp.Stats, async.Stats
+	row.BSPSeconds += bs.Elapsed.Seconds()
+	row.AsyncSeconds += as.Elapsed.Seconds()
+	row.BSPMessages += bs.MessagesSent
+	row.AsyncMessages += as.MessagesSent
+	row.BSPBytes += bs.BytesSent
+	row.AsyncBytes += as.BytesSent
+	row.BSPRounds += bs.Rounds
+	row.AsyncRounds += as.Rounds
+	row.BSPIdleSec += bs.TotalIdle().Seconds()
+	row.AsyncIdleSec += as.TotalIdle().Seconds()
+	return row, nil
+}
+
+// AsyncComparison runs the BSP-vs-async experiment across worker counts on
+// three workloads: the traffic surrogate under a balanced multilevel
+// partition, the same graph under a deliberately skewed partition (fragment
+// 0 holds most of the vertices), and the synthetic fan-in straggler workload
+// with an artificially slow fragment. quick shrinks everything for CI smoke
+// runs.
+func AsyncComparison(workerCounts []int, scale workload.Scale, quick bool) ([]AsyncRow, error) {
+	queries := queriesPerClass(scale)
+	chain, delay := 48, 2*time.Millisecond
+	if quick {
+		queries, chain, delay = 1, 24, time.Millisecond
+	}
+
+	g, err := workload.Load(workload.Traffic, scale)
+	if err != nil {
+		return nil, err
+	}
+	srcs := workload.Sources(g, queries, 23)
+
+	var rows []AsyncRow
+	for _, n := range workerCounts {
+		if n < 2 {
+			continue // one fragment has no messages, hence no plane difference
+		}
+
+		// Balanced: the partitioner's best effort.
+		balanced := partition.Partition(g, n, grapeStrategy)
+		row := AsyncRow{Dataset: workload.Traffic, Workload: "balanced", Query: QuerySSSP, Workers: n}
+		for _, src := range srcs {
+			if row, err = runModes(row, balanced, src, pie.SSSP{}); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, finishRow(row, len(srcs)))
+
+		// Skewed: fragment 0 owns ~70% of the graph.
+		skewed := skewedPartition(g, n, 70)
+		row = AsyncRow{Dataset: workload.Traffic, Workload: "skewed", Query: QuerySSSP, Workers: n}
+		for _, src := range srcs {
+			if row, err = runModes(row, skewed, src, pie.SSSP{}); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, finishRow(row, len(srcs)))
+
+		// Straggler: one artificially slow fragment fed by a fan-in chain
+		// (workload.Straggler needs at least two fast fragments).
+		if n < 3 {
+			continue
+		}
+		sp, src := workload.Straggler(chain, n)
+		row = AsyncRow{Dataset: "straggler", Workload: "straggler", Query: QuerySSSP, Workers: n}
+		prog := slowFragment{Program: pie.SSSP{}, frag: 0, delay: delay}
+		if row, err = runModes(row, sp, src, prog); err != nil {
+			return nil, err
+		}
+		rows = append(rows, finishRow(row, 1))
+	}
+	return rows, nil
+}
+
+// finishRow averages accumulated measurements over q queries and derives the
+// speedup.
+func finishRow(row AsyncRow, q int) AsyncRow {
+	if q > 1 {
+		f := float64(q)
+		row.BSPSeconds /= f
+		row.AsyncSeconds /= f
+		row.BSPIdleSec /= f
+		row.AsyncIdleSec /= f
+		row.BSPMessages /= int64(q)
+		row.AsyncMessages /= int64(q)
+		row.BSPBytes /= int64(q)
+		row.AsyncBytes /= int64(q)
+		row.BSPRounds = int(float64(row.BSPRounds)/f + 0.5)
+		row.AsyncRounds = int(float64(row.AsyncRounds)/f + 0.5)
+	}
+	row.Speedup = safeRatio(row.BSPSeconds, row.AsyncSeconds)
+	return row
+}
+
+// FormatAsyncRows renders the experiment as a text table.
+func FormatAsyncRows(rows []AsyncRow) string {
+	out := "== Execution planes: BSP vs adaptive async (same queries, same partitions) ==\n"
+	out += fmt.Sprintf("%-10s %3s  %11s %11s %8s  %7s %7s  %9s %9s  %9s %9s\n",
+		"workload", "n", "bsp(ms)", "async(ms)", "speedup",
+		"b.steps", "a.rnds", "b.msgs", "a.msgs", "b.idle", "a.idle")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-10s %3d  %11.3f %11.3f %7.2fx  %7d %7d  %9d %9d  %8.1fms %8.1fms\n",
+			r.Workload, r.Workers, r.BSPSeconds*1000, r.AsyncSeconds*1000, r.Speedup,
+			r.BSPRounds, r.AsyncRounds, r.BSPMessages, r.AsyncMessages,
+			r.BSPIdleSec*1000, r.AsyncIdleSec*1000)
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"grape/internal/workload"
+)
+
+func TestAsyncComparison(t *testing.T) {
+	rows, err := AsyncComparison([]int{2, 3}, workload.ScaleTiny, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=2: balanced + skewed; n=3 adds the straggler workload.
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5: %+v", len(rows), rows)
+	}
+	var sawStraggler bool
+	for _, r := range rows {
+		if r.BSPSeconds <= 0 || r.AsyncSeconds <= 0 {
+			t.Fatalf("%s n=%d: non-positive timings %+v", r.Workload, r.Workers, r)
+		}
+		if r.BSPRounds <= 0 || r.AsyncRounds <= 0 {
+			t.Fatalf("%s n=%d: missing round depths %+v", r.Workload, r.Workers, r)
+		}
+		if r.Workload == "straggler" {
+			sawStraggler = true
+			// The headline claim of the async plane: the straggler workload
+			// must beat BSP comfortably (the full-size run shows ~20x; even
+			// the CI-sized run clears 1.2x with a wide margin).
+			if r.Speedup < 1.2 {
+				t.Fatalf("straggler speedup %.2fx < 1.2x: %+v", r.Speedup, r)
+			}
+			if r.AsyncRounds >= r.BSPRounds {
+				t.Fatalf("straggler async rounds %d not fewer than %d supersteps", r.AsyncRounds, r.BSPRounds)
+			}
+		}
+	}
+	if !sawStraggler {
+		t.Fatalf("no straggler row produced")
+	}
+	out := FormatAsyncRows(rows)
+	if !strings.Contains(out, "straggler") || !strings.Contains(out, "speedup") {
+		t.Fatalf("FormatAsyncRows output malformed:\n%s", out)
+	}
+}

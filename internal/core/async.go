@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"grape/internal/metrics"
+	"grape/internal/mpi"
+)
+
+// asyncRunner is the adaptive asynchronous execution plane. Each worker runs
+// in its own goroutine: PEval first, then a drain loop that applies IncEval
+// to whatever messages have already arrived — no superstep barrier, so a
+// fast fragment never waits for a straggler, and a slow fragment absorbs its
+// backlog in large batches instead of one barrier-paced message at a time.
+// Messages travel through an async communicator (immediate visibility plus
+// per-destination wake signals; see mpi.NewAsyncComm).
+//
+// Termination is detected by the coordinator via idle consensus: the run is
+// over exactly when every worker is parked on an empty inbox AND the
+// communicator's sent and received counters agree (no envelope in flight).
+// Workers announce idle transitions on a condition variable the coordinator
+// waits on; the check is sound because a worker only sends while it is not
+// idle, so while the coordinator observes "all idle" under the state lock no
+// counter can move (see run for the argument).
+//
+// Only programs declaring AsyncCapable may run here: asynchronous delivery
+// re-orders and batches updates arbitrarily, which is harmless exactly when
+// the program's Aggregate policy is idempotent and monotone. Failure
+// injection and coordinator failover are BSP-superstep concepts and are not
+// simulated on this plane.
+type asyncRunner struct {
+	opts    Options
+	cluster *mpi.Cluster
+}
+
+func (r *asyncRunner) mode() ExecMode { return ModeAsync }
+
+// asyncState is the idle-consensus state shared by the workers and the
+// terminating coordinator.
+type asyncState struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	idle []bool
+	err  error
+}
+
+func newAsyncState(m int) *asyncState {
+	st := &asyncState{idle: make([]bool, m)}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+func (st *asyncState) setIdle(w int, idle bool) {
+	st.mu.Lock()
+	st.idle[w] = idle
+	if idle {
+		st.cond.Broadcast()
+	}
+	st.mu.Unlock()
+}
+
+// fail records the first error and wakes the coordinator.
+func (st *asyncState) fail(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// allIdleLocked must be called with st.mu held.
+func (st *asyncState) allIdleLocked() bool {
+	for _, idle := range st.idle {
+		if !idle {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *asyncRunner) run(tasks []*task, comm *mpi.Comm, stats *metrics.Stats, res *Result) error {
+	m := len(tasks)
+	st := newAsyncState(m)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	// Safety net against non-monotone programs, mirroring MaxSupersteps: the
+	// whole run may execute at most MaxSupersteps rounds per worker on
+	// average before it is declared divergent.
+	var totalRounds atomic.Int64
+	roundsCap := int64(r.opts.MaxSupersteps) * int64(m)
+
+	for w := range tasks {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.worker(tasks[w], comm, stats, st, done, &totalRounds, roundsCap)
+		}(w)
+	}
+
+	// Idle consensus. Soundness: workers flip their idle flag under st.mu and
+	// send only between setIdle(w, false) and the next setIdle(w, true), so
+	// while the coordinator holds st.mu and observes every flag true, no
+	// worker is computing and none can start (waking requires the lock);
+	// the counters read inside the critical section are therefore stable,
+	// and sent == received means no envelope is buffered anywhere. All
+	// messages ever delivered were fully processed before their receiver
+	// went idle — the global fixpoint.
+	st.mu.Lock()
+	for st.err == nil {
+		if st.allIdleLocked() && comm.Sent() == comm.Received() {
+			break
+		}
+		st.cond.Wait()
+	}
+	err := st.err
+	st.mu.Unlock()
+	close(done)
+	wg.Wait()
+	return err
+}
+
+// worker is one fragment's asynchronous loop: PEval, then drain-and-IncEval
+// until the coordinator announces termination. Local computation runs under
+// a cluster compute slot so the m virtual workers still map onto n physical
+// ones (Section 3.1) even without barriers; time parked on an empty inbox is
+// metered as idle.
+func (r *asyncRunner) worker(t *task, comm *mpi.Comm, stats *metrics.Stats,
+	st *asyncState, done <-chan struct{}, totalRounds *atomic.Int64, roundsCap int64) {
+	w := t.worker.rank
+	round := 1
+	release := r.cluster.AcquireSlot()
+	err := safeCall(func() error { return t.peval(round) })
+	release()
+	stats.AddWorkerRound(w)
+	if err != nil {
+		st.fail(fmt.Errorf("core: async PEval on fragment %d: %w", w, err))
+		return
+	}
+	wake := comm.Wake(w)
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		envs := comm.Deliver(w)
+		if len(envs) == 0 {
+			st.setIdle(w, true)
+			idleTimer := metrics.StartTimer()
+			select {
+			case <-done:
+				return
+			case <-wake:
+			}
+			stats.AddWorkerIdle(w, idleTimer.Stop())
+			st.setIdle(w, false)
+			continue
+		}
+		if totalRounds.Add(1) > roundsCap {
+			st.fail(fmt.Errorf("core: %s did not converge within %d async rounds", t.prog.Name(), roundsCap))
+			return
+		}
+		round++
+		release := r.cluster.AcquireSlot()
+		err := safeCall(func() error { return t.incremental(round, envs) })
+		release()
+		stats.AddWorkerRound(w)
+		if err != nil {
+			st.fail(err)
+			return
+		}
+	}
+}

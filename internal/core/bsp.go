@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"grape/internal/metrics"
+	"grape/internal/mpi"
+)
+
+// stepFn executes one superstep's local-computation phase across all
+// workers: body(w) runs for every worker behind a barrier. Implementations
+// differ in failure handling — query supersteps arbitrate injected worker
+// failures, view-maintenance rounds do not.
+type stepFn func(superstep int, body func(w int) error) error
+
+// bspRunner is the bulk-synchronous execution plane (Section 3.1): PEval as
+// superstep 1, then IncEval supersteps over messages delivered at the
+// superstep boundary, until no fragment has pending messages — the
+// simultaneous fixpoint of Section 4.1. Runs are deterministic regardless of
+// goroutine scheduling, every PIE program is supported, and the arbitrator
+// recovers injected worker failures between barriers.
+type bspRunner struct {
+	opts    Options
+	cluster *mpi.Cluster
+}
+
+func (r *bspRunner) mode() ExecMode { return ModeBSP }
+
+func (r *bspRunner) run(tasks []*task, comm *mpi.Comm, stats *metrics.Stats, res *Result) error {
+	runStep := r.stepFunc(len(tasks), stats, res)
+
+	// Superstep 1: partial evaluation on every fragment.
+	superstep := 1
+	stats.BeginSuperstep()
+	for w := range tasks {
+		stats.AddWorkerRound(w)
+	}
+	if err := runStep(superstep, func(w int) error { return tasks[w].peval(superstep) }); err != nil {
+		return err
+	}
+	return r.iterate(tasks, comm, stats, res, runStep, superstep)
+}
+
+// stepFunc builds the query-superstep executor: injected failures are
+// detected like missed heart-beats — the crashed worker's work unit is not
+// executed, and after the barrier the arbitrator transfers every lost work
+// unit to a standby worker (re-running it against the surviving in-memory
+// fragment state). Each worker's barrier-wait tail is metered as idle time,
+// which is what the straggler cost of BSP looks like in Stats.
+func (r *bspRunner) stepFunc(m int, stats *metrics.Stats, res *Result) stepFn {
+	return func(superstep int, body func(w int) error) error {
+		compute := make([]time.Duration, m)
+		var crashMu sync.Mutex
+		var crashed []int
+		stepTimer := metrics.StartTimer()
+		_, err := r.cluster.BarrierFor(func(int) bool { return true }, 0, func(w int) error {
+			if r.opts.FailureInjector != nil && r.opts.FailureInjector(superstep, w) {
+				crashMu.Lock()
+				crashed = append(crashed, w)
+				crashMu.Unlock()
+				return nil
+			}
+			t := metrics.StartTimer()
+			defer func() { compute[w] = t.Stop() }()
+			return safeCall(func() error { return body(w) })
+		})
+		if err != nil {
+			return err
+		}
+		sort.Ints(crashed)
+		for _, w := range crashed {
+			if res.RecoveredWorkers >= r.opts.MaxRecoveries {
+				return fmt.Errorf("core: worker %d failed and recovery budget exhausted", w)
+			}
+			res.RecoveredWorkers++
+			t := metrics.StartTimer()
+			rerr := safeCall(func() error { return body(w) })
+			compute[w] += t.Stop()
+			if rerr != nil {
+				return rerr
+			}
+		}
+		stepDur := stepTimer.Stop()
+		for w := 0; w < m; w++ {
+			stats.AddWorkerIdle(w, stepDur-compute[w])
+		}
+		return nil
+	}
+}
+
+// iterate drives the iterative supersteps — incremental evaluation until no
+// fragment has pending messages. It is shared by query runs (after PEval)
+// and by view maintenance rounds (after EvalDelta), which pass their own
+// stepFn. superstep is the number of the superstep that just ran.
+func (r *bspRunner) iterate(tasks []*task, comm *mpi.Comm, stats *metrics.Stats,
+	res *Result, runStep stepFn, superstep int) error {
+	m := len(tasks)
+	prog := tasks[0].prog
+	for {
+		if r.opts.CoordinatorFailureAt > 0 && superstep == r.opts.CoordinatorFailureAt {
+			// The standby coordinator S'c takes over; the coordinator's only
+			// state is termination detection, which is recomputed from the
+			// mailboxes, so the run continues seamlessly.
+			res.CoordinatorFailovers++
+		}
+		if comm.TotalPending() == 0 {
+			return nil
+		}
+		superstep++
+		if superstep > r.opts.MaxSupersteps {
+			return fmt.Errorf("core: %s did not converge within %d supersteps", prog.Name(), r.opts.MaxSupersteps)
+		}
+		stats.BeginSuperstep()
+		// Deliver all mailboxes before the barrier so that messages sent
+		// during this superstep only become visible in the next one — the
+		// BSP synchronization of Section 3.1, which also makes runs
+		// deterministic regardless of goroutine scheduling.
+		inboxes := make([][]mpi.Envelope, m)
+		for w := 0; w < m; w++ {
+			inboxes[w] = comm.Deliver(w)
+			if len(inboxes[w]) > 0 {
+				stats.AddWorkerRound(w)
+			}
+		}
+		if err := runStep(superstep, func(w int) error { return tasks[w].incremental(superstep, inboxes[w]) }); err != nil {
+			return err
+		}
+	}
+}

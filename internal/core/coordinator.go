@@ -3,18 +3,17 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
-	"sync"
 
 	"grape/internal/metrics"
 	"grape/internal/mpi"
 )
 
-// coordinator drives one query's BSP loop over a session's resident workers:
-// it creates the query-scoped communicator and contexts, runs PEval, iterates
-// IncEval supersteps until the simultaneous fixpoint (Section 4.1), detects
-// termination from the communicator's pending envelopes, arbitrates worker
-// failures, and finally assembles Q(G).
+// coordinator drives one query over a session's resident workers. It is
+// mode-agnostic: it creates the query-scoped communicator and per-fragment
+// contexts, hands them to the execution plane the query selected — the BSP
+// runner (superstep loop, pending-message termination, failure arbitration)
+// or the async runner (free-running workers, idle-consensus termination) —
+// and finally assembles Q(G) from the converged partial results.
 //
 // A coordinator is created per query; several coordinators run concurrently
 // over the same workers, isolated by their communicators. Worker-failure
@@ -26,8 +25,14 @@ type coordinator struct {
 	workers []*worker
 }
 
-// run evaluates one query with the given PIE program to fixpoint.
+// run evaluates one query with the given PIE program to fixpoint on the
+// options' default execution plane.
 func (c *coordinator) run(q Query, prog Program) (*Result, error) {
+	return c.runMode(q, prog, c.opts.Mode)
+}
+
+// runMode evaluates one query on an explicitly selected execution plane.
+func (c *coordinator) runMode(q Query, prog Program, mode ExecMode) (*Result, error) {
 	if prog == nil {
 		return nil, errors.New("core: nil program")
 	}
@@ -35,12 +40,25 @@ func (c *coordinator) run(q Query, prog Program) (*Result, error) {
 	if m == 0 {
 		return nil, errors.New("core: partition has no fragments")
 	}
+	if mode == ModeAsync && !SupportsAsync(prog) {
+		return nil, fmt.Errorf("core: %s: %w", prog.Name(), ErrAsyncUnsupported)
+	}
 
 	stats := &metrics.Stats{Engine: "GRAPE", Query: prog.Name(), Workers: m}
 	timer := metrics.StartTimer()
 	// Stop the timer on every return path so failed runs report wall time too.
 	defer func() { stats.Elapsed = timer.Stop() }()
-	comm := c.cluster.NewComm(stats)
+
+	var comm *mpi.Comm
+	var r runner
+	switch mode {
+	case ModeAsync:
+		comm = c.cluster.NewAsyncComm(stats)
+		r = &asyncRunner{opts: c.opts, cluster: c.cluster}
+	default:
+		comm = c.cluster.NewComm(stats)
+		r = &bspRunner{opts: c.opts, cluster: c.cluster}
+	}
 
 	tasks := make([]*task, m)
 	ctxs := make([]*Context, m)
@@ -50,49 +68,9 @@ func (c *coordinator) run(q Query, prog Program) (*Result, error) {
 	}
 	res := &Result{Stats: stats, Contexts: ctxs}
 
-	// runStep executes one superstep's local-computation phase across all
-	// workers. Injected failures are detected like missed heart-beats: the
-	// crashed worker's work unit is not executed, and after the barrier the
-	// arbitrator transfers every lost work unit to a standby worker
-	// (re-running it against the surviving in-memory fragment state).
-	runStep := func(superstep int, body func(w int) error) error {
-		var crashMu sync.Mutex
-		var crashed []int
-		_, err := c.cluster.BarrierFor(func(int) bool { return true }, 0, func(w int) error {
-			if c.opts.FailureInjector != nil && c.opts.FailureInjector(superstep, w) {
-				crashMu.Lock()
-				crashed = append(crashed, w)
-				crashMu.Unlock()
-				return nil
-			}
-			return safeCall(func() error { return body(w) })
-		})
-		if err != nil {
-			return err
-		}
-		sort.Ints(crashed)
-		for _, w := range crashed {
-			if res.RecoveredWorkers >= c.opts.MaxRecoveries {
-				return fmt.Errorf("core: worker %d failed and recovery budget exhausted", w)
-			}
-			res.RecoveredWorkers++
-			if err := safeCall(func() error { return body(w) }); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	// Superstep 1: partial evaluation.
-	superstep := 1
-	stats.BeginSuperstep()
-	err := runStep(superstep, func(w int) error { return tasks[w].peval(superstep) })
+	err := r.run(tasks, comm, stats, res)
+	stats.FinishRun(r.mode().String())
 	if err != nil {
-		return res, err
-	}
-
-	// Iterative supersteps until the simultaneous fixpoint.
-	if err := c.iterate(tasks, comm, stats, res, runStep, superstep); err != nil {
 		return res, err
 	}
 
@@ -103,43 +81,6 @@ func (c *coordinator) run(q Query, prog Program) (*Result, error) {
 	}
 	res.Output = out
 	return res, nil
-}
-
-// iterate drives the iterative supersteps — incremental evaluation until no
-// fragment has pending messages (the simultaneous fixpoint of Section 4.1).
-// It is shared by query runs (after PEval) and by view maintenance rounds
-// (after EvalDelta). superstep is the number of the superstep that just ran.
-func (c *coordinator) iterate(tasks []*task, comm *mpi.Comm, stats *metrics.Stats,
-	res *Result, runStep func(superstep int, body func(w int) error) error, superstep int) error {
-	m := len(tasks)
-	prog := tasks[0].prog
-	for {
-		if c.opts.CoordinatorFailureAt > 0 && superstep == c.opts.CoordinatorFailureAt {
-			// The standby coordinator S'c takes over; the coordinator's only
-			// state is termination detection, which is recomputed from the
-			// mailboxes, so the run continues seamlessly.
-			res.CoordinatorFailovers++
-		}
-		if comm.TotalPending() == 0 {
-			return nil
-		}
-		superstep++
-		if superstep > c.opts.MaxSupersteps {
-			return fmt.Errorf("core: %s did not converge within %d supersteps", prog.Name(), c.opts.MaxSupersteps)
-		}
-		stats.BeginSuperstep()
-		// Deliver all mailboxes before the barrier so that messages sent
-		// during this superstep only become visible in the next one — the
-		// BSP synchronization of Section 3.1, which also makes runs
-		// deterministic regardless of goroutine scheduling.
-		inboxes := make([][]mpi.Envelope, m)
-		for w := 0; w < m; w++ {
-			inboxes[w] = comm.Deliver(w)
-		}
-		if err := runStep(superstep, func(w int) error { return tasks[w].incremental(superstep, inboxes[w]) }); err != nil {
-			return err
-		}
-	}
 }
 
 // safeCall runs fn, converting panics into errors so a buggy plugged-in

@@ -22,6 +22,11 @@ type Options struct {
 	// physical ones). For a Session the bound is shared by all in-flight
 	// queries. Zero means Parallelism = Workers.
 	Parallelism int
+	// Mode selects the default execution plane: ModeBSP (superstep loop,
+	// every program supported) or ModeAsync (free-running workers, only
+	// AsyncCapable programs). Individual queries can override it with
+	// Session.RunMode. View maintenance always runs BSP.
+	Mode ExecMode
 	// Strategy is the graph partition strategy. Nil defaults to hash
 	// edge-cut.
 	Strategy partition.Strategy
@@ -43,7 +48,8 @@ type Options struct {
 	// FailureInjector, when non-nil, is consulted before a worker executes a
 	// superstep; returning true simulates a worker failure, which the
 	// engine's arbitrator recovers from by re-running the work unit on a
-	// standby worker (Section 6, "Fault tolerance").
+	// standby worker (Section 6, "Fault tolerance"). Failure injection is a
+	// BSP-superstep concept and is ignored by asynchronous runs.
 	FailureInjector func(superstep, worker int) bool
 	// CoordinatorFailureAt simulates a coordinator failure at the given
 	// superstep (0 = never); the standby coordinator takes over.

@@ -17,6 +17,21 @@
 // (Session.ApplyUpdates) and keeps materialized views fresh across them
 // (Session.Materialize) — the dynamic-graph mode of Section 3.4, implemented
 // in update.go and view.go.
+//
+// # Execution planes
+//
+// The engine's iteration loop is pluggable: a runner (see runner.go) drives
+// the per-fragment tasks from PEval to the global fixpoint, and two planes
+// implement it. The BSP runner (bsp.go) is the paper's superstep loop —
+// barriers, boundary-delivered messages, "no pending messages" termination;
+// it supports every program and is fully deterministic. The async runner
+// (async.go) is adaptive asynchronous parallelization: workers loop IncEval
+// on whatever messages have already arrived, delivery is immediate, and
+// termination is an idle consensus (all workers parked and sent == received).
+// Programs opt into the async plane by declaring AsyncCapable, which asserts
+// their update accumulation is idempotent and monotone so re-ordered and
+// re-delivered batches still converge to the BSP answer. Select the plane
+// with Options.Mode or per query with Session.RunMode.
 package core
 
 import (

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"grape/internal/metrics"
+	"grape/internal/mpi"
+)
+
+// ExecMode selects the execution plane a query runs on.
+type ExecMode int
+
+const (
+	// ModeBSP is the bulk-synchronous plane of the paper (Section 3.1):
+	// supersteps separated by global barriers, messages delivered at the
+	// superstep boundary, termination when no fragment has pending messages.
+	// It is the default, supports every PIE program, and is deterministic.
+	ModeBSP ExecMode = iota
+	// ModeAsync is the adaptive asynchronous plane: workers loop IncEval on
+	// whatever messages have already arrived instead of idling at a barrier,
+	// messages become visible to their destination the moment they are sent,
+	// and the coordinator detects termination by idle consensus (every worker
+	// idle and sent == received). Only programs that declare async-safe
+	// accumulation (AsyncCapable) may run on it; for them the monotone
+	// Aggregate policy makes any delivery order converge to the same fixpoint
+	// as BSP (the Assurance Theorem does not depend on the rounds being
+	// synchronized, only on the updates being aggregated monotonically).
+	ModeAsync
+)
+
+// String returns the mode label used in Stats and CLI flags.
+func (m ExecMode) String() string {
+	if m == ModeAsync {
+		return "async"
+	}
+	return "bsp"
+}
+
+// ParseMode converts a CLI flag value ("bsp" or "async") into an ExecMode.
+func ParseMode(s string) (ExecMode, error) {
+	switch s {
+	case "", "bsp":
+		return ModeBSP, nil
+	case "async":
+		return ModeAsync, nil
+	default:
+		return ModeBSP, fmt.Errorf("core: unknown execution mode %q (want bsp or async)", s)
+	}
+}
+
+// AsyncCapable is the capability a PIE program declares to opt into the
+// asynchronous execution plane. Asynchronous delivery can hand IncEval stale
+// or re-ordered update batches, and a value may be re-delivered after the
+// receiver already absorbed a better one; a program is async-safe exactly
+// when its Aggregate policy is idempotent and monotone with respect to a
+// partial order on the update parameters (min for SSSP and CC) — or, like
+// PageRank's per-sender incast, keyed so that re-delivery overwrites rather
+// than double-counts. Programs without the capability (Sim's "false wins"
+// cascades, SubIso's staged designated messages, CF's timestamp rounds) are
+// rejected by the async driver with ErrAsyncUnsupported and run BSP-only.
+type AsyncCapable interface {
+	AsyncSafe() bool
+}
+
+// ErrAsyncUnsupported is returned when a query requests ModeAsync for a
+// program that has not declared async-safe accumulation.
+var ErrAsyncUnsupported = errors.New("core: program does not support asynchronous execution")
+
+// SupportsAsync reports whether the program declared async-safe
+// accumulation.
+func SupportsAsync(prog Program) bool {
+	ac, ok := prog.(AsyncCapable)
+	return ok && ac.AsyncSafe()
+}
+
+// runner is one execution plane: it drives a set of per-fragment tasks from
+// their initial state (PEval everywhere) to the global fixpoint, filling the
+// run's Stats (per-worker rounds and idle time) and Result bookkeeping
+// (recoveries, failovers) along the way. The coordinator stays mode-agnostic:
+// it sets up tasks, contexts and the communicator, picks a runner, and
+// assembles the answer the runner converged to.
+type runner interface {
+	// mode identifies the plane for Stats.
+	mode() ExecMode
+	// run evaluates to the global fixpoint. tasks[i] belongs to worker i and
+	// comm is the query-scoped communicator the tasks route through (an
+	// async communicator for the async plane).
+	run(tasks []*task, comm *mpi.Comm, stats *metrics.Stats, res *Result) error
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -77,7 +78,10 @@ func NewSessionPartitioned(p *partition.Partitioned, opts Options) (*Session, er
 	o.Workers = m
 	o = o.withDefaults()
 
-	cluster := mpi.NewCluster(m, nil)
+	cluster, err := mpi.NewCluster(m, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	cluster.LimitParallelism(o.Parallelism)
 	place := o.Placer
 	if place == nil {
@@ -115,11 +119,19 @@ func (s *Session) begin() ([]*worker, error) {
 }
 
 // Run evaluates one query with the given PIE program over the resident
-// fragments of the current epoch. It is safe to call from many goroutines
-// concurrently; each call gets its own contexts, communicator and Stats.
-// Queries overlapping an ApplyUpdates keep reading the fragments of the
-// epoch they started on.
+// fragments of the current epoch, on the session's default execution plane
+// (Options.Mode). It is safe to call from many goroutines concurrently; each
+// call gets its own contexts, communicator and Stats. Queries overlapping an
+// ApplyUpdates keep reading the fragments of the epoch they started on.
 func (s *Session) Run(q Query, prog Program) (*Result, error) {
+	return s.RunMode(q, prog, s.opts.Mode)
+}
+
+// RunMode is Run with a per-query execution-plane override: the same session
+// can serve BSP and asynchronous queries concurrently over the same resident
+// fragments. ModeAsync requires the program to declare AsyncCapable;
+// otherwise ErrAsyncUnsupported is returned.
+func (s *Session) RunMode(q Query, prog Program, mode ExecMode) (*Result, error) {
 	workers, err := s.begin()
 	if err != nil {
 		return nil, err
@@ -128,7 +140,7 @@ func (s *Session) Run(q Query, prog Program) (*Result, error) {
 	s.queries.Add(1)
 
 	co := &coordinator{opts: s.opts, cluster: s.cluster, workers: workers}
-	return co.run(q, prog)
+	return co.runMode(q, prog, mode)
 }
 
 // Partition exposes the session's current resident partition (fragments, GP,

@@ -171,7 +171,9 @@ func (v *View) maintain(part *partition.Partitioned, workers []*worker, res *par
 // maintainIncremental runs one maintenance round: EvalDelta on every
 // fragment with a non-empty AFF set (superstep 1 of the round), then the
 // IncEval fixpoint iteration, then Assemble. It returns errNotAbsorbable if
-// any fragment's EvalDelta declines the change.
+// any fragment's EvalDelta declines the change. Maintenance always runs on
+// the BSP plane — a round mutates the view's retained contexts, and the
+// deterministic superstep schedule is what keeps a failed round diagnosable.
 func (c *coordinator) maintainIncremental(dp DeltaProgram, ctxs []*Context, q Query, res *partition.UpdateResult) (any, error) {
 	m := len(c.workers)
 	stats := &metrics.Stats{Engine: "GRAPE", Query: dp.Name() + "+maintain", Workers: m}
@@ -226,7 +228,8 @@ func (c *coordinator) maintainIncremental(dp DeltaProgram, ctxs []*Context, q Qu
 	}
 
 	resTrack := &Result{Stats: stats, Contexts: ctxs}
-	if err := c.iterate(tasks, comm, stats, resTrack, runStep, superstep); err != nil {
+	bsp := &bspRunner{opts: c.opts, cluster: c.cluster}
+	if err := bsp.iterate(tasks, comm, stats, resTrack, runStep, superstep); err != nil {
 		return nil, err
 	}
 	out, err := dp.Assemble(q, ctxs)

@@ -22,9 +22,17 @@ type Stats struct {
 	Query string
 	// Workers is the number of workers the run used.
 	Workers int
+	// Mode identifies the execution plane that produced the run ("bsp" or
+	// "async"); empty means BSP (the only mode the baselines have).
+	Mode string
 
-	// Supersteps is the number of global synchronization rounds.
+	// Supersteps is the number of global synchronization rounds. Asynchronous
+	// runs have no global rounds and leave it zero; compare Rounds instead.
 	Supersteps int
+	// Rounds is the mode-neutral depth of the run: the number of supersteps
+	// for BSP, and the largest per-worker evaluation-round count for async —
+	// the apples-to-apples column of the BSP/async comparison.
+	Rounds int
 	// MessagesSent counts individual messages shipped between workers
 	// (worker-local computation does not count, matching the paper).
 	MessagesSent int64
@@ -33,7 +41,9 @@ type Stats struct {
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 
-	perStep []StepStats
+	perStep      []StepStats
+	workerRounds []int64
+	workerIdle   []time.Duration
 }
 
 // StepStats records the communication of a single superstep.
@@ -70,14 +80,96 @@ func (s *Stats) PerStep() []StepStats {
 	return append([]StepStats(nil), s.perStep...)
 }
 
+// AddWorkerRound records that worker w executed one evaluation round (a
+// superstep it was active in for BSP, one IncEval batch for async).
+func (s *Stats) AddWorkerRound(w int) {
+	s.mu.Lock()
+	s.growWorkers(w)
+	s.workerRounds[w]++
+	s.mu.Unlock()
+}
+
+// AddWorkerIdle records time worker w spent idle: waiting at a superstep
+// barrier for slower workers (BSP) or parked waiting for messages (async).
+func (s *Stats) AddWorkerIdle(w int, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.growWorkers(w)
+	s.workerIdle[w] += d
+	s.mu.Unlock()
+}
+
+// growWorkers must be called with mu held.
+func (s *Stats) growWorkers(w int) {
+	for len(s.workerRounds) <= w {
+		s.workerRounds = append(s.workerRounds, 0)
+	}
+	for len(s.workerIdle) <= w {
+		s.workerIdle = append(s.workerIdle, 0)
+	}
+}
+
+// WorkerRounds returns a copy of the per-worker evaluation-round counts.
+func (s *Stats) WorkerRounds() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int64(nil), s.workerRounds...)
+}
+
+// WorkerIdle returns a copy of the per-worker idle times.
+func (s *Stats) WorkerIdle() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration(nil), s.workerIdle...)
+}
+
+// TotalIdle returns the idle time summed over all workers.
+func (s *Stats) TotalIdle() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total time.Duration
+	for _, d := range s.workerIdle {
+		total += d
+	}
+	return total
+}
+
+// FinishRun sets the mode label and the mode-neutral Rounds depth: the
+// superstep count for BSP runs, the deepest per-worker round count for async
+// runs. Engines call it once when a run completes.
+func (s *Stats) FinishRun(mode string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Mode = mode
+	if s.Supersteps > 0 {
+		s.Rounds = s.Supersteps
+		return
+	}
+	for _, r := range s.workerRounds {
+		if int(r) > s.Rounds {
+			s.Rounds = int(r)
+		}
+	}
+}
+
 // MBShipped returns the total communication volume in megabytes.
 func (s *Stats) MBShipped() float64 { return float64(s.BytesSent) / (1024 * 1024) }
 
 // String formats the stats as a one-line report.
 func (s *Stats) String() string {
-	return fmt.Sprintf("%s/%s n=%d: %v, %d supersteps, %d msgs, %.3f MB",
-		s.Engine, s.Query, s.Workers, s.Elapsed.Round(time.Microsecond),
-		s.Supersteps, s.MessagesSent, s.MBShipped())
+	mode := ""
+	if s.Mode != "" && s.Mode != "bsp" {
+		mode = "/" + s.Mode
+	}
+	rounds := fmt.Sprintf("%d supersteps", s.Supersteps)
+	if s.Supersteps == 0 && s.Rounds > 0 {
+		rounds = fmt.Sprintf("%d async rounds", s.Rounds)
+	}
+	return fmt.Sprintf("%s%s/%s n=%d: %v, %s, %d msgs, %.3f MB",
+		s.Engine, mode, s.Query, s.Workers, s.Elapsed.Round(time.Microsecond),
+		rounds, s.MessagesSent, s.MBShipped())
 }
 
 // Timer measures elapsed wall-clock time for a run.

@@ -1,0 +1,124 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+
+	"grape/internal/metrics"
+)
+
+func TestAsyncCommImmediateVisibility(t *testing.T) {
+	c := mustCluster(t, 2, nil)
+	m := c.NewAsyncComm(nil)
+	if !m.Async() {
+		t.Fatalf("NewAsyncComm should report Async()")
+	}
+	m.Send(0, 1, "upd", []byte("x"))
+	// No superstep boundary, no Deliver barrier: the envelope is already
+	// drainable and the destination was woken.
+	select {
+	case <-m.Wake(1):
+	default:
+		t.Fatalf("Send should signal the destination's wake channel")
+	}
+	envs := m.Deliver(1)
+	if len(envs) != 1 || envs[0].Tag != "upd" {
+		t.Fatalf("Deliver(1) = %+v, want the sent envelope", envs)
+	}
+	if s, r := m.Sent(), m.Received(); s != 1 || r != 1 {
+		t.Fatalf("counters = sent %d received %d, want 1/1", s, r)
+	}
+}
+
+func TestAsyncCommWakeCoalesces(t *testing.T) {
+	c := mustCluster(t, 2, nil)
+	m := c.NewAsyncComm(nil)
+	for i := 0; i < 5; i++ {
+		m.Send(0, 1, "upd", nil)
+	}
+	// Multiple sends coalesce into one pending wake-up; the drain picks up
+	// the whole backlog at once.
+	<-m.Wake(1)
+	select {
+	case <-m.Wake(1):
+		t.Fatalf("wake channel should coalesce signals")
+	default:
+	}
+	if got := len(m.Deliver(1)); got != 5 {
+		t.Fatalf("Deliver(1) = %d envelopes, want 5", got)
+	}
+	if s, r := m.Sent(), m.Received(); s != 5 || r != 5 {
+		t.Fatalf("counters = sent %d received %d, want 5/5", s, r)
+	}
+}
+
+func TestAsyncCommCountsExcludeCoordinator(t *testing.T) {
+	c := mustCluster(t, 2, nil)
+	m := c.NewAsyncComm(nil)
+	m.Send(0, Coordinator, "ctl", nil)
+	if s := m.Sent(); s != 0 {
+		t.Fatalf("coordinator-bound envelopes must not count as worker traffic (sent=%d)", s)
+	}
+	if m.Wake(Coordinator) != nil {
+		t.Fatalf("coordinator has no wake channel")
+	}
+	m.Deliver(Coordinator)
+	if r := m.Received(); r != 0 {
+		t.Fatalf("coordinator drains must not count (received=%d)", r)
+	}
+}
+
+func TestBSPCommHasNoWake(t *testing.T) {
+	c := mustCluster(t, 2, nil)
+	m := c.NewComm(nil)
+	if m.Async() || m.Wake(0) != nil {
+		t.Fatalf("BSP communicators must not expose async machinery")
+	}
+}
+
+// Received never exceeds Sent even under concurrent senders and drainers, so
+// sent == received is a sound quiescence signal.
+func TestAsyncCommCounterInvariant(t *testing.T) {
+	c := mustCluster(t, 4, nil)
+	m := c.NewAsyncComm(&metrics.Stats{})
+	const perSender = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				m.Send(w, 3, "upd", []byte{byte(i)})
+			}
+		}(w)
+	}
+	var drained int
+	var drainWG sync.WaitGroup
+	drainWG.Add(1)
+	go func() {
+		defer drainWG.Done()
+		for {
+			drained += len(m.Deliver(3))
+			if s, r := m.Sent(), m.Received(); r > s {
+				t.Errorf("received %d > sent %d", r, s)
+				return
+			}
+			select {
+			case <-stop:
+				drained += len(m.Deliver(3))
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	drainWG.Wait()
+	if drained != 3*perSender {
+		t.Fatalf("drained %d envelopes, want %d", drained, 3*perSender)
+	}
+	if s, r := m.Sent(), m.Received(); s != r || s != 3*perSender {
+		t.Fatalf("final counters sent %d received %d, want both %d", s, r, 3*perSender)
+	}
+}

@@ -26,10 +26,54 @@ type KeyValue struct {
 	Value []byte
 }
 
-// EncodeUpdates serializes a batch of updates with a compact fixed-layout
-// binary encoding. The encoded size is what the communication-cost
-// experiments (Figure 8) measure.
+// Update-batch wire formats. The original fixed-layout format starts with
+// the batch length as a uint32; the compact varint format starts with a
+// 4-byte sentinel no fixed-layout batch can produce (a batch of 2^32-1
+// updates is impossible to materialize), followed by a format byte. Decode
+// accepts both, so mixed-version peers and recorded payloads keep working.
+const (
+	// varintSentinel marks a headered batch. It reads as an impossible batch
+	// length under the legacy fixed layout.
+	varintSentinel = uint32(0xFFFFFFFF)
+	// formatVarint identifies the varint/delta update encoding.
+	formatVarint = byte(0x01)
+	// varintHeaderLen is the sentinel plus the format byte.
+	varintHeaderLen = 5
+)
+
+// EncodeUpdates serializes a batch of updates with the varint/delta
+// encoding: Vertex and Key are zigzag-varint deltas against the previous
+// update, which collapses to one or two bytes per field on the
+// sorted-by-vertex batches the engine routes (Context.takeDirty emits
+// batches in ascending vertex order). The encoded size is what the
+// communication-cost experiments (Figure 8) measure.
 func EncodeUpdates(ups []Update) []byte {
+	size := varintHeaderLen + binary.MaxVarintLen64
+	for _, u := range ups {
+		size += 2*binary.MaxVarintLen64 + 8 + binary.MaxVarintLen64 + len(u.Data)
+	}
+	buf := make([]byte, varintHeaderLen, size)
+	binary.LittleEndian.PutUint32(buf, varintSentinel)
+	buf[4] = formatVarint
+	buf = binary.AppendUvarint(buf, uint64(len(ups)))
+	var vb [8]byte
+	prevV, prevK := int64(0), int64(0)
+	for _, u := range ups {
+		buf = binary.AppendVarint(buf, u.Vertex-prevV)
+		buf = binary.AppendVarint(buf, u.Key-prevK)
+		prevV, prevK = u.Vertex, u.Key
+		binary.LittleEndian.PutUint64(vb[:], math.Float64bits(u.Value))
+		buf = append(buf, vb[:]...)
+		buf = binary.AppendUvarint(buf, uint64(len(u.Data)))
+		buf = append(buf, u.Data...)
+	}
+	return buf
+}
+
+// encodeUpdatesFixed serializes a batch with the legacy fixed-layout
+// encoding. It is kept so the backward-compatibility path of DecodeUpdates
+// stays tested (and as the ablation point for the codec optimization).
+func encodeUpdatesFixed(ups []Update) []byte {
 	size := 4
 	for _, u := range ups {
 		size += 8 + 8 + 8 + 4 + len(u.Data)
@@ -53,13 +97,78 @@ func EncodeUpdates(ups []Update) []byte {
 	return buf
 }
 
-// DecodeUpdates parses a batch produced by EncodeUpdates.
+// DecodeUpdates parses a batch produced by EncodeUpdates, current or legacy:
+// headered batches dispatch on their format byte, everything else decodes as
+// the fixed layout.
 func DecodeUpdates(buf []byte) ([]Update, error) {
+	if len(buf) >= varintHeaderLen && binary.LittleEndian.Uint32(buf) == varintSentinel {
+		if f := buf[4]; f != formatVarint {
+			return nil, fmt.Errorf("mpi: unknown update batch format 0x%02x", f)
+		}
+		return decodeUpdatesVarint(buf[varintHeaderLen:])
+	}
+	return decodeUpdatesFixed(buf)
+}
+
+func decodeUpdatesVarint(buf []byte) ([]Update, error) {
+	n, off := binary.Uvarint(buf)
+	if off <= 0 {
+		return nil, fmt.Errorf("mpi: bad update batch length")
+	}
+	// Every update takes at least 11 bytes (two 1-byte deltas, the value, a
+	// 1-byte data length), which bounds n for truncated buffers before any
+	// allocation happens.
+	if n > uint64(len(buf)-off)/11+1 {
+		return nil, fmt.Errorf("mpi: update batch length %d exceeds payload", n)
+	}
+	ups := make([]Update, 0, n)
+	prevV, prevK := int64(0), int64(0)
+	for i := uint64(0); i < n; i++ {
+		dv, w := binary.Varint(buf[off:])
+		if w <= 0 {
+			return nil, fmt.Errorf("mpi: truncated update %d of %d", i, n)
+		}
+		off += w
+		dk, w := binary.Varint(buf[off:])
+		if w <= 0 {
+			return nil, fmt.Errorf("mpi: truncated update %d of %d", i, n)
+		}
+		off += w
+		if off+8 > len(buf) {
+			return nil, fmt.Errorf("mpi: truncated update %d of %d", i, n)
+		}
+		var u Update
+		u.Vertex = prevV + dv
+		u.Key = prevK + dk
+		prevV, prevK = u.Vertex, u.Key
+		u.Value = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		dl, w := binary.Uvarint(buf[off:])
+		if w <= 0 {
+			return nil, fmt.Errorf("mpi: truncated update payload %d of %d", i, n)
+		}
+		off += w
+		if dl > uint64(len(buf)-off) {
+			return nil, fmt.Errorf("mpi: truncated update payload %d of %d", i, n)
+		}
+		if dl > 0 {
+			u.Data = append([]byte(nil), buf[off:off+int(dl)]...)
+		}
+		off += int(dl)
+		ups = append(ups, u)
+	}
+	return ups, nil
+}
+
+func decodeUpdatesFixed(buf []byte) ([]Update, error) {
 	if len(buf) < 4 {
 		return nil, fmt.Errorf("mpi: short update batch (%d bytes)", len(buf))
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
 	off := 4
+	if n > (len(buf)-off)/28+1 {
+		return nil, fmt.Errorf("mpi: update batch length %d exceeds payload", n)
+	}
 	ups := make([]Update, 0, n)
 	for i := 0; i < n; i++ {
 		if off+28 > len(buf) {
@@ -74,7 +183,7 @@ func DecodeUpdates(buf []byte) ([]Update, error) {
 		off += 8
 		dataLen := int(binary.LittleEndian.Uint32(buf[off:]))
 		off += 4
-		if off+dataLen > len(buf) {
+		if dataLen < 0 || dataLen > len(buf)-off {
 			return nil, fmt.Errorf("mpi: truncated update payload %d of %d", i, n)
 		}
 		if dataLen > 0 {

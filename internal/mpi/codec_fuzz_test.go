@@ -1,0 +1,128 @@
+package mpi
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func updatesEqual(a, b []Update) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Vertex != b[i].Vertex || a[i].Key != b[i].Key {
+			return false
+		}
+		av, bv := a[i].Value, b[i].Value
+		if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+			return false
+		}
+		if !bytes.Equal(a[i].Data, b[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzUpdateCodec feeds arbitrary bytes through DecodeUpdates: decoding must
+// never panic, and whatever decodes successfully must round-trip through the
+// current encoder. The seed corpus covers both wire formats.
+func FuzzUpdateCodec(f *testing.F) {
+	seeds := [][]Update{
+		nil,
+		{{Vertex: 1, Key: 0, Value: 3.5}},
+		{{Vertex: -9, Key: 7, Value: math.Inf(1), Data: []byte("payload")}},
+		{{Vertex: 5, Key: 1, Value: 0}, {Vertex: 6, Key: 1, Value: -2}, {Vertex: 100, Key: -3, Value: 7, Data: []byte{0, 1, 2}}},
+	}
+	for _, ups := range seeds {
+		f.Add(EncodeUpdates(ups))
+		f.Add(encodeUpdatesFixed(ups))
+	}
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x02})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ups, err := DecodeUpdates(data)
+		if err != nil {
+			return
+		}
+		back, err := DecodeUpdates(EncodeUpdates(ups))
+		if err != nil {
+			t.Fatalf("re-decoding a decoded batch failed: %v", err)
+		}
+		if !updatesEqual(ups, back) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, ups)
+		}
+	})
+}
+
+// TestUpdateCodecRandomRoundTrip drives the varint codec with randomized
+// sorted-by-vertex batches (the shape the engine routes) and unsorted ones.
+func TestUpdateCodecRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := rng.Intn(40)
+		ups := make([]Update, n)
+		v := int64(-50)
+		for i := range ups {
+			if iter%2 == 0 {
+				v += int64(rng.Intn(1000)) // sorted by vertex
+			} else {
+				v = rng.Int63n(1<<40) - (1 << 39) // arbitrary order
+			}
+			ups[i] = Update{
+				Vertex: v,
+				Key:    int64(rng.Intn(7)) - 3,
+				Value:  rng.NormFloat64() * 1e6,
+			}
+			if rng.Intn(3) == 0 {
+				data := make([]byte, rng.Intn(20))
+				rng.Read(data)
+				ups[i].Data = data
+			}
+		}
+		back, err := DecodeUpdates(EncodeUpdates(ups))
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if !updatesEqual(ups, back) {
+			t.Fatalf("iter %d: round trip mismatch", iter)
+		}
+	}
+}
+
+// TestUpdateCodecLegacyCompat proves DecodeUpdates still accepts the
+// fixed-layout batches of the previous format.
+func TestUpdateCodecLegacyCompat(t *testing.T) {
+	ups := []Update{
+		{Vertex: 255, Key: -1, Value: 2.5, Data: []byte("legacy")},
+		{Vertex: 2, Key: 9, Value: math.Inf(-1)},
+	}
+	back, err := DecodeUpdates(encodeUpdatesFixed(ups))
+	if err != nil {
+		t.Fatalf("decoding legacy batch: %v", err)
+	}
+	if !updatesEqual(ups, back) {
+		t.Fatalf("legacy round trip mismatch: %+v vs %+v", back, ups)
+	}
+}
+
+// TestUpdateCodecCompression: sorted batches must encode substantially
+// smaller than the fixed layout — that is the point of the varint format.
+func TestUpdateCodecCompression(t *testing.T) {
+	ups := make([]Update, 500)
+	for i := range ups {
+		ups[i] = Update{Vertex: int64(1000 + i), Key: 0, Value: float64(i)}
+	}
+	varint, fixed := len(EncodeUpdates(ups)), len(encodeUpdatesFixed(ups))
+	if varint*2 >= fixed {
+		t.Fatalf("varint encoding %dB not < half of fixed %dB", varint, fixed)
+	}
+}
+
+func TestUpdateCodecUnknownFormat(t *testing.T) {
+	if _, err := DecodeUpdates([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x42, 1, 2, 3}); err == nil {
+		t.Fatalf("unknown format byte should fail to decode")
+	}
+}

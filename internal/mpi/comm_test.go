@@ -8,7 +8,7 @@ import (
 )
 
 func TestCommIsolation(t *testing.T) {
-	c := NewCluster(2, nil)
+	c := mustCluster(t, 2, nil)
 	a := c.NewComm(nil)
 	b := c.NewComm(nil)
 	if a.Query() == b.Query() {
@@ -39,7 +39,7 @@ func TestCommIsolation(t *testing.T) {
 }
 
 func TestCommPerQueryMetering(t *testing.T) {
-	c := NewCluster(2, nil)
+	c := mustCluster(t, 2, nil)
 	sa, sb := &metrics.Stats{}, &metrics.Stats{}
 	a := c.NewComm(sa)
 	b := c.NewComm(sb)
@@ -57,7 +57,7 @@ func TestCommPerQueryMetering(t *testing.T) {
 func TestClusterDefaultCommCompat(t *testing.T) {
 	// The Cluster-level Send/Deliver must not observe per-query traffic.
 	stats := &metrics.Stats{}
-	c := NewCluster(2, stats)
+	c := mustCluster(t, 2, stats)
 	q := c.NewComm(nil)
 	q.Send(0, 1, "upd", []byte("query-scoped"))
 	if got := c.PendingFor(1); got != 0 {
@@ -73,7 +73,7 @@ func TestClusterDefaultCommCompat(t *testing.T) {
 }
 
 func TestLimitParallelism(t *testing.T) {
-	c := NewCluster(8, nil)
+	c := mustCluster(t, 8, nil)
 	c.LimitParallelism(2)
 	var mu sync.Mutex
 	running, peak := 0, 0
@@ -110,7 +110,7 @@ func TestLimitParallelism(t *testing.T) {
 }
 
 func TestBarrierForCustomLiveness(t *testing.T) {
-	c := NewCluster(4, nil)
+	c := mustCluster(t, 4, nil)
 	var mu sync.Mutex
 	ran := map[int]bool{}
 	rank, err := c.BarrierFor(func(r int) bool { return r != 3 }, 0, func(r int) error {

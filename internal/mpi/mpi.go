@@ -5,9 +5,16 @@
 // message (count and serialized bytes), which is exactly the communication
 // cost the paper reports in Figure 8.
 //
-// The transport is synchronous in the BSP sense: messages sent during
+// The transport supports two delivery disciplines. A communicator created
+// with NewComm is synchronous in the BSP sense: messages sent during
 // superstep r are buffered and only become visible to their destinations
-// when the engine calls Deliver at the superstep boundary.
+// when the engine calls Deliver at the superstep boundary. A communicator
+// created with NewAsyncComm gives adaptive asynchronous semantics instead:
+// every worker has a per-destination inbox with immediate visibility — an
+// envelope can be drained by its destination the moment Send returns — plus
+// a wake signal and sent/received counters, which is what the engine's
+// idle-consensus termination detection (all workers idle and sent ==
+// received) is built on.
 //
 // Mailboxes are scoped to a query: a Cluster owns only the membership state
 // (worker count, liveness, compute slots), while envelopes travel through
@@ -61,14 +68,15 @@ type Cluster struct {
 }
 
 // NewCluster creates a cluster with n workers. Stats may be nil, in which
-// case communication on the default communicator is not metered.
-func NewCluster(n int, stats *metrics.Stats) *Cluster {
+// case communication on the default communicator is not metered. It returns
+// an error for non-positive worker counts.
+func NewCluster(n int, stats *metrics.Stats) (*Cluster, error) {
 	if n <= 0 {
-		panic(fmt.Sprintf("mpi: invalid worker count %d", n))
+		return nil, fmt.Errorf("mpi: invalid worker count %d", n)
 	}
 	c := &Cluster{n: n, crashed: make([]bool, n)}
 	c.def = c.NewComm(stats)
-	return c
+	return c, nil
 }
 
 // NumWorkers returns the number of workers in the cluster.
@@ -89,9 +97,15 @@ func (c *Cluster) LimitParallelism(k int) {
 }
 
 // Comm is a query-scoped communicator: a private set of mailboxes over the
-// cluster's workers, identified by a unique query id. One query's BSP
-// messages never mix with another's, and each communicator meters its own
-// traffic into its own Stats.
+// cluster's workers, identified by a unique query id. One query's messages
+// never mix with another's, and each communicator meters its own traffic
+// into its own Stats.
+//
+// A BSP communicator (NewComm) buffers envelopes until the engine drains
+// them at the superstep boundary. An async communicator (NewAsyncComm)
+// additionally signals the destination's wake channel on every Send and
+// counts worker-bound envelopes in and out, so destinations can drain their
+// inboxes continuously and a coordinator can detect quiescence.
 type Comm struct {
 	cluster *Cluster
 	query   uint64
@@ -99,10 +113,16 @@ type Comm struct {
 
 	mu      sync.Mutex
 	pending [][]Envelope // indexed by destination rank; n is the coordinator slot
+
+	async    bool
+	wake     []chan struct{} // per worker rank, buffered(1); nil for BSP comms
+	sent     atomic.Int64    // worker-bound envelopes queued
+	received atomic.Int64    // worker-bound envelopes drained
 }
 
-// NewComm creates a communicator with a fresh query id over the cluster's
-// workers. Stats may be nil, in which case the communicator is not metered.
+// NewComm creates a BSP communicator with a fresh query id over the
+// cluster's workers. Stats may be nil, in which case the communicator is not
+// metered.
 func (c *Cluster) NewComm(stats *metrics.Stats) *Comm {
 	return &Comm{
 		cluster: c,
@@ -112,34 +132,89 @@ func (c *Cluster) NewComm(stats *metrics.Stats) *Comm {
 	}
 }
 
+// NewAsyncComm creates a communicator with asynchronous delivery semantics:
+// envelopes are visible to Deliver the moment Send returns, each Send pokes
+// the destination's Wake channel, and worker-bound traffic is counted so the
+// engine can detect termination by idle consensus (all workers idle and
+// Sent() == Received()).
+func (c *Cluster) NewAsyncComm(stats *metrics.Stats) *Comm {
+	m := c.NewComm(stats)
+	m.async = true
+	m.wake = make([]chan struct{}, c.n)
+	for i := range m.wake {
+		m.wake[i] = make(chan struct{}, 1)
+	}
+	return m
+}
+
 // Query returns the communicator's query id.
 func (m *Comm) Query() uint64 { return m.query }
+
+// Async reports whether the communicator delivers asynchronously.
+func (m *Comm) Async() bool { return m.async }
 
 // Send queues an envelope from rank from to rank to (use Coordinator for P0).
 // Messages between distinct workers, and between workers and the
 // coordinator, are metered; a worker sending to itself is local computation
-// and is not counted, matching how the paper accounts communication.
+// and is not counted, matching how the paper accounts communication. On an
+// async communicator the envelope is immediately visible to the destination,
+// whose wake channel is signaled.
 func (m *Comm) Send(from, to int, tag string, payload []byte) {
 	slot := m.cluster.slot(to)
+	counted := m.async && to != Coordinator
 	m.mu.Lock()
+	if counted {
+		// Count while holding the inbox lock, before the envelope becomes
+		// drainable, so Received can never exceed Sent.
+		m.sent.Add(1)
+	}
 	m.pending[slot] = append(m.pending[slot],
 		Envelope{From: from, To: to, Query: m.query, Tag: tag, Payload: payload})
 	m.mu.Unlock()
+	if counted {
+		select {
+		case m.wake[to] <- struct{}{}:
+		default: // a wake-up is already pending
+		}
+	}
 	if m.stats != nil && from != to {
 		m.stats.AddMessage(len(payload))
 	}
 }
 
-// Deliver returns and clears all envelopes queued for the given rank. The
-// engine calls it at superstep boundaries, which gives BSP semantics.
+// Deliver returns and clears all envelopes queued for the given rank. A BSP
+// engine calls it at superstep boundaries; an async worker calls it whenever
+// it is ready for more work (drained envelopes count toward Received).
 func (m *Comm) Deliver(rank int) []Envelope {
 	slot := m.cluster.slot(rank)
 	m.mu.Lock()
 	out := m.pending[slot]
 	m.pending[slot] = nil
+	if m.async && rank != Coordinator && len(out) > 0 {
+		m.received.Add(int64(len(out)))
+	}
 	m.mu.Unlock()
 	return out
 }
+
+// Wake returns the wake channel for the given worker rank: a buffered(1)
+// channel signaled whenever an envelope is queued for the rank on an async
+// communicator. It returns nil on BSP communicators.
+func (m *Comm) Wake(rank int) <-chan struct{} {
+	if m.wake == nil || rank == Coordinator {
+		return nil
+	}
+	return m.wake[m.cluster.slot(rank)]
+}
+
+// Sent returns how many worker-bound envelopes have been queued on an async
+// communicator.
+func (m *Comm) Sent() int64 { return m.sent.Load() }
+
+// Received returns how many worker-bound envelopes have been drained from an
+// async communicator. Received never exceeds Sent, and Sent == Received
+// means no envelope is in flight.
+func (m *Comm) Received() int64 { return m.received.Load() }
 
 // PendingFor reports how many envelopes are queued for the given rank without
 // consuming them.
@@ -182,6 +257,22 @@ func (c *Cluster) slot(rank int) int {
 		panic(fmt.Sprintf("mpi: invalid rank %d", rank))
 	}
 	return rank
+}
+
+// AcquireSlot claims one of the cluster-wide compute slots installed by
+// LimitParallelism and returns the function releasing it. Long-running
+// asynchronous workers call it around each local-computation burst so the m
+// virtual workers still map onto n physical ones even without barriers. When
+// no limit is installed it returns a no-op release.
+func (c *Cluster) AcquireSlot() (release func()) {
+	c.mu.Lock()
+	slots := c.slots
+	c.mu.Unlock()
+	if slots == nil {
+		return func() {}
+	}
+	slots <- struct{}{}
+	return func() { <-slots }
 }
 
 // Crash marks a worker as failed. Subsequent Alive checks return false until

@@ -13,7 +13,7 @@ import (
 
 func TestSendDeliver(t *testing.T) {
 	stats := &metrics.Stats{}
-	c := NewCluster(3, stats)
+	c := mustCluster(t, 3, stats)
 	if c.NumWorkers() != 3 {
 		t.Fatalf("NumWorkers = %d", c.NumWorkers())
 	}
@@ -43,7 +43,7 @@ func TestSendDeliver(t *testing.T) {
 }
 
 func TestNilStatsAndInvalidRank(t *testing.T) {
-	c := NewCluster(2, nil)
+	c := mustCluster(t, 2, nil)
 	c.Send(0, 1, "x", nil) // must not panic with nil stats
 	defer func() {
 		if recover() == nil {
@@ -53,17 +53,26 @@ func TestNilStatsAndInvalidRank(t *testing.T) {
 	c.Send(0, 5, "x", nil)
 }
 
-func TestNewClusterPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("NewCluster(0) should panic")
+// mustCluster fails the test instead of returning NewCluster's error.
+func mustCluster(t *testing.T, n int, stats *metrics.Stats) *Cluster {
+	t.Helper()
+	c, err := NewCluster(n, stats)
+	if err != nil {
+		t.Fatalf("NewCluster(%d): %v", n, err)
+	}
+	return c
+}
+
+func TestNewClusterRejectsInvalidCounts(t *testing.T) {
+	for _, n := range []int{0, -1, -7} {
+		if c, err := NewCluster(n, nil); err == nil || c != nil {
+			t.Fatalf("NewCluster(%d) = %v, %v; want nil cluster and error", n, c, err)
 		}
-	}()
-	NewCluster(0, nil)
+	}
 }
 
 func TestCrashRecoverAlive(t *testing.T) {
-	c := NewCluster(2, nil)
+	c := mustCluster(t, 2, nil)
 	if !c.Alive(0) || !c.Alive(1) {
 		t.Fatalf("workers should start alive")
 	}
@@ -82,7 +91,7 @@ func TestCrashRecoverAlive(t *testing.T) {
 }
 
 func TestBarrierRunsAllLiveWorkers(t *testing.T) {
-	c := NewCluster(4, nil)
+	c := mustCluster(t, 4, nil)
 	c.Crash(2)
 	var mu sync.Mutex
 	ran := map[int]bool{}
@@ -101,7 +110,7 @@ func TestBarrierRunsAllLiveWorkers(t *testing.T) {
 }
 
 func TestBarrierReportsError(t *testing.T) {
-	c := NewCluster(3, nil)
+	c := mustCluster(t, 3, nil)
 	boom := errors.New("boom")
 	rank, err := c.Barrier(0, func(r int) error {
 		if r == 1 {

@@ -1,0 +1,227 @@
+package pie
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/graphgen"
+)
+
+// Randomized cross-mode equivalence: for every async-capable program the
+// asynchronous plane must produce the same answer as BSP on generated
+// graphs, across worker counts, under concurrent sessions and across
+// ApplyUpdates epochs. SSSP and CC are compared exactly (min-semilattice
+// fixpoints are schedule-independent); PageRank up to its convergence
+// tolerance (termination is tolerance-based, so different schedules stop at
+// slightly different approximations of the same fixpoint).
+
+func randomGraph(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	switch seed % 3 {
+	case 0:
+		return graphgen.RoadNetwork(6+rng.Intn(6), 6+rng.Intn(6), graphgen.Config{Seed: seed})
+	case 1:
+		return graphgen.SocialNetwork(150+rng.Intn(150), 3+rng.Intn(3), graphgen.Config{Seed: seed})
+	default:
+		return graphgen.Uniform(120+rng.Intn(120), 400+rng.Intn(300), graphgen.Config{Seed: seed})
+	}
+}
+
+func TestAsyncSSSPMatchesBSPRandomized(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5, 6} {
+		g := randomGraph(seed)
+		src := g.VertexAt(int(seed*7) % g.NumVertices())
+		workers := 2 + int(seed)%4
+		s, err := core.NewSession(g, core.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bsp, err := s.RunMode(src, SSSP{}, core.ModeBSP)
+		if err != nil {
+			t.Fatalf("seed=%d bsp: %v", seed, err)
+		}
+		async, err := s.RunMode(src, SSSP{}, core.ModeAsync)
+		if err != nil {
+			t.Fatalf("seed=%d async: %v", seed, err)
+		}
+		s.Close()
+		b := bsp.Output.(map[graph.VertexID]float64)
+		a := async.Output.(map[graph.VertexID]float64)
+		if len(a) != len(b) {
+			t.Fatalf("seed=%d: result sizes %d vs %d", seed, len(a), len(b))
+		}
+		for v, d := range b {
+			if a[v] != d {
+				t.Fatalf("seed=%d workers=%d: dist(%d) async %v != bsp %v", seed, workers, v, a[v], d)
+			}
+		}
+	}
+}
+
+func TestAsyncCCMatchesBSPRandomized(t *testing.T) {
+	for _, seed := range []int64{11, 12, 13, 14} {
+		g := randomGraph(seed)
+		workers := 2 + int(seed)%3
+		s, err := core.NewSession(g, core.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bsp, err := s.RunMode(nil, CC{}, core.ModeBSP)
+		if err != nil {
+			t.Fatalf("seed=%d bsp: %v", seed, err)
+		}
+		async, err := s.RunMode(nil, CC{}, core.ModeAsync)
+		if err != nil {
+			t.Fatalf("seed=%d async: %v", seed, err)
+		}
+		s.Close()
+		b := bsp.Output.(map[graph.VertexID]graph.VertexID)
+		a := async.Output.(map[graph.VertexID]graph.VertexID)
+		if len(a) != len(b) {
+			t.Fatalf("seed=%d: result sizes %d vs %d", seed, len(a), len(b))
+		}
+		for v, cid := range b {
+			if a[v] != cid {
+				t.Fatalf("seed=%d workers=%d: cid(%d) async %v != bsp %v", seed, workers, v, a[v], cid)
+			}
+		}
+	}
+}
+
+func TestAsyncPageRankMatchesBSPWithinTolerance(t *testing.T) {
+	for _, seed := range []int64{21, 22} {
+		g := randomGraph(seed)
+		s, err := core.NewSession(g, core.Options{Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Let both planes iterate to genuine convergence. The round cap must
+		// be out of reach: a capped fragment freezes mid-run in whatever
+		// state its schedule produced (async fragments sweep more often than
+		// BSP's one-per-superstep, so they hit a tight cap earlier), while a
+		// tight tolerance makes both planes quiesce only near the unique
+		// fixpoint of the rank equations.
+		q := PageRankQuery{Damping: 0.85, Tolerance: 1e-8, MaxRounds: 1 << 20}
+		bsp, err := s.RunMode(q, PageRank{}, core.ModeBSP)
+		if err != nil {
+			t.Fatalf("seed=%d bsp: %v", seed, err)
+		}
+		async, err := s.RunMode(q, PageRank{}, core.ModeAsync)
+		if err != nil {
+			t.Fatalf("seed=%d async: %v", seed, err)
+		}
+		s.Close()
+		b := bsp.Output.(map[graph.VertexID]float64)
+		a := async.Output.(map[graph.VertexID]float64)
+		if len(a) != len(b) {
+			t.Fatalf("seed=%d: result sizes %d vs %d", seed, len(a), len(b))
+		}
+		// Ranks are normalized to sum |V|; both schedules now approximate
+		// the same fixpoint to ~1e-8, so per-vertex ranks agree tightly.
+		const tol = 1e-3
+		for v, r := range b {
+			if math.Abs(a[v]-r) > tol*math.Max(1, r) {
+				t.Fatalf("seed=%d: rank(%d) async %v vs bsp %v beyond tolerance", seed, v, a[v], r)
+			}
+		}
+	}
+}
+
+// TestBSPOnlyProgramsRejectAsync: Sim, SubIso and CF have non-idempotent or
+// staged message disciplines and must be refused by the async plane.
+func TestBSPOnlyProgramsRejectAsync(t *testing.T) {
+	g := graphgen.SocialNetwork(80, 3, graphgen.Config{Seed: 9, Labels: 2})
+	pattern := graphgen.Pattern(g, 2, 1, 33)
+	s, err := core.NewSession(g, core.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, tc := range []struct {
+		name string
+		prog core.Program
+		q    core.Query
+	}{
+		{"Sim", Sim{}, pattern},
+		{"SubIso", SubIso{MaxMatches: 5}, pattern},
+		{"CF", CF{}, DefaultCFQuery(0.9)},
+	} {
+		if _, err := s.RunMode(tc.q, tc.prog, core.ModeAsync); !errors.Is(err, core.ErrAsyncUnsupported) {
+			t.Fatalf("%s: err = %v, want ErrAsyncUnsupported", tc.name, err)
+		}
+	}
+}
+
+// TestAsyncEquivalenceUnderConcurrencyAndEpochs interleaves concurrent
+// BSP/async SSSP queries with monotone graph-update batches; after every
+// epoch both planes must agree exactly.
+func TestAsyncEquivalenceUnderConcurrencyAndEpochs(t *testing.T) {
+	g := graphgen.RoadNetwork(8, 8, graphgen.Config{Seed: 31})
+	s, err := core.NewSession(g, core.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(77))
+	src := g.VertexAt(0)
+
+	for epoch := 0; epoch < 4; epoch++ {
+		if epoch > 0 {
+			var batch []graph.Update
+			for i := 0; i < 5; i++ {
+				u := g.VertexAt(rng.Intn(g.NumVertices()))
+				v := g.VertexAt(rng.Intn(g.NumVertices()))
+				if u != v {
+					batch = append(batch, graph.AddEdgeUpdate(u, v, 1+rng.Float64(), ""))
+				}
+			}
+			if _, err := s.ApplyUpdates(batch); err != nil {
+				t.Fatalf("epoch %d: %v", epoch, err)
+			}
+		}
+		type answer struct {
+			mode core.ExecMode
+			dist map[graph.VertexID]float64
+		}
+		results := make([]answer, 6)
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(results))
+		for i := range results {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				mode := core.ModeBSP
+				if i%2 == 1 {
+					mode = core.ModeAsync
+				}
+				res, err := s.RunMode(src, SSSP{}, mode)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				results[i] = answer{mode: mode, dist: res.Output.(map[graph.VertexID]float64)}
+			}(i)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		want := results[0].dist
+		for i, r := range results[1:] {
+			if len(r.dist) != len(want) {
+				t.Fatalf("epoch %d query %d (%v): %d distances, want %d", epoch, i+1, r.mode, len(r.dist), len(want))
+			}
+			for v, d := range want {
+				if r.dist[v] != d {
+					t.Fatalf("epoch %d query %d (%v): dist(%d) = %v, want %v", epoch, i+1, r.mode, v, r.dist[v], d)
+				}
+			}
+		}
+	}
+}

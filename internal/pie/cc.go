@@ -155,3 +155,8 @@ func (CC) Assemble(q core.Query, ctxs []*core.Context) (any, error) {
 func (CC) Aggregate(existing, incoming mpi.Update) mpi.Update {
 	return core.MinAggregate(existing, incoming)
 }
+
+// AsyncSafe implements core.AsyncCapable: component identifiers form a
+// min-semilattice, so asynchronous delivery order cannot change the labels
+// the fixpoint converges to.
+func (CC) AsyncSafe() bool { return true }

@@ -94,56 +94,71 @@ func (PageRank) IncEval(ctx *core.Context, msgs []mpi.Update) error {
 	return nil
 }
 
-// iterate performs one local power-iteration sweep, folding in the rank mass
-// received for in-border vertices and shipping the mass local vertices push
-// toward out-border copies.
+// iterate runs power-iteration sweeps to local convergence — the PIE way: a
+// full sequential algorithm over the fragment given the currently known
+// cross-fragment mass, not a single step of it. Sweeping to the local
+// fixpoint is what makes the final answer schedule-independent: at global
+// quiescence every fragment is converged with respect to the final incast,
+// which pins the unique fixpoint of the coupled rank equations regardless
+// of how (BSP lockstep, async batches) the exchanges were paced. The mass
+// flowing toward out-border copies is then shipped; SetVar's change
+// detection stops the exchange once the masses stabilize.
 func (PageRank) iterate(ctx *core.Context, q PageRankQuery, st *prState) {
 	g := ctx.Fragment.Graph
 	st.rounds++
+	// Cap the local solve defensively; the tolerance is the real stopper.
+	const maxLocalSweeps = 100000
+	// next and outMass are reused across sweeps (cleared, then swapped with
+	// st.rank) so the convergence loop does not allocate per sweep.
 	next := make(map[graph.VertexID]float64, len(st.rank))
-	for i := 0; i < g.NumVertices(); i++ {
-		next[g.VertexAt(i)] = 1 - q.Damping
-	}
 	outMass := make(map[graph.VertexID]float64)
-	for i := 0; i < g.NumVertices(); i++ {
-		v := g.VertexAt(i)
-		if !ctx.Fragment.Owns(v) {
-			continue
+	for sweep := 0; sweep < maxLocalSweeps; sweep++ {
+		clear(next)
+		clear(outMass)
+		for i := 0; i < g.NumVertices(); i++ {
+			next[g.VertexAt(i)] = 1 - q.Damping
 		}
-		deg := g.OutDegree(i)
-		if deg == 0 {
-			continue
-		}
-		share := q.Damping * st.rank[v] / float64(deg)
-		for _, he := range g.OutEdges(i) {
-			to := g.VertexAt(int(he.To))
-			next[to] += share
-			if !ctx.Fragment.Owns(to) {
-				outMass[to] += share
+		for i := 0; i < g.NumVertices(); i++ {
+			v := g.VertexAt(i)
+			if !ctx.Fragment.Owns(v) {
+				continue
+			}
+			deg := g.OutDegree(i)
+			if deg == 0 {
+				continue
+			}
+			share := q.Damping * st.rank[v] / float64(deg)
+			for _, he := range g.OutEdges(i) {
+				to := g.VertexAt(int(he.To))
+				next[to] += share
+				if !ctx.Fragment.Owns(to) {
+					outMass[to] += share
+				}
 			}
 		}
-	}
-	// Fold in the mass received from other fragments for owned border nodes
-	// (summing the latest contribution of every sender).
-	for v, bySender := range st.incast {
-		if !ctx.Fragment.Owns(v) {
-			continue
+		// Fold in the mass received from other fragments for owned border
+		// nodes (summing the latest contribution of every sender).
+		for v, bySender := range st.incast {
+			if !ctx.Fragment.Owns(v) {
+				continue
+			}
+			for _, mass := range bySender {
+				next[v] += mass
+			}
 		}
-		for _, mass := range bySender {
-			next[v] += mass
+		delta := 0.0
+		for v, r := range next {
+			delta += math.Abs(r - st.rank[v])
+		}
+		st.rank, next = next, st.rank
+		if delta < q.Tolerance {
+			break
 		}
 	}
-	delta := 0.0
-	for v, r := range next {
-		delta += math.Abs(r - st.rank[v])
-	}
-	st.rank = next
-	if delta < q.Tolerance {
-		return // converged locally: stop shipping
-	}
-	// Ship the accumulated outgoing mass, one variable per (border vertex,
+	// Ship the converged outgoing mass, one variable per (border vertex,
 	// sending fragment) so contributions from different fragments do not
-	// overwrite each other at the receiver.
+	// overwrite each other at the receiver. Unchanged masses are deduplicated
+	// by SetVar, which is what eventually quiesces the exchange.
 	for v, mass := range outMass {
 		ctx.SetVar(v, int64(ctx.Worker), mass, nil)
 	}
@@ -179,3 +194,12 @@ func (PageRank) Assemble(q core.Query, ctxs []*core.Context) (any, error) {
 // contribution (PageRank mass is recomputed from scratch every round, so the
 // newest value wins; rounds are monotonically increasing).
 func (PageRank) Aggregate(existing, incoming mpi.Update) mpi.Update { return incoming }
+
+// AsyncSafe implements core.AsyncCapable: the incast keyed by sending
+// fragment makes re-delivery overwrite rather than double-count, so the
+// asynchronous schedule converges to the same fixpoint of the rank equations
+// the BSP schedule approximates. The answers agree up to the convergence
+// tolerance (not bit-for-bit — termination is tolerance-based), which is the
+// contract PageRank callers already accept between runs at different worker
+// counts.
+func (PageRank) AsyncSafe() bool { return true }

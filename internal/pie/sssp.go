@@ -258,3 +258,8 @@ func (SSSP) Assemble(q core.Query, ctxs []*core.Context) (any, error) {
 func (SSSP) Aggregate(existing, incoming mpi.Update) mpi.Update {
 	return core.MinAggregate(existing, incoming)
 }
+
+// AsyncSafe implements core.AsyncCapable: distances form a min-semilattice,
+// so applying stale, re-ordered or re-delivered decreases in any order
+// converges to the same shortest distances the BSP schedule produces.
+func (SSSP) AsyncSafe() bool { return true }

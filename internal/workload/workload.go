@@ -12,6 +12,7 @@ import (
 
 	"grape/internal/graph"
 	"grape/internal/graphgen"
+	"grape/internal/partition"
 )
 
 // Scale selects how large the generated dataset surrogates are. Benchmarks
@@ -124,4 +125,39 @@ func Patterns(g *graph.Graph, count, nodes, edges int, seed int64) []*graph.Grap
 		out[i] = graphgen.Pattern(g, nodes, edges, seed+int64(i))
 	}
 	return out
+}
+
+// Straggler builds the fan-in straggler workload used by the execution-plane
+// experiments and tests: a directed chain of length `chain` whose vertices
+// alternate over the fast fragments 1..m-1, where every chain vertex also
+// feeds a distinct sink vertex owned by fragment 0. Under BSP, fragment 0
+// receives one new sink distance per superstep — and the barrier makes every
+// superstep pay fragment 0's per-round cost; under asynchronous execution
+// the fast fragments race ahead and fragment 0 drains the backlog in a few
+// large batches. It returns the pre-built partition and the SSSP source (the
+// chain head). m must be at least 3 (two fast fragments): with a single fast
+// fragment, its PEval solves the whole chain in one shot and there is no
+// per-superstep fan-in to measure.
+func Straggler(chain, m int) (*partition.Partitioned, graph.VertexID) {
+	if m < 3 {
+		panic(fmt.Sprintf("workload: Straggler needs m >= 3 fragments, got %d", m))
+	}
+	b := graph.NewBuilder(true)
+	assign := make(map[graph.VertexID]int)
+	for i := 0; i < chain; i++ {
+		v := graph.VertexID(i)
+		assign[v] = 1 + i%(m-1)
+		if i+1 < chain {
+			b.AddEdge(v, graph.VertexID(i+1), 1, "")
+		}
+		sink := graph.VertexID(100000 + i)
+		b.AddEdge(v, sink, 1, "")
+		assign[sink] = 0
+	}
+	g := b.Build()
+	ids := make([]int, g.NumVertices())
+	for i := 0; i < g.NumVertices(); i++ {
+		ids[i] = assign[g.VertexAt(i)]
+	}
+	return partition.Build(g, ids, m, "straggler"), graph.VertexID(0)
 }
