@@ -14,14 +14,15 @@
 //	grape-bench -exp session                   # partition-once session vs per-query
 //	grape-bench -exp incremental               # IncEval view maintenance vs full recompute
 //	grape-bench -exp async                     # BSP vs adaptive async execution plane
+//	grape-bench -exp net                       # in-process vs local-TCP transport overhead
 //	grape-bench -exp all                       # everything
 //
 // Flags -size (tiny|small|medium) and -workers control the scale; -n gives
 // the list of worker counts swept by the fig6/fig7 and async experiments.
-// The incremental and async experiments additionally write machine-readable
-// results to BENCH_incremental.json and BENCH_async.json (configurable with
-// -out and -async-out); -quick shrinks the async experiment to a smoke test
-// for CI.
+// The incremental, async and net experiments additionally write
+// machine-readable results to BENCH_incremental.json, BENCH_async.json and
+// BENCH_net.json (configurable with -out, -async-out and -net-out); -quick
+// shrinks the async and net experiments to smoke tests for CI.
 package main
 
 import (
@@ -44,16 +45,17 @@ func main() {
 		nList    = flag.String("n", "2,4,8", "comma-separated worker counts for fig6/fig7")
 		out      = flag.String("out", "BENCH_incremental.json", "output file for the incremental experiment's JSON results")
 		asyncOut = flag.String("async-out", "BENCH_async.json", "output file for the async experiment's JSON results")
-		quick    = flag.Bool("quick", false, "shrink the async experiment to a CI smoke run")
+		netOut   = flag.String("net-out", "BENCH_net.json", "output file for the net experiment's JSON results")
+		quick    = flag.Bool("quick", false, "shrink the async and net experiments to CI smoke runs")
 	)
 	flag.Parse()
-	if err := run(*exp, *size, *workers, *nList, *out, *asyncOut, *quick); err != nil {
+	if err := run(*exp, *size, *workers, *nList, *out, *asyncOut, *netOut, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "grape-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, size string, workers int, nList, incOut, asyncOut string, quick bool) error {
+func run(exp, size string, workers int, nList, incOut, asyncOut, netOut string, quick bool) error {
 	scale, err := workload.ParseScale(size)
 	if err != nil {
 		return err
@@ -167,6 +169,26 @@ func run(exp, size string, workers int, nList, incOut, asyncOut string, quick bo
 		fmt.Printf("wrote %s\n", asyncOut)
 		return nil
 	}
+	runNet := func() error {
+		n, procs, scale := workers, 3, scale
+		if quick {
+			n, procs, scale = 4, 2, workload.ScaleTiny
+		}
+		rows, err := bench.NetOverhead(n, procs, scale, quick)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatNetRows(rows))
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(netOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", netOut)
+		return nil
+	}
 	runAblations := func() error {
 		rows, err := bench.AblationMessageGrouping(workers, scale)
 		if err != nil {
@@ -214,6 +236,8 @@ func run(exp, size string, workers int, nList, incOut, asyncOut string, quick bo
 		return runIncremental()
 	case "async":
 		return runAsync()
+	case "net":
+		return runNet()
 	case "all":
 		steps := []func() error{
 			runTable1,
@@ -233,6 +257,7 @@ func run(exp, size string, workers int, nList, incOut, asyncOut string, quick bo
 			runSession,
 			runIncremental,
 			runAsync,
+			runNet,
 		}
 		for _, step := range steps {
 			if err := step(); err != nil {

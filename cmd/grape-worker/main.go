@@ -1,0 +1,48 @@
+// Command grape-worker hosts graph fragments for a distributed grape
+// coordinator. It dials the coordinator (retrying with exponential backoff,
+// so workers may be launched before the coordinator is up), receives its
+// fragment assignment and fragment data over the wire, serves PEval/IncEval
+// calls for both execution planes, and exits cleanly when the coordinator
+// shuts the cluster down.
+//
+// A three-process localhost cluster:
+//
+//	grape-worker -coordinator 127.0.0.1:9091 &
+//	grape-worker -coordinator 127.0.0.1:9091 &
+//	grape-worker -coordinator 127.0.0.1:9091 &
+//	grape -graph road.txt -query sssp -source 17 -workers 6 \
+//	      -listen 127.0.0.1:9091 -worker-procs 3
+//
+// The worker carries no graph state of its own: everything it needs —
+// cluster size, its ranks, the fragments, the fragmentation graph — arrives
+// through the handshake, so the same binary serves any graph and any query
+// the coordinator runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"grape"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "127.0.0.1:9091", "coordinator address to dial")
+		dialTimeout = flag.Duration("dial-timeout", 30*time.Second, "total budget for dialing the coordinator with backoff")
+		quiet       = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	logf := log.New(os.Stderr, "grape-worker: ", log.LstdFlags).Printf
+	if *quiet {
+		logf = nil
+	}
+	if err := grape.ServeWorker(*coordinator, *dialTimeout, logf); err != nil {
+		fmt.Fprintln(os.Stderr, "grape-worker:", err)
+		os.Exit(1)
+	}
+}

@@ -42,6 +42,16 @@
 // summary reports the amortized per-query latency and throughput of the
 // session, plus how many update batches were absorbed.
 //
+// Distributed mode (-listen) turns the process into the coordinator of a
+// multi-process cluster: it partitions the graph, waits for -worker-procs
+// grape-worker processes to dial in, ships each its fragments over TCP and
+// then answers queries (sssp, cc, pagerank; both -mode planes) with the
+// evaluation running in the worker processes:
+//
+//	grape-worker -coordinator 127.0.0.1:9091 &   # × 3
+//	grape -graph road.txt -query sssp -source 17 -workers 6 \
+//	      -listen 127.0.0.1:9091 -worker-procs 3
+//
 // The graph file uses the text edge-list format of internal/graph (plain
 // "src dst weight" lines also work). For sssp the -source flag picks the
 // source vertex; results are summarized on stdout (use -top to control how
@@ -72,15 +82,17 @@ func main() {
 		mode      = flag.String("mode", "bsp", "execution plane: bsp or async (async supports sssp, cc, pagerank)")
 		top       = flag.Int("top", 10, "number of per-vertex results to print")
 		serve     = flag.Bool("serve", false, "partition once, then answer a stream of queries from stdin")
+		listen    = flag.String("listen", "", "run distributed: listen on this address and ship fragments to grape-worker processes")
+		procs     = flag.Int("worker-procs", 3, "number of grape-worker processes to wait for (with -listen)")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *query, grape.VertexID(*source), *workers, *strategy, *mode, *top, *serve); err != nil {
+	if err := run(*graphPath, *query, grape.VertexID(*source), *workers, *strategy, *mode, *top, *serve, *listen, *procs); err != nil {
 		fmt.Fprintln(os.Stderr, "grape:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, query string, source grape.VertexID, workers int, strategy, mode string, top int, serve bool) error {
+func run(graphPath, query string, source grape.VertexID, workers int, strategy, mode string, top int, serve bool, listen string, procs int) error {
 	if graphPath == "" {
 		return fmt.Errorf("missing -graph")
 	}
@@ -102,6 +114,15 @@ func run(graphPath, query string, source grape.VertexID, workers int, strategy, 
 		return fmt.Errorf("unknown partition strategy %q", strategy)
 	}
 	opts := grape.Options{Workers: workers, Strategy: strat, Mode: execMode}
+	if listen != "" {
+		opts.Distributed = &grape.Distributed{
+			Listen:      listen,
+			WorkerProcs: procs,
+			OnListen: func(addr string) {
+				fmt.Fprintf(os.Stderr, "listening on %s, waiting for %d grape-worker processes\n", addr, procs)
+			},
+		}
+	}
 	fmt.Printf("loaded %v\n", g)
 
 	setup := time.Now()
@@ -111,8 +132,12 @@ func run(graphPath, query string, source grape.VertexID, workers int, strategy, 
 	}
 	defer s.Close()
 	setupDur := time.Since(setup)
-	fmt.Printf("partitioned once into %d fragments (%s strategy, %v plane) in %v\n",
-		s.NumFragments(), strategy, execMode, setupDur.Round(time.Microsecond))
+	plane := "in-process"
+	if listen != "" {
+		plane = fmt.Sprintf("%d worker processes", procs)
+	}
+	fmt.Printf("partitioned once into %d fragments (%s strategy, %v plane, %s) in %v\n",
+		s.NumFragments(), strategy, execMode, plane, setupDur.Round(time.Microsecond))
 
 	if serve {
 		return serveQueries(s, os.Stdin, top, setupDur)
@@ -121,7 +146,7 @@ func run(graphPath, query string, source grape.VertexID, workers int, strategy, 
 	case "sssp":
 		return answerSSSP(s, source, top)
 	case "cc":
-		return answerCC(s)
+		return answerCC(s, top)
 	case "pagerank":
 		return answerPageRank(s, top)
 	default:
@@ -237,7 +262,7 @@ func serveQueries(s *grape.Session, in io.Reader, top int, setupDur time.Duratio
 			}
 			err = answerSSSP(s, src, top)
 		case "cc":
-			err = answerCC(s)
+			err = answerCC(s, top)
 		case "pagerank":
 			err = answerPageRank(s, top)
 		case "mat":
@@ -406,7 +431,7 @@ func answerSSSP(s *grape.Session, source grape.VertexID, top int) error {
 	return nil
 }
 
-func answerCC(s *grape.Session) error {
+func answerCC(s *grape.Session, top int) error {
 	cc, stats, err := s.CC()
 	if err != nil {
 		return err
@@ -417,6 +442,20 @@ func answerCC(s *grape.Session) error {
 		sizes[cid]++
 	}
 	fmt.Printf("connected components: %d\n", len(sizes))
+	// Per-vertex membership (bounded by -top, like the float answers): the
+	// distributed e2e check diffs these lines, so the comparison covers the
+	// actual labelling, not just the component count.
+	ids := make([]grape.VertexID, 0, len(cc))
+	for v := range cc {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if top > len(ids) {
+		top = len(ids)
+	}
+	for _, v := range ids[:top] {
+		fmt.Printf("  cc(%d) = %d\n", v, cc[v])
+	}
 	return nil
 }
 

@@ -46,15 +46,24 @@
 // the fixpoint); Sim, SubIso and CF are BSP-only and return
 // ErrAsyncUnsupported when forced onto the async plane.
 //
+// Sessions can also span processes: with Options.Distributed set, the
+// coordinator ships each fragment to a grape-worker process over TCP and
+// queries evaluate in the workers (SSSP, CC and PageRank, both planes),
+// producing the same answers as the in-process transport. See Distributed
+// and ServeWorker.
+//
 // See the examples/ directory for complete programs.
 package grape
 
 import (
+	"fmt"
 	"io"
+	"time"
 
 	"grape/internal/core"
 	"grape/internal/graph"
 	"grape/internal/metrics"
+	grapenet "grape/internal/mpi/net"
 	"grape/internal/partition"
 	"grape/internal/pie"
 	"grape/internal/seq"
@@ -111,6 +120,10 @@ const (
 // program that has not declared async-safe accumulation (Sim, SubIso, CF).
 var ErrAsyncUnsupported = core.ErrAsyncUnsupported
 
+// ErrDistributedUnsupported is returned by graph updates and materialized
+// views on distributed sessions, which do not support them yet.
+var ErrDistributedUnsupported = core.ErrDistributedUnsupported
+
 // ParseMode converts a flag value ("bsp" or "async") into a Mode.
 func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
 
@@ -126,6 +139,30 @@ func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
 // "ldg", "multilevel" or "vertexcut". It returns false for unknown names.
 func PartitionStrategy(name string) (Strategy, bool) { return partition.ByName(name) }
 
+// Distributed configures a multi-process session: the coordinator listens
+// on Listen, waits for WorkerProcs grape-worker processes to dial in, deals
+// the fragments to them round-robin and ships each over the wire; queries
+// then evaluate in the worker processes while the coordinator keeps the
+// mailboxes, barriers and assembly. Supported programs are SSSP, CC and
+// PageRank (the ones with wire codecs for their query and partial result),
+// on both the BSP and the async execution plane. Graph updates and
+// materialized views are not yet supported on distributed sessions.
+type Distributed struct {
+	// Listen is the coordinator's TCP address, e.g. "127.0.0.1:9091". Port 0
+	// binds an ephemeral port (use OnListen to learn it).
+	Listen string
+	// WorkerProcs is the number of worker processes the coordinator waits
+	// for. It must be between 1 and the number of fragments.
+	WorkerProcs int
+	// HandshakeTimeout bounds waiting for the worker processes to connect
+	// and install their fragments (default 60s).
+	HandshakeTimeout time.Duration
+	// OnListen, when non-nil, receives the bound listen address before the
+	// coordinator starts waiting for workers — the hook tests and embedders
+	// use to start workers against an ephemeral port.
+	OnListen func(addr string)
+}
+
 // Options configure the one-call helpers below.
 type Options struct {
 	// Workers is the number of fragments/workers (default 1).
@@ -139,6 +176,9 @@ type Options struct {
 	// Mode is the default execution plane (BSP unless set to Async).
 	// Individual queries can override it with Session.WithMode.
 	Mode Mode
+	// Distributed, when non-nil, runs the session over a multi-process TCP
+	// cluster instead of in-process goroutines. See Distributed.
+	Distributed *Distributed
 }
 
 func (o Options) core() core.Options {
@@ -165,14 +205,74 @@ type Session struct {
 }
 
 // NewSession partitions g once with the configured strategy and brings up
-// the resident worker cluster.
+// the resident worker cluster — in-process goroutines by default, or a
+// multi-process TCP cluster when Options.Distributed is set.
 func NewSession(g *Graph, opts Options) (*Session, error) {
+	if opts.Distributed != nil {
+		return newDistributedSession(g, opts)
+	}
 	s, err := core.NewSession(g, opts.core())
 	if err != nil {
 		return nil, err
 	}
 	return &Session{s: s, mode: opts.Mode}, nil
 }
+
+// newDistributedSession partitions g at the coordinator, brings up the TCP
+// worker cluster and ships every fragment to its hosting process.
+func newDistributedSession(g *Graph, opts Options) (*Session, error) {
+	d := opts.Distributed
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if d.WorkerProcs < 1 || d.WorkerProcs > workers {
+		return nil, fmt.Errorf("grape: %d worker processes for %d fragments (want 1..%d)",
+			d.WorkerProcs, workers, workers)
+	}
+	strat := opts.Strategy
+	if strat == nil {
+		strat = partition.Hash{}
+	}
+	p := partition.Partition(g, workers, strat)
+
+	ln, err := grapenet.Listen(d.Listen)
+	if err != nil {
+		return nil, err
+	}
+	if d.OnListen != nil {
+		d.OnListen(ln.Addr())
+	}
+	cl, err := ln.Serve(p, d.WorkerProcs, d.HandshakeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	peers := make([]core.RemotePeer, len(p.Fragments))
+	for i := range peers {
+		peers[i] = cl.Peer(i)
+	}
+	s, err := core.NewSessionRemote(p, opts.core(), cl, peers)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return &Session{s: s, mode: opts.Mode}, nil
+}
+
+// ServeWorker runs this process as a grape worker: it dials the coordinator
+// (retrying with backoff until dialTimeout, so workers may start before the
+// coordinator), hosts the fragments shipped to it, serves PEval/IncEval
+// calls for the full program catalog, and returns nil when the coordinator
+// shuts the cluster down. logf may be nil. cmd/grape-worker is a thin
+// wrapper around this.
+func ServeWorker(coordinator string, dialTimeout time.Duration, logf func(format string, args ...any)) error {
+	host := core.NewWorkerHost(pie.ByName)
+	return grapenet.RunWorker(coordinator, host, grapenet.WorkerOptions{DialTimeout: dialTimeout, Logf: logf})
+}
+
+// Compile-time check that the engine's worker host satisfies the transport's
+// handler contract (the two packages are only structurally coupled).
+var _ grapenet.Handler = (*core.WorkerHost)(nil)
 
 // WithMode returns a handle over the same resident session whose queries run
 // on the given execution plane — a per-query override of Options.Mode. The

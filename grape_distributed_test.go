@@ -1,0 +1,227 @@
+package grape
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"grape/internal/pie"
+)
+
+// distributedGraph builds a deterministic random graph large enough to have
+// real cross-fragment traffic on 6 fragments.
+func distributedGraph(directed bool, n, extraEdges int, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	b := NewGraphBuilder(directed)
+	for v := 0; v < n; v++ {
+		b.AddVertex(VertexID(v), "")
+	}
+	// A ring keeps everything connected, extra random edges add shortcuts.
+	for v := 0; v < n; v++ {
+		b.AddEdge(VertexID(v), VertexID((v+1)%n), 1+r.Float64()*4, "")
+	}
+	for i := 0; i < extraEdges; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			b.AddEdge(VertexID(u), VertexID(v), 0.5+r.Float64()*9, "")
+		}
+	}
+	return b.Build()
+}
+
+// startCluster brings up a distributed session over real TCP on an
+// ephemeral localhost port, with procs worker processes simulated by
+// goroutines running the full worker loop (dial, handshake, serve). It
+// returns the session and a wait function that asserts all workers exited
+// cleanly on Close.
+func startCluster(t *testing.T, g *Graph, workers, procs int, mode Mode) (*Session, func()) {
+	t.Helper()
+	addrCh := make(chan string, procs)
+	var wg sync.WaitGroup
+	workerErrs := make([]error, procs)
+	opts := Options{
+		Workers: workers,
+		Mode:    mode,
+		Distributed: &Distributed{
+			Listen:           "127.0.0.1:0",
+			WorkerProcs:      procs,
+			HandshakeTimeout: 30 * time.Second,
+			OnListen: func(addr string) {
+				for i := 0; i < procs; i++ {
+					addrCh <- addr
+				}
+			},
+		},
+	}
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workerErrs[i] = ServeWorker(<-addrCh, 10*time.Second, nil)
+		}(i)
+	}
+	s, err := NewSession(g, opts)
+	if err != nil {
+		t.Fatalf("NewSession(distributed): %v", err)
+	}
+	return s, func() {
+		wg.Wait()
+		for i, err := range workerErrs {
+			if err != nil {
+				t.Errorf("worker %d exited with error: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestDistributedMatchesInProcess is the e2e acceptance check: a 3-process
+// localhost TCP cluster must produce the same SSSP/CC/PageRank answers as
+// the in-process transport, on both execution planes.
+func TestDistributedMatchesInProcess(t *testing.T) {
+	const workers, procs = 6, 3
+	g := distributedGraph(false, 300, 500, 42)
+
+	local, err := NewSession(g, Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("NewSession(local): %v", err)
+	}
+	defer local.Close()
+
+	wantDist, _, err := local.SSSP(0)
+	if err != nil {
+		t.Fatalf("local SSSP: %v", err)
+	}
+	wantCC, _, err := local.CC()
+	if err != nil {
+		t.Fatalf("local CC: %v", err)
+	}
+	wantPR, _, err := local.PageRank()
+	if err != nil {
+		t.Fatalf("local PageRank: %v", err)
+	}
+	// The async comparison uses a tight convergence tolerance and a deep
+	// round budget so both planes refine to (essentially) the unique
+	// fixpoint instead of wherever their different schedules first dip under
+	// the default tolerance — the same contract as pie's cross-plane tests.
+	// The round cap stays finite: it is PageRank's practical quiescing
+	// mechanism once the masses are at float precision.
+	tightPR := pie.PageRankQuery{Damping: 0.85, Tolerance: 1e-10, MaxRounds: 400}
+	wantTight, err := local.Run(pie.PageRank{}, tightPR)
+	if err != nil {
+		t.Fatalf("local tight PageRank: %v", err)
+	}
+	wantTightPR := wantTight.Output.(map[VertexID]float64)
+
+	for _, mode := range []Mode{BSP, Async} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s, waitWorkers := startCluster(t, g, workers, procs, mode)
+			defer waitWorkers()
+			defer s.Close()
+
+			gotDist, stats, err := s.SSSP(0)
+			if err != nil {
+				t.Fatalf("distributed SSSP: %v", err)
+			}
+			if stats.MessagesSent == 0 {
+				t.Fatalf("distributed SSSP exchanged no messages; not exercising the wire")
+			}
+			if !reflect.DeepEqual(gotDist, wantDist) {
+				t.Fatalf("distributed SSSP (%v) differs from in-process answer", mode)
+			}
+
+			gotCC, _, err := s.CC()
+			if err != nil {
+				t.Fatalf("distributed CC: %v", err)
+			}
+			if !reflect.DeepEqual(gotCC, wantCC) {
+				t.Fatalf("distributed CC (%v) differs from in-process answer", mode)
+			}
+
+			// BSP's lockstep schedule tracks the in-process run exactly (up
+			// to float ulps) even on the default query; async termination is
+			// tolerance-based, so it is compared at a tight tolerance where
+			// both planes quiesce at the unique fixpoint.
+			want, tol := wantPR, 1e-9
+			var gotPR map[VertexID]float64
+			if mode == Async {
+				want, tol = wantTightPR, 1e-3
+				res, err := s.Run(pie.PageRank{}, tightPR)
+				if err != nil {
+					t.Fatalf("distributed tight PageRank: %v", err)
+				}
+				gotPR = res.Output.(map[VertexID]float64)
+			} else {
+				var err error
+				if gotPR, _, err = s.PageRank(); err != nil {
+					t.Fatalf("distributed PageRank: %v", err)
+				}
+			}
+			if len(gotPR) != len(want) {
+				t.Fatalf("distributed PageRank returned %d ranks, want %d", len(gotPR), len(want))
+			}
+			for v, w := range want {
+				if got := gotPR[v]; math.Abs(got-w) > tol*math.Max(1, w) {
+					t.Fatalf("PageRank(%d) = %v, want %v (±%g relative)", v, got, w, tol)
+				}
+			}
+		})
+	}
+}
+
+// TestDistributedDirectedSSSP exercises a directed graph and a non-zero
+// source through the full wire path.
+func TestDistributedDirectedSSSP(t *testing.T) {
+	const workers, procs = 4, 2
+	g := distributedGraph(true, 200, 400, 7)
+
+	wantDist, _, err := RunSSSP(g, 17, Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("local SSSP: %v", err)
+	}
+	s, waitWorkers := startCluster(t, g, workers, procs, BSP)
+	defer waitWorkers()
+	defer s.Close()
+	gotDist, _, err := s.SSSP(17)
+	if err != nil {
+		t.Fatalf("distributed SSSP: %v", err)
+	}
+	if !reflect.DeepEqual(gotDist, wantDist) {
+		t.Fatalf("distributed directed SSSP differs from in-process answer")
+	}
+}
+
+// TestDistributedRejectsLocalOnlyPrograms: programs without wire codecs are
+// rejected with a clear error instead of hanging the cluster.
+func TestDistributedRejectsLocalOnlyPrograms(t *testing.T) {
+	g := distributedGraph(true, 50, 60, 3)
+	s, waitWorkers := startCluster(t, g, 2, 1, BSP)
+	defer waitWorkers()
+	defer s.Close()
+
+	pattern := NewGraphBuilder(true)
+	pattern.AddEdge(1, 2, 1, "")
+	if _, _, err := s.Sim(pattern.Build()); err == nil {
+		t.Fatalf("Sim on a distributed session should fail (no wire codecs)")
+	}
+}
+
+// TestDistributedUpdatesUnsupported: dynamic updates are gated off with a
+// sentinel error on distributed sessions.
+func TestDistributedUpdatesUnsupported(t *testing.T) {
+	g := distributedGraph(false, 40, 40, 5)
+	s, waitWorkers := startCluster(t, g, 2, 2, BSP)
+	defer waitWorkers()
+	defer s.Close()
+
+	_, err := s.ApplyUpdates([]Update{EdgeInsert(1, 2, 1)})
+	if !errors.Is(err, ErrDistributedUnsupported) {
+		t.Fatalf("ApplyUpdates on distributed session: got %v, want ErrDistributedUnsupported", err)
+	}
+	if _, err := s.MaterializeSSSP(0); !errors.Is(err, ErrDistributedUnsupported) {
+		t.Fatalf("MaterializeSSSP on distributed session: got %v, want ErrDistributedUnsupported", err)
+	}
+}

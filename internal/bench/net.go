@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"grape/internal/core"
+	grapenet "grape/internal/mpi/net"
+	"grape/internal/partition"
+	"grape/internal/pie"
+	"grape/internal/workload"
+)
+
+// NetRow is one point of the transport-overhead experiment: the same query
+// evaluated over the same resident partition on the in-process transport
+// and on a local-TCP multi-process-style cluster (worker loops over real
+// loopback sockets). The ratio isolates what the wire costs — fragment
+// shipping is excluded (paid once at session setup, reported separately),
+// so the per-query overhead is serialization plus round trips.
+type NetRow struct {
+	Dataset string `json:"dataset"`
+	Query   string `json:"query"`
+	Mode    string `json:"mode"`
+	Workers int    `json:"workers"`
+	Procs   int    `json:"procs"`
+
+	InProcSeconds float64 `json:"inproc_sec"`
+	TCPSeconds    float64 `json:"tcp_sec"`
+	// Overhead is TCPSeconds / InProcSeconds: how much the wire costs
+	// relative to shared memory for the same evaluation.
+	Overhead float64 `json:"overhead"`
+
+	Messages int64   `json:"messages"`
+	CommMB   float64 `json:"comm_mb"`
+
+	// SetupSeconds is the one-time cost of bringing the TCP cluster up:
+	// handshakes plus shipping every fragment over the wire.
+	SetupSeconds float64 `json:"tcp_setup_sec"`
+}
+
+// netQuery is one query of the experiment's workload.
+type netQuery struct {
+	name string
+	q    core.Query
+	prog core.Program
+}
+
+// NetOverhead measures the transport overhead: it partitions one graph,
+// serves the same SSSP/CC/PageRank queries from an in-process session and
+// from a local-TCP session over identical fragments, on both execution
+// planes, and reports the per-query slowdown the wire introduces.
+func NetOverhead(workers, procs int, scale workload.Scale, quick bool) ([]NetRow, error) {
+	g, err := workload.Load(workload.Traffic, scale)
+	if err != nil {
+		return nil, err
+	}
+	if procs < 1 || procs > workers {
+		return nil, fmt.Errorf("bench: %d procs for %d workers", procs, workers)
+	}
+	p := partition.Partition(g, workers, grapeStrategy)
+
+	nSources := 4
+	if quick {
+		nSources = 1
+	}
+	queries := []netQuery{}
+	for _, src := range workload.Sources(g, nSources, 23) {
+		queries = append(queries, netQuery{name: QuerySSSP, q: src, prog: pie.SSSP{}})
+	}
+	queries = append(queries, netQuery{name: QueryCC, q: nil, prog: pie.CC{}})
+	if !quick {
+		queries = append(queries, netQuery{name: "pagerank", q: pie.DefaultPageRankQuery(), prog: pie.PageRank{}})
+	}
+
+	local, err := core.NewSessionPartitioned(p, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer local.Close()
+
+	// Bring up the TCP cluster: worker loops in this process, but every
+	// fragment, envelope and partial result crosses real loopback sockets.
+	setupTimer := time.Now()
+	ln, err := grapenet.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			host := core.NewWorkerHost(pie.ByName)
+			_ = grapenet.RunWorker(ln.Addr(), host, grapenet.WorkerOptions{DialTimeout: 10 * time.Second})
+		}()
+	}
+	cl, err := ln.Serve(p, procs, 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	peers := make([]core.RemotePeer, workers)
+	for i := range peers {
+		peers[i] = cl.Peer(i)
+	}
+	tcp, err := core.NewSessionRemote(p, core.Options{}, cl, peers)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	setup := time.Since(setupTimer).Seconds()
+	defer func() {
+		tcp.Close()
+		wg.Wait()
+	}()
+
+	var rows []NetRow
+	for _, mode := range []core.ExecMode{core.ModeBSP, core.ModeAsync} {
+		perQuery := map[string]*NetRow{}
+		order := []string{}
+		for _, nq := range queries {
+			inRes, err := local.RunMode(nq.q, nq.prog, mode)
+			if err != nil {
+				return nil, fmt.Errorf("bench: in-process %s (%v): %w", nq.name, mode, err)
+			}
+			tcpRes, err := tcp.RunMode(nq.q, nq.prog, mode)
+			if err != nil {
+				return nil, fmt.Errorf("bench: tcp %s (%v): %w", nq.name, mode, err)
+			}
+			row := perQuery[nq.name]
+			if row == nil {
+				row = &NetRow{
+					Dataset: workload.Traffic, Query: nq.name, Mode: mode.String(),
+					Workers: workers, Procs: procs, SetupSeconds: setup,
+				}
+				perQuery[nq.name] = row
+				order = append(order, nq.name)
+			}
+			row.InProcSeconds += inRes.Stats.Elapsed.Seconds()
+			row.TCPSeconds += tcpRes.Stats.Elapsed.Seconds()
+			row.Messages += tcpRes.Stats.MessagesSent
+			row.CommMB += float64(tcpRes.Stats.BytesSent) / (1 << 20)
+		}
+		for _, name := range order {
+			row := perQuery[name]
+			row.Overhead = safeRatio(row.TCPSeconds, row.InProcSeconds)
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatNetRows renders the experiment as a text table.
+func FormatNetRows(rows []NetRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nTransport overhead: in-process vs local TCP (same partition)\n")
+	fmt.Fprintf(&b, "%-10s %-10s %-6s %6s %6s %12s %12s %9s %10s %9s\n",
+		"dataset", "query", "mode", "n", "procs", "inproc(s)", "tcp(s)", "overhead", "messages", "comm(MB)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-10s %-6s %6d %6d %12.4f %12.4f %8.2fx %10d %9.2f\n",
+			r.Dataset, r.Query, r.Mode, r.Workers, r.Procs,
+			r.InProcSeconds, r.TCPSeconds, r.Overhead, r.Messages, r.CommMB)
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "tcp cluster setup (handshake + fragment shipping): %.4fs, paid once per session\n",
+			rows[0].SetupSeconds)
+	}
+	return b.String()
+}

@@ -32,7 +32,7 @@ import (
 // simulated on this plane.
 type asyncRunner struct {
 	opts    Options
-	cluster *mpi.Cluster
+	cluster mpi.Transport
 }
 
 func (r *asyncRunner) mode() ExecMode { return ModeAsync }

@@ -24,7 +24,7 @@ type stepFn func(superstep int, body func(w int) error) error
 // recovers injected worker failures between barriers.
 type bspRunner struct {
 	opts    Options
-	cluster *mpi.Cluster
+	cluster mpi.Transport
 }
 
 func (r *bspRunner) mode() ExecMode { return ModeBSP }

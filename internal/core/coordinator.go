@@ -21,8 +21,9 @@ import (
 // crash never hides a worker from the others.
 type coordinator struct {
 	opts    Options
-	cluster *mpi.Cluster
+	cluster mpi.Transport
 	workers []*worker
+	remotes []RemotePeer // per-rank peers; nil for all-local sessions
 }
 
 // run evaluates one query with the given PIE program to fixpoint on the
@@ -42,6 +43,21 @@ func (c *coordinator) runMode(q Query, prog Program, mode ExecMode) (*Result, er
 	}
 	if mode == ModeAsync && !SupportsAsync(prog) {
 		return nil, fmt.Errorf("core: %s: %w", prog.Name(), ErrAsyncUnsupported)
+	}
+	// Distributed runs need the program's wire codecs: encode the query once
+	// here, decode partial results after the fixpoint below.
+	var remoteProg RemoteProgram
+	var queryBytes []byte
+	if c.remotes != nil {
+		rp, ok := prog.(RemoteProgram)
+		if !ok {
+			return nil, fmt.Errorf("core: %s does not support distributed execution (no RemoteProgram codecs)", prog.Name())
+		}
+		qb, err := rp.EncodeQuery(q)
+		if err != nil {
+			return nil, fmt.Errorf("core: encode %s query: %w", prog.Name(), err)
+		}
+		remoteProg, queryBytes = rp, qb
 	}
 
 	stats := &metrics.Stats{Engine: "GRAPE", Query: prog.Name(), Workers: m}
@@ -65,8 +81,22 @@ func (c *coordinator) runMode(q Query, prog Program, mode ExecMode) (*Result, er
 	for i, w := range c.workers {
 		tasks[i] = w.newTask(q, prog, comm, c.opts)
 		ctxs[i] = tasks[i].ctx
+		if c.remotes != nil {
+			tasks[i].remote = c.remotes[i]
+			tasks[i].queryID = comm.Query()
+			tasks[i].progName = prog.Name()
+			tasks[i].queryBytes = queryBytes
+		}
 	}
 	res := &Result{Stats: stats, Contexts: ctxs}
+	if c.remotes != nil {
+		// Release per-query state on the workers whatever way the run ends.
+		defer func() {
+			for _, pe := range c.remotes {
+				_ = pe.End(comm.Query())
+			}
+		}()
+	}
 
 	err := r.run(tasks, comm, stats, res)
 	stats.FinishRun(r.mode().String())
@@ -74,13 +104,40 @@ func (c *coordinator) runMode(q Query, prog Program, mode ExecMode) (*Result, er
 		return res, err
 	}
 
-	// Termination: assemble partial results into Q(G).
+	// Termination: for remote fragments, pull the partial results Q(Fi) back
+	// into the coordinator-side contexts first, then assemble them into Q(G).
+	if remoteProg != nil {
+		if err := c.fetchPartials(tasks, remoteProg, comm.Query()); err != nil {
+			return res, err
+		}
+	}
 	out, err := prog.Assemble(q, ctxs)
 	if err != nil {
 		return res, fmt.Errorf("core: Assemble: %w", err)
 	}
 	res.Output = out
 	return res, nil
+}
+
+// fetchPartials retrieves every remote fragment's converged partial result
+// and installs it into the coordinator-side context, in parallel across
+// peers.
+func (c *coordinator) fetchPartials(tasks []*task, rp RemoteProgram, query uint64) error {
+	failed, err := c.cluster.BarrierFor(func(int) bool { return true }, 0, func(w int) error {
+		t := tasks[w]
+		if t.remote == nil {
+			return nil
+		}
+		data, err := t.remote.Fetch(query)
+		if err != nil {
+			return err
+		}
+		return rp.DecodePartial(t.ctx, data)
+	})
+	if err != nil {
+		return fmt.Errorf("core: fetch partial result of fragment %d: %w", failed, err)
+	}
+	return nil
 }
 
 // safeCall runs fn, converting panics into errors so a buggy plugged-in

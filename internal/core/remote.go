@@ -1,0 +1,230 @@
+package core
+
+// Distributed execution: the engine side of the multi-process transport.
+//
+// A distributed session keeps the coordinator's runner planes (bsp.go,
+// async.go) and mailbox communicators unchanged and moves only the
+// evaluation calls across the process boundary: for a fragment hosted
+// remotely, task.peval/task.incremental forward the call through a
+// RemotePeer, and the envelopes the remote PEval/IncEval produced are
+// injected back into the query's communicator. The worker process runs a
+// WorkerHost, which executes the exact same task code path over its resident
+// fragments — one engine, two deployments.
+//
+// Programs opt into distribution by implementing RemoteProgram: the query
+// and the per-fragment partial result must cross the wire, so the program
+// supplies their codecs (the engine cannot serialize the opaque ctx.State).
+
+import (
+	"fmt"
+	"sync"
+
+	"grape/internal/mpi"
+	"grape/internal/partition"
+)
+
+// RemotePeer is the coordinator's handle to one fragment hosted in another
+// process. The TCP transport's net.Peer implements it; tests use in-process
+// fakes. Calls for one peer are issued sequentially by the runner planes
+// (BSP barriers and the async per-fragment loop both serialize per rank),
+// but different peers are called concurrently.
+type RemotePeer interface {
+	// PEval runs partial evaluation on the remote fragment and returns the
+	// designated messages it routed.
+	PEval(query uint64, prog string, queryBytes []byte, superstep int,
+		disableIncEval, disableGrouping bool) ([]mpi.Envelope, error)
+	// IncEval delivers envelopes to the remote fragment, runs incremental
+	// evaluation and returns the designated messages it routed.
+	IncEval(query uint64, superstep int, envs []mpi.Envelope) ([]mpi.Envelope, error)
+	// Fetch returns the fragment's encoded partial result (RemoteProgram's
+	// EncodePartial) once the fixpoint is reached.
+	Fetch(query uint64) ([]byte, error)
+	// End releases the remote per-query state.
+	End(query uint64) error
+}
+
+// RemoteProgram is the capability a PIE program declares to run on
+// distributed sessions: codecs for the query value shipped to workers and
+// for the per-fragment partial result shipped back for Assemble. Programs
+// without it are rejected by distributed sessions with a clear error.
+type RemoteProgram interface {
+	Program
+	// EncodeQuery serializes the query value for the wire.
+	EncodeQuery(q Query) ([]byte, error)
+	// DecodeQuery reconstructs the query value on the worker.
+	DecodeQuery(data []byte) (Query, error)
+	// EncodePartial serializes the fragment's partial result Q(Fi) from the
+	// context after the run converged.
+	EncodePartial(ctx *Context) ([]byte, error)
+	// DecodePartial installs a shipped partial result into a
+	// coordinator-side context so Assemble can combine it.
+	DecodePartial(ctx *Context, data []byte) error
+}
+
+// SupportsRemote reports whether the program can run on distributed
+// sessions.
+func SupportsRemote(prog Program) bool {
+	_, ok := prog.(RemoteProgram)
+	return ok
+}
+
+// Resolver maps a program name from the wire to a program instance; the
+// worker process supplies one (typically pie.ByName) so the engine stays
+// independent of the program catalog.
+type Resolver func(name string) (Program, bool)
+
+// collector is the sender used on worker hosts: it accumulates the
+// envelopes a task routes so the transport can carry them back to the
+// coordinator in the call's reply.
+type collector struct {
+	envs []mpi.Envelope
+}
+
+func (c *collector) Send(from, to int, tag string, payload []byte) {
+	c.envs = append(c.envs, mpi.Envelope{From: from, To: to, Tag: tag, Payload: payload})
+}
+
+func (c *collector) take() []mpi.Envelope {
+	out := c.envs
+	c.envs = nil
+	return out
+}
+
+// WorkerHost executes evaluation calls over the fragments resident in a
+// worker process. It implements the handler contract of the mpi/net worker
+// loop (structurally — core does not import the transport): Setup installs
+// the shipped fragments, then PEval/IncEval/Fetch/End serve per-query calls.
+// Calls for distinct fragments run concurrently; calls for one fragment are
+// issued sequentially by the coordinator.
+type WorkerHost struct {
+	resolve Resolver
+
+	mu      sync.Mutex
+	workers map[int]*worker
+	tasks   map[hostKey]*task
+}
+
+type hostKey struct {
+	query uint64
+	rank  int
+}
+
+// NewWorkerHost creates a host that resolves wire program names through
+// resolve.
+func NewWorkerHost(resolve Resolver) *WorkerHost {
+	return &WorkerHost{
+		resolve: resolve,
+		workers: make(map[int]*worker),
+		tasks:   make(map[hostKey]*task),
+	}
+}
+
+// Setup installs the fragments this process hosts and the fragmentation
+// graph they route through. It may be called again on a fresh handshake,
+// replacing the previous residency.
+func (h *WorkerHost) Setup(frags []*partition.Fragment, gp *partition.FragGraph) error {
+	if gp == nil {
+		return fmt.Errorf("core: worker host: nil fragmentation graph")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.workers = make(map[int]*worker, len(frags))
+	h.tasks = make(map[hostKey]*task)
+	for _, f := range frags {
+		if f == nil {
+			return fmt.Errorf("core: worker host: nil fragment")
+		}
+		h.workers[f.ID] = newWorker(f.ID, f, gp)
+	}
+	return nil
+}
+
+// Ranks returns the fragment ranks this host currently serves, unordered.
+func (h *WorkerHost) Ranks() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int, 0, len(h.workers))
+	for r := range h.workers {
+		out = append(out, r)
+	}
+	return out
+}
+
+// PEval creates the per-query task for the fragment and runs partial
+// evaluation, returning the envelopes it routed.
+func (h *WorkerHost) PEval(rank int, query uint64, progName string, queryBytes []byte,
+	superstep int, disableIncEval, disableGrouping bool) ([]mpi.Envelope, error) {
+	h.mu.Lock()
+	w, ok := h.workers[rank]
+	if !ok {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("core: worker host does not serve fragment %d", rank)
+	}
+	prog, ok := h.resolve(progName)
+	if !ok {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("core: worker host: unknown program %q", progName)
+	}
+	rp, ok := prog.(RemoteProgram)
+	if !ok {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("core: program %s does not support distributed execution", progName)
+	}
+	q, err := rp.DecodeQuery(queryBytes)
+	if err != nil {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("core: worker host: decode %s query: %w", progName, err)
+	}
+	t := w.newTask(q, prog, &collector{}, Options{
+		DisableIncEval:  disableIncEval,
+		DisableGrouping: disableGrouping,
+	})
+	h.tasks[hostKey{query: query, rank: rank}] = t
+	h.mu.Unlock()
+
+	if err := safeCall(func() error { return t.peval(superstep) }); err != nil {
+		return nil, err
+	}
+	return t.comm.(*collector).take(), nil
+}
+
+// IncEval delivers envelopes to the fragment's task and runs incremental
+// evaluation, returning the envelopes it routed.
+func (h *WorkerHost) IncEval(rank int, query uint64, superstep int, envs []mpi.Envelope) ([]mpi.Envelope, error) {
+	t, err := h.task(rank, query)
+	if err != nil {
+		return nil, err
+	}
+	if err := safeCall(func() error { return t.incremental(superstep, envs) }); err != nil {
+		return nil, err
+	}
+	return t.comm.(*collector).take(), nil
+}
+
+// Fetch returns the fragment's encoded partial result.
+func (h *WorkerHost) Fetch(rank int, query uint64) ([]byte, error) {
+	t, err := h.task(rank, query)
+	if err != nil {
+		return nil, err
+	}
+	return t.prog.(RemoteProgram).EncodePartial(t.ctx)
+}
+
+// End drops the fragment's per-query state. Ending an unknown query is a
+// no-op so the coordinator can End unconditionally on error paths.
+func (h *WorkerHost) End(rank int, query uint64) error {
+	h.mu.Lock()
+	delete(h.tasks, hostKey{query: query, rank: rank})
+	h.mu.Unlock()
+	return nil
+}
+
+func (h *WorkerHost) task(rank int, query uint64) (*task, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t, ok := h.tasks[hostKey{query: query, rank: rank}]
+	if !ok {
+		return nil, fmt.Errorf("core: worker host: no task for query %d on fragment %d (PEval not run?)", query, rank)
+	}
+	return t, nil
+}

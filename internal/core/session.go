@@ -38,7 +38,8 @@ var ErrSessionClosed = errors.New("core: session closed")
 // physical workers.
 type Session struct {
 	opts    Options
-	cluster *mpi.Cluster
+	cluster mpi.Transport
+	remotes []RemotePeer // per-rank peers of a distributed session; nil when all fragments are local
 	place   func(graph.VertexID) int
 
 	mu       sync.Mutex // guards part, workers, epoch, views, closed
@@ -74,22 +75,58 @@ func NewSessionPartitioned(p *partition.Partitioned, opts Options) (*Session, er
 	if m == 0 {
 		return nil, errors.New("core: partition has no fragments")
 	}
-	o := opts
-	o.Workers = m
-	o = o.withDefaults()
-
 	cluster, err := mpi.NewCluster(m, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	cluster.LimitParallelism(o.Parallelism)
+	return newSession(p, opts, cluster, nil)
+}
+
+// NewSessionRemote brings up a distributed session: the fragments of p are
+// hosted by remote worker processes reachable through tr (which also
+// provides the coordinator-side mailboxes and barriers) and peers[i] is the
+// evaluation handle for fragment i. Queries run exactly as on a local
+// session — same runner planes, same communicators — with PEval/IncEval
+// forwarded through the peers; only programs implementing RemoteProgram are
+// accepted. The session owns tr and closes it on Close. Graph updates and
+// materialized views are not yet supported on distributed sessions.
+func NewSessionRemote(p *partition.Partitioned, opts Options, tr mpi.Transport, peers []RemotePeer) (*Session, error) {
+	m := len(p.Fragments)
+	if m == 0 {
+		return nil, errors.New("core: partition has no fragments")
+	}
+	if tr == nil {
+		return nil, errors.New("core: nil transport")
+	}
+	if len(peers) != m {
+		return nil, fmt.Errorf("core: %d remote peers for %d fragments", len(peers), m)
+	}
+	for i, pe := range peers {
+		if pe == nil {
+			return nil, fmt.Errorf("core: nil remote peer for fragment %d", i)
+		}
+	}
+	if tr.NumWorkers() != m {
+		return nil, fmt.Errorf("core: transport has %d workers for %d fragments", tr.NumWorkers(), m)
+	}
+	return newSession(p, opts, tr, peers)
+}
+
+func newSession(p *partition.Partitioned, opts Options, tr mpi.Transport, peers []RemotePeer) (*Session, error) {
+	m := len(p.Fragments)
+	o := opts
+	o.Workers = m
+	o = o.withDefaults()
+
+	tr.LimitParallelism(o.Parallelism)
 	place := o.Placer
 	if place == nil {
 		place = partition.HashPlacer(m)
 	}
 	s := &Session{
 		opts:    o,
-		cluster: cluster,
+		cluster: tr,
+		remotes: peers,
 		place:   place,
 		part:    p,
 		workers: newWorkers(p),
@@ -97,6 +134,10 @@ func NewSessionPartitioned(p *partition.Partitioned, opts Options) (*Session, er
 	}
 	return s, nil
 }
+
+// Distributed reports whether the session's fragments are hosted by remote
+// worker processes.
+func (s *Session) Distributed() bool { return s.remotes != nil }
 
 func newWorkers(p *partition.Partitioned) []*worker {
 	workers := make([]*worker, len(p.Fragments))
@@ -139,7 +180,7 @@ func (s *Session) RunMode(q Query, prog Program, mode ExecMode) (*Result, error)
 	defer s.inFlight.Done()
 	s.queries.Add(1)
 
-	co := &coordinator{opts: s.opts, cluster: s.cluster, workers: workers}
+	co := &coordinator{opts: s.opts, cluster: s.cluster, workers: workers, remotes: s.remotes}
 	return co.runMode(q, prog, mode)
 }
 
@@ -174,15 +215,18 @@ func (s *Session) Epoch() int64 {
 	return s.epoch
 }
 
-// Close stops accepting new queries, updates and views, and waits for
-// in-flight ones to finish. Closing an already closed session is a no-op.
+// Close stops accepting new queries, updates and views, waits for in-flight
+// ones to finish and shuts the transport down (for a distributed session
+// this is the graceful shutdown of the worker processes). Closing an already
+// closed session is a no-op.
 func (s *Session) Close() error {
 	s.mu.Lock()
 	already := s.closed
 	s.closed = true
 	s.mu.Unlock()
-	if !already {
-		s.inFlight.Wait()
+	if already {
+		return nil
 	}
-	return nil
+	s.inFlight.Wait()
+	return s.cluster.Close()
 }

@@ -19,6 +19,12 @@ import (
 	"grape/internal/metrics"
 )
 
+// ErrDistributedUnsupported is returned by operations that require the
+// session's fragments to be resident in this process — graph updates and
+// materialized views — when called on a distributed session. Shipping
+// fragment deltas to remote workers is future work.
+var ErrDistributedUnsupported = errors.New("core: operation not supported on distributed sessions")
+
 // FragmentDelta describes what one update batch did to one fragment. It is
 // handed to DeltaProgram.EvalDelta during view maintenance; ctx.Fragment
 // already reflects the post-batch fragment when EvalDelta runs.
@@ -89,6 +95,9 @@ type UpdateStats struct {
 // remaining views are still refreshed, and the collected errors are
 // returned alongside the stats.
 func (s *Session) ApplyUpdates(batch []graph.Update) (*UpdateStats, error) {
+	if s.Distributed() {
+		return nil, ErrDistributedUnsupported
+	}
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
 

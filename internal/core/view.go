@@ -53,6 +53,9 @@ type ViewStats struct {
 // view's answer is refreshed before ApplyUpdates returns. Close the view to
 // stop maintaining it.
 func (s *Session) Materialize(q Query, prog Program) (*View, error) {
+	if s.Distributed() {
+		return nil, ErrDistributedUnsupported
+	}
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
 

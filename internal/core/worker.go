@@ -31,21 +31,41 @@ func newWorker(rank int, frag *partition.Fragment, gp *partition.FragGraph) *wor
 	return &worker{rank: rank, frag: frag, gp: gp}
 }
 
+// sender is where a task routes its outgoing designated messages. On the
+// coordinator it is the query-scoped *mpi.Comm; on a remote worker host it is
+// a collector that accumulates the envelopes so the transport can carry them
+// back to the coordinator's mailboxes.
+type sender interface {
+	Send(from, to int, tag string, payload []byte)
+}
+
 // task is one worker's execution state for one query: a fresh context over
 // the resident (immutable) fragment, the PIE program, and the query-scoped
 // communicator the coordinator created for this run.
+//
+// When remote is non-nil the fragment is hosted by another process: peval and
+// incremental forward the call through the transport instead of computing
+// locally, and inject the envelopes the remote evaluation produced into the
+// coordinator's communicator — so both runner planes (barrier delivery,
+// async visibility and sent/received accounting) behave exactly as they do
+// for in-process fragments.
 type task struct {
 	worker *worker
 	ctx    *Context
-	comm   *mpi.Comm
+	comm   sender
 	prog   Program
 	kvProg KeyValueProgram // non-nil iff prog implements KeyValueProgram
 	opts   Options
 	m      int
+
+	remote     RemotePeer // non-nil for fragments hosted in another process
+	queryID    uint64
+	progName   string
+	queryBytes []byte
 }
 
 // newTask creates the per-query execution state for this worker.
-func (w *worker) newTask(q Query, prog Program, comm *mpi.Comm, opts Options) *task {
+func (w *worker) newTask(q Query, prog Program, comm sender, opts Options) *task {
 	return w.taskWith(newContext(w.rank, w.frag, w.gp, q), prog, comm, opts)
 }
 
@@ -53,7 +73,7 @@ func (w *worker) newTask(q Query, prog Program, comm *mpi.Comm, opts Options) *t
 // materialized view — in a fresh task for one maintenance round. The
 // context's Fragment and GP must already point at the worker's current
 // epoch.
-func (w *worker) taskWith(ctx *Context, prog Program, comm *mpi.Comm, opts Options) *task {
+func (w *worker) taskWith(ctx *Context, prog Program, comm sender, opts Options) *task {
 	kvProg, _ := prog.(KeyValueProgram)
 	return &task{
 		worker: w,
@@ -66,9 +86,28 @@ func (w *worker) taskWith(ctx *Context, prog Program, comm *mpi.Comm, opts Optio
 	}
 }
 
+// inject replays envelopes produced by a remote evaluation into the
+// coordinator's communicator (a remote task's sender is always the
+// query-scoped *mpi.Comm), preserving their original sender rank so
+// metering and routing are indistinguishable from an in-process evaluation.
+func (t *task) inject(envs []mpi.Envelope) {
+	for _, e := range envs {
+		t.comm.Send(e.From, e.To, e.Tag, e.Payload)
+	}
+}
+
 // peval runs the partial-evaluation superstep: PEval over the fragment, then
 // routing of the changed update parameters.
 func (t *task) peval(superstep int) error {
+	if t.remote != nil {
+		envs, err := t.remote.PEval(t.queryID, t.progName, t.queryBytes, superstep,
+			t.opts.DisableIncEval, t.opts.DisableGrouping)
+		if err != nil {
+			return fmt.Errorf("core: remote PEval on fragment %d: %w", t.worker.rank, err)
+		}
+		t.inject(envs)
+		return nil
+	}
 	t.ctx.Superstep = superstep
 	if err := t.prog.PEval(t.ctx); err != nil {
 		return fmt.Errorf("core: PEval on fragment %d: %w", t.worker.rank, err)
@@ -82,10 +121,18 @@ func (t *task) peval(superstep int) error {
 // (or PEval in the GRAPE_NI ablation) on the accepted changes, and route the
 // resulting updates.
 func (t *task) incremental(superstep int, envs []mpi.Envelope) error {
-	t.ctx.Superstep = superstep
 	if len(envs) == 0 {
 		return nil // inactive worker this superstep
 	}
+	if t.remote != nil {
+		out, err := t.remote.IncEval(t.queryID, superstep, envs)
+		if err != nil {
+			return fmt.Errorf("core: remote IncEval on fragment %d: %w", t.worker.rank, err)
+		}
+		t.inject(out)
+		return nil
+	}
+	t.ctx.Superstep = superstep
 	w := t.worker.rank
 	var incoming []mpi.Update
 	var kvs []mpi.KeyValue

@@ -1,0 +1,436 @@
+package net
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"grape/internal/mpi"
+	"grape/internal/partition"
+)
+
+// DefaultHandshakeTimeout bounds how long Serve waits for the expected
+// worker processes to connect and install their fragments.
+const DefaultHandshakeTimeout = 60 * time.Second
+
+// Listener is a bound coordinator endpoint. Splitting Listen from Serve
+// lets callers learn the chosen address (port 0 binds an ephemeral port)
+// before the workers start dialing.
+type Listener struct {
+	ln net.Listener
+}
+
+// Listen binds the coordinator endpoint.
+func Listen(addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("net: listen %s: %w", addr, err)
+	}
+	return &Listener{ln: ln}, nil
+}
+
+// Addr returns the bound address, usable as a grape-worker -coordinator
+// value.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Close stops accepting workers. Serve closes the listener itself; Close is
+// for abandoning a listener without serving.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// Serve runs the coordinator's side of the cluster bring-up: it waits for
+// procs worker processes to connect, handshakes each (protocol version,
+// cluster size, assigned ranks), ships the fragmentation graph and the
+// assigned fragments of p, and waits for every worker to acknowledge
+// readiness. Fragment ranks are dealt round-robin: process i hosts every
+// rank r with r % procs == i. The listener is consumed: it stops accepting
+// once the cluster is up.
+//
+// The returned Cluster implements mpi.Transport (mailboxes, barriers and
+// compute slots are coordinator-side, exactly as in the in-process cluster)
+// and exposes a Peer per fragment for forwarding evaluation calls.
+func (l *Listener) Serve(p *partition.Partitioned, procs int, timeout time.Duration) (*Cluster, error) {
+	defer l.ln.Close()
+	m := len(p.Fragments)
+	if m == 0 {
+		return nil, fmt.Errorf("net: partition has no fragments")
+	}
+	if procs < 1 || procs > m {
+		return nil, fmt.Errorf("net: %d worker processes for %d fragments (want 1..%d)", procs, m, m)
+	}
+	if timeout <= 0 {
+		timeout = DefaultHandshakeTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	if tl, ok := l.ln.(*net.TCPListener); ok {
+		if err := tl.SetDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("net: %w", err)
+		}
+	}
+
+	local, err := mpi.NewCluster(m, nil)
+	if err != nil {
+		return nil, fmt.Errorf("net: %w", err)
+	}
+	gpBytes := partition.EncodeFragGraph(p.GP)
+
+	// Accept every process first, then handshake them concurrently: fragment
+	// shipping and worker-side installation overlap, so bring-up latency is
+	// the slowest worker's setup rather than the sum of all of them.
+	raw := make([]net.Conn, 0, procs)
+	closeAll := func() {
+		for _, c := range raw {
+			c.Close()
+		}
+	}
+	for proc := 0; proc < procs; proc++ {
+		c, err := l.ln.Accept()
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("net: waiting for worker %d of %d: %w", proc+1, procs, err)
+		}
+		raw = append(raw, c)
+	}
+	hsErrs := make([]error, procs)
+	var wg sync.WaitGroup
+	for proc, c := range raw {
+		wg.Add(1)
+		go func(proc int, c net.Conn) {
+			defer wg.Done()
+			hsErrs[proc] = handshakeWorker(c, deadline, proc, procs, p, gpBytes)
+		}(proc, c)
+	}
+	wg.Wait()
+	for proc, err := range hsErrs {
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("net: handshake with worker %d: %w", proc+1, err)
+		}
+	}
+	conns := make([]*procConn, 0, procs)
+	// Handshakes done: lift the deadlines, start the reply demultiplexers.
+	for _, c := range raw {
+		pc := newProcConn(c)
+		pc.c.SetDeadline(time.Time{})
+		go pc.readLoop()
+		conns = append(conns, pc)
+	}
+
+	cl := &Cluster{Cluster: local, conns: conns, peers: make([]*Peer, m)}
+	for rank := 0; rank < m; rank++ {
+		cl.peers[rank] = &Peer{pc: conns[rank%procs], rank: rank}
+	}
+	return cl, nil
+}
+
+// Serve is the one-call form of Listen + Listener.Serve for callers that
+// know their address up front.
+func Serve(addr string, p *partition.Partitioned, procs int, timeout time.Duration) (*Cluster, error) {
+	l, err := Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return l.Serve(p, procs, timeout)
+}
+
+// handshakeWorker performs the coordinator's half of the handshake on a
+// fresh connection: verify the hello, send the welcome (cluster size,
+// assigned ranks, protocol version), ship GP and the fragments, await ready.
+func handshakeWorker(c net.Conn, deadline time.Time, proc, procs int, p *partition.Partitioned, gpBytes []byte) error {
+	if err := c.SetDeadline(deadline); err != nil {
+		return err
+	}
+	hello, err := readFrame(c)
+	if err != nil {
+		return fmt.Errorf("reading hello: %w", err)
+	}
+	hr := &reader{buf: hello}
+	if ft := hr.u8(); ft != ftHello {
+		return fmt.Errorf("expected hello frame, got 0x%02x", ft)
+	}
+	v := hr.uvarint()
+	if hr.err != nil {
+		return fmt.Errorf("malformed hello: %w", hr.err)
+	}
+	if v != ProtocolVersion {
+		msg := fmt.Sprintf("protocol version mismatch: worker speaks %d, coordinator speaks %d", v, ProtocolVersion)
+		_ = writeFrame(c, appendString([]byte{ftError}, msg))
+		return fmt.Errorf("%s", msg)
+	}
+
+	ranks := assignedRanks(len(p.Fragments), proc, procs)
+	welcome := []byte{ftWelcome}
+	welcome = binary.AppendUvarint(welcome, ProtocolVersion)
+	welcome = binary.AppendUvarint(welcome, uint64(len(p.Fragments)))
+	welcome = binary.AppendUvarint(welcome, uint64(proc))
+	welcome = binary.AppendUvarint(welcome, uint64(len(ranks)))
+	for _, r := range ranks {
+		welcome = binary.AppendUvarint(welcome, uint64(r))
+	}
+	if err := writeFrame(c, welcome); err != nil {
+		return fmt.Errorf("sending welcome: %w", err)
+	}
+	if err := writeFrame(c, append([]byte{ftFragGfx}, gpBytes...)); err != nil {
+		return fmt.Errorf("shipping fragmentation graph: %w", err)
+	}
+	for _, r := range ranks {
+		frame := []byte{ftFragment}
+		frame = binary.AppendUvarint(frame, uint64(r))
+		frame = append(frame, partition.EncodeFragment(p.Fragments[r])...)
+		if err := writeFrame(c, frame); err != nil {
+			return fmt.Errorf("shipping fragment %d: %w", r, err)
+		}
+	}
+	ready, err := readFrame(c)
+	if err != nil {
+		return fmt.Errorf("awaiting ready: %w", err)
+	}
+	rr := &reader{buf: ready}
+	switch ft := rr.u8(); ft {
+	case ftReady:
+		return nil
+	case ftError:
+		return fmt.Errorf("worker aborted: %s", rr.str())
+	default:
+		return fmt.Errorf("expected ready frame, got 0x%02x", ft)
+	}
+}
+
+// assignedRanks returns the fragment ranks process proc hosts under the
+// round-robin deal.
+func assignedRanks(m, proc, procs int) []int {
+	var out []int
+	for r := proc; r < m; r += procs {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Cluster is the coordinator side of a multi-process worker cluster. It
+// embeds an in-process mpi.Cluster — mailboxes, barriers and compute slots
+// are identical to the local transport — and adds the per-process
+// connections plus a Peer handle per fragment rank for remote evaluation
+// calls. It satisfies mpi.Transport.
+type Cluster struct {
+	*mpi.Cluster
+	conns []*procConn
+	peers []*Peer
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+var _ mpi.Transport = (*Cluster)(nil)
+
+// Peer returns the evaluation handle for fragment rank.
+func (c *Cluster) Peer(rank int) *Peer { return c.peers[rank] }
+
+// Peers returns the evaluation handles for all fragment ranks, in rank
+// order.
+func (c *Cluster) Peers() []*Peer { return append([]*Peer(nil), c.peers...) }
+
+// Procs returns the number of worker processes in the cluster.
+func (c *Cluster) Procs() int { return len(c.conns) }
+
+// Close shuts the cluster down gracefully: every worker process receives a
+// shutdown frame (on which it exits cleanly) before its connection is
+// closed. Close is idempotent.
+func (c *Cluster) Close() error {
+	c.closeOnce.Do(func() {
+		for _, pc := range c.conns {
+			pc.shutdown()
+		}
+	})
+	return c.closeErr
+}
+
+// procConn multiplexes concurrent evaluation calls for the fragments one
+// worker process hosts over a single TCP connection: requests carry an id,
+// replies are demultiplexed by it, so a BSP barrier (or several async
+// fragment loops) can keep every hosted fragment busy without per-fragment
+// connections.
+type procConn struct {
+	c   net.Conn
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextReq uint64
+	pending map[uint64]chan callReply
+	err     error
+}
+
+type callReply struct {
+	body []byte
+	err  error
+}
+
+func newProcConn(c net.Conn) *procConn {
+	return &procConn{c: c, pending: make(map[uint64]chan callReply)}
+}
+
+// call sends one request frame (built by build from the allocated request
+// id) and blocks until its reply arrives or the connection fails.
+func (pc *procConn) call(build func(reqID uint64) []byte) ([]byte, error) {
+	pc.mu.Lock()
+	if pc.err != nil {
+		err := pc.err
+		pc.mu.Unlock()
+		return nil, err
+	}
+	pc.nextReq++
+	id := pc.nextReq
+	ch := make(chan callReply, 1)
+	pc.pending[id] = ch
+	pc.mu.Unlock()
+
+	pc.wmu.Lock()
+	err := writeFrame(pc.c, build(id))
+	pc.wmu.Unlock()
+	if err != nil {
+		pc.fail(fmt.Errorf("net: send request: %w", err))
+	}
+	rep := <-ch
+	return rep.body, rep.err
+}
+
+// readLoop demultiplexes reply frames to their waiting calls until the
+// connection fails or is closed.
+func (pc *procConn) readLoop() {
+	for {
+		payload, err := readFrame(pc.c)
+		if err != nil {
+			pc.fail(fmt.Errorf("net: worker connection lost: %w", err))
+			return
+		}
+		r := &reader{buf: payload}
+		if ft := r.u8(); ft != ftReply {
+			pc.fail(fmt.Errorf("net: unexpected frame 0x%02x from worker", ft))
+			return
+		}
+		id := r.uvarint()
+		ok := r.u8()
+		var rep callReply
+		if ok == 1 {
+			rep.body = r.rest()
+		} else {
+			rep.err = fmt.Errorf("net: remote: %s", r.str())
+		}
+		if r.err != nil {
+			pc.fail(fmt.Errorf("net: malformed reply: %w", r.err))
+			return
+		}
+		pc.mu.Lock()
+		ch, found := pc.pending[id]
+		delete(pc.pending, id)
+		pc.mu.Unlock()
+		if found {
+			ch <- rep
+		}
+	}
+}
+
+// fail poisons the connection: every pending and future call returns err.
+func (pc *procConn) fail(err error) {
+	pc.mu.Lock()
+	if pc.err == nil {
+		pc.err = err
+	}
+	pending := pc.pending
+	pc.pending = make(map[uint64]chan callReply)
+	pc.mu.Unlock()
+	pc.c.Close()
+	for _, ch := range pending {
+		ch <- callReply{err: err}
+	}
+}
+
+// shutdown sends the graceful-shutdown frame and closes the connection.
+func (pc *procConn) shutdown() {
+	pc.wmu.Lock()
+	_ = writeFrame(pc.c, []byte{ftShutdown})
+	pc.wmu.Unlock()
+	pc.fail(fmt.Errorf("net: cluster closed"))
+}
+
+// Peer is the coordinator's evaluation handle for one fragment hosted by a
+// worker process. It implements the engine's RemotePeer contract.
+type Peer struct {
+	pc   *procConn
+	rank int
+}
+
+// Rank returns the fragment rank this peer evaluates.
+func (p *Peer) Rank() int { return p.rank }
+
+// callHeader builds the common [ftCall][reqID][kind][rank][query][superstep]
+// prefix.
+func (p *Peer) callHeader(reqID uint64, kind byte, query uint64, superstep int) []byte {
+	buf := []byte{ftCall}
+	buf = binary.AppendUvarint(buf, reqID)
+	buf = append(buf, kind)
+	buf = binary.AppendUvarint(buf, uint64(p.rank))
+	buf = binary.AppendUvarint(buf, query)
+	buf = binary.AppendUvarint(buf, uint64(superstep))
+	return buf
+}
+
+// PEval forwards a partial-evaluation call and returns the envelopes the
+// remote fragment routed.
+func (p *Peer) PEval(query uint64, prog string, queryBytes []byte, superstep int,
+	disableIncEval, disableGrouping bool) ([]mpi.Envelope, error) {
+	body, err := p.pc.call(func(id uint64) []byte {
+		buf := p.callHeader(id, callPEval, query, superstep)
+		var flags byte
+		if disableIncEval {
+			flags |= 1
+		}
+		if disableGrouping {
+			flags |= 2
+		}
+		buf = append(buf, flags)
+		buf = appendString(buf, prog)
+		buf = appendBytes(buf, queryBytes)
+		return buf
+	})
+	if err != nil {
+		return nil, err
+	}
+	return decodeEnvelopeReply(body)
+}
+
+// IncEval forwards delivered envelopes to the remote fragment and returns
+// the envelopes its incremental evaluation routed.
+func (p *Peer) IncEval(query uint64, superstep int, envs []mpi.Envelope) ([]mpi.Envelope, error) {
+	body, err := p.pc.call(func(id uint64) []byte {
+		return appendEnvelopes(p.callHeader(id, callIncEval, query, superstep), envs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return decodeEnvelopeReply(body)
+}
+
+// Fetch retrieves the fragment's encoded partial result.
+func (p *Peer) Fetch(query uint64) ([]byte, error) {
+	return p.pc.call(func(id uint64) []byte {
+		return p.callHeader(id, callFetch, query, 0)
+	})
+}
+
+// End releases the fragment's per-query state.
+func (p *Peer) End(query uint64) error {
+	_, err := p.pc.call(func(id uint64) []byte {
+		return p.callHeader(id, callEnd, query, 0)
+	})
+	return err
+}
+
+func decodeEnvelopeReply(body []byte) ([]mpi.Envelope, error) {
+	r := &reader{buf: body}
+	envs := r.envelopes()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return envs, nil
+}

@@ -1,0 +1,42 @@
+// Package net is the multi-process transport of the GRAPE reproduction: it
+// runs a session's fragments in separate worker processes connected to the
+// coordinator over length-prefixed TCP streams, standing in for the MPI
+// deployment of the paper's implementation (Section 6) the way internal/mpi
+// stands in for its in-process controller.
+//
+// # Topology
+//
+// The cluster is a star: each worker process dials the coordinator once
+// (with exponential-backoff retry, so process launch order does not matter)
+// and every frame — handshake, fragment shipment, evaluation calls, routed
+// envelopes, shutdown — travels over that one connection, multiplexed by
+// request id. The coordinator partitions the graph, deals fragment ranks to
+// processes round-robin, ships each fragment plus the fragmentation graph
+// GP (internal/partition's wire codec), and keeps the query-scoped
+// mailboxes, barriers and compute slots local: the returned Cluster embeds
+// an in-process mpi.Cluster and therefore satisfies mpi.Transport, so both
+// execution planes of the engine (BSP and adaptive asynchronous) run over
+// it unchanged. Worker-to-worker designated messages relay through the
+// coordinator with their original sender rank, which keeps the metering and
+// the termination conditions (no pending messages; idle consensus with
+// sent == received) exactly as in-process runs have them.
+//
+// # Protocol
+//
+// Every frame is a little-endian uint32 length followed by a payload whose
+// first byte is the frame type. The handshake is hello (protocol version) →
+// welcome (version, cluster size m, process id, assigned ranks) → GP frame →
+// one fragment frame per assigned rank → ready. Version mismatches abort
+// with an explicit error frame on whichever side detects them. After the
+// handshake the coordinator sends call frames (PEval / IncEval / Fetch /
+// End, each tagged with a request id, fragment rank, query id and
+// superstep) and the worker answers with reply frames carrying the routed
+// envelopes (or the encoded partial result for Fetch); envelope payloads
+// reuse the varint/delta update codec of internal/mpi unchanged. A shutdown
+// frame ends the worker process gracefully; a lost connection poisons all
+// in-flight calls with an error instead of hanging them.
+//
+// ProtocolVersion gates compatibility end to end: bump it whenever frame
+// layouts, the fragment codec or call semantics change, and mixed-version
+// clusters fail fast at handshake time instead of corrupting queries.
+package net

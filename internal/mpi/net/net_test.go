@@ -1,0 +1,247 @@
+package net_test
+
+import (
+	"math/rand"
+	stdnet "net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"grape/internal/core"
+	"grape/internal/graph"
+	grapenet "grape/internal/mpi/net"
+	"grape/internal/partition"
+	"grape/internal/pie"
+)
+
+func randomGraph(t *testing.T, n, extra int, seed int64) *graph.Graph {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(false)
+	for v := 0; v < n; v++ {
+		b.AddEdge(graph.VertexID(v), graph.VertexID((v+1)%n), 1+r.Float64()*3, "")
+	}
+	for i := 0; i < extra; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v), 0.5+r.Float64()*5, "")
+		}
+	}
+	return b.Build()
+}
+
+// startWorkers launches procs worker loops (full dial/handshake/serve path
+// over real TCP) against addr and returns a wait function asserting clean
+// exits.
+func startWorkers(t *testing.T, addr string, procs int) func() {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			host := core.NewWorkerHost(pie.ByName)
+			errs[i] = grapenet.RunWorker(addr, host, grapenet.WorkerOptions{DialTimeout: 10 * time.Second})
+		}(i)
+	}
+	return func() {
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestEngineOverTCP runs SSSP and CC through core sessions whose fragments
+// live behind the TCP transport, on both planes, and compares against local
+// evaluation.
+func TestEngineOverTCP(t *testing.T) {
+	const m, procs = 5, 3
+	g := randomGraph(t, 150, 250, 11)
+	p := partition.Partition(g, m, partition.Hash{})
+
+	localS, err := core.NewSessionPartitioned(p, core.Options{})
+	if err != nil {
+		t.Fatalf("local session: %v", err)
+	}
+	defer localS.Close()
+	wantSSSP, err := localS.Run(graph.VertexID(3), pie.SSSP{})
+	if err != nil {
+		t.Fatalf("local SSSP: %v", err)
+	}
+	wantCC, err := localS.Run(nil, pie.CC{})
+	if err != nil {
+		t.Fatalf("local CC: %v", err)
+	}
+
+	ln, err := grapenet.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	waitWorkers := startWorkers(t, ln.Addr(), procs)
+	cl, err := ln.Serve(p, procs, 10*time.Second)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if cl.Procs() != procs || cl.NumWorkers() != m {
+		t.Fatalf("cluster reports %d procs / %d workers, want %d / %d", cl.Procs(), cl.NumWorkers(), procs, m)
+	}
+	peers := make([]core.RemotePeer, m)
+	for i := range peers {
+		peers[i] = cl.Peer(i)
+	}
+	s, err := core.NewSessionRemote(p, core.Options{}, cl, peers)
+	if err != nil {
+		t.Fatalf("NewSessionRemote: %v", err)
+	}
+	defer waitWorkers()
+	defer s.Close()
+	if !s.Distributed() {
+		t.Fatalf("remote session does not report Distributed")
+	}
+
+	for _, mode := range []core.ExecMode{core.ModeBSP, core.ModeAsync} {
+		res, err := s.RunMode(graph.VertexID(3), pie.SSSP{}, mode)
+		if err != nil {
+			t.Fatalf("%v SSSP over TCP: %v", mode, err)
+		}
+		if !reflect.DeepEqual(res.Output, wantSSSP.Output) {
+			t.Fatalf("%v SSSP over TCP differs from local answer", mode)
+		}
+		if res.Stats.MessagesSent == 0 {
+			t.Fatalf("%v SSSP over TCP exchanged no messages", mode)
+		}
+		res, err = s.RunMode(nil, pie.CC{}, mode)
+		if err != nil {
+			t.Fatalf("%v CC over TCP: %v", mode, err)
+		}
+		if !reflect.DeepEqual(res.Output, wantCC.Output) {
+			t.Fatalf("%v CC over TCP differs from local answer", mode)
+		}
+	}
+
+	// Concurrent queries over the same TCP cluster (distinct query ids
+	// multiplexed over the same connections).
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Run(graph.VertexID(i), pie.SSSP{})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if len(res.Output.(map[graph.VertexID]float64)) != g.NumVertices() {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent query over TCP: %v", err)
+	}
+}
+
+// TestWorkerDialBackoff starts the worker before anything listens on the
+// coordinator port: the dial retry loop must carry it into the handshake
+// once the coordinator appears.
+func TestWorkerDialBackoff(t *testing.T) {
+	// Reserve a port, then release it so the worker's first dials fail.
+	probe, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("probe listen: %v", err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	waitWorkers := startWorkers(t, addr, 1)
+	time.Sleep(300 * time.Millisecond) // let a few dial attempts fail
+
+	g := randomGraph(t, 40, 40, 2)
+	p := partition.Partition(g, 2, partition.Hash{})
+	ln, err := grapenet.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen(%s): %v", addr, err)
+	}
+	cl, err := ln.Serve(p, 1, 10*time.Second)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	peers := []core.RemotePeer{cl.Peer(0), cl.Peer(1)}
+	s, err := core.NewSessionRemote(p, core.Options{}, cl, peers)
+	if err != nil {
+		t.Fatalf("NewSessionRemote: %v", err)
+	}
+	res, err := s.Run(graph.VertexID(0), pie.SSSP{})
+	if err != nil {
+		t.Fatalf("SSSP after backoff: %v", err)
+	}
+	if len(res.Output.(map[graph.VertexID]float64)) != g.NumVertices() {
+		t.Fatalf("incomplete SSSP answer after backoff")
+	}
+	s.Close()
+	waitWorkers()
+}
+
+// TestGracefulShutdown: closing the session sends the shutdown frame and
+// every worker loop returns nil (asserted by startWorkers' waiter); double
+// Close stays idempotent.
+func TestGracefulShutdown(t *testing.T) {
+	g := randomGraph(t, 30, 20, 9)
+	p := partition.Partition(g, 2, partition.Hash{})
+	ln, err := grapenet.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	waitWorkers := startWorkers(t, ln.Addr(), 2)
+	cl, err := ln.Serve(p, 2, 10*time.Second)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	s, err := core.NewSessionRemote(p, core.Options{}, cl, []core.RemotePeer{cl.Peer(0), cl.Peer(1)})
+	if err != nil {
+		t.Fatalf("NewSessionRemote: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	waitWorkers()
+}
+
+// TestLocalOnlyProgramRejected: a program without wire codecs fails fast at
+// the coordinator, before any call crosses the wire.
+func TestLocalOnlyProgramRejected(t *testing.T) {
+	g := randomGraph(t, 30, 20, 4)
+	p := partition.Partition(g, 2, partition.Hash{})
+	ln, err := grapenet.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	waitWorkers := startWorkers(t, ln.Addr(), 2)
+	cl, err := ln.Serve(p, 2, 10*time.Second)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	s, err := core.NewSessionRemote(p, core.Options{}, cl, []core.RemotePeer{cl.Peer(0), cl.Peer(1)})
+	if err != nil {
+		t.Fatalf("NewSessionRemote: %v", err)
+	}
+	defer waitWorkers()
+	defer s.Close()
+
+	pb := graph.NewBuilder(true)
+	pb.AddEdge(1, 2, 1, "")
+	if _, err := s.Run(pb.Build(), pie.Sim{}); err == nil {
+		t.Fatalf("Sim accepted on a distributed session")
+	}
+}

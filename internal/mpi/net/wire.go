@@ -1,0 +1,201 @@
+package net
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"grape/internal/mpi"
+)
+
+// ProtocolVersion is the wire protocol generation. The worker sends it in
+// its hello and the coordinator echoes it in the welcome; a mismatch on
+// either side aborts the handshake with a versioned error instead of
+// undefined framing behavior. Bump it whenever a frame layout, the fragment
+// codec or the call semantics change incompatibly.
+const ProtocolVersion = 1
+
+// maxFrame bounds a single frame (a shipped fragment is the largest payload
+// in practice). Oversized lengths indicate a corrupt or hostile stream.
+const maxFrame = 1 << 30
+
+// Frame types.
+const (
+	ftHello    = byte(0x01) // worker -> coordinator: protocol version
+	ftWelcome  = byte(0x02) // coordinator -> worker: version, m, proc id, assigned ranks
+	ftFragGfx  = byte(0x03) // coordinator -> worker: encoded fragmentation graph
+	ftFragment = byte(0x04) // coordinator -> worker: rank + encoded fragment
+	ftReady    = byte(0x05) // worker -> coordinator: fragments installed
+	ftCall     = byte(0x06) // coordinator -> worker: evaluation request
+	ftReply    = byte(0x07) // worker -> coordinator: evaluation response
+	ftShutdown = byte(0x08) // coordinator -> worker: graceful shutdown
+	ftError    = byte(0x09) // either direction during handshake: abort with message
+)
+
+// Call kinds carried by ftCall frames.
+const (
+	callPEval   = byte(0x01)
+	callIncEval = byte(0x02)
+	callFetch   = byte(0x03)
+	callEnd     = byte(0x04)
+)
+
+// writeFrame sends one length-prefixed frame. Callers serialize access to w.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("net: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("net: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// appendString appends a length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// appendBytes appends a length-prefixed byte slice.
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+// appendEnvelopes appends an envelope batch: count, then per envelope the
+// zigzag-varint From/To ranks, the tag and the payload (whose bytes are the
+// already varint/delta-encoded update batches of the mpi codec — the
+// transport does not re-encode them).
+func appendEnvelopes(buf []byte, envs []mpi.Envelope) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(envs)))
+	for _, e := range envs {
+		buf = binary.AppendVarint(buf, int64(e.From))
+		buf = binary.AppendVarint(buf, int64(e.To))
+		buf = appendString(buf, e.Tag)
+		buf = appendBytes(buf, e.Payload)
+	}
+	return buf
+}
+
+// reader is a sticky-error cursor over a frame payload.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("net: truncated or malformed %s at offset %d", what, r.off)
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil || r.off >= len(r.buf) {
+		r.fail("byte")
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a length prefix bounded by the remaining bytes.
+func (r *reader) count() int {
+	v := r.uvarint()
+	if r.err == nil && v > uint64(len(r.buf)-r.off)+1 {
+		r.fail("length")
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) bytes() []byte {
+	n := r.count()
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.fail("bytes")
+		return nil
+	}
+	b := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+// rest returns the unread remainder of the frame.
+func (r *reader) rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	b := r.buf[r.off:]
+	r.off = len(r.buf)
+	return b
+}
+
+func (r *reader) envelopes() []mpi.Envelope {
+	n := r.count()
+	if r.err != nil {
+		return nil
+	}
+	envs := make([]mpi.Envelope, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		var e mpi.Envelope
+		e.From = int(r.varint())
+		e.To = int(r.varint())
+		e.Tag = r.str()
+		e.Payload = append([]byte(nil), r.bytes()...)
+		envs = append(envs, e)
+	}
+	if r.err != nil {
+		return nil
+	}
+	return envs
+}

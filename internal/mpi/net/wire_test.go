@@ -1,0 +1,240 @@
+package net
+
+import (
+	"bytes"
+	stdnet "net"
+	"reflect"
+	"testing"
+	"time"
+
+	"grape/internal/graph"
+	"grape/internal/mpi"
+	"grape/internal/partition"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {0x01}, bytes.Repeat([]byte{0xAB}, 1<<16)}
+	for _, p := range payloads {
+		if err := writeFrame(&buf, p); err != nil {
+			t.Fatalf("writeFrame(%d bytes): %v", len(p), err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame round trip: got %d bytes, want %d", len(got), len(want))
+		}
+	}
+}
+
+func TestReadFrameRejectsOversizedLength(t *testing.T) {
+	raw := []byte{0xFF, 0xFF, 0xFF, 0xFF} // 4GiB length prefix
+	if _, err := readFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatalf("oversized frame length accepted")
+	}
+}
+
+func TestEnvelopeCodecRoundTrip(t *testing.T) {
+	cases := [][]mpi.Envelope{
+		nil,
+		{},
+		{{From: 0, To: 3, Tag: "updates", Payload: []byte{1, 2, 3}}},
+		{
+			{From: mpi.Coordinator, To: 0, Tag: "raw", Payload: nil},
+			{From: 7, To: 2, Tag: "kv", Payload: bytes.Repeat([]byte{0x00, 0xFF}, 500)},
+			{From: 1, To: 1, Tag: "", Payload: []byte{}},
+		},
+	}
+	for i, envs := range cases {
+		buf := appendEnvelopes(nil, envs)
+		r := &reader{buf: buf}
+		got := r.envelopes()
+		if r.err != nil {
+			t.Fatalf("case %d: decode: %v", i, r.err)
+		}
+		if len(got) != len(envs) {
+			t.Fatalf("case %d: got %d envelopes, want %d", i, len(got), len(envs))
+		}
+		for j := range envs {
+			if got[j].From != envs[j].From || got[j].To != envs[j].To || got[j].Tag != envs[j].Tag ||
+				!bytes.Equal(got[j].Payload, envs[j].Payload) {
+				t.Fatalf("case %d envelope %d: got %+v, want %+v", i, j, got[j], envs[j])
+			}
+		}
+	}
+}
+
+func TestEnvelopeDecodeTruncated(t *testing.T) {
+	buf := appendEnvelopes(nil, []mpi.Envelope{{From: 1, To: 2, Tag: "updates", Payload: []byte{1, 2, 3, 4}}})
+	for cut := 1; cut < len(buf); cut++ {
+		r := &reader{buf: buf[:cut]}
+		if got := r.envelopes(); got != nil && r.err == nil {
+			t.Fatalf("truncation at %d decoded silently", cut)
+		}
+	}
+}
+
+func TestAssignedRanksRoundRobin(t *testing.T) {
+	for _, tc := range []struct{ m, procs int }{{6, 3}, {7, 3}, {4, 4}, {5, 1}, {3, 2}} {
+		seen := make(map[int]int)
+		for proc := 0; proc < tc.procs; proc++ {
+			for _, r := range assignedRanks(tc.m, proc, tc.procs) {
+				seen[r]++
+				if r%tc.procs != proc {
+					t.Fatalf("m=%d procs=%d: rank %d assigned to proc %d", tc.m, tc.procs, r, proc)
+				}
+			}
+		}
+		if len(seen) != tc.m {
+			t.Fatalf("m=%d procs=%d: %d ranks assigned, want %d", tc.m, tc.procs, len(seen), tc.m)
+		}
+		for r, n := range seen {
+			if n != 1 {
+				t.Fatalf("m=%d procs=%d: rank %d assigned %d times", tc.m, tc.procs, r, n)
+			}
+		}
+	}
+}
+
+// testPartition builds a small two-fragment partition for handshake tests.
+func testPartition(t *testing.T) *partition.Partitioned {
+	t.Helper()
+	b := graph.NewBuilder(false)
+	for v := 0; v < 10; v++ {
+		b.AddEdge(graph.VertexID(v), graph.VertexID((v+1)%10), 1, "")
+	}
+	return partition.Partition(b.Build(), 2, partition.Hash{})
+}
+
+func TestHandshakeRejectsVersionMismatch(t *testing.T) {
+	coord, worker := stdnet.Pipe()
+	defer coord.Close()
+	defer worker.Close()
+
+	errCh := make(chan error, 1)
+	p := testPartition(t)
+	go func() {
+		errCh <- handshakeWorker(coord, time.Now().Add(5*time.Second), 0, 1, p, partition.EncodeFragGraph(p.GP))
+	}()
+
+	hello := []byte{ftHello}
+	hello = append(hello, 99) // bogus protocol version (uvarint 99 is one byte)
+	if err := writeFrame(worker, hello); err != nil {
+		t.Fatalf("send hello: %v", err)
+	}
+	payload, err := readFrame(worker)
+	if err != nil {
+		t.Fatalf("read error frame: %v", err)
+	}
+	r := &reader{buf: payload}
+	if ft := r.u8(); ft != ftError {
+		t.Fatalf("got frame 0x%02x, want error frame", ft)
+	}
+	if msg := r.str(); msg == "" {
+		t.Fatalf("error frame carries no message")
+	}
+	if err := <-errCh; err == nil {
+		t.Fatalf("coordinator accepted a mismatched protocol version")
+	}
+}
+
+func TestHandshakeRejectsNonHello(t *testing.T) {
+	coord, worker := stdnet.Pipe()
+	defer coord.Close()
+	defer worker.Close()
+
+	errCh := make(chan error, 1)
+	p := testPartition(t)
+	go func() {
+		errCh <- handshakeWorker(coord, time.Now().Add(5*time.Second), 0, 1, p, partition.EncodeFragGraph(p.GP))
+	}()
+	if err := writeFrame(worker, []byte{ftCall, 0x01}); err != nil {
+		t.Fatalf("send frame: %v", err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatalf("coordinator accepted a non-hello first frame")
+	}
+}
+
+func TestServeValidatesArguments(t *testing.T) {
+	p := testPartition(t)
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if _, err := l.Serve(p, 0, time.Second); err == nil {
+		t.Fatalf("Serve accepted 0 worker processes")
+	}
+	l, err = Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if _, err := l.Serve(p, 3, time.Second); err == nil {
+		t.Fatalf("Serve accepted more processes than fragments")
+	}
+}
+
+func TestServeTimesOutWithoutWorkers(t *testing.T) {
+	p := testPartition(t)
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	start := time.Now()
+	if _, err := l.Serve(p, 1, 300*time.Millisecond); err == nil {
+		t.Fatalf("Serve succeeded without any worker")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("Serve did not respect the handshake timeout")
+	}
+}
+
+func TestProcConnPoisonsPendingCallsOnFailure(t *testing.T) {
+	a, b := stdnet.Pipe()
+	pc := newProcConn(a)
+	go pc.readLoop()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := pc.call(func(id uint64) []byte { return []byte{ftCall} })
+		done <- err
+	}()
+	// Swallow the request, then drop the connection mid-call.
+	if _, err := readFrame(b); err != nil {
+		t.Fatalf("read request: %v", err)
+	}
+	b.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("call survived a dropped connection")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("call hung after the connection dropped")
+	}
+	// Subsequent calls fail fast instead of hanging.
+	if _, err := pc.call(func(id uint64) []byte { return []byte{ftCall} }); err == nil {
+		t.Fatalf("poisoned connection accepted a new call")
+	}
+}
+
+func TestReaderRest(t *testing.T) {
+	r := &reader{buf: []byte{1, 2, 3}}
+	if got := r.u8(); got != 1 {
+		t.Fatalf("u8 = %d", got)
+	}
+	if got := r.rest(); !reflect.DeepEqual(got, []byte{2, 3}) {
+		t.Fatalf("rest = %v", got)
+	}
+	if got := r.rest(); len(got) != 0 {
+		t.Fatalf("second rest = %v", got)
+	}
+	r.fail("x")
+	if r.err == nil {
+		t.Fatalf("fail did not record an error")
+	}
+}

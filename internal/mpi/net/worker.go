@@ -1,0 +1,267 @@
+package net
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"grape/internal/mpi"
+	"grape/internal/partition"
+)
+
+// WorkerOptions configure a worker process's connection to the coordinator.
+type WorkerOptions struct {
+	// DialTimeout is the total budget for dialing the coordinator with
+	// exponential backoff — workers may legitimately start before the
+	// coordinator listens. Zero means 30 seconds.
+	DialTimeout time.Duration
+	// Logf, when non-nil, receives progress lines (dial retries, handshake,
+	// shutdown). Workers run unattended in CI; the log is their only voice.
+	Logf func(format string, args ...any)
+}
+
+func (o WorkerOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Handler executes the coordinator's evaluation calls over the fragments a
+// worker process hosts. core.WorkerHost implements it (structurally — this
+// package stays independent of the engine); the methods mirror the Peer
+// methods on the coordinator side.
+type Handler interface {
+	// Setup installs the fragments shipped during the handshake and the
+	// fragmentation graph they route through.
+	Setup(frags []*partition.Fragment, gp *partition.FragGraph) error
+	// PEval runs partial evaluation for one query on one hosted fragment.
+	PEval(rank int, query uint64, prog string, queryBytes []byte, superstep int,
+		disableIncEval, disableGrouping bool) ([]mpi.Envelope, error)
+	// IncEval runs incremental evaluation over delivered envelopes.
+	IncEval(rank int, query uint64, superstep int, envs []mpi.Envelope) ([]mpi.Envelope, error)
+	// Fetch returns the fragment's encoded partial result.
+	Fetch(rank int, query uint64) ([]byte, error)
+	// End releases the fragment's per-query state.
+	End(rank int, query uint64) error
+}
+
+// handshakeIOTimeout bounds each read/write of the worker-side handshake
+// once the connection is up.
+const handshakeIOTimeout = 30 * time.Second
+
+// RunWorker connects a worker process to the coordinator at addr and serves
+// evaluation calls until the coordinator shuts the cluster down. It dials
+// with exponential backoff (the coordinator may not be listening yet),
+// performs the handshake — protocol version exchange, cluster size and rank
+// assignment, fragment installation — and then answers calls concurrently,
+// one goroutine per in-flight request. It returns nil on graceful shutdown
+// and an error if the handshake fails or the connection is lost mid-run.
+func RunWorker(addr string, h Handler, opts WorkerOptions) error {
+	conn, err := dialBackoff(addr, opts)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	ranks, frags, gp, err := handshakeCoordinator(conn, opts)
+	if err != nil {
+		return err
+	}
+	if err := h.Setup(frags, gp); err != nil {
+		msg := fmt.Sprintf("fragment setup failed: %v", err)
+		_ = writeFrame(conn, appendString([]byte{ftError}, msg))
+		return fmt.Errorf("net: %s", msg)
+	}
+	if err := writeFrame(conn, []byte{ftReady}); err != nil {
+		return fmt.Errorf("net: sending ready: %w", err)
+	}
+	conn.SetDeadline(time.Time{})
+	opts.logf("serving fragments %v", ranks)
+
+	var wmu sync.Mutex
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return fmt.Errorf("net: coordinator connection lost: %w", err)
+		}
+		r := &reader{buf: payload}
+		switch ft := r.u8(); ft {
+		case ftShutdown:
+			opts.logf("coordinator shut the cluster down")
+			return nil
+		case ftCall:
+			reqID := r.uvarint()
+			kind := r.u8()
+			rank := int(r.uvarint())
+			query := r.uvarint()
+			superstep := int(r.uvarint())
+			if r.err != nil {
+				return fmt.Errorf("net: malformed call: %w", r.err)
+			}
+			go func(r *reader) {
+				reply := handleCall(h, kind, rank, query, superstep, r)
+				out := []byte{ftReply}
+				out = binary.AppendUvarint(out, reqID)
+				if reply.err != nil {
+					out = append(out, 0)
+					out = appendString(out, reply.err.Error())
+				} else {
+					out = append(out, 1)
+					out = append(out, reply.body...)
+				}
+				wmu.Lock()
+				werr := writeFrame(conn, out)
+				wmu.Unlock()
+				if werr != nil {
+					// The read loop will observe the broken connection and
+					// exit; nothing more to do here.
+					opts.logf("reply write failed: %v", werr)
+				}
+			}(r)
+		default:
+			return fmt.Errorf("net: unexpected frame 0x%02x from coordinator", ft)
+		}
+	}
+}
+
+// handleCall dispatches one evaluation request to the handler.
+func handleCall(h Handler, kind byte, rank int, query uint64, superstep int, r *reader) callReply {
+	switch kind {
+	case callPEval:
+		flags := r.u8()
+		prog := r.str()
+		queryBytes := r.bytes()
+		if r.err != nil {
+			return callReply{err: r.err}
+		}
+		envs, err := h.PEval(rank, query, prog, queryBytes, superstep, flags&1 != 0, flags&2 != 0)
+		if err != nil {
+			return callReply{err: err}
+		}
+		return callReply{body: appendEnvelopes(nil, envs)}
+	case callIncEval:
+		envs := r.envelopes()
+		if r.err != nil {
+			return callReply{err: r.err}
+		}
+		out, err := h.IncEval(rank, query, superstep, envs)
+		if err != nil {
+			return callReply{err: err}
+		}
+		return callReply{body: appendEnvelopes(nil, out)}
+	case callFetch:
+		data, err := h.Fetch(rank, query)
+		if err != nil {
+			return callReply{err: err}
+		}
+		return callReply{body: data}
+	case callEnd:
+		if err := h.End(rank, query); err != nil {
+			return callReply{err: err}
+		}
+		return callReply{}
+	default:
+		return callReply{err: fmt.Errorf("unknown call kind 0x%02x", kind)}
+	}
+}
+
+// dialBackoff dials the coordinator with exponential backoff until the
+// options' dial budget is exhausted.
+func dialBackoff(addr string, opts WorkerOptions) (net.Conn, error) {
+	budget := opts.DialTimeout
+	if budget <= 0 {
+		budget = 30 * time.Second
+	}
+	deadline := time.Now().Add(budget)
+	delay := 50 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().Add(delay).After(deadline) {
+			return nil, fmt.Errorf("net: dialing coordinator %s: %w", addr, err)
+		}
+		opts.logf("dial %s failed (attempt %d): %v; retrying in %v", addr, attempt, err, delay)
+		time.Sleep(delay)
+		if delay *= 2; delay > 2*time.Second {
+			delay = 2 * time.Second
+		}
+	}
+}
+
+// handshakeCoordinator performs the worker's half of the handshake and
+// returns the assigned ranks, the decoded fragments and the fragmentation
+// graph.
+func handshakeCoordinator(conn net.Conn, opts WorkerOptions) ([]int, []*partition.Fragment, *partition.FragGraph, error) {
+	conn.SetDeadline(time.Now().Add(handshakeIOTimeout))
+	hello := []byte{ftHello}
+	hello = binary.AppendUvarint(hello, ProtocolVersion)
+	if err := writeFrame(conn, hello); err != nil {
+		return nil, nil, nil, fmt.Errorf("net: sending hello: %w", err)
+	}
+
+	payload, err := readFrame(conn)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("net: awaiting welcome: %w", err)
+	}
+	r := &reader{buf: payload}
+	switch ft := r.u8(); ft {
+	case ftWelcome:
+	case ftError:
+		return nil, nil, nil, fmt.Errorf("net: coordinator rejected handshake: %s", r.str())
+	default:
+		return nil, nil, nil, fmt.Errorf("net: expected welcome frame, got 0x%02x", ft)
+	}
+	if v := r.uvarint(); r.err == nil && v != ProtocolVersion {
+		return nil, nil, nil, fmt.Errorf("net: protocol version mismatch: coordinator speaks %d, worker speaks %d", v, ProtocolVersion)
+	}
+	m := int(r.uvarint())
+	proc := int(r.uvarint())
+	nRanks := r.count()
+	ranks := make([]int, 0, nRanks)
+	for i := 0; i < nRanks && r.err == nil; i++ {
+		ranks = append(ranks, int(r.uvarint()))
+	}
+	if r.err != nil {
+		return nil, nil, nil, fmt.Errorf("net: malformed welcome: %w", r.err)
+	}
+	opts.logf("welcome: cluster of %d fragments, process %d hosts %v", m, proc, ranks)
+
+	payload, err = readFrame(conn)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("net: receiving fragmentation graph: %w", err)
+	}
+	r = &reader{buf: payload}
+	if ft := r.u8(); ft != ftFragGfx {
+		return nil, nil, nil, fmt.Errorf("net: expected fragmentation-graph frame, got 0x%02x", ft)
+	}
+	gp, err := partition.DecodeFragGraph(r.rest())
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("net: %w", err)
+	}
+
+	frags := make([]*partition.Fragment, 0, len(ranks))
+	for range ranks {
+		payload, err = readFrame(conn)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("net: receiving fragment: %w", err)
+		}
+		r = &reader{buf: payload}
+		if ft := r.u8(); ft != ftFragment {
+			return nil, nil, nil, fmt.Errorf("net: expected fragment frame, got 0x%02x", ft)
+		}
+		rank := int(r.uvarint())
+		frag, err := partition.DecodeFragment(r.rest())
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("net: fragment %d: %w", rank, err)
+		}
+		if frag.ID != rank {
+			return nil, nil, nil, fmt.Errorf("net: fragment frame for rank %d carries fragment %d", rank, frag.ID)
+		}
+		frags = append(frags, frag)
+	}
+	return ranks, frags, gp, nil
+}

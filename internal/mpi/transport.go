@@ -1,0 +1,52 @@
+package mpi
+
+import "grape/internal/metrics"
+
+// Transport is the cluster substrate a session runs over: the membership and
+// synchronization primitives the engine's runner planes use, independent of
+// whether the fragments they coordinate live in this process or in remote
+// worker processes.
+//
+// Two implementations exist. The in-process Cluster below keeps every
+// fragment in the coordinator's address space and is the default. The TCP
+// transport in the mpi/net subpackage runs fragments in separate worker
+// processes connected over length-prefixed TCP streams; its coordinator-side
+// Cluster embeds an in-process Cluster, so mailboxes, barriers and compute
+// slots behave identically — only where PEval/IncEval execute differs (the
+// engine forwards those calls through net.Peer handles).
+//
+// Mailboxes stay coordinator-side on every transport: a query-scoped Comm
+// buffers and meters the designated messages, and for remote fragments the
+// engine moves inbox/outbox contents across the wire around each evaluation
+// call. This keeps the two execution planes (BSP's boundary delivery, the
+// async plane's immediate visibility with sent/received accounting) correct
+// without the transport having to re-implement either discipline.
+type Transport interface {
+	// NumWorkers returns the number of workers (fragments) in the cluster.
+	NumWorkers() int
+	// NewComm creates a query-scoped BSP communicator. Stats may be nil.
+	NewComm(stats *metrics.Stats) *Comm
+	// NewAsyncComm creates a query-scoped communicator with asynchronous
+	// delivery semantics (immediate visibility, wake signals, counters).
+	NewAsyncComm(stats *metrics.Stats) *Comm
+	// LimitParallelism installs a cluster-wide cap on concurrent local
+	// computation; k <= 0 removes it.
+	LimitParallelism(k int)
+	// AcquireSlot claims a compute slot (a no-op release when no limit is
+	// installed).
+	AcquireSlot() (release func())
+	// BarrierFor runs fn(rank) for every rank the liveness predicate admits,
+	// bounded by parallelism, and waits for all of them.
+	BarrierFor(alive func(rank int) bool, parallelism int, fn func(rank int) error) (int, error)
+	// Close releases transport resources. For networked transports it
+	// performs the graceful shutdown of the worker processes; for the
+	// in-process cluster it is a no-op. Close is idempotent.
+	Close() error
+}
+
+// Close implements Transport for the in-process cluster: there is nothing to
+// release, mailboxes are garbage-collected with their communicators.
+func (c *Cluster) Close() error { return nil }
+
+// Compile-time check that the in-process cluster satisfies Transport.
+var _ Transport = (*Cluster)(nil)

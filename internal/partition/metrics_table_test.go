@@ -1,0 +1,131 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"grape/internal/graph"
+)
+
+// bruteCutEdges recounts the edge cut directly from the edge list, the
+// specification CutEdges must agree with for every strategy.
+func bruteCutEdges(p *Partitioned) int {
+	cut := 0
+	for _, e := range p.Source.Edges() {
+		si, di := p.Source.IndexOf(e.Src), p.Source.IndexOf(e.Dst)
+		if p.Assignment[si] != p.Assignment[di] {
+			cut++
+		}
+	}
+	return cut
+}
+
+// bruteBalance recomputes the balance ratio from fragment sizes.
+func bruteBalance(p *Partitioned) float64 {
+	max := 0
+	for _, f := range p.Fragments {
+		if f.NumLocal() > max {
+			max = f.NumLocal()
+		}
+	}
+	return float64(max) * float64(len(p.Fragments)) / float64(p.Source.NumVertices())
+}
+
+func tableGraph(directed bool, n, extra int, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(directed)
+	for v := 0; v < n; v++ {
+		b.AddVertex(graph.VertexID(v), "")
+	}
+	for v := 0; v < n; v++ {
+		b.AddEdge(graph.VertexID(v), graph.VertexID((v+1)%n), 1, "")
+	}
+	for i := 0; i < extra; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v), 1, "")
+		}
+	}
+	return b.Build()
+}
+
+// TestCutEdgesAndBalanceAcrossStrategies checks CutEdges and Balance
+// against brute-force recomputation for every registered strategy, on
+// directed and undirected graphs and several fragment counts, plus the
+// structural invariants the metrics promise (cut bounded by |E|, balance
+// at least 1 modulo integer rounding, fragments exhaustive and disjoint).
+func TestCutEdgesAndBalanceAcrossStrategies(t *testing.T) {
+	names := make([]string, 0, len(Registry))
+	for name := range Registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		strat := Registry[name]
+		for _, directed := range []bool{false, true} {
+			for _, m := range []int{1, 2, 4, 7} {
+				g := tableGraph(directed, 200, 300, 17)
+				p := Partition(g, m, strat)
+
+				label := map[bool]string{false: "undirected", true: "directed"}[directed]
+				if got, want := p.CutEdges(), bruteCutEdges(p); got != want {
+					t.Errorf("%s/%s m=%d: CutEdges = %d, brute force = %d", name, label, m, got, want)
+				}
+				if got, want := p.Balance(), bruteBalance(p); math.Abs(got-want) > 1e-12 {
+					t.Errorf("%s/%s m=%d: Balance = %v, brute force = %v", name, label, m, got, want)
+				}
+				if cut := p.CutEdges(); cut < 0 || cut > g.NumEdges() {
+					t.Errorf("%s/%s m=%d: cut %d outside [0, %d]", name, label, m, cut, g.NumEdges())
+				}
+				if m == 1 && p.CutEdges() != 0 {
+					t.Errorf("%s/%s: single fragment has non-zero cut %d", name, label, p.CutEdges())
+				}
+				// Integer fragment sizes put the perfectly balanced maximum at
+				// ceil(n/m), so Balance is at least m*floor-average/n and never
+				// below 1 when m divides n.
+				if b := p.Balance(); b < 1.0-1e-9 && g.NumVertices()%m == 0 {
+					t.Errorf("%s/%s m=%d: balance %v below 1 on a divisible graph", name, label, m, b)
+				}
+				// Fragments partition V: every vertex owned exactly once.
+				owned := 0
+				for _, f := range p.Fragments {
+					owned += f.NumLocal()
+				}
+				if owned != g.NumVertices() {
+					t.Errorf("%s/%s m=%d: fragments own %d vertices, want %d", name, label, m, owned, g.NumVertices())
+				}
+			}
+		}
+	}
+}
+
+// TestCutEdgesAndBalanceHandComputed pins the metrics on a graph small
+// enough to verify by hand: a directed 6-cycle split by Range into two
+// halves has exactly two cross edges (2->3 and 5->0) and perfect balance.
+func TestCutEdgesAndBalanceHandComputed(t *testing.T) {
+	b := graph.NewBuilder(true)
+	for v := 0; v < 6; v++ {
+		b.AddEdge(graph.VertexID(v), graph.VertexID((v+1)%6), 1, "")
+	}
+	p := Partition(b.Build(), 2, Range{})
+	if got := p.CutEdges(); got != 2 {
+		t.Fatalf("CutEdges = %d, want 2", got)
+	}
+	if got := p.Balance(); got != 1.0 {
+		t.Fatalf("Balance = %v, want 1.0", got)
+	}
+
+	// Skewed explicit assignment: 5 vertices on fragment 0, 1 on fragment 1
+	// gives balance 5/(6/2) = 5/3.
+	skew := Build(b.Build(), []int{0, 0, 0, 0, 0, 1}, 2, "manual")
+	if got, want := skew.Balance(), 5.0/3.0; got != want {
+		t.Fatalf("skewed Balance = %v, want %v", got, want)
+	}
+	// Cross edges under the skewed assignment: 4->5 and 5->0.
+	if got := skew.CutEdges(); got != 2 {
+		t.Fatalf("skewed CutEdges = %d, want 2", got)
+	}
+}

@@ -1,7 +1,6 @@
 package partition
 
 import (
-	"hash/fnv"
 	"sort"
 
 	"grape/internal/graph"
@@ -64,14 +63,7 @@ func HashPlacer(m int) func(graph.VertexID) int {
 }
 
 func hashVertex(v graph.VertexID, m int) int {
-	h := fnv.New32a()
-	id := uint64(v)
-	var buf [8]byte
-	for b := 0; b < 8; b++ {
-		buf[b] = byte(id >> (8 * b))
-	}
-	h.Write(buf[:])
-	return int(h.Sum32() % uint32(m))
+	return int(fnvVertex(uint64(v)) % uint32(m))
 }
 
 // routedOp is one op destined for one fragment's rebuild.

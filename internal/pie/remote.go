@@ -1,0 +1,212 @@
+package pie
+
+// Distributed-execution support: the wire codecs that let SSSP, CC and
+// PageRank run on multi-process sessions. The engine ships the query to the
+// workers at PEval time and pulls each fragment's partial result Q(Fi) back
+// for Assemble once the fixpoint is reached; both travel as update batches
+// through the same varint/delta codec the designated messages use
+// (mpi.EncodeUpdates), so the transport has exactly one payload format.
+//
+// Sim, SubIso and CF stay single-process for now: their partial results
+// (match sets, staged designated messages, factor matrices) need richer
+// codecs, and distributed sessions reject them with a clear error.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/inc"
+	"grape/internal/mpi"
+)
+
+// ByName resolves a wire program name to a program instance; worker
+// processes use it as their core.Resolver. Every PIE program of the package
+// is listed, but only those implementing core.RemoteProgram can actually be
+// scheduled on a distributed session.
+func ByName(name string) (core.Program, bool) {
+	switch name {
+	case "SSSP":
+		return SSSP{}, true
+	case "CC":
+		return CC{}, true
+	case "PageRank":
+		return PageRank{}, true
+	case "Sim":
+		return Sim{}, true
+	case "SubIso":
+		return SubIso{}, true
+	case "CF":
+		return CF{}, true
+	default:
+		return nil, false
+	}
+}
+
+// floatMapToUpdates encodes a vertex→float64 map as a sorted update batch.
+func floatMapToUpdates(m map[graph.VertexID]float64) []byte {
+	ids := make([]graph.VertexID, 0, len(m))
+	for v := range m {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ups := make([]mpi.Update, len(ids))
+	for i, v := range ids {
+		ups[i] = mpi.Update{Vertex: int64(v), Value: m[v]}
+	}
+	return mpi.EncodeUpdates(ups)
+}
+
+// updatesToFloatMap decodes a batch produced by floatMapToUpdates.
+func updatesToFloatMap(data []byte) (map[graph.VertexID]float64, error) {
+	ups, err := mpi.DecodeUpdates(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[graph.VertexID]float64, len(ups))
+	for _, u := range ups {
+		out[graph.VertexID(u.Vertex)] = u.Value
+	}
+	return out, nil
+}
+
+// SSSP: the query is the source vertex; the partial result is the distance
+// of every vertex present in the fragment.
+
+// EncodeQuery implements core.RemoteProgram.
+func (SSSP) EncodeQuery(q core.Query) ([]byte, error) {
+	source, ok := q.(graph.VertexID)
+	if !ok {
+		return nil, fmt.Errorf("pie: SSSP query must be a graph.VertexID, got %T", q)
+	}
+	return binary.AppendVarint(nil, int64(source)), nil
+}
+
+// DecodeQuery implements core.RemoteProgram.
+func (SSSP) DecodeQuery(data []byte) (core.Query, error) {
+	v, n := binary.Varint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("pie: malformed SSSP query")
+	}
+	return graph.VertexID(v), nil
+}
+
+// EncodePartial implements core.RemoteProgram.
+func (SSSP) EncodePartial(ctx *core.Context) ([]byte, error) {
+	st, ok := ctx.State.(*ssspState)
+	if !ok {
+		return nil, fmt.Errorf("pie: SSSP partial requested before PEval")
+	}
+	return floatMapToUpdates(st.dist), nil
+}
+
+// DecodePartial implements core.RemoteProgram.
+func (SSSP) DecodePartial(ctx *core.Context, data []byte) error {
+	dist, err := updatesToFloatMap(data)
+	if err != nil {
+		return fmt.Errorf("pie: SSSP partial: %w", err)
+	}
+	ctx.State = &ssspState{dist: dist}
+	return nil
+}
+
+// CC: no query; the partial result is the component identifier of every
+// vertex present in the fragment.
+
+// EncodeQuery implements core.RemoteProgram.
+func (CC) EncodeQuery(q core.Query) ([]byte, error) { return nil, nil }
+
+// DecodeQuery implements core.RemoteProgram.
+func (CC) DecodeQuery(data []byte) (core.Query, error) { return nil, nil }
+
+// EncodePartial implements core.RemoteProgram.
+func (CC) EncodePartial(ctx *core.Context) ([]byte, error) {
+	st, ok := ctx.State.(*ccState)
+	if !ok {
+		return nil, fmt.Errorf("pie: CC partial requested before PEval")
+	}
+	labels := st.state.Labels()
+	m := make(map[graph.VertexID]float64, len(labels))
+	for v, cid := range labels {
+		m[v] = float64(cid)
+	}
+	return floatMapToUpdates(m), nil
+}
+
+// DecodePartial implements core.RemoteProgram.
+func (CC) DecodePartial(ctx *core.Context, data []byte) error {
+	m, err := updatesToFloatMap(data)
+	if err != nil {
+		return fmt.Errorf("pie: CC partial: %w", err)
+	}
+	labels := make(map[graph.VertexID]graph.VertexID, len(m))
+	for v, cid := range m {
+		labels[v] = graph.VertexID(int64(cid))
+	}
+	ctx.State = &ccState{state: inc.NewCCState(labels)}
+	return nil
+}
+
+// PageRank: the query is the damping/tolerance/rounds configuration; the
+// partial result is the rank of every vertex present in the fragment.
+
+// EncodeQuery implements core.RemoteProgram.
+func (PageRank) EncodeQuery(q core.Query) ([]byte, error) {
+	prq, ok := q.(PageRankQuery)
+	if !ok {
+		return nil, fmt.Errorf("pie: PageRank query must be a PageRankQuery, got %T", q)
+	}
+	buf := binary.LittleEndian.AppendUint64(nil, math.Float64bits(prq.Damping))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(prq.Tolerance))
+	buf = binary.AppendVarint(buf, int64(prq.MaxRounds))
+	return buf, nil
+}
+
+// DecodeQuery implements core.RemoteProgram.
+func (PageRank) DecodeQuery(data []byte) (core.Query, error) {
+	if len(data) < 17 {
+		return nil, fmt.Errorf("pie: malformed PageRank query")
+	}
+	var q PageRankQuery
+	q.Damping = math.Float64frombits(binary.LittleEndian.Uint64(data))
+	q.Tolerance = math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	rounds, n := binary.Varint(data[16:])
+	if n <= 0 {
+		return nil, fmt.Errorf("pie: malformed PageRank query")
+	}
+	q.MaxRounds = int(rounds)
+	return q, nil
+}
+
+// EncodePartial implements core.RemoteProgram.
+func (PageRank) EncodePartial(ctx *core.Context) ([]byte, error) {
+	st, ok := ctx.State.(*prState)
+	if !ok {
+		return nil, fmt.Errorf("pie: PageRank partial requested before PEval")
+	}
+	return floatMapToUpdates(st.rank), nil
+}
+
+// DecodePartial implements core.RemoteProgram.
+func (PageRank) DecodePartial(ctx *core.Context, data []byte) error {
+	rank, err := updatesToFloatMap(data)
+	if err != nil {
+		return fmt.Errorf("pie: PageRank partial: %w", err)
+	}
+	ctx.State = &prState{
+		rank:   rank,
+		incast: make(map[graph.VertexID]map[int64]float64),
+		n:      len(rank),
+	}
+	return nil
+}
+
+// Compile-time checks: the async-capable trio is also the distributed trio.
+var (
+	_ core.RemoteProgram = SSSP{}
+	_ core.RemoteProgram = CC{}
+	_ core.RemoteProgram = PageRank{}
+)

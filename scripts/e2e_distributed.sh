@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# End-to-end check of the distributed transport plane, as run by the
+# e2e-distributed CI job (and runnable locally): build the binaries, launch
+# three grape-worker processes plus a coordinator on localhost, run SSSP and
+# CC on both execution planes, and diff the answers against a single-process
+# run over the same graph and partition. Any mismatch or worker failure
+# fails the script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${PORT:-9231}"
+WORKERS="${WORKERS:-6}"
+PROCS=3
+WORKDIR="$(mktemp -d)"
+cleanup() {
+  # shellcheck disable=SC2046
+  kill $(jobs -p) 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "building binaries..."
+go build -o "$WORKDIR/grape" ./cmd/grape
+go build -o "$WORKDIR/grape-worker" ./cmd/grape-worker
+go build -o "$WORKDIR/graphgen" ./cmd/graphgen
+
+"$WORKDIR/graphgen" -synthetic 2000x8000 -seed 7 -out "$WORKDIR/g.txt"
+
+# Keep only the per-vertex answers (distances, component memberships):
+# timings and stats legitimately differ between runs, the answers must not.
+extract() { grep -E '^  dist\(|^  cc\(|^connected components' "$1"; }
+
+for mode in bsp async; do
+  for query in sssp cc; do
+    echo "=== $query on the $mode plane ==="
+    "$WORKDIR/grape" -graph "$WORKDIR/g.txt" -query "$query" -source 5 \
+      -workers "$WORKERS" -mode "$mode" -top 1000000 > "$WORKDIR/single.txt"
+
+    worker_pids=()
+    for _ in $(seq "$PROCS"); do
+      "$WORKDIR/grape-worker" -coordinator "127.0.0.1:$PORT" -quiet &
+      worker_pids+=($!)
+    done
+    "$WORKDIR/grape" -graph "$WORKDIR/g.txt" -query "$query" -source 5 \
+      -workers "$WORKERS" -mode "$mode" -top 1000000 \
+      -listen "127.0.0.1:$PORT" -worker-procs "$PROCS" > "$WORKDIR/dist.txt"
+    # Workers exit 0 on the coordinator's shutdown frame; a non-zero exit
+    # (crash, protocol error) fails the job here. (A bare `wait` would
+    # swallow their statuses, so wait on each pid explicitly.)
+    for pid in "${worker_pids[@]}"; do
+      if ! wait "$pid"; then
+        echo "FAIL: grape-worker (pid $pid) exited non-zero" >&2
+        exit 1
+      fi
+    done
+
+    if ! diff <(extract "$WORKDIR/single.txt") <(extract "$WORKDIR/dist.txt"); then
+      echo "MISMATCH: distributed $query/$mode differs from the single-process run" >&2
+      exit 1
+    fi
+    echo "OK: $PROCS-process $query/$mode matches the single-process run"
+  done
+done
+
+echo "e2e-distributed: all checks passed"
