@@ -15,14 +15,16 @@
 //	grape-bench -exp incremental               # IncEval view maintenance vs full recompute
 //	grape-bench -exp async                     # BSP vs adaptive async execution plane
 //	grape-bench -exp net                       # in-process vs local-TCP transport overhead
+//	grape-bench -exp netinc                    # distributed view maintenance vs recompute over TCP
 //	grape-bench -exp all                       # everything
 //
 // Flags -size (tiny|small|medium) and -workers control the scale; -n gives
 // the list of worker counts swept by the fig6/fig7 and async experiments.
-// The incremental, async and net experiments additionally write
-// machine-readable results to BENCH_incremental.json, BENCH_async.json and
-// BENCH_net.json (configurable with -out, -async-out and -net-out); -quick
-// shrinks the async and net experiments to smoke tests for CI.
+// The incremental, async, net and netinc experiments additionally write
+// machine-readable results to BENCH_incremental.json, BENCH_async.json,
+// BENCH_net.json and BENCH_netinc.json (configurable with -out, -async-out,
+// -net-out and -netinc-out); -quick shrinks the async, net and netinc
+// experiments to smoke tests for CI.
 package main
 
 import (
@@ -39,23 +41,24 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run")
-		size     = flag.String("size", "small", "dataset scale: tiny, small, medium")
-		workers  = flag.Int("workers", 8, "worker count for table1/fig9")
-		nList    = flag.String("n", "2,4,8", "comma-separated worker counts for fig6/fig7")
-		out      = flag.String("out", "BENCH_incremental.json", "output file for the incremental experiment's JSON results")
-		asyncOut = flag.String("async-out", "BENCH_async.json", "output file for the async experiment's JSON results")
-		netOut   = flag.String("net-out", "BENCH_net.json", "output file for the net experiment's JSON results")
-		quick    = flag.Bool("quick", false, "shrink the async and net experiments to CI smoke runs")
+		exp       = flag.String("exp", "all", "experiment to run")
+		size      = flag.String("size", "small", "dataset scale: tiny, small, medium")
+		workers   = flag.Int("workers", 8, "worker count for table1/fig9")
+		nList     = flag.String("n", "2,4,8", "comma-separated worker counts for fig6/fig7")
+		out       = flag.String("out", "BENCH_incremental.json", "output file for the incremental experiment's JSON results")
+		asyncOut  = flag.String("async-out", "BENCH_async.json", "output file for the async experiment's JSON results")
+		netOut    = flag.String("net-out", "BENCH_net.json", "output file for the net experiment's JSON results")
+		netIncOut = flag.String("netinc-out", "BENCH_netinc.json", "output file for the netinc experiment's JSON results")
+		quick     = flag.Bool("quick", false, "shrink the async, net and netinc experiments to CI smoke runs")
 	)
 	flag.Parse()
-	if err := run(*exp, *size, *workers, *nList, *out, *asyncOut, *netOut, *quick); err != nil {
+	if err := run(*exp, *size, *workers, *nList, *out, *asyncOut, *netOut, *netIncOut, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "grape-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, size string, workers int, nList, incOut, asyncOut, netOut string, quick bool) error {
+func run(exp, size string, workers int, nList, incOut, asyncOut, netOut, netIncOut string, quick bool) error {
 	scale, err := workload.ParseScale(size)
 	if err != nil {
 		return err
@@ -189,6 +192,26 @@ func run(exp, size string, workers int, nList, incOut, asyncOut, netOut string, 
 		fmt.Printf("wrote %s\n", netOut)
 		return nil
 	}
+	runNetInc := func() error {
+		n, procs, scale := workers, 3, scale
+		if quick {
+			n, procs, scale = 4, 2, workload.ScaleTiny
+		}
+		rows, err := bench.NetIncMaintenance(n, procs, scale, quick)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatNetIncRows(rows))
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(netIncOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", netIncOut)
+		return nil
+	}
 	runAblations := func() error {
 		rows, err := bench.AblationMessageGrouping(workers, scale)
 		if err != nil {
@@ -238,6 +261,8 @@ func run(exp, size string, workers int, nList, incOut, asyncOut, netOut string, 
 		return runAsync()
 	case "net":
 		return runNet()
+	case "netinc":
+		return runNetInc()
 	case "all":
 		steps := []func() error{
 			runTable1,
@@ -258,6 +283,7 @@ func run(exp, size string, workers int, nList, incOut, asyncOut, netOut string, 
 			runIncremental,
 			runAsync,
 			runNet,
+			runNetInc,
 		}
 		for _, step := range steps {
 			if err := step(); err != nil {

@@ -5,6 +5,14 @@
 // calls for both execution planes, and exits cleanly when the coordinator
 // shuts the cluster down.
 //
+// Workers are dynamic: when the coordinator absorbs a graph-update batch,
+// each worker installs the shipped fragment deltas as a new residency epoch
+// (queries in flight keep evaluating against the epoch they started on),
+// and materialized views keep their per-fragment state resident here —
+// maintenance rounds run EvalDelta and the IncEval fixpoint worker-side.
+// The worker also answers the coordinator's heartbeat pings; a worker that
+// dies is detected and reported as a query error naming its fragments.
+//
 // A three-process localhost cluster:
 //
 //	grape-worker -coordinator 127.0.0.1:9091 &

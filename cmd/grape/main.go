@@ -52,6 +52,11 @@
 //	grape -graph road.txt -query sssp -source 17 -workers 6 \
 //	      -listen 127.0.0.1:9091 -worker-procs 3
 //
+// Distributed mode combines with -serve, including the dynamic commands:
+// insert/delete/reweight/addv/rmv ship fragment deltas to the workers as new
+// epochs, and mat/view maintain their answers on the workers' retained state
+// — the same commands, either transport.
+//
 // The graph file uses the text edge-list format of internal/graph (plain
 // "src dst weight" lines also work). For sssp the -source flag picks the
 // source vertex; results are summarized on stdout (use -top to control how
@@ -221,7 +226,7 @@ func serveQueries(s *grape.Session, in io.Reader, top int, setupDur time.Duratio
 		fmt.Printf("epoch %d: %d/%d ops applied, %d fragments touched, %d views maintained (%d inc, %d recomputed) in %v\n",
 			stats.Epoch, stats.Applied, stats.Ops, stats.AffectedFragments,
 			stats.ViewsMaintained, stats.Incremental, stats.Recomputed,
-			(stats.PartitionElapsed + stats.MaintainElapsed).Round(time.Microsecond))
+			(stats.PartitionElapsed + stats.ShipElapsed + stats.MaintainElapsed).Round(time.Microsecond))
 	}
 
 	for scanner.Scan() {

@@ -49,8 +49,9 @@
 // Sessions can also span processes: with Options.Distributed set, the
 // coordinator ships each fragment to a grape-worker process over TCP and
 // queries evaluate in the workers (SSSP, CC and PageRank, both planes),
-// producing the same answers as the in-process transport. See Distributed
-// and ServeWorker.
+// producing the same answers as the in-process transport — including graph
+// updates and materialized views, whose deltas and maintenance rounds travel
+// over the same wire. See Distributed and ServeWorker.
 //
 // See the examples/ directory for complete programs.
 package grape
@@ -121,7 +122,9 @@ const (
 var ErrAsyncUnsupported = core.ErrAsyncUnsupported
 
 // ErrDistributedUnsupported is returned by graph updates and materialized
-// views on distributed sessions, which do not support them yet.
+// views on distributed sessions whose transport cannot ship update deltas.
+// The built-in TCP transport supports them, so sessions opened through
+// Options.Distributed never return it.
 var ErrDistributedUnsupported = core.ErrDistributedUnsupported
 
 // ParseMode converts a flag value ("bsp" or "async") into a Mode.
@@ -145,8 +148,14 @@ func PartitionStrategy(name string) (Strategy, bool) { return partition.ByName(n
 // then evaluate in the worker processes while the coordinator keeps the
 // mailboxes, barriers and assembly. Supported programs are SSSP, CC and
 // PageRank (the ones with wire codecs for their query and partial result),
-// on both the BSP and the async execution plane. Graph updates and
-// materialized views are not yet supported on distributed sessions.
+// on both the BSP and the async execution plane.
+//
+// Distributed sessions are fully dynamic: ApplyUpdates routes each batch at
+// the coordinator and ships the rebuilt fragments to the worker processes as
+// a new epoch (queries in flight keep reading the epoch they started on),
+// and MaterializeSSSP/MaterializeCC/Materialize keep their per-fragment
+// state resident in the workers, where maintenance rounds run EvalDelta and
+// the IncEval fixpoint — the same answers, over either transport.
 type Distributed struct {
 	// Listen is the coordinator's TCP address, e.g. "127.0.0.1:9091". Port 0
 	// binds an ephemeral port (use OnListen to learn it).
@@ -157,6 +166,12 @@ type Distributed struct {
 	// HandshakeTimeout bounds waiting for the worker processes to connect
 	// and install their fragments (default 60s).
 	HandshakeTimeout time.Duration
+	// Heartbeat is the liveness-probe interval: the coordinator pings every
+	// worker process and declares one dead — failing its in-flight and
+	// future queries with an error naming the lost fragments — when pings go
+	// unanswered. Zero selects the transport default (10s); negative
+	// disables probing.
+	Heartbeat time.Duration
 	// OnListen, when non-nil, receives the bound listen address before the
 	// coordinator starts waiting for workers — the hook tests and embedders
 	// use to start workers against an ephemeral port.
@@ -240,6 +255,7 @@ func newDistributedSession(g *Graph, opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	ln.Heartbeat = d.Heartbeat
 	if d.OnListen != nil {
 		d.OnListen(ln.Addr())
 	}

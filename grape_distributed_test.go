@@ -1,7 +1,6 @@
 package grape
 
 import (
-	"errors"
 	"math"
 	"math/rand"
 	"reflect"
@@ -10,6 +9,7 @@ import (
 	"time"
 
 	"grape/internal/pie"
+	"grape/internal/workload"
 )
 
 // distributedGraph builds a deterministic random graph large enough to have
@@ -209,19 +209,233 @@ func TestDistributedRejectsLocalOnlyPrograms(t *testing.T) {
 	}
 }
 
-// TestDistributedUpdatesUnsupported: dynamic updates are gated off with a
-// sentinel error on distributed sessions.
-func TestDistributedUpdatesUnsupported(t *testing.T) {
-	g := distributedGraph(false, 40, 40, 5)
-	s, waitWorkers := startCluster(t, g, 2, 2, BSP)
-	defer waitWorkers()
-	defer s.Close()
+// TestDistributedDynamicMatchesInProcess is the dynamic-graph acceptance
+// check: a 100-batch randomized update stream (inserts, deletions,
+// reweights, vertex adds and removals) applied to a 3-process TCP cluster
+// must keep materialized SSSP and CC views byte-identical to an in-process
+// session absorbing the same stream — and, at the end, to a from-scratch
+// recompute over the final graph.
+func TestDistributedDynamicMatchesInProcess(t *testing.T) {
+	const workers, procs = 6, 3
+	g := distributedGraph(false, 150, 250, 21)
 
-	_, err := s.ApplyUpdates([]Update{EdgeInsert(1, 2, 1)})
-	if !errors.Is(err, ErrDistributedUnsupported) {
-		t.Fatalf("ApplyUpdates on distributed session: got %v, want ErrDistributedUnsupported", err)
+	local, err := NewSession(g, Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("NewSession(local): %v", err)
 	}
-	if _, err := s.MaterializeSSSP(0); !errors.Is(err, ErrDistributedUnsupported) {
-		t.Fatalf("MaterializeSSSP on distributed session: got %v, want ErrDistributedUnsupported", err)
+	defer local.Close()
+	dist, waitWorkers := startCluster(t, g, workers, procs, BSP)
+	defer waitWorkers()
+	defer dist.Close()
+
+	localSSSP, err := local.MaterializeSSSP(0)
+	if err != nil {
+		t.Fatalf("local MaterializeSSSP: %v", err)
+	}
+	distSSSP, err := dist.MaterializeSSSP(0)
+	if err != nil {
+		t.Fatalf("distributed MaterializeSSSP: %v", err)
+	}
+	localCC, err := local.MaterializeCC()
+	if err != nil {
+		t.Fatalf("local MaterializeCC: %v", err)
+	}
+	distCC, err := dist.MaterializeCC()
+	if err != nil {
+		t.Fatalf("distributed MaterializeCC: %v", err)
+	}
+
+	stream := workload.UpdateStream(g, workload.StreamConfig{Seed: 77, Batches: 100, BatchSize: 4})
+	if len(stream) != 100 {
+		t.Fatalf("stream has %d batches, want 100", len(stream))
+	}
+	for _, tb := range stream {
+		if _, err := local.ApplyUpdates(tb.Ops); err != nil {
+			t.Fatalf("local batch %d: %v", tb.Seq, err)
+		}
+		if _, err := dist.ApplyUpdates(tb.Ops); err != nil {
+			t.Fatalf("distributed batch %d: %v", tb.Seq, err)
+		}
+		wantD, err := localSSSP.Distances()
+		if err != nil {
+			t.Fatalf("local SSSP view after batch %d: %v", tb.Seq, err)
+		}
+		gotD, err := distSSSP.Distances()
+		if err != nil {
+			t.Fatalf("distributed SSSP view after batch %d: %v", tb.Seq, err)
+		}
+		if !reflect.DeepEqual(gotD, wantD) {
+			t.Fatalf("distributed SSSP view differs from in-process after batch %d", tb.Seq)
+		}
+		wantC, err := localCC.Components()
+		if err != nil {
+			t.Fatalf("local CC view after batch %d: %v", tb.Seq, err)
+		}
+		gotC, err := distCC.Components()
+		if err != nil {
+			t.Fatalf("distributed CC view after batch %d: %v", tb.Seq, err)
+		}
+		if !reflect.DeepEqual(gotC, wantC) {
+			t.Fatalf("distributed CC view differs from in-process after batch %d", tb.Seq)
+		}
+	}
+	if got, want := dist.Epoch(), local.Epoch(); got != want || got != 100 {
+		t.Fatalf("epochs diverged: distributed %d, local %d, want 100", got, want)
+	}
+
+	// The randomized mix (deletions included) must have exercised both
+	// maintenance paths on the distributed side.
+	if st := distSSSP.Stats(); st.Incremental == 0 || st.Recomputed == 0 || st.Maintenances != 100 {
+		t.Fatalf("distributed SSSP maintenance did not exercise both paths: %+v", st)
+	}
+
+	// From-scratch recompute over the final graph agrees with the views.
+	finalD, _, err := dist.SSSP(0)
+	if err != nil {
+		t.Fatalf("distributed from-scratch SSSP: %v", err)
+	}
+	viewD, _ := distSSSP.Distances()
+	if !reflect.DeepEqual(finalD, viewD) {
+		t.Fatalf("distributed SSSP view differs from from-scratch recompute")
+	}
+	localFinalD, _, err := local.SSSP(0)
+	if err != nil {
+		t.Fatalf("local from-scratch SSSP: %v", err)
+	}
+	if !reflect.DeepEqual(finalD, localFinalD) {
+		t.Fatalf("distributed from-scratch SSSP differs from in-process")
+	}
+	finalC, _, err := dist.CC()
+	if err != nil {
+		t.Fatalf("distributed from-scratch CC: %v", err)
+	}
+	viewC, _ := distCC.Components()
+	if !reflect.DeepEqual(finalC, viewC) {
+		t.Fatalf("distributed CC view differs from from-scratch recompute")
+	}
+
+	// Closing a view releases its worker-side state; the session keeps
+	// serving queries and updates.
+	if err := distSSSP.Close(); err != nil {
+		t.Fatalf("closing distributed view: %v", err)
+	}
+	if _, err := dist.ApplyUpdates([]Update{EdgeInsert(1, 2, 0.5)}); err != nil {
+		t.Fatalf("ApplyUpdates after view close: %v", err)
+	}
+}
+
+// TestDistributedPageRankViewMaintained: a program without EvalDelta is
+// maintained by full recompute on the workers — the retained state is
+// swapped for each batch's fresh run. BSP PageRank tracks the in-process
+// run to float ulps, so the views are compared at a tight relative
+// tolerance.
+func TestDistributedPageRankViewMaintained(t *testing.T) {
+	const workers, procs = 4, 2
+	g := distributedGraph(true, 120, 200, 9)
+
+	local, err := NewSession(g, Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("NewSession(local): %v", err)
+	}
+	defer local.Close()
+	dist, waitWorkers := startCluster(t, g, workers, procs, BSP)
+	defer waitWorkers()
+	defer dist.Close()
+
+	q := pie.DefaultPageRankQuery()
+	localView, err := local.Materialize(pie.PageRank{}, q)
+	if err != nil {
+		t.Fatalf("local Materialize(PageRank): %v", err)
+	}
+	distView, err := dist.Materialize(pie.PageRank{}, q)
+	if err != nil {
+		t.Fatalf("distributed Materialize(PageRank): %v", err)
+	}
+
+	stream := workload.UpdateStream(g, workload.StreamConfig{Seed: 5, Batches: 10, BatchSize: 3})
+	for _, tb := range stream {
+		if _, err := local.ApplyUpdates(tb.Ops); err != nil {
+			t.Fatalf("local batch %d: %v", tb.Seq, err)
+		}
+		if _, err := dist.ApplyUpdates(tb.Ops); err != nil {
+			t.Fatalf("distributed batch %d: %v", tb.Seq, err)
+		}
+	}
+	wantAny, err := localView.Result()
+	if err != nil {
+		t.Fatalf("local PageRank view: %v", err)
+	}
+	gotAny, err := distView.Result()
+	if err != nil {
+		t.Fatalf("distributed PageRank view: %v", err)
+	}
+	want := wantAny.(map[VertexID]float64)
+	got := gotAny.(map[VertexID]float64)
+	if len(got) != len(want) {
+		t.Fatalf("distributed PageRank view has %d ranks, want %d", len(got), len(want))
+	}
+	for v, w := range want {
+		if g, ok := got[v]; !ok || math.Abs(g-w) > 1e-9*math.Max(1, w) {
+			t.Fatalf("PageRank view rank(%d) = %v, want %v", v, got[v], w)
+		}
+	}
+	if st := distView.Stats(); st.Incremental != 0 || st.Recomputed != 10 {
+		t.Fatalf("PageRank view should be recompute-only: %+v", st)
+	}
+}
+
+// TestDistributedUpdatesConcurrentQueries runs queries concurrently with
+// update batches on a distributed session: queries pin the epoch they
+// started on (the workers retain it until the floor passes), so every query
+// must return a complete, internally consistent answer. Run under -race in
+// CI.
+func TestDistributedUpdatesConcurrentQueries(t *testing.T) {
+	const workers, procs = 4, 2
+	g := distributedGraph(false, 100, 150, 13)
+	dist, waitWorkers := startCluster(t, g, workers, procs, BSP)
+	defer waitWorkers()
+	defer dist.Close()
+
+	if _, err := dist.MaterializeCC(); err != nil {
+		t.Fatalf("MaterializeCC: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := dist.SSSP(VertexID(i)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(i)
+	}
+	for b := 0; b < 10; b++ {
+		batch := []Update{
+			EdgeInsert(VertexID(b), VertexID(90-b), 0.5),
+			EdgeReweight(VertexID(b), VertexID(b+1), 0.25),
+		}
+		if _, err := dist.ApplyUpdates(batch); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent query during updates: %v", err)
+	}
+	if dist.Epoch() != 10 {
+		t.Fatalf("epoch = %d, want 10", dist.Epoch())
 	}
 }

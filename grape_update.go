@@ -64,6 +64,10 @@ func VertexRemove(id VertexID) Update { return graph.RemoveVertexUpdate(id) }
 // and every materialized view is refreshed before the call returns. Queries
 // in flight keep reading the previous epoch (snapshot consistency); later
 // queries see the updated graph.
+//
+// On a distributed session the rebuilt fragments are shipped to the worker
+// processes as a new epoch before it is installed, and view maintenance
+// runs on the workers' retained state — same semantics, either transport.
 func (s *Session) ApplyUpdates(batch []Update) (*UpdateStats, error) {
 	return s.s.ApplyUpdates(batch)
 }

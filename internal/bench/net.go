@@ -3,11 +3,8 @@ package bench
 import (
 	"fmt"
 	"strings"
-	"sync"
-	"time"
 
 	"grape/internal/core"
-	grapenet "grape/internal/mpi/net"
 	"grape/internal/partition"
 	"grape/internal/pie"
 	"grape/internal/workload"
@@ -82,38 +79,12 @@ func NetOverhead(workers, procs int, scale workload.Scale, quick bool) ([]NetRow
 
 	// Bring up the TCP cluster: worker loops in this process, but every
 	// fragment, envelope and partial result crosses real loopback sockets.
-	setupTimer := time.Now()
-	ln, err := grapenet.Listen("127.0.0.1:0")
+	tcp, cleanup, setupDur, err := tcpSession(p, procs)
 	if err != nil {
 		return nil, err
 	}
-	var wg sync.WaitGroup
-	for i := 0; i < procs; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			host := core.NewWorkerHost(pie.ByName)
-			_ = grapenet.RunWorker(ln.Addr(), host, grapenet.WorkerOptions{DialTimeout: 10 * time.Second})
-		}()
-	}
-	cl, err := ln.Serve(p, procs, 30*time.Second)
-	if err != nil {
-		return nil, err
-	}
-	peers := make([]core.RemotePeer, workers)
-	for i := range peers {
-		peers[i] = cl.Peer(i)
-	}
-	tcp, err := core.NewSessionRemote(p, core.Options{}, cl, peers)
-	if err != nil {
-		cl.Close()
-		return nil, err
-	}
-	setup := time.Since(setupTimer).Seconds()
-	defer func() {
-		tcp.Close()
-		wg.Wait()
-	}()
+	setup := setupDur.Seconds()
+	defer cleanup()
 
 	var rows []NetRow
 	for _, mode := range []core.ExecMode{core.ModeBSP, core.ModeAsync} {

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	grapenet "grape/internal/mpi/net"
+	"grape/internal/partition"
+	"grape/internal/pie"
+	"grape/internal/workload"
+)
+
+// NetIncRow is one point of the distributed-maintenance experiment: the same
+// monotone update stream absorbed three ways over identical fragments —
+// an in-process session maintaining SSSP+CC views (the PR 2 baseline), a
+// local-TCP session maintaining the same views on its worker processes
+// (fragment deltas, EvalDelta seeding and the IncEval fixpoint all cross the
+// wire), and a local-TCP session that re-runs both queries from scratch
+// after every batch (what a non-dynamic distributed engine would have to
+// do). WireOverhead isolates what shipping deltas costs; MaintainSpeedup is
+// the case for doing it at all.
+type NetIncRow struct {
+	Dataset   string `json:"dataset"`
+	Workers   int    `json:"workers"`
+	Procs     int    `json:"procs"`
+	Batches   int    `json:"batches"`
+	BatchSize int    `json:"batch_size"`
+
+	InProcMaintainSec float64 `json:"inproc_maintain_sec"`
+	TCPMaintainSec    float64 `json:"tcp_maintain_sec"`
+	// WireOverhead is TCPMaintainSec / InProcMaintainSec: the cost of
+	// shipping update deltas and running maintenance rounds over TCP
+	// relative to shared memory.
+	WireOverhead float64 `json:"wire_overhead"`
+
+	TCPRecomputeSec float64 `json:"tcp_recompute_sec"`
+	// MaintainSpeedup is TCPRecomputeSec / TCPMaintainSec: incremental view
+	// maintenance over the wire versus from-scratch re-evaluation over the
+	// wire.
+	MaintainSpeedup float64 `json:"maintain_speedup"`
+
+	// IncrementalRounds / RecomputedRounds report how the TCP session's two
+	// views were actually maintained (monotone streams should be
+	// all-incremental).
+	IncrementalRounds int64 `json:"incremental_rounds"`
+	RecomputedRounds  int64 `json:"recomputed_rounds"`
+}
+
+// tcpSession brings up a local-TCP distributed session over p: worker loops
+// run in this process, but every fragment, update delta, envelope and
+// partial result crosses real loopback sockets. The returned cleanup closes
+// the session and waits for the worker loops to exit.
+func tcpSession(p *partition.Partitioned, procs int) (*core.Session, func(), time.Duration, error) {
+	start := time.Now()
+	ln, err := grapenet.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			host := core.NewWorkerHost(pie.ByName)
+			_ = grapenet.RunWorker(ln.Addr(), host, grapenet.WorkerOptions{DialTimeout: 10 * time.Second})
+		}()
+	}
+	cl, err := ln.Serve(p, procs, 30*time.Second)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	peers := make([]core.RemotePeer, len(p.Fragments))
+	for i := range peers {
+		peers[i] = cl.Peer(i)
+	}
+	s, err := core.NewSessionRemote(p, core.Options{}, cl, peers)
+	if err != nil {
+		cl.Close()
+		wg.Wait()
+		return nil, nil, 0, err
+	}
+	return s, func() { s.Close(); wg.Wait() }, time.Since(start), nil
+}
+
+// materializeViews registers SSSP+CC views on s and returns them.
+func materializeViews(s *core.Session, source graph.VertexID) (*core.View, *core.View, error) {
+	sssp, err := s.Materialize(source, pie.SSSP{})
+	if err != nil {
+		return nil, nil, err
+	}
+	cc, err := s.Materialize(nil, pie.CC{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sssp, cc, nil
+}
+
+// applyStream absorbs the stream into s and returns the total wall time.
+func applyStream(s *core.Session, stream []workload.TimedBatch) (float64, error) {
+	t := metrics.StartTimer()
+	for _, tb := range stream {
+		if _, err := s.ApplyUpdates(tb.Ops); err != nil {
+			return 0, fmt.Errorf("batch %d: %w", tb.Seq, err)
+		}
+	}
+	return t.Stop().Seconds(), nil
+}
+
+// NetIncMaintenance runs the distributed-maintenance experiment (grape-bench
+// -exp netinc): for each batch size, a monotone update stream is absorbed by
+// the three configurations described on NetIncRow.
+func NetIncMaintenance(workers, procs int, scale workload.Scale, quick bool) ([]NetIncRow, error) {
+	if procs < 1 || procs > workers {
+		return nil, fmt.Errorf("bench: %d procs for %d workers", procs, workers)
+	}
+	batches, batchSizes := 40, []int{2, 10}
+	if quick {
+		batches, batchSizes = 8, []int{4}
+	}
+
+	var rows []NetIncRow
+	for _, bs := range batchSizes {
+		g, err := workload.Load(workload.Traffic, scale)
+		if err != nil {
+			return nil, err
+		}
+		source := workload.Sources(g, 1, 7)[0]
+		stream := workload.UpdateStream(g, workload.MonotoneStreamConfig(41+int64(bs), batches, bs))
+		opts := core.Options{Workers: workers, Strategy: grapeStrategy}
+		row := NetIncRow{Dataset: workload.Traffic, Workers: workers, Procs: procs,
+			Batches: batches, BatchSize: bs}
+
+		// In-process maintained baseline.
+		inproc, err := core.NewSession(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := materializeViews(inproc, source); err != nil {
+			inproc.Close()
+			return nil, err
+		}
+		if row.InProcMaintainSec, err = applyStream(inproc, stream); err != nil {
+			inproc.Close()
+			return nil, fmt.Errorf("bench: in-process maintain: %w", err)
+		}
+		inproc.Close()
+
+		// TCP maintained: same partition shape, views resident on workers.
+		p := partition.Partition(g, workers, grapeStrategy)
+		tcp, cleanup, _, err := tcpSession(p, procs)
+		if err != nil {
+			return nil, err
+		}
+		ssspView, ccView, err := materializeViews(tcp, source)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		if row.TCPMaintainSec, err = applyStream(tcp, stream); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("bench: tcp maintain: %w", err)
+		}
+		ss, cs := ssspView.Stats(), ccView.Stats()
+		row.IncrementalRounds = ss.Incremental + cs.Incremental
+		row.RecomputedRounds = ss.Recomputed + cs.Recomputed
+		cleanup()
+
+		// TCP recompute: no views; both answers re-evaluated after every
+		// batch, over the wire.
+		p2 := partition.Partition(g, workers, grapeStrategy)
+		tcp2, cleanup2, _, err := tcpSession(p2, procs)
+		if err != nil {
+			return nil, err
+		}
+		rt := metrics.StartTimer()
+		for _, tb := range stream {
+			if _, err := tcp2.ApplyUpdates(tb.Ops); err != nil {
+				cleanup2()
+				return nil, fmt.Errorf("bench: tcp recompute batch %d: %w", tb.Seq, err)
+			}
+			if _, err := tcp2.Run(source, pie.SSSP{}); err != nil {
+				cleanup2()
+				return nil, fmt.Errorf("bench: tcp recompute SSSP: %w", err)
+			}
+			if _, err := tcp2.Run(nil, pie.CC{}); err != nil {
+				cleanup2()
+				return nil, fmt.Errorf("bench: tcp recompute CC: %w", err)
+			}
+		}
+		row.TCPRecomputeSec = rt.Stop().Seconds()
+		cleanup2()
+
+		row.WireOverhead = safeRatio(row.TCPMaintainSec, row.InProcMaintainSec)
+		row.MaintainSpeedup = safeRatio(row.TCPRecomputeSec, row.TCPMaintainSec)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatNetIncRows renders the experiment as a text table.
+func FormatNetIncRows(rows []NetIncRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nDistributed dynamic graphs: view maintenance over TCP (SSSP+CC views)\n")
+	fmt.Fprintf(&b, "%-10s %3s %6s %8s %6s %12s %12s %9s %13s %9s %6s %6s\n",
+		"dataset", "n", "procs", "batches", "bsize", "inproc(s)", "tcp(s)", "wire", "tcp-scratch", "speedup", "inc", "rec")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %3d %6d %8d %6d %12.4f %12.4f %8.2fx %13.4f %8.2fx %6d %6d\n",
+			r.Dataset, r.Workers, r.Procs, r.Batches, r.BatchSize,
+			r.InProcMaintainSec, r.TCPMaintainSec, r.WireOverhead,
+			r.TCPRecomputeSec, r.MaintainSpeedup, r.IncrementalRounds, r.RecomputedRounds)
+	}
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"testing"
+
+	"grape/internal/workload"
+)
+
+// TestNetIncMaintenance smoke-runs the distributed-maintenance experiment at
+// quick scale and sanity-checks the row invariants: positive timings, a
+// monotone stream maintained incrementally, and ratios derived from the
+// measured columns.
+func TestNetIncMaintenance(t *testing.T) {
+	rows, err := NetIncMaintenance(4, 2, workload.ScaleTiny, true)
+	if err != nil {
+		t.Fatalf("NetIncMaintenance: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatalf("no rows")
+	}
+	for _, r := range rows {
+		if r.InProcMaintainSec <= 0 || r.TCPMaintainSec <= 0 || r.TCPRecomputeSec <= 0 {
+			t.Fatalf("non-positive timings: %+v", r)
+		}
+		if r.IncrementalRounds == 0 {
+			t.Fatalf("monotone stream maintained nothing incrementally: %+v", r)
+		}
+		if r.RecomputedRounds != 0 {
+			t.Fatalf("monotone stream forced recomputes over the wire: %+v", r)
+		}
+		if r.WireOverhead <= 0 || r.MaintainSpeedup <= 0 {
+			t.Fatalf("ratios not computed: %+v", r)
+		}
+	}
+}
+
+// TestNetIncMaintenanceRejectsBadProcs mirrors the CLI contract.
+func TestNetIncMaintenanceRejectsBadProcs(t *testing.T) {
+	if _, err := NetIncMaintenance(2, 3, workload.ScaleTiny, true); err == nil {
+		t.Fatalf("accepted more procs than workers")
+	}
+}

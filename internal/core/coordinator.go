@@ -24,6 +24,11 @@ type coordinator struct {
 	cluster mpi.Transport
 	workers []*worker
 	remotes []RemotePeer // per-rank peers; nil for all-local sessions
+	epoch   int64        // session epoch the query reads (names remote residency)
+	// retain keeps the per-query state alive on the remote workers after a
+	// successful run instead of Ending it — Materialize uses it to leave the
+	// converged contexts behind as view state.
+	retain bool
 }
 
 // run evaluates one query with the given PIE program to fixpoint on the
@@ -33,7 +38,7 @@ func (c *coordinator) run(q Query, prog Program) (*Result, error) {
 }
 
 // runMode evaluates one query on an explicitly selected execution plane.
-func (c *coordinator) runMode(q Query, prog Program, mode ExecMode) (*Result, error) {
+func (c *coordinator) runMode(q Query, prog Program, mode ExecMode) (res *Result, retErr error) {
 	if prog == nil {
 		return nil, errors.New("core: nil program")
 	}
@@ -84,14 +89,20 @@ func (c *coordinator) runMode(q Query, prog Program, mode ExecMode) (*Result, er
 		if c.remotes != nil {
 			tasks[i].remote = c.remotes[i]
 			tasks[i].queryID = comm.Query()
+			tasks[i].epoch = c.epoch
 			tasks[i].progName = prog.Name()
 			tasks[i].queryBytes = queryBytes
 		}
 	}
-	res := &Result{Stats: stats, Contexts: ctxs}
+	res = &Result{Stats: stats, Contexts: ctxs, queryID: comm.Query()}
 	if c.remotes != nil {
-		// Release per-query state on the workers whatever way the run ends.
+		// Release per-query state on the workers whatever way the run ends —
+		// unless the caller asked to retain it (Materialize) and the run
+		// succeeded, in which case the workers keep it as view state.
 		defer func() {
+			if c.retain && retErr == nil {
+				return
+			}
 			for _, pe := range c.remotes {
 				_ = pe.End(comm.Query())
 			}

@@ -92,6 +92,10 @@ type Result struct {
 	// CoordinatorFailovers counts coordinator failures taken over by the
 	// standby coordinator.
 	CoordinatorFailovers int
+	// queryID is the communicator id of the run; on distributed sessions it
+	// also names the per-query state retained on the workers (Materialize
+	// promotes it into view state).
+	queryID uint64
 }
 
 // Engine runs PIE programs over partitioned graphs. It is the one-shot form

@@ -14,11 +14,24 @@ package core
 // Programs opt into distribution by implementing RemoteProgram: the query
 // and the per-fragment partial result must cross the wire, so the program
 // supplies their codecs (the engine cannot serialize the opaque ctx.State).
+//
+// Dynamic graphs are distributed the same way. The coordinator routes each
+// update batch with internal/partition (it keeps a resident replica of every
+// fragment), ships the rebuilt fragments and the new fragmentation graph to
+// the worker processes through a RemoteUpdateTransport, and the workers
+// install them as a new epoch — retaining the previous epochs that in-flight
+// queries still read (PEval carries the query's epoch, so snapshot
+// consistency holds across processes exactly as it does in-process).
+// Materialized views retain their per-fragment state on the workers: a
+// maintenance round runs EvalDelta remotely on the fragments with a
+// non-empty AFF set, iterates the ordinary remote IncEval fixpoint, and
+// pulls the refreshed partial results back for Assemble.
 
 import (
 	"fmt"
 	"sync"
 
+	"grape/internal/graph"
 	"grape/internal/mpi"
 	"grape/internal/partition"
 )
@@ -29,9 +42,10 @@ import (
 // (BSP barriers and the async per-fragment loop both serialize per rank),
 // but different peers are called concurrently.
 type RemotePeer interface {
-	// PEval runs partial evaluation on the remote fragment and returns the
-	// designated messages it routed.
-	PEval(query uint64, prog string, queryBytes []byte, superstep int,
+	// PEval runs partial evaluation on the remote fragment, against the
+	// worker's residency for the given epoch, and returns the designated
+	// messages it routed.
+	PEval(query uint64, epoch int64, prog string, queryBytes []byte, superstep int,
 		disableIncEval, disableGrouping bool) ([]mpi.Envelope, error)
 	// IncEval delivers envelopes to the remote fragment, runs incremental
 	// evaluation and returns the designated messages it routed.
@@ -41,6 +55,35 @@ type RemotePeer interface {
 	Fetch(query uint64) ([]byte, error)
 	// End releases the remote per-query state.
 	End(query uint64) error
+}
+
+// RemoteViewPeer is the optional extension a RemotePeer implements to host
+// materialized-view state: Materialize pins a converged query's per-fragment
+// contexts across epochs, and EvalDelta seeds an incremental maintenance
+// round on them. The TCP transport's net.Peer implements it.
+type RemoteViewPeer interface {
+	RemotePeer
+	// Materialize promotes the query's retained per-fragment state into view
+	// state: it survives End-less coordinator runs and is rebound to each new
+	// epoch the worker installs, until End releases it.
+	Materialize(query uint64) error
+	// EvalDelta runs the program's EvalDelta over the view's retained context
+	// with the batch's changes to this fragment (ops plus newly mirrored
+	// border vertices; the worker resolves the pre-batch graph itself). It
+	// reports whether the change was absorbed and, if so, the designated
+	// messages the seeding routed.
+	EvalDelta(query uint64, superstep int, ops []graph.Update, newInBorder []graph.VertexID) (absorbed bool, envs []mpi.Envelope, err error)
+}
+
+// RemoteUpdateTransport is the capability a distributed transport declares to
+// ship graph-update deltas: ApplyUpdate installs a new epoch on every worker
+// process — the rebuilt fragments for the ranks each process hosts plus the
+// new fragmentation graph. Workers retain epochs >= floor (plus any epoch
+// with live queries), so snapshot reads keep working while updates land.
+// The TCP transport's net.Cluster implements it; transports without it make
+// ApplyUpdates/Materialize fail with ErrDistributedUnsupported.
+type RemoteUpdateTransport interface {
+	ApplyUpdate(epoch, floor int64, gp *partition.FragGraph, changed []*partition.Fragment) error
 }
 
 // RemoteProgram is the capability a PIE program declares to run on
@@ -93,15 +136,24 @@ func (c *collector) take() []mpi.Envelope {
 // WorkerHost executes evaluation calls over the fragments resident in a
 // worker process. It implements the handler contract of the mpi/net worker
 // loop (structurally — core does not import the transport): Setup installs
-// the shipped fragments, then PEval/IncEval/Fetch/End serve per-query calls.
-// Calls for distinct fragments run concurrently; calls for one fragment are
-// issued sequentially by the coordinator.
+// the shipped fragments, then PEval/IncEval/Fetch/End serve per-query calls,
+// ApplyUpdate installs new epochs under graph updates, and
+// Materialize/EvalDelta host materialized-view state. Calls for distinct
+// fragments run concurrently; calls for one fragment are issued sequentially
+// by the coordinator.
+//
+// Residency is epoch-versioned: each ApplyUpdate produces a new worker set
+// (sharing the untouched fragments of the previous epoch), queries evaluate
+// against the epoch their PEval named, and superseded epochs are retired
+// once the coordinator's floor passes them and their last query ends.
 type WorkerHost struct {
 	resolve Resolver
 
 	mu      sync.Mutex
-	workers map[int]*worker
-	tasks   map[hostKey]*task
+	current int64
+	epochs  map[int64]map[int]*worker
+	live    map[int64]int // queries pinned per epoch (views excluded)
+	tasks   map[hostKey]*hostTask
 }
 
 type hostKey struct {
@@ -109,33 +161,47 @@ type hostKey struct {
 	rank  int
 }
 
+// hostTask is one fragment's retained execution state for one query. View
+// tasks outlive their query run: they are rebound to every new epoch and
+// keep the pre-batch fragment around for the next EvalDelta.
+type hostTask struct {
+	t       *task
+	epoch   int64
+	view    bool
+	oldFrag *partition.Fragment // view tasks: the fragment before the latest epoch
+}
+
 // NewWorkerHost creates a host that resolves wire program names through
 // resolve.
 func NewWorkerHost(resolve Resolver) *WorkerHost {
 	return &WorkerHost{
 		resolve: resolve,
-		workers: make(map[int]*worker),
-		tasks:   make(map[hostKey]*task),
+		epochs:  map[int64]map[int]*worker{0: {}},
+		live:    make(map[int64]int),
+		tasks:   make(map[hostKey]*hostTask),
 	}
 }
 
 // Setup installs the fragments this process hosts and the fragmentation
-// graph they route through. It may be called again on a fresh handshake,
-// replacing the previous residency.
+// graph they route through, as epoch 0. It may be called again on a fresh
+// handshake, replacing the previous residency.
 func (h *WorkerHost) Setup(frags []*partition.Fragment, gp *partition.FragGraph) error {
 	if gp == nil {
 		return fmt.Errorf("core: worker host: nil fragmentation graph")
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.workers = make(map[int]*worker, len(frags))
-	h.tasks = make(map[hostKey]*task)
+	workers := make(map[int]*worker, len(frags))
 	for _, f := range frags {
 		if f == nil {
 			return fmt.Errorf("core: worker host: nil fragment")
 		}
-		h.workers[f.ID] = newWorker(f.ID, f, gp)
+		workers[f.ID] = newWorker(f.ID, f, gp)
 	}
+	h.current = 0
+	h.epochs = map[int64]map[int]*worker{0: workers}
+	h.live = make(map[int64]int)
+	h.tasks = make(map[hostKey]*hostTask)
 	return nil
 }
 
@@ -143,19 +209,82 @@ func (h *WorkerHost) Setup(frags []*partition.Fragment, gp *partition.FragGraph)
 func (h *WorkerHost) Ranks() []int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	out := make([]int, 0, len(h.workers))
-	for r := range h.workers {
+	out := make([]int, 0, len(h.epochs[h.current]))
+	for r := range h.epochs[h.current] {
 		out = append(out, r)
 	}
 	return out
 }
 
-// PEval creates the per-query task for the fragment and runs partial
-// evaluation, returning the envelopes it routed.
-func (h *WorkerHost) PEval(rank int, query uint64, progName string, queryBytes []byte,
+// Epoch returns the latest epoch installed on this host.
+func (h *WorkerHost) Epoch() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.current
+}
+
+// ApplyUpdate installs a new residency epoch: the rebuilt fragments of this
+// batch replace their predecessors, untouched fragments carry over, and
+// every worker is rebound to the new fragmentation graph. Materialized-view
+// tasks are rebound to the new epoch (keeping the pre-batch fragment for the
+// next EvalDelta); epochs older than floor with no live queries are retired.
+func (h *WorkerHost) ApplyUpdate(epoch, floor int64, gp *partition.FragGraph, frags []*partition.Fragment) error {
+	if gp == nil {
+		return fmt.Errorf("core: worker host: nil fragmentation graph")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if epoch <= h.current {
+		return fmt.Errorf("core: worker host: epoch %d already installed (current %d)", epoch, h.current)
+	}
+	cur := h.epochs[h.current]
+	next := make(map[int]*worker, len(cur))
+	for rank, w := range cur {
+		next[rank] = newWorker(rank, w.frag, gp)
+	}
+	for _, f := range frags {
+		if f == nil {
+			return fmt.Errorf("core: worker host: nil fragment in update")
+		}
+		if _, ok := cur[f.ID]; !ok {
+			return fmt.Errorf("core: worker host does not serve fragment %d", f.ID)
+		}
+		next[f.ID] = newWorker(f.ID, f, gp)
+	}
+	h.epochs[epoch] = next
+	h.current = epoch
+	for e := range h.epochs {
+		if e != epoch && e < floor && h.live[e] == 0 {
+			delete(h.epochs, e)
+		}
+	}
+	// Rebind every view task to the new epoch; the fragment it evaluated the
+	// previous epoch on becomes the EvalDelta base.
+	for key, en := range h.tasks {
+		if !en.view {
+			continue
+		}
+		w := next[key.rank]
+		en.oldFrag = en.t.ctx.Fragment
+		en.t.worker = w
+		en.t.ctx.Fragment = w.frag
+		en.t.ctx.GP = gp
+	}
+	return nil
+}
+
+// PEval creates the per-query task for the fragment — bound to the named
+// epoch's residency — and runs partial evaluation, returning the envelopes
+// it routed.
+func (h *WorkerHost) PEval(rank int, query uint64, epoch int64, progName string, queryBytes []byte,
 	superstep int, disableIncEval, disableGrouping bool) ([]mpi.Envelope, error) {
 	h.mu.Lock()
-	w, ok := h.workers[rank]
+	workers, ok := h.epochs[epoch]
+	if !ok {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("core: worker host: epoch %d is not resident (current %d)", epoch, h.current)
+	}
+	w, ok := workers[rank]
 	if !ok {
 		h.mu.Unlock()
 		return nil, fmt.Errorf("core: worker host does not serve fragment %d", rank)
@@ -179,7 +308,12 @@ func (h *WorkerHost) PEval(rank int, query uint64, progName string, queryBytes [
 		DisableIncEval:  disableIncEval,
 		DisableGrouping: disableGrouping,
 	})
-	h.tasks[hostKey{query: query, rank: rank}] = t
+	key := hostKey{query: query, rank: rank}
+	if old, ok := h.tasks[key]; ok && !old.view {
+		h.live[old.epoch]-- // a re-run (failure recovery) replaces the task
+	}
+	h.tasks[key] = &hostTask{t: t, epoch: epoch}
+	h.live[epoch]++
 	h.mu.Unlock()
 
 	if err := safeCall(func() error { return t.peval(superstep) }); err != nil {
@@ -191,10 +325,11 @@ func (h *WorkerHost) PEval(rank int, query uint64, progName string, queryBytes [
 // IncEval delivers envelopes to the fragment's task and runs incremental
 // evaluation, returning the envelopes it routed.
 func (h *WorkerHost) IncEval(rank int, query uint64, superstep int, envs []mpi.Envelope) ([]mpi.Envelope, error) {
-	t, err := h.task(rank, query)
+	en, err := h.task(rank, query)
 	if err != nil {
 		return nil, err
 	}
+	t := en.t
 	if err := safeCall(func() error { return t.incremental(superstep, envs) }); err != nil {
 		return nil, err
 	}
@@ -203,28 +338,110 @@ func (h *WorkerHost) IncEval(rank int, query uint64, superstep int, envs []mpi.E
 
 // Fetch returns the fragment's encoded partial result.
 func (h *WorkerHost) Fetch(rank int, query uint64) ([]byte, error) {
-	t, err := h.task(rank, query)
+	en, err := h.task(rank, query)
 	if err != nil {
 		return nil, err
 	}
-	return t.prog.(RemoteProgram).EncodePartial(t.ctx)
+	return en.t.prog.(RemoteProgram).EncodePartial(en.t.ctx)
 }
 
-// End drops the fragment's per-query state. Ending an unknown query is a
-// no-op so the coordinator can End unconditionally on error paths.
-func (h *WorkerHost) End(rank int, query uint64) error {
+// Materialize promotes the query's task on this fragment into view state: it
+// survives until End, is rebound to every epoch ApplyUpdate installs, and
+// serves EvalDelta maintenance rounds. The task stops pinning its birth
+// epoch (rebinding replaces pinning).
+func (h *WorkerHost) Materialize(rank int, query uint64) error {
 	h.mu.Lock()
-	delete(h.tasks, hostKey{query: query, rank: rank})
-	h.mu.Unlock()
+	defer h.mu.Unlock()
+	en, ok := h.tasks[hostKey{query: query, rank: rank}]
+	if !ok {
+		return fmt.Errorf("core: worker host: no task for query %d on fragment %d (PEval not run?)", query, rank)
+	}
+	if en.view {
+		return nil
+	}
+	en.view = true
+	h.live[en.epoch]--
+	h.pruneLocked(en.epoch)
 	return nil
 }
 
-func (h *WorkerHost) task(rank int, query uint64) (*task, error) {
+// EvalDelta runs one maintenance seeding over the view task retained for
+// (query, rank): the program's EvalDelta against the current epoch's
+// fragment with the pre-batch fragment as base. It reports whether the
+// change was absorbed and the envelopes the seeding routed.
+func (h *WorkerHost) EvalDelta(rank int, query uint64, superstep int, ops []graph.Update,
+	newInBorder []graph.VertexID) (bool, []mpi.Envelope, error) {
+	h.mu.Lock()
+	en, ok := h.tasks[hostKey{query: query, rank: rank}]
+	if !ok || !en.view {
+		h.mu.Unlock()
+		return false, nil, fmt.Errorf("core: worker host: no view for query %d on fragment %d", query, rank)
+	}
+	dp, ok := en.t.prog.(DeltaProgram)
+	if !ok {
+		h.mu.Unlock()
+		return false, nil, fmt.Errorf("core: program %s has no EvalDelta", en.t.prog.Name())
+	}
+	oldG := en.t.ctx.Fragment.Graph
+	if en.oldFrag != nil {
+		oldG = en.oldFrag.Graph
+	}
+	h.mu.Unlock()
+
+	t := en.t
+	t.ctx.Superstep = superstep
+	var absorbed bool
+	err := safeCall(func() error {
+		ok, derr := dp.EvalDelta(t.ctx, FragmentDelta{Ops: ops, OldGraph: oldG, NewInBorder: newInBorder})
+		absorbed = ok
+		return derr
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	if !absorbed {
+		return false, nil, nil
+	}
+	t.route()
+	return true, t.comm.(*collector).take(), nil
+}
+
+// End drops the fragment's per-query state (query runs and views alike),
+// retiring the task's epoch when it was its last reader. Ending an unknown
+// query is a no-op so the coordinator can End unconditionally on error
+// paths.
+func (h *WorkerHost) End(rank int, query uint64) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	t, ok := h.tasks[hostKey{query: query, rank: rank}]
+	key := hostKey{query: query, rank: rank}
+	en, ok := h.tasks[key]
+	if !ok {
+		return nil
+	}
+	delete(h.tasks, key)
+	if !en.view {
+		h.live[en.epoch]--
+		h.pruneLocked(en.epoch)
+	}
+	return nil
+}
+
+// pruneLocked tidies the per-epoch query counts. Epoch residency itself is
+// only retired by ApplyUpdate's floor: the coordinator may have admitted a
+// query at an old epoch that has not issued its PEval yet, so a zero local
+// count alone does not make an epoch collectable. Callers hold h.mu.
+func (h *WorkerHost) pruneLocked(e int64) {
+	if h.live[e] <= 0 {
+		delete(h.live, e)
+	}
+}
+
+func (h *WorkerHost) task(rank int, query uint64) (*hostTask, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	en, ok := h.tasks[hostKey{query: query, rank: rank}]
 	if !ok {
 		return nil, fmt.Errorf("core: worker host: no task for query %d on fragment %d (PEval not run?)", query, rank)
 	}
-	return t, nil
+	return en, nil
 }

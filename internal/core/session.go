@@ -42,13 +42,19 @@ type Session struct {
 	remotes []RemotePeer // per-rank peers of a distributed session; nil when all fragments are local
 	place   func(graph.VertexID) int
 
-	mu       sync.Mutex // guards part, workers, epoch, views, closed
+	mu       sync.Mutex // guards part, workers, epoch, epochUse, views, closed, updatesBroken
 	part     *partition.Partitioned
 	workers  []*worker
 	epoch    int64
+	epochUse map[int64]int // in-flight queries pinned per epoch (snapshot floor)
 	views    map[*View]struct{}
 	closed   bool
 	inFlight sync.WaitGroup
+	// updatesBroken records a failed delta ship to remote workers: the
+	// cluster's residency epochs may have diverged, so all further update
+	// batches are rejected with this error (queries keep working — they only
+	// name epochs every process agreed on).
+	updatesBroken error
 
 	// updateMu serializes ApplyUpdates and Materialize so that view state
 	// always corresponds to exactly one epoch.
@@ -88,8 +94,15 @@ func NewSessionPartitioned(p *partition.Partitioned, opts Options) (*Session, er
 // evaluation handle for fragment i. Queries run exactly as on a local
 // session — same runner planes, same communicators — with PEval/IncEval
 // forwarded through the peers; only programs implementing RemoteProgram are
-// accepted. The session owns tr and closes it on Close. Graph updates and
-// materialized views are not yet supported on distributed sessions.
+// accepted. The session owns tr and closes it on Close.
+//
+// Graph updates and materialized views work over the wire when the transport
+// implements RemoteUpdateTransport and the peers implement RemoteViewPeer
+// (the TCP transport does both): ApplyUpdates routes the batch at the
+// coordinator, ships the rebuilt fragments as a new epoch, and maintenance
+// rounds run EvalDelta/IncEval on the workers' retained view state. On
+// transports without those capabilities the calls fail with
+// ErrDistributedUnsupported.
 func NewSessionRemote(p *partition.Partitioned, opts Options, tr mpi.Transport, peers []RemotePeer) (*Session, error) {
 	m := len(p.Fragments)
 	if m == 0 {
@@ -124,13 +137,14 @@ func newSession(p *partition.Partitioned, opts Options, tr mpi.Transport, peers 
 		place = partition.HashPlacer(m)
 	}
 	s := &Session{
-		opts:    o,
-		cluster: tr,
-		remotes: peers,
-		place:   place,
-		part:    p,
-		workers: newWorkers(p),
-		views:   make(map[*View]struct{}),
+		opts:     o,
+		cluster:  tr,
+		remotes:  peers,
+		place:    place,
+		part:     p,
+		workers:  newWorkers(p),
+		epochUse: make(map[int64]int),
+		views:    make(map[*View]struct{}),
 	}
 	return s, nil
 }
@@ -148,15 +162,41 @@ func newWorkers(p *partition.Partitioned) []*worker {
 }
 
 // begin registers one unit of in-flight work, failing when the session is
-// closed, and returns a snapshot of the current epoch's workers.
-func (s *Session) begin() ([]*worker, error) {
+// closed, and returns a snapshot of the current epoch's workers plus the
+// epoch itself. The epoch stays pinned — remote worker processes keep its
+// residency alive — until the matching done call.
+func (s *Session) begin() ([]*worker, int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, ErrSessionClosed
+		return nil, 0, ErrSessionClosed
 	}
 	s.inFlight.Add(1)
-	return s.workers, nil
+	s.epochUse[s.epoch]++
+	return s.workers, s.epoch, nil
+}
+
+// done releases a begin: the epoch pin and the in-flight unit.
+func (s *Session) done(epoch int64) {
+	s.mu.Lock()
+	if s.epochUse[epoch]--; s.epochUse[epoch] <= 0 {
+		delete(s.epochUse, epoch)
+	}
+	s.mu.Unlock()
+	s.inFlight.Done()
+}
+
+// minEpochInUse returns the oldest epoch an in-flight query still reads (the
+// retention floor shipped to remote workers with each update batch). Callers
+// hold s.mu.
+func (s *Session) minEpochInUse() int64 {
+	min := s.epoch
+	for e := range s.epochUse {
+		if e < min {
+			min = e
+		}
+	}
+	return min
 }
 
 // Run evaluates one query with the given PIE program over the resident
@@ -173,14 +213,14 @@ func (s *Session) Run(q Query, prog Program) (*Result, error) {
 // fragments. ModeAsync requires the program to declare AsyncCapable;
 // otherwise ErrAsyncUnsupported is returned.
 func (s *Session) RunMode(q Query, prog Program, mode ExecMode) (*Result, error) {
-	workers, err := s.begin()
+	workers, epoch, err := s.begin()
 	if err != nil {
 		return nil, err
 	}
-	defer s.inFlight.Done()
+	defer s.done(epoch)
 	s.queries.Add(1)
 
-	co := &coordinator{opts: s.opts, cluster: s.cluster, workers: workers, remotes: s.remotes}
+	co := &coordinator{opts: s.opts, cluster: s.cluster, workers: workers, remotes: s.remotes, epoch: epoch}
 	return co.runMode(q, prog, mode)
 }
 

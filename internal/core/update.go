@@ -10,20 +10,30 @@ package core
 // reuse the per-fragment state of the view's last evaluation instead of
 // starting from scratch, so their cost is proportional to the affected area
 // AFF rather than to the graph.
+//
+// On a distributed session the batch is routed exactly the same way — the
+// coordinator keeps a resident replica of every fragment, so partition
+// maintenance is local — and the rebuilt fragments plus the new
+// fragmentation graph are then shipped to the worker processes as the next
+// epoch before the coordinator installs it (see RemoteUpdateTransport in
+// remote.go). View maintenance runs its EvalDelta seeding and IncEval
+// fixpoint on the workers' retained contexts.
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"grape/internal/graph"
 	"grape/internal/metrics"
+	"grape/internal/partition"
 )
 
-// ErrDistributedUnsupported is returned by operations that require the
-// session's fragments to be resident in this process — graph updates and
-// materialized views — when called on a distributed session. Shipping
-// fragment deltas to remote workers is future work.
-var ErrDistributedUnsupported = errors.New("core: operation not supported on distributed sessions")
+// ErrDistributedUnsupported is returned by graph updates and materialized
+// views on distributed sessions whose transport cannot ship update deltas
+// (no RemoteUpdateTransport) or whose peers cannot host view state (no
+// RemoteViewPeer). The TCP transport in internal/mpi/net supports both.
+var ErrDistributedUnsupported = errors.New("core: operation not supported on this distributed transport")
 
 // FragmentDelta describes what one update batch did to one fragment. It is
 // handed to DeltaProgram.EvalDelta during view maintenance; ctx.Fragment
@@ -78,8 +88,11 @@ type UpdateStats struct {
 	Incremental     int
 	Recomputed      int
 	// PartitionElapsed is the time spent rebuilding fragments and borders;
-	// MaintainElapsed the time spent refreshing views.
+	// ShipElapsed the time spent shipping the delta to remote worker
+	// processes (zero on in-process sessions); MaintainElapsed the time
+	// spent refreshing views.
 	PartitionElapsed time.Duration
+	ShipElapsed      time.Duration
 	MaintainElapsed  time.Duration
 }
 
@@ -94,9 +107,21 @@ type UpdateStats struct {
 // maintenance does not abort the batch: the epoch is still installed, the
 // remaining views are still refreshed, and the collected errors are
 // returned alongside the stats.
+//
+// On a distributed session the rebuilt fragments are shipped to the worker
+// processes before the new epoch is installed. A shipping failure aborts the
+// batch — and, because some processes may already have installed the epoch
+// this session never will, permanently disables further updates on the
+// session (fail-stop): later ApplyUpdates calls return the recorded error,
+// while queries keep working against the last fully installed epoch.
 func (s *Session) ApplyUpdates(batch []graph.Update) (*UpdateStats, error) {
+	var updater RemoteUpdateTransport
 	if s.Distributed() {
-		return nil, ErrDistributedUnsupported
+		u, ok := s.cluster.(RemoteUpdateTransport)
+		if !ok {
+			return nil, fmt.Errorf("%w: transport cannot ship update deltas", ErrDistributedUnsupported)
+		}
+		updater = u
 	}
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
@@ -106,8 +131,14 @@ func (s *Session) ApplyUpdates(batch []graph.Update) (*UpdateStats, error) {
 		s.mu.Unlock()
 		return nil, ErrSessionClosed
 	}
+	if broken := s.updatesBroken; broken != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: updates disabled after a failed delta ship: %w", broken)
+	}
 	s.inFlight.Add(1)
 	part := s.part
+	nextEpoch := s.epoch + 1
+	floor := s.minEpochInUse()
 	s.mu.Unlock()
 	defer s.inFlight.Done()
 
@@ -115,6 +146,34 @@ func (s *Session) ApplyUpdates(batch []graph.Update) (*UpdateStats, error) {
 	newPart, res := part.ApplyUpdates(batch, s.place)
 	workers := newWorkers(newPart)
 	partElapsed := partTimer.Stop()
+
+	var shipElapsed time.Duration
+	if updater != nil {
+		// Ship the delta — the rebuilt fragments plus the new fragmentation
+		// graph — before installing the epoch locally. Queries in flight keep
+		// naming their pinned epochs, which the workers retain at least until
+		// the floor passes them.
+		changed := make([]*partition.Fragment, 0, len(res.Changes))
+		for _, f := range res.AffectedFragments() {
+			changed = append(changed, newPart.Fragments[f])
+		}
+		shipTimer := metrics.StartTimer()
+		err := updater.ApplyUpdate(nextEpoch, floor, newPart.GP, changed)
+		shipElapsed = shipTimer.Stop()
+		if err != nil {
+			// A partial ship is unrecoverable: some processes may have
+			// installed the epoch this session never will. Fail this batch
+			// and every later one with an explicit error instead of letting
+			// a retried epoch number diverge across the cluster.
+			err = fmt.Errorf("core: shipping update delta for epoch %d: %w", nextEpoch, err)
+			s.mu.Lock()
+			if s.updatesBroken == nil {
+				s.updatesBroken = err
+			}
+			s.mu.Unlock()
+			return nil, err
+		}
+	}
 
 	s.mu.Lock()
 	s.part = newPart
@@ -134,6 +193,7 @@ func (s *Session) ApplyUpdates(batch []graph.Update) (*UpdateStats, error) {
 		Applied:           res.Applied,
 		AffectedFragments: len(res.Changes),
 		PartitionElapsed:  partElapsed,
+		ShipElapsed:       shipElapsed,
 	}
 
 	maintainTimer := metrics.StartTimer()

@@ -398,7 +398,7 @@ func TestSnapshotConsistencyAcrossEpochs(t *testing.T) {
 	}
 	defer s.Close()
 
-	workers, err := s.begin()
+	workers, epoch, err := s.begin()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,9 +406,9 @@ func TestSnapshotConsistencyAcrossEpochs(t *testing.T) {
 	if _, err := s.ApplyUpdates([]graph.Update{graph.AddEdgeUpdate(0, 11, 1, "")}); err != nil {
 		t.Fatal(err)
 	}
-	co := &coordinator{opts: s.opts, cluster: s.cluster, workers: workers}
+	co := &coordinator{opts: s.opts, cluster: s.cluster, workers: workers, epoch: epoch}
 	res, err := co.run(nil, &minDistProgram{source: 0})
-	s.inFlight.Done()
+	s.done(epoch)
 	if err != nil {
 		t.Fatal(err)
 	}

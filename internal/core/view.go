@@ -18,6 +18,12 @@ import (
 // border values — and falling back to a full PEval re-run when the program
 // has no incremental form for the change (or none at all).
 //
+// On a distributed session the retained contexts live in the worker
+// processes: Materialize pins the converged query state there (remoteQuery
+// names it), EvalDelta and the IncEval fixpoint run remotely over it, and
+// only the refreshed partial results cross the wire back for Assemble. The
+// coordinator-side ctxs hold the decoded partials.
+//
 // Result is safe to call from any goroutine; it returns the answer as of the
 // last installed epoch.
 type View struct {
@@ -31,6 +37,10 @@ type View struct {
 	err    error
 	stats  ViewStats
 	closed bool
+	// remoteQuery names the per-fragment view state retained on the worker
+	// processes of a distributed session (0 on local sessions). A full
+	// recompute replaces it with the new run's query id.
+	remoteQuery uint64
 	// stale is set when a maintenance round failed: the retained contexts
 	// may have missed a batch, so the next round must recompute from scratch
 	// instead of trusting them for an incremental round.
@@ -52,31 +62,65 @@ type ViewStats struct {
 // registers the result as a live view: after every ApplyUpdates batch the
 // view's answer is refreshed before ApplyUpdates returns. Close the view to
 // stop maintaining it.
+//
+// On a distributed session the converged per-fragment state stays resident
+// in the worker processes and is maintained there; this requires the
+// transport to ship update deltas and the peers to host view state, which
+// the TCP transport does. Transports without those capabilities return
+// ErrDistributedUnsupported.
 func (s *Session) Materialize(q Query, prog Program) (*View, error) {
 	if s.Distributed() {
-		return nil, ErrDistributedUnsupported
+		if _, ok := s.cluster.(RemoteUpdateTransport); !ok {
+			return nil, fmt.Errorf("%w: transport cannot ship update deltas", ErrDistributedUnsupported)
+		}
+		for i, pe := range s.remotes {
+			if _, ok := pe.(RemoteViewPeer); !ok {
+				return nil, fmt.Errorf("%w: peer for fragment %d cannot host view state", ErrDistributedUnsupported, i)
+			}
+		}
 	}
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
 
-	workers, err := s.begin()
+	workers, epoch, err := s.begin()
 	if err != nil {
 		return nil, err
 	}
-	defer s.inFlight.Done()
+	defer s.done(epoch)
 	s.queries.Add(1)
 
-	co := &coordinator{opts: s.opts, cluster: s.cluster, workers: workers}
+	co := &coordinator{opts: s.opts, cluster: s.cluster, workers: workers,
+		remotes: s.remotes, epoch: epoch, retain: s.Distributed()}
 	res, err := co.run(q, prog)
 	if err != nil {
 		return nil, err
 	}
 	v := &View{session: s, prog: prog, query: q, ctxs: res.Contexts, result: res.Output}
+	if s.Distributed() {
+		v.remoteQuery = res.queryID
+		if err := materializeRemote(s.remotes, v.remoteQuery); err != nil {
+			return nil, err
+		}
+	}
 	s.mu.Lock()
 	v.stats.Epoch = s.epoch
 	s.views[v] = struct{}{}
 	s.mu.Unlock()
 	return v, nil
+}
+
+// materializeRemote promotes a converged query's retained state into view
+// state on every peer, releasing it everywhere if any peer fails.
+func materializeRemote(remotes []RemotePeer, query uint64) error {
+	for i, pe := range remotes {
+		if err := pe.(RemoteViewPeer).Materialize(query); err != nil {
+			for _, pe2 := range remotes {
+				_ = pe2.End(query)
+			}
+			return fmt.Errorf("core: retaining view state on fragment %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // Name returns the program name the view materializes.
@@ -98,11 +142,14 @@ func (v *View) Stats() ViewStats {
 }
 
 // Close unregisters the view from its session; the result remains readable
-// but is no longer maintained. Closing twice is a no-op.
+// but is no longer maintained. On a distributed session the worker-side view
+// state is released. Closing twice is a no-op.
 func (v *View) Close() error {
 	v.mu.Lock()
 	already := v.closed
 	v.closed = true
+	remoteQuery := v.remoteQuery
+	v.remoteQuery = 0
 	v.mu.Unlock()
 	if already {
 		return nil
@@ -111,6 +158,11 @@ func (v *View) Close() error {
 	s.mu.Lock()
 	delete(s.views, v)
 	s.mu.Unlock()
+	if remoteQuery != 0 {
+		for _, pe := range s.remotes {
+			_ = pe.End(remoteQuery)
+		}
+	}
 	return nil
 }
 
@@ -134,17 +186,23 @@ func (v *View) maintain(part *partition.Partitioned, workers []*worker, res *par
 
 	v.mu.RLock()
 	stale := v.stale
+	remoteQuery := v.remoteQuery
 	v.mu.RUnlock()
+	remote := v.session.Distributed()
 
-	co := &coordinator{opts: v.session.opts, cluster: v.session.cluster, workers: workers}
+	co := &coordinator{opts: v.session.opts, cluster: v.session.cluster, workers: workers,
+		remotes: v.session.remotes, epoch: epoch}
 	if dp, ok := v.prog.(DeltaProgram); ok && !stale {
 		// Rebind the retained contexts to the new epoch's fragments. The
 		// program state in ctx.State carries over: that is the whole point.
+		// (On a distributed session the worker-side contexts were rebound
+		// when the epoch was installed; these coordinator-side ones hold the
+		// partial results Assemble reads.)
 		for i, ctx := range v.ctxs {
 			ctx.Fragment = part.Fragments[i]
 			ctx.GP = part.GP
 		}
-		out, incErr := co.maintainIncremental(dp, v.ctxs, v.query, res)
+		out, incErr := co.maintainIncremental(dp, v.ctxs, v.query, res, remoteQuery)
 		switch incErr {
 		case nil:
 			v.mu.Lock()
@@ -160,14 +218,42 @@ func (v *View) maintain(part *partition.Partitioned, workers []*worker, res *par
 		}
 	}
 
+	co.retain = remote
 	full, runErr := co.run(v.query, v.prog)
 	if runErr != nil {
 		return false, fmt.Errorf("core: view %s full recompute: %w", v.prog.Name(), runErr)
 	}
+	if remote {
+		// The fresh run's retained state becomes the view state; the previous
+		// generation is released.
+		if err := materializeRemote(v.session.remotes, full.queryID); err != nil {
+			return false, err
+		}
+	}
 	v.mu.Lock()
+	if v.closed {
+		// The view was closed while this round ran (Close already released
+		// the previous generation): drop the fresh state instead of adopting
+		// it, or nothing would ever End it.
+		v.mu.Unlock()
+		if remote {
+			for _, pe := range v.session.remotes {
+				_ = pe.End(full.queryID)
+			}
+		}
+		return false, nil
+	}
 	v.ctxs = full.Contexts
 	v.result = full.Output
+	if remote {
+		v.remoteQuery = full.queryID
+	}
 	v.mu.Unlock()
+	if remote && remoteQuery != 0 {
+		for _, pe := range v.session.remotes {
+			_ = pe.End(remoteQuery)
+		}
+	}
 	return false, nil
 }
 
@@ -177,7 +263,12 @@ func (v *View) maintain(part *partition.Partitioned, workers []*worker, res *par
 // any fragment's EvalDelta declines the change. Maintenance always runs on
 // the BSP plane — a round mutates the view's retained contexts, and the
 // deterministic superstep schedule is what keeps a failed round diagnosable.
-func (c *coordinator) maintainIncremental(dp DeltaProgram, ctxs []*Context, q Query, res *partition.UpdateResult) (any, error) {
+//
+// With remote peers, remoteQuery names the worker-side view state: EvalDelta
+// and IncEval run there, and the refreshed partial results are pulled back
+// into ctxs before Assemble.
+func (c *coordinator) maintainIncremental(dp DeltaProgram, ctxs []*Context, q Query,
+	res *partition.UpdateResult, remoteQuery uint64) (any, error) {
 	m := len(c.workers)
 	stats := &metrics.Stats{Engine: "GRAPE", Query: dp.Name() + "+maintain", Workers: m}
 	timer := metrics.StartTimer()
@@ -187,6 +278,11 @@ func (c *coordinator) maintainIncremental(dp DeltaProgram, ctxs []*Context, q Qu
 	tasks := make([]*task, m)
 	for i, w := range c.workers {
 		tasks[i] = w.taskWith(ctxs[i], dp, comm, c.opts)
+		if c.remotes != nil {
+			tasks[i].remote = c.remotes[i]
+			tasks[i].queryID = remoteQuery
+			tasks[i].epoch = c.epoch
+		}
 	}
 
 	// Maintenance rounds have no failure injection: injected failures model
@@ -209,6 +305,20 @@ func (c *coordinator) maintainIncremental(dp DeltaProgram, ctxs []*Context, q Qu
 			return nil // AFF is empty here: this fragment only reacts to messages
 		}
 		t := tasks[w]
+		if t.remote != nil {
+			ok, envs, derr := t.remote.(RemoteViewPeer).EvalDelta(t.queryID, superstep, ch.Ops, ch.NewInBorder)
+			if derr != nil {
+				return fmt.Errorf("core: remote EvalDelta on fragment %d: %w", w, derr)
+			}
+			if !ok {
+				mu.Lock()
+				absorbed = false
+				mu.Unlock()
+				return nil
+			}
+			t.inject(envs)
+			return nil
+		}
 		t.ctx.Superstep = superstep
 		ok, derr := dp.EvalDelta(t.ctx, FragmentDelta{Ops: ch.Ops, OldGraph: ch.OldGraph, NewInBorder: ch.NewInBorder})
 		if derr != nil {
@@ -234,6 +344,15 @@ func (c *coordinator) maintainIncremental(dp DeltaProgram, ctxs []*Context, q Qu
 	bsp := &bspRunner{opts: c.opts, cluster: c.cluster}
 	if err := bsp.iterate(tasks, comm, stats, resTrack, runStep, superstep); err != nil {
 		return nil, err
+	}
+	if c.remotes != nil {
+		rp, ok := dp.(RemoteProgram)
+		if !ok {
+			return nil, fmt.Errorf("core: %s has no wire codecs for view maintenance", dp.Name())
+		}
+		if err := c.fetchPartials(tasks, rp, remoteQuery); err != nil {
+			return nil, err
+		}
 	}
 	out, err := dp.Assemble(q, ctxs)
 	if err != nil {

@@ -60,6 +60,7 @@ type task struct {
 
 	remote     RemotePeer // non-nil for fragments hosted in another process
 	queryID    uint64
+	epoch      int64 // session epoch the query reads (names the remote residency)
 	progName   string
 	queryBytes []byte
 }
@@ -100,7 +101,7 @@ func (t *task) inject(envs []mpi.Envelope) {
 // routing of the changed update parameters.
 func (t *task) peval(superstep int) error {
 	if t.remote != nil {
-		envs, err := t.remote.PEval(t.queryID, t.progName, t.queryBytes, superstep,
+		envs, err := t.remote.PEval(t.queryID, t.epoch, t.progName, t.queryBytes, superstep,
 			t.opts.DisableIncEval, t.opts.DisableGrouping)
 		if err != nil {
 			return fmt.Errorf("core: remote PEval on fragment %d: %w", t.worker.rank, err)

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"grape/internal/graph"
 )
 
 // Update is the unit of communication for designated messages: the new value
@@ -247,6 +249,107 @@ func DecodeKeyValues(buf []byte) ([]KeyValue, error) {
 		kvs = append(kvs, KeyValue{Key: key, Value: val})
 	}
 	return kvs, nil
+}
+
+// Graph-update op batches. A distributed session's ApplyUpdates routes ops
+// to the fragments that own them and ships each fragment's slice of the
+// batch to the worker process hosting it, where EvalDelta replays them
+// during view maintenance. The encoding follows the same varint/delta
+// discipline as the designated-message batches above: one format byte, then
+// per op the kind, zigzag-varint Src/Dst deltas against the previous op,
+// and — only for the kinds that carry them — the weight bits and the label.
+const graphUpdateFormat = byte(0x01)
+
+// EncodeGraphUpdates serializes a batch of graph update ops for the wire.
+func EncodeGraphUpdates(ops []graph.Update) []byte {
+	size := 1 + binary.MaxVarintLen64
+	for _, op := range ops {
+		size += 1 + 2*binary.MaxVarintLen64 + 8 + binary.MaxVarintLen64 + len(op.Label)
+	}
+	buf := make([]byte, 1, size)
+	buf[0] = graphUpdateFormat
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	var wb [8]byte
+	prevS, prevD := int64(0), int64(0)
+	for _, op := range ops {
+		buf = append(buf, byte(op.Kind))
+		buf = binary.AppendVarint(buf, int64(op.Src)-prevS)
+		buf = binary.AppendVarint(buf, int64(op.Dst)-prevD)
+		prevS, prevD = int64(op.Src), int64(op.Dst)
+		if op.Kind == graph.UpdateAddEdge || op.Kind == graph.UpdateReweightEdge {
+			binary.LittleEndian.PutUint64(wb[:], math.Float64bits(op.Weight))
+			buf = append(buf, wb[:]...)
+		}
+		if op.Kind == graph.UpdateAddVertex || op.Kind == graph.UpdateAddEdge {
+			buf = binary.AppendUvarint(buf, uint64(len(op.Label)))
+			buf = append(buf, op.Label...)
+		}
+	}
+	return buf
+}
+
+// DecodeGraphUpdates parses a batch produced by EncodeGraphUpdates.
+func DecodeGraphUpdates(buf []byte) ([]graph.Update, error) {
+	if len(buf) < 1 {
+		return nil, fmt.Errorf("mpi: empty graph-update batch")
+	}
+	if buf[0] != graphUpdateFormat {
+		return nil, fmt.Errorf("mpi: unknown graph-update batch format 0x%02x", buf[0])
+	}
+	buf = buf[1:]
+	n, off := binary.Uvarint(buf)
+	if off <= 0 {
+		return nil, fmt.Errorf("mpi: bad graph-update batch length")
+	}
+	// Every op takes at least 3 bytes (kind plus two 1-byte deltas), which
+	// bounds n for truncated buffers before any allocation happens.
+	if n > uint64(len(buf)-off)/3+1 {
+		return nil, fmt.Errorf("mpi: graph-update batch length %d exceeds payload", n)
+	}
+	ops := make([]graph.Update, 0, n)
+	prevS, prevD := int64(0), int64(0)
+	for i := uint64(0); i < n; i++ {
+		if off >= len(buf) {
+			return nil, fmt.Errorf("mpi: truncated graph update %d of %d", i, n)
+		}
+		var op graph.Update
+		op.Kind = graph.UpdateKind(buf[off])
+		off++
+		if op.Kind > graph.UpdateReweightEdge {
+			return nil, fmt.Errorf("mpi: unknown graph-update kind 0x%02x", byte(op.Kind))
+		}
+		ds, w := binary.Varint(buf[off:])
+		if w <= 0 {
+			return nil, fmt.Errorf("mpi: truncated graph update %d of %d", i, n)
+		}
+		off += w
+		dd, w := binary.Varint(buf[off:])
+		if w <= 0 {
+			return nil, fmt.Errorf("mpi: truncated graph update %d of %d", i, n)
+		}
+		off += w
+		op.Src = graph.VertexID(prevS + ds)
+		op.Dst = graph.VertexID(prevD + dd)
+		prevS, prevD = int64(op.Src), int64(op.Dst)
+		if op.Kind == graph.UpdateAddEdge || op.Kind == graph.UpdateReweightEdge {
+			if off+8 > len(buf) {
+				return nil, fmt.Errorf("mpi: truncated graph update %d of %d", i, n)
+			}
+			op.Weight = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		if op.Kind == graph.UpdateAddVertex || op.Kind == graph.UpdateAddEdge {
+			ll, w := binary.Uvarint(buf[off:])
+			if w <= 0 || ll > uint64(len(buf)-off-w) {
+				return nil, fmt.Errorf("mpi: truncated graph-update label %d of %d", i, n)
+			}
+			off += w
+			op.Label = string(buf[off : off+int(ll)])
+			off += int(ll)
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
 }
 
 // Float64sToBytes encodes a float64 vector as bytes, used for CF factor

@@ -1,0 +1,112 @@
+package mpi
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"grape/internal/graph"
+)
+
+func TestGraphUpdateCodecRoundTrip(t *testing.T) {
+	cases := map[string][]graph.Update{
+		"empty": {},
+		"mixed": {
+			graph.AddVertexUpdate(7, "user"),
+			graph.AddVertexUpdate(9, ""),
+			graph.AddEdgeUpdate(7, 9, 2.5, "follows"),
+			graph.AddEdgeUpdate(9, 1_000_000, 0.125, ""),
+			graph.ReweightEdgeUpdate(7, 9, 1e-9),
+			graph.RemoveEdgeUpdate(9, 7),
+			graph.RemoveVertexUpdate(1_000_000),
+		},
+		"sorted-run": {
+			graph.AddEdgeUpdate(100, 101, 1, ""),
+			graph.AddEdgeUpdate(101, 102, 1, ""),
+			graph.AddEdgeUpdate(102, 103, 1, ""),
+		},
+	}
+	for name, ops := range cases {
+		t.Run(name, func(t *testing.T) {
+			got, err := DecodeGraphUpdates(EncodeGraphUpdates(ops))
+			if err != nil {
+				t.Fatalf("DecodeGraphUpdates: %v", err)
+			}
+			want := ops
+			if len(want) == 0 {
+				want = nil
+				if len(got) != 0 {
+					t.Fatalf("decoded %d ops from an empty batch", len(got))
+				}
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, want)
+			}
+		})
+	}
+}
+
+func TestGraphUpdateCodecRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	labels := []string{"", "a", "city", "long-label-with-text"}
+	for trial := 0; trial < 50; trial++ {
+		n := r.Intn(40)
+		ops := make([]graph.Update, 0, n)
+		for i := 0; i < n; i++ {
+			src := graph.VertexID(r.Intn(1 << 20))
+			dst := graph.VertexID(r.Intn(1 << 20))
+			switch r.Intn(5) {
+			case 0:
+				ops = append(ops, graph.AddVertexUpdate(src, labels[r.Intn(len(labels))]))
+			case 1:
+				ops = append(ops, graph.RemoveVertexUpdate(src))
+			case 2:
+				ops = append(ops, graph.AddEdgeUpdate(src, dst, r.Float64()*100, labels[r.Intn(len(labels))]))
+			case 3:
+				ops = append(ops, graph.RemoveEdgeUpdate(src, dst))
+			case 4:
+				ops = append(ops, graph.ReweightEdgeUpdate(src, dst, r.Float64()*100))
+			}
+		}
+		got, err := DecodeGraphUpdates(EncodeGraphUpdates(ops))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(ops) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("trial %d: decoded %d ops from empty batch", trial, len(got))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, ops) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}
+
+// TestGraphUpdateCodecCorruption: truncations and bit flips must fail with an
+// error, never panic or return phantom ops.
+func TestGraphUpdateCodecCorruption(t *testing.T) {
+	ops := []graph.Update{
+		graph.AddVertexUpdate(3, "v"),
+		graph.AddEdgeUpdate(3, 4, 1.5, "e"),
+		graph.ReweightEdgeUpdate(3, 4, 2.5),
+	}
+	enc := EncodeGraphUpdates(ops)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeGraphUpdates(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 0x7F
+	if _, err := DecodeGraphUpdates(bad); err == nil {
+		t.Fatalf("unknown format byte accepted")
+	}
+	bad = append([]byte(nil), enc...)
+	bad[2] = 0x6E // kind byte of the first op
+	if _, err := DecodeGraphUpdates(bad); err == nil {
+		t.Fatalf("unknown op kind accepted")
+	}
+}

@@ -2,11 +2,13 @@ package net
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"grape/internal/graph"
 	"grape/internal/mpi"
 	"grape/internal/partition"
 )
@@ -15,11 +17,31 @@ import (
 // worker processes to connect and install their fragments.
 const DefaultHandshakeTimeout = 60 * time.Second
 
+// DefaultHeartbeatInterval is how often the coordinator pings each worker
+// process when the listener does not configure its own interval. A worker
+// that misses heartbeatMissedIntervals consecutive intervals is declared
+// dead and every call routed to it fails — this is what turns a silently
+// vanished worker (SIGKILL, network partition, half-open connection) into a
+// prompt query error instead of a coordinator blocked forever on the reply
+// demultiplexer.
+const DefaultHeartbeatInterval = 10 * time.Second
+
+// heartbeatMissedIntervals is how many unanswered heartbeat intervals
+// declare a worker dead. Pings are answered by the worker's read loop
+// directly, so even a worker busy with a long evaluation replies promptly.
+const heartbeatMissedIntervals = 4
+
 // Listener is a bound coordinator endpoint. Splitting Listen from Serve
 // lets callers learn the chosen address (port 0 binds an ephemeral port)
 // before the workers start dialing.
 type Listener struct {
 	ln net.Listener
+
+	// Heartbeat overrides the liveness-probe interval for the cluster Serve
+	// brings up: 0 selects DefaultHeartbeatInterval, negative disables
+	// heartbeats entirely (calls to a dead worker then fail only when the OS
+	// reports the broken connection).
+	Heartbeat time.Duration
 }
 
 // Listen binds the coordinator endpoint.
@@ -46,6 +68,11 @@ func (l *Listener) Close() error { return l.ln.Close() }
 // readiness. Fragment ranks are dealt round-robin: process i hosts every
 // rank r with r % procs == i. The listener is consumed: it stops accepting
 // once the cluster is up.
+//
+// Every error path tears the partial cluster down: already-accepted
+// connections are closed (failing fast the handshakes still in flight on
+// sibling connections), so workers that did connect observe a prompt error
+// instead of waiting out their own timeouts, and no socket leaks.
 //
 // The returned Cluster implements mpi.Transport (mailboxes, barriers and
 // compute slots are coordinator-side, exactly as in the in-process cluster)
@@ -75,47 +102,82 @@ func (l *Listener) Serve(p *partition.Partitioned, procs int, timeout time.Durat
 	}
 	gpBytes := partition.EncodeFragGraph(p.GP)
 
+	// Close every accepted connection on any failure below, wherever it
+	// surfaces: a leaked half-handshaken socket would leave its worker
+	// process blocked on a read until its own timeout.
+	var raw []net.Conn
+	served := false
+	defer func() {
+		if !served {
+			for _, c := range raw {
+				c.Close()
+			}
+		}
+	}()
+
 	// Accept every process first, then handshake them concurrently: fragment
 	// shipping and worker-side installation overlap, so bring-up latency is
 	// the slowest worker's setup rather than the sum of all of them.
-	raw := make([]net.Conn, 0, procs)
-	closeAll := func() {
+	for proc := 0; proc < procs; proc++ {
+		c, err := l.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("net: waiting for worker %d of %d: %w", proc+1, procs, err)
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			_ = tc.SetKeepAlive(true)
+			_ = tc.SetKeepAlivePeriod(30 * time.Second)
+		}
+		raw = append(raw, c)
+	}
+
+	// The first handshake failure aborts the bring-up: it closes every
+	// accepted connection so sibling handshakes fail immediately instead of
+	// waiting out the deadline on a cluster that can no longer form.
+	var hsMu sync.Mutex
+	hsProc, hsErr := -1, error(nil)
+	abort := func(proc int, err error) {
+		hsMu.Lock()
+		defer hsMu.Unlock()
+		if hsErr != nil {
+			return // secondary failure caused by the abort itself
+		}
+		hsProc, hsErr = proc, err
 		for _, c := range raw {
 			c.Close()
 		}
 	}
-	for proc := 0; proc < procs; proc++ {
-		c, err := l.ln.Accept()
-		if err != nil {
-			closeAll()
-			return nil, fmt.Errorf("net: waiting for worker %d of %d: %w", proc+1, procs, err)
-		}
-		raw = append(raw, c)
-	}
-	hsErrs := make([]error, procs)
 	var wg sync.WaitGroup
 	for proc, c := range raw {
 		wg.Add(1)
 		go func(proc int, c net.Conn) {
 			defer wg.Done()
-			hsErrs[proc] = handshakeWorker(c, deadline, proc, procs, p, gpBytes)
+			if err := handshakeWorker(c, deadline, proc, procs, p, gpBytes); err != nil {
+				abort(proc, err)
+			}
 		}(proc, c)
 	}
 	wg.Wait()
-	for proc, err := range hsErrs {
-		if err != nil {
-			closeAll()
-			return nil, fmt.Errorf("net: handshake with worker %d: %w", proc+1, err)
-		}
+	if hsErr != nil {
+		return nil, fmt.Errorf("net: handshake with worker %d: %w", hsProc+1, hsErr)
+	}
+
+	heartbeat := l.Heartbeat
+	if heartbeat == 0 {
+		heartbeat = DefaultHeartbeatInterval
 	}
 	conns := make([]*procConn, 0, procs)
-	// Handshakes done: lift the deadlines, start the reply demultiplexers.
-	for _, c := range raw {
-		pc := newProcConn(c)
+	// Handshakes done: lift the deadlines, start the reply demultiplexers
+	// and the liveness probes.
+	for proc, c := range raw {
+		pc := newProcConn(c, proc, assignedRanks(m, proc, procs))
 		pc.c.SetDeadline(time.Time{})
 		go pc.readLoop()
+		if heartbeat > 0 {
+			go pc.heartbeatLoop(heartbeat)
+		}
 		conns = append(conns, pc)
 	}
+	served = true
 
 	cl := &Cluster{Cluster: local, conns: conns, peers: make([]*Peer, m)}
 	for rank := 0; rank < m; rank++ {
@@ -211,7 +273,8 @@ func assignedRanks(m, proc, procs int) []int {
 // embeds an in-process mpi.Cluster — mailboxes, barriers and compute slots
 // are identical to the local transport — and adds the per-process
 // connections plus a Peer handle per fragment rank for remote evaluation
-// calls. It satisfies mpi.Transport.
+// calls. It satisfies mpi.Transport, and core.RemoteUpdateTransport through
+// ApplyUpdate.
 type Cluster struct {
 	*mpi.Cluster
 	conns []*procConn
@@ -233,6 +296,54 @@ func (c *Cluster) Peers() []*Peer { return append([]*Peer(nil), c.peers...) }
 // Procs returns the number of worker processes in the cluster.
 func (c *Cluster) Procs() int { return len(c.conns) }
 
+// ApplyUpdate installs a new residency epoch on every worker process: each
+// receives the new fragmentation graph plus the rebuilt fragments among the
+// ranks it hosts (fragments untouched by the batch are not re-shipped — the
+// worker carries them over). floor is the oldest epoch any in-flight query
+// still reads; workers retire residencies older than it. The call fans out
+// to all processes concurrently and fails if any process fails, in which
+// case the caller must not install the epoch.
+//
+// It implements the engine's RemoteUpdateTransport contract.
+func (c *Cluster) ApplyUpdate(epoch, floor int64, gp *partition.FragGraph, changed []*partition.Fragment) error {
+	gpBytes := partition.EncodeFragGraph(gp)
+	perProc := make([][]*partition.Fragment, len(c.conns))
+	for _, f := range changed {
+		if f == nil || f.ID < 0 || f.ID >= len(c.peers) {
+			return fmt.Errorf("net: update batch names an unknown fragment")
+		}
+		proc := c.peers[f.ID].pc.proc
+		perProc[proc] = append(perProc[proc], f)
+	}
+
+	errs := make([]error, len(c.conns))
+	var wg sync.WaitGroup
+	for i, pc := range c.conns {
+		wg.Add(1)
+		go func(i int, pc *procConn) {
+			defer wg.Done()
+			frags := perProc[i]
+			_, err := pc.call(func(id uint64) []byte {
+				buf := []byte{ftCall}
+				buf = binary.AppendUvarint(buf, id)
+				buf = append(buf, callUpdate)
+				buf = binary.AppendUvarint(buf, uint64(epoch))
+				buf = binary.AppendUvarint(buf, uint64(floor))
+				buf = appendBytes(buf, gpBytes)
+				buf = binary.AppendUvarint(buf, uint64(len(frags)))
+				for _, f := range frags {
+					buf = binary.AppendUvarint(buf, uint64(f.ID))
+					buf = appendBytes(buf, partition.EncodeFragment(f))
+				}
+				return buf
+			})
+			errs[i] = err
+		}(i, pc)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
 // Close shuts the cluster down gracefully: every worker process receives a
 // shutdown frame (on which it exits cleanly) before its connection is
 // closed. Close is idempotent.
@@ -250,9 +361,18 @@ func (c *Cluster) Close() error {
 // replies are demultiplexed by it, so a BSP barrier (or several async
 // fragment loops) can keep every hosted fragment busy without per-fragment
 // connections.
+//
+// A connection failure — detected by the read loop, a failed write, or the
+// heartbeat prober — poisons the procConn: every pending call is released
+// with an error naming the dead process and the fragment ranks it hosted,
+// and every future call fails immediately. Nothing ever blocks on a reply
+// that can no longer arrive.
 type procConn struct {
-	c   net.Conn
-	wmu sync.Mutex // serializes frame writes
+	c     net.Conn
+	proc  int
+	ranks []int
+	dead  chan struct{} // closed when the connection is poisoned
+	wmu   sync.Mutex    // serializes frame writes
 
 	mu      sync.Mutex
 	nextReq uint64
@@ -265,8 +385,9 @@ type callReply struct {
 	err  error
 }
 
-func newProcConn(c net.Conn) *procConn {
-	return &procConn{c: c, pending: make(map[uint64]chan callReply)}
+func newProcConn(c net.Conn, proc int, ranks []int) *procConn {
+	return &procConn{c: c, proc: proc, ranks: ranks, dead: make(chan struct{}),
+		pending: make(map[uint64]chan callReply)}
 }
 
 // call sends one request frame (built by build from the allocated request
@@ -288,10 +409,16 @@ func (pc *procConn) call(build func(reqID uint64) []byte) ([]byte, error) {
 	err := writeFrame(pc.c, build(id))
 	pc.wmu.Unlock()
 	if err != nil {
-		pc.fail(fmt.Errorf("net: send request: %w", err))
+		pc.fail(fmt.Errorf("net: send request to %s: %w", pc.describe(), err))
 	}
 	rep := <-ch
 	return rep.body, rep.err
+}
+
+// describe names the worker process and the fragment ranks it hosts, for
+// error messages that must identify the dead party.
+func (pc *procConn) describe() string {
+	return fmt.Sprintf("worker process %d (fragments %v)", pc.proc, pc.ranks)
 }
 
 // readLoop demultiplexes reply frames to their waiting calls until the
@@ -300,12 +427,12 @@ func (pc *procConn) readLoop() {
 	for {
 		payload, err := readFrame(pc.c)
 		if err != nil {
-			pc.fail(fmt.Errorf("net: worker connection lost: %w", err))
+			pc.fail(fmt.Errorf("net: %s connection lost: %w", pc.describe(), err))
 			return
 		}
 		r := &reader{buf: payload}
 		if ft := r.u8(); ft != ftReply {
-			pc.fail(fmt.Errorf("net: unexpected frame 0x%02x from worker", ft))
+			pc.fail(fmt.Errorf("net: unexpected frame 0x%02x from %s", ft, pc.describe()))
 			return
 		}
 		id := r.uvarint()
@@ -317,7 +444,7 @@ func (pc *procConn) readLoop() {
 			rep.err = fmt.Errorf("net: remote: %s", r.str())
 		}
 		if r.err != nil {
-			pc.fail(fmt.Errorf("net: malformed reply: %w", r.err))
+			pc.fail(fmt.Errorf("net: malformed reply from %s: %w", pc.describe(), r.err))
 			return
 		}
 		pc.mu.Lock()
@@ -330,15 +457,61 @@ func (pc *procConn) readLoop() {
 	}
 }
 
+// heartbeatLoop probes the worker process with ping calls. A ping is
+// answered by the worker's frame loop directly (never queued behind an
+// evaluation), so an unanswered ping means the process is gone even when
+// the TCP connection looks healthy — the half-open case a plain read never
+// detects. Missing heartbeatMissedIntervals consecutive intervals poisons
+// the connection.
+func (pc *procConn) heartbeatLoop(interval time.Duration) {
+	timeout := heartbeatMissedIntervals * interval
+	ping := time.NewTicker(interval)
+	defer ping.Stop()
+	for {
+		select {
+		case <-pc.dead:
+			return
+		case <-ping.C:
+		}
+		res := make(chan error, 1)
+		go func() {
+			_, err := pc.call(func(id uint64) []byte {
+				buf := []byte{ftCall}
+				buf = binary.AppendUvarint(buf, id)
+				return append(buf, callPing)
+			})
+			res <- err
+		}()
+		expire := time.NewTimer(timeout)
+		select {
+		case err := <-res:
+			expire.Stop()
+			if err != nil {
+				return // connection already poisoned; fail delivered the news
+			}
+		case <-pc.dead:
+			expire.Stop()
+			return
+		case <-expire.C:
+			pc.fail(fmt.Errorf("net: %s unresponsive: no heartbeat reply within %v", pc.describe(), timeout))
+			return
+		}
+	}
+}
+
 // fail poisons the connection: every pending and future call returns err.
 func (pc *procConn) fail(err error) {
 	pc.mu.Lock()
-	if pc.err == nil {
+	first := pc.err == nil
+	if first {
 		pc.err = err
 	}
 	pending := pc.pending
 	pc.pending = make(map[uint64]chan callReply)
 	pc.mu.Unlock()
+	if first {
+		close(pc.dead)
+	}
 	pc.c.Close()
 	for _, ch := range pending {
 		ch <- callReply{err: err}
@@ -354,7 +527,8 @@ func (pc *procConn) shutdown() {
 }
 
 // Peer is the coordinator's evaluation handle for one fragment hosted by a
-// worker process. It implements the engine's RemotePeer contract.
+// worker process. It implements the engine's RemotePeer contract, and
+// RemoteViewPeer through Materialize/EvalDelta.
 type Peer struct {
 	pc   *procConn
 	rank int
@@ -363,24 +537,25 @@ type Peer struct {
 // Rank returns the fragment rank this peer evaluates.
 func (p *Peer) Rank() int { return p.rank }
 
-// callHeader builds the common [ftCall][reqID][kind][rank][query][superstep]
-// prefix.
-func (p *Peer) callHeader(reqID uint64, kind byte, query uint64, superstep int) []byte {
+// callHeader builds the common [ftCall][reqID][kind][rank][query] prefix of
+// per-fragment calls.
+func (p *Peer) callHeader(reqID uint64, kind byte, query uint64) []byte {
 	buf := []byte{ftCall}
 	buf = binary.AppendUvarint(buf, reqID)
 	buf = append(buf, kind)
 	buf = binary.AppendUvarint(buf, uint64(p.rank))
 	buf = binary.AppendUvarint(buf, query)
-	buf = binary.AppendUvarint(buf, uint64(superstep))
 	return buf
 }
 
-// PEval forwards a partial-evaluation call and returns the envelopes the
-// remote fragment routed.
-func (p *Peer) PEval(query uint64, prog string, queryBytes []byte, superstep int,
+// PEval forwards a partial-evaluation call — naming the residency epoch the
+// query reads — and returns the envelopes the remote fragment routed.
+func (p *Peer) PEval(query uint64, epoch int64, prog string, queryBytes []byte, superstep int,
 	disableIncEval, disableGrouping bool) ([]mpi.Envelope, error) {
 	body, err := p.pc.call(func(id uint64) []byte {
-		buf := p.callHeader(id, callPEval, query, superstep)
+		buf := p.callHeader(id, callPEval, query)
+		buf = binary.AppendUvarint(buf, uint64(superstep))
+		buf = binary.AppendUvarint(buf, uint64(epoch))
 		var flags byte
 		if disableIncEval {
 			flags |= 1
@@ -403,7 +578,9 @@ func (p *Peer) PEval(query uint64, prog string, queryBytes []byte, superstep int
 // the envelopes its incremental evaluation routed.
 func (p *Peer) IncEval(query uint64, superstep int, envs []mpi.Envelope) ([]mpi.Envelope, error) {
 	body, err := p.pc.call(func(id uint64) []byte {
-		return appendEnvelopes(p.callHeader(id, callIncEval, query, superstep), envs)
+		buf := p.callHeader(id, callIncEval, query)
+		buf = binary.AppendUvarint(buf, uint64(superstep))
+		return appendEnvelopes(buf, envs)
 	})
 	if err != nil {
 		return nil, err
@@ -414,16 +591,50 @@ func (p *Peer) IncEval(query uint64, superstep int, envs []mpi.Envelope) ([]mpi.
 // Fetch retrieves the fragment's encoded partial result.
 func (p *Peer) Fetch(query uint64) ([]byte, error) {
 	return p.pc.call(func(id uint64) []byte {
-		return p.callHeader(id, callFetch, query, 0)
+		return p.callHeader(id, callFetch, query)
 	})
 }
 
-// End releases the fragment's per-query state.
+// End releases the fragment's per-query state (query runs and views alike).
 func (p *Peer) End(query uint64) error {
 	_, err := p.pc.call(func(id uint64) []byte {
-		return p.callHeader(id, callEnd, query, 0)
+		return p.callHeader(id, callEnd, query)
 	})
 	return err
+}
+
+// Materialize promotes the query's converged state on this fragment into
+// view state: the worker retains it across epochs for maintenance rounds,
+// until End releases it.
+func (p *Peer) Materialize(query uint64) error {
+	_, err := p.pc.call(func(id uint64) []byte {
+		return p.callHeader(id, callMaterialize, query)
+	})
+	return err
+}
+
+// EvalDelta runs one maintenance seeding on the remote view state: the
+// batch's ops for this fragment plus the newly mirrored border vertices. It
+// returns whether the program absorbed the change and the envelopes the
+// seeding routed.
+func (p *Peer) EvalDelta(query uint64, superstep int, ops []graph.Update,
+	newInBorder []graph.VertexID) (bool, []mpi.Envelope, error) {
+	body, err := p.pc.call(func(id uint64) []byte {
+		buf := p.callHeader(id, callEvalDelta, query)
+		buf = binary.AppendUvarint(buf, uint64(superstep))
+		buf = appendBytes(buf, mpi.EncodeGraphUpdates(ops))
+		return appendVertexIDs(buf, newInBorder)
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	r := &reader{buf: body}
+	absorbed := r.u8() == 1
+	envs := r.envelopes()
+	if r.err != nil {
+		return false, nil, r.err
+	}
+	return absorbed, envs, nil
 }
 
 func decodeEnvelopeReply(body []byte) ([]mpi.Envelope, error) {

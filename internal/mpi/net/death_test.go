@@ -1,0 +1,324 @@
+package net
+
+// Worker-death regression tests: a worker process that dies mid-query must
+// surface as a prompt query error naming the dead process and its fragment
+// ranks — never as a coordinator blocked forever on the reply
+// demultiplexer. Two death modes are covered: a brutal one (the TCP
+// connection drops, as on a crash or kill on the same host) and a silent one
+// (the process stops responding while the connection stays open, as on a
+// SIGSTOP, a hard hang, or a half-open connection after a network
+// partition), which only the heartbeat prober can detect.
+
+import (
+	"encoding/binary"
+	stdnet "net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeWorker speaks just enough of the worker protocol to join a cluster and
+// then misbehave on command: it completes the handshake, answers heartbeat
+// pings while "alive", and silently drops every evaluation call (a worker
+// that accepted a query and then hung). Kill stops the ping replies too,
+// simulating a process that vanished without closing its socket; Crash drops
+// the connection outright.
+type fakeWorker struct {
+	t    *testing.T
+	conn stdnet.Conn
+	dead atomic.Bool
+	wmu  sync.Mutex
+	done chan struct{}
+}
+
+func dialFakeWorker(t *testing.T, addr string) *fakeWorker {
+	t.Helper()
+	conn, err := stdnet.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("fake worker dial: %v", err)
+	}
+	fw := &fakeWorker{t: t, conn: conn, done: make(chan struct{})}
+
+	hello := []byte{ftHello}
+	hello = binary.AppendUvarint(hello, ProtocolVersion)
+	if err := writeFrame(conn, hello); err != nil {
+		t.Fatalf("fake worker hello: %v", err)
+	}
+	welcome, err := readFrame(conn)
+	if err != nil {
+		t.Fatalf("fake worker welcome: %v", err)
+	}
+	r := &reader{buf: welcome}
+	if ft := r.u8(); ft != ftWelcome {
+		t.Fatalf("fake worker expected welcome, got 0x%02x", ft)
+	}
+	r.uvarint() // version
+	r.uvarint() // m
+	r.uvarint() // proc
+	nRanks := int(r.uvarint())
+	if _, err := readFrame(conn); err != nil { // fragmentation graph
+		t.Fatalf("fake worker gp: %v", err)
+	}
+	for i := 0; i < nRanks; i++ {
+		if _, err := readFrame(conn); err != nil {
+			t.Fatalf("fake worker fragment %d: %v", i, err)
+		}
+	}
+	if err := writeFrame(conn, []byte{ftReady}); err != nil {
+		t.Fatalf("fake worker ready: %v", err)
+	}
+
+	go fw.loop()
+	return fw
+}
+
+func (fw *fakeWorker) loop() {
+	defer close(fw.done)
+	for {
+		payload, err := readFrame(fw.conn)
+		if err != nil {
+			return
+		}
+		r := &reader{buf: payload}
+		switch ft := r.u8(); ft {
+		case ftShutdown:
+			return
+		case ftCall:
+			reqID := r.uvarint()
+			kind := r.u8()
+			// While alive, answer the cheap bookkeeping calls (pings and
+			// Ends); swallow every evaluation call — the worker accepted the
+			// query and then hung.
+			if (kind == callPing || kind == callEnd) && !fw.dead.Load() {
+				out := []byte{ftReply}
+				out = binary.AppendUvarint(out, reqID)
+				out = append(out, 1)
+				fw.wmu.Lock()
+				_ = writeFrame(fw.conn, out)
+				fw.wmu.Unlock()
+			}
+		}
+	}
+}
+
+// kill makes the fake worker stop answering pings while keeping its socket
+// open — the silent-death mode.
+func (fw *fakeWorker) kill() { fw.dead.Store(true) }
+
+// crash drops the connection outright.
+func (fw *fakeWorker) crash() { fw.conn.Close() }
+
+// serveFake brings up a 1-process cluster backed by a fakeWorker. Serve runs
+// in a goroutine so the fake's handshake (and its test assertions) stay on
+// the test goroutine.
+func serveFake(t *testing.T, heartbeat time.Duration) (*Cluster, *fakeWorker) {
+	t.Helper()
+	p := testPartition(t)
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	l.Heartbeat = heartbeat
+	type serveRes struct {
+		cl  *Cluster
+		err error
+	}
+	ch := make(chan serveRes, 1)
+	go func() {
+		cl, err := l.Serve(p, 1, 10*time.Second)
+		ch <- serveRes{cl, err}
+	}()
+	fw := dialFakeWorker(t, l.Addr())
+	res := <-ch
+	if res.err != nil {
+		t.Fatalf("Serve: %v", res.err)
+	}
+	return res.cl, fw
+}
+
+// awaitCallError asserts that a blocked call returns an error (within
+// timeout) whose message names the dead worker process.
+func awaitCallError(t *testing.T, done <-chan error, timeout time.Duration, context string) {
+	t.Helper()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("%s: call to a dead worker succeeded", context)
+		}
+		if !strings.Contains(err.Error(), "worker process 0") {
+			t.Fatalf("%s: error does not name the dead worker process: %v", context, err)
+		}
+		if !strings.Contains(err.Error(), "fragments [0 1]") {
+			t.Fatalf("%s: error does not name the lost fragment ranks: %v", context, err)
+		}
+	case <-time.After(timeout):
+		t.Fatalf("%s: coordinator still blocked on the reply demultiplexer", context)
+	}
+}
+
+// TestWorkerSilentDeathFailsQuery: a worker that stops responding without
+// closing its connection (half-open link, SIGSTOP, hard hang) must fail the
+// in-flight query via the heartbeat prober — before this existed, the
+// coordinator blocked forever.
+func TestWorkerSilentDeathFailsQuery(t *testing.T) {
+	cl, fw := serveFake(t, 25*time.Millisecond)
+	defer cl.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Peer(0).PEval(1, 0, "SSSP", nil, 1, false, false)
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the call land and pings flow
+	fw.kill()
+	awaitCallError(t, done, 10*time.Second, "silent death")
+
+	// The poisoned connection fails later calls immediately.
+	start := time.Now()
+	if err := cl.Peer(1).End(1); err == nil {
+		t.Fatalf("End on a dead worker succeeded")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("post-death call did not fail fast")
+	}
+}
+
+// TestWorkerCrashFailsQuery: a worker whose connection drops mid-query fails
+// the pending call promptly with an error naming the process, and the
+// connection stays poisoned.
+func TestWorkerCrashFailsQuery(t *testing.T) {
+	cl, fw := serveFake(t, -1) // heartbeats off: the close itself must do it
+	defer cl.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Peer(1).IncEval(3, 2, nil)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	fw.crash()
+	awaitCallError(t, done, 10*time.Second, "crash")
+
+	if _, err := cl.Peer(0).Fetch(3); err == nil {
+		t.Fatalf("Fetch on a crashed worker succeeded")
+	}
+}
+
+// TestHeartbeatKeepsHealthyClusterAlive: the prober must not poison a
+// cluster whose workers answer pings, even across many intervals.
+func TestHeartbeatKeepsHealthyClusterAlive(t *testing.T) {
+	cl, fw := serveFake(t, 20*time.Millisecond)
+	defer cl.Close()
+	time.Sleep(300 * time.Millisecond) // ~15 heartbeat intervals
+	if err := cl.Peer(0).End(99); err != nil {
+		t.Fatalf("healthy cluster poisoned by its own heartbeat: %v", err)
+	}
+	select {
+	case <-fw.done:
+		t.Fatalf("fake worker loop exited on a healthy cluster")
+	default:
+	}
+}
+
+// TestServeFewerWorkersThanProcs: when not enough workers connect before the
+// handshake timeout, Serve must fail AND close the connections of the
+// workers that did connect — a leaked half-handshaken socket would leave
+// its worker blocked on a read until the worker's own timeout. The
+// connected worker here must observe the teardown promptly.
+func TestServeFewerWorkersThanProcs(t *testing.T) {
+	p := testPartition(t)
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	connErr := make(chan error, 1)
+	go func() {
+		conn, err := stdnet.DialTimeout("tcp", l.Addr(), 5*time.Second)
+		if err != nil {
+			connErr <- err
+			return
+		}
+		hello := []byte{ftHello}
+		hello = binary.AppendUvarint(hello, ProtocolVersion)
+		if err := writeFrame(conn, hello); err != nil {
+			connErr <- err
+			return
+		}
+		// Wait for the welcome that never comes: Serve times out waiting for
+		// the second worker. The read must fail because Serve closed the
+		// connection, not because this side timed out.
+		_, err = readFrame(conn)
+		connErr <- err
+	}()
+
+	start := time.Now()
+	_, err = l.Serve(p, 2, 400*time.Millisecond)
+	if err == nil {
+		t.Fatalf("Serve succeeded with 1 of 2 workers")
+	}
+	if !strings.Contains(err.Error(), "waiting for worker 2 of 2") {
+		t.Fatalf("Serve error does not say which worker it was waiting for: %v", err)
+	}
+	select {
+	case werr := <-connErr:
+		if werr == nil {
+			t.Fatalf("connected worker read a frame from an aborted bring-up")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Serve leaked the already-accepted connection: worker still blocked %v after the timeout", time.Since(start))
+	}
+}
+
+// TestServeHandshakeFailureClosesPeers: one malformed client must abort the
+// whole bring-up promptly, including the sibling connection whose handshake
+// was healthy — no socket may stay open for a cluster that cannot form.
+func TestServeHandshakeFailureClosesPeers(t *testing.T) {
+	p := testPartition(t)
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+
+	// A healthy-looking client that completes nothing: it sends its hello
+	// and then waits. Its conn must be closed when the sibling fails.
+	healthyErr := make(chan error, 1)
+	go func() {
+		conn, err := stdnet.DialTimeout("tcp", l.Addr(), 5*time.Second)
+		if err != nil {
+			healthyErr <- err
+			return
+		}
+		hello := []byte{ftHello}
+		hello = binary.AppendUvarint(hello, ProtocolVersion)
+		if err := writeFrame(conn, hello); err != nil {
+			healthyErr <- err
+			return
+		}
+		for {
+			if _, err := readFrame(conn); err != nil {
+				healthyErr <- err
+				return
+			}
+		}
+	}()
+	// A malformed client: its first frame is not a hello.
+	go func() {
+		conn, err := stdnet.DialTimeout("tcp", l.Addr(), 5*time.Second)
+		if err != nil {
+			return
+		}
+		_ = writeFrame(conn, []byte{ftReply, 0x00})
+	}()
+
+	if _, err := l.Serve(p, 2, 5*time.Second); err == nil {
+		t.Fatalf("Serve accepted a cluster with a malformed worker")
+	}
+	select {
+	case <-healthyErr:
+		// The healthy client's conn was closed: no leak.
+	case <-time.After(5 * time.Second):
+		t.Fatalf("sibling connection leaked after a handshake failure")
+	}
+}

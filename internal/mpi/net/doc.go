@@ -28,13 +28,39 @@
 // welcome (version, cluster size m, process id, assigned ranks) → GP frame →
 // one fragment frame per assigned rank → ready. Version mismatches abort
 // with an explicit error frame on whichever side detects them. After the
-// handshake the coordinator sends call frames (PEval / IncEval / Fetch /
-// End, each tagged with a request id, fragment rank, query id and
-// superstep) and the worker answers with reply frames carrying the routed
-// envelopes (or the encoded partial result for Fetch); envelope payloads
-// reuse the varint/delta update codec of internal/mpi unchanged. A shutdown
-// frame ends the worker process gracefully; a lost connection poisons all
-// in-flight calls with an error instead of hanging them.
+// handshake the coordinator sends call frames — each tagged with a request
+// id and a call kind — and the worker answers with reply frames
+// demultiplexed by the id. The query-evaluation kinds (PEval / IncEval /
+// Fetch / End) carry the fragment rank, query id and superstep and reply
+// with the routed envelopes (or the encoded partial result for Fetch);
+// envelope payloads reuse the varint/delta update codec of internal/mpi
+// unchanged. A shutdown frame ends the worker process gracefully.
+//
+// # Dynamic graphs
+//
+// Three call kinds make distributed sessions dynamic. An update call ships
+// one ApplyUpdates batch's delta to a worker process: the new fragmentation
+// graph plus the rebuilt fragments among the process's ranks (encoded with
+// the internal/partition fragment codec — untouched fragments are not
+// re-shipped), tagged with the new epoch number and the oldest epoch any
+// in-flight query still reads. Workers install the delta as a new residency
+// epoch; PEval names the epoch its query evaluates against, which is what
+// keeps snapshot consistency across processes. A materialize call pins a
+// converged query's per-fragment state as view state, and an eval-delta
+// call seeds one view-maintenance round on it (the batch's ops — the
+// graph-update codec of internal/mpi — plus the newly mirrored border
+// vertices), replying with the absorbed flag and the routed envelopes; the
+// maintenance fixpoint then iterates through ordinary IncEval calls.
+//
+// # Liveness
+//
+// A lost connection poisons all in-flight calls with an error naming the
+// dead worker process and its fragment ranks instead of hanging them. For
+// deaths the OS never reports (half-open connections after a partition, a
+// hung process), the coordinator heartbeats every worker with ping calls —
+// answered by the worker's frame loop directly, never queued behind an
+// evaluation — and poisons the connection after a configurable number of
+// silent intervals (Listener.Heartbeat).
 //
 // ProtocolVersion gates compatibility end to end: bump it whenever frame
 // layouts, the fragment codec or call semantics change, and mixed-version

@@ -149,6 +149,104 @@ func TestEngineOverTCP(t *testing.T) {
 	}
 }
 
+// TestDynamicOverTCP drives the update plane end to end at the transport
+// layer: a remote session absorbs update batches (fragment deltas shipped as
+// epochs) while materialized SSSP and CC views are maintained on the worker
+// side, and every answer is compared against an in-process session absorbing
+// the same stream.
+func TestDynamicOverTCP(t *testing.T) {
+	const m, procs = 4, 2
+	g := randomGraph(t, 80, 120, 31)
+	p := partition.Partition(g, m, partition.Hash{})
+
+	localS, err := core.NewSessionPartitioned(p, core.Options{})
+	if err != nil {
+		t.Fatalf("local session: %v", err)
+	}
+	defer localS.Close()
+
+	ln, err := grapenet.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	waitWorkers := startWorkers(t, ln.Addr(), procs)
+	cl, err := ln.Serve(p, procs, 10*time.Second)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	peers := make([]core.RemotePeer, m)
+	for i := range peers {
+		peers[i] = cl.Peer(i)
+	}
+	s, err := core.NewSessionRemote(p, core.Options{}, cl, peers)
+	if err != nil {
+		t.Fatalf("NewSessionRemote: %v", err)
+	}
+	defer waitWorkers()
+	defer s.Close()
+
+	wantView, err := localS.Materialize(graph.VertexID(0), pie.SSSP{})
+	if err != nil {
+		t.Fatalf("local Materialize: %v", err)
+	}
+	gotView, err := s.Materialize(graph.VertexID(0), pie.SSSP{})
+	if err != nil {
+		t.Fatalf("remote Materialize: %v", err)
+	}
+
+	batches := [][]graph.Update{
+		{graph.AddEdgeUpdate(0, 55, 0.25, ""), graph.AddEdgeUpdate(55, 70, 0.25, "")}, // incremental
+		{graph.AddVertexUpdate(200, "new"), graph.AddEdgeUpdate(200, 3, 1, "")},       // new vertex
+		{graph.RemoveEdgeUpdate(0, 55)},                                               // forces recompute
+		{graph.ReweightEdgeUpdate(55, 70, 0.125)},                                     // decrease: incremental
+	}
+	for i, batch := range batches {
+		if _, err := localS.ApplyUpdates(batch); err != nil {
+			t.Fatalf("local batch %d: %v", i, err)
+		}
+		st, err := s.ApplyUpdates(batch)
+		if err != nil {
+			t.Fatalf("remote batch %d: %v", i, err)
+		}
+		if st.Epoch != int64(i+1) {
+			t.Fatalf("remote batch %d installed epoch %d", i, st.Epoch)
+		}
+		want, err := wantView.Result()
+		if err != nil {
+			t.Fatalf("local view after batch %d: %v", i, err)
+		}
+		got, err := gotView.Result()
+		if err != nil {
+			t.Fatalf("remote view after batch %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("remote view differs from local after batch %d", i)
+		}
+	}
+	vs := gotView.Stats()
+	if vs.Incremental == 0 || vs.Recomputed == 0 {
+		t.Fatalf("remote maintenance did not exercise both paths: %+v", vs)
+	}
+
+	// Fresh queries over the updated epoch, both planes, match local ones.
+	for _, mode := range []core.ExecMode{core.ModeBSP, core.ModeAsync} {
+		want, err := localS.RunMode(graph.VertexID(0), pie.SSSP{}, mode)
+		if err != nil {
+			t.Fatalf("local post-update SSSP: %v", err)
+		}
+		got, err := s.RunMode(graph.VertexID(0), pie.SSSP{}, mode)
+		if err != nil {
+			t.Fatalf("remote post-update SSSP (%v): %v", mode, err)
+		}
+		if !reflect.DeepEqual(got.Output, want.Output) {
+			t.Fatalf("post-update SSSP (%v) differs from local", mode)
+		}
+	}
+	if err := gotView.Close(); err != nil {
+		t.Fatalf("closing remote view: %v", err)
+	}
+}
+
 // TestWorkerDialBackoff starts the worker before anything listens on the
 // coordinator port: the dial retry loop must carry it into the handshake
 // once the coordinator appears.

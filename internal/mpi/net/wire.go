@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"grape/internal/graph"
 	"grape/internal/mpi"
 )
 
@@ -13,7 +14,10 @@ import (
 // either side aborts the handshake with a versioned error instead of
 // undefined framing behavior. Bump it whenever a frame layout, the fragment
 // codec or the call semantics change incompatibly.
-const ProtocolVersion = 1
+//
+// Version 2 added the dynamic-graph calls (update/materialize/eval-delta),
+// the epoch field on PEval, and the ping/heartbeat call.
+const ProtocolVersion = 2
 
 // maxFrame bounds a single frame (a shipped fragment is the largest payload
 // in practice). Oversized lengths indicate a corrupt or hostile stream.
@@ -32,12 +36,27 @@ const (
 	ftError    = byte(0x09) // either direction during handshake: abort with message
 )
 
-// Call kinds carried by ftCall frames.
+// Call kinds carried by ftCall frames. Every call is [ftCall][reqID][kind]
+// followed by a kind-specific body; replies share one frame shape
+// ([ftReply][reqID][ok][body]) demultiplexed by request id.
+//
+//	callPEval       [rank][query][superstep][epoch][flags][prog][queryBytes]
+//	callIncEval     [rank][query][superstep][envelopes]
+//	callFetch       [rank][query]
+//	callEnd         [rank][query]
+//	callPing        (empty) — heartbeat; the worker replies immediately
+//	callUpdate      [epoch][floor][gpBytes][n]{[rank][fragBytes]}...
+//	callMaterialize [rank][query]
+//	callEvalDelta   [rank][query][superstep][opsBytes][newInBorder ids]
 const (
-	callPEval   = byte(0x01)
-	callIncEval = byte(0x02)
-	callFetch   = byte(0x03)
-	callEnd     = byte(0x04)
+	callPEval       = byte(0x01)
+	callIncEval     = byte(0x02)
+	callFetch       = byte(0x03)
+	callEnd         = byte(0x04)
+	callPing        = byte(0x05)
+	callUpdate      = byte(0x06)
+	callMaterialize = byte(0x07)
+	callEvalDelta   = byte(0x08)
 )
 
 // writeFrame sends one length-prefixed frame. Callers serialize access to w.
@@ -94,6 +113,19 @@ func appendEnvelopes(buf []byte, envs []mpi.Envelope) []byte {
 		buf = binary.AppendVarint(buf, int64(e.To))
 		buf = appendString(buf, e.Tag)
 		buf = appendBytes(buf, e.Payload)
+	}
+	return buf
+}
+
+// appendVertexIDs appends a vertex-ID list: count, then zigzag-varint deltas
+// against the previous ID (the lists the engine ships — NewInBorder sets —
+// are ascending, so deltas stay small).
+func appendVertexIDs(buf []byte, ids []graph.VertexID) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	prev := int64(0)
+	for _, v := range ids {
+		buf = binary.AppendVarint(buf, int64(v)-prev)
+		prev = int64(v)
 	}
 	return buf
 }
@@ -178,6 +210,23 @@ func (r *reader) rest() []byte {
 	b := r.buf[r.off:]
 	r.off = len(r.buf)
 	return b
+}
+
+func (r *reader) vertexIDs() []graph.VertexID {
+	n := r.count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]graph.VertexID, 0, n)
+	prev := int64(0)
+	for i := 0; i < n && r.err == nil; i++ {
+		prev += r.varint()
+		out = append(out, graph.VertexID(prev))
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
 }
 
 func (r *reader) envelopes() []mpi.Envelope {

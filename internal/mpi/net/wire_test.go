@@ -195,7 +195,7 @@ func TestServeTimesOutWithoutWorkers(t *testing.T) {
 
 func TestProcConnPoisonsPendingCallsOnFailure(t *testing.T) {
 	a, b := stdnet.Pipe()
-	pc := newProcConn(a)
+	pc := newProcConn(a, 0, []int{0})
 	go pc.readLoop()
 
 	done := make(chan error, 1)

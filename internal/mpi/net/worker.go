@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"grape/internal/graph"
 	"grape/internal/mpi"
 	"grape/internal/partition"
 )
@@ -28,16 +29,17 @@ func (o WorkerOptions) logf(format string, args ...any) {
 	}
 }
 
-// Handler executes the coordinator's evaluation calls over the fragments a
-// worker process hosts. core.WorkerHost implements it (structurally — this
-// package stays independent of the engine); the methods mirror the Peer
+// Handler executes the coordinator's calls over the fragments a worker
+// process hosts. core.WorkerHost implements it (structurally — this package
+// stays independent of the engine); the methods mirror the Peer and Cluster
 // methods on the coordinator side.
 type Handler interface {
 	// Setup installs the fragments shipped during the handshake and the
 	// fragmentation graph they route through.
 	Setup(frags []*partition.Fragment, gp *partition.FragGraph) error
-	// PEval runs partial evaluation for one query on one hosted fragment.
-	PEval(rank int, query uint64, prog string, queryBytes []byte, superstep int,
+	// PEval runs partial evaluation for one query on one hosted fragment,
+	// against the residency of the named epoch.
+	PEval(rank int, query uint64, epoch int64, prog string, queryBytes []byte, superstep int,
 		disableIncEval, disableGrouping bool) ([]mpi.Envelope, error)
 	// IncEval runs incremental evaluation over delivered envelopes.
 	IncEval(rank int, query uint64, superstep int, envs []mpi.Envelope) ([]mpi.Envelope, error)
@@ -45,6 +47,17 @@ type Handler interface {
 	Fetch(rank int, query uint64) ([]byte, error)
 	// End releases the fragment's per-query state.
 	End(rank int, query uint64) error
+	// ApplyUpdate installs a new residency epoch: the rebuilt fragments of an
+	// update batch plus the new fragmentation graph; epochs older than floor
+	// with no readers are retired.
+	ApplyUpdate(epoch, floor int64, gp *partition.FragGraph, frags []*partition.Fragment) error
+	// Materialize promotes a converged query's retained state into view
+	// state, rebound to each installed epoch until End.
+	Materialize(rank int, query uint64) error
+	// EvalDelta seeds one view-maintenance round on the fragment's retained
+	// view state.
+	EvalDelta(rank int, query uint64, superstep int, ops []graph.Update,
+		newInBorder []graph.VertexID) (absorbed bool, envs []mpi.Envelope, err error)
 }
 
 // handshakeIOTimeout bounds each read/write of the worker-side handshake
@@ -52,18 +65,24 @@ type Handler interface {
 const handshakeIOTimeout = 30 * time.Second
 
 // RunWorker connects a worker process to the coordinator at addr and serves
-// evaluation calls until the coordinator shuts the cluster down. It dials
-// with exponential backoff (the coordinator may not be listening yet),
-// performs the handshake — protocol version exchange, cluster size and rank
+// calls until the coordinator shuts the cluster down. It dials with
+// exponential backoff (the coordinator may not be listening yet), performs
+// the handshake — protocol version exchange, cluster size and rank
 // assignment, fragment installation — and then answers calls concurrently,
-// one goroutine per in-flight request. It returns nil on graceful shutdown
-// and an error if the handshake fails or the connection is lost mid-run.
+// one goroutine per in-flight request (heartbeat pings are answered inline,
+// so a busy evaluation never delays the liveness probe). It returns nil on
+// graceful shutdown and an error if the handshake fails or the connection is
+// lost mid-run.
 func RunWorker(addr string, h Handler, opts WorkerOptions) error {
 	conn, err := dialBackoff(addr, opts)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetKeepAlive(true)
+		_ = tc.SetKeepAlivePeriod(30 * time.Second)
+	}
 
 	ranks, frags, gp, err := handshakeCoordinator(conn, opts)
 	if err != nil {
@@ -81,6 +100,25 @@ func RunWorker(addr string, h Handler, opts WorkerOptions) error {
 	opts.logf("serving fragments %v", ranks)
 
 	var wmu sync.Mutex
+	reply := func(reqID uint64, rep callReply) {
+		out := []byte{ftReply}
+		out = binary.AppendUvarint(out, reqID)
+		if rep.err != nil {
+			out = append(out, 0)
+			out = appendString(out, rep.err.Error())
+		} else {
+			out = append(out, 1)
+			out = append(out, rep.body...)
+		}
+		wmu.Lock()
+		werr := writeFrame(conn, out)
+		wmu.Unlock()
+		if werr != nil {
+			// The read loop will observe the broken connection and exit;
+			// nothing more to do here.
+			opts.logf("reply write failed: %v", werr)
+		}
+	}
 	for {
 		payload, err := readFrame(conn)
 		if err != nil {
@@ -94,54 +132,81 @@ func RunWorker(addr string, h Handler, opts WorkerOptions) error {
 		case ftCall:
 			reqID := r.uvarint()
 			kind := r.u8()
-			rank := int(r.uvarint())
-			query := r.uvarint()
-			superstep := int(r.uvarint())
 			if r.err != nil {
 				return fmt.Errorf("net: malformed call: %w", r.err)
 			}
-			go func(r *reader) {
-				reply := handleCall(h, kind, rank, query, superstep, r)
-				out := []byte{ftReply}
-				out = binary.AppendUvarint(out, reqID)
-				if reply.err != nil {
-					out = append(out, 0)
-					out = appendString(out, reply.err.Error())
-				} else {
-					out = append(out, 1)
-					out = append(out, reply.body...)
-				}
-				wmu.Lock()
-				werr := writeFrame(conn, out)
-				wmu.Unlock()
-				if werr != nil {
-					// The read loop will observe the broken connection and
-					// exit; nothing more to do here.
-					opts.logf("reply write failed: %v", werr)
-				}
-			}(r)
+			if kind == callPing {
+				// Liveness probe: answer from the frame loop itself so the
+				// coordinator's prober measures process liveness, not
+				// evaluation latency.
+				reply(reqID, callReply{})
+				continue
+			}
+			go func(reqID uint64, kind byte, r *reader) {
+				reply(reqID, handleCall(h, kind, r))
+			}(reqID, kind, r)
 		default:
 			return fmt.Errorf("net: unexpected frame 0x%02x from coordinator", ft)
 		}
 	}
 }
 
-// handleCall dispatches one evaluation request to the handler.
-func handleCall(h Handler, kind byte, rank int, query uint64, superstep int, r *reader) callReply {
+// handleCall parses one call's kind-specific body and dispatches it to the
+// handler.
+func handleCall(h Handler, kind byte, r *reader) callReply {
+	if kind == callUpdate {
+		epoch := int64(r.uvarint())
+		floor := int64(r.uvarint())
+		gpBytes := r.bytes()
+		n := r.count()
+		if r.err != nil {
+			return callReply{err: r.err}
+		}
+		gp, err := partition.DecodeFragGraph(gpBytes)
+		if err != nil {
+			return callReply{err: err}
+		}
+		frags := make([]*partition.Fragment, 0, n)
+		for i := 0; i < n; i++ {
+			rank := int(r.uvarint())
+			fragBytes := r.bytes()
+			if r.err != nil {
+				return callReply{err: r.err}
+			}
+			f, err := partition.DecodeFragment(fragBytes)
+			if err != nil {
+				return callReply{err: fmt.Errorf("fragment %d: %w", rank, err)}
+			}
+			if f.ID != rank {
+				return callReply{err: fmt.Errorf("update frame for rank %d carries fragment %d", rank, f.ID)}
+			}
+			frags = append(frags, f)
+		}
+		if err := h.ApplyUpdate(epoch, floor, gp, frags); err != nil {
+			return callReply{err: err}
+		}
+		return callReply{}
+	}
+
+	rank := int(r.uvarint())
+	query := r.uvarint()
 	switch kind {
 	case callPEval:
+		superstep := int(r.uvarint())
+		epoch := int64(r.uvarint())
 		flags := r.u8()
 		prog := r.str()
 		queryBytes := r.bytes()
 		if r.err != nil {
 			return callReply{err: r.err}
 		}
-		envs, err := h.PEval(rank, query, prog, queryBytes, superstep, flags&1 != 0, flags&2 != 0)
+		envs, err := h.PEval(rank, query, epoch, prog, queryBytes, superstep, flags&1 != 0, flags&2 != 0)
 		if err != nil {
 			return callReply{err: err}
 		}
 		return callReply{body: appendEnvelopes(nil, envs)}
 	case callIncEval:
+		superstep := int(r.uvarint())
 		envs := r.envelopes()
 		if r.err != nil {
 			return callReply{err: r.err}
@@ -152,16 +217,50 @@ func handleCall(h Handler, kind byte, rank int, query uint64, superstep int, r *
 		}
 		return callReply{body: appendEnvelopes(nil, out)}
 	case callFetch:
+		if r.err != nil {
+			return callReply{err: r.err}
+		}
 		data, err := h.Fetch(rank, query)
 		if err != nil {
 			return callReply{err: err}
 		}
 		return callReply{body: data}
 	case callEnd:
+		if r.err != nil {
+			return callReply{err: r.err}
+		}
 		if err := h.End(rank, query); err != nil {
 			return callReply{err: err}
 		}
 		return callReply{}
+	case callMaterialize:
+		if r.err != nil {
+			return callReply{err: r.err}
+		}
+		if err := h.Materialize(rank, query); err != nil {
+			return callReply{err: err}
+		}
+		return callReply{}
+	case callEvalDelta:
+		superstep := int(r.uvarint())
+		opsBytes := r.bytes()
+		newInBorder := r.vertexIDs()
+		if r.err != nil {
+			return callReply{err: r.err}
+		}
+		ops, err := mpi.DecodeGraphUpdates(opsBytes)
+		if err != nil {
+			return callReply{err: err}
+		}
+		absorbed, envs, err := h.EvalDelta(rank, query, superstep, ops, newInBorder)
+		if err != nil {
+			return callReply{err: err}
+		}
+		body := []byte{0}
+		if absorbed {
+			body[0] = 1
+		}
+		return callReply{body: appendEnvelopes(body, envs)}
 	default:
 		return callReply{err: fmt.Errorf("unknown call kind 0x%02x", kind)}
 	}

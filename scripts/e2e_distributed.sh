@@ -3,8 +3,11 @@
 # e2e-distributed CI job (and runnable locally): build the binaries, launch
 # three grape-worker processes plus a coordinator on localhost, run SSSP and
 # CC on both execution planes, and diff the answers against a single-process
-# run over the same graph and partition. Any mismatch or worker failure
-# fails the script.
+# run over the same graph and partition. A second phase drives the
+# dynamic-graph serve commands (insert/delete/reweight/addv/rmv, mat/view)
+# against the 3-worker cluster and diffs the maintained views against a
+# single-process session absorbing the same update stream. Any mismatch or
+# worker failure fails the script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,5 +64,70 @@ for mode in bsp async; do
     echo "OK: $PROCS-process $query/$mode matches the single-process run"
   done
 done
+
+echo "=== dynamic graphs: updates + materialized views over TCP ==="
+# A serve-mode command stream: materialize SSSP+CC views, mutate the graph
+# (inserts that shorten paths, a reweight, a new vertex wired in, then
+# deletions that force the recompute path), reading the views after each
+# phase. The maintained answers — and the incremental/recomputed counters,
+# which reflect identical maintenance decisions — must match between the
+# single-process session and the 3-worker cluster.
+cat > "$WORKDIR/dyn_cmds.txt" <<'EOF'
+mat sssp 5
+mat cc
+view 1
+view 2
+insert 5 1200 0.25
+insert 1200 1300 0.25
+reweight 5 6 0.125
+view 1
+view 2
+addv 5000 hub
+insert 5000 5 1.0
+insert 7 5000 0.5
+view 1
+view 2
+delete 5 1200
+view 1
+view 2
+rmv 5000
+view 1
+view 2
+quit
+EOF
+
+# Per-vertex view answers plus the view headers (epoch, inc/recomputed
+# counters, component counts) are deterministic; epoch/update lines carry
+# timings, so they are excluded.
+extract_dyn() { grep -E '^  dist\(|^view ' "$1"; }
+
+"$WORKDIR/grape" -graph "$WORKDIR/g.txt" -workers "$WORKERS" -serve -top 1000000 \
+  < "$WORKDIR/dyn_cmds.txt" > "$WORKDIR/single_dyn.txt"
+
+worker_pids=()
+for _ in $(seq "$PROCS"); do
+  "$WORKDIR/grape-worker" -coordinator "127.0.0.1:$PORT" -quiet &
+  worker_pids+=($!)
+done
+"$WORKDIR/grape" -graph "$WORKDIR/g.txt" -workers "$WORKERS" -serve -top 1000000 \
+  -listen "127.0.0.1:$PORT" -worker-procs "$PROCS" \
+  < "$WORKDIR/dyn_cmds.txt" > "$WORKDIR/dist_dyn.txt"
+for pid in "${worker_pids[@]}"; do
+  if ! wait "$pid"; then
+    echo "FAIL: grape-worker (pid $pid) exited non-zero during the dynamic phase" >&2
+    exit 1
+  fi
+done
+
+if grep -qE 'update failed|maintenance error|not supported' "$WORKDIR/dist_dyn.txt"; then
+  echo "FAIL: distributed session rejected dynamic commands:" >&2
+  grep -E 'update failed|maintenance error|not supported' "$WORKDIR/dist_dyn.txt" >&2
+  exit 1
+fi
+if ! diff <(extract_dyn "$WORKDIR/single_dyn.txt") <(extract_dyn "$WORKDIR/dist_dyn.txt"); then
+  echo "MISMATCH: distributed maintained views differ from the single-process session" >&2
+  exit 1
+fi
+echo "OK: $PROCS-process dynamic views match the single-process session"
 
 echo "e2e-distributed: all checks passed"
