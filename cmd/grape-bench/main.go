@@ -24,7 +24,9 @@
 // machine-readable results to BENCH_incremental.json, BENCH_async.json,
 // BENCH_net.json and BENCH_netinc.json (configurable with -out, -async-out,
 // -net-out and -netinc-out); -quick shrinks the async, net and netinc
-// experiments to smoke tests for CI.
+// experiments to smoke tests for CI. -cpuprofile and -memprofile write
+// pprof profiles covering the selected experiments, for chasing hot paths
+// in the engine rather than in the harness.
 package main
 
 import (
@@ -32,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -41,18 +45,50 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run")
-		size      = flag.String("size", "small", "dataset scale: tiny, small, medium")
-		workers   = flag.Int("workers", 8, "worker count for table1/fig9")
-		nList     = flag.String("n", "2,4,8", "comma-separated worker counts for fig6/fig7")
-		out       = flag.String("out", "BENCH_incremental.json", "output file for the incremental experiment's JSON results")
-		asyncOut  = flag.String("async-out", "BENCH_async.json", "output file for the async experiment's JSON results")
-		netOut    = flag.String("net-out", "BENCH_net.json", "output file for the net experiment's JSON results")
-		netIncOut = flag.String("netinc-out", "BENCH_netinc.json", "output file for the netinc experiment's JSON results")
-		quick     = flag.Bool("quick", false, "shrink the async, net and netinc experiments to CI smoke runs")
+		exp        = flag.String("exp", "all", "experiment to run")
+		size       = flag.String("size", "small", "dataset scale: tiny, small, medium")
+		workers    = flag.Int("workers", 8, "worker count for table1/fig9")
+		nList      = flag.String("n", "2,4,8", "comma-separated worker counts for fig6/fig7")
+		out        = flag.String("out", "BENCH_incremental.json", "output file for the incremental experiment's JSON results")
+		asyncOut   = flag.String("async-out", "BENCH_async.json", "output file for the async experiment's JSON results")
+		netOut     = flag.String("net-out", "BENCH_net.json", "output file for the net experiment's JSON results")
+		netIncOut  = flag.String("netinc-out", "BENCH_netinc.json", "output file for the netinc experiment's JSON results")
+		quick      = flag.Bool("quick", false, "shrink the async, net and netinc experiments to CI smoke runs")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	)
 	flag.Parse()
-	if err := run(*exp, *size, *workers, *nList, *out, *asyncOut, *netOut, *netIncOut, *quick); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "grape-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "grape-bench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	err := run(*exp, *size, *workers, *nList, *out, *asyncOut, *netOut, *netIncOut, *quick)
+	if *memProfile != "" {
+		f, merr := os.Create(*memProfile)
+		if merr == nil {
+			runtime.GC() // settle allocations so the heap profile shows live data
+			merr = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+		if merr != nil && err == nil {
+			err = merr
+		}
+	}
+	if err != nil {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
 		fmt.Fprintln(os.Stderr, "grape-bench:", err)
 		os.Exit(1)
 	}

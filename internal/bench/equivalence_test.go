@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/partition"
+	"grape/internal/pie"
+)
+
+// randomEquivGraph builds a random weighted graph: a few dense clusters with
+// sparse bridges, so every plane has real cross-fragment traffic to combine
+// and compress, plus isolated vertices to exercise the +Inf/singleton paths.
+func randomEquivGraph(rng *rand.Rand, directed bool) *graph.Graph {
+	b := graph.NewBuilder(directed)
+	n := 60 + rng.Intn(40)
+	for v := 0; v < n; v++ {
+		b.AddVertex(graph.VertexID(v*3), "") // sparse external IDs
+	}
+	edges := n * 3
+	for i := 0; i < edges; i++ {
+		u := rng.Intn(n)
+		var v int
+		if rng.Intn(4) == 0 {
+			v = rng.Intn(n) // long-range bridge
+		} else {
+			v = (u + 1 + rng.Intn(5)) % n // local cluster edge
+		}
+		if u == v {
+			continue
+		}
+		w := 0.5 + rng.Float64()*9.5
+		b.AddEdge(graph.VertexID(u*3), graph.VertexID(v*3), w, "")
+	}
+	return b.Build()
+}
+
+// planeAnswers evaluates q on every plane the engine offers over identical
+// fragments: the in-process session (BSP and async) and a local-TCP session
+// (BSP and async), with message combining and the v3 pooled/compressed
+// framing active everywhere. Keys identify the plane in failure messages.
+func planeAnswers(t *testing.T, p *partition.Partitioned, q core.Query, prog core.Program, procs int) map[string]any {
+	t.Helper()
+	local, err := core.NewSessionPartitioned(p, core.Options{})
+	if err != nil {
+		t.Fatalf("local session: %v", err)
+	}
+	defer local.Close()
+	tcp, cleanup, _, err := tcpSession(p, procs)
+	if err != nil {
+		t.Fatalf("tcp session: %v", err)
+	}
+	defer cleanup()
+
+	out := make(map[string]any)
+	for _, mode := range []core.ExecMode{core.ModeBSP, core.ModeAsync} {
+		inRes, err := local.RunMode(q, prog, mode)
+		if err != nil {
+			t.Fatalf("in-process %v: %v", mode, err)
+		}
+		out["inproc/"+mode.String()] = inRes.Output
+		tcpRes, err := tcp.RunMode(q, prog, mode)
+		if err != nil {
+			t.Fatalf("tcp %v: %v", mode, err)
+		}
+		out["tcp/"+mode.String()] = tcpRes.Output
+	}
+	return out
+}
+
+// TestCrossPlaneEquivalenceExact: SSSP distances and CC labels must be
+// byte-identical on every plane — min-monotone programs admit no tolerance.
+// Randomized over graph shapes, directedness and partition strategies so the
+// combining and framing layers see varied traffic.
+func TestCrossPlaneEquivalenceExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brings up TCP clusters")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := randomEquivGraph(rng, seed%2 == 0)
+			workers := 3 + rng.Intn(3)
+			p := partition.Partition(g, workers, partition.Hash{})
+			procs := 2 + rng.Intn(workers-1)
+			if procs > workers {
+				procs = workers
+			}
+
+			source := g.VertexAt(rng.Intn(g.NumVertices()))
+			sssp := planeAnswers(t, p, source, pie.SSSP{}, procs)
+			ref := sssp["inproc/bsp"].(map[graph.VertexID]float64)
+			if len(ref) != g.NumVertices() {
+				t.Fatalf("reference SSSP answer covers %d of %d vertices", len(ref), g.NumVertices())
+			}
+			for plane, ans := range sssp {
+				got := ans.(map[graph.VertexID]float64)
+				if len(got) != len(ref) {
+					t.Fatalf("%s: %d distances, reference has %d", plane, len(got), len(ref))
+				}
+				for v, want := range ref {
+					if got[v] != want && !(math.IsInf(got[v], 1) && math.IsInf(want, 1)) {
+						t.Fatalf("%s: dist(%d) = %v, reference %v", plane, v, got[v], want)
+					}
+				}
+			}
+
+			cc := planeAnswers(t, p, nil, pie.CC{}, procs)
+			refCC := cc["inproc/bsp"].(map[graph.VertexID]graph.VertexID)
+			if len(refCC) != g.NumVertices() {
+				t.Fatalf("reference CC answer covers %d of %d vertices", len(refCC), g.NumVertices())
+			}
+			for plane, ans := range cc {
+				got := ans.(map[graph.VertexID]graph.VertexID)
+				if len(got) != len(refCC) {
+					t.Fatalf("%s: %d labels, reference has %d", plane, len(got), len(refCC))
+				}
+				for v, want := range refCC {
+					if got[v] != want {
+						t.Fatalf("%s: cid(%d) = %d, reference %d", plane, v, got[v], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCrossPlaneEquivalencePageRank: PageRank terminates on a tolerance, so
+// planes agree only up to it — but tightly: the per-vertex spread across
+// planes must stay within a few tolerances, not drift.
+func TestCrossPlaneEquivalencePageRank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brings up TCP clusters")
+	}
+	rng := rand.New(rand.NewSource(11))
+	g := randomEquivGraph(rng, true)
+	workers := 4
+	p := partition.Partition(g, workers, partition.Hash{})
+	// Drive the fixpoint to real convergence: the default query stops at a
+	// loose tolerance/round cap, which leaves a plane-dependent residual.
+	q := pie.PageRankQuery{Damping: 0.85, Tolerance: 1e-9, MaxRounds: 500}
+
+	answers := planeAnswers(t, p, q, pie.PageRank{}, 2)
+	ref := answers["inproc/bsp"].(map[graph.VertexID]float64)
+	if len(ref) != g.NumVertices() {
+		t.Fatalf("reference PageRank answer covers %d of %d vertices", len(ref), g.NumVertices())
+	}
+	// The fixpoint is solved to q.Tolerance in L1 per fragment per round;
+	// the coupled global error is amplified by 1/(1-damping) and the
+	// exchange rounds, so allow a generous multiple — still twelve orders
+	// of magnitude tighter than the answer scale.
+	budget := 1e4 * q.Tolerance
+	for plane, ans := range answers {
+		got := ans.(map[graph.VertexID]float64)
+		if len(got) != len(ref) {
+			t.Fatalf("%s: %d ranks, reference has %d", plane, len(got), len(ref))
+		}
+		for v, want := range ref {
+			if d := math.Abs(got[v] - want); d > budget {
+				t.Fatalf("%s: rank(%d) = %v, reference %v (|Δ|=%g > %g)", plane, v, got[v], want, d, budget)
+			}
+		}
+	}
+}

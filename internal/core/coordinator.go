@@ -80,6 +80,11 @@ func (c *coordinator) runMode(q Query, prog Program, mode ExecMode) (res *Result
 		comm = c.cluster.NewComm(stats)
 		r = &bspRunner{opts: c.opts, cluster: c.cluster}
 	}
+	if !c.opts.DisableGrouping {
+		// Fold same-(vertex,key) updates per destination under the program's
+		// own aggregation, so each flush ships one combined envelope.
+		comm.EnableCombining(tagUpdates, prog.Aggregate)
+	}
 
 	tasks := make([]*task, m)
 	ctxs := make([]*Context, m)

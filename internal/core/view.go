@@ -274,6 +274,9 @@ func (c *coordinator) maintainIncremental(dp DeltaProgram, ctxs []*Context, q Qu
 	timer := metrics.StartTimer()
 	defer func() { stats.Elapsed = timer.Stop() }()
 	comm := c.cluster.NewComm(stats)
+	if !c.opts.DisableGrouping {
+		comm.EnableCombining(tagUpdates, dp.Aggregate)
+	}
 
 	tasks := make([]*task, m)
 	for i, w := range c.workers {

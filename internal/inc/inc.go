@@ -94,6 +94,121 @@ func (h *itemHeap) Pop() any {
 	return x
 }
 
+// CCDense is the flat-slice counterpart of CCState, bound to a fragment
+// graph: component identifiers live in a []graph.VertexID indexed by the
+// graph's dense vertex index, and member lists hold dense indices, so Merge
+// relabels with no map lookups on the hot path. Vertices outside the bound
+// graph (a decoded partial mentioning a departed vertex) keep a frozen label
+// in a small side map purely so the partial result stays total; they do not
+// participate in later relabelling — in the engine they cannot occur, because
+// deletions decline to a full recompute and border targets are always in the
+// fragment graph.
+type CCDense struct {
+	g       *graph.Graph
+	cid     []graph.VertexID           // component id by dense vertex index
+	members map[graph.VertexID][]int32 // component id -> dense member indices
+	over    map[graph.VertexID]graph.VertexID
+}
+
+// NewCCDense builds the state from a dense labelling of g (for example the
+// output of seq.ConnectedComponentsDense). It takes ownership of labels.
+func NewCCDense(g *graph.Graph, labels []graph.VertexID) *CCDense {
+	s := &CCDense{g: g, cid: labels, members: make(map[graph.VertexID][]int32)}
+	for i, c := range labels {
+		s.members[c] = append(s.members[c], int32(i))
+	}
+	return s
+}
+
+// CID returns the component identifier of v and whether v is tracked. Every
+// vertex of the bound graph is tracked.
+func (s *CCDense) CID(v graph.VertexID) (graph.VertexID, bool) {
+	if i := s.g.IndexOf(v); i >= 0 {
+		return s.cid[i], true
+	}
+	if c, ok := s.over[v]; ok {
+		return c, true
+	}
+	return 0, false
+}
+
+// Merge applies a batch of candidate component identifiers: whenever the
+// candidate is smaller than a vertex's current cid, every member of that
+// vertex's component is relabelled — touching only |AFF| vertices, exactly
+// like CCState.Merge. Unknown vertices get a frozen min-folded label.
+func (s *CCDense) Merge(updates map[graph.VertexID]graph.VertexID) {
+	for v, nc := range updates {
+		i := s.g.IndexOf(v)
+		if i < 0 {
+			oc, ok := s.over[v]
+			if !ok {
+				oc = v
+			}
+			if nc < oc {
+				oc = nc
+			}
+			if s.over == nil {
+				s.over = make(map[graph.VertexID]graph.VertexID)
+			}
+			s.over[v] = oc
+			continue
+		}
+		oc := s.cid[i]
+		if nc >= oc {
+			continue
+		}
+		for _, mi := range s.members[oc] {
+			s.cid[mi] = nc
+		}
+		s.members[nc] = append(s.members[nc], s.members[oc]...)
+		delete(s.members, oc)
+	}
+}
+
+// Rebind re-indexes the state against a new fragment graph after a batch of
+// updates: vertices the graphs share keep their cid, fresh vertices start as
+// their own singleton component, and departed vertices move to the frozen
+// side map. A rebind against the already-bound graph is free.
+func (s *CCDense) Rebind(g *graph.Graph) {
+	if s.g == g {
+		return
+	}
+	n := g.NumVertices()
+	cid := make([]graph.VertexID, n)
+	members := make(map[graph.VertexID][]int32, len(s.members))
+	for i := 0; i < n; i++ {
+		v := g.VertexAt(i)
+		c := v
+		if j := s.g.IndexOf(v); j >= 0 {
+			c = s.cid[j]
+		} else if oc, ok := s.over[v]; ok {
+			c = oc
+			delete(s.over, v)
+		}
+		cid[i] = c
+		members[c] = append(members[c], int32(i))
+	}
+	for j, c := range s.cid {
+		if v := s.g.VertexAt(j); g.IndexOf(v) < 0 {
+			if s.over == nil {
+				s.over = make(map[graph.VertexID]graph.VertexID)
+			}
+			s.over[v] = c
+		}
+	}
+	s.g, s.cid, s.members = g, cid, members
+}
+
+// Graph returns the fragment graph the state is currently bound to.
+func (s *CCDense) Graph() *graph.Graph { return s.g }
+
+// Label returns the cid of the vertex at dense index i of the bound graph.
+func (s *CCDense) Label(i int) graph.VertexID { return s.cid[i] }
+
+// Over exposes the frozen labels of vertices outside the bound graph (nil
+// when there are none); callers must treat it as read-only.
+func (s *CCDense) Over() map[graph.VertexID]graph.VertexID { return s.over }
+
 // CCState is the partial CC result of one fragment: a component identifier
 // per vertex plus, per component, the list of member vertices ("root nodes"
 // in Section 5.2). Keeping members per component makes a merge O(|AFF|): only

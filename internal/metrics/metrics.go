@@ -34,9 +34,17 @@ type Stats struct {
 	// the apples-to-apples column of the BSP/async comparison.
 	Rounds int
 	// MessagesSent counts individual messages shipped between workers
-	// (worker-local computation does not count, matching the paper).
+	// (worker-local computation does not count, matching the paper). On a
+	// combining communicator this is the post-combine envelope count — the
+	// traffic that actually crosses the transport, which is what a
+	// Figure-8-style communication-cost report must show.
 	MessagesSent int64
-	// BytesSent counts the serialized size of shipped messages.
+	// MessagesEnqueued counts messages as the programs produced them, before
+	// per-destination combining. MessagesEnqueued - MessagesSent is the
+	// traffic the combiner absorbed; without combining the two are equal.
+	MessagesEnqueued int64
+	// BytesSent counts the serialized size of shipped messages (post-combine
+	// on a combining communicator).
 	BytesSent int64
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
@@ -54,7 +62,32 @@ type StepStats struct {
 }
 
 // AddMessage records that one message of the given serialized size was sent.
+// A message that bypasses combining counts both as enqueued and as sent.
 func (s *Stats) AddMessage(bytes int) {
+	s.mu.Lock()
+	s.MessagesSent++
+	s.MessagesEnqueued++
+	s.BytesSent += int64(bytes)
+	if n := len(s.perStep); n > 0 {
+		s.perStep[n-1].Messages++
+		s.perStep[n-1].Bytes += int64(bytes)
+	}
+	s.mu.Unlock()
+}
+
+// AddEnqueued records one message handed to a combining communicator; the
+// combined envelope it folds into is metered separately with AddCombined
+// when it ships.
+func (s *Stats) AddEnqueued() {
+	s.mu.Lock()
+	s.MessagesEnqueued++
+	s.mu.Unlock()
+}
+
+// AddCombined records that one post-combine envelope of the given serialized
+// size shipped. Unlike AddMessage it does not touch the pre-combine counter:
+// the folded messages were already counted by AddEnqueued.
+func (s *Stats) AddCombined(bytes int) {
 	s.mu.Lock()
 	s.MessagesSent++
 	s.BytesSent += int64(bytes)

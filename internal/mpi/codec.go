@@ -227,6 +227,11 @@ func DecodeKeyValues(buf []byte) ([]KeyValue, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
 	off := 4
+	// Every pair costs at least its two length prefixes, which bounds any
+	// honest count — reject the header before allocating for it.
+	if n > (len(buf)-off)/8 {
+		return nil, fmt.Errorf("mpi: key-value batch claims %d pairs in %d bytes", n, len(buf))
+	}
 	kvs := make([]KeyValue, 0, n)
 	for i := 0; i < n; i++ {
 		if off+4 > len(buf) {

@@ -126,3 +126,37 @@ func TestUpdateCodecUnknownFormat(t *testing.T) {
 		t.Fatalf("unknown format byte should fail to decode")
 	}
 }
+
+// FuzzKeyValueCodec feeds arbitrary bytes through DecodeKeyValues: decoding
+// must never panic or over-allocate from a hostile header, and whatever
+// decodes successfully must round-trip through the current encoder.
+func FuzzKeyValueCodec(f *testing.F) {
+	seeds := [][]KeyValue{
+		nil,
+		{{Key: "k", Value: []byte("v")}},
+		{{Key: "", Value: nil}, {Key: "count", Value: []byte{0, 0, 0, 7}}},
+	}
+	for _, kvs := range seeds {
+		f.Add(EncodeKeyValues(kvs))
+	}
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})       // pair count with no body
+	f.Add([]byte{0x02, 0x00, 0x00, 0x00, 0x01}) // truncated mid-pair
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kvs, err := DecodeKeyValues(data)
+		if err != nil {
+			return
+		}
+		back, err := DecodeKeyValues(EncodeKeyValues(kvs))
+		if err != nil {
+			t.Fatalf("re-decoding a decoded batch failed: %v", err)
+		}
+		if len(back) != len(kvs) {
+			t.Fatalf("round trip length mismatch: %d vs %d", len(back), len(kvs))
+		}
+		for i := range kvs {
+			if back[i].Key != kvs[i].Key || !bytes.Equal(back[i].Value, kvs[i].Value) {
+				t.Fatalf("round trip mismatch at %d: %+v vs %+v", i, back[i], kvs[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package mpi
+
+import (
+	"testing"
+
+	"grape/internal/metrics"
+)
+
+func minCombine(existing, incoming Update) Update {
+	if incoming.Value < existing.Value {
+		return incoming
+	}
+	return existing
+}
+
+func TestCombiningFoldsPerDestination(t *testing.T) {
+	c := mustCluster(t, 3, nil)
+	stats := &metrics.Stats{}
+	m := c.NewComm(stats)
+	m.EnableCombining("upd", minCombine)
+
+	// Two senders ship the same vertex to rank 2; the smaller value must win
+	// and exactly one envelope must arrive.
+	m.Send(0, 2, "upd", EncodeUpdates([]Update{{Vertex: 7, Key: 0, Value: 5}}))
+	m.Send(1, 2, "upd", EncodeUpdates([]Update{{Vertex: 7, Key: 0, Value: 3}, {Vertex: 9, Key: 0, Value: 1}}))
+	if got := m.PendingFor(2); got != 1 {
+		t.Fatalf("PendingFor(2) = %d, want 1 (combine buffer counts as one envelope)", got)
+	}
+	if got := m.TotalPending(); got != 1 {
+		t.Fatalf("TotalPending = %d, want 1", got)
+	}
+
+	envs := m.Deliver(2)
+	if len(envs) != 1 {
+		t.Fatalf("Deliver(2) returned %d envelopes, want 1 combined", len(envs))
+	}
+	ups, err := DecodeUpdates(envs[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 2 {
+		t.Fatalf("combined envelope carries %d updates, want 2", len(ups))
+	}
+	// Flush order is deterministic: sorted by (vertex, key).
+	if ups[0].Vertex != 7 || ups[0].Value != 3 || ups[1].Vertex != 9 || ups[1].Value != 1 {
+		t.Fatalf("combined updates = %+v, want min-folded [7:3 9:1]", ups)
+	}
+
+	// Metering: two messages enqueued, one combined envelope shipped.
+	if stats.MessagesEnqueued != 2 || stats.MessagesSent != 1 {
+		t.Fatalf("stats = %d enqueued / %d sent, want 2/1", stats.MessagesEnqueued, stats.MessagesSent)
+	}
+	if stats.BytesSent != int64(len(envs[0].Payload)) {
+		t.Fatalf("BytesSent = %d, want flushed payload size %d", stats.BytesSent, len(envs[0].Payload))
+	}
+
+	// The buffer is drained: a second Deliver ships nothing.
+	if rest := m.Deliver(2); len(rest) != 0 {
+		t.Fatalf("second Deliver returned %d envelopes, want 0", len(rest))
+	}
+	if got := m.TotalPending(); got != 0 {
+		t.Fatalf("TotalPending after flush = %d, want 0", got)
+	}
+}
+
+func TestCombiningSkipsSelfAndCoordinator(t *testing.T) {
+	c := mustCluster(t, 2, nil)
+	m := c.NewComm(nil)
+	m.EnableCombining("upd", minCombine)
+
+	// Self-sends and coordinator traffic bypass the combiner entirely.
+	m.Send(0, 0, "upd", EncodeUpdates([]Update{{Vertex: 1, Value: 1}}))
+	m.Send(0, 0, "upd", EncodeUpdates([]Update{{Vertex: 1, Value: 2}}))
+	m.Send(0, Coordinator, "upd", EncodeUpdates([]Update{{Vertex: 1, Value: 3}}))
+	if got := len(m.Deliver(0)); got != 2 {
+		t.Fatalf("self-sends delivered %d envelopes, want 2 uncombined", got)
+	}
+	if got := len(m.Deliver(Coordinator)); got != 1 {
+		t.Fatalf("coordinator received %d envelopes, want 1 uncombined", got)
+	}
+
+	// Other tags are not combined either.
+	m.Send(0, 1, "raw", []byte("opaque"))
+	m.Send(0, 1, "raw", []byte("opaque2"))
+	if got := len(m.Deliver(1)); got != 2 {
+		t.Fatalf("non-combine tag delivered %d envelopes, want 2", got)
+	}
+
+	// An undecodable payload on the combine tag falls back to plain shipping.
+	m.Send(0, 1, "upd", []byte{0xde, 0xad})
+	envs := m.Deliver(1)
+	if len(envs) != 1 || string(envs[0].Payload) != "\xde\xad" {
+		t.Fatalf("undecodable payload not shipped verbatim: %+v", envs)
+	}
+}
+
+func TestCombiningAsyncAccounting(t *testing.T) {
+	c := mustCluster(t, 2, nil)
+	m := c.NewAsyncComm(nil)
+	m.EnableCombining("upd", minCombine)
+
+	m.Send(0, 1, "upd", EncodeUpdates([]Update{{Vertex: 4, Value: 9}}))
+	m.Send(0, 1, "upd", EncodeUpdates([]Update{{Vertex: 4, Value: 2}}))
+	if m.Sent() != 2 {
+		t.Fatalf("Sent = %d, want 2 (each folded envelope counts)", m.Sent())
+	}
+	if m.Received() != 0 {
+		t.Fatalf("Received = %d before delivery, want 0", m.Received())
+	}
+	select {
+	case <-m.Wake(1):
+	default:
+		t.Fatal("combined send did not signal the destination's wake channel")
+	}
+
+	envs := m.Deliver(1)
+	if len(envs) != 1 {
+		t.Fatalf("Deliver(1) returned %d envelopes, want 1 combined", len(envs))
+	}
+	if m.Sent() != m.Received() {
+		t.Fatalf("flush did not balance the books: sent %d received %d", m.Sent(), m.Received())
+	}
+}

@@ -25,7 +25,9 @@
 package mpi
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -118,6 +120,36 @@ type Comm struct {
 	wake     []chan struct{} // per worker rank, buffered(1); nil for BSP comms
 	sent     atomic.Int64    // worker-bound envelopes queued
 	received atomic.Int64    // worker-bound envelopes drained
+
+	// Per-destination message combining (EnableCombining): envelopes carrying
+	// combineTag are decoded and folded per (vertex, key) under combine, so
+	// Deliver flushes one envelope per destination instead of one per Send.
+	combineTag string
+	combine    func(existing, incoming Update) Update
+	comb       []combineBuf // indexed by destination worker rank
+}
+
+// combineBuf accumulates the payloads bound for one destination since its
+// last flush. Folding is lazy: payloads are buffered as sent and only
+// decoded, folded and re-encoded when a flush finds more than one — in the
+// common BSP case of one batch per destination per superstep the payload
+// ships verbatim and combining costs nothing.
+type combineBuf struct {
+	raw   []rawSend
+	sends int // envelopes buffered, credited to Received on flush
+}
+
+// rawSend is one buffered Send awaiting combination.
+type rawSend struct {
+	from    int
+	payload []byte
+}
+
+// VarID identifies one update parameter on the wire: the (vertex, sub-key)
+// pair combining folds on.
+type VarID struct {
+	Vertex int64
+	Key    int64
 }
 
 // NewComm creates a BSP communicator with a fresh query id over the
@@ -147,6 +179,29 @@ func (c *Cluster) NewAsyncComm(stats *metrics.Stats) *Comm {
 	return m
 }
 
+// EnableCombining turns on per-destination message combining for envelopes
+// carrying the given tag. Send buffers such payloads per destination; when a
+// flush finds several, it decodes them and folds each update per (vertex,
+// key) under agg — the same fold the receiver's aggregation applies on
+// delivery, so for an associative policy (min, max) the fixpoint is
+// unchanged, and for a newest-wins policy it is unchanged as long as no two
+// senders write the same (vertex, key), which is how the engine's programs
+// partition their keys. Deliver flushes each destination's batch as a single
+// envelope whose updates are sorted by (vertex, key), keeping BSP runs
+// deterministic; a lone buffered payload ships verbatim, unfolded, so the
+// one-batch-per-superstep BSP case pays no codec work at all.
+//
+// Call it once, before the first Send; envelopes with other tags (and
+// coordinator-bound traffic) are never combined. Stats meter the buffered
+// messages as enqueued and the flushed envelopes as sent.
+func (m *Comm) EnableCombining(tag string, agg func(existing, incoming Update) Update) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.combineTag = tag
+	m.combine = agg
+	m.comb = make([]combineBuf, m.cluster.n)
+}
+
 // Query returns the communicator's query id.
 func (m *Comm) Query() uint64 { return m.query }
 
@@ -160,6 +215,10 @@ func (m *Comm) Async() bool { return m.async }
 // async communicator the envelope is immediately visible to the destination,
 // whose wake channel is signaled.
 func (m *Comm) Send(from, to int, tag string, payload []byte) {
+	if m.combine != nil && tag == m.combineTag && to != Coordinator && from != to {
+		m.sendCombined(from, to, payload)
+		return
+	}
 	slot := m.cluster.slot(to)
 	counted := m.async && to != Coordinator
 	m.mu.Lock()
@@ -182,18 +241,178 @@ func (m *Comm) Send(from, to int, tag string, payload []byte) {
 	}
 }
 
+// sendCombined buffers one update envelope in the destination's combine
+// buffer; the fold happens at flush time, and only when a second payload
+// joined the buffer.
+func (m *Comm) sendCombined(from, to int, payload []byte) {
+	m.mu.Lock()
+	if m.async {
+		// Each buffered envelope counts as one sent; Deliver credits the same
+		// number back when the batch flushes, so Sent == Received still means
+		// nothing is in flight.
+		m.sent.Add(1)
+	}
+	cb := &m.comb[to]
+	cb.raw = append(cb.raw, rawSend{from: from, payload: payload})
+	cb.sends++
+	m.mu.Unlock()
+	if m.async {
+		select {
+		case m.wake[to] <- struct{}{}:
+		default: // a wake-up is already pending
+		}
+	}
+	if m.stats != nil {
+		m.stats.AddEnqueued()
+	}
+}
+
+// flushCombinedLocked drains the destination's combine buffer. One buffered
+// payload ships verbatim; several are decoded, folded per (vertex, key) in
+// arrival order, sorted by (vertex, key) and re-encoded into a single
+// envelope. Should any payload not decode as an update batch, the whole
+// buffer ships uncombined in arrival order instead. It must be called with
+// m.mu held; the returned envelopes are nil when the buffer was empty.
+func (m *Comm) flushCombinedLocked(rank int) []Envelope {
+	cb := &m.comb[rank]
+	if len(cb.raw) == 0 {
+		return nil
+	}
+	if m.async {
+		m.received.Add(int64(cb.sends))
+	}
+	raw := cb.raw
+	cb.raw, cb.sends = nil, 0
+
+	env := func(r rawSend) Envelope {
+		return Envelope{From: r.from, To: rank, Query: m.query, Tag: m.combineTag, Payload: r.payload}
+	}
+	if len(raw) == 1 {
+		return []Envelope{env(raw[0])}
+	}
+	batches := make([][]Update, 0, len(raw))
+	presorted := true
+	for _, r := range raw {
+		batch, err := DecodeUpdates(r.payload)
+		if err != nil {
+			// Not an update batch: give up on folding this flush.
+			out := make([]Envelope, len(raw))
+			for i, rr := range raw {
+				out[i] = env(rr)
+			}
+			return out
+		}
+		presorted = presorted && updatesSorted(batch)
+		batches = append(batches, batch)
+	}
+	var ups []Update
+	if presorted {
+		// The engine routes batches already sorted by (vertex, key), so the
+		// common case is a cheap k-way merge with no index map and no resort.
+		ups = mergeFold(batches, m.combine)
+	} else {
+		ups = hashFold(batches, m.combine)
+	}
+	return []Envelope{{From: raw[len(raw)-1].from, To: rank, Query: m.query,
+		Tag: m.combineTag, Payload: EncodeUpdates(ups)}}
+}
+
+// updateOrder is the canonical (vertex, key) order of a combined batch.
+func updateOrder(a, b Update) int {
+	if c := cmp.Compare(a.Vertex, b.Vertex); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Key, b.Key)
+}
+
+// updatesSorted reports whether a batch is already in canonical order.
+func updatesSorted(batch []Update) bool {
+	for i := 1; i < len(batch); i++ {
+		if updateOrder(batch[i-1], batch[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeFold merges canonically sorted batches into one sorted batch, folding
+// equal (vertex, key) entries with agg in batch arrival order.
+func mergeFold(batches [][]Update, agg func(existing, incoming Update) Update) []Update {
+	heads := make([]int, len(batches))
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+	out := make([]Update, 0, total)
+	for {
+		best := -1
+		for i, b := range batches {
+			if heads[i] == len(b) {
+				continue
+			}
+			// Strict less keeps ties on the earliest batch, which preserves
+			// arrival-order folding.
+			if best < 0 || updateOrder(b[heads[i]], batches[best][heads[best]]) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		u := batches[best][heads[best]]
+		heads[best]++
+		if n := len(out); n > 0 && out[n-1].Vertex == u.Vertex && out[n-1].Key == u.Key {
+			out[n-1] = agg(out[n-1], u)
+		} else {
+			out = append(out, u)
+		}
+	}
+}
+
+// hashFold folds arbitrary-order batches through a (vertex, key) index and
+// sorts the result canonically; the fallback when a sender shipped an
+// unsorted batch.
+func hashFold(batches [][]Update, agg func(existing, incoming Update) Update) []Update {
+	var ups []Update
+	idx := make(map[VarID]int)
+	for _, batch := range batches {
+		for _, u := range batch {
+			k := VarID{Vertex: u.Vertex, Key: u.Key}
+			if i, ok := idx[k]; ok {
+				ups[i] = agg(ups[i], u)
+			} else {
+				idx[k] = len(ups)
+				ups = append(ups, u)
+			}
+		}
+	}
+	slices.SortFunc(ups, updateOrder)
+	return ups
+}
+
 // Deliver returns and clears all envelopes queued for the given rank. A BSP
 // engine calls it at superstep boundaries; an async worker calls it whenever
 // it is ready for more work (drained envelopes count toward Received).
 func (m *Comm) Deliver(rank int) []Envelope {
 	slot := m.cluster.slot(rank)
+	var flushed []Envelope
 	m.mu.Lock()
 	out := m.pending[slot]
 	m.pending[slot] = nil
 	if m.async && rank != Coordinator && len(out) > 0 {
 		m.received.Add(int64(len(out)))
 	}
+	if m.combine != nil && rank != Coordinator {
+		if flushed = m.flushCombinedLocked(rank); flushed != nil {
+			out = append(out, flushed...)
+		}
+	}
 	m.mu.Unlock()
+	if m.stats != nil {
+		for _, env := range flushed {
+			m.stats.AddCombined(len(env.Payload))
+		}
+	}
 	return out
 }
 
@@ -217,12 +436,17 @@ func (m *Comm) Sent() int64 { return m.sent.Load() }
 func (m *Comm) Received() int64 { return m.received.Load() }
 
 // PendingFor reports how many envelopes are queued for the given rank without
-// consuming them.
+// consuming them. A non-empty combine buffer counts as one pending envelope —
+// the next Deliver normally folds it into exactly one.
 func (m *Comm) PendingFor(rank int) int {
 	slot := m.cluster.slot(rank)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.pending[slot])
+	n := len(m.pending[slot])
+	if m.combine != nil && rank != Coordinator && len(m.comb[slot].raw) > 0 {
+		n++
+	}
+	return n
 }
 
 // TotalPending reports how many envelopes are queued for all workers (the
@@ -234,6 +458,9 @@ func (m *Comm) TotalPending() int {
 	total := 0
 	for rank := 0; rank < m.cluster.n; rank++ {
 		total += len(m.pending[rank])
+		if m.combine != nil && len(m.comb[rank].raw) > 0 {
+			total++
+		}
 	}
 	return total
 }

@@ -233,14 +233,20 @@ func handshakeWorker(c net.Conn, deadline time.Time, proc, procs int, p *partiti
 	if err := writeFrame(c, welcome); err != nil {
 		return fmt.Errorf("sending welcome: %w", err)
 	}
-	if err := writeFrame(c, append([]byte{ftFragGfx}, gpBytes...)); err != nil {
+	// Fragment ships are the fat frames of the protocol; they go out deflated
+	// when that actually shrinks them (version 3).
+	gf := newFrame()
+	gf.buf = append(gf.buf, ftFragGfx)
+	gf.buf = append(gf.buf, gpBytes...)
+	if err := gf.sendCompressed(c); err != nil {
 		return fmt.Errorf("shipping fragmentation graph: %w", err)
 	}
 	for _, r := range ranks {
-		frame := []byte{ftFragment}
-		frame = binary.AppendUvarint(frame, uint64(r))
-		frame = append(frame, partition.EncodeFragment(p.Fragments[r])...)
-		if err := writeFrame(c, frame); err != nil {
+		ff := newFrame()
+		ff.buf = append(ff.buf, ftFragment)
+		ff.buf = binary.AppendUvarint(ff.buf, uint64(r))
+		ff.buf = append(ff.buf, partition.EncodeFragment(p.Fragments[r])...)
+		if err := ff.sendCompressed(c); err != nil {
 			return fmt.Errorf("shipping fragment %d: %w", r, err)
 		}
 	}
@@ -323,19 +329,18 @@ func (c *Cluster) ApplyUpdate(epoch, floor int64, gp *partition.FragGraph, chang
 		go func(i int, pc *procConn) {
 			defer wg.Done()
 			frags := perProc[i]
-			_, err := pc.call(func(id uint64) []byte {
-				buf := []byte{ftCall}
-				buf = binary.AppendUvarint(buf, id)
-				buf = append(buf, callUpdate)
-				buf = binary.AppendUvarint(buf, uint64(epoch))
-				buf = binary.AppendUvarint(buf, uint64(floor))
-				buf = appendBytes(buf, gpBytes)
-				buf = binary.AppendUvarint(buf, uint64(len(frags)))
+			_, err := pc.callCompressed(func(fr *frame, id uint64) {
+				fr.buf = append(fr.buf, ftCall)
+				fr.buf = binary.AppendUvarint(fr.buf, id)
+				fr.buf = append(fr.buf, callUpdate)
+				fr.buf = binary.AppendUvarint(fr.buf, uint64(epoch))
+				fr.buf = binary.AppendUvarint(fr.buf, uint64(floor))
+				fr.buf = appendBytes(fr.buf, gpBytes)
+				fr.buf = binary.AppendUvarint(fr.buf, uint64(len(frags)))
 				for _, f := range frags {
-					buf = binary.AppendUvarint(buf, uint64(f.ID))
-					buf = appendBytes(buf, partition.EncodeFragment(f))
+					fr.buf = binary.AppendUvarint(fr.buf, uint64(f.ID))
+					fr.buf = appendBytes(fr.buf, partition.EncodeFragment(f))
 				}
-				return buf
 			})
 			errs[i] = err
 		}(i, pc)
@@ -390,9 +395,20 @@ func newProcConn(c net.Conn, proc int, ranks []int) *procConn {
 		pending: make(map[uint64]chan callReply)}
 }
 
-// call sends one request frame (built by build from the allocated request
-// id) and blocks until its reply arrives or the connection fails.
-func (pc *procConn) call(build func(reqID uint64) []byte) ([]byte, error) {
+// call sends one request frame — build appends the request body straight
+// into a pooled frame buffer, keyed by the allocated request id — and blocks
+// until the reply arrives or the connection fails.
+func (pc *procConn) call(build func(f *frame, reqID uint64)) ([]byte, error) {
+	return pc.callOpt(false, build)
+}
+
+// callCompressed is call for bulk payloads (update-batch fragment ships):
+// the frame goes out deflated when that shrinks it.
+func (pc *procConn) callCompressed(build func(f *frame, reqID uint64)) ([]byte, error) {
+	return pc.callOpt(true, build)
+}
+
+func (pc *procConn) callOpt(compress bool, build func(f *frame, reqID uint64)) ([]byte, error) {
 	pc.mu.Lock()
 	if pc.err != nil {
 		err := pc.err
@@ -405,8 +421,15 @@ func (pc *procConn) call(build func(reqID uint64) []byte) ([]byte, error) {
 	pc.pending[id] = ch
 	pc.mu.Unlock()
 
+	f := newFrame()
+	build(f, id)
 	pc.wmu.Lock()
-	err := writeFrame(pc.c, build(id))
+	var err error
+	if compress {
+		err = f.sendCompressed(pc.c)
+	} else {
+		err = f.send(pc.c)
+	}
 	pc.wmu.Unlock()
 	if err != nil {
 		pc.fail(fmt.Errorf("net: send request to %s: %w", pc.describe(), err))
@@ -475,10 +498,10 @@ func (pc *procConn) heartbeatLoop(interval time.Duration) {
 		}
 		res := make(chan error, 1)
 		go func() {
-			_, err := pc.call(func(id uint64) []byte {
-				buf := []byte{ftCall}
-				buf = binary.AppendUvarint(buf, id)
-				return append(buf, callPing)
+			_, err := pc.call(func(f *frame, id uint64) {
+				f.buf = append(f.buf, ftCall)
+				f.buf = binary.AppendUvarint(f.buf, id)
+				f.buf = append(f.buf, callPing)
 			})
 			res <- err
 		}()
@@ -537,25 +560,24 @@ type Peer struct {
 // Rank returns the fragment rank this peer evaluates.
 func (p *Peer) Rank() int { return p.rank }
 
-// callHeader builds the common [ftCall][reqID][kind][rank][query] prefix of
-// per-fragment calls.
-func (p *Peer) callHeader(reqID uint64, kind byte, query uint64) []byte {
-	buf := []byte{ftCall}
-	buf = binary.AppendUvarint(buf, reqID)
-	buf = append(buf, kind)
-	buf = binary.AppendUvarint(buf, uint64(p.rank))
-	buf = binary.AppendUvarint(buf, query)
-	return buf
+// callHeader appends the common [ftCall][reqID][kind][rank][query] prefix of
+// per-fragment calls to the frame under construction.
+func (p *Peer) callHeader(f *frame, reqID uint64, kind byte, query uint64) {
+	f.buf = append(f.buf, ftCall)
+	f.buf = binary.AppendUvarint(f.buf, reqID)
+	f.buf = append(f.buf, kind)
+	f.buf = binary.AppendUvarint(f.buf, uint64(p.rank))
+	f.buf = binary.AppendUvarint(f.buf, query)
 }
 
 // PEval forwards a partial-evaluation call — naming the residency epoch the
 // query reads — and returns the envelopes the remote fragment routed.
 func (p *Peer) PEval(query uint64, epoch int64, prog string, queryBytes []byte, superstep int,
 	disableIncEval, disableGrouping bool) ([]mpi.Envelope, error) {
-	body, err := p.pc.call(func(id uint64) []byte {
-		buf := p.callHeader(id, callPEval, query)
-		buf = binary.AppendUvarint(buf, uint64(superstep))
-		buf = binary.AppendUvarint(buf, uint64(epoch))
+	body, err := p.pc.call(func(f *frame, id uint64) {
+		p.callHeader(f, id, callPEval, query)
+		f.buf = binary.AppendUvarint(f.buf, uint64(superstep))
+		f.buf = binary.AppendUvarint(f.buf, uint64(epoch))
 		var flags byte
 		if disableIncEval {
 			flags |= 1
@@ -563,10 +585,9 @@ func (p *Peer) PEval(query uint64, epoch int64, prog string, queryBytes []byte, 
 		if disableGrouping {
 			flags |= 2
 		}
-		buf = append(buf, flags)
-		buf = appendString(buf, prog)
-		buf = appendBytes(buf, queryBytes)
-		return buf
+		f.buf = append(f.buf, flags)
+		f.buf = appendString(f.buf, prog)
+		f.buf = appendBytes(f.buf, queryBytes)
 	})
 	if err != nil {
 		return nil, err
@@ -577,10 +598,10 @@ func (p *Peer) PEval(query uint64, epoch int64, prog string, queryBytes []byte, 
 // IncEval forwards delivered envelopes to the remote fragment and returns
 // the envelopes its incremental evaluation routed.
 func (p *Peer) IncEval(query uint64, superstep int, envs []mpi.Envelope) ([]mpi.Envelope, error) {
-	body, err := p.pc.call(func(id uint64) []byte {
-		buf := p.callHeader(id, callIncEval, query)
-		buf = binary.AppendUvarint(buf, uint64(superstep))
-		return appendEnvelopes(buf, envs)
+	body, err := p.pc.call(func(f *frame, id uint64) {
+		p.callHeader(f, id, callIncEval, query)
+		f.buf = binary.AppendUvarint(f.buf, uint64(superstep))
+		f.buf = appendEnvelopes(f.buf, envs)
 	})
 	if err != nil {
 		return nil, err
@@ -590,15 +611,15 @@ func (p *Peer) IncEval(query uint64, superstep int, envs []mpi.Envelope) ([]mpi.
 
 // Fetch retrieves the fragment's encoded partial result.
 func (p *Peer) Fetch(query uint64) ([]byte, error) {
-	return p.pc.call(func(id uint64) []byte {
-		return p.callHeader(id, callFetch, query)
+	return p.pc.call(func(f *frame, id uint64) {
+		p.callHeader(f, id, callFetch, query)
 	})
 }
 
 // End releases the fragment's per-query state (query runs and views alike).
 func (p *Peer) End(query uint64) error {
-	_, err := p.pc.call(func(id uint64) []byte {
-		return p.callHeader(id, callEnd, query)
+	_, err := p.pc.call(func(f *frame, id uint64) {
+		p.callHeader(f, id, callEnd, query)
 	})
 	return err
 }
@@ -607,8 +628,8 @@ func (p *Peer) End(query uint64) error {
 // view state: the worker retains it across epochs for maintenance rounds,
 // until End releases it.
 func (p *Peer) Materialize(query uint64) error {
-	_, err := p.pc.call(func(id uint64) []byte {
-		return p.callHeader(id, callMaterialize, query)
+	_, err := p.pc.call(func(f *frame, id uint64) {
+		p.callHeader(f, id, callMaterialize, query)
 	})
 	return err
 }
@@ -619,11 +640,11 @@ func (p *Peer) Materialize(query uint64) error {
 // seeding routed.
 func (p *Peer) EvalDelta(query uint64, superstep int, ops []graph.Update,
 	newInBorder []graph.VertexID) (bool, []mpi.Envelope, error) {
-	body, err := p.pc.call(func(id uint64) []byte {
-		buf := p.callHeader(id, callEvalDelta, query)
-		buf = binary.AppendUvarint(buf, uint64(superstep))
-		buf = appendBytes(buf, mpi.EncodeGraphUpdates(ops))
-		return appendVertexIDs(buf, newInBorder)
+	body, err := p.pc.call(func(f *frame, id uint64) {
+		p.callHeader(f, id, callEvalDelta, query)
+		f.buf = binary.AppendUvarint(f.buf, uint64(superstep))
+		f.buf = appendBytes(f.buf, mpi.EncodeGraphUpdates(ops))
+		f.buf = appendVertexIDs(f.buf, newInBorder)
 	})
 	if err != nil {
 		return false, nil, err

@@ -23,8 +23,15 @@
 //
 // # Protocol
 //
-// Every frame is a little-endian uint32 length followed by a payload whose
-// first byte is the frame type. The handshake is hello (protocol version) →
+// Every frame is a little-endian uint32 header word followed by a payload
+// whose first byte is the frame type. The header's low 31 bits are the body
+// length; bit 31 is the compression flag. When the flag is set the body is a
+// uvarint giving the uncompressed length followed by a DEFLATE stream
+// (compress/flate, stdlib only), and the reader inflates transparently —
+// compression is a transport detail no layer above the framer can observe.
+// Writers compress only bodies past a threshold (fragment shipments and fat
+// update deltas, in practice), since deflating small call frames costs more
+// CPU than the loopback bytes it saves. The handshake is hello (protocol version) →
 // welcome (version, cluster size m, process id, assigned ranks) → GP frame →
 // one fragment frame per assigned rank → ready. Version mismatches abort
 // with an explicit error frame on whichever side detects them. After the
@@ -35,6 +42,22 @@
 // with the routed envelopes (or the encoded partial result for Fetch);
 // envelope payloads reuse the varint/delta update codec of internal/mpi
 // unchanged. A shutdown frame ends the worker process gracefully.
+//
+// # Buffer reuse and combining
+//
+// Outgoing frames are built in pooled buffers and written with a single Write
+// (header and body in one buffer), so steady-state calls allocate nothing on
+// the send path. The worker's frame loop also reads into pooled buffers —
+// its call bodies are fully consumed before the next read — while the
+// coordinator's read loop keeps allocating per frame, because reply bodies
+// escape to the callers awaiting them. Routed update envelopes may arrive
+// combined: when message combining is enabled (see mpi.EnableCombining) the
+// coordinator folds the per-destination batches of several senders into one
+// envelope under the program's own aggregation before the frame is written,
+// so a worker must not assume one incoming envelope per peer per superstep.
+// The combined envelope carries the rank of one of the folded senders; the
+// engine's delivery path never reads From for update envelopes, only the
+// metering does.
 //
 // # Dynamic graphs
 //

@@ -1,0 +1,66 @@
+package net
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzFrameCap bounds the frame sizes the fuzzer exercises. Claims above
+// maxFrame must be rejected outright and stay in scope; claims inside the
+// (legitimate) megabyte-to-gigabyte band are skipped because readFrame
+// rightly allocates for them upfront, which only measures the fuzzer's RAM.
+const fuzzFrameCap = 1 << 20
+
+// FuzzReadFrame feeds arbitrary byte streams through readFrame: corrupt or
+// truncated headers, hostile lengths and garbage deflate bodies must error
+// out, never panic, and frames the writer produced must round-trip.
+func FuzzReadFrame(f *testing.F) {
+	var raw bytes.Buffer
+	writeFrame(&raw, []byte("designated message payload"))
+	f.Add(raw.Bytes())
+
+	var comp bytes.Buffer
+	cf := newFrame()
+	cf.buf = append(cf.buf, bytes.Repeat([]byte("fragment "), 1024)...)
+	cf.sendCompressed(&comp)
+	f.Add(comp.Bytes())
+
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // oversized claim, no body
+	f.Add([]byte{4, 0, 0, 0, 0x80, 1, 2}) // compressed bit games in the body
+	hostile := binary.LittleEndian.AppendUint32(nil, 5|frameCompressed)
+	hostile = binary.AppendUvarint(hostile, 64)
+	hostile = append(hostile, 0xde, 0xad, 0xbe) // not a deflate stream
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) >= 4 {
+			word := binary.LittleEndian.Uint32(data)
+			if n := word &^ frameCompressed; n > fuzzFrameCap && n <= maxFrame {
+				t.Skip("legitimate large frame: allocation, not parsing")
+			}
+			if word&frameCompressed != 0 {
+				if rawLen, k := binary.Uvarint(data[4:]); k > 0 && rawLen > fuzzFrameCap && rawLen <= maxFrame {
+					t.Skip("legitimate large inflate target: allocation, not parsing")
+				}
+			}
+		}
+		payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must re-frame byte-identically through the raw
+		// writer (compression is a transparent transport detail).
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, payload); err != nil {
+			t.Fatalf("re-framing a decoded payload failed: %v", err)
+		}
+		back, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-reading a re-framed payload failed: %v", err)
+		}
+		if !bytes.Equal(back, payload) {
+			t.Fatalf("frame round trip mismatch: %d vs %d bytes", len(back), len(payload))
+		}
+	})
+}

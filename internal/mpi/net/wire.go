@@ -1,9 +1,12 @@
 package net
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"grape/internal/graph"
 	"grape/internal/mpi"
@@ -17,11 +20,26 @@ import (
 //
 // Version 2 added the dynamic-graph calls (update/materialize/eval-delta),
 // the epoch field on PEval, and the ping/heartbeat call.
-const ProtocolVersion = 2
+//
+// Version 3 added deflate frame compression: bit 31 of the length header
+// marks a compressed frame whose body is uvarint(rawLen) followed by a
+// deflate stream. Only bulk fragment-ship frames (handshake fragments and
+// update-batch calls) are compressed; per-round evaluation traffic ships raw
+// because on a low-latency link deflate CPU costs more than the bytes save.
+const ProtocolVersion = 3
 
 // maxFrame bounds a single frame (a shipped fragment is the largest payload
-// in practice). Oversized lengths indicate a corrupt or hostile stream.
+// in practice). Oversized lengths indicate a corrupt or hostile stream. It
+// deliberately leaves bit 31 of the length header free for frameCompressed.
 const maxFrame = 1 << 30
+
+// frameCompressed flags a deflate-compressed frame in the length header's
+// top bit; the masked-off remainder is the on-wire body length.
+const frameCompressed = uint32(1) << 31
+
+// compressThreshold is the body size below which sendCompressed ships raw:
+// small frames gain nothing and pay deflate latency on the handshake path.
+const compressThreshold = 4 << 10
 
 // Frame types.
 const (
@@ -59,35 +77,182 @@ const (
 	callEvalDelta   = byte(0x08)
 )
 
-// writeFrame sends one length-prefixed frame. Callers serialize access to w.
-func writeFrame(w io.Writer, payload []byte) error {
-	if len(payload) > maxFrame {
-		return fmt.Errorf("net: frame of %d bytes exceeds limit", len(payload))
+// frame is a pooled frame buffer. buf holds a 4-byte length-header
+// placeholder followed by the payload; builders append payload bytes
+// directly (frame implements io.Writer), and send fills the header and
+// issues a single conn.Write — on a TCP_NODELAY connection the old
+// header-then-payload Write pair cost one packet per write.
+type frame struct{ buf []byte }
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// framePoolMaxCap caps the capacity a recycled buffer may retain. A shipped
+// fragment can run to hundreds of megabytes; holding that in the pool for
+// the lifetime of the process would be a leak in slow motion.
+const framePoolMaxCap = 1 << 20
+
+// newFrame returns a pooled frame seeded with the header placeholder.
+func newFrame() *frame {
+	f := framePool.Get().(*frame)
+	f.buf = append(f.buf[:0], 0, 0, 0, 0)
+	return f
+}
+
+// payload returns the frame body (everything after the header placeholder).
+func (f *frame) payload() []byte { return f.buf[4:] }
+
+// Write appends to the frame body, making frame usable as a flate.Writer
+// destination. It never fails.
+func (f *frame) Write(p []byte) (int, error) {
+	f.buf = append(f.buf, p...)
+	return len(p), nil
+}
+
+// send fills the length header, writes the whole frame in one Write, and
+// recycles the buffer. The frame must not be used afterwards. Callers
+// serialize access to w.
+func (f *frame) send(w io.Writer) error {
+	n := len(f.buf) - 4
+	if n > maxFrame {
+		f.release()
+		return fmt.Errorf("net: frame of %d bytes exceeds limit", n)
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	binary.LittleEndian.PutUint32(f.buf[:4], uint32(n))
+	_, err := w.Write(f.buf)
+	f.release()
 	return err
 }
 
-// readFrame reads one length-prefixed frame.
-func readFrame(r io.Reader) ([]byte, error) {
+// sendCompressed is send with deflate compression for bodies at or above
+// compressThreshold. Incompressible bodies (deflate did not shrink them)
+// ship raw, so the flag bit always signals a strictly smaller frame.
+func (f *frame) sendCompressed(w io.Writer) error {
+	body := f.payload()
+	if len(body) < compressThreshold {
+		return f.send(w)
+	}
+	cf := framePool.Get().(*frame)
+	cf.buf = append(cf.buf[:0], 0, 0, 0, 0)
+	cf.buf = binary.AppendUvarint(cf.buf, uint64(len(body)))
+	fw := newFlateWriter(cf)
+	_, _ = fw.Write(body) // frame.Write cannot fail
+	if err := fw.Close(); err != nil {
+		flatePool.Put(fw)
+		cf.release()
+		return f.send(w)
+	}
+	flatePool.Put(fw)
+	n := len(cf.buf) - 4
+	if n >= len(body) || n > maxFrame {
+		cf.release()
+		return f.send(w)
+	}
+	f.release()
+	binary.LittleEndian.PutUint32(cf.buf[:4], uint32(n)|frameCompressed)
+	_, err := w.Write(cf.buf)
+	cf.release()
+	return err
+}
+
+// release returns the frame's buffer to the pool, dropping oversized ones.
+func (f *frame) release() {
+	if cap(f.buf) > framePoolMaxCap {
+		f.buf = nil
+	}
+	framePool.Put(f)
+}
+
+var flatePool sync.Pool
+
+// newFlateWriter returns a pooled BestSpeed deflate writer reset onto w.
+func newFlateWriter(w io.Writer) *flate.Writer {
+	if v := flatePool.Get(); v != nil {
+		fw := v.(*flate.Writer)
+		fw.Reset(w)
+		return fw
+	}
+	fw, _ := flate.NewWriter(w, flate.BestSpeed) // BestSpeed is a valid level
+	return fw
+}
+
+// writeFrame sends one length-prefixed frame from a caller-owned payload.
+// The hot paths build into pooled frames and call send directly; this
+// remains for tiny control frames and tests. Callers serialize access to w.
+func writeFrame(w io.Writer, payload []byte) error {
+	f := newFrame()
+	f.buf = append(f.buf, payload...)
+	return f.send(w)
+}
+
+// readFrameP reads one frame into a pooled buffer, transparently inflating
+// compressed frames. The returned frame's payload aliases pooled memory:
+// the caller must release() it once every parsed value that outlives the
+// call has been copied out (the reader helpers for strings, envelopes and
+// fragments all copy).
+func readFrameP(r io.Reader) (*frame, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	word := binary.LittleEndian.Uint32(hdr[:])
+	n := word &^ frameCompressed
 	if n > maxFrame {
 		return nil, fmt.Errorf("net: frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	f := framePool.Get().(*frame)
+	f.buf = growFrame(f.buf, 4+int(n))
+	if _, err := io.ReadFull(r, f.buf[4:]); err != nil {
+		f.release()
 		return nil, err
 	}
-	return payload, nil
+	if word&frameCompressed == 0 {
+		return f, nil
+	}
+	df, err := inflateFrame(f.payload())
+	f.release()
+	return df, err
+}
+
+// inflateFrame decompresses a compressed frame body (uvarint raw length,
+// then a deflate stream) into a fresh pooled frame.
+func inflateFrame(body []byte) (*frame, error) {
+	rawLen, k := binary.Uvarint(body)
+	if k <= 0 || rawLen > maxFrame {
+		return nil, fmt.Errorf("net: corrupt compressed frame header")
+	}
+	df := framePool.Get().(*frame)
+	df.buf = growFrame(df.buf, 4+int(rawLen))
+	fr := flate.NewReader(bytes.NewReader(body[k:]))
+	_, err := io.ReadFull(fr, df.buf[4:])
+	fr.Close()
+	if err != nil {
+		df.release()
+		return nil, fmt.Errorf("net: corrupt compressed frame: %w", err)
+	}
+	return df, nil
+}
+
+// growFrame resizes buf to n bytes, reallocating only when capacity is
+// short.
+func growFrame(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// readFrame reads one length-prefixed frame into caller-owned memory,
+// transparently inflating compressed frames. The coordinator's reply
+// demultiplexer uses it because reply bodies escape to waiting calls; the
+// worker's frame loop uses readFrameP and recycles.
+func readFrame(r io.Reader) ([]byte, error) {
+	f, err := readFrameP(r)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), f.payload()...)
+	f.release()
+	return out, nil
 }
 
 // appendString appends a length-prefixed string.

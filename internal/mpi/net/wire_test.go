@@ -2,6 +2,7 @@ package net
 
 import (
 	"bytes"
+	"encoding/binary"
 	stdnet "net"
 	"reflect"
 	"testing"
@@ -28,6 +29,83 @@ func TestFrameRoundTrip(t *testing.T) {
 		if !bytes.Equal(got, want) {
 			t.Fatalf("frame round trip: got %d bytes, want %d", len(got), len(want))
 		}
+	}
+}
+
+func TestCompressedFrameRoundTrip(t *testing.T) {
+	// Compressible payload well above the threshold: must ship deflated and
+	// read back identically through the transparent inflate path.
+	var buf bytes.Buffer
+	payload := bytes.Repeat([]byte("grape fragment bytes "), 2048)
+	f := newFrame()
+	f.buf = append(f.buf, payload...)
+	if err := f.sendCompressed(&buf); err != nil {
+		t.Fatalf("sendCompressed: %v", err)
+	}
+	if buf.Len() >= len(payload) {
+		t.Fatalf("compressible frame did not shrink: %d on the wire for %d raw", buf.Len(), len(payload))
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("compressed round trip corrupted the payload")
+	}
+
+	// Small frames bypass compression entirely.
+	buf.Reset()
+	small := []byte("tiny")
+	f = newFrame()
+	f.buf = append(f.buf, small...)
+	if err := f.sendCompressed(&buf); err != nil {
+		t.Fatalf("sendCompressed(small): %v", err)
+	}
+	if buf.Len() != 4+len(small) {
+		t.Fatalf("small frame was not shipped raw: %d bytes on the wire", buf.Len())
+	}
+	if got, err := readFrame(&buf); err != nil || !bytes.Equal(got, small) {
+		t.Fatalf("small frame round trip: %v %q", err, got)
+	}
+
+	// Incompressible bodies above the threshold fall back to raw framing.
+	buf.Reset()
+	noisy := make([]byte, compressThreshold+512)
+	rnd := uint32(2463534242)
+	for i := range noisy {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 17
+		rnd ^= rnd << 5
+		noisy[i] = byte(rnd)
+	}
+	f = newFrame()
+	f.buf = append(f.buf, noisy...)
+	if err := f.sendCompressed(&buf); err != nil {
+		t.Fatalf("sendCompressed(noisy): %v", err)
+	}
+	if buf.Len() != 4+len(noisy) {
+		t.Fatalf("incompressible frame was not shipped raw: %d bytes for %d raw", buf.Len(), len(noisy))
+	}
+	if got, err := readFrame(&buf); err != nil || !bytes.Equal(got, noisy) {
+		t.Fatalf("incompressible frame round trip failed: %v", err)
+	}
+}
+
+func TestInflateFrameRejectsCorruptStreams(t *testing.T) {
+	// A compressed header claiming more raw bytes than maxFrame.
+	hdr := binary.AppendUvarint(nil, uint64(maxFrame)+1)
+	if _, err := inflateFrame(hdr); err == nil {
+		t.Fatalf("oversized raw length accepted")
+	}
+	// A header followed by garbage instead of a deflate stream.
+	body := binary.AppendUvarint(nil, 128)
+	body = append(body, 0xde, 0xad, 0xbe, 0xef)
+	if _, err := inflateFrame(body); err == nil {
+		t.Fatalf("garbage deflate stream accepted")
+	}
+	// An empty body has no header at all.
+	if _, err := inflateFrame(nil); err == nil {
+		t.Fatalf("empty compressed body accepted")
 	}
 }
 
@@ -200,7 +278,7 @@ func TestProcConnPoisonsPendingCallsOnFailure(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := pc.call(func(id uint64) []byte { return []byte{ftCall} })
+		_, err := pc.call(func(f *frame, id uint64) { f.buf = append(f.buf, ftCall) })
 		done <- err
 	}()
 	// Swallow the request, then drop the connection mid-call.
@@ -217,7 +295,7 @@ func TestProcConnPoisonsPendingCallsOnFailure(t *testing.T) {
 		t.Fatalf("call hung after the connection dropped")
 	}
 	// Subsequent calls fail fast instead of hanging.
-	if _, err := pc.call(func(id uint64) []byte { return []byte{ftCall} }); err == nil {
+	if _, err := pc.call(func(f *frame, id uint64) { f.buf = append(f.buf, ftCall) }); err == nil {
 		t.Fatalf("poisoned connection accepted a new call")
 	}
 }

@@ -101,17 +101,20 @@ func RunWorker(addr string, h Handler, opts WorkerOptions) error {
 
 	var wmu sync.Mutex
 	reply := func(reqID uint64, rep callReply) {
-		out := []byte{ftReply}
-		out = binary.AppendUvarint(out, reqID)
+		// Build the reply straight into a pooled frame buffer and ship it
+		// with a single write.
+		f := newFrame()
+		f.buf = append(f.buf, ftReply)
+		f.buf = binary.AppendUvarint(f.buf, reqID)
 		if rep.err != nil {
-			out = append(out, 0)
-			out = appendString(out, rep.err.Error())
+			f.buf = append(f.buf, 0)
+			f.buf = appendString(f.buf, rep.err.Error())
 		} else {
-			out = append(out, 1)
-			out = append(out, rep.body...)
+			f.buf = append(f.buf, 1)
+			f.buf = append(f.buf, rep.body...)
 		}
 		wmu.Lock()
-		werr := writeFrame(conn, out)
+		werr := f.send(conn)
 		wmu.Unlock()
 		if werr != nil {
 			// The read loop will observe the broken connection and exit;
@@ -120,32 +123,43 @@ func RunWorker(addr string, h Handler, opts WorkerOptions) error {
 		}
 	}
 	for {
-		payload, err := readFrame(conn)
+		// Frames are read into pooled buffers: handleCall's parsers copy
+		// every value that outlives the call (envelope payloads, strings,
+		// decoded fragments), so the buffer recycles as soon as the call's
+		// handler returns.
+		f, err := readFrameP(conn)
 		if err != nil {
 			return fmt.Errorf("net: coordinator connection lost: %w", err)
 		}
-		r := &reader{buf: payload}
+		r := &reader{buf: f.payload()}
 		switch ft := r.u8(); ft {
 		case ftShutdown:
+			f.release()
 			opts.logf("coordinator shut the cluster down")
 			return nil
 		case ftCall:
 			reqID := r.uvarint()
 			kind := r.u8()
 			if r.err != nil {
-				return fmt.Errorf("net: malformed call: %w", r.err)
+				err := r.err
+				f.release()
+				return fmt.Errorf("net: malformed call: %w", err)
 			}
 			if kind == callPing {
 				// Liveness probe: answer from the frame loop itself so the
 				// coordinator's prober measures process liveness, not
 				// evaluation latency.
+				f.release()
 				reply(reqID, callReply{})
 				continue
 			}
-			go func(reqID uint64, kind byte, r *reader) {
-				reply(reqID, handleCall(h, kind, r))
-			}(reqID, kind, r)
+			go func(f *frame, reqID uint64, kind byte, r *reader) {
+				rep := handleCall(h, kind, r)
+				f.release()
+				reply(reqID, rep)
+			}(f, reqID, kind, r)
 		default:
+			f.release()
 			return fmt.Errorf("net: unexpected frame 0x%02x from coordinator", ft)
 		}
 	}
@@ -196,7 +210,10 @@ func handleCall(h Handler, kind byte, r *reader) callReply {
 		epoch := int64(r.uvarint())
 		flags := r.u8()
 		prog := r.str()
-		queryBytes := r.bytes()
+		// Copied out of the pooled frame buffer: the handler receives the
+		// query bytes across an interface boundary and owes no promise about
+		// when it consumes them.
+		queryBytes := append([]byte(nil), r.bytes()...)
 		if r.err != nil {
 			return callReply{err: r.err}
 		}

@@ -23,8 +23,11 @@ import (
 // the Assurance Theorem applies.
 type CC struct{}
 
+// ccState wraps the dense incremental CC labelling: component identifiers in
+// a flat slice indexed by the fragment graph's vertex index, relabelled via
+// per-component member lists of dense indices (inc.CCDense).
 type ccState struct {
-	state *inc.CCState
+	state *inc.CCDense
 }
 
 // Name implements core.Program.
@@ -45,9 +48,10 @@ func (CC) PEval(ctx *core.Context) error {
 
 	st, _ := ctx.State.(*ccState)
 	if st == nil {
-		labels := seq.ConnectedComponents(g)
-		st = &ccState{state: inc.NewCCState(labels)}
+		st = &ccState{state: inc.NewCCDense(g, seq.ConnectedComponentsDense(g))}
 		ctx.State = st
+	} else {
+		st.state.Rebind(g)
 	}
 	shipBorderCIDs(ctx, st)
 	return nil
@@ -60,6 +64,7 @@ func (CC) IncEval(ctx *core.Context, msgs []mpi.Update) error {
 	if !ok {
 		return fmt.Errorf("pie: CC IncEval called before PEval")
 	}
+	st.state.Rebind(ctx.Fragment.Graph)
 	updates := make(map[graph.VertexID]graph.VertexID, len(msgs))
 	for _, m := range msgs {
 		if m.Vertex == core.RawMessageVertex {
@@ -82,12 +87,15 @@ func (CC) EvalDelta(ctx *core.Context, d core.FragmentDelta) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("pie: CC EvalDelta called before PEval")
 	}
+	// Rebinding to the post-batch graph registers every inserted vertex as
+	// its own singleton component, so cidOf below always finds a label.
+	st.state.Rebind(ctx.Fragment.Graph)
 	cidOf := func(v graph.VertexID) graph.VertexID {
 		if c, ok := st.state.CID(v); ok {
 			return c
 		}
-		// Unknown vertex (new, or a fresh border copy): register it as its
-		// own singleton component first.
+		// Unknown vertex (not in the rebound graph — cannot happen for batch
+		// ops, kept for safety): track it as its own singleton component.
 		st.state.Merge(map[graph.VertexID]graph.VertexID{v: v})
 		return v
 	}

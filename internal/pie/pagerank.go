@@ -31,11 +31,41 @@ func DefaultPageRankQuery() PageRankQuery {
 // predetermined-supersteps condition).
 type PageRank struct{}
 
+// prState keeps the per-fragment rank vector and its sweep scratch buffers
+// as flat slices indexed by the fragment graph's dense vertex index, plus a
+// precomputed ownership bitmap, so the power-iteration inner loop runs with
+// no map or partition lookups at all. over holds decoded partial entries for
+// vertices absent from the bound graph (kept only so re-encoding stays
+// total).
 type prState struct {
-	rank   map[graph.VertexID]float64
+	g      *graph.Graph
+	rank   []float64 // current rank by dense vertex index
+	next   []float64 // sweep scratch, swapped with rank
+	out    []float64 // out-flowing mass toward non-owned copies, by index
+	owned  []bool    // whether the fragment owns the vertex at each index
+	over   map[graph.VertexID]float64
 	incast map[graph.VertexID]map[int64]float64 // border vertex -> sender -> latest mass
 	rounds int
-	n      int
+}
+
+// newPRState builds a fresh dense state bound to the fragment: all ranks at
+// the given initial value, ownership resolved once up front.
+func newPRState(ctx *core.Context, initial float64) *prState {
+	g := ctx.Fragment.Graph
+	n := g.NumVertices()
+	st := &prState{
+		g:      g,
+		rank:   make([]float64, n),
+		next:   make([]float64, n),
+		out:    make([]float64, n),
+		owned:  make([]bool, n),
+		incast: make(map[graph.VertexID]map[int64]float64),
+	}
+	for i := 0; i < n; i++ {
+		st.rank[i] = initial
+		st.owned[i] = ctx.Fragment.Owns(g.VertexAt(i))
+	}
+	return st
 }
 
 // Name implements core.Program.
@@ -47,15 +77,7 @@ func (PageRank) PEval(ctx *core.Context) error {
 	if !ok {
 		return fmt.Errorf("pie: PageRank query must be a PageRankQuery, got %T", ctx.Query)
 	}
-	g := ctx.Fragment.Graph
-	st := &prState{
-		rank:   make(map[graph.VertexID]float64, g.NumVertices()),
-		incast: make(map[graph.VertexID]map[int64]float64),
-		n:      g.NumVertices(),
-	}
-	for i := 0; i < g.NumVertices(); i++ {
-		st.rank[g.VertexAt(i)] = 1.0
-	}
+	st := newPRState(ctx, 1.0)
 	ctx.State = st
 	for _, v := range ctx.Fragment.InBorder {
 		ctx.Declare(v, 0, 0, nil)
@@ -104,53 +126,49 @@ func (PageRank) IncEval(ctx *core.Context, msgs []mpi.Update) error {
 // flowing toward out-border copies is then shipped; SetVar's change
 // detection stops the exchange once the masses stabilize.
 func (PageRank) iterate(ctx *core.Context, q PageRankQuery, st *prState) {
-	g := ctx.Fragment.Graph
+	g := st.g
+	n := g.NumVertices()
 	st.rounds++
 	// Cap the local solve defensively; the tolerance is the real stopper.
 	const maxLocalSweeps = 100000
-	// next and outMass are reused across sweeps (cleared, then swapped with
-	// st.rank) so the convergence loop does not allocate per sweep.
-	next := make(map[graph.VertexID]float64, len(st.rank))
-	outMass := make(map[graph.VertexID]float64)
 	for sweep := 0; sweep < maxLocalSweeps; sweep++ {
-		clear(next)
-		clear(outMass)
-		for i := 0; i < g.NumVertices(); i++ {
-			next[g.VertexAt(i)] = 1 - q.Damping
+		next, out := st.next, st.out
+		for i := 0; i < n; i++ {
+			next[i] = 1 - q.Damping
+			out[i] = 0
 		}
-		for i := 0; i < g.NumVertices(); i++ {
-			v := g.VertexAt(i)
-			if !ctx.Fragment.Owns(v) {
+		for i := 0; i < n; i++ {
+			if !st.owned[i] {
 				continue
 			}
 			deg := g.OutDegree(i)
 			if deg == 0 {
 				continue
 			}
-			share := q.Damping * st.rank[v] / float64(deg)
+			share := q.Damping * st.rank[i] / float64(deg)
 			for _, he := range g.OutEdges(i) {
-				to := g.VertexAt(int(he.To))
-				next[to] += share
-				if !ctx.Fragment.Owns(to) {
-					outMass[to] += share
+				next[he.To] += share
+				if !st.owned[he.To] {
+					out[he.To] += share
 				}
 			}
 		}
 		// Fold in the mass received from other fragments for owned border
 		// nodes (summing the latest contribution of every sender).
 		for v, bySender := range st.incast {
-			if !ctx.Fragment.Owns(v) {
+			i := g.IndexOf(v)
+			if i < 0 || !st.owned[i] {
 				continue
 			}
 			for _, mass := range bySender {
-				next[v] += mass
+				next[i] += mass
 			}
 		}
 		delta := 0.0
-		for v, r := range next {
-			delta += math.Abs(r - st.rank[v])
+		for i := 0; i < n; i++ {
+			delta += math.Abs(next[i] - st.rank[i])
 		}
-		st.rank, next = next, st.rank
+		st.rank, st.next = next, st.rank
 		if delta < q.Tolerance {
 			break
 		}
@@ -159,9 +177,19 @@ func (PageRank) iterate(ctx *core.Context, q PageRankQuery, st *prState) {
 	// sending fragment) so contributions from different fragments do not
 	// overwrite each other at the receiver. Unchanged masses are deduplicated
 	// by SetVar, which is what eventually quiesces the exchange.
-	for v, mass := range outMass {
-		ctx.SetVar(v, int64(ctx.Worker), mass, nil)
+	for i := 0; i < n; i++ {
+		if mass := st.out[i]; mass != 0 {
+			ctx.SetVar(g.VertexAt(i), int64(ctx.Worker), mass, nil)
+		}
 	}
+}
+
+// rankOf returns the rank of v by external ID (0 when unknown).
+func (st *prState) rankOf(v graph.VertexID) float64 {
+	if i := st.g.IndexOf(v); i >= 0 {
+		return st.rank[i]
+	}
+	return st.over[v]
 }
 
 // Assemble implements core.Program: collect the rank of owned vertices and
@@ -174,7 +202,7 @@ func (PageRank) Assemble(q core.Query, ctxs []*core.Context) (any, error) {
 			continue
 		}
 		for _, v := range ctx.Fragment.Local {
-			out[v] = st.rank[v]
+			out[v] = st.rankOf(v)
 		}
 	}
 	total := 0.0

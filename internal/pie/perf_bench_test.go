@@ -1,0 +1,110 @@
+package pie
+
+import (
+	"testing"
+
+	"grape/internal/core"
+	"grape/internal/workload"
+)
+
+// Hot-path microbenchmarks for the PIE inner loops: a single-worker engine
+// run isolates PEval/IncEval compute (no useful communication happens with
+// one fragment), and the maintain benchmark exercises the EvalDelta +
+// IncEval path that dominates view maintenance. Run with -benchmem: the
+// dense-state representation is justified by allocs/op as much as ns/op.
+
+func BenchmarkSSSPQuery1Worker(b *testing.B) {
+	g, err := workload.Load(workload.Traffic, workload.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	source := workload.Sources(g, 1, 7)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(core.Options{Workers: 1}).Run(g, source, SSSP{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCCQuery1Worker(b *testing.B) {
+	g, err := workload.Load(workload.Traffic, workload.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(core.Options{Workers: 1}).Run(g, nil, CC{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageRankQuery1Worker(b *testing.B) {
+	g, err := workload.Load(workload.Traffic, workload.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(core.Options{Workers: 1}).Run(g, DefaultPageRankQuery(), PageRank{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSSSPMaintain1Worker measures the IncEval maintenance path: a
+// materialized SSSP view absorbing a monotone (insert-only) update stream,
+// which drives EvalDelta seeding plus the bounded incremental algorithm on
+// every batch.
+func BenchmarkSSSPMaintain1Worker(b *testing.B) {
+	g, err := workload.Load(workload.Traffic, workload.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	source := workload.Sources(g, 1, 7)[0]
+	stream := workload.UpdateStream(g, workload.MonotoneStreamConfig(17, 20, 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := core.NewSession(g, core.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Materialize(source, SSSP{}); err != nil {
+			s.Close()
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, tb := range stream {
+			if _, err := s.ApplyUpdates(tb.Ops); err != nil {
+				s.Close()
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkSSSPQuery4Workers exercises the multi-fragment path in-process:
+// border shipping, aggregation and the IncEval fixpoint across fragments.
+func BenchmarkSSSPQuery4Workers(b *testing.B) {
+	g, err := workload.Load(workload.Traffic, workload.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	source := workload.Sources(g, 1, 7)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(core.Options{Workers: 4}).Run(g, source, SSSP{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"grape/internal/graph"
 	"grape/internal/inc"
 	"grape/internal/mpi"
+	"grape/internal/seq"
 )
 
 // ByName resolves a wire program name to a program instance; worker
@@ -57,6 +58,22 @@ func floatMapToUpdates(m map[graph.VertexID]float64) []byte {
 	for i, v := range ids {
 		ups[i] = mpi.Update{Vertex: int64(v), Value: m[v]}
 	}
+	return mpi.EncodeUpdates(ups)
+}
+
+// denseFloatUpdates encodes a dense per-vertex vector (indexed by g's vertex
+// index) plus any out-of-graph leftovers as a sorted update batch — the same
+// wire bytes floatMapToUpdates would produce for the equivalent map, so the
+// partial-result format is unchanged by the dense state representation.
+func denseFloatUpdates(g *graph.Graph, vals []float64, over map[graph.VertexID]float64) []byte {
+	ups := make([]mpi.Update, 0, len(vals)+len(over))
+	for i, dv := range vals {
+		ups = append(ups, mpi.Update{Vertex: int64(g.VertexAt(i)), Value: dv})
+	}
+	for v, dv := range over {
+		ups = append(ups, mpi.Update{Vertex: int64(v), Value: dv})
+	}
+	sort.Slice(ups, func(i, j int) bool { return ups[i].Vertex < ups[j].Vertex })
 	return mpi.EncodeUpdates(ups)
 }
 
@@ -100,7 +117,7 @@ func (SSSP) EncodePartial(ctx *core.Context) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("pie: SSSP partial requested before PEval")
 	}
-	return floatMapToUpdates(st.dist), nil
+	return denseFloatUpdates(st.g, st.dist, st.over), nil
 }
 
 // DecodePartial implements core.RemoteProgram.
@@ -109,7 +126,16 @@ func (SSSP) DecodePartial(ctx *core.Context, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("pie: SSSP partial: %w", err)
 	}
-	ctx.State = &ssspState{dist: dist}
+	st := &ssspState{}
+	st.rebind(ctx.Fragment.Graph)
+	for v, dv := range dist {
+		if i := st.g.IndexOf(v); i >= 0 {
+			st.dist[i] = dv
+		} else if dv < seq.Infinity {
+			st.setOver(v, dv)
+		}
+	}
+	ctx.State = st
 	return nil
 }
 
@@ -128,12 +154,19 @@ func (CC) EncodePartial(ctx *core.Context) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("pie: CC partial requested before PEval")
 	}
-	labels := st.state.Labels()
-	m := make(map[graph.VertexID]float64, len(labels))
-	for v, cid := range labels {
-		m[v] = float64(cid)
+	g := st.state.Graph()
+	vals := make([]float64, g.NumVertices())
+	for i := range vals {
+		vals[i] = float64(st.state.Label(i))
 	}
-	return floatMapToUpdates(m), nil
+	var over map[graph.VertexID]float64
+	if om := st.state.Over(); len(om) > 0 {
+		over = make(map[graph.VertexID]float64, len(om))
+		for v, cid := range om {
+			over[v] = float64(cid)
+		}
+	}
+	return denseFloatUpdates(g, vals, over), nil
 }
 
 // DecodePartial implements core.RemoteProgram.
@@ -142,11 +175,27 @@ func (CC) DecodePartial(ctx *core.Context, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("pie: CC partial: %w", err)
 	}
-	labels := make(map[graph.VertexID]graph.VertexID, len(m))
-	for v, cid := range m {
-		labels[v] = graph.VertexID(int64(cid))
+	g := ctx.Fragment.Graph
+	labels := make([]graph.VertexID, g.NumVertices())
+	var extra map[graph.VertexID]graph.VertexID
+	for i := range labels {
+		labels[i] = g.VertexAt(i) // default: own singleton
 	}
-	ctx.State = &ccState{state: inc.NewCCState(labels)}
+	for v, cid := range m {
+		if i := g.IndexOf(v); i >= 0 {
+			labels[i] = graph.VertexID(int64(cid))
+		} else {
+			if extra == nil {
+				extra = make(map[graph.VertexID]graph.VertexID)
+			}
+			extra[v] = graph.VertexID(int64(cid))
+		}
+	}
+	st := &ccState{state: inc.NewCCDense(g, labels)}
+	if extra != nil {
+		st.state.Merge(extra)
+	}
+	ctx.State = st
 	return nil
 }
 
@@ -187,7 +236,7 @@ func (PageRank) EncodePartial(ctx *core.Context) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("pie: PageRank partial requested before PEval")
 	}
-	return floatMapToUpdates(st.rank), nil
+	return denseFloatUpdates(st.g, st.rank, st.over), nil
 }
 
 // DecodePartial implements core.RemoteProgram.
@@ -196,11 +245,18 @@ func (PageRank) DecodePartial(ctx *core.Context, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("pie: PageRank partial: %w", err)
 	}
-	ctx.State = &prState{
-		rank:   rank,
-		incast: make(map[graph.VertexID]map[int64]float64),
-		n:      len(rank),
+	st := newPRState(ctx, 0)
+	for v, r := range rank {
+		if i := st.g.IndexOf(v); i >= 0 {
+			st.rank[i] = r
+		} else {
+			if st.over == nil {
+				st.over = make(map[graph.VertexID]float64)
+			}
+			st.over[v] = r
+		}
 	}
+	ctx.State = st
 	return nil
 }
 

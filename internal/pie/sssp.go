@@ -5,7 +5,6 @@ import (
 
 	"grape/internal/core"
 	"grape/internal/graph"
-	"grape/internal/inc"
 	"grape/internal/mpi"
 	"grape/internal/seq"
 )
@@ -23,9 +22,72 @@ import (
 type SSSP struct{}
 
 // ssspState is the partial result Q(Fi): the current distance of every
-// vertex present in the fragment graph (owned vertices and border copies).
+// vertex present in the fragment graph, as a flat slice indexed by the
+// graph's dense vertex index so the relaxation inner loops never touch a
+// map. External IDs appear only at the borders (shipping variables) and in
+// Assemble. over keeps the finite distances of vertices that left the
+// fragment graph across a rebind, purely so the partial result stays total.
 type ssspState struct {
-	dist map[graph.VertexID]float64
+	g    *graph.Graph
+	dist []float64
+	over map[graph.VertexID]float64
+}
+
+// rebind points the state at (a possibly new epoch of) the fragment graph,
+// remapping distances by external ID. Rebinding the already-bound graph is
+// free, which makes it safe to call at the top of every eval.
+func (st *ssspState) rebind(g *graph.Graph) {
+	if st.g == g {
+		return
+	}
+	nd := make([]float64, g.NumVertices())
+	for i := range nd {
+		nd[i] = seq.Infinity
+	}
+	for v, dv := range st.over {
+		if i := g.IndexOf(v); i >= 0 {
+			if dv < nd[i] {
+				nd[i] = dv
+			}
+			delete(st.over, v)
+		}
+	}
+	if st.g != nil {
+		for i, dv := range st.dist {
+			if dv >= seq.Infinity {
+				continue
+			}
+			v := st.g.VertexAt(i)
+			if j := g.IndexOf(v); j >= 0 {
+				if dv < nd[j] {
+					nd[j] = dv
+				}
+			} else {
+				st.setOver(v, dv)
+			}
+		}
+	}
+	st.g, st.dist = g, nd
+}
+
+func (st *ssspState) setOver(v graph.VertexID, dv float64) {
+	if st.over == nil {
+		st.over = make(map[graph.VertexID]float64)
+	}
+	if old, ok := st.over[v]; !ok || dv < old {
+		st.over[v] = dv
+	}
+}
+
+// get returns the current distance of v by external ID (+Inf when unknown).
+func (st *ssspState) get(v graph.VertexID) float64 {
+	if i := st.g.IndexOf(v); i >= 0 {
+		return st.dist[i]
+	}
+	if dv, ok := st.over[v]; ok {
+		return dv
+	}
+	return seq.Infinity
 }
 
 // Name implements core.Program.
@@ -49,25 +111,25 @@ func (SSSP) PEval(ctx *core.Context) error {
 
 	st, _ := ctx.State.(*ssspState)
 	if st == nil {
-		st = &ssspState{dist: make(map[graph.VertexID]float64, g.NumVertices())}
-		for i := 0; i < g.NumVertices(); i++ {
-			st.dist[g.VertexAt(i)] = seq.Infinity
-		}
+		st = &ssspState{}
 		ctx.State = st
 	}
+	st.rebind(g)
 
 	// Seeds: the source (distance 0) plus any border values already known
 	// (these exist only when PEval is re-run in the GRAPE_NI ablation).
-	seeds := make(map[graph.VertexID]float64)
-	if g.HasVertex(source) {
-		seeds[source] = 0
+	var seeds []seq.Seed
+	if i := g.IndexOf(source); i >= 0 {
+		seeds = append(seeds, seq.Seed{Index: i, Dist: 0})
 	}
 	for _, u := range ctx.Vars() {
 		if u.Value < seq.Infinity {
-			seeds[graph.VertexID(u.Vertex)] = u.Value
+			if i := g.IndexOf(graph.VertexID(u.Vertex)); i >= 0 {
+				seeds = append(seeds, seq.Seed{Index: i, Dist: u.Value})
+			}
 		}
 	}
-	seq.DijkstraFrom(g, st.dist, seeds)
+	seq.DijkstraFromDense(g, st.dist, seeds)
 
 	// Message segment: ship the computed distances of border nodes.
 	shipBorderDistances(ctx, st)
@@ -82,14 +144,22 @@ func (SSSP) IncEval(ctx *core.Context, msgs []mpi.Update) error {
 	if !ok {
 		return fmt.Errorf("pie: SSSP IncEval called before PEval")
 	}
-	decreases := make(map[graph.VertexID]float64, len(msgs))
+	g := ctx.Fragment.Graph
+	st.rebind(g)
+	seeds := make([]seq.Seed, 0, len(msgs))
 	for _, m := range msgs {
 		if m.Vertex == core.RawMessageVertex {
 			continue
 		}
-		decreases[graph.VertexID(m.Vertex)] = m.Value
+		if i := g.IndexOf(graph.VertexID(m.Vertex)); i >= 0 {
+			seeds = append(seeds, seq.Seed{Index: i, Dist: m.Value})
+		} else if m.Value < seq.Infinity {
+			// A decrease for a vertex the graph no longer holds: record it,
+			// nothing to propagate (mirrors inc.SSSPDecrease).
+			st.setOver(graph.VertexID(m.Vertex), m.Value)
+		}
 	}
-	inc.SSSPDecrease(ctx.Fragment.Graph, st.dist, decreases)
+	seq.DijkstraFromDense(g, st.dist, seeds)
 	shipBorderDistances(ctx, st)
 	return nil
 }
@@ -111,28 +181,28 @@ func (SSSP) EvalDelta(ctx *core.Context, d core.FragmentDelta) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("pie: SSSP EvalDelta called before PEval")
 	}
+	// The context already carries the post-batch graph; rebinding gives every
+	// freshly inserted vertex an ∞ slot, which replaces the explicit
+	// registration the map-backed state needed.
 	g := ctx.Fragment.Graph
-	cur := func(v graph.VertexID) float64 {
-		if dv, ok := st.dist[v]; ok {
-			return dv
-		}
-		return seq.Infinity
-	}
-	seeds := make(map[graph.VertexID]float64)
+	st.rebind(g)
+	seedIdx := make(map[int]float64)
 	seed := func(v graph.VertexID, dv float64) {
-		if dv >= cur(v) {
+		if dv >= st.get(v) {
 			return
 		}
-		if old, ok := seeds[v]; !ok || dv < old {
-			seeds[v] = dv
+		if i := g.IndexOf(v); i >= 0 {
+			if old, ok := seedIdx[i]; !ok || dv < old {
+				seedIdx[i] = dv
+			}
 		}
 	}
 	relax := func(u, v graph.VertexID, w float64) {
-		if du := cur(u); du < seq.Infinity {
+		if du := st.get(u); du < seq.Infinity {
 			seed(v, du+w)
 		}
 		if !g.Directed() {
-			if dv := cur(v); dv < seq.Infinity {
+			if dv := st.get(v); dv < seq.Infinity {
 				seed(u, dv+w)
 			}
 		}
@@ -150,24 +220,15 @@ func (SSSP) EvalDelta(ctx *core.Context, d core.FragmentDelta) (bool, error) {
 	for _, op := range d.Ops {
 		switch op.Kind {
 		case graph.UpdateAddVertex:
-			if _, ok := st.dist[op.Src]; !ok {
-				st.dist[op.Src] = seq.Infinity
-			}
 			if op.Src == source {
 				seed(op.Src, 0)
 			}
 		case graph.UpdateAddEdge:
-			if _, ok := st.dist[op.Src]; !ok {
-				st.dist[op.Src] = seq.Infinity
-				if op.Src == source {
-					seed(op.Src, 0)
-				}
+			if op.Src == source {
+				seed(op.Src, 0)
 			}
-			if _, ok := st.dist[op.Dst]; !ok {
-				st.dist[op.Dst] = seq.Infinity
-				if op.Dst == source {
-					seed(op.Dst, 0)
-				}
+			if op.Dst == source {
+				seed(op.Dst, 0)
 			}
 			batchAdded[edgeKey(op.Src, op.Dst)] = true
 			relax(op.Src, op.Dst, op.Weight)
@@ -189,12 +250,16 @@ func (SSSP) EvalDelta(ctx *core.Context, d core.FragmentDelta) (bool, error) {
 			return false, nil // deletions can only raise distances
 		}
 	}
-	inc.SSSPDecrease(g, st.dist, seeds)
+	seeds := make([]seq.Seed, 0, len(seedIdx))
+	for i, dv := range seedIdx {
+		seeds = append(seeds, seq.Seed{Index: i, Dist: dv})
+	}
+	seq.DijkstraFromDense(g, st.dist, seeds)
 	shipBorderDistances(ctx, st)
 	// Vertices that gained a new mirror must be re-shipped even when their
 	// distance did not change: the new mirror has never seen it.
 	for _, v := range d.NewInBorder {
-		if dv := cur(v); dv < seq.Infinity {
+		if dv := st.get(v); dv < seq.Infinity {
 			ctx.SetVar(v, 0, dv, nil)
 			ctx.MarkDirty(v, 0)
 		}
@@ -222,12 +287,12 @@ func minEdgeWeight(g *graph.Graph, u, v graph.VertexID) (float64, bool) {
 // the update parameters; the engine ships only the ones that changed.
 func shipBorderDistances(ctx *core.Context, st *ssspState) {
 	for _, v := range ctx.Fragment.InBorder {
-		if d := st.dist[v]; d < seq.Infinity {
+		if d := st.get(v); d < seq.Infinity {
 			ctx.SetVar(v, 0, d, nil)
 		}
 	}
 	for _, v := range ctx.Fragment.OutBorder {
-		if d := st.dist[v]; d < seq.Infinity {
+		if d := st.get(v); d < seq.Infinity {
 			ctx.SetVar(v, 0, d, nil)
 		}
 	}
@@ -243,11 +308,7 @@ func (SSSP) Assemble(q core.Query, ctxs []*core.Context) (any, error) {
 			continue
 		}
 		for _, v := range ctx.Fragment.Local {
-			if dv, ok := st.dist[v]; ok {
-				out[v] = dv
-			} else {
-				out[v] = seq.Infinity
-			}
+			out[v] = st.get(v)
 		}
 	}
 	return out, nil

@@ -65,6 +65,53 @@ func ConnectedComponents(g *graph.Graph) map[graph.VertexID]graph.VertexID {
 	return out
 }
 
+// ConnectedComponentsDense is ConnectedComponents returning the labelling as
+// a flat slice indexed by the graph's dense vertex index — the form the
+// engine's CC program keeps its partial result in. Identifiers follow the
+// same convention: the smallest external vertex ID in the component.
+func ConnectedComponentsDense(g *graph.Graph) []graph.VertexID {
+	n := g.NumVertices()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []int
+	minID := make([]graph.VertexID, 0, 16) // per component, smallest external ID seen
+	for start := 0; start < n; start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		id := int32(len(minID))
+		minID = append(minID, g.VertexAt(start))
+		stack = append(stack[:0], start)
+		comp[start] = id
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if vid := g.VertexAt(v); vid < minID[id] {
+				minID[id] = vid
+			}
+			visit := func(to int32) {
+				if comp[to] < 0 {
+					comp[to] = id
+					stack = append(stack, int(to))
+				}
+			}
+			for _, he := range g.OutEdges(v) {
+				visit(he.To)
+			}
+			for _, he := range g.InEdges(v) {
+				visit(he.To)
+			}
+		}
+	}
+	out := make([]graph.VertexID, n)
+	for i := 0; i < n; i++ {
+		out[i] = minID[comp[i]]
+	}
+	return out
+}
+
 // ComponentSizes groups a component labelling into component sizes, keyed by
 // component identifier.
 func ComponentSizes(cc map[graph.VertexID]graph.VertexID) map[graph.VertexID]int {

@@ -109,6 +109,49 @@ func DijkstraFrom(g *graph.Graph, dist map[graph.VertexID]float64, seeds map[gra
 	return out
 }
 
+// Seed is a (dense vertex index, tentative distance) pair seeding a dense
+// relaxation.
+type Seed struct {
+	Index int
+	Dist  float64
+}
+
+// DijkstraFromDense is DijkstraFrom over a dense distance slice indexed by
+// the graph's vertex index: it refines d in place from the given seeds with
+// no map lookups in the inner loop and no copy of the distance vector. Every
+// seed is enqueued (at its improved or existing distance), so the function
+// serves both fresh solves and the bounded incremental decrease pass of
+// Ramalingam–Reps — relaxation from a seed whose distance did not improve is
+// a no-op at the cost of one heap operation. Seeds with out-of-range indices
+// are ignored. len(d) must be g.NumVertices().
+func DijkstraFromDense(g *graph.Graph, d []float64, seeds []Seed) {
+	pq := &distHeap{}
+	for _, s := range seeds {
+		if s.Index < 0 || s.Index >= len(d) {
+			continue
+		}
+		if s.Dist < d[s.Index] {
+			d[s.Index] = s.Dist
+		}
+		if d[s.Index] < Infinity {
+			heap.Push(pq, distItem{vertex: s.Index, dist: d[s.Index]})
+		}
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.dist > d[it.vertex] {
+			continue // stale entry
+		}
+		for _, he := range g.OutEdges(it.vertex) {
+			alt := it.dist + he.Weight
+			if alt < d[he.To] {
+				d[he.To] = alt
+				heap.Push(pq, distItem{vertex: int(he.To), dist: alt})
+			}
+		}
+	}
+}
+
 // BellmanFord computes single-source shortest paths by iterative relaxation.
 // It is asymptotically slower than Dijkstra and exists as an independent
 // reference implementation for property-based tests.
