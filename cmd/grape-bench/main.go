@@ -16,17 +16,21 @@
 //	grape-bench -exp async                     # BSP vs adaptive async execution plane
 //	grape-bench -exp net                       # in-process vs local-TCP transport overhead
 //	grape-bench -exp netinc                    # distributed view maintenance vs recompute over TCP
+//	grape-bench -exp obs                       # observability instrumentation overhead
 //	grape-bench -exp all                       # everything
 //
 // Flags -size (tiny|small|medium) and -workers control the scale; -n gives
 // the list of worker counts swept by the fig6/fig7 and async experiments.
-// The incremental, async, net and netinc experiments additionally write
+// The incremental, async, net, netinc and obs experiments additionally write
 // machine-readable results to BENCH_incremental.json, BENCH_async.json,
-// BENCH_net.json and BENCH_netinc.json (configurable with -out, -async-out,
-// -net-out and -netinc-out); -quick shrinks the async, net and netinc
-// experiments to smoke tests for CI. -cpuprofile and -memprofile write
-// pprof profiles covering the selected experiments, for chasing hot paths
-// in the engine rather than in the harness.
+// BENCH_net.json, BENCH_netinc.json and BENCH_obs.json (configurable with
+// -out, -async-out, -net-out, -netinc-out and -obs-out); -quick shrinks the
+// async, net, netinc and obs experiments to smoke tests for CI. -trace runs
+// one SSSP query over a local-TCP cluster and writes its execution trace as
+// Chrome trace-event JSON to the named file (open in https://ui.perfetto.dev
+// or chrome://tracing). -cpuprofile and -memprofile write pprof profiles
+// covering the selected experiments, for chasing hot paths in the engine
+// rather than in the harness.
 package main
 
 import (
@@ -53,7 +57,9 @@ func main() {
 		asyncOut   = flag.String("async-out", "BENCH_async.json", "output file for the async experiment's JSON results")
 		netOut     = flag.String("net-out", "BENCH_net.json", "output file for the net experiment's JSON results")
 		netIncOut  = flag.String("netinc-out", "BENCH_netinc.json", "output file for the netinc experiment's JSON results")
-		quick      = flag.Bool("quick", false, "shrink the async, net and netinc experiments to CI smoke runs")
+		obsOut     = flag.String("obs-out", "BENCH_obs.json", "output file for the obs experiment's JSON results")
+		traceOut   = flag.String("trace", "", "run one SSSP query over a local-TCP cluster and write its Chrome trace-event JSON here")
+		quick      = flag.Bool("quick", false, "shrink the async, net, netinc and obs experiments to CI smoke runs")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	)
@@ -73,7 +79,7 @@ func main() {
 			f.Close()
 		}()
 	}
-	err := run(*exp, *size, *workers, *nList, *out, *asyncOut, *netOut, *netIncOut, *quick)
+	err := run(*exp, *size, *workers, *nList, *out, *asyncOut, *netOut, *netIncOut, *obsOut, *traceOut, *quick)
 	if *memProfile != "" {
 		f, merr := os.Create(*memProfile)
 		if merr == nil {
@@ -94,7 +100,7 @@ func main() {
 	}
 }
 
-func run(exp, size string, workers int, nList, incOut, asyncOut, netOut, netIncOut string, quick bool) error {
+func run(exp, size string, workers int, nList, incOut, asyncOut, netOut, netIncOut, obsOut, traceOut string, quick bool) error {
 	scale, err := workload.ParseScale(size)
 	if err != nil {
 		return err
@@ -106,6 +112,21 @@ func run(exp, size string, workers int, nList, incOut, asyncOut, netOut, netIncO
 
 	if err := bench.VerifyAnswers(scale); err != nil {
 		return fmt.Errorf("sanity check failed: %w", err)
+	}
+
+	if traceOut != "" {
+		n, procs, traceScale := workers, 3, scale
+		if quick {
+			n, procs, traceScale = 4, 2, workload.ScaleTiny
+		}
+		raw, err := bench.SampleTrace(n, procs, traceScale)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := os.WriteFile(traceOut, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (Chrome trace-event JSON; open in https://ui.perfetto.dev)\n", traceOut)
 	}
 
 	runTable1 := func() error {
@@ -248,6 +269,26 @@ func run(exp, size string, workers int, nList, incOut, asyncOut, netOut, netIncO
 		fmt.Printf("wrote %s\n", netIncOut)
 		return nil
 	}
+	runObs := func() error {
+		n, procs, scale := workers, 3, scale
+		if quick {
+			n, procs, scale = 4, 2, workload.ScaleTiny
+		}
+		rows, err := bench.ObsOverhead(n, procs, scale, quick)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatObsRows(rows))
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(obsOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", obsOut)
+		return nil
+	}
 	runAblations := func() error {
 		rows, err := bench.AblationMessageGrouping(workers, scale)
 		if err != nil {
@@ -299,6 +340,8 @@ func run(exp, size string, workers int, nList, incOut, asyncOut, netOut, netIncO
 		return runNet()
 	case "netinc":
 		return runNetInc()
+	case "obs":
+		return runObs()
 	case "all":
 		steps := []func() error{
 			runTable1,
@@ -320,6 +363,7 @@ func run(exp, size string, workers int, nList, incOut, asyncOut, netOut, netIncO
 			runAsync,
 			runNet,
 			runNetInc,
+			runObs,
 		}
 		for _, step := range steps {
 			if err := step(); err != nil {

@@ -21,6 +21,13 @@
 //	grape -graph road.txt -query sssp -source 17 -workers 6 \
 //	      -listen 127.0.0.1:9091 -worker-procs 3
 //
+// Logging is structured (log/slog) and quiet by default: only warnings and
+// errors reach stderr unless -v raises the level to info, which narrates the
+// handshake, epoch installs and shutdown with query/epoch/rank attributes.
+// -debug-listen serves the worker's own /metrics, /healthz and /debug/pprof
+// endpoint for profiling a single process in isolation; the coordinator's
+// endpoint already aggregates every worker's counters.
+//
 // The worker carries no graph state of its own: everything it needs —
 // cluster size, its ranks, the fragments, the fragmentation graph — arrives
 // through the handshake, so the same binary serves any graph and any query
@@ -30,7 +37,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"time"
 
@@ -41,15 +48,23 @@ func main() {
 	var (
 		coordinator = flag.String("coordinator", "127.0.0.1:9091", "coordinator address to dial")
 		dialTimeout = flag.Duration("dial-timeout", 30*time.Second, "total budget for dialing the coordinator with backoff")
-		quiet       = flag.Bool("quiet", false, "suppress progress logging")
+		verbose     = flag.Bool("v", false, "log progress at info level (default: warnings and errors only)")
+		debugListen = flag.String("debug-listen", "", "serve /metrics, /healthz and /debug/pprof for this worker process on this address")
 	)
 	flag.Parse()
 
-	logf := log.New(os.Stderr, "grape-worker: ", log.LstdFlags).Printf
-	if *quiet {
-		logf = nil
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelInfo
 	}
-	if err := grape.ServeWorker(*coordinator, *dialTimeout, logf); err != nil {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	err := grape.ServeWorker(*coordinator, grape.WorkerOptions{
+		DialTimeout: *dialTimeout,
+		Log:         logger,
+		DebugListen: *debugListen,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "grape-worker:", err)
 		os.Exit(1)
 	}

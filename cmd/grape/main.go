@@ -36,11 +36,15 @@
 // Supported serve commands: "sssp <source>", "cc", "pagerank",
 // "mat sssp <source>", "mat cc", "view <id>", "views",
 // "insert <u> <v> [w]", "delete <u> <v>", "reweight <u> <v> <w>",
-// "addv <id> [label]", "rmv <id>", "mode <bsp|async>", "help" and "quit".
+// "addv <id> [label]", "rmv <id>", "mode <bsp|async>", "trace <file>",
+// "help" and "quit".
 // The -mode flag sets the initial plane; "mode" switches it between
-// queries (views are always maintained on the BSP plane). On EOF (or "quit") a
-// summary reports the amortized per-query latency and throughput of the
-// session, plus how many update batches were absorbed.
+// queries (views are always maintained on the BSP plane). "trace <file>"
+// writes the most recent query's execution trace as Chrome trace-event JSON
+// — open it in Perfetto (https://ui.perfetto.dev) or chrome://tracing to see
+// the per-worker PEval/IncEval spans and barriers on a timeline. On EOF (or
+// "quit") a summary reports the amortized per-query latency and throughput
+// of the session, plus how many update batches were absorbed.
 //
 // Distributed mode (-listen) turns the process into the coordinator of a
 // multi-process cluster: it partitions the graph, waits for -worker-procs
@@ -56,6 +60,11 @@
 // insert/delete/reweight/addv/rmv ship fragment deltas to the workers as new
 // epochs, and mat/view maintain their answers on the workers' retained state
 // — the same commands, either transport.
+//
+// The -debug-listen flag serves an observability endpoint for the lifetime
+// of the process: /metrics exposes the engine's Prometheus counters (in
+// distributed mode aggregated across every worker process), /healthz answers
+// liveness probes, and /debug/pprof hosts the standard Go profiler.
 //
 // The graph file uses the text edge-list format of internal/graph (plain
 // "src dst weight" lines also work). For sssp the -source flag picks the
@@ -89,15 +98,16 @@ func main() {
 		serve     = flag.Bool("serve", false, "partition once, then answer a stream of queries from stdin")
 		listen    = flag.String("listen", "", "run distributed: listen on this address and ship fragments to grape-worker processes")
 		procs     = flag.Int("worker-procs", 3, "number of grape-worker processes to wait for (with -listen)")
+		debug     = flag.String("debug-listen", "", "serve /metrics, /healthz and /debug/pprof on this address")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *query, grape.VertexID(*source), *workers, *strategy, *mode, *top, *serve, *listen, *procs); err != nil {
+	if err := run(*graphPath, *query, grape.VertexID(*source), *workers, *strategy, *mode, *top, *serve, *listen, *procs, *debug); err != nil {
 		fmt.Fprintln(os.Stderr, "grape:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, query string, source grape.VertexID, workers int, strategy, mode string, top int, serve bool, listen string, procs int) error {
+func run(graphPath, query string, source grape.VertexID, workers int, strategy, mode string, top int, serve bool, listen string, procs int, debug string) error {
 	if graphPath == "" {
 		return fmt.Errorf("missing -graph")
 	}
@@ -118,7 +128,7 @@ func run(graphPath, query string, source grape.VertexID, workers int, strategy, 
 	if !ok {
 		return fmt.Errorf("unknown partition strategy %q", strategy)
 	}
-	opts := grape.Options{Workers: workers, Strategy: strat, Mode: execMode}
+	opts := grape.Options{Workers: workers, Strategy: strat, Mode: execMode, DebugListen: debug}
 	if listen != "" {
 		opts.Distributed = &grape.Distributed{
 			Listen:      listen,
@@ -143,20 +153,25 @@ func run(graphPath, query string, source grape.VertexID, workers int, strategy, 
 	}
 	fmt.Printf("partitioned once into %d fragments (%s strategy, %v plane, %s) in %v\n",
 		s.NumFragments(), strategy, execMode, plane, setupDur.Round(time.Microsecond))
+	if debug != "" {
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s (/metrics, /healthz, /debug/pprof)\n", s.DebugAddr())
+	}
 
 	if serve {
 		return serveQueries(s, os.Stdin, top, setupDur)
 	}
+	var err2 error
 	switch query {
 	case "sssp":
-		return answerSSSP(s, source, top)
+		_, err2 = answerSSSP(s, source, top)
 	case "cc":
-		return answerCC(s, top)
+		_, err2 = answerCC(s, top)
 	case "pagerank":
-		return answerPageRank(s, top)
+		_, err2 = answerPageRank(s, top)
 	default:
 		return fmt.Errorf("unknown query %q (want sssp, cc or pagerank)", query)
 	}
+	return err2
 }
 
 // servedView is one materialized view created in serve mode.
@@ -201,9 +216,10 @@ func (v *servedView) print(top int) {
 func serveQueries(s *grape.Session, in io.Reader, top int, setupDur time.Duration) error {
 	const usage = "commands: sssp <source> | cc | pagerank | mat sssp <source> | mat cc | view <id> | views |" +
 		" insert <u> <v> [w] | delete <u> <v> | reweight <u> <v> <w> | addv <id> [label] | rmv <id> |" +
-		" mode <bsp|async> | help | quit"
+		" mode <bsp|async> | trace <file> | help | quit"
 	fmt.Println(usage)
 	var queryTime time.Duration
+	var lastStats *grape.Stats
 	views := map[int]*servedView{}
 	nextView := 0
 	scanner := bufio.NewScanner(in)
@@ -256,6 +272,27 @@ func serveQueries(s *grape.Session, in io.Reader, top int, setupDur time.Duratio
 			s = s.WithMode(m)
 			fmt.Printf("execution plane: %v\n", m)
 			continue
+		case "trace":
+			if len(fields) != 2 {
+				fmt.Println("usage: trace <file>")
+				continue
+			}
+			if lastStats == nil {
+				fmt.Println("no query answered yet — nothing to trace")
+				continue
+			}
+			raw, terr := lastStats.Trace().ChromeJSON()
+			if terr != nil {
+				fmt.Printf("trace export failed: %v\n", terr)
+				continue
+			}
+			if terr := os.WriteFile(fields[1], raw, 0o644); terr != nil {
+				fmt.Printf("trace export failed: %v\n", terr)
+				continue
+			}
+			fmt.Printf("wrote %d trace events to %s (open in https://ui.perfetto.dev)\n",
+				len(lastStats.Trace().Spans()), fields[1])
+			continue
 		case "sssp":
 			if len(fields) != 2 {
 				fmt.Println("usage: sssp <source>")
@@ -265,11 +302,20 @@ func serveQueries(s *grape.Session, in io.Reader, top int, setupDur time.Duratio
 			if !ok {
 				continue
 			}
-			err = answerSSSP(s, src, top)
+			var st *grape.Stats
+			if st, err = answerSSSP(s, src, top); err == nil {
+				lastStats = st
+			}
 		case "cc":
-			err = answerCC(s, top)
+			var st *grape.Stats
+			if st, err = answerCC(s, top); err == nil {
+				lastStats = st
+			}
 		case "pagerank":
-			err = answerPageRank(s, top)
+			var st *grape.Stats
+			if st, err = answerPageRank(s, top); err == nil {
+				lastStats = st
+			}
 		case "mat":
 			if len(fields) < 2 {
 				fmt.Println("usage: mat sssp <source> | mat cc")
@@ -426,20 +472,20 @@ func printSummary(s *grape.Session, setupDur, queryTime time.Duration) {
 		float64(queries)/queryTime.Seconds())
 }
 
-func answerSSSP(s *grape.Session, source grape.VertexID, top int) error {
+func answerSSSP(s *grape.Session, source grape.VertexID, top int) (*grape.Stats, error) {
 	dist, stats, err := s.SSSP(source)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println(stats)
 	printFloats("dist", dist, top)
-	return nil
+	return stats, nil
 }
 
-func answerCC(s *grape.Session, top int) error {
+func answerCC(s *grape.Session, top int) (*grape.Stats, error) {
 	cc, stats, err := s.CC()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println(stats)
 	sizes := map[grape.VertexID]int{}
@@ -461,17 +507,17 @@ func answerCC(s *grape.Session, top int) error {
 	for _, v := range ids[:top] {
 		fmt.Printf("  cc(%d) = %d\n", v, cc[v])
 	}
-	return nil
+	return stats, nil
 }
 
-func answerPageRank(s *grape.Session, top int) error {
+func answerPageRank(s *grape.Session, top int) (*grape.Stats, error) {
 	ranks, stats, err := s.PageRank()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println(stats)
 	printFloats("rank", ranks, top)
-	return nil
+	return stats, nil
 }
 
 func printFloats(name string, m map[grape.VertexID]float64, top int) {

@@ -59,12 +59,14 @@ package grape
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"time"
 
 	"grape/internal/core"
 	"grape/internal/graph"
 	"grape/internal/metrics"
 	grapenet "grape/internal/mpi/net"
+	"grape/internal/obs"
 	"grape/internal/partition"
 	"grape/internal/pie"
 	"grape/internal/seq"
@@ -194,6 +196,17 @@ type Options struct {
 	// Distributed, when non-nil, runs the session over a multi-process TCP
 	// cluster instead of in-process goroutines. See Distributed.
 	Distributed *Distributed
+	// DebugListen, when non-empty, serves the session's debug HTTP endpoint
+	// on the given address ("127.0.0.1:0" binds an ephemeral port — see
+	// Session.DebugAddr): /metrics exposes the engine's Prometheus counters
+	// (on distributed sessions including every worker process's counters,
+	// re-labeled with a proc label), /healthz answers liveness probes, and
+	// /debug/pprof/* serves the stdlib profiling handlers.
+	DebugListen string
+	// NoMetrics turns the observability plane off: no counters, no traces.
+	// Exists so the benchmark harness can measure instrumentation overhead;
+	// per-query Stats are collected either way.
+	NoMetrics bool
 }
 
 func (o Options) core() core.Options {
@@ -202,6 +215,7 @@ func (o Options) core() core.Options {
 		Strategy:    o.Strategy,
 		Parallelism: o.Parallelism,
 		Mode:        o.Mode,
+		NoMetrics:   o.NoMetrics,
 	}
 }
 
@@ -215,8 +229,9 @@ func (o Options) core() core.Options {
 // Close the session when done; the one-call RunXXX helpers below remain the
 // convenient form for single-query use.
 type Session struct {
-	s    *core.Session
-	mode Mode
+	s     *core.Session
+	mode  Mode
+	debug *obs.DebugServer // non-nil iff Options.DebugListen was set
 }
 
 // NewSession partitions g once with the configured strategy and brings up
@@ -230,7 +245,22 @@ func NewSession(g *Graph, opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{s: s, mode: opts.Mode}, nil
+	debug, err := serveDebug(opts)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	return &Session{s: s, mode: opts.Mode, debug: debug}, nil
+}
+
+// serveDebug starts the session's debug endpoint when configured. It serves
+// the process-wide default registry: engine, communication and wire counters
+// all register there.
+func serveDebug(opts Options) (*obs.DebugServer, error) {
+	if opts.DebugListen == "" {
+		return nil, nil
+	}
+	return obs.Serve(opts.DebugListen, obs.Default)
 }
 
 // newDistributedSession partitions g at the coordinator, brings up the TCP
@@ -272,18 +302,54 @@ func newDistributedSession(g *Graph, opts Options) (*Session, error) {
 		cl.Close()
 		return nil, err
 	}
-	return &Session{s: s, mode: opts.Mode}, nil
+	debug, err := serveDebug(opts)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	if debug != nil {
+		// A coordinator scrape polls every worker process for its counters
+		// and merges them in, each sample labeled with its proc id, so
+		// /metrics shows whole-cluster truth from one endpoint.
+		debug.AddCollector(cl.WorkerSamples)
+	}
+	return &Session{s: s, mode: opts.Mode, debug: debug}, nil
+}
+
+// WorkerOptions configure ServeWorker.
+type WorkerOptions struct {
+	// DialTimeout is the total budget for dialing the coordinator with
+	// exponential backoff (workers may start before the coordinator listens).
+	// Zero means 30 seconds.
+	DialTimeout time.Duration
+	// Log, when non-nil, receives progress lines (dial retries, handshake,
+	// shutdown) as structured records. Nil is silent.
+	Log *slog.Logger
+	// DebugListen, when non-empty, serves this worker process's own debug
+	// endpoint (/metrics, /healthz, /debug/pprof/*). The per-connection call
+	// counters also travel to the coordinator over the stats call regardless.
+	DebugListen string
 }
 
 // ServeWorker runs this process as a grape worker: it dials the coordinator
-// (retrying with backoff until dialTimeout, so workers may start before the
-// coordinator), hosts the fragments shipped to it, serves PEval/IncEval
-// calls for the full program catalog, and returns nil when the coordinator
-// shuts the cluster down. logf may be nil. cmd/grape-worker is a thin
-// wrapper around this.
-func ServeWorker(coordinator string, dialTimeout time.Duration, logf func(format string, args ...any)) error {
+// (retrying with backoff until the dial budget runs out, so workers may
+// start before the coordinator), hosts the fragments shipped to it, serves
+// PEval/IncEval calls for the full program catalog, and returns nil when the
+// coordinator shuts the cluster down. cmd/grape-worker is a thin wrapper
+// around this.
+func ServeWorker(coordinator string, opts WorkerOptions) error {
 	host := core.NewWorkerHost(pie.ByName)
-	return grapenet.RunWorker(coordinator, host, grapenet.WorkerOptions{DialTimeout: dialTimeout, Logf: logf})
+	reg := obs.NewRegistry()
+	if opts.DebugListen != "" {
+		srv, err := obs.Serve(opts.DebugListen, obs.Default)
+		if err != nil {
+			return err
+		}
+		srv.AddCollector(reg.Gather)
+		defer srv.Close()
+	}
+	return grapenet.RunWorker(coordinator, host, grapenet.WorkerOptions{
+		DialTimeout: opts.DialTimeout, Log: opts.Log, Metrics: reg})
 }
 
 // Compile-time check that the engine's worker host satisfies the transport's
@@ -297,14 +363,28 @@ var _ grapenet.Handler = (*core.WorkerHost)(nil)
 //
 //	fast, _, err := s.WithMode(grape.Async).SSSP(src)
 func (s *Session) WithMode(mode Mode) *Session {
-	return &Session{s: s.s, mode: mode}
+	return &Session{s: s.s, mode: mode, debug: s.debug}
 }
 
 // ExecMode returns the execution plane this handle runs queries on.
 func (s *Session) ExecMode() Mode { return s.mode }
 
+// DebugAddr returns the bound address of the session's debug endpoint, e.g.
+// "127.0.0.1:43117", or "" when Options.DebugListen was not set.
+func (s *Session) DebugAddr() string {
+	if s.debug == nil {
+		return ""
+	}
+	return s.debug.Addr()
+}
+
 // Close stops accepting new queries and waits for in-flight ones to finish.
-func (s *Session) Close() error { return s.s.Close() }
+func (s *Session) Close() error {
+	if s.debug != nil {
+		s.debug.Close()
+	}
+	return s.s.Close()
+}
 
 // Queries reports how many queries the session has served.
 func (s *Session) Queries() int64 { return s.s.Queries() }

@@ -38,7 +38,7 @@ func distributedGraph(directed bool, n, extraEdges int, seed int64) *Graph {
 // goroutines running the full worker loop (dial, handshake, serve). It
 // returns the session and a wait function that asserts all workers exited
 // cleanly on Close.
-func startCluster(t *testing.T, g *Graph, workers, procs int, mode Mode) (*Session, func()) {
+func startCluster(t *testing.T, g *Graph, workers, procs int, mode Mode, mutate ...func(*Options)) (*Session, func()) {
 	t.Helper()
 	addrCh := make(chan string, procs)
 	var wg sync.WaitGroup
@@ -57,11 +57,14 @@ func startCluster(t *testing.T, g *Graph, workers, procs int, mode Mode) (*Sessi
 			},
 		},
 	}
+	for _, m := range mutate {
+		m(&opts)
+	}
 	for i := 0; i < procs; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			workerErrs[i] = ServeWorker(<-addrCh, 10*time.Second, nil)
+			workerErrs[i] = ServeWorker(<-addrCh, WorkerOptions{DialTimeout: 10 * time.Second})
 		}(i)
 	}
 	s, err := NewSession(g, opts)

@@ -1,0 +1,226 @@
+package grape
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// scrape fetches one path from the session's debug endpoint.
+func scrape(t *testing.T, addr, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, body %q", path, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// TestDistributedObservability is the observability acceptance check: a
+// 3-process TCP cluster serving a coordinator /metrics endpoint whose
+// families span the query plane, the wire, and — via the stats call — every
+// worker process, with values that move across a query and an update batch;
+// plus a per-query trace whose spans cover all worker processes.
+func TestDistributedObservability(t *testing.T) {
+	const workers, procs = 6, 3
+	g := distributedGraph(false, 200, 300, 31)
+	s, waitWorkers := startCluster(t, g, workers, procs, BSP, func(o *Options) {
+		o.DebugListen = "127.0.0.1:0"
+	})
+	defer waitWorkers()
+	defer s.Close()
+
+	addr := s.DebugAddr()
+	if addr == "" {
+		t.Fatalf("DebugAddr is empty with DebugListen set")
+	}
+	if got := scrape(t, addr, "/healthz"); !strings.Contains(got, "ok") {
+		t.Fatalf("/healthz = %q, want ok", got)
+	}
+
+	_, stats, err := s.SSSP(0)
+	if err != nil {
+		t.Fatalf("SSSP: %v", err)
+	}
+
+	body := scrape(t, addr, "/metrics")
+	for _, family := range []string{
+		// Query plane (coordinator-side engine counters).
+		`grape_queries_started_total{mode="bsp"}`,
+		`grape_queries_finished_total{mode="bsp"}`,
+		"grape_query_seconds_bucket",
+		"grape_supersteps_total",
+		"grape_superstep_seconds_bucket",
+		"grape_barrier_wait_seconds_total",
+		// Communication totals (flushed per query).
+		"grape_comm_messages_sent_total",
+		"grape_comm_bytes_sent_total",
+		// Wire plane (coordinator side of the TCP transport).
+		"grape_net_frames_sent_total",
+		"grape_net_bytes_read_total",
+		"grape_net_reply_bytes_pooled_total",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("/metrics missing %s", family)
+		}
+	}
+	// Per-worker counters from every worker process, relabeled with the
+	// process id by the stats-call collector.
+	for proc := 0; proc < procs; proc++ {
+		probe := fmt.Sprintf(`grape_worker_calls_total{kind="peval",proc="%d"}`, proc)
+		if !strings.Contains(body, probe) {
+			t.Errorf("/metrics missing per-worker counter %s", probe)
+		}
+	}
+
+	// Values move: an update batch bumps the epoch counters on both sides of
+	// the wire. The coordinator counter is process-global (other tests may
+	// have installed epochs already), so compare before/after.
+	before := metricValue(t, body, "grape_update_epochs_installed_total")
+	if _, err := s.ApplyUpdates([]Update{EdgeInsert(1, 2, 0.5)}); err != nil {
+		t.Fatalf("ApplyUpdates: %v", err)
+	}
+	body = scrape(t, addr, "/metrics")
+	if after := metricValue(t, body, "grape_update_epochs_installed_total"); after != before+1 {
+		t.Fatalf("grape_update_epochs_installed_total went %v -> %v across one batch, want +1", before, after)
+	}
+	if !strings.Contains(body, `grape_worker_epochs_installed_total{proc="2"} 1`) {
+		t.Fatalf("worker process 2 did not report its installed epoch:\n%s", grepLines(body, "epochs"))
+	}
+
+	// The query's trace covers every fragment rank — and therefore every
+	// worker process — with both the worker-side evaluation spans and the
+	// coordinator's rpc round-trips.
+	tr := stats.Trace()
+	if tr == nil {
+		t.Fatalf("Stats.Trace() is nil on an instrumented run")
+	}
+	ranks := map[int]bool{}
+	rpc := false
+	for _, sp := range tr.Spans() {
+		if sp.Worker >= 0 {
+			ranks[sp.Worker] = true
+		}
+		if strings.HasPrefix(sp.Name, "rpc:") {
+			rpc = true
+		}
+	}
+	for w := 0; w < workers; w++ {
+		if !ranks[w] {
+			t.Errorf("trace has no spans for worker %d", w)
+		}
+	}
+	if !rpc {
+		t.Errorf("trace has no rpc round-trip spans")
+	}
+	raw, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatalf("ChromeJSON: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace JSON does not decode: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatalf("trace JSON has no events")
+	}
+
+	// The pprof mux is mounted on the same endpoint.
+	if got := scrape(t, addr, "/debug/pprof/cmdline"); got == "" {
+		t.Fatalf("/debug/pprof/cmdline returned nothing")
+	}
+}
+
+// metricValue extracts the value of an unlabeled sample from a Prometheus
+// text exposition body.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		var v float64
+		if _, err := fmt.Sscanf(line, name+" %g", &v); err == nil {
+			return v
+		}
+	}
+	t.Fatalf("/metrics has no sample %s", name)
+	return 0
+}
+
+// grepLines returns the lines of s containing substr, for failure messages.
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestAsyncRecordsPerStep: the async plane now keys communication to
+// evaluation rounds, so PerStep is populated for async runs too — the same
+// per-step profile BSP gets from its supersteps.
+func TestAsyncRecordsPerStep(t *testing.T) {
+	g := distributedGraph(false, 120, 200, 8)
+	s, err := NewSession(g, Options{Workers: 4, Mode: Async})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer s.Close()
+	_, stats, err := s.SSSP(0)
+	if err != nil {
+		t.Fatalf("SSSP: %v", err)
+	}
+	steps := stats.PerStep()
+	if len(steps) == 0 {
+		t.Fatalf("async run recorded no per-step stats")
+	}
+	var msgs int64
+	for i, st := range steps {
+		if st.Step != i+1 {
+			t.Fatalf("step %d numbered %d", i, st.Step)
+		}
+		msgs += st.Messages
+	}
+	if msgs == 0 {
+		t.Fatalf("async per-step stats attribute no messages")
+	}
+	if msgs != stats.MessagesSent {
+		t.Fatalf("per-step messages sum to %d, total is %d", msgs, stats.MessagesSent)
+	}
+}
+
+// TestNoMetricsSuppressesObservability: NoMetrics runs must not record
+// traces (the overhead experiment depends on this being a real off switch).
+func TestNoMetricsSuppressesObservability(t *testing.T) {
+	g := distributedGraph(false, 80, 100, 4)
+	s, err := NewSession(g, Options{Workers: 3, NoMetrics: true})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer s.Close()
+	_, stats, err := s.SSSP(0)
+	if err != nil {
+		t.Fatalf("SSSP: %v", err)
+	}
+	if tr := stats.Trace(); tr != nil {
+		t.Fatalf("NoMetrics run still carries a trace with %d spans", len(tr.Spans()))
+	}
+	// The per-query stats themselves keep working — NoMetrics only turns off
+	// the cluster-wide counters and the trace recorder.
+	if stats.MessagesSent == 0 || stats.Supersteps == 0 {
+		t.Fatalf("NoMetrics run lost its per-query stats: %+v", stats)
+	}
+}

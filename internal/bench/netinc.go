@@ -56,6 +56,13 @@ type NetIncRow struct {
 // partial result crosses real loopback sockets. The returned cleanup closes
 // the session and waits for the worker loops to exit.
 func tcpSession(p *partition.Partitioned, procs int) (*core.Session, func(), time.Duration, error) {
+	return tcpSessionOpts(p, procs, core.Options{})
+}
+
+// tcpSessionOpts is tcpSession with explicit engine options, so experiments
+// can compare configurations (e.g. instrumented vs Options.NoMetrics) over
+// the same transport.
+func tcpSessionOpts(p *partition.Partitioned, procs int, opts core.Options) (*core.Session, func(), time.Duration, error) {
 	start := time.Now()
 	ln, err := grapenet.Listen("127.0.0.1:0")
 	if err != nil {
@@ -78,7 +85,7 @@ func tcpSession(p *partition.Partitioned, procs int) (*core.Session, func(), tim
 	for i := range peers {
 		peers[i] = cl.Peer(i)
 	}
-	s, err := core.NewSessionRemote(p, core.Options{}, cl, peers)
+	s, err := core.NewSessionRemote(p, opts, cl, peers)
 	if err != nil {
 		cl.Close()
 		wg.Wait()

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"grape/internal/core"
+	"grape/internal/partition"
+	"grape/internal/pie"
+	"grape/internal/workload"
+)
+
+// ObsRow is one point of the instrumentation-overhead experiment: the same
+// query served from two sessions over identical fragments, one with the
+// observability plane live (metric counters and the per-query trace
+// recorder) and one with core.Options.NoMetrics set. Overhead is the price
+// of knowing what the engine is doing; the acceptance bar is under 2%.
+type ObsRow struct {
+	Dataset string `json:"dataset"`
+	Query   string `json:"query"`
+	Plane   string `json:"plane"` // "inproc" or "tcp"
+	Workers int    `json:"workers"`
+	Procs   int    `json:"procs"`
+	Rounds  int    `json:"rounds"`
+
+	// InstrumentedSec and BaselineSec are best-of-Rounds wall times for a
+	// batch of back-to-back evaluations of the query with observability on
+	// and off; batching amortizes timer granularity and best-of damps
+	// scheduler noise the way testing.B's minimum does.
+	Batch           int     `json:"batch"`
+	InstrumentedSec float64 `json:"instrumented_sec"`
+	BaselineSec     float64 `json:"baseline_sec"`
+	// Overhead is InstrumentedSec/BaselineSec - 1: the fractional cost of
+	// the metric counters and trace spans (0.02 == 2%).
+	Overhead float64 `json:"overhead"`
+
+	// TraceSpans proves the instrumented run actually recorded a trace — an
+	// overhead number for a disabled recorder would be vacuous.
+	TraceSpans int `json:"trace_spans"`
+}
+
+// obsPlane is one transport under measurement: a factory producing a fresh
+// session with the given options over the shared partition.
+type obsPlane struct {
+	name  string
+	procs int
+	open  func(opts core.Options) (*core.Session, func(), error)
+}
+
+// ObsOverhead measures what the observability plane costs: it partitions one
+// graph, then serves the same SSSP/CC queries from instrumented and
+// NoMetrics sessions — in-process and over local TCP — and reports the
+// slowdown instrumentation introduces. Runs alternate between the two
+// configurations round by round, so thermal and cache drift hit both sides
+// equally.
+func ObsOverhead(workers, procs int, scale workload.Scale, quick bool) ([]ObsRow, error) {
+	g, err := workload.Load(workload.Traffic, scale)
+	if err != nil {
+		return nil, err
+	}
+	if procs < 1 || procs > workers {
+		return nil, fmt.Errorf("bench: %d procs for %d workers", procs, workers)
+	}
+	p := partition.Partition(g, workers, grapeStrategy)
+
+	rounds, batch := 5, 8
+	if quick {
+		rounds, batch = 2, 3
+	}
+	source := workload.Sources(g, 1, 23)[0]
+	queries := []netQuery{
+		{name: QuerySSSP, q: source, prog: pie.SSSP{}},
+		{name: QueryCC, q: nil, prog: pie.CC{}},
+	}
+
+	planes := []obsPlane{
+		{name: "inproc", procs: 1, open: func(opts core.Options) (*core.Session, func(), error) {
+			s, err := core.NewSessionPartitioned(p, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			return s, func() { s.Close() }, nil
+		}},
+		{name: "tcp", procs: procs, open: func(opts core.Options) (*core.Session, func(), error) {
+			s, cleanup, _, err := tcpSessionOpts(p, procs, opts)
+			return s, cleanup, err
+		}},
+	}
+
+	var rows []ObsRow
+	for _, plane := range planes {
+		instr, closeInstr, err := plane.open(core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s instrumented session: %w", plane.name, err)
+		}
+		base, closeBase, err := plane.open(core.Options{NoMetrics: true})
+		if err != nil {
+			closeInstr()
+			return nil, fmt.Errorf("bench: %s baseline session: %w", plane.name, err)
+		}
+
+		for _, nq := range queries {
+			row := ObsRow{
+				Dataset: workload.Traffic, Query: nq.name, Plane: plane.name,
+				Workers: workers, Procs: plane.procs, Rounds: rounds, Batch: batch,
+			}
+			// One timed measurement is a batch of back-to-back evaluations;
+			// each round measures both configurations, alternating which one
+			// goes first so cache and scheduler drift hit both sides equally.
+			measure := func(s *core.Session) (float64, int, error) {
+				var total float64
+				var spans int
+				for i := 0; i < batch; i++ {
+					res, err := s.RunMode(nq.q, nq.prog, core.ModeBSP)
+					if err != nil {
+						return 0, 0, err
+					}
+					total += res.Stats.Elapsed.Seconds()
+					spans = len(res.Stats.Trace().Spans())
+				}
+				return total, spans, nil
+			}
+			for r := 0; r < rounds; r++ {
+				first, second := instr, base
+				if r%2 == 1 {
+					first, second = base, instr
+				}
+				for _, s := range []*core.Session{first, second} {
+					total, spans, err := measure(s)
+					if err != nil {
+						closeInstr()
+						closeBase()
+						return nil, fmt.Errorf("bench: %s %s: %w", plane.name, nq.name, err)
+					}
+					if s == instr {
+						if r == 0 || total < row.InstrumentedSec {
+							row.InstrumentedSec = total
+						}
+						row.TraceSpans = spans
+					} else if r == 0 || total < row.BaselineSec {
+						row.BaselineSec = total
+					}
+				}
+			}
+			row.Overhead = safeRatio(row.InstrumentedSec, row.BaselineSec) - 1
+			rows = append(rows, row)
+		}
+		closeInstr()
+		closeBase()
+	}
+	return rows, nil
+}
+
+// SampleTrace runs one SSSP query over a local-TCP cluster and returns its
+// execution trace as Chrome trace-event JSON: per-worker PEval/IncEval
+// spans, barriers, the coordinator's remote-call round trips, fetch and
+// assemble — a timeline of exactly the query the bytes came from.
+func SampleTrace(workers, procs int, scale workload.Scale) ([]byte, error) {
+	g, err := workload.Load(workload.Traffic, scale)
+	if err != nil {
+		return nil, err
+	}
+	p := partition.Partition(g, workers, grapeStrategy)
+	s, cleanup, _, err := tcpSessionOpts(p, procs, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	source := workload.Sources(g, 1, 23)[0]
+	res, err := s.RunMode(source, pie.SSSP{}, core.ModeBSP)
+	if err != nil {
+		return nil, err
+	}
+	return res.Stats.Trace().ChromeJSON()
+}
+
+// FormatObsRows renders the experiment as a text table.
+func FormatObsRows(rows []ObsRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nObservability overhead: instrumented vs NoMetrics (same partition, best of N)\n")
+	fmt.Fprintf(&b, "%-10s %-10s %-8s %6s %6s %14s %12s %9s %7s\n",
+		"dataset", "query", "plane", "n", "procs", "instrumented(s)", "baseline(s)", "overhead", "spans")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-10s %-8s %6d %6d %14.4f %12.4f %8.2f%% %7d\n",
+			r.Dataset, r.Query, r.Plane, r.Workers, r.Procs,
+			r.InstrumentedSec, r.BaselineSec, 100*r.Overhead, r.TraceSpans)
+	}
+	return b.String()
+}

@@ -130,9 +130,13 @@ func (r *asyncRunner) run(tasks []*task, comm *mpi.Comm, stats *metrics.Stats, r
 func (r *asyncRunner) worker(t *task, comm *mpi.Comm, stats *metrics.Stats,
 	st *asyncState, done <-chan struct{}, totalRounds *atomic.Int64, roundsCap int64) {
 	w := t.worker.rank
+	tr := stats.Trace()
 	round := 1
+	stats.BeginRound(round)
 	release := r.cluster.AcquireSlot()
+	endSpan := tr.Span("PEval", w)
 	err := safeCall(func() error { return t.peval(round) })
+	endSpan()
 	release()
 	stats.AddWorkerRound(w)
 	if err != nil {
@@ -155,7 +159,11 @@ func (r *asyncRunner) worker(t *task, comm *mpi.Comm, stats *metrics.Stats,
 				return
 			case <-wake:
 			}
-			stats.AddWorkerIdle(w, idleTimer.Stop())
+			idle := idleTimer.Stop()
+			stats.AddWorkerIdle(w, idle)
+			if !r.opts.NoMetrics {
+				obsAsyncIdleSeconds.Add(idle.Seconds())
+			}
 			st.setIdle(w, false)
 			continue
 		}
@@ -164,8 +172,11 @@ func (r *asyncRunner) worker(t *task, comm *mpi.Comm, stats *metrics.Stats,
 			return
 		}
 		round++
+		stats.BeginRound(round)
 		release := r.cluster.AcquireSlot()
+		endSpan := tr.Span(fmt.Sprintf("IncEval r%d", round), w)
 		err := safeCall(func() error { return t.incremental(round, envs) })
+		endSpan()
 		release()
 		stats.AddWorkerRound(w)
 		if err != nil {

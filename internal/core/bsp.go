@@ -51,8 +51,14 @@ func (r *bspRunner) run(tasks []*task, comm *mpi.Comm, stats *metrics.Stats, res
 // fragment state). Each worker's barrier-wait tail is metered as idle time,
 // which is what the straggler cost of BSP looks like in Stats.
 func (r *bspRunner) stepFunc(m int, stats *metrics.Stats, res *Result) stepFn {
+	tr := stats.Trace()
 	return func(superstep int, body func(w int) error) error {
+		phase := "PEval"
+		if superstep > 1 {
+			phase = fmt.Sprintf("IncEval s%d", superstep)
+		}
 		compute := make([]time.Duration, m)
+		ends := make([]time.Time, m)
 		var crashMu sync.Mutex
 		var crashed []int
 		stepTimer := metrics.StartTimer()
@@ -63,8 +69,13 @@ func (r *bspRunner) stepFunc(m int, stats *metrics.Stats, res *Result) stepFn {
 				crashMu.Unlock()
 				return nil
 			}
+			start := time.Now()
 			t := metrics.StartTimer()
-			defer func() { compute[w] = t.Stop() }()
+			defer func() {
+				compute[w] = t.Stop()
+				ends[w] = time.Now()
+				tr.Add(phase, w, start, compute[w])
+			}()
 			return safeCall(func() error { return body(w) })
 		})
 		if err != nil {
@@ -76,16 +87,32 @@ func (r *bspRunner) stepFunc(m int, stats *metrics.Stats, res *Result) stepFn {
 				return fmt.Errorf("core: worker %d failed and recovery budget exhausted", w)
 			}
 			res.RecoveredWorkers++
+			start := time.Now()
 			t := metrics.StartTimer()
 			rerr := safeCall(func() error { return body(w) })
 			compute[w] += t.Stop()
+			tr.Add(phase+" (recovered)", w, start, time.Since(start))
 			if rerr != nil {
 				return rerr
 			}
 		}
 		stepDur := stepTimer.Stop()
+		stepEnd := time.Now()
+		var barrierWait time.Duration
 		for w := 0; w < m; w++ {
-			stats.AddWorkerIdle(w, stepDur-compute[w])
+			idle := stepDur - compute[w]
+			stats.AddWorkerIdle(w, idle)
+			if idle > 0 {
+				barrierWait += idle
+				if !ends[w].IsZero() && stepEnd.After(ends[w]) {
+					tr.Add("barrier", w, ends[w], stepEnd.Sub(ends[w]))
+				}
+			}
+		}
+		if !r.opts.NoMetrics {
+			obsSupersteps.Inc()
+			obsSuperstepSeconds.Observe(stepDur.Seconds())
+			obsBarrierWaitSeconds.Add(barrierWait.Seconds())
 		}
 		return nil
 	}

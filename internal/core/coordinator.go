@@ -6,6 +6,7 @@ import (
 
 	"grape/internal/metrics"
 	"grape/internal/mpi"
+	"grape/internal/obs"
 )
 
 // coordinator drives one query over a session's resident workers. It is
@@ -66,9 +67,27 @@ func (c *coordinator) runMode(q Query, prog Program, mode ExecMode) (res *Result
 	}
 
 	stats := &metrics.Stats{Engine: "GRAPE", Query: prog.Name(), Workers: m}
+	stats.SetNoMetrics(c.opts.NoMetrics)
+	if !c.opts.NoMetrics {
+		stats.SetTrace(obs.NewTrace())
+		obsQueriesStarted.With(mode.String()).Inc()
+	}
 	timer := metrics.StartTimer()
-	// Stop the timer on every return path so failed runs report wall time too.
-	defer func() { stats.Elapsed = timer.Stop() }()
+	// Stop the timer on every return path; meter the outcome the same way so
+	// failed runs show up in the error counter with their wall time.
+	defer func() {
+		stats.Elapsed = timer.Stop()
+		if c.opts.NoMetrics {
+			return
+		}
+		stats.FlushObs()
+		obsQuerySeconds.With(mode.String()).Observe(stats.Elapsed.Seconds())
+		if retErr != nil {
+			obsQueriesErrored.With(mode.String()).Inc()
+		} else {
+			obsQueriesFinished.With(mode.String()).Inc()
+		}
+	}()
 
 	var comm *mpi.Comm
 	var r runner
@@ -97,6 +116,7 @@ func (c *coordinator) runMode(q Query, prog Program, mode ExecMode) (res *Result
 			tasks[i].epoch = c.epoch
 			tasks[i].progName = prog.Name()
 			tasks[i].queryBytes = queryBytes
+			tasks[i].trace = stats.Trace()
 		}
 	}
 	res = &Result{Stats: stats, Contexts: ctxs, queryID: comm.Query()}
@@ -123,11 +143,16 @@ func (c *coordinator) runMode(q Query, prog Program, mode ExecMode) (res *Result
 	// Termination: for remote fragments, pull the partial results Q(Fi) back
 	// into the coordinator-side contexts first, then assemble them into Q(G).
 	if remoteProg != nil {
-		if err := c.fetchPartials(tasks, remoteProg, comm.Query()); err != nil {
+		endFetch := stats.Trace().Span("fetch partials", -1)
+		err := c.fetchPartials(tasks, remoteProg, comm.Query())
+		endFetch()
+		if err != nil {
 			return res, err
 		}
 	}
+	endAssemble := stats.Trace().Span("assemble", -1)
 	out, err := prog.Assemble(q, ctxs)
+	endAssemble()
 	if err != nil {
 		return res, fmt.Errorf("core: Assemble: %w", err)
 	}

@@ -57,6 +57,11 @@ type Options struct {
 	// MaxRecoveries caps how many failures the arbitrator will recover
 	// before giving up. Zero means a small default.
 	MaxRecoveries int
+	// NoMetrics turns off the observability plane for runs of this engine:
+	// no cluster-wide counters are incremented and no per-query trace is
+	// recorded. The benchmark harness uses it to measure instrumentation
+	// overhead; per-query Stats fields accumulate either way.
+	NoMetrics bool
 }
 
 func (o Options) withDefaults() Options {

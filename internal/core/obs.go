@@ -1,0 +1,32 @@
+package core
+
+import "grape/internal/obs"
+
+// Engine-level observability counters, registered in the default registry
+// and exposed on the session's debug endpoint (Options.DebugListen). They
+// aggregate across queries and sessions of the process; per-query figures
+// live in metrics.Stats.
+var (
+	obsQueriesStarted = obs.CounterVec("grape_queries_started_total",
+		"Query runs started, by execution plane.", "mode")
+	obsQueriesFinished = obs.CounterVec("grape_queries_finished_total",
+		"Query runs finished without error, by execution plane.", "mode")
+	obsQueriesErrored = obs.CounterVec("grape_queries_errored_total",
+		"Query runs that returned an error, by execution plane.", "mode")
+	obsQuerySeconds = obs.HistogramVec("grape_query_seconds",
+		"Wall-clock duration of query runs.", nil, "mode")
+	obsSupersteps = obs.Counter("grape_supersteps_total",
+		"Global BSP supersteps executed.")
+	obsSuperstepSeconds = obs.Histogram("grape_superstep_seconds",
+		"Wall-clock duration of BSP supersteps (slowest worker to barrier).", nil)
+	obsBarrierWaitSeconds = obs.Counter("grape_barrier_wait_seconds_total",
+		"Cumulative time workers spent waiting at superstep barriers.")
+	obsAsyncIdleSeconds = obs.Counter("grape_async_idle_seconds_total",
+		"Cumulative time async workers spent parked waiting for messages.")
+	obsEpochsInstalled = obs.Counter("grape_update_epochs_installed_total",
+		"Graph update batches installed (session epoch advances).")
+	obsUpdateOpsApplied = obs.Counter("grape_update_ops_applied_total",
+		"Individual graph update operations applied across fragments.")
+	obsViewMaintenance = obs.CounterVec("grape_view_maintenance_total",
+		"View maintenance passes, by kind (incremental or recompute).", "kind")
+)

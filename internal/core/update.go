@@ -196,15 +196,25 @@ func (s *Session) ApplyUpdates(batch []graph.Update) (*UpdateStats, error) {
 		ShipElapsed:       shipElapsed,
 	}
 
+	if !s.opts.NoMetrics {
+		obsEpochsInstalled.Inc()
+		obsUpdateOpsApplied.Add(float64(res.Applied))
+	}
+
 	maintainTimer := metrics.StartTimer()
 	var errs []error
 	for _, v := range views {
 		inc, err := v.maintain(newPart, workers, res, epoch)
 		stats.ViewsMaintained++
+		kind := "recompute"
 		if inc {
 			stats.Incremental++
+			kind = "incremental"
 		} else {
 			stats.Recomputed++
+		}
+		if !s.opts.NoMetrics {
+			obsViewMaintenance.With(kind).Inc()
 		}
 		if err != nil {
 			errs = append(errs, err)

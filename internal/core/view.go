@@ -271,8 +271,9 @@ func (c *coordinator) maintainIncremental(dp DeltaProgram, ctxs []*Context, q Qu
 	res *partition.UpdateResult, remoteQuery uint64) (any, error) {
 	m := len(c.workers)
 	stats := &metrics.Stats{Engine: "GRAPE", Query: dp.Name() + "+maintain", Workers: m}
+	stats.SetNoMetrics(c.opts.NoMetrics)
 	timer := metrics.StartTimer()
-	defer func() { stats.Elapsed = timer.Stop() }()
+	defer func() { stats.Elapsed = timer.Stop(); stats.FlushObs() }()
 	comm := c.cluster.NewComm(stats)
 	if !c.opts.DisableGrouping {
 		comm.EnableCombining(tagUpdates, dp.Aggregate)

@@ -7,6 +7,7 @@ import (
 
 	"grape/internal/graph"
 	"grape/internal/mpi"
+	"grape/internal/obs"
 	"grape/internal/partition"
 )
 
@@ -63,6 +64,7 @@ type task struct {
 	epoch      int64 // session epoch the query reads (names the remote residency)
 	progName   string
 	queryBytes []byte
+	trace      *obs.Trace // span recorder for remote call round trips; nil-safe
 }
 
 // newTask creates the per-query execution state for this worker.
@@ -101,8 +103,10 @@ func (t *task) inject(envs []mpi.Envelope) {
 // routing of the changed update parameters.
 func (t *task) peval(superstep int) error {
 	if t.remote != nil {
+		endSpan := t.trace.Span("rpc:peval", t.worker.rank)
 		envs, err := t.remote.PEval(t.queryID, t.epoch, t.progName, t.queryBytes, superstep,
 			t.opts.DisableIncEval, t.opts.DisableGrouping)
+		endSpan()
 		if err != nil {
 			return fmt.Errorf("core: remote PEval on fragment %d: %w", t.worker.rank, err)
 		}
@@ -126,7 +130,9 @@ func (t *task) incremental(superstep int, envs []mpi.Envelope) error {
 		return nil // inactive worker this superstep
 	}
 	if t.remote != nil {
+		endSpan := t.trace.Span("rpc:inceval", t.worker.rank)
 		out, err := t.remote.IncEval(t.queryID, superstep, envs)
+		endSpan()
 		if err != nil {
 			return fmt.Errorf("core: remote IncEval on fragment %d: %w", t.worker.rank, err)
 		}

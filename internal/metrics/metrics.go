@@ -9,6 +9,24 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"grape/internal/obs"
+)
+
+// Cluster-wide communication counters, exposed on the debug endpoint. They
+// aggregate across queries; the per-query view stays in Stats. The hot paths
+// (AddMessage and friends) only touch the Stats fields — already serialized
+// by its mutex — and FlushObs folds the totals into these counters once per
+// run, so instrumentation adds no contended atomics to message sends.
+var (
+	obsEnqueued = obs.Counter("grape_comm_messages_enqueued_total",
+		"Messages produced by programs, before per-destination combining.")
+	obsSent = obs.Counter("grape_comm_messages_sent_total",
+		"Message envelopes shipped between workers, post-combine.")
+	obsCombined = obs.Counter("grape_comm_messages_combined_total",
+		"Post-combine envelopes shipped by a combining communicator.")
+	obsBytes = obs.Counter("grape_comm_bytes_sent_total",
+		"Serialized bytes of shipped messages, post-combine.")
 )
 
 // Stats aggregates the measurements of one engine run.
@@ -52,6 +70,19 @@ type Stats struct {
 	perStep      []StepStats
 	workerRounds []int64
 	workerIdle   []time.Duration
+
+	// combined counts post-combine envelopes (AddCombined calls), feeding
+	// the obs counter at flush time.
+	combined int64
+	// flushed remembers what FlushObs already reported, so calling it again
+	// (e.g. after a recovery re-run) only adds the delta.
+	flushed struct{ enqueued, sent, combined, bytes int64 }
+
+	// noObs suppresses the cluster-wide obs counters for this run; the
+	// benchmark harness uses it to measure instrumentation overhead.
+	noObs bool
+	// trace is the per-query span recorder; nil when tracing is off.
+	trace *obs.Trace
 }
 
 // StepStats records the communication of a single superstep.
@@ -91,6 +122,7 @@ func (s *Stats) AddCombined(bytes int) {
 	s.mu.Lock()
 	s.MessagesSent++
 	s.BytesSent += int64(bytes)
+	s.combined++
 	if n := len(s.perStep); n > 0 {
 		s.perStep[n-1].Messages++
 		s.perStep[n-1].Bytes += int64(bytes)
@@ -98,11 +130,85 @@ func (s *Stats) AddCombined(bytes int) {
 	s.mu.Unlock()
 }
 
+// FlushObs folds the run's communication totals into the cluster-wide obs
+// counters. The engine calls it when a run completes; calling it again only
+// reports what accumulated since the last flush, so recovery re-runs are
+// safe. Runs with SetNoMetrics flush nothing.
+func (s *Stats) FlushObs() {
+	s.mu.Lock()
+	if s.noObs {
+		s.mu.Unlock()
+		return
+	}
+	enq := s.MessagesEnqueued - s.flushed.enqueued
+	sent := s.MessagesSent - s.flushed.sent
+	comb := s.combined - s.flushed.combined
+	bytes := s.BytesSent - s.flushed.bytes
+	s.flushed.enqueued, s.flushed.sent = s.MessagesEnqueued, s.MessagesSent
+	s.flushed.combined, s.flushed.bytes = s.combined, s.BytesSent
+	s.mu.Unlock()
+	if enq > 0 {
+		obsEnqueued.Add(float64(enq))
+	}
+	if sent > 0 {
+		obsSent.Add(float64(sent))
+	}
+	if comb > 0 {
+		obsCombined.Add(float64(comb))
+	}
+	if bytes > 0 {
+		obsBytes.Add(float64(bytes))
+	}
+}
+
+// SetNoMetrics suppresses the cluster-wide obs counters (and any trace) for
+// this run. Per-query fields keep accumulating either way.
+func (s *Stats) SetNoMetrics(v bool) {
+	s.mu.Lock()
+	s.noObs = v
+	if v {
+		s.trace = nil
+	}
+	s.mu.Unlock()
+}
+
+// SetTrace attaches a span recorder to the run. The engine records PEval,
+// IncEval, barrier, combine-flush and assemble spans into it.
+func (s *Stats) SetTrace(t *obs.Trace) {
+	s.mu.Lock()
+	if !s.noObs {
+		s.trace = t
+	}
+	s.mu.Unlock()
+}
+
+// Trace returns the attached span recorder, or nil. A nil *obs.Trace is safe
+// to record into, so callers need no guard.
+func (s *Stats) Trace() *obs.Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trace
+}
+
 // BeginSuperstep starts accounting a new superstep.
 func (s *Stats) BeginSuperstep() {
 	s.mu.Lock()
 	s.Supersteps++
 	s.perStep = append(s.perStep, StepStats{Step: s.Supersteps})
+	s.mu.Unlock()
+}
+
+// BeginRound makes sure the per-step breakdown covers evaluation round
+// `round` (1-based). The async plane calls it as its workers enter rounds:
+// unlike BSP supersteps the rounds overlap across workers, so messages are
+// attributed to the deepest round any worker has entered — an approximation,
+// but one that gives async runs the same per-step communication profile BSP
+// gets from BeginSuperstep. It never touches the Supersteps counter.
+func (s *Stats) BeginRound(round int) {
+	s.mu.Lock()
+	for len(s.perStep) < round {
+		s.perStep = append(s.perStep, StepStats{Step: len(s.perStep) + 1})
+	}
 	s.mu.Unlock()
 }
 

@@ -30,6 +30,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"grape/internal/metrics"
 )
@@ -396,6 +397,7 @@ func hashFold(batches [][]Update, agg func(existing, incoming Update) Update) []
 func (m *Comm) Deliver(rank int) []Envelope {
 	slot := m.cluster.slot(rank)
 	var flushed []Envelope
+	start := time.Now()
 	m.mu.Lock()
 	out := m.pending[slot]
 	m.pending[slot] = nil
@@ -411,6 +413,9 @@ func (m *Comm) Deliver(rank int) []Envelope {
 	if m.stats != nil {
 		for _, env := range flushed {
 			m.stats.AddCombined(len(env.Payload))
+		}
+		if len(flushed) > 0 {
+			m.stats.Trace().Add("combine flush", rank, start, time.Since(start))
 		}
 	}
 	return out

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"grape/internal/graph"
 	"grape/internal/mpi"
+	"grape/internal/obs"
 	"grape/internal/partition"
 )
 
@@ -349,6 +351,50 @@ func (c *Cluster) ApplyUpdate(epoch, floor int64, gp *partition.FragGraph, chang
 	return errors.Join(errs...)
 }
 
+// WorkerSamples polls every live worker process for a snapshot of its
+// observability counters (the stats call, answered by each worker's frame
+// loop directly) and returns the union, each sample re-labeled with the
+// process id so the coordinator's /metrics exposition can tell the workers
+// apart. Dead or unreachable processes are skipped: a scrape must not fail
+// because a worker did.
+func (c *Cluster) WorkerSamples() []obs.Sample {
+	type result struct {
+		proc    int
+		samples []obs.Sample
+	}
+	results := make([]result, len(c.conns))
+	var wg sync.WaitGroup
+	for i, pc := range c.conns {
+		wg.Add(1)
+		go func(i int, pc *procConn) {
+			defer wg.Done()
+			var samples []obs.Sample
+			err := pc.callParsed(func(f *frame, id uint64) {
+				f.buf = append(f.buf, ftCall)
+				f.buf = binary.AppendUvarint(f.buf, id)
+				f.buf = append(f.buf, callStats)
+			}, func(body []byte) (err error) {
+				samples, err = obs.DecodeSamples(body)
+				return err
+			})
+			if err != nil {
+				return
+			}
+			results[i] = result{proc: pc.proc, samples: samples}
+		}(i, pc)
+	}
+	wg.Wait()
+	var out []obs.Sample
+	for _, res := range results {
+		for _, s := range res.samples {
+			s.Labels = append(s.Labels, obs.Label{Name: "proc", Value: strconv.Itoa(res.proc)})
+			out = append(out, s)
+		}
+	}
+	obs.SortSamples(out)
+	return out
+}
+
 // Close shuts the cluster down gracefully: every worker process receives a
 // shutdown frame (on which it exits cleanly) before its connection is
 // closed. Close is idempotent.
@@ -383,11 +429,27 @@ type procConn struct {
 	nextReq uint64
 	pending map[uint64]chan callReply
 	err     error
+	closing bool // graceful shutdown in progress; don't count the poisoning as a failure
 }
 
+// callReply carries one demultiplexed reply. body aliases the pooled frame
+// f read by the loop; whoever consumes the reply must call release once
+// nothing references body anymore — parsing helpers copy what escapes, so
+// reply frames recycle through the pool exactly like the worker-side loop's
+// request frames (the two directions used to be asymmetric: replies were
+// read into fresh allocations).
 type callReply struct {
+	f    *frame // pooled backing buffer; nil on error replies
 	body []byte
 	err  error
+}
+
+func (r *callReply) release() {
+	if r.f != nil {
+		r.f.release()
+		r.f = nil
+		r.body = nil
+	}
 }
 
 func newProcConn(c net.Conn, proc int, ranks []int) *procConn {
@@ -396,24 +458,55 @@ func newProcConn(c net.Conn, proc int, ranks []int) *procConn {
 }
 
 // call sends one request frame — build appends the request body straight
-// into a pooled frame buffer, keyed by the allocated request id — and blocks
-// until the reply arrives or the connection fails.
+// into a pooled frame buffer, keyed by the allocated request id — blocks
+// until the reply arrives or the connection fails, and returns the reply
+// body copied into caller-owned memory. Calls whose reply is parsed
+// immediately should use callParsed instead, which keeps the body pooled.
 func (pc *procConn) call(build func(f *frame, reqID uint64)) ([]byte, error) {
-	return pc.callOpt(false, build)
+	rep, err := pc.callOpt(false, build)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), rep.body...)
+	obsReplyCopied.Add(float64(len(rep.body)))
+	rep.release()
+	return out, nil
+}
+
+// callParsed is call for replies consumed on the spot: parse runs against
+// the reply body while it still aliases the pooled read buffer, which is
+// recycled as soon as parse returns. Nothing parse produces may retain the
+// body slice.
+func (pc *procConn) callParsed(build func(f *frame, reqID uint64), parse func(body []byte) error) error {
+	rep, err := pc.callOpt(false, build)
+	if err != nil {
+		return err
+	}
+	obsReplyPooled.Add(float64(len(rep.body)))
+	err = parse(rep.body)
+	rep.release()
+	return err
 }
 
 // callCompressed is call for bulk payloads (update-batch fragment ships):
 // the frame goes out deflated when that shrinks it.
 func (pc *procConn) callCompressed(build func(f *frame, reqID uint64)) ([]byte, error) {
-	return pc.callOpt(true, build)
+	rep, err := pc.callOpt(true, build)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), rep.body...)
+	obsReplyCopied.Add(float64(len(rep.body)))
+	rep.release()
+	return out, nil
 }
 
-func (pc *procConn) callOpt(compress bool, build func(f *frame, reqID uint64)) ([]byte, error) {
+func (pc *procConn) callOpt(compress bool, build func(f *frame, reqID uint64)) (callReply, error) {
 	pc.mu.Lock()
 	if pc.err != nil {
 		err := pc.err
 		pc.mu.Unlock()
-		return nil, err
+		return callReply{}, err
 	}
 	pc.nextReq++
 	id := pc.nextReq
@@ -435,7 +528,7 @@ func (pc *procConn) callOpt(compress bool, build func(f *frame, reqID uint64)) (
 		pc.fail(fmt.Errorf("net: send request to %s: %w", pc.describe(), err))
 	}
 	rep := <-ch
-	return rep.body, rep.err
+	return rep, rep.err
 }
 
 // describe names the worker process and the fragment ranks it hosts, for
@@ -445,16 +538,19 @@ func (pc *procConn) describe() string {
 }
 
 // readLoop demultiplexes reply frames to their waiting calls until the
-// connection fails or is closed.
+// connection fails or is closed. Frames are read into pooled buffers — the
+// same discipline as the worker-side frame loop — and handed to the waiting
+// call, which releases the buffer once the reply body is parsed or copied.
 func (pc *procConn) readLoop() {
 	for {
-		payload, err := readFrame(pc.c)
+		f, err := readFrameP(pc.c)
 		if err != nil {
 			pc.fail(fmt.Errorf("net: %s connection lost: %w", pc.describe(), err))
 			return
 		}
-		r := &reader{buf: payload}
+		r := &reader{buf: f.payload()}
 		if ft := r.u8(); ft != ftReply {
+			f.release()
 			pc.fail(fmt.Errorf("net: unexpected frame 0x%02x from %s", ft, pc.describe()))
 			return
 		}
@@ -462,13 +558,17 @@ func (pc *procConn) readLoop() {
 		ok := r.u8()
 		var rep callReply
 		if ok == 1 {
-			rep.body = r.rest()
+			rep.f, rep.body = f, r.rest()
 		} else {
 			rep.err = fmt.Errorf("net: remote: %s", r.str())
 		}
 		if r.err != nil {
+			f.release()
 			pc.fail(fmt.Errorf("net: malformed reply from %s: %w", pc.describe(), r.err))
 			return
+		}
+		if rep.f == nil {
+			f.release() // error reply: the message string was copied above
 		}
 		pc.mu.Lock()
 		ch, found := pc.pending[id]
@@ -476,6 +576,8 @@ func (pc *procConn) readLoop() {
 		pc.mu.Unlock()
 		if found {
 			ch <- rep
+		} else {
+			rep.release()
 		}
 	}
 }
@@ -498,11 +600,15 @@ func (pc *procConn) heartbeatLoop(interval time.Duration) {
 		}
 		res := make(chan error, 1)
 		go func() {
-			_, err := pc.call(func(f *frame, id uint64) {
+			start := time.Now()
+			err := pc.callParsed(func(f *frame, id uint64) {
 				f.buf = append(f.buf, ftCall)
 				f.buf = binary.AppendUvarint(f.buf, id)
 				f.buf = append(f.buf, callPing)
-			})
+			}, func([]byte) error { return nil })
+			if err == nil {
+				obsHeartbeatRTT.With(strconv.Itoa(pc.proc)).Observe(time.Since(start).Seconds())
+			}
 			res <- err
 		}()
 		expire := time.NewTimer(timeout)
@@ -531,9 +637,13 @@ func (pc *procConn) fail(err error) {
 	}
 	pending := pc.pending
 	pc.pending = make(map[uint64]chan callReply)
+	closing := pc.closing
 	pc.mu.Unlock()
 	if first {
 		close(pc.dead)
+		if !closing {
+			obsConnErrors.With(strconv.Itoa(pc.proc)).Inc()
+		}
 	}
 	pc.c.Close()
 	for _, ch := range pending {
@@ -543,6 +653,9 @@ func (pc *procConn) fail(err error) {
 
 // shutdown sends the graceful-shutdown frame and closes the connection.
 func (pc *procConn) shutdown() {
+	pc.mu.Lock()
+	pc.closing = true
+	pc.mu.Unlock()
 	pc.wmu.Lock()
 	_ = writeFrame(pc.c, []byte{ftShutdown})
 	pc.wmu.Unlock()
@@ -574,7 +687,8 @@ func (p *Peer) callHeader(f *frame, reqID uint64, kind byte, query uint64) {
 // query reads — and returns the envelopes the remote fragment routed.
 func (p *Peer) PEval(query uint64, epoch int64, prog string, queryBytes []byte, superstep int,
 	disableIncEval, disableGrouping bool) ([]mpi.Envelope, error) {
-	body, err := p.pc.call(func(f *frame, id uint64) {
+	var envs []mpi.Envelope
+	err := p.pc.callParsed(func(f *frame, id uint64) {
 		p.callHeader(f, id, callPEval, query)
 		f.buf = binary.AppendUvarint(f.buf, uint64(superstep))
 		f.buf = binary.AppendUvarint(f.buf, uint64(epoch))
@@ -588,25 +702,32 @@ func (p *Peer) PEval(query uint64, epoch int64, prog string, queryBytes []byte, 
 		f.buf = append(f.buf, flags)
 		f.buf = appendString(f.buf, prog)
 		f.buf = appendBytes(f.buf, queryBytes)
+	}, func(body []byte) (err error) {
+		envs, err = decodeEnvelopeReply(body)
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	return decodeEnvelopeReply(body)
+	return envs, nil
 }
 
 // IncEval forwards delivered envelopes to the remote fragment and returns
 // the envelopes its incremental evaluation routed.
 func (p *Peer) IncEval(query uint64, superstep int, envs []mpi.Envelope) ([]mpi.Envelope, error) {
-	body, err := p.pc.call(func(f *frame, id uint64) {
+	var out []mpi.Envelope
+	err := p.pc.callParsed(func(f *frame, id uint64) {
 		p.callHeader(f, id, callIncEval, query)
 		f.buf = binary.AppendUvarint(f.buf, uint64(superstep))
 		f.buf = appendEnvelopes(f.buf, envs)
+	}, func(body []byte) (err error) {
+		out, err = decodeEnvelopeReply(body)
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	return decodeEnvelopeReply(body)
+	return out, nil
 }
 
 // Fetch retrieves the fragment's encoded partial result.
@@ -618,20 +739,18 @@ func (p *Peer) Fetch(query uint64) ([]byte, error) {
 
 // End releases the fragment's per-query state (query runs and views alike).
 func (p *Peer) End(query uint64) error {
-	_, err := p.pc.call(func(f *frame, id uint64) {
+	return p.pc.callParsed(func(f *frame, id uint64) {
 		p.callHeader(f, id, callEnd, query)
-	})
-	return err
+	}, func([]byte) error { return nil })
 }
 
 // Materialize promotes the query's converged state on this fragment into
 // view state: the worker retains it across epochs for maintenance rounds,
 // until End releases it.
 func (p *Peer) Materialize(query uint64) error {
-	_, err := p.pc.call(func(f *frame, id uint64) {
+	return p.pc.callParsed(func(f *frame, id uint64) {
 		p.callHeader(f, id, callMaterialize, query)
-	})
-	return err
+	}, func([]byte) error { return nil })
 }
 
 // EvalDelta runs one maintenance seeding on the remote view state: the
@@ -640,20 +759,21 @@ func (p *Peer) Materialize(query uint64) error {
 // seeding routed.
 func (p *Peer) EvalDelta(query uint64, superstep int, ops []graph.Update,
 	newInBorder []graph.VertexID) (bool, []mpi.Envelope, error) {
-	body, err := p.pc.call(func(f *frame, id uint64) {
+	var absorbed bool
+	var envs []mpi.Envelope
+	err := p.pc.callParsed(func(f *frame, id uint64) {
 		p.callHeader(f, id, callEvalDelta, query)
 		f.buf = binary.AppendUvarint(f.buf, uint64(superstep))
 		f.buf = appendBytes(f.buf, mpi.EncodeGraphUpdates(ops))
 		f.buf = appendVertexIDs(f.buf, newInBorder)
+	}, func(body []byte) error {
+		r := &reader{buf: body}
+		absorbed = r.u8() == 1
+		envs = r.envelopes()
+		return r.err
 	})
 	if err != nil {
 		return false, nil, err
-	}
-	r := &reader{buf: body}
-	absorbed := r.u8() == 1
-	envs := r.envelopes()
-	if r.err != nil {
-		return false, nil, r.err
 	}
 	return absorbed, envs, nil
 }

@@ -47,10 +47,12 @@
 //
 // Outgoing frames are built in pooled buffers and written with a single Write
 // (header and body in one buffer), so steady-state calls allocate nothing on
-// the send path. The worker's frame loop also reads into pooled buffers —
-// its call bodies are fully consumed before the next read — while the
-// coordinator's read loop keeps allocating per frame, because reply bodies
-// escape to the callers awaiting them. Routed update envelopes may arrive
+// the send path. Both read loops use pooled buffers too: the worker's call
+// bodies are fully consumed before the next read, and the coordinator's
+// reply demultiplexer hands each pooled frame to the awaiting call, which
+// parses the body in place (copying only what escapes, like Fetch results)
+// and recycles it — the grape_net_reply_bytes_pooled_total /
+// _copied_total counters meter the split. Routed update envelopes may arrive
 // combined: when message combining is enabled (see mpi.EnableCombining) the
 // coordinator folds the per-destination batches of several senders into one
 // envelope under the program's own aggregation before the frame is written,
@@ -84,6 +86,17 @@
 // answered by the worker's frame loop directly, never queued behind an
 // evaluation — and poisons the connection after a configurable number of
 // silent intervals (Listener.Heartbeat).
+//
+// # Observability
+//
+// The package meters itself into internal/obs: frame and byte counters plus
+// compression savings on the wire paths, heartbeat round-trip histograms and
+// connection-error counters per worker process on the coordinator side. Each
+// worker process additionally keeps per-connection call counters in the
+// registry passed via WorkerOptions.Metrics; the coordinator polls them with
+// a stats call (answered by the worker's frame loop directly, like ping) and
+// Cluster.WorkerSamples re-labels each sample with the process id, which is
+// how a coordinator /metrics scrape shows whole-cluster truth.
 //
 // ProtocolVersion gates compatibility end to end: bump it whenever frame
 // layouts, the fragment codec or call semantics change, and mixed-version

@@ -1,0 +1,34 @@
+package net
+
+import "grape/internal/obs"
+
+// Wire-level observability counters. They live in the process-wide default
+// registry: on the coordinator they meter the coordinator side of every
+// connection and are served from the session's debug endpoint; a worker
+// process meters its own side the same way (its per-connection call counters,
+// which travel back over callStats, live in a separate registry — see
+// worker.go).
+var (
+	obsFramesSent = obs.Counter("grape_net_frames_sent_total",
+		"Wire frames written, including handshake and control frames.")
+	obsNetBytesSent = obs.Counter("grape_net_bytes_sent_total",
+		"Bytes written to the wire, headers included.")
+	obsFramesRead = obs.Counter("grape_net_frames_read_total",
+		"Wire frames read.")
+	obsNetBytesRead = obs.Counter("grape_net_bytes_read_total",
+		"Bytes read from the wire, headers included.")
+	obsCompressedFrames = obs.Counter("grape_net_compressed_frames_total",
+		"Frames that shipped deflate-compressed.")
+	obsCompressionSaved = obs.Counter("grape_net_compressed_bytes_saved_total",
+		"Bytes saved by frame compression (raw size minus wire size).")
+	obsReplyPooled = obs.Counter("grape_net_reply_bytes_pooled_total",
+		"Reply-body bytes parsed in place from pooled read buffers.")
+	obsReplyCopied = obs.Counter("grape_net_reply_bytes_copied_total",
+		"Reply-body bytes copied out of pooled buffers for escaping callers.")
+	obsHeartbeatRTT = obs.HistogramVec("grape_net_heartbeat_rtt_seconds",
+		"Heartbeat ping round-trip time, by worker process.", nil, "proc")
+	obsConnErrors = obs.CounterVec("grape_net_conn_errors_total",
+		"Connections poisoned by a failure, by worker process.", "proc")
+	obsDialRetries = obs.Counter("grape_net_dial_retries_total",
+		"Worker dial attempts that failed and were retried with backoff.")
+)

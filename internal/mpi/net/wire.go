@@ -26,7 +26,11 @@ import (
 // deflate stream. Only bulk fragment-ship frames (handshake fragments and
 // update-batch calls) are compressed; per-round evaluation traffic ships raw
 // because on a low-latency link deflate CPU costs more than the bytes save.
-const ProtocolVersion = 3
+//
+// Version 4 added the stats call: the coordinator polls each worker process
+// for a snapshot of its observability counters, which it re-labels and
+// merges into its own /metrics exposition.
+const ProtocolVersion = 4
 
 // maxFrame bounds a single frame (a shipped fragment is the largest payload
 // in practice). Oversized lengths indicate a corrupt or hostile stream. It
@@ -66,6 +70,9 @@ const (
 //	callUpdate      [epoch][floor][gpBytes][n]{[rank][fragBytes]}...
 //	callMaterialize [rank][query]
 //	callEvalDelta   [rank][query][superstep][opsBytes][newInBorder ids]
+//	callStats       (empty) — the worker replies with obs.EncodeSamples of
+//	                its counter registry; answered by the frame loop directly
+//	                like ping, so a scrape never queues behind an evaluation
 const (
 	callPEval       = byte(0x01)
 	callIncEval     = byte(0x02)
@@ -75,6 +82,7 @@ const (
 	callUpdate      = byte(0x06)
 	callMaterialize = byte(0x07)
 	callEvalDelta   = byte(0x08)
+	callStats       = byte(0x09)
 )
 
 // frame is a pooled frame buffer. buf holds a 4-byte length-header
@@ -119,6 +127,10 @@ func (f *frame) send(w io.Writer) error {
 	}
 	binary.LittleEndian.PutUint32(f.buf[:4], uint32(n))
 	_, err := w.Write(f.buf)
+	if err == nil {
+		obsFramesSent.Inc()
+		obsNetBytesSent.Add(float64(len(f.buf)))
+	}
 	f.release()
 	return err
 }
@@ -150,6 +162,12 @@ func (f *frame) sendCompressed(w io.Writer) error {
 	f.release()
 	binary.LittleEndian.PutUint32(cf.buf[:4], uint32(n)|frameCompressed)
 	_, err := w.Write(cf.buf)
+	if err == nil {
+		obsFramesSent.Inc()
+		obsNetBytesSent.Add(float64(len(cf.buf)))
+		obsCompressedFrames.Inc()
+		obsCompressionSaved.Add(float64(len(body) - n))
+	}
 	cf.release()
 	return err
 }
@@ -205,6 +223,8 @@ func readFrameP(r io.Reader) (*frame, error) {
 		f.release()
 		return nil, err
 	}
+	obsFramesRead.Inc()
+	obsNetBytesRead.Add(float64(4 + n))
 	if word&frameCompressed == 0 {
 		return f, nil
 	}
@@ -242,9 +262,9 @@ func growFrame(buf []byte, n int) []byte {
 }
 
 // readFrame reads one length-prefixed frame into caller-owned memory,
-// transparently inflating compressed frames. The coordinator's reply
-// demultiplexer uses it because reply bodies escape to waiting calls; the
-// worker's frame loop uses readFrameP and recycles.
+// transparently inflating compressed frames. The handshake paths use it
+// (their payloads escape into decoded fragments anyway); both steady-state
+// frame loops use readFrameP and recycle.
 func readFrame(r io.Reader) ([]byte, error) {
 	f, err := readFrameP(r)
 	if err != nil {

@@ -1,14 +1,18 @@
 package net
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
+	"log/slog"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
 	"grape/internal/graph"
 	"grape/internal/mpi"
+	"grape/internal/obs"
 	"grape/internal/partition"
 )
 
@@ -21,11 +25,82 @@ type WorkerOptions struct {
 	// Logf, when non-nil, receives progress lines (dial retries, handshake,
 	// shutdown). Workers run unattended in CI; the log is their only voice.
 	Logf func(format string, args ...any)
+	// Log, when non-nil and Logf is nil, receives the same progress lines as
+	// structured records.
+	Log *slog.Logger
+	// Metrics is the registry this connection's counters register in, polled
+	// by the coordinator over the stats call. Nil allocates a private
+	// registry, which keeps several in-process workers (tests, benchmarks)
+	// from double counting into a shared one.
+	Metrics *obs.Registry
 }
 
-func (o WorkerOptions) logf(format string, args ...any) {
+// loga emits one progress record. When Log carries the line the fields
+// travel as structured slog attrs (rank/epoch/proc stay queryable); the Logf
+// fallback formats them as key=value pairs.
+func (o WorkerOptions) loga(level slog.Level, msg string, attrs ...any) {
 	if o.Logf != nil {
-		o.Logf(format, args...)
+		var b strings.Builder
+		b.WriteString(msg)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			fmt.Fprintf(&b, " %v=%v", attrs[i], attrs[i+1])
+		}
+		o.Logf("%s", b.String())
+		return
+	}
+	if o.Log != nil {
+		o.Log.Log(context.Background(), level, msg, attrs...)
+	}
+}
+
+// workerMetrics are the per-connection counters a worker process reports
+// back over the stats call.
+type workerMetrics struct {
+	calls       *obs.CounterVecHandle
+	callSeconds *obs.HistogramHandle
+	frames      *obs.CounterHandle
+	epochs      *obs.CounterHandle
+	dialRetries *obs.CounterHandle
+}
+
+func newWorkerMetrics(reg *obs.Registry) *workerMetrics {
+	return &workerMetrics{
+		calls: reg.CounterVec("grape_worker_calls_total",
+			"Coordinator calls served by this worker process, by kind.", "kind"),
+		callSeconds: reg.Histogram("grape_worker_call_seconds",
+			"Wall-clock duration of served evaluation calls.", nil),
+		frames: reg.Counter("grape_worker_frames_total",
+			"Frames read from the coordinator connection."),
+		epochs: reg.Counter("grape_worker_epochs_installed_total",
+			"Residency epochs installed from update-batch calls."),
+		dialRetries: reg.Counter("grape_worker_dial_retries_total",
+			"Coordinator dial attempts that failed and were retried."),
+	}
+}
+
+// callKindName names a call kind for the per-kind counter label.
+func callKindName(kind byte) string {
+	switch kind {
+	case callPEval:
+		return "peval"
+	case callIncEval:
+		return "inceval"
+	case callFetch:
+		return "fetch"
+	case callEnd:
+		return "end"
+	case callPing:
+		return "ping"
+	case callUpdate:
+		return "update"
+	case callMaterialize:
+		return "materialize"
+	case callEvalDelta:
+		return "evaldelta"
+	case callStats:
+		return "stats"
+	default:
+		return "unknown"
 	}
 }
 
@@ -74,7 +149,13 @@ const handshakeIOTimeout = 30 * time.Second
 // graceful shutdown and an error if the handshake fails or the connection is
 // lost mid-run.
 func RunWorker(addr string, h Handler, opts WorkerOptions) error {
-	conn, err := dialBackoff(addr, opts)
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	wm := newWorkerMetrics(reg)
+	conn, retries, err := dialBackoff(addr, opts)
+	wm.dialRetries.Add(float64(retries))
 	if err != nil {
 		return err
 	}
@@ -97,7 +178,7 @@ func RunWorker(addr string, h Handler, opts WorkerOptions) error {
 		return fmt.Errorf("net: sending ready: %w", err)
 	}
 	conn.SetDeadline(time.Time{})
-	opts.logf("serving fragments %v", ranks)
+	opts.loga(slog.LevelInfo, "serving fragments", "ranks", ranks)
 
 	var wmu sync.Mutex
 	reply := func(reqID uint64, rep callReply) {
@@ -119,7 +200,7 @@ func RunWorker(addr string, h Handler, opts WorkerOptions) error {
 		if werr != nil {
 			// The read loop will observe the broken connection and exit;
 			// nothing more to do here.
-			opts.logf("reply write failed: %v", werr)
+			opts.loga(slog.LevelWarn, "reply write failed", "err", werr)
 		}
 	}
 	for {
@@ -131,11 +212,12 @@ func RunWorker(addr string, h Handler, opts WorkerOptions) error {
 		if err != nil {
 			return fmt.Errorf("net: coordinator connection lost: %w", err)
 		}
+		wm.frames.Inc()
 		r := &reader{buf: f.payload()}
 		switch ft := r.u8(); ft {
 		case ftShutdown:
 			f.release()
-			opts.logf("coordinator shut the cluster down")
+			opts.loga(slog.LevelInfo, "coordinator shut the cluster down")
 			return nil
 		case ftCall:
 			reqID := r.uvarint()
@@ -145,16 +227,28 @@ func RunWorker(addr string, h Handler, opts WorkerOptions) error {
 				f.release()
 				return fmt.Errorf("net: malformed call: %w", err)
 			}
-			if kind == callPing {
+			switch kind {
+			case callPing:
 				// Liveness probe: answer from the frame loop itself so the
 				// coordinator's prober measures process liveness, not
 				// evaluation latency.
 				f.release()
+				wm.calls.With("ping").Inc()
 				reply(reqID, callReply{})
+				continue
+			case callStats:
+				// Counter snapshot: also answered inline, so a scrape reads
+				// fresh numbers even while evaluations are in flight.
+				f.release()
+				wm.calls.With("stats").Inc()
+				reply(reqID, callReply{body: obs.EncodeSamples(reg.Gather())})
 				continue
 			}
 			go func(f *frame, reqID uint64, kind byte, r *reader) {
-				rep := handleCall(h, kind, r)
+				start := time.Now()
+				rep := handleCall(h, kind, r, wm, opts)
+				wm.calls.With(callKindName(kind)).Inc()
+				wm.callSeconds.Observe(time.Since(start).Seconds())
 				f.release()
 				reply(reqID, rep)
 			}(f, reqID, kind, r)
@@ -167,7 +261,7 @@ func RunWorker(addr string, h Handler, opts WorkerOptions) error {
 
 // handleCall parses one call's kind-specific body and dispatches it to the
 // handler.
-func handleCall(h Handler, kind byte, r *reader) callReply {
+func handleCall(h Handler, kind byte, r *reader, wm *workerMetrics, opts WorkerOptions) callReply {
 	if kind == callUpdate {
 		epoch := int64(r.uvarint())
 		floor := int64(r.uvarint())
@@ -199,11 +293,18 @@ func handleCall(h Handler, kind byte, r *reader) callReply {
 		if err := h.ApplyUpdate(epoch, floor, gp, frags); err != nil {
 			return callReply{err: err}
 		}
+		if wm != nil {
+			wm.epochs.Inc()
+		}
+		opts.loga(slog.LevelInfo, "installed update epoch",
+			"epoch", epoch, "floor", floor, "fragments", n)
 		return callReply{}
 	}
 
 	rank := int(r.uvarint())
 	query := r.uvarint()
+	opts.loga(slog.LevelDebug, "serving call",
+		"kind", callKindName(kind), "rank", rank, "query", query)
 	switch kind {
 	case callPEval:
 		superstep := int(r.uvarint())
@@ -284,23 +385,28 @@ func handleCall(h Handler, kind byte, r *reader) callReply {
 }
 
 // dialBackoff dials the coordinator with exponential backoff until the
-// options' dial budget is exhausted.
-func dialBackoff(addr string, opts WorkerOptions) (net.Conn, error) {
+// options' dial budget is exhausted. It returns how many attempts failed and
+// were retried alongside the connection.
+func dialBackoff(addr string, opts WorkerOptions) (net.Conn, int, error) {
 	budget := opts.DialTimeout
 	if budget <= 0 {
 		budget = 30 * time.Second
 	}
 	deadline := time.Now().Add(budget)
 	delay := 50 * time.Millisecond
+	retries := 0
 	for attempt := 1; ; attempt++ {
 		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
 		if err == nil {
-			return conn, nil
+			return conn, retries, nil
 		}
 		if time.Now().Add(delay).After(deadline) {
-			return nil, fmt.Errorf("net: dialing coordinator %s: %w", addr, err)
+			return nil, retries, fmt.Errorf("net: dialing coordinator %s: %w", addr, err)
 		}
-		opts.logf("dial %s failed (attempt %d): %v; retrying in %v", addr, attempt, err, delay)
+		retries++
+		obsDialRetries.Inc()
+		opts.loga(slog.LevelInfo, "dial failed; retrying",
+			"addr", addr, "attempt", attempt, "err", err, "retry_in", delay)
 		time.Sleep(delay)
 		if delay *= 2; delay > 2*time.Second {
 			delay = 2 * time.Second
@@ -344,7 +450,8 @@ func handshakeCoordinator(conn net.Conn, opts WorkerOptions) ([]int, []*partitio
 	if r.err != nil {
 		return nil, nil, nil, fmt.Errorf("net: malformed welcome: %w", r.err)
 	}
-	opts.logf("welcome: cluster of %d fragments, process %d hosts %v", m, proc, ranks)
+	opts.loga(slog.LevelInfo, "welcome",
+		"fragments", m, "proc", proc, "ranks", ranks)
 
 	payload, err = readFrame(conn)
 	if err != nil {

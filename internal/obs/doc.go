@@ -1,0 +1,43 @@
+// Package obs is the engine's observability plane: a dependency-free
+// metrics registry with Prometheus text exposition, a per-query trace
+// recorder exportable as Chrome trace-event JSON, and a debug HTTP server
+// tying both to the stdlib pprof handlers.
+//
+// # Metrics
+//
+// A Registry holds counters, gauges and histograms, optionally labeled:
+//
+//	var queries = obs.CounterVec("grape_queries_started_total",
+//		"Queries accepted by the coordinator.", "mode")
+//	queries.With("bsp").Inc()
+//
+// The package-level constructors register on Default, the process-wide
+// registry every engine seam meters into; NewRegistry gives scoped
+// registries (each worker connection keeps its own, so several in-process
+// worker loops never double count). Metric names are validated at
+// registration: every name must match grape_[a-z0-9_]* (snake_case, no
+// trailing underscore) — the naming lint in scripts/lint_metrics.sh enforces
+// the same rule over the source tree.
+//
+// Gather flattens a registry into Samples (histograms expand into
+// cumulative _bucket/_sum/_count series) and WritePrometheus renders the
+// text exposition format. Samples also travel over the cluster wire: worker
+// processes answer the coordinator's stats call with EncodeSamples of their
+// registry, and the coordinator's /metrics endpoint merges them in under a
+// per-process label — whole-cluster truth from one scrape.
+//
+// # Tracing
+//
+// A Trace records timestamped spans (PEval/IncEval per worker, barriers,
+// combine flushes, remote round trips, Assemble) for one query run.
+// ChromeJSON exports the Chrome trace-event format; open the file in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing to see the run as
+// a per-worker waterfall. Each worker rank renders as its own thread row;
+// the coordinator's spans are thread 0.
+//
+// # Debug server
+//
+// Serve starts an HTTP endpoint with /metrics (the registry plus any
+// registered collectors), /healthz, and the stdlib /debug/pprof/* profiling
+// handlers. grape.Options.DebugListen wires it into a session.
+package obs

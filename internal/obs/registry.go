@@ -1,0 +1,480 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is a metric family's type.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// DefBuckets are the default histogram buckets, in seconds. The engine's
+// superstep and call latencies run from microseconds (in-process tiny
+// graphs) to seconds (large distributed runs), so the ladder starts far
+// below the usual Prometheus defaults.
+var DefBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// Registry holds metric families. All methods are safe for concurrent use;
+// registering an existing name with an identical shape returns the existing
+// family, so package-level metric vars and tests can re-register freely.
+type Registry struct {
+	mu       sync.RWMutex
+	byName   map[string]*family
+	families []*family // insertion order, for stable exposition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Default is the process-wide registry the package-level constructors
+// register on. The engine's coordinator-side seams meter into it; worker
+// connections keep scoped registries (see NewRegistry).
+var Default = NewRegistry()
+
+// Package-level constructors on Default.
+
+// Counter registers (or finds) an unlabeled counter on Default.
+func Counter(name, help string) *CounterHandle { return Default.Counter(name, help) }
+
+// CounterVec registers (or finds) a labeled counter family on Default.
+func CounterVec(name, help string, labels ...string) *CounterVecHandle {
+	return Default.CounterVec(name, help, labels...)
+}
+
+// Gauge registers (or finds) an unlabeled gauge on Default.
+func Gauge(name, help string) *GaugeHandle { return Default.Gauge(name, help) }
+
+// GaugeVec registers (or finds) a labeled gauge family on Default.
+func GaugeVec(name, help string, labels ...string) *GaugeVecHandle {
+	return Default.GaugeVec(name, help, labels...)
+}
+
+// Histogram registers (or finds) an unlabeled histogram on Default.
+// nil buckets selects DefBuckets.
+func Histogram(name, help string, buckets []float64) *HistogramHandle {
+	return Default.Histogram(name, help, buckets)
+}
+
+// HistogramVec registers (or finds) a labeled histogram family on Default.
+func HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVecHandle {
+	return Default.HistogramVec(name, help, buckets, labels...)
+}
+
+// family is one registered metric name: its shape plus the children keyed
+// by label values.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu       sync.RWMutex
+	children map[string]any // joined label values -> *counter/*gauge/*histogram
+	order    []string
+}
+
+// validName enforces the repository's metric-name contract: snake_case,
+// grape_-prefixed, no double or trailing underscore.
+func validName(name string) bool {
+	if !strings.HasPrefix(name, "grape_") || strings.HasSuffix(name, "_") || strings.Contains(name, "__") {
+		return false
+	}
+	for _, c := range name {
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabel(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// register finds or creates a family. Shape mismatches are programmer
+// errors and panic: two call sites registering the same name must agree.
+func (r *Registry) register(name, help string, kind Kind, labels []string, buckets []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q (want grape_[a-z0-9_]+, snake_case)", name))
+	}
+	for _, l := range labels {
+		if !validLabel(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind,
+		labels: append([]string(nil), labels...), buckets: buckets,
+		children: make(map[string]any)}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// child finds or creates the labeled child for the joined values key.
+func (f *family) child(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = mk()
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// counter / gauge share a float64-bits atomic cell.
+
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) add(v float64) {
+	for {
+		old := a.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if a.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) set(v float64)  { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicFloat) value() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// CounterHandle is a monotonically increasing value.
+type CounterHandle struct{ v atomicFloat }
+
+// Inc adds 1.
+func (c *CounterHandle) Inc() { c.v.add(1) }
+
+// Add adds v; negative deltas are dropped (counters only go up).
+func (c *CounterHandle) Add(v float64) {
+	if v > 0 {
+		c.v.add(v)
+	}
+}
+
+// Value returns the current count.
+func (c *CounterHandle) Value() float64 { return c.v.value() }
+
+// GaugeHandle is a value that can go up and down.
+type GaugeHandle struct{ v atomicFloat }
+
+// Set replaces the value.
+func (g *GaugeHandle) Set(v float64) { g.v.set(v) }
+
+// Add adds v (may be negative).
+func (g *GaugeHandle) Add(v float64) { g.v.add(v) }
+
+// Inc adds 1.
+func (g *GaugeHandle) Inc() { g.v.add(1) }
+
+// Dec subtracts 1.
+func (g *GaugeHandle) Dec() { g.v.add(-1) }
+
+// Value returns the current value.
+func (g *GaugeHandle) Value() float64 { return g.v.value() }
+
+// HistogramHandle accumulates observations into fixed buckets.
+type HistogramHandle struct {
+	buckets []float64 // upper bounds, ascending
+	counts  []atomic.Uint64
+	sum     atomicFloat
+	total   atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *HistogramHandle {
+	return &HistogramHandle{buckets: buckets, counts: make([]atomic.Uint64, len(buckets))}
+}
+
+// Observe records one observation.
+func (h *HistogramHandle) Observe(v float64) {
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.sum.add(v)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *HistogramHandle) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observations.
+func (h *HistogramHandle) Sum() float64 { return h.sum.value() }
+
+// Vec handles: labeled families whose With returns the child handle.
+
+// CounterVecHandle is a labeled counter family.
+type CounterVecHandle struct{ f *family }
+
+// With returns the child counter for the given label values.
+func (v *CounterVecHandle) With(values ...string) *CounterHandle {
+	return v.f.child(values, func() any { return new(CounterHandle) }).(*CounterHandle)
+}
+
+// GaugeVecHandle is a labeled gauge family.
+type GaugeVecHandle struct{ f *family }
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVecHandle) With(values ...string) *GaugeHandle {
+	return v.f.child(values, func() any { return new(GaugeHandle) }).(*GaugeHandle)
+}
+
+// HistogramVecHandle is a labeled histogram family.
+type HistogramVecHandle struct{ f *family }
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVecHandle) With(values ...string) *HistogramHandle {
+	f := v.f
+	return f.child(values, func() any { return newHistogram(f.buckets) }).(*HistogramHandle)
+}
+
+// Registry constructors.
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *CounterHandle {
+	f := r.register(name, help, KindCounter, nil, nil)
+	return f.child(nil, func() any { return new(CounterHandle) }).(*CounterHandle)
+}
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVecHandle {
+	return &CounterVecHandle{f: r.register(name, help, KindCounter, labels, nil)}
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *GaugeHandle {
+	f := r.register(name, help, KindGauge, nil, nil)
+	return f.child(nil, func() any { return new(GaugeHandle) }).(*GaugeHandle)
+}
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVecHandle {
+	return &GaugeVecHandle{f: r.register(name, help, KindGauge, labels, nil)}
+}
+
+// Histogram registers (or finds) an unlabeled histogram. nil buckets
+// selects DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *HistogramHandle {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(name, help, KindHistogram, nil, buckets)
+	return f.child(nil, func() any { return newHistogram(f.buckets) }).(*HistogramHandle)
+}
+
+// HistogramVec registers (or finds) a labeled histogram family. nil buckets
+// selects DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVecHandle {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVecHandle{f: r.register(name, help, KindHistogram, labels, buckets)}
+}
+
+// Label is one name=value pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one exposition line: a metric name, its labels and a value.
+// Histograms flatten into _bucket (with an le label, cumulative), _sum and
+// _count samples, so a []Sample round-trips losslessly through the wire
+// snapshot codec and re-labels cleanly (the coordinator adds a proc label
+// to every worker sample).
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Gather flattens the registry into samples, in registration order.
+func (r *Registry) Gather() []Sample {
+	r.mu.RLock()
+	families := append([]*family(nil), r.families...)
+	r.mu.RUnlock()
+	var out []Sample
+	for _, f := range families {
+		out = f.gather(out)
+	}
+	return out
+}
+
+func (f *family) gather(out []Sample) []Sample {
+	f.mu.RLock()
+	keys := append([]string(nil), f.order...)
+	children := make([]any, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.RUnlock()
+	for i, key := range keys {
+		labels := f.labelsFor(key)
+		switch c := children[i].(type) {
+		case *CounterHandle:
+			out = append(out, Sample{Name: f.name, Labels: labels, Value: c.Value()})
+		case *GaugeHandle:
+			out = append(out, Sample{Name: f.name, Labels: labels, Value: c.Value()})
+		case *HistogramHandle:
+			cum := uint64(0)
+			for bi, ub := range c.buckets {
+				cum += c.counts[bi].Load()
+				out = append(out, Sample{Name: f.name + "_bucket",
+					Labels: append(append([]Label(nil), labels...), Label{"le", formatFloat(ub)}),
+					Value:  float64(cum)})
+			}
+			total := c.Count()
+			out = append(out, Sample{Name: f.name + "_bucket",
+				Labels: append(append([]Label(nil), labels...), Label{"le", "+Inf"}),
+				Value:  float64(total)})
+			out = append(out, Sample{Name: f.name + "_sum", Labels: labels, Value: c.Sum()})
+			out = append(out, Sample{Name: f.name + "_count", Labels: labels, Value: float64(total)})
+		}
+	}
+	return out
+}
+
+func (f *family) labelsFor(key string) []Label {
+	if len(f.labels) == 0 {
+		return nil
+	}
+	values := strings.Split(key, "\x00")
+	labels := make([]Label, len(f.labels))
+	for i, name := range f.labels {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		labels[i] = Label{name, v}
+	}
+	return labels
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), with HELP and TYPE comments per family.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	families := append([]*family(nil), r.families...)
+	r.mu.RUnlock()
+	for _, f := range families {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		WriteSamples(w, f.gather(nil))
+	}
+}
+
+// WriteSamples renders samples as plain exposition lines (no HELP/TYPE
+// comments) — the form used for collector-merged samples whose families
+// live in another process.
+func WriteSamples(w io.Writer, samples []Sample) {
+	for _, s := range samples {
+		if len(s.Labels) == 0 {
+			fmt.Fprintf(w, "%s %s\n", s.Name, formatFloat(s.Value))
+			continue
+		}
+		parts := make([]string, len(s.Labels))
+		for i, l := range s.Labels {
+			parts[i] = l.Name + `="` + escapeLabel(l.Value) + `"`
+		}
+		fmt.Fprintf(w, "%s{%s} %s\n", s.Name, strings.Join(parts, ","), formatFloat(s.Value))
+	}
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// SortSamples orders samples by name then labels — handy for deterministic
+// test assertions over Gather output.
+func SortSamples(samples []Sample) {
+	sort.SliceStable(samples, func(i, j int) bool {
+		if samples[i].Name != samples[j].Name {
+			return samples[i].Name < samples[j].Name
+		}
+		return fmt.Sprint(samples[i].Labels) < fmt.Sprint(samples[j].Labels)
+	})
+}

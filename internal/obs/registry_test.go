@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("grape_test_total", "help")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // dropped: counters only go up
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("grape_test_gauge", "help")
+	g.Set(10)
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+	h := r.Histogram("grape_test_seconds", "help", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5) // above every bucket: only +Inf and _count see it
+	if h.Count() != 3 {
+		t.Fatalf("histogram count = %d, want 3", h.Count())
+	}
+	if math.Abs(h.Sum()-5.55) > 1e-9 {
+		t.Fatalf("histogram sum = %v, want 5.55", h.Sum())
+	}
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE grape_test_total counter",
+		"grape_test_total 3.5",
+		"# TYPE grape_test_gauge gauge",
+		"grape_test_gauge 7",
+		"# TYPE grape_test_seconds histogram",
+		`grape_test_seconds_bucket{le="0.1"} 1`,
+		`grape_test_seconds_bucket{le="1"} 2`,
+		`grape_test_seconds_bucket{le="+Inf"} 3`,
+		"grape_test_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("grape_test_calls_total", "help", "kind", "mode")
+	v.With("peval", "bsp").Add(3)
+	v.With("inceval", "bsp").Inc()
+	v.With("peval", "bsp").Inc() // same child
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `grape_test_calls_total{kind="peval",mode="bsp"} 4`) {
+		t.Errorf("bad labeled exposition:\n%s", out)
+	}
+	if !strings.Contains(out, `grape_test_calls_total{kind="inceval",mode="bsp"} 1`) {
+		t.Errorf("bad labeled exposition:\n%s", out)
+	}
+}
+
+func TestReRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("grape_test_total", "help")
+	b := r.Counter("grape_test_total", "help")
+	if a != b {
+		t.Fatal("re-registering the same shape must return the same handle")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different kind must panic")
+		}
+	}()
+	r.Gauge("grape_test_total", "help")
+}
+
+func TestNameValidation(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{
+		"queries_total",       // no grape_ prefix
+		"grape_QueriesTotal",  // not snake_case
+		"grape_queries-total", // dash
+		"grape_queries_",      // trailing underscore
+		"grape__queries",      // double underscore
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q must be rejected", bad)
+				}
+			}()
+			r.Counter(bad, "help")
+		}()
+	}
+	// Digits and underscores are fine.
+	r.Counter("grape_v2_queries_total", "help")
+}
+
+// TestConcurrentRegistrationAndScrape hammers registration, increments and
+// scrapes from many goroutines; run with -race it proves the registry's
+// synchronization story.
+func TestConcurrentRegistrationAndScrape(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c := r.Counter(fmt.Sprintf("grape_test_%d_total", j%17), "help")
+				c.Inc()
+				v := r.CounterVec("grape_test_labeled_total", "help", "worker")
+				v.With(fmt.Sprintf("%d", i)).Inc()
+				h := r.Histogram("grape_test_lat_seconds", "help", nil)
+				h.Observe(float64(j) / 1000)
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				var b strings.Builder
+				r.WritePrometheus(&b)
+				_ = r.Gather()
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0.0
+	for _, s := range r.Gather() {
+		if s.Name == "grape_test_labeled_total" {
+			total += s.Value
+		}
+	}
+	if total != 8*200 {
+		t.Fatalf("labeled counter sum = %v, want %d", total, 8*200)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("grape_test_total", "help").Add(41)
+	r.CounterVec("grape_test_calls_total", "help", "kind").With("peval").Add(7)
+	r.Histogram("grape_test_seconds", "help", []float64{1}).Observe(0.5)
+	in := r.Gather()
+	out, err := DecodeSamples(EncodeSamples(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d samples, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i].Name != out[i].Name || in[i].Value != out[i].Value ||
+			len(in[i].Labels) != len(out[i].Labels) {
+			t.Fatalf("sample %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestSnapshotRejectsHostileCounts(t *testing.T) {
+	// A tiny buffer claiming a huge sample count must fail fast instead of
+	// allocating.
+	hostile := EncodeSamples(nil)[:0]
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0xff, 0x7f) // uvarint ~34e9
+	if _, err := DecodeSamples(hostile); err == nil {
+		t.Fatal("hostile sample count accepted")
+	}
+	if _, err := DecodeSamples([]byte{3}); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}

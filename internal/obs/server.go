@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// DebugServer is the debug HTTP endpoint of a session: /metrics renders a
+// registry (plus any merged collectors) in the Prometheus text format,
+// /healthz answers liveness probes, and /debug/pprof/* serves the stdlib
+// profiling handlers. One server per session; Close releases the port.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+	reg *Registry
+
+	mu         sync.Mutex
+	collectors []func() []Sample
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Serve binds addr (port 0 picks an ephemeral port — use Addr to learn it)
+// and starts serving the debug endpoint for reg in a background goroutine.
+func Serve(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	s := &DebugServer{ln: ln, reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	// The pprof handlers are mounted explicitly on this mux: importing
+	// net/http/pprof for its side effect would pollute the global
+	// DefaultServeMux of the embedding process.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43117".
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// AddCollector merges extra samples into every /metrics scrape. The
+// distributed session registers one that polls each worker process for its
+// counters, so the coordinator's endpoint shows whole-cluster truth.
+func (s *DebugServer) AddCollector(fn func() []Sample) {
+	s.mu.Lock()
+	s.collectors = append(s.collectors, fn)
+	s.mu.Unlock()
+}
+
+func (s *DebugServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+	s.mu.Lock()
+	collectors := append([]func() []Sample(nil), s.collectors...)
+	s.mu.Unlock()
+	for _, fn := range collectors {
+		WriteSamples(w, fn())
+	}
+}
+
+// Close stops the server and releases the port. Idempotent.
+func (s *DebugServer) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.srv.Close() })
+	return s.closeErr
+}

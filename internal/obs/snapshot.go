@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The snapshot codec ships a registry's Gather output over the cluster
+// wire: worker processes answer the coordinator's stats call with
+// EncodeSamples of their per-connection registry, and the coordinator
+// decodes, re-labels (adding the worker's proc id) and merges the samples
+// into its /metrics exposition. The format is a uvarint sample count, then
+// per sample a length-prefixed name, a uvarint label count with
+// length-prefixed name/value pairs, and the value's IEEE-754 bits.
+
+// EncodeSamples serializes samples for the wire.
+func EncodeSamples(samples []Sample) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(samples)))
+	for _, s := range samples {
+		buf = appendStr(buf, s.Name)
+		buf = binary.AppendUvarint(buf, uint64(len(s.Labels)))
+		for _, l := range s.Labels {
+			buf = appendStr(buf, l.Name)
+			buf = appendStr(buf, l.Value)
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.Value))
+	}
+	return buf
+}
+
+// DecodeSamples parses a snapshot. Counts are validated against the
+// remaining bytes, so corrupt or hostile input fails instead of allocating.
+func DecodeSamples(buf []byte) ([]Sample, error) {
+	off := 0
+	n, err := readUvarint(buf, &off)
+	if err != nil {
+		return nil, err
+	}
+	// Every sample costs at least a 1-byte name length, a label count and
+	// 8 value bytes.
+	if n > uint64(len(buf))/10+1 {
+		return nil, fmt.Errorf("obs: snapshot claims %d samples in %d bytes", n, len(buf))
+	}
+	out := make([]Sample, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var s Sample
+		if s.Name, err = readStr(buf, &off); err != nil {
+			return nil, err
+		}
+		nl, err := readUvarint(buf, &off)
+		if err != nil {
+			return nil, err
+		}
+		if nl > uint64(len(buf)-off)/2+1 {
+			return nil, fmt.Errorf("obs: snapshot sample claims %d labels", nl)
+		}
+		for j := uint64(0); j < nl; j++ {
+			var l Label
+			if l.Name, err = readStr(buf, &off); err != nil {
+				return nil, err
+			}
+			if l.Value, err = readStr(buf, &off); err != nil {
+				return nil, err
+			}
+			s.Labels = append(s.Labels, l)
+		}
+		if off+8 > len(buf) {
+			return nil, fmt.Errorf("obs: truncated snapshot value at offset %d", off)
+		}
+		s.Value = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readUvarint(buf []byte, off *int) (uint64, error) {
+	v, n := binary.Uvarint(buf[*off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("obs: truncated snapshot at offset %d", *off)
+	}
+	*off += n
+	return v, nil
+}
+
+func readStr(buf []byte, off *int) (string, error) {
+	n, err := readUvarint(buf, off)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(buf)-*off) {
+		return "", fmt.Errorf("obs: truncated snapshot string at offset %d", *off)
+	}
+	s := string(buf[*off : *off+int(n)])
+	*off += int(n)
+	return s, nil
+}

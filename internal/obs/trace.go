@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultMaxSpans bounds a trace recorder: a pathological run (tens of
+// thousands of supersteps across many workers) must not grow its trace
+// without bound. Spans past the cap are counted as dropped.
+const DefaultMaxSpans = 1 << 17
+
+// Span is one timestamped interval of a query run: a PEval or IncEval
+// invocation on a worker, a barrier wait, a combine flush, a remote call
+// round trip, Assemble. Start is relative to the trace's start instant.
+type Span struct {
+	// Name identifies the phase, e.g. "PEval", "IncEval s3", "barrier",
+	// "rpc:inceval", "assemble".
+	Name string
+	// Worker is the fragment rank the span ran on; -1 marks
+	// coordinator-side spans (Assemble, fetch, combine flushes).
+	Worker int
+	// Start is the offset from the trace's start.
+	Start time.Duration
+	// Dur is the span's length.
+	Dur time.Duration
+}
+
+// Trace records the spans of one query run. All methods are safe for
+// concurrent use; a nil *Trace ignores every recording call, so call sites
+// need no guards.
+type Trace struct {
+	mu      sync.Mutex
+	start   time.Time
+	spans   []Span
+	max     int
+	dropped int
+}
+
+// NewTrace returns a recorder whose clock starts now.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now(), max: DefaultMaxSpans}
+}
+
+// Add records one span from its absolute start time and duration.
+func (t *Trace) Add(name string, worker int, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.spans) >= t.max {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, Span{Name: name, Worker: worker, Start: start.Sub(t.start), Dur: dur})
+	}
+	t.mu.Unlock()
+}
+
+// Span starts a span now and returns the closure that ends and records it.
+//
+//	defer tr.Span("assemble", -1)()
+func (t *Trace) Span(name string, worker int) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Add(name, worker, start, time.Since(start)) }
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Dropped reports how many spans were discarded past the recorder's cap.
+func (t *Trace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// chromeEvent is one Chrome trace-event object. Complete events (ph "X")
+// carry microsecond timestamps and durations; metadata events (ph "M") name
+// the per-worker thread rows.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace-event format, loadable
+// by Perfetto and chrome://tracing.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// ChromeJSON exports the trace in the Chrome trace-event JSON format. Each
+// worker rank becomes its own thread row (tid = rank + 1, named "worker N");
+// coordinator-side spans render as tid 0 ("coordinator").
+func (t *Trace) ChromeJSON() ([]byte, error) {
+	spans := t.Spans()
+	events := make([]chromeEvent, 0, len(spans)+8)
+	seen := map[int]bool{}
+	tid := func(worker int) int {
+		if worker < 0 {
+			return 0
+		}
+		return worker + 1
+	}
+	for _, s := range spans {
+		if !seen[tid(s.Worker)] {
+			seen[tid(s.Worker)] = true
+			name := "coordinator"
+			if s.Worker >= 0 {
+				name = fmt.Sprintf("worker %d", s.Worker)
+			}
+			events = append(events, chromeEvent{Name: "thread_name", Ph: "M",
+				Pid: 0, Tid: tid(s.Worker), Args: map[string]any{"name": name}})
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Ph: "X",
+			Ts:  float64(s.Start.Nanoseconds()) / 1e3,
+			Dur: float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid: 0, Tid: tid(s.Worker),
+		})
+	}
+	return json.Marshal(chromeTrace{TraceEvents: events})
+}

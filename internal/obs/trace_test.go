@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Add("x", 0, time.Now(), time.Millisecond)
+	tr.Span("y", 1)()
+	if tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil trace must record nothing")
+	}
+}
+
+func TestTraceRecordsAndCaps(t *testing.T) {
+	tr := NewTrace()
+	tr.max = 3
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		tr.Add("s", i, base, time.Millisecond)
+	}
+	if got := len(tr.Spans()); got != 3 {
+		t.Fatalf("spans = %d, want 3 (capped)", got)
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+// TestChromeJSONWellFormed loads the export back through a schema-shaped
+// struct: the trace-event format requires name/ph/ts/pid/tid on every event,
+// "X" events carry durations, and every referenced tid has a thread_name
+// metadata event.
+func TestChromeJSONWellFormed(t *testing.T) {
+	tr := NewTrace()
+	base := tr.start
+	tr.Add("PEval", 0, base, 2*time.Millisecond)
+	tr.Add("PEval", 1, base, 3*time.Millisecond)
+	tr.Add("IncEval s2", 0, base.Add(3*time.Millisecond), time.Millisecond)
+	tr.Add("assemble", -1, base.Add(5*time.Millisecond), time.Millisecond)
+
+	raw, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("export does not match the trace-event schema: %v\n%s", err, raw)
+	}
+
+	named := map[int]string{}
+	var complete int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ts == nil || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %q missing required field: %+v", ev.Name, ev)
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "thread_name" {
+				t.Fatalf("unexpected metadata event %q", ev.Name)
+			}
+			named[*ev.Tid], _ = ev.Args["name"].(string)
+		case "X":
+			complete++
+			if ev.Dur < 0 {
+				t.Fatalf("negative duration on %q", ev.Name)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if complete != 4 {
+		t.Fatalf("complete events = %d, want 4", complete)
+	}
+	if named[0] != "coordinator" || named[1] != "worker 0" || named[2] != "worker 1" {
+		t.Fatalf("thread rows misnamed: %v", named)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			if _, ok := named[*ev.Tid]; !ok {
+				t.Fatalf("event %q on unnamed tid %d", ev.Name, *ev.Tid)
+			}
+		}
+	}
+}

@@ -6,8 +6,11 @@
 # run over the same graph and partition. A second phase drives the
 # dynamic-graph serve commands (insert/delete/reweight/addv/rmv, mat/view)
 # against the 3-worker cluster and diffs the maintained views against a
-# single-process session absorbing the same update stream. Any mismatch or
-# worker failure fails the script.
+# single-process session absorbing the same update stream. A third phase
+# scrapes the coordinator's debug endpoint (/metrics, /healthz) mid-session
+# and checks that the query, superstep, wire and per-worker-process metric
+# families are present and moving, and that the trace command exports a
+# non-empty Chrome trace. Any mismatch or worker failure fails the script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,7 +44,7 @@ for mode in bsp async; do
 
     worker_pids=()
     for _ in $(seq "$PROCS"); do
-      "$WORKDIR/grape-worker" -coordinator "127.0.0.1:$PORT" -quiet &
+      "$WORKDIR/grape-worker" -coordinator "127.0.0.1:$PORT" &
       worker_pids+=($!)
     done
     "$WORKDIR/grape" -graph "$WORKDIR/g.txt" -query "$query" -source 5 \
@@ -106,7 +109,7 @@ extract_dyn() { grep -E '^  dist\(|^view ' "$1"; }
 
 worker_pids=()
 for _ in $(seq "$PROCS"); do
-  "$WORKDIR/grape-worker" -coordinator "127.0.0.1:$PORT" -quiet &
+  "$WORKDIR/grape-worker" -coordinator "127.0.0.1:$PORT" &
   worker_pids+=($!)
 done
 "$WORKDIR/grape" -graph "$WORKDIR/g.txt" -workers "$WORKERS" -serve -top 1000000 \
@@ -129,5 +132,83 @@ if ! diff <(extract_dyn "$WORKDIR/single_dyn.txt") <(extract_dyn "$WORKDIR/dist_
   exit 1
 fi
 echo "OK: $PROCS-process dynamic views match the single-process session"
+
+echo "=== observability: /metrics + /healthz scrape and trace export ==="
+# Drive the coordinator through a FIFO so the session stays resident while
+# the debug endpoint is scraped mid-run; the scrape must show the query,
+# superstep, wire and per-worker-process families with live values.
+OBS_ADDR="127.0.0.1:$((PORT + 1))"
+mkfifo "$WORKDIR/obs_in"
+worker_pids=()
+for _ in $(seq "$PROCS"); do
+  "$WORKDIR/grape-worker" -coordinator "127.0.0.1:$PORT" &
+  worker_pids+=($!)
+done
+"$WORKDIR/grape" -graph "$WORKDIR/g.txt" -workers "$WORKERS" -serve -top 10 \
+  -listen "127.0.0.1:$PORT" -worker-procs "$PROCS" \
+  -debug-listen "$OBS_ADDR" \
+  < "$WORKDIR/obs_in" > "$WORKDIR/obs_out.txt" &
+coord_pid=$!
+exec 3> "$WORKDIR/obs_in"
+echo "sssp 5" >&3
+echo "insert 5 1200 0.25" >&3
+
+# Wait for the query and the update to land (the output file tells us).
+for _ in $(seq 100); do
+  grep -q '^epoch 1:' "$WORKDIR/obs_out.txt" 2>/dev/null && break
+  sleep 0.2
+done
+grep -q '^epoch 1:' "$WORKDIR/obs_out.txt" || {
+  echo "FAIL: coordinator never absorbed the update batch" >&2
+  cat "$WORKDIR/obs_out.txt" >&2
+  exit 1
+}
+
+curl -fsS "http://$OBS_ADDR/healthz" | grep -q ok || {
+  echo "FAIL: /healthz did not answer ok" >&2
+  exit 1
+}
+curl -fsS "http://$OBS_ADDR/metrics" > "$WORKDIR/metrics.txt"
+for family in \
+  'grape_queries_finished_total{mode="bsp"} 1' \
+  grape_supersteps_total \
+  grape_superstep_seconds_bucket \
+  grape_comm_messages_sent_total \
+  grape_net_frames_sent_total \
+  grape_net_reply_bytes_pooled_total \
+  'grape_update_epochs_installed_total 1' \
+  'grape_worker_calls_total{kind="peval",proc="0"}' \
+  'grape_worker_calls_total{kind="peval",proc="1"}' \
+  'grape_worker_calls_total{kind="peval",proc="2"}'
+do
+  if ! grep -qF "$family" "$WORKDIR/metrics.txt"; then
+    echo "FAIL: /metrics is missing '$family'; scrape was:" >&2
+    cat "$WORKDIR/metrics.txt" >&2
+    exit 1
+  fi
+done
+
+echo "trace $WORKDIR/trace.json" >&3
+echo "quit" >&3
+exec 3>&-
+if ! wait "$coord_pid"; then
+  echo "FAIL: coordinator exited non-zero during the observability phase" >&2
+  exit 1
+fi
+for pid in "${worker_pids[@]}"; do
+  if ! wait "$pid"; then
+    echo "FAIL: grape-worker (pid $pid) exited non-zero during the observability phase" >&2
+    exit 1
+  fi
+done
+test -s "$WORKDIR/trace.json" || {
+  echo "FAIL: trace export produced no file" >&2
+  exit 1
+}
+grep -q traceEvents "$WORKDIR/trace.json" || {
+  echo "FAIL: trace export is not Chrome trace-event JSON" >&2
+  exit 1
+}
+echo "OK: /metrics shows all $PROCS worker processes and the trace exported"
 
 echo "e2e-distributed: all checks passed"

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Metric-naming lint, as run by the lint CI job: every metric registered
+# through internal/obs (package constructors or *Registry methods) must be a
+# grape_-prefixed snake_case name — lowercase words separated by single
+# underscores, matching ^grape_[a-z0-9]+(_[a-z0-9]+)*$. The registry enforces
+# this at runtime too (it panics), but the lint catches a bad name on every
+# push instead of on the first code path that registers it. Test files are
+# excluded: the registry's own tests register deliberately invalid names to
+# prove the panic fires.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bad=0
+# Find first-argument string literals of Counter/Gauge/Histogram
+# constructors and their Vec variants, e.g. obs.Counter("grape_x_total", ...)
+# or reg.HistogramVec("grape_y_seconds", ...).
+while IFS=: read -r file line name; do
+  if ! [[ "$name" =~ ^grape_[a-z0-9]+(_[a-z0-9]+)*$ ]]; then
+    echo "$file:$line: metric name \"$name\" is not grape_-prefixed snake_case" >&2
+    bad=1
+  fi
+done < <(grep -rnoE '\b(Counter|Gauge|Histogram)(Vec)?\("[^"]*"' \
+           --include='*.go' --exclude='*_test.go' . \
+         | sed -E 's/\b(Counter|Gauge|Histogram)(Vec)?\("([^"]*)"/\3/')
+
+if [ "$bad" -ne 0 ]; then
+  echo "metric-naming lint failed" >&2
+  exit 1
+fi
+echo "metric-naming lint: all registered names are grape_-prefixed snake_case"
