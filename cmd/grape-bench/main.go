@@ -17,15 +17,18 @@
 //	grape-bench -exp net                       # in-process vs local-TCP transport overhead
 //	grape-bench -exp netinc                    # distributed view maintenance vs recompute over TCP
 //	grape-bench -exp obs                       # observability instrumentation overhead
+//	grape-bench -exp par                       # intra-fragment sweep-pool scaling curve
 //	grape-bench -exp all                       # everything
 //
 // Flags -size (tiny|small|medium) and -workers control the scale; -n gives
-// the list of worker counts swept by the fig6/fig7 and async experiments.
-// The incremental, async, net, netinc and obs experiments additionally write
-// machine-readable results to BENCH_incremental.json, BENCH_async.json,
-// BENCH_net.json, BENCH_netinc.json and BENCH_obs.json (configurable with
-// -out, -async-out, -net-out, -netinc-out and -obs-out); -quick shrinks the
-// async, net, netinc and obs experiments to smoke tests for CI. -trace runs
+// the list of worker counts swept by the fig6/fig7 and async experiments;
+// -parallelism caps the pool widths swept by the par experiment (default
+// GOMAXPROCS). The incremental, async, net, netinc, obs and par experiments
+// additionally write machine-readable results to BENCH_incremental.json,
+// BENCH_async.json, BENCH_net.json, BENCH_netinc.json, BENCH_obs.json and
+// BENCH_par.json (configurable with -out, -async-out, -net-out, -netinc-out,
+// -obs-out and -par-out); -quick shrinks the async, net, netinc, obs and par
+// experiments to smoke tests for CI. -trace runs
 // one SSSP query over a local-TCP cluster and writes its execution trace as
 // Chrome trace-event JSON to the named file (open in https://ui.perfetto.dev
 // or chrome://tracing). -cpuprofile and -memprofile write pprof profiles
@@ -58,6 +61,8 @@ func main() {
 		netOut     = flag.String("net-out", "BENCH_net.json", "output file for the net experiment's JSON results")
 		netIncOut  = flag.String("netinc-out", "BENCH_netinc.json", "output file for the netinc experiment's JSON results")
 		obsOut     = flag.String("obs-out", "BENCH_obs.json", "output file for the obs experiment's JSON results")
+		parOut     = flag.String("par-out", "BENCH_par.json", "output file for the par experiment's JSON results")
+		par        = flag.Int("parallelism", runtime.GOMAXPROCS(0), "maximum sweep pool width swept by the par experiment (0 or 1 = sequential only)")
 		traceOut   = flag.String("trace", "", "run one SSSP query over a local-TCP cluster and write its Chrome trace-event JSON here")
 		quick      = flag.Bool("quick", false, "shrink the async, net, netinc and obs experiments to CI smoke runs")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
@@ -79,7 +84,7 @@ func main() {
 			f.Close()
 		}()
 	}
-	err := run(*exp, *size, *workers, *nList, *out, *asyncOut, *netOut, *netIncOut, *obsOut, *traceOut, *quick)
+	err := run(*exp, *size, *workers, *par, *nList, *out, *asyncOut, *netOut, *netIncOut, *obsOut, *parOut, *traceOut, *quick)
 	if *memProfile != "" {
 		f, merr := os.Create(*memProfile)
 		if merr == nil {
@@ -100,7 +105,7 @@ func main() {
 	}
 }
 
-func run(exp, size string, workers int, nList, incOut, asyncOut, netOut, netIncOut, obsOut, traceOut string, quick bool) error {
+func run(exp, size string, workers, parallelism int, nList, incOut, asyncOut, netOut, netIncOut, obsOut, parOut, traceOut string, quick bool) error {
 	scale, err := workload.ParseScale(size)
 	if err != nil {
 		return err
@@ -289,6 +294,26 @@ func run(exp, size string, workers int, nList, incOut, asyncOut, netOut, netIncO
 		fmt.Printf("wrote %s\n", obsOut)
 		return nil
 	}
+	runPar := func() error {
+		n, procs, scale := workers, 3, scale
+		if quick {
+			n, procs, scale = 4, 2, workload.ScaleTiny
+		}
+		rep, err := bench.ParallelScaling(n, procs, parallelism, scale, quick)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatParReport(rep))
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(parOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", parOut)
+		return nil
+	}
 	runAblations := func() error {
 		rows, err := bench.AblationMessageGrouping(workers, scale)
 		if err != nil {
@@ -342,6 +367,8 @@ func run(exp, size string, workers int, nList, incOut, asyncOut, netOut, netIncO
 		return runNetInc()
 	case "obs":
 		return runObs()
+	case "par":
+		return runPar()
 	case "all":
 		steps := []func() error{
 			runTable1,
@@ -364,6 +391,7 @@ func run(exp, size string, workers int, nList, incOut, asyncOut, netOut, netIncO
 			runNet,
 			runNetInc,
 			runObs,
+			runPar,
 		}
 		for _, step := range steps {
 			if err := step(); err != nil {

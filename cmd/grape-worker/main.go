@@ -32,6 +32,13 @@
 // cluster size, its ranks, the fragments, the fragmentation graph — arrives
 // through the handshake, so the same binary serves any graph and any query
 // the coordinator runs.
+//
+// The -parallelism flag (default GOMAXPROCS, 0 or 1 = sequential) sets the
+// sweep pool width this process gives each hosted fragment: parallel-capable
+// queries chunk their dense vertex sweeps over up to that many goroutines
+// per PEval/IncEval, with answers byte-identical to the sequential path. It
+// is a process-local setting — each worker sizes its pool to its own
+// machine; nothing about it crosses the wire.
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
 	"time"
 
 	"grape"
@@ -48,6 +56,7 @@ func main() {
 	var (
 		coordinator = flag.String("coordinator", "127.0.0.1:9091", "coordinator address to dial")
 		dialTimeout = flag.Duration("dial-timeout", 30*time.Second, "total budget for dialing the coordinator with backoff")
+		par         = flag.Int("parallelism", runtime.GOMAXPROCS(0), "per-fragment sweep pool width for parallel-capable queries (0 or 1 = sequential)")
 		verbose     = flag.Bool("v", false, "log progress at info level (default: warnings and errors only)")
 		debugListen = flag.String("debug-listen", "", "serve /metrics, /healthz and /debug/pprof for this worker process on this address")
 	)
@@ -63,6 +72,7 @@ func main() {
 		DialTimeout: *dialTimeout,
 		Log:         logger,
 		DebugListen: *debugListen,
+		Parallelism: *par,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "grape-worker:", err)

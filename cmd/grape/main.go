@@ -10,6 +10,13 @@
 // asynchronous plane is supported by sssp, cc and pagerank; it removes the
 // superstep barriers, so stragglers do not pace the whole query.
 //
+// The -parallelism flag sets the width of each worker's sweep pool:
+// parallel-capable queries (sssp, cc, pagerank) chunk their dense vertex
+// sweeps over up to that many goroutines inside every PEval/IncEval, with
+// answers byte-identical to the sequential path. It defaults to GOMAXPROCS;
+// 0 or 1 selects the sequential legacy path. In distributed mode the worker
+// processes take their own -parallelism flag.
+//
 // Serve mode (-serve) loads and partitions the graph once, then answers a
 // stream of queries read from stdin — one query per line — over the resident
 // session, so every query after the first pays only its own evaluation time:
@@ -78,6 +85,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -95,19 +103,20 @@ func main() {
 		strategy  = flag.String("strategy", "multilevel", "partition strategy: hash, range, ldg, multilevel, vertexcut")
 		mode      = flag.String("mode", "bsp", "execution plane: bsp or async (async supports sssp, cc, pagerank)")
 		top       = flag.Int("top", 10, "number of per-vertex results to print")
+		par       = flag.Int("parallelism", runtime.GOMAXPROCS(0), "per-worker sweep pool width for parallel-capable queries (0 or 1 = sequential)")
 		serve     = flag.Bool("serve", false, "partition once, then answer a stream of queries from stdin")
 		listen    = flag.String("listen", "", "run distributed: listen on this address and ship fragments to grape-worker processes")
 		procs     = flag.Int("worker-procs", 3, "number of grape-worker processes to wait for (with -listen)")
 		debug     = flag.String("debug-listen", "", "serve /metrics, /healthz and /debug/pprof on this address")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *query, grape.VertexID(*source), *workers, *strategy, *mode, *top, *serve, *listen, *procs, *debug); err != nil {
+	if err := run(*graphPath, *query, grape.VertexID(*source), *workers, *par, *strategy, *mode, *top, *serve, *listen, *procs, *debug); err != nil {
 		fmt.Fprintln(os.Stderr, "grape:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, query string, source grape.VertexID, workers int, strategy, mode string, top int, serve bool, listen string, procs int, debug string) error {
+func run(graphPath, query string, source grape.VertexID, workers, parallelism int, strategy, mode string, top int, serve bool, listen string, procs int, debug string) error {
 	if graphPath == "" {
 		return fmt.Errorf("missing -graph")
 	}
@@ -128,7 +137,7 @@ func run(graphPath, query string, source grape.VertexID, workers int, strategy, 
 	if !ok {
 		return fmt.Errorf("unknown partition strategy %q", strategy)
 	}
-	opts := grape.Options{Workers: workers, Strategy: strat, Mode: execMode, DebugListen: debug}
+	opts := grape.Options{Workers: workers, Parallelism: parallelism, Strategy: strat, Mode: execMode, DebugListen: debug}
 	if listen != "" {
 		opts.Distributed = &grape.Distributed{
 			Listen:      listen,

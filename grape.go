@@ -187,8 +187,12 @@ type Options struct {
 	// Strategy is the partition strategy (default hash edge-cut; the
 	// multilevel strategy usually performs better).
 	Strategy Strategy
-	// Parallelism bounds how many workers run concurrently (default =
-	// Workers).
+	// Parallelism is the intra-fragment sweep-pool width: programs that
+	// declare a data-parallel sweep (SSSP, CC, PageRank) chunk their dense
+	// vertex ranges over up to this many goroutines inside each PEval or
+	// IncEval, with results byte-identical to the sequential plane. Zero or
+	// one selects the sequential legacy reference path; the CLIs default
+	// their -parallelism flag to GOMAXPROCS.
 	Parallelism int
 	// Mode is the default execution plane (BSP unless set to Async).
 	// Individual queries can override it with Session.WithMode.
@@ -329,6 +333,11 @@ type WorkerOptions struct {
 	// endpoint (/metrics, /healthz, /debug/pprof/*). The per-connection call
 	// counters also travel to the coordinator over the stats call regardless.
 	DebugListen string
+	// Parallelism is the intra-fragment sweep-pool width this worker process
+	// grants ParallelCapable programs (see Options.Parallelism). It is a
+	// process-local setting: the coordinator's evaluation calls do not carry
+	// it. Zero or one keeps the sequential legacy path.
+	Parallelism int
 }
 
 // ServeWorker runs this process as a grape worker: it dials the coordinator
@@ -339,6 +348,7 @@ type WorkerOptions struct {
 // around this.
 func ServeWorker(coordinator string, opts WorkerOptions) error {
 	host := core.NewWorkerHost(pie.ByName)
+	host.SetParallelism(opts.Parallelism)
 	reg := obs.NewRegistry()
 	if opts.DebugListen != "" {
 		srv, err := obs.Serve(opts.DebugListen, obs.Default)

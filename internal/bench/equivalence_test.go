@@ -41,33 +41,40 @@ func randomEquivGraph(rng *rand.Rand, directed bool) *graph.Graph {
 
 // planeAnswers evaluates q on every plane the engine offers over identical
 // fragments: the in-process session (BSP and async) and a local-TCP session
-// (BSP and async), with message combining and the v3 pooled/compressed
-// framing active everywhere. Keys identify the plane in failure messages.
+// (BSP and async), each with the sequential sweeps and with 4-wide parallel
+// sweep pools, with message combining and the v3 pooled/compressed framing
+// active everywhere. Keys identify the plane in failure messages.
 func planeAnswers(t *testing.T, p *partition.Partitioned, q core.Query, prog core.Program, procs int) map[string]any {
 	t.Helper()
-	local, err := core.NewSessionPartitioned(p, core.Options{})
-	if err != nil {
-		t.Fatalf("local session: %v", err)
-	}
-	defer local.Close()
-	tcp, cleanup, _, err := tcpSession(p, procs)
-	if err != nil {
-		t.Fatalf("tcp session: %v", err)
-	}
-	defer cleanup()
-
 	out := make(map[string]any)
-	for _, mode := range []core.ExecMode{core.ModeBSP, core.ModeAsync} {
-		inRes, err := local.RunMode(q, prog, mode)
-		if err != nil {
-			t.Fatalf("in-process %v: %v", mode, err)
+	for _, width := range []int{1, 4} {
+		opts := core.Options{Parallelism: width}
+		suffix := ""
+		if width > 1 {
+			suffix = fmt.Sprintf("/par%d", width)
 		}
-		out["inproc/"+mode.String()] = inRes.Output
-		tcpRes, err := tcp.RunMode(q, prog, mode)
+		local, err := core.NewSessionPartitioned(p, opts)
 		if err != nil {
-			t.Fatalf("tcp %v: %v", mode, err)
+			t.Fatalf("local session: %v", err)
 		}
-		out["tcp/"+mode.String()] = tcpRes.Output
+		t.Cleanup(func() { local.Close() })
+		tcp, cleanup, _, err := tcpSessionOpts(p, procs, opts)
+		if err != nil {
+			t.Fatalf("tcp session: %v", err)
+		}
+		t.Cleanup(cleanup)
+		for _, mode := range []core.ExecMode{core.ModeBSP, core.ModeAsync} {
+			inRes, err := local.RunMode(q, prog, mode)
+			if err != nil {
+				t.Fatalf("in-process %v%s: %v", mode, suffix, err)
+			}
+			out["inproc/"+mode.String()+suffix] = inRes.Output
+			tcpRes, err := tcp.RunMode(q, prog, mode)
+			if err != nil {
+				t.Fatalf("tcp %v%s: %v", mode, suffix, err)
+			}
+			out["tcp/"+mode.String()+suffix] = tcpRes.Output
+		}
 	}
 	return out
 }

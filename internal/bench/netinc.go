@@ -61,7 +61,9 @@ func tcpSession(p *partition.Partitioned, procs int) (*core.Session, func(), tim
 
 // tcpSessionOpts is tcpSession with explicit engine options, so experiments
 // can compare configurations (e.g. instrumented vs Options.NoMetrics) over
-// the same transport.
+// the same transport. Parallelism is a worker-process setting, not a wire
+// one, so it is installed on each hosted WorkerHost directly — mirroring
+// what grape-worker's -parallelism flag does in a real cluster.
 func tcpSessionOpts(p *partition.Partitioned, procs int, opts core.Options) (*core.Session, func(), time.Duration, error) {
 	start := time.Now()
 	ln, err := grapenet.Listen("127.0.0.1:0")
@@ -74,6 +76,7 @@ func tcpSessionOpts(p *partition.Partitioned, procs int, opts core.Options) (*co
 		go func() {
 			defer wg.Done()
 			host := core.NewWorkerHost(pie.ByName)
+			host.SetParallelism(opts.Parallelism)
 			_ = grapenet.RunWorker(ln.Addr(), host, grapenet.WorkerOptions{DialTimeout: 10 * time.Second})
 		}()
 	}

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/partition"
+	"grape/internal/pie"
+	"grape/internal/workload"
+)
+
+// ParRow is one point of the parallel-evaluation scaling experiment: a query
+// evaluated over a resident partition with the per-worker sweep pool set to
+// Width goroutines. Width 1 is the sequential legacy path and the baseline
+// the other widths are normalized against; Identical reports whether the
+// answer matched that baseline bit for bit (the parallel sweeps are designed
+// to be byte-identical, so this doubles as a correctness check riding along
+// with every measurement).
+type ParRow struct {
+	Dataset   string `json:"dataset"`
+	Query     string `json:"query"`
+	Transport string `json:"transport"` // "inproc" or "tcp"
+	Workers   int    `json:"workers"`
+	Procs     int    `json:"procs"` // 0 on the in-process transport
+	Width     int    `json:"width"`
+
+	Seconds float64 `json:"seconds"`
+	// Speedup is the width-1 time of the same (dataset, query, transport)
+	// divided by Seconds.
+	Speedup float64 `json:"speedup"`
+
+	Identical bool    `json:"identical"`
+	MaxDiff   float64 `json:"max_diff"`
+}
+
+// ParReport is the full output of grape-bench -exp par: the scaling curve
+// plus the netinc wire-overhead experiment re-measured with the pipelined
+// communication (background combine-fold and coalesced frame writes) active,
+// so the report shows both what the sweep pools buy and what the overlap
+// shaved off the wire.
+type ParReport struct {
+	MaxWidth int         `json:"max_width"`
+	Scaling  []ParRow    `json:"scaling"`
+	NetInc   []NetIncRow `json:"netinc"`
+}
+
+// parQuery is one query of the scaling workload.
+type parQuery struct {
+	name string
+	q    core.Query
+	prog core.Program
+}
+
+// parWidths is the sweep 1, 2, 4, ... capped at max, with max itself
+// included when it is not a power of two.
+func parWidths(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	widths := []int{1}
+	for w := 2; w <= max; w *= 2 {
+		widths = append(widths, w)
+	}
+	if last := widths[len(widths)-1]; last != max {
+		widths = append(widths, max)
+	}
+	return widths
+}
+
+// compareAnswers diffs an answer against the width-1 reference of the same
+// configuration: exact for SSSP distances and CC labels, max-|Δ| for
+// PageRank (which should also be exactly zero — the parallel sweep replays
+// the sequential floating-point fold order).
+func compareAnswers(ref, got any) (identical bool, maxDiff float64) {
+	switch r := ref.(type) {
+	case map[graph.VertexID]float64:
+		g := got.(map[graph.VertexID]float64)
+		if len(r) != len(g) {
+			return false, math.Inf(1)
+		}
+		identical = true
+		for v, want := range r {
+			have, ok := g[v]
+			if !ok {
+				return false, math.Inf(1)
+			}
+			if math.Float64bits(have) != math.Float64bits(want) {
+				identical = false
+				if d := math.Abs(have - want); d > maxDiff {
+					maxDiff = d
+				}
+			}
+		}
+		return identical, maxDiff
+	case map[graph.VertexID]graph.VertexID:
+		g := got.(map[graph.VertexID]graph.VertexID)
+		if len(r) != len(g) {
+			return false, math.Inf(1)
+		}
+		for v, want := range r {
+			if have, ok := g[v]; !ok || have != want {
+				return false, math.Inf(1)
+			}
+		}
+		return true, 0
+	}
+	return false, math.Inf(1)
+}
+
+// ParallelScaling measures the intra-fragment sweep pools (grape-bench -exp
+// par): SSSP, CC and PageRank on a balanced road network and a skewed social
+// network, each evaluated at pool widths 1..maxWidth over the in-process
+// transport and a local-TCP cluster, with every parallel answer diffed
+// against the sequential one. The same partition is reused across widths so
+// the curve isolates the sweep pools.
+func ParallelScaling(workers, procs, maxWidth int, scale workload.Scale, quick bool) (*ParReport, error) {
+	if procs < 1 || procs > workers {
+		return nil, fmt.Errorf("bench: %d procs for %d workers", procs, workers)
+	}
+	widths := parWidths(maxWidth)
+	if quick {
+		widths = []int{1, 2}
+	}
+	datasets := []string{workload.Traffic, workload.LiveJournal}
+	nSources := 2
+	if quick {
+		nSources = 1
+	}
+
+	rep := &ParReport{MaxWidth: widths[len(widths)-1]}
+	for _, ds := range datasets {
+		g, err := workload.Load(ds, scale)
+		if err != nil {
+			return nil, err
+		}
+		queries := []parQuery{}
+		for _, src := range workload.Sources(g, nSources, 23) {
+			queries = append(queries, parQuery{name: QuerySSSP, q: src, prog: pie.SSSP{}})
+		}
+		queries = append(queries, parQuery{name: QueryCC, q: nil, prog: pie.CC{}})
+		queries = append(queries, parQuery{name: "pagerank", q: pie.DefaultPageRankQuery(), prog: pie.PageRank{}})
+		p := partition.Partition(g, workers, grapeStrategy)
+
+		for _, transport := range []string{"inproc", "tcp"} {
+			// refs holds the width-1 answer per query index; base the
+			// width-1 seconds per query name.
+			refs := make([]any, len(queries))
+			base := map[string]float64{}
+			for _, width := range widths {
+				rows := map[string]*ParRow{}
+				order := []string{}
+				opts := core.Options{Parallelism: width}
+				var s *core.Session
+				var cleanup func()
+				if transport == "inproc" {
+					s, err = core.NewSessionPartitioned(p, opts)
+					if err != nil {
+						return nil, err
+					}
+					cleanup = func() { s.Close() }
+				} else {
+					s, cleanup, _, err = tcpSessionOpts(p, procs, opts)
+					if err != nil {
+						return nil, err
+					}
+				}
+				for qi, pq := range queries {
+					res, err := s.Run(pq.q, pq.prog)
+					if err != nil {
+						cleanup()
+						return nil, fmt.Errorf("bench: %s %s width=%d: %w", transport, pq.name, width, err)
+					}
+					row := rows[pq.name]
+					if row == nil {
+						row = &ParRow{Dataset: ds, Query: pq.name, Transport: transport,
+							Workers: workers, Width: width, Identical: true}
+						if transport == "tcp" {
+							row.Procs = procs
+						}
+						rows[pq.name] = row
+						order = append(order, pq.name)
+					}
+					row.Seconds += res.Stats.Elapsed.Seconds()
+					if width == 1 {
+						refs[qi] = res.Output
+					} else {
+						same, diff := compareAnswers(refs[qi], res.Output)
+						row.Identical = row.Identical && same
+						if diff > row.MaxDiff {
+							row.MaxDiff = diff
+						}
+					}
+				}
+				cleanup()
+				for _, name := range order {
+					row := rows[name]
+					if width == 1 {
+						base[name] = row.Seconds
+					}
+					row.Speedup = safeRatio(base[name], row.Seconds)
+					rep.Scaling = append(rep.Scaling, *row)
+				}
+			}
+		}
+	}
+
+	netinc, err := NetIncMaintenance(workers, procs, scale, quick)
+	if err != nil {
+		return nil, err
+	}
+	rep.NetInc = netinc
+	return rep, nil
+}
+
+// FormatParReport renders the experiment as text tables.
+func FormatParReport(rep *ParReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nParallel evaluation: per-worker sweep pools (width 1 = sequential reference)\n")
+	fmt.Fprintf(&b, "%-12s %-10s %-8s %3s %6s %6s %12s %9s %10s %10s\n",
+		"dataset", "query", "transp", "n", "procs", "width", "time(s)", "speedup", "identical", "max|Δ|")
+	for _, r := range rep.Scaling {
+		fmt.Fprintf(&b, "%-12s %-10s %-8s %3d %6d %6d %12.4f %8.2fx %10t %10.2g\n",
+			r.Dataset, r.Query, r.Transport, r.Workers, r.Procs, r.Width,
+			r.Seconds, r.Speedup, r.Identical, r.MaxDiff)
+	}
+	b.WriteString(FormatNetIncRows(rep.NetInc))
+	b.WriteString("(netinc re-measured with overlapped combining and coalesced frame writes)\n")
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"grape/internal/core"
+	"grape/internal/graph"
+	"grape/internal/par"
+	"grape/internal/partition"
+	"grape/internal/pie"
+	"grape/internal/workload"
+)
+
+// TestParallelScalingQuick smoke-tests the -exp par harness at tiny scale:
+// every row must carry a positive time and every parallel row must report a
+// byte-identical answer.
+func TestParallelScalingQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brings up TCP clusters")
+	}
+	rep, err := ParallelScaling(4, 2, 2, workload.ScaleTiny, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scaling) == 0 {
+		t.Fatal("no scaling rows")
+	}
+	for _, r := range rep.Scaling {
+		if r.Seconds <= 0 {
+			t.Errorf("%s/%s/%s width=%d: non-positive time %v", r.Dataset, r.Query, r.Transport, r.Width, r.Seconds)
+		}
+		if !r.Identical {
+			t.Errorf("%s/%s/%s width=%d: answer not byte-identical (max|Δ|=%g)",
+				r.Dataset, r.Query, r.Transport, r.Width, r.MaxDiff)
+		}
+	}
+	if len(rep.NetInc) == 0 {
+		t.Fatal("no netinc rows")
+	}
+}
+
+// chunkGraph builds a connected weighted graph with exactly n vertices so
+// fragment sizes can be pinned around the pool's chunk size.
+func chunkGraph(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(true)
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.VertexID(i), "")
+	}
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1), 1+rng.Float64(), "")
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)), 0.5+rng.Float64()*5, "")
+	}
+	return b.Build()
+}
+
+// TestParallelChunkBoundariesEngine pins the engine-level answers at
+// fragment sizes that straddle the sweep pool's chunking — including the
+// degenerate fragments a 3-way partition of a tiny graph produces — against
+// the sequential session over the same partition.
+func TestParallelChunkBoundariesEngine(t *testing.T) {
+	for _, n := range []int{1, 2, par.ChunkSize - 1, par.ChunkSize + 1} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			g := chunkGraph(n, int64(n))
+			p := partition.Partition(g, 3, partition.Hash{})
+			seqSess, err := core.NewSessionPartitioned(p, core.Options{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer seqSess.Close()
+			parSess, err := core.NewSessionPartitioned(p, core.Options{Parallelism: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer parSess.Close()
+
+			source := g.VertexAt(0)
+			for _, pq := range []parQuery{
+				{name: QuerySSSP, q: source, prog: pie.SSSP{}},
+				{name: QueryCC, q: nil, prog: pie.CC{}},
+				{name: "pagerank", q: pie.DefaultPageRankQuery(), prog: pie.PageRank{}},
+			} {
+				want, err := seqSess.Run(pq.q, pq.prog)
+				if err != nil {
+					t.Fatalf("sequential %s: %v", pq.name, err)
+				}
+				got, err := parSess.Run(pq.q, pq.prog)
+				if err != nil {
+					t.Fatalf("parallel %s: %v", pq.name, err)
+				}
+				same, diff := compareAnswers(want.Output, got.Output)
+				if !same {
+					t.Fatalf("%s: parallel answer differs from sequential (max|Δ|=%g)", pq.name, diff)
+				}
+			}
+		})
+	}
+}

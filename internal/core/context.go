@@ -5,6 +5,7 @@ import (
 
 	"grape/internal/graph"
 	"grape/internal/mpi"
+	"grape/internal/par"
 	"grape/internal/partition"
 )
 
@@ -41,7 +42,17 @@ type Context struct {
 	kvOut   []mpi.KeyValue
 	rawOut  []rawMessage
 	updates int64 // total SetVar calls that changed a value, for reporting
+
+	pool *par.Pool // sweep pool for ParallelCapable programs; nil = sequential
 }
+
+// Pool returns the intra-fragment sweep pool the engine granted this
+// evaluation: non-nil only when Options.Parallelism asked for one and the
+// program declared ParallelCapable. The nil pool is valid and sequential, so
+// kernels can pass it down unconditionally. Context methods (SetVar, Declare,
+// EmitKeyValue, ...) are NOT safe for concurrent use — programs must confine
+// them to the merge phase after a sweep joins.
+func (c *Context) Pool() *par.Pool { return c.pool }
 
 // RawMessageVertex is the Vertex value carried by raw designated messages
 // when they are delivered to IncEval: a program that uses SendToWorker

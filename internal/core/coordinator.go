@@ -66,7 +66,10 @@ func (c *coordinator) runMode(q Query, prog Program, mode ExecMode) (res *Result
 		remoteProg, queryBytes = rp, qb
 	}
 
-	stats := &metrics.Stats{Engine: "GRAPE", Query: prog.Name(), Workers: m}
+	stats := &metrics.Stats{Engine: "GRAPE", Query: prog.Name(), Workers: m, Parallelism: 1}
+	if c.opts.Parallelism > 1 && SupportsParallel(prog) {
+		stats.Parallelism = c.opts.Parallelism
+	}
 	stats.SetNoMetrics(c.opts.NoMetrics)
 	if !c.opts.NoMetrics {
 		stats.SetTrace(obs.NewTrace())

@@ -17,11 +17,18 @@ type Options struct {
 	// Workers is the number of fragments m (virtual workers). It must be at
 	// least 1.
 	Workers int
-	// Parallelism bounds how many workers compute concurrently (the number
-	// of physical workers n; Section 3.1 maps m virtual workers onto n
-	// physical ones). For a Session the bound is shared by all in-flight
-	// queries. Zero means Parallelism = Workers.
+	// Parallelism is the width of the per-worker sweep pool: programs that
+	// declare a data-parallel sweep (ParallelCapable) chunk their dense
+	// vertex ranges over up to this many goroutines inside each PEval or
+	// IncEval. Zero or one selects the sequential legacy path, which is kept
+	// as the reference implementation; the CLIs default their -parallelism
+	// flag to GOMAXPROCS.
 	Parallelism int
+	// WorkerConcurrency bounds how many workers compute concurrently (the
+	// number of physical workers n; Section 3.1 maps m virtual workers onto
+	// n physical ones). For a Session the bound is shared by all in-flight
+	// queries. Zero means WorkerConcurrency = Workers.
+	WorkerConcurrency int
 	// Mode selects the default execution plane: ModeBSP (superstep loop,
 	// every program supported) or ModeAsync (free-running workers, only
 	// AsyncCapable programs). Individual queries can override it with
@@ -68,8 +75,11 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = 1
 	}
-	if o.Parallelism <= 0 || o.Parallelism > o.Workers {
-		o.Parallelism = o.Workers
+	if o.WorkerConcurrency <= 0 || o.WorkerConcurrency > o.Workers {
+		o.WorkerConcurrency = o.Workers
+	}
+	if o.Parallelism < 0 {
+		o.Parallelism = 0
 	}
 	if o.Strategy == nil {
 		o.Strategy = partition.Hash{}

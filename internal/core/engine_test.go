@@ -191,11 +191,11 @@ func TestEngineParallelismAndGroupingOptions(t *testing.T) {
 	src := g.VertexAt(0)
 	want := referenceHopDistances(g, src)
 
-	grouped, err := New(Options{Workers: 6, Parallelism: 2}).Run(g, src, &minDistProgram{source: src})
+	grouped, err := New(Options{Workers: 6, WorkerConcurrency: 2}).Run(g, src, &minDistProgram{source: src})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ungrouped, err := New(Options{Workers: 6, Parallelism: 2, DisableGrouping: true}).
+	ungrouped, err := New(Options{Workers: 6, WorkerConcurrency: 2, DisableGrouping: true}).
 		Run(g, src, &minDistProgram{source: src})
 	if err != nil {
 		t.Fatal(err)
@@ -557,15 +557,15 @@ func TestAggregators(t *testing.T) {
 
 func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.withDefaults()
-	if o.Workers != 1 || o.Parallelism != 1 || o.Strategy == nil {
+	if o.Workers != 1 || o.WorkerConcurrency != 1 || o.Strategy == nil {
 		t.Fatalf("defaults wrong: %+v", o)
 	}
 	if o.MaxSupersteps != defaultMaxSupersteps || o.MaxRecoveries != defaultMaxRecoveries {
 		t.Fatalf("limit defaults wrong: %+v", o)
 	}
-	o = Options{Workers: 4, Parallelism: 99}.withDefaults()
-	if o.Parallelism != 4 {
-		t.Fatalf("parallelism not clamped to workers: %+v", o)
+	o = Options{Workers: 4, WorkerConcurrency: 99}.withDefaults()
+	if o.WorkerConcurrency != 4 {
+		t.Fatalf("worker concurrency not clamped to workers: %+v", o)
 	}
 }
 

@@ -32,6 +32,20 @@
 // their update accumulation is idempotent and monotone so re-ordered and
 // re-delivered batches still converge to the BSP answer. Select the plane
 // with Options.Mode or per query with Session.RunMode.
+//
+// # Intra-fragment parallelism
+//
+// Orthogonal to both planes, Options.Parallelism gives every worker a sweep
+// pool (internal/par): programs that declare ParallelCapable chunk their
+// dense vertex-index ranges over up to that many goroutines inside each
+// PEval/IncEval, reached through Context.Pool. The capability asserts a
+// strict contract — answers byte-identical to the sequential width-1 path,
+// which stays in the tree as the reference implementation — so parallel
+// evaluation composes with either plane and either transport without
+// changing any result, only the wall-clock. Worker processes of a
+// distributed session size their pools locally (WorkerHost.SetParallelism,
+// the grape-worker -parallelism flag); nothing about the pool crosses the
+// wire.
 package core
 
 import (

@@ -148,6 +148,11 @@ func (c *collector) take() []mpi.Envelope {
 // once the coordinator's floor passes them and their last query ends.
 type WorkerHost struct {
 	resolve Resolver
+	// parallelism is the sweep-pool width granted to ParallelCapable
+	// programs evaluated on this host. It is a worker-process setting (the
+	// evaluation wire calls do not carry it), installed by SetParallelism
+	// before the host starts serving.
+	parallelism int
 
 	mu      sync.Mutex
 	current int64
@@ -180,6 +185,15 @@ func NewWorkerHost(resolve Resolver) *WorkerHost {
 		live:    make(map[int64]int),
 		tasks:   make(map[hostKey]*hostTask),
 	}
+}
+
+// SetParallelism sets the intra-fragment sweep-pool width this host grants
+// ParallelCapable programs (0 or 1 = sequential). Call it before the host
+// starts serving evaluation calls.
+func (h *WorkerHost) SetParallelism(n int) {
+	h.mu.Lock()
+	h.parallelism = n
+	h.mu.Unlock()
 }
 
 // Setup installs the fragments this process hosts and the fragmentation
@@ -307,6 +321,7 @@ func (h *WorkerHost) PEval(rank int, query uint64, epoch int64, progName string,
 	t := w.newTask(q, prog, &collector{}, Options{
 		DisableIncEval:  disableIncEval,
 		DisableGrouping: disableGrouping,
+		Parallelism:     h.parallelism,
 	})
 	key := hostKey{query: query, rank: rank}
 	if old, ok := h.tasks[key]; ok && !old.view {

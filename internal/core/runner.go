@@ -74,6 +74,26 @@ func SupportsAsync(prog Program) bool {
 	return ok && ac.AsyncSafe()
 }
 
+// ParallelCapable is the capability a PIE program declares to opt into
+// intra-fragment parallel sweeps: when Options.Parallelism asks for a pool,
+// the engine hands the program's evaluation context a par.Pool
+// (Context.Pool) over which it may chunk its dense vertex ranges. A program
+// is parallel-safe exactly when its sweep kernels partition work so that
+// per-worker scratch merges back to the sequential result (order-free folds
+// such as min, or per-destination accumulation in a fixed order). Programs
+// without the capability always run their sequential kernels, whatever the
+// configured pool width.
+type ParallelCapable interface {
+	ParallelSafe() bool
+}
+
+// SupportsParallel reports whether the program declared parallel-safe
+// sweeps.
+func SupportsParallel(prog Program) bool {
+	pc, ok := prog.(ParallelCapable)
+	return ok && pc.ParallelSafe()
+}
+
 // runner is one execution plane: it drives a set of per-fragment tasks from
 // their initial state (PEval everywhere) to the global fixpoint, filling the
 // run's Stats (per-worker rounds and idle time) and Result bookkeeping

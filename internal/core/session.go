@@ -131,7 +131,7 @@ func newSession(p *partition.Partitioned, opts Options, tr mpi.Transport, peers 
 	o.Workers = m
 	o = o.withDefaults()
 
-	tr.LimitParallelism(o.Parallelism)
+	tr.LimitParallelism(o.WorkerConcurrency)
 	place := o.Placer
 	if place == nil {
 		place = partition.HashPlacer(m)

@@ -8,6 +8,7 @@ import (
 	"grape/internal/graph"
 	"grape/internal/mpi"
 	"grape/internal/obs"
+	"grape/internal/par"
 	"grape/internal/partition"
 )
 
@@ -78,6 +79,9 @@ func (w *worker) newTask(q Query, prog Program, comm sender, opts Options) *task
 // epoch.
 func (w *worker) taskWith(ctx *Context, prog Program, comm sender, opts Options) *task {
 	kvProg, _ := prog.(KeyValueProgram)
+	if opts.Parallelism > 1 && SupportsParallel(prog) {
+		ctx.pool = par.New(opts.Parallelism)
+	}
 	return &task{
 		worker: w,
 		ctx:    ctx,

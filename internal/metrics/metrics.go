@@ -43,6 +43,13 @@ type Stats struct {
 	// Mode identifies the execution plane that produced the run ("bsp" or
 	// "async"); empty means BSP (the only mode the baselines have).
 	Mode string
+	// Parallelism is the effective intra-fragment sweep-pool width the query
+	// ran with: the configured pool width when the program declared
+	// ParallelCapable and a pool was granted, and 1 for sequential runs (the
+	// legacy reference path, non-capable programs, and the baselines, which
+	// leave it zero). Traces and benchmark rows read it to show pool
+	// occupancy.
+	Parallelism int
 
 	// Supersteps is the number of global synchronization rounds. Asynchronous
 	// runs have no global rounds and leave it zero; compare Rounds instead.
@@ -306,8 +313,12 @@ func (s *Stats) String() string {
 	if s.Supersteps == 0 && s.Rounds > 0 {
 		rounds = fmt.Sprintf("%d async rounds", s.Rounds)
 	}
-	return fmt.Sprintf("%s%s/%s n=%d: %v, %s, %d msgs, %.3f MB",
-		s.Engine, mode, s.Query, s.Workers, s.Elapsed.Round(time.Microsecond),
+	pool := ""
+	if s.Parallelism > 1 {
+		pool = fmt.Sprintf(" p=%d", s.Parallelism)
+	}
+	return fmt.Sprintf("%s%s/%s n=%d%s: %v, %s, %d msgs, %.3f MB",
+		s.Engine, mode, s.Query, s.Workers, pool, s.Elapsed.Round(time.Microsecond),
 		rounds, s.MessagesSent, s.MBShipped())
 }
 

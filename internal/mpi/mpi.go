@@ -22,6 +22,18 @@
 // cluster therefore cannot interleave envelopes, and communication is metered
 // per query ("the graph is partitioned once for all queries Q posed on G",
 // Section 3.1 — one cluster, many query-scoped message streams).
+//
+// Communicators with combining enabled overlap communication work with
+// computation: once a destination's buffered payloads cross a threshold, the
+// decode+Aggregate-fold+re-encode of that batch runs on a background
+// goroutine while the sender keeps evaluating, and the superstep flush waits
+// only for the in-flight fold rather than doing the whole batch under the
+// barrier (metered by grape_flush_overlap_seconds). The fold is a prefix of
+// the arrival-order left fold, so combined results are exactly what the
+// all-at-flush fold would have produced. The TCP transport (internal/mpi/net)
+// adds write-side pipelining of its own: sealed frames queue to a
+// per-connection write loop that gathers everything pending into one
+// vectored write.
 package mpi
 
 import (
@@ -33,7 +45,15 @@ import (
 	"time"
 
 	"grape/internal/metrics"
+	"grape/internal/obs"
 )
+
+// obsFlushOverlap measures the background combine folds that overlap the
+// compute phase: time spent decoding, folding and re-encoding a destination's
+// buffered batches on a flusher goroutine while the workers keep evaluating,
+// instead of on the Deliver critical path at the superstep boundary.
+var obsFlushOverlap = obs.Histogram("grape_flush_overlap_seconds",
+	"Background combine-fold time overlapped with computation.", nil)
 
 // Coordinator is the pseudo-rank of the coordinator P0. Workers use ranks
 // 0..n-1.
@@ -128,6 +148,7 @@ type Comm struct {
 	combineTag string
 	combine    func(existing, incoming Update) Update
 	comb       []combineBuf // indexed by destination worker rank
+	foldDone   *sync.Cond   // signals a background fold finishing; guards comb[i].folding
 }
 
 // combineBuf accumulates the payloads bound for one destination since its
@@ -138,7 +159,18 @@ type Comm struct {
 type combineBuf struct {
 	raw   []rawSend
 	sends int // envelopes buffered, credited to Received on flush
+	// folding marks an in-flight background fold of a prefix of this buffer:
+	// the folded result re-enters at the front when it completes, and flushes
+	// wait for it, so arrival-order semantics are preserved.
+	folding bool
 }
+
+// combineFoldThreshold is the buffered-batch count that triggers an eager
+// background fold: once a destination has this many payloads waiting, a
+// one-shot goroutine folds them into a single combined batch while the
+// compute phase keeps running, so the Deliver at the superstep boundary finds
+// (most of) the folding already done.
+const combineFoldThreshold = 8
 
 // rawSend is one buffered Send awaiting combination.
 type rawSend struct {
@@ -201,6 +233,7 @@ func (m *Comm) EnableCombining(tag string, agg func(existing, incoming Update) U
 	m.combineTag = tag
 	m.combine = agg
 	m.comb = make([]combineBuf, m.cluster.n)
+	m.foldDone = sync.NewCond(&m.mu)
 }
 
 // Query returns the communicator's query id.
@@ -256,6 +289,16 @@ func (m *Comm) sendCombined(from, to int, payload []byte) {
 	cb := &m.comb[to]
 	cb.raw = append(cb.raw, rawSend{from: from, payload: payload})
 	cb.sends++
+	if len(cb.raw) >= combineFoldThreshold && !cb.folding {
+		// Eager overlap: take the buffered prefix and fold it off the lock on
+		// a one-shot goroutine, so the flush at the superstep boundary only
+		// merges whatever arrived after. sends is left untouched — it is
+		// credited to Received when the batch actually flushes.
+		taken := cb.raw
+		cb.raw = nil
+		cb.folding = true
+		go m.foldInBackground(to, taken)
+	}
 	m.mu.Unlock()
 	if m.async {
 		select {
@@ -268,6 +311,52 @@ func (m *Comm) sendCombined(from, to int, payload []byte) {
 	}
 }
 
+// foldInBackground folds an already-taken prefix of a destination's combine
+// buffer into a single sorted batch, off the communicator lock, and splices
+// the result back in at the front of the buffer so a later flush still folds
+// in arrival order (the per-key fold is a left fold, so pre-folding a prefix
+// of the arrivals is associativity-neutral). Payloads that do not decode as
+// update batches are spliced back unfolded. Runs on a one-shot goroutine;
+// flushes wait on foldDone while a fold is in flight.
+func (m *Comm) foldInBackground(rank int, raw []rawSend) {
+	start := time.Now()
+	folded := foldRaw(raw, m.combine)
+	m.mu.Lock()
+	cb := &m.comb[rank]
+	cb.raw = append(folded, cb.raw...)
+	cb.folding = false
+	m.foldDone.Broadcast()
+	m.mu.Unlock()
+	obsFlushOverlap.Observe(time.Since(start).Seconds())
+}
+
+// foldRaw folds buffered payloads into a single canonical-order batch,
+// returning the input unchanged when any payload is not an update batch. The
+// result carries the last input's sender, matching what a flush-time fold of
+// the same payloads would ship.
+func foldRaw(raw []rawSend, agg func(existing, incoming Update) Update) []rawSend {
+	if len(raw) < 2 {
+		return raw
+	}
+	batches := make([][]Update, 0, len(raw))
+	presorted := true
+	for _, r := range raw {
+		batch, err := DecodeUpdates(r.payload)
+		if err != nil {
+			return raw
+		}
+		presorted = presorted && updatesSorted(batch)
+		batches = append(batches, batch)
+	}
+	var ups []Update
+	if presorted {
+		ups = mergeFold(batches, agg)
+	} else {
+		ups = hashFold(batches, agg)
+	}
+	return []rawSend{{from: raw[len(raw)-1].from, payload: EncodeUpdates(ups)}}
+}
+
 // flushCombinedLocked drains the destination's combine buffer. One buffered
 // payload ships verbatim; several are decoded, folded per (vertex, key) in
 // arrival order, sorted by (vertex, key) and re-encoded into a single
@@ -276,6 +365,11 @@ func (m *Comm) sendCombined(from, to int, payload []byte) {
 // m.mu held; the returned envelopes are nil when the buffer was empty.
 func (m *Comm) flushCombinedLocked(rank int) []Envelope {
 	cb := &m.comb[rank]
+	for cb.folding {
+		// A background fold holds a prefix of this buffer; wait for it to
+		// splice the result back so the flush sees every buffered send.
+		m.foldDone.Wait()
+	}
 	if len(cb.raw) == 0 {
 		return nil
 	}
@@ -448,7 +542,8 @@ func (m *Comm) PendingFor(rank int) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	n := len(m.pending[slot])
-	if m.combine != nil && rank != Coordinator && len(m.comb[slot].raw) > 0 {
+	if m.combine != nil && rank != Coordinator &&
+		(len(m.comb[slot].raw) > 0 || m.comb[slot].folding) {
 		n++
 	}
 	return n
@@ -463,7 +558,7 @@ func (m *Comm) TotalPending() int {
 	total := 0
 	for rank := 0; rank < m.cluster.n; rank++ {
 		total += len(m.pending[rank])
-		if m.combine != nil && len(m.comb[rank].raw) > 0 {
+		if m.combine != nil && (len(m.comb[rank].raw) > 0 || m.comb[rank].folding) {
 			total++
 		}
 	}

@@ -423,7 +423,16 @@ type procConn struct {
 	proc  int
 	ranks []int
 	dead  chan struct{} // closed when the connection is poisoned
-	wmu   sync.Mutex    // serializes frame writes
+	wmu   sync.Mutex    // serializes wire writes (the write loop's batches, shutdown)
+
+	// sendq carries wire-ready (sealed, possibly deflated) frames to the
+	// write loop, which coalesces everything queued into a single
+	// writev-style net.Buffers write. Calls for the several fragments a
+	// process hosts thus share wire writes instead of paying one syscall —
+	// and one TCP_NODELAY packet — each, and callers never block on the
+	// network: encode and enqueue return immediately while the flusher
+	// overlaps the actual write with whatever the caller does next.
+	sendq chan *frame
 
 	mu      sync.Mutex
 	nextReq uint64
@@ -453,8 +462,78 @@ func (r *callReply) release() {
 }
 
 func newProcConn(c net.Conn, proc int, ranks []int) *procConn {
-	return &procConn{c: c, proc: proc, ranks: ranks, dead: make(chan struct{}),
+	pc := &procConn{c: c, proc: proc, ranks: ranks, dead: make(chan struct{}),
+		sendq:   make(chan *frame, 64),
 		pending: make(map[uint64]chan callReply)}
+	// The write loop belongs to the connection, not the coordinator's serve
+	// loop: calls enqueue frames, so every procConn needs a drain from birth.
+	go pc.writeLoop()
+	return pc
+}
+
+// enqueue hands a wire-ready frame to the write loop. On a poisoned
+// connection the frame is recycled instead; the caller learns of the failure
+// through its pending-reply channel.
+func (pc *procConn) enqueue(f *frame) {
+	select {
+	case pc.sendq <- f:
+	case <-pc.dead:
+		f.release()
+	}
+}
+
+// writeLoop drains the send queue, coalescing every frame queued at the
+// moment it wakes into one net.Buffers write — a single writev on TCP — so
+// concurrent calls to the same worker process (a BSP barrier driving all its
+// hosted fragments at once) share packets and syscalls. A write failure
+// poisons the connection.
+func (pc *procConn) writeLoop() {
+	var frames []*frame
+	var bufs net.Buffers
+	for {
+		select {
+		case <-pc.dead:
+			for {
+				select {
+				case f := <-pc.sendq:
+					f.release()
+				default:
+					return
+				}
+			}
+		case f := <-pc.sendq:
+			frames = append(frames[:0], f)
+		gather:
+			for {
+				select {
+				case more := <-pc.sendq:
+					frames = append(frames, more)
+				default:
+					break gather
+				}
+			}
+			total := 0
+			bufs = bufs[:0]
+			for _, fr := range frames {
+				bufs = append(bufs, fr.buf)
+				total += len(fr.buf)
+			}
+			pc.wmu.Lock()
+			_, err := bufs.WriteTo(pc.c)
+			pc.wmu.Unlock()
+			if err == nil {
+				obsFramesSent.Add(float64(len(frames)))
+				obsNetBytesSent.Add(float64(total))
+			}
+			for _, fr := range frames {
+				fr.release()
+			}
+			if err != nil {
+				pc.fail(fmt.Errorf("net: send to %s: %w", pc.describe(), err))
+				return
+			}
+		}
+	}
 }
 
 // call sends one request frame — build appends the request body straight
@@ -516,16 +595,19 @@ func (pc *procConn) callOpt(compress bool, build func(f *frame, reqID uint64)) (
 
 	f := newFrame()
 	build(f, id)
-	pc.wmu.Lock()
+	var wf *frame
 	var err error
 	if compress {
-		err = f.sendCompressed(pc.c)
+		wf, err = f.sealCompressed()
 	} else {
-		err = f.send(pc.c)
+		if err = f.seal(); err == nil {
+			wf = f
+		}
 	}
-	pc.wmu.Unlock()
 	if err != nil {
 		pc.fail(fmt.Errorf("net: send request to %s: %w", pc.describe(), err))
+	} else {
+		pc.enqueue(wf)
 	}
 	rep := <-ch
 	return rep, rep.err
@@ -651,7 +733,11 @@ func (pc *procConn) fail(err error) {
 	}
 }
 
-// shutdown sends the graceful-shutdown frame and closes the connection.
+// shutdown sends the graceful-shutdown frame and closes the connection. The
+// frame is written directly under wmu — the same lock the write loop's
+// batches take — so it can never land mid-batch; queued call frames that
+// have not hit the wire yet are dropped by the poisoning below, which is
+// also what answers their pending calls.
 func (pc *procConn) shutdown() {
 	pc.mu.Lock()
 	pc.closing = true

@@ -116,16 +116,26 @@ func (f *frame) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// send fills the length header, writes the whole frame in one Write, and
-// recycles the buffer. The frame must not be used afterwards. Callers
-// serialize access to w.
-func (f *frame) send(w io.Writer) error {
+// seal fills the length header, making the frame wire-ready: its whole buf
+// can go out as-is, alone or coalesced with sibling frames in one writev. The
+// frame is released (and must not be used) on error.
+func (f *frame) seal() error {
 	n := len(f.buf) - 4
 	if n > maxFrame {
 		f.release()
 		return fmt.Errorf("net: frame of %d bytes exceeds limit", n)
 	}
 	binary.LittleEndian.PutUint32(f.buf[:4], uint32(n))
+	return nil
+}
+
+// send fills the length header, writes the whole frame in one Write, and
+// recycles the buffer. The frame must not be used afterwards. Callers
+// serialize access to w.
+func (f *frame) send(w io.Writer) error {
+	if err := f.seal(); err != nil {
+		return err
+	}
 	_, err := w.Write(f.buf)
 	if err == nil {
 		obsFramesSent.Inc()
@@ -135,13 +145,20 @@ func (f *frame) send(w io.Writer) error {
 	return err
 }
 
-// sendCompressed is send with deflate compression for bodies at or above
-// compressThreshold. Incompressible bodies (deflate did not shrink them)
-// ship raw, so the flag bit always signals a strictly smaller frame.
-func (f *frame) sendCompressed(w io.Writer) error {
+// sealCompressed is seal with deflate compression for bodies at or above
+// compressThreshold: it returns the wire-ready frame — f itself for small or
+// incompressible bodies, otherwise a fresh pooled frame holding the deflated
+// body with the compressed header bit (f is then released). Incompressible
+// bodies (deflate did not shrink them) ship raw, so the flag bit always
+// signals a strictly smaller frame. On error the input is released and nil
+// returned.
+func (f *frame) sealCompressed() (*frame, error) {
 	body := f.payload()
 	if len(body) < compressThreshold {
-		return f.send(w)
+		if err := f.seal(); err != nil {
+			return nil, err
+		}
+		return f, nil
 	}
 	cf := framePool.Get().(*frame)
 	cf.buf = append(cf.buf[:0], 0, 0, 0, 0)
@@ -151,24 +168,40 @@ func (f *frame) sendCompressed(w io.Writer) error {
 	if err := fw.Close(); err != nil {
 		flatePool.Put(fw)
 		cf.release()
-		return f.send(w)
+		if err := f.seal(); err != nil {
+			return nil, err
+		}
+		return f, nil
 	}
 	flatePool.Put(fw)
 	n := len(cf.buf) - 4
 	if n >= len(body) || n > maxFrame {
 		cf.release()
-		return f.send(w)
+		if err := f.seal(); err != nil {
+			return nil, err
+		}
+		return f, nil
 	}
+	obsCompressedFrames.Inc()
+	obsCompressionSaved.Add(float64(len(body) - n))
 	f.release()
 	binary.LittleEndian.PutUint32(cf.buf[:4], uint32(n)|frameCompressed)
-	_, err := w.Write(cf.buf)
+	return cf, nil
+}
+
+// sendCompressed is send via sealCompressed: one Write of the wire-ready
+// (possibly deflated) frame. Callers serialize access to w.
+func (f *frame) sendCompressed(w io.Writer) error {
+	wf, err := f.sealCompressed()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(wf.buf)
 	if err == nil {
 		obsFramesSent.Inc()
-		obsNetBytesSent.Add(float64(len(cf.buf)))
-		obsCompressedFrames.Inc()
-		obsCompressionSaved.Add(float64(len(body) - n))
+		obsNetBytesSent.Add(float64(len(wf.buf)))
 	}
-	cf.release()
+	wf.release()
 	return err
 }
 

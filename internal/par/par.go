@@ -1,0 +1,105 @@
+// Package par implements the intra-fragment goroutine pool that parallelizes
+// dense vertex sweeps inside one worker's PEval/IncEval. A Pool chunks a dense
+// index range [0, n) into fixed-size contiguous chunks and hands them to up to
+// Width workers; kernels keep per-worker scratch buffers (indexed by the
+// worker id the pool passes to the callback) and merge them after the sweep,
+// so the parallel result stays equal to the sequential one.
+//
+// The pool is a width descriptor, not a resident set of goroutines: Sweep
+// spawns its workers per call and joins them before returning, which keeps
+// lifetime management trivial (nothing to close, nothing leaks across
+// queries). A nil *Pool is valid everywhere and means sequential execution —
+// the engine hands programs a nil pool unless Options.Parallelism asks for
+// more, so the legacy single-goroutine path stays the reference
+// implementation.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"grape/internal/obs"
+)
+
+// ChunkSize is the fixed sweep granularity: the number of dense vertex
+// indices one chunk covers. Chunk boundaries are a function of n only (never
+// of the pool width), so per-chunk work assignment is the only scheduling
+// freedom and kernels that merge per-worker buffers under an order-free fold
+// produce identical results at every width.
+const ChunkSize = 1024
+
+var obsParallelChunks = obs.Counter("grape_parallel_chunks_total",
+	"Dense sweep chunks executed by intra-fragment worker pools.")
+
+// Pool is an intra-fragment sweep pool of the given width. The zero of the
+// type is not used; New returns nil for widths that mean "sequential".
+type Pool struct {
+	width int
+}
+
+// New returns a pool running sweeps on up to width goroutines. Widths of one
+// or less (and zero, the engine's "sequential legacy path" setting) return
+// nil, the sequential pool.
+func New(width int) *Pool {
+	if width <= 1 {
+		return nil
+	}
+	if max := runtime.NumCPU() * 4; width > max {
+		width = max // a wider pool than cores only adds scheduling churn
+	}
+	return &Pool{width: width}
+}
+
+// Width returns the number of concurrent sweep workers; 1 for the nil
+// (sequential) pool. Kernels size their per-worker scratch buffers with it.
+func (p *Pool) Width() int {
+	if p == nil {
+		return 1
+	}
+	return p.width
+}
+
+// Sweep runs fn over the dense range [0, n) split into ChunkSize chunks,
+// calling fn(worker, lo, hi) for each chunk with lo < hi <= n. Worker ids are
+// dense in [0, Width()) and at most one chunk runs per worker at a time, so
+// fn may use worker-indexed scratch without locking. Chunks are claimed
+// dynamically (an atomic cursor), which keeps skewed chunks from idling the
+// rest of the pool. On the nil pool, or when the range fits a single chunk,
+// fn runs inline as fn(0, 0, n).
+func (p *Pool) Sweep(n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := (n + ChunkSize - 1) / ChunkSize
+	if p == nil || chunks == 1 {
+		fn(0, 0, n)
+		return
+	}
+	workers := p.width
+	if workers > chunks {
+		workers = chunks
+	}
+	obsParallelChunks.Add(float64(chunks))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * ChunkSize
+				hi := lo + ChunkSize
+				if hi > n {
+					hi = n
+				}
+				fn(worker, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,102 @@
+package par
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// coverage runs a sweep over n and returns how many times each index was
+// visited plus the set of worker ids seen.
+func coverage(t *testing.T, p *Pool, n int) ([]int, map[int]bool) {
+	t.Helper()
+	seen := make([]int, n)
+	workersSeen := make(map[int]bool)
+	var mu sync.Mutex
+	p.Sweep(n, func(worker, lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("Sweep(%d): bad chunk [%d,%d)", n, lo, hi)
+		}
+		if worker < 0 || worker >= p.Width() {
+			t.Errorf("Sweep(%d): worker id %d out of [0,%d)", n, worker, p.Width())
+		}
+		mu.Lock()
+		workersSeen[worker] = true
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+		mu.Unlock()
+	})
+	return seen, workersSeen
+}
+
+func TestSweepCoversEveryIndexOnce(t *testing.T) {
+	// Chunk-boundary sizes: empty, single, one each side of a chunk edge and
+	// of a two-chunk edge.
+	sizes := []int{0, 1, ChunkSize - 1, ChunkSize, ChunkSize + 1, 2*ChunkSize - 1, 2 * ChunkSize, 2*ChunkSize + 1, 5*ChunkSize + 7}
+	for _, width := range []int{0, 1, 2, 3, 8} {
+		p := New(width)
+		for _, n := range sizes {
+			seen, _ := coverage(t, p, n)
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("width=%d n=%d: index %d visited %d times", width, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestNilPoolIsSequential(t *testing.T) {
+	if p := New(1); p != nil {
+		t.Fatalf("New(1) = %v, want nil", p)
+	}
+	if p := New(0); p != nil {
+		t.Fatalf("New(0) = %v, want nil", p)
+	}
+	var p *Pool
+	if w := p.Width(); w != 1 {
+		t.Fatalf("nil pool Width() = %d, want 1", w)
+	}
+	calls := 0
+	p.Sweep(3*ChunkSize, func(worker, lo, hi int) {
+		calls++
+		if worker != 0 || lo != 0 || hi != 3*ChunkSize {
+			t.Fatalf("nil pool chunk = (%d,%d,%d), want (0,0,%d)", worker, lo, hi, 3*ChunkSize)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("nil pool ran %d chunks, want 1", calls)
+	}
+}
+
+func TestSweepSmallRangeRunsInline(t *testing.T) {
+	p := New(4)
+	if p.Width() != 4 {
+		t.Fatalf("Width() = %d, want 4", p.Width())
+	}
+	calls := 0
+	p.Sweep(ChunkSize, func(worker, lo, hi int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("single-chunk sweep ran %d calls, want 1", calls)
+	}
+	p.Sweep(0, func(worker, lo, hi int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("empty sweep ran the callback")
+	}
+}
+
+func TestSweepUsesMultipleWorkers(t *testing.T) {
+	p := New(4)
+	var mu sync.Mutex
+	workers := make(map[int]bool)
+	p.Sweep(64*ChunkSize, func(worker, lo, hi int) {
+		mu.Lock()
+		workers[worker] = true
+		mu.Unlock()
+		time.Sleep(time.Millisecond) // hold the chunk so siblings get to claim
+	})
+	if len(workers) < 2 {
+		t.Fatalf("64-chunk sweep used %d workers, want >= 2", len(workers))
+	}
+}

@@ -48,7 +48,7 @@ func (CC) PEval(ctx *core.Context) error {
 
 	st, _ := ctx.State.(*ccState)
 	if st == nil {
-		st = &ccState{state: inc.NewCCDense(g, seq.ConnectedComponentsDense(g))}
+		st = &ccState{state: inc.NewCCDense(g, seq.ConnectedComponentsDensePar(g, ctx.Pool()))}
 		ctx.State = st
 	} else {
 		st.state.Rebind(g)
@@ -168,3 +168,8 @@ func (CC) Aggregate(existing, incoming mpi.Update) mpi.Update {
 // min-semilattice, so asynchronous delivery order cannot change the labels
 // the fixpoint converges to.
 func (CC) AsyncSafe() bool { return true }
+
+// ParallelSafe implements core.ParallelCapable: PEval labels the fragment
+// with a pool-chunked union-find (seq.ConnectedComponentsDensePar) that
+// assigns exactly the min-external-ID labels the sequential DFS produces.
+func (CC) ParallelSafe() bool { return true }

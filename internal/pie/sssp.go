@@ -129,7 +129,7 @@ func (SSSP) PEval(ctx *core.Context) error {
 			}
 		}
 	}
-	seq.DijkstraFromDense(g, st.dist, seeds)
+	seq.RelaxDense(g, st.dist, seeds, ctx.Pool())
 
 	// Message segment: ship the computed distances of border nodes.
 	shipBorderDistances(ctx, st)
@@ -159,7 +159,7 @@ func (SSSP) IncEval(ctx *core.Context, msgs []mpi.Update) error {
 			st.setOver(graph.VertexID(m.Vertex), m.Value)
 		}
 	}
-	seq.DijkstraFromDense(g, st.dist, seeds)
+	seq.RelaxDense(g, st.dist, seeds, ctx.Pool())
 	shipBorderDistances(ctx, st)
 	return nil
 }
@@ -324,3 +324,8 @@ func (SSSP) Aggregate(existing, incoming mpi.Update) mpi.Update {
 // so applying stale, re-ordered or re-delivered decreases in any order
 // converges to the same shortest distances the BSP schedule produces.
 func (SSSP) AsyncSafe() bool { return true }
+
+// ParallelSafe implements core.ParallelCapable: PEval and IncEval relax over
+// the pool's chunked frontier sweeps (seq.RelaxDense), converging to the same
+// least-fixpoint distances — bit for bit — as the sequential Dijkstra path.
+func (SSSP) ParallelSafe() bool { return true }

@@ -1,0 +1,157 @@
+package seq
+
+import (
+	"sync/atomic"
+
+	"grape/internal/graph"
+	"grape/internal/par"
+)
+
+// This file holds the data-parallel twins of the sequential kernels. Each
+// takes a *par.Pool and degrades to the sequential reference implementation
+// when the pool is nil or has width 1, and each is constructed so its result
+// is byte-identical to the sequential kernel's: SSSP relaxation converges to
+// the unique least fixpoint of the min-plus system (identical to Dijkstra
+// because non-negative weights make floating-point path sums monotone), and
+// the CC union-find assigns the same min-external-ID component labels the DFS
+// produces.
+
+// RelaxDense refines the dense distance slice d from the given seeds, like
+// DijkstraFromDense, chunking the relaxation work over the pool. It runs
+// round-based frontier relaxation: each round sweeps the frontier in
+// parallel, with workers reading d and collecting candidate improvements
+// into thread-local buffers, then a sequential merge applies the minima and
+// builds the next frontier. Workers never write d during a sweep, so the
+// kernel is race-free, and the fixpoint it reaches is exactly the one
+// Dijkstra computes.
+func RelaxDense(g *graph.Graph, d []float64, seeds []Seed, p *par.Pool) {
+	if p.Width() <= 1 {
+		DijkstraFromDense(g, d, seeds)
+		return
+	}
+	n := len(d)
+	inF := make([]bool, n)
+	var frontier []int
+	for _, s := range seeds {
+		if s.Index < 0 || s.Index >= n {
+			continue
+		}
+		if s.Dist < d[s.Index] {
+			d[s.Index] = s.Dist
+		}
+		if d[s.Index] < Infinity && !inF[s.Index] {
+			inF[s.Index] = true
+			frontier = append(frontier, s.Index)
+		}
+	}
+	bufs := make([][]distItem, p.Width())
+	var next []int
+	for len(frontier) > 0 {
+		// Parallel phase: workers read d (no writes) and buffer candidate
+		// relaxations alt < d[to] thread-locally.
+		p.Sweep(len(frontier), func(worker, lo, hi int) {
+			buf := bufs[worker]
+			for k := lo; k < hi; k++ {
+				v := frontier[k]
+				dv := d[v]
+				for _, he := range g.OutEdges(v) {
+					if alt := dv + he.Weight; alt < d[he.To] {
+						buf = append(buf, distItem{vertex: int(he.To), dist: alt})
+					}
+				}
+			}
+			bufs[worker] = buf
+		})
+		// The frontier's membership flags are stale once the sweep is done;
+		// clear them so the merge below can dedup the next frontier.
+		for _, v := range frontier {
+			inF[v] = false
+		}
+		next = next[:0]
+		for w := range bufs {
+			for _, it := range bufs[w] {
+				if it.dist < d[it.vertex] {
+					d[it.vertex] = it.dist
+					if !inF[it.vertex] {
+						inF[it.vertex] = true
+						next = append(next, it.vertex)
+					}
+				}
+			}
+			bufs[w] = bufs[w][:0]
+		}
+		frontier, next = next, frontier
+	}
+}
+
+// ConnectedComponentsDensePar is ConnectedComponentsDense with the edge scan
+// chunked over the pool: a lock-free union-find (CAS-linked, always linking
+// the larger root index under the smaller) merges endpoints of every
+// out-edge — in-edges are redundant, as every undirected adjacency is some
+// vertex's out-edge — and a sequential labelling pass then assigns each
+// component the smallest external vertex ID it contains, matching the DFS
+// labelling exactly.
+func ConnectedComponentsDensePar(g *graph.Graph, p *par.Pool) []graph.VertexID {
+	if p.Width() <= 1 {
+		return ConnectedComponentsDense(g)
+	}
+	n := g.NumVertices()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for {
+			pa := atomic.LoadInt32(&parent[x])
+			if pa == x {
+				return x
+			}
+			gp := atomic.LoadInt32(&parent[pa])
+			if gp == pa {
+				return pa
+			}
+			// Path halving: best-effort shortcut, correctness does not depend
+			// on the CAS winning.
+			atomic.CompareAndSwapInt32(&parent[x], pa, gp)
+			x = gp
+		}
+	}
+	union := func(a, b int32) {
+		for {
+			ra, rb := find(a), find(b)
+			if ra == rb {
+				return
+			}
+			if ra < rb {
+				ra, rb = rb, ra
+			}
+			if atomic.CompareAndSwapInt32(&parent[ra], ra, rb) {
+				return
+			}
+		}
+	}
+	p.Sweep(n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			for _, he := range g.OutEdges(v) {
+				union(int32(v), he.To)
+			}
+		}
+	})
+	// Sequential epilogue (the sweep's WaitGroup join orders all the CAS
+	// writes before these plain reads): flatten, then label each component
+	// with its smallest external vertex ID.
+	minID := make([]graph.VertexID, n)
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		r := find(int32(i))
+		if vid := g.VertexAt(i); !seen[r] || vid < minID[r] {
+			minID[r] = vid
+			seen[r] = true
+		}
+	}
+	out := make([]graph.VertexID, n)
+	for i := 0; i < n; i++ {
+		out[i] = minID[find(int32(i))]
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package seq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"grape/internal/graph"
+	"grape/internal/par"
+)
+
+// randomGraph builds a random directed graph with n vertices and ~3n edges.
+func randomGraph(rng *rand.Rand, n int, directed bool) *graph.Graph {
+	b := graph.NewBuilder(directed)
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.VertexID(i), "")
+	}
+	for i := 0; i < 3*n; i++ {
+		s, d := rng.Intn(n), rng.Intn(n)
+		if s != d {
+			b.AddEdge(graph.VertexID(s), graph.VertexID(d), float64(1+rng.Intn(10)), "")
+		}
+	}
+	return b.Build()
+}
+
+// TestRelaxDenseMatchesDijkstra checks that the parallel frontier relaxation
+// reaches distances bit-identical to DijkstraFromDense on random graphs,
+// random seed sets, and a spread of pool widths.
+func TestRelaxDenseMatchesDijkstra(t *testing.T) {
+	f := func(seed int64, nRaw uint8, widthRaw uint8) bool {
+		n := int(nRaw%60) + 2
+		width := int(widthRaw%7) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, n, true)
+		want := make([]float64, n)
+		got := make([]float64, n)
+		for i := range want {
+			want[i] = Infinity
+			got[i] = Infinity
+		}
+		seeds := []Seed{{Index: rng.Intn(n), Dist: 0}}
+		for k := 0; k < rng.Intn(4); k++ {
+			seeds = append(seeds, Seed{Index: rng.Intn(n), Dist: float64(rng.Intn(8))})
+		}
+		// Out-of-range seeds must be ignored by both.
+		seeds = append(seeds, Seed{Index: -1, Dist: 0}, Seed{Index: n, Dist: 0})
+		DijkstraFromDense(g, want, seeds)
+		RelaxDense(g, got, seeds, par.New(width))
+		for i := range want {
+			if want[i] != got[i] && !(math.IsInf(want[i], 1) && math.IsInf(got[i], 1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRelaxDenseNilPoolFallsBack checks the nil pool selects the sequential
+// reference path.
+func TestRelaxDenseNilPoolFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 30, true)
+	want := make([]float64, 30)
+	got := make([]float64, 30)
+	for i := range want {
+		want[i], got[i] = Infinity, Infinity
+	}
+	seeds := []Seed{{Index: 0, Dist: 0}}
+	DijkstraFromDense(g, want, seeds)
+	RelaxDense(g, got, seeds, nil)
+	for i := range want {
+		if want[i] != got[i] && !(math.IsInf(want[i], 1) && math.IsInf(got[i], 1)) {
+			t.Fatalf("dist[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCCDenseParMatchesDFS checks the concurrent union-find labelling equals
+// the sequential DFS labelling exactly, over random undirected and directed
+// graphs and a spread of pool widths.
+func TestCCDenseParMatchesDFS(t *testing.T) {
+	f := func(seed int64, nRaw uint8, widthRaw uint8, directed bool) bool {
+		n := int(nRaw%80) + 1
+		width := int(widthRaw%7) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, n, directed)
+		want := ConnectedComponentsDense(g)
+		got := ConnectedComponentsDensePar(g, par.New(width))
+		if len(want) != len(got) {
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCCDenseParChunkBoundaries pins the labelling at fragment sizes that
+// straddle the pool's chunking: empty, single-vertex, and chunk-size ± 1.
+func TestCCDenseParChunkBoundaries(t *testing.T) {
+	for _, n := range []int{0, 1, par.ChunkSize - 1, par.ChunkSize, par.ChunkSize + 1} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		b := graph.NewBuilder(false)
+		for i := 0; i < n; i++ {
+			b.AddVertex(graph.VertexID(i), "")
+		}
+		for i := 0; i+1 < n; i += 2 {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(rng.Intn(n)), 1, "")
+		}
+		g := b.Build()
+		want := ConnectedComponentsDense(g)
+		got := ConnectedComponentsDensePar(g, par.New(4))
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("n=%d: label[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRelaxDenseChunkBoundaries pins distances at frontier sizes that
+// straddle chunking, on a long path graph that forces many rounds.
+func TestRelaxDenseChunkBoundaries(t *testing.T) {
+	for _, n := range []int{1, 2, par.ChunkSize, par.ChunkSize + 1, 2*par.ChunkSize + 3} {
+		b := graph.NewBuilder(true)
+		for i := 0; i < n; i++ {
+			b.AddVertex(graph.VertexID(i), "")
+		}
+		for i := 0; i+1 < n; i++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(i+1), 1, "")
+			// Shortcuts create frontier fan-out inside rounds.
+			if i+7 < n {
+				b.AddEdge(graph.VertexID(i), graph.VertexID(i+7), 5, "")
+			}
+		}
+		g := b.Build()
+		want := make([]float64, n)
+		got := make([]float64, n)
+		for i := range want {
+			want[i], got[i] = Infinity, Infinity
+		}
+		seeds := []Seed{{Index: 0, Dist: 0}}
+		DijkstraFromDense(g, want, seeds)
+		RelaxDense(g, got, seeds, par.New(3))
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("n=%d: dist[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
