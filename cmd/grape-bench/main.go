@@ -18,6 +18,7 @@
 //	grape-bench -exp netinc                    # distributed view maintenance vs recompute over TCP
 //	grape-bench -exp obs                       # observability instrumentation overhead
 //	grape-bench -exp par                       # intra-fragment sweep-pool scaling curve
+//	grape-bench -exp recover                   # checkpoint overhead + worker-kill recovery latency
 //	grape-bench -exp all                       # everything
 //
 // Flags -size (tiny|small|medium) and -workers control the scale; -n gives
@@ -25,10 +26,11 @@
 // -parallelism caps the pool widths swept by the par experiment (default
 // GOMAXPROCS). The incremental, async, net, netinc, obs and par experiments
 // additionally write machine-readable results to BENCH_incremental.json,
-// BENCH_async.json, BENCH_net.json, BENCH_netinc.json, BENCH_obs.json and
-// BENCH_par.json (configurable with -out, -async-out, -net-out, -netinc-out,
-// -obs-out and -par-out); -quick shrinks the async, net, netinc, obs and par
-// experiments to smoke tests for CI. -trace runs
+// BENCH_async.json, BENCH_net.json, BENCH_netinc.json, BENCH_obs.json,
+// BENCH_par.json and BENCH_recover.json (configurable with -out, -async-out,
+// -net-out, -netinc-out, -obs-out, -par-out and -recover-out); -quick shrinks
+// the async, net, netinc, obs, par and recover experiments to smoke tests for
+// CI. -trace runs
 // one SSSP query over a local-TCP cluster and writes its execution trace as
 // Chrome trace-event JSON to the named file (open in https://ui.perfetto.dev
 // or chrome://tracing). -cpuprofile and -memprofile write pprof profiles
@@ -62,6 +64,7 @@ func main() {
 		netIncOut  = flag.String("netinc-out", "BENCH_netinc.json", "output file for the netinc experiment's JSON results")
 		obsOut     = flag.String("obs-out", "BENCH_obs.json", "output file for the obs experiment's JSON results")
 		parOut     = flag.String("par-out", "BENCH_par.json", "output file for the par experiment's JSON results")
+		recoverOut = flag.String("recover-out", "BENCH_recover.json", "output file for the recover experiment's JSON results")
 		par        = flag.Int("parallelism", runtime.GOMAXPROCS(0), "maximum sweep pool width swept by the par experiment (0 or 1 = sequential only)")
 		traceOut   = flag.String("trace", "", "run one SSSP query over a local-TCP cluster and write its Chrome trace-event JSON here")
 		quick      = flag.Bool("quick", false, "shrink the async, net, netinc and obs experiments to CI smoke runs")
@@ -84,7 +87,7 @@ func main() {
 			f.Close()
 		}()
 	}
-	err := run(*exp, *size, *workers, *par, *nList, *out, *asyncOut, *netOut, *netIncOut, *obsOut, *parOut, *traceOut, *quick)
+	err := run(*exp, *size, *workers, *par, *nList, *out, *asyncOut, *netOut, *netIncOut, *obsOut, *parOut, *recoverOut, *traceOut, *quick)
 	if *memProfile != "" {
 		f, merr := os.Create(*memProfile)
 		if merr == nil {
@@ -105,7 +108,7 @@ func main() {
 	}
 }
 
-func run(exp, size string, workers, parallelism int, nList, incOut, asyncOut, netOut, netIncOut, obsOut, parOut, traceOut string, quick bool) error {
+func run(exp, size string, workers, parallelism int, nList, incOut, asyncOut, netOut, netIncOut, obsOut, parOut, recoverOut, traceOut string, quick bool) error {
 	scale, err := workload.ParseScale(size)
 	if err != nil {
 		return err
@@ -314,6 +317,26 @@ func run(exp, size string, workers, parallelism int, nList, incOut, asyncOut, ne
 		fmt.Printf("wrote %s\n", parOut)
 		return nil
 	}
+	runRecover := func() error {
+		n, procs, scale := workers, 3, scale
+		if quick {
+			n, procs, scale = 4, 2, workload.ScaleTiny
+		}
+		rows, err := bench.RecoverExperiment(n, procs, scale, quick)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatRecoverRows(rows))
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(recoverOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", recoverOut)
+		return nil
+	}
 	runAblations := func() error {
 		rows, err := bench.AblationMessageGrouping(workers, scale)
 		if err != nil {
@@ -369,6 +392,8 @@ func run(exp, size string, workers, parallelism int, nList, incOut, asyncOut, ne
 		return runObs()
 	case "par":
 		return runPar()
+	case "recover":
+		return runRecover()
 	case "all":
 		steps := []func() error{
 			runTable1,
@@ -392,6 +417,7 @@ func run(exp, size string, workers, parallelism int, nList, incOut, asyncOut, ne
 			runNetInc,
 			runObs,
 			runPar,
+			runRecover,
 		}
 		for _, step := range steps {
 			if err := step(); err != nil {

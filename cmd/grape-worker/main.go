@@ -33,6 +33,12 @@
 // through the handshake, so the same binary serves any graph and any query
 // the coordinator runs.
 //
+// With -join the worker enters an already running elastic cluster (one whose
+// coordinator enabled recovery) instead of taking part in the initial
+// bring-up: it is admitted with no fragments and receives some through the
+// session's live rebalancing. The same flag brings a replacement into a
+// cluster that lost a worker.
+//
 // The -parallelism flag (default GOMAXPROCS, 0 or 1 = sequential) sets the
 // sweep pool width this process gives each hosted fragment: parallel-capable
 // queries chunk their dense vertex sweeps over up to that many goroutines
@@ -59,6 +65,7 @@ func main() {
 		par         = flag.Int("parallelism", runtime.GOMAXPROCS(0), "per-fragment sweep pool width for parallel-capable queries (0 or 1 = sequential)")
 		verbose     = flag.Bool("v", false, "log progress at info level (default: warnings and errors only)")
 		debugListen = flag.String("debug-listen", "", "serve /metrics, /healthz and /debug/pprof for this worker process on this address")
+		join        = flag.Bool("join", false, "join an already running elastic cluster mid-session instead of taking part in the initial bring-up")
 	)
 	flag.Parse()
 
@@ -73,6 +80,7 @@ func main() {
 		Log:         logger,
 		DebugListen: *debugListen,
 		Parallelism: *par,
+		Join:        *join,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "grape-worker:", err)

@@ -108,15 +108,16 @@ func main() {
 		listen    = flag.String("listen", "", "run distributed: listen on this address and ship fragments to grape-worker processes")
 		procs     = flag.Int("worker-procs", 3, "number of grape-worker processes to wait for (with -listen)")
 		debug     = flag.String("debug-listen", "", "serve /metrics, /healthz and /debug/pprof on this address")
+		recovery  = flag.Bool("recovery", false, "with -listen: survive worker deaths (checkpoint + restart queries) and accept grape-worker -join processes mid-session")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *query, grape.VertexID(*source), *workers, *par, *strategy, *mode, *top, *serve, *listen, *procs, *debug); err != nil {
+	if err := run(*graphPath, *query, grape.VertexID(*source), *workers, *par, *strategy, *mode, *top, *serve, *listen, *procs, *debug, *recovery); err != nil {
 		fmt.Fprintln(os.Stderr, "grape:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, query string, source grape.VertexID, workers, parallelism int, strategy, mode string, top int, serve bool, listen string, procs int, debug string) error {
+func run(graphPath, query string, source grape.VertexID, workers, parallelism int, strategy, mode string, top int, serve bool, listen string, procs int, debug string, recovery bool) error {
 	if graphPath == "" {
 		return fmt.Errorf("missing -graph")
 	}
@@ -145,6 +146,9 @@ func run(graphPath, query string, source grape.VertexID, workers, parallelism in
 			OnListen: func(addr string) {
 				fmt.Fprintf(os.Stderr, "listening on %s, waiting for %d grape-worker processes\n", addr, procs)
 			},
+		}
+		if recovery {
+			opts.Recovery = &grape.Recovery{}
 		}
 	}
 	fmt.Printf("loaded %v\n", g)

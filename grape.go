@@ -57,6 +57,7 @@
 package grape
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -129,6 +130,21 @@ var ErrAsyncUnsupported = core.ErrAsyncUnsupported
 // Options.Distributed never return it.
 var ErrDistributedUnsupported = core.ErrDistributedUnsupported
 
+// WorkerLostError reports that a worker process of a distributed session
+// died or became unreachable: its connection broke or it stopped answering
+// heartbeats. Queries and updates that failed because of it return errors
+// matchable with errors.As:
+//
+//	var lost *grape.WorkerLostError
+//	if errors.As(err, &lost) {
+//	    log.Printf("lost worker %d hosting fragments %v", lost.Proc, lost.Fragments)
+//	}
+//
+// With Options.Recovery set the session absorbs worker loss itself —
+// fragments are reassigned and queries restarted — so this error only
+// surfaces once the retry budget is exhausted (or recovery is disabled).
+type WorkerLostError = grapenet.WorkerLostError
+
 // ParseMode converts a flag value ("bsp" or "async") into a Mode.
 func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
 
@@ -180,6 +196,35 @@ type Distributed struct {
 	OnListen func(addr string)
 }
 
+// Recovery enables fault tolerance and elasticity on a distributed session.
+// The nil pointer (the default) keeps fail-stop behavior: a worker-process
+// death fails its queries with a WorkerLostError and update batches stay
+// disabled after a failed ship.
+//
+// With Recovery set, the session instead absorbs worker churn:
+//
+//   - In-flight BSP queries checkpoint a consistent cut every Interval
+//     supersteps (every rank's state plus the undelivered messages, taken at
+//     a superstep barrier).
+//   - When a worker process dies, its fragments are re-shipped from the
+//     coordinator's resident replica to the surviving processes and failed
+//     queries restart — from the last cut when one exists, from scratch
+//     otherwise — up to MaxRetries times.
+//   - Fresh worker processes may join the cluster mid-session (grape-worker
+//     -join); the session rebalances fragments onto them live.
+//
+// The zero value selects defaults for every field.
+type Recovery struct {
+	// Interval is the number of BSP supersteps between consistent cuts. Zero
+	// means 16; negative disables checkpointing (restarts re-run from
+	// scratch). Shorter intervals bound replayed work at the price of one
+	// extra snapshot round trip per interval.
+	Interval int
+	// MaxRetries caps how many times one query is restarted after worker
+	// loss. Zero means 2.
+	MaxRetries int
+}
+
 // Options configure the one-call helpers below.
 type Options struct {
 	// Workers is the number of fragments/workers (default 1).
@@ -200,6 +245,11 @@ type Options struct {
 	// Distributed, when non-nil, runs the session over a multi-process TCP
 	// cluster instead of in-process goroutines. See Distributed.
 	Distributed *Distributed
+	// Recovery, when non-nil, makes a distributed session fault-tolerant and
+	// elastic: worker deaths are recovered by fragment reassignment and query
+	// restart, and fresh worker processes can join mid-session. Nil keeps
+	// fail-stop behavior. Ignored without Distributed. See Recovery.
+	Recovery *Recovery
 	// DebugListen, when non-empty, serves the session's debug HTTP endpoint
 	// on the given address ("127.0.0.1:0" binds an ephemeral port — see
 	// Session.DebugAddr): /metrics exposes the engine's Prometheus counters
@@ -214,13 +264,17 @@ type Options struct {
 }
 
 func (o Options) core() core.Options {
-	return core.Options{
+	co := core.Options{
 		Workers:     o.Workers,
 		Strategy:    o.Strategy,
 		Parallelism: o.Parallelism,
 		Mode:        o.Mode,
 		NoMetrics:   o.NoMetrics,
 	}
+	if o.Recovery != nil {
+		co.Recovery = &core.RecoveryOptions{Interval: o.Recovery.Interval, MaxRetries: o.Recovery.MaxRetries}
+	}
+	return co
 }
 
 // Session serves many queries over a graph that is partitioned exactly once:
@@ -290,6 +344,9 @@ func newDistributedSession(g *Graph, opts Options) (*Session, error) {
 		return nil, err
 	}
 	ln.Heartbeat = d.Heartbeat
+	// Elastic clusters keep the listener open after bring-up so replacement
+	// or additional workers can join mid-session.
+	ln.Elastic = opts.Recovery != nil
 	if d.OnListen != nil {
 		d.OnListen(ln.Addr())
 	}
@@ -338,6 +395,12 @@ type WorkerOptions struct {
 	// process-local setting: the coordinator's evaluation calls do not carry
 	// it. Zero or one keeps the sequential legacy path.
 	Parallelism int
+	// Join makes the worker enter an already running elastic cluster
+	// (Options.Recovery on the coordinator side) instead of taking part in
+	// the initial bring-up: it is admitted with a fresh process id and no
+	// fragments, and receives fragments through the session's live
+	// rebalancing. Joining a non-elastic cluster fails the handshake.
+	Join bool
 }
 
 // ServeWorker runs this process as a grape worker: it dials the coordinator
@@ -347,6 +410,13 @@ type WorkerOptions struct {
 // coordinator shuts the cluster down. cmd/grape-worker is a thin wrapper
 // around this.
 func ServeWorker(coordinator string, opts WorkerOptions) error {
+	return ServeWorkerCtx(context.Background(), coordinator, opts)
+}
+
+// ServeWorkerCtx is ServeWorker bound to a context: cancellation aborts the
+// dial backoff or closes the serving connection, and the context's error is
+// returned.
+func ServeWorkerCtx(ctx context.Context, coordinator string, opts WorkerOptions) error {
 	host := core.NewWorkerHost(pie.ByName)
 	host.SetParallelism(opts.Parallelism)
 	reg := obs.NewRegistry()
@@ -358,8 +428,8 @@ func ServeWorker(coordinator string, opts WorkerOptions) error {
 		srv.AddCollector(reg.Gather)
 		defer srv.Close()
 	}
-	return grapenet.RunWorker(coordinator, host, grapenet.WorkerOptions{
-		DialTimeout: opts.DialTimeout, Log: opts.Log, Metrics: reg})
+	return grapenet.RunWorkerCtx(ctx, coordinator, host, grapenet.WorkerOptions{
+		DialTimeout: opts.DialTimeout, Log: opts.Log, Metrics: reg, Join: opts.Join})
 }
 
 // Compile-time check that the engine's worker host satisfies the transport's

@@ -1,0 +1,85 @@
+package grape
+
+// Context-aware session methods. Every query and update entry point has a
+// Ctx variant that honors cancellation and deadlines: a canceled context
+// aborts the run at its next superstep (BSP) or round (async) boundary —
+// releasing the query's epoch pin and any remote per-query state — and the
+// context's error is returned. The plain methods delegate here with
+// context.Background().
+//
+// On distributed sessions with Options.Recovery set, the Ctx variants are
+// also where fault tolerance lives: a run that failed because a worker
+// process died is restarted (from the last checkpointed cut when one exists)
+// after the session reassigns the dead process's fragments — see Recovery.
+
+import (
+	"context"
+
+	"grape/internal/pie"
+)
+
+// RunCtx is Run bound to a context.
+func (s *Session) RunCtx(ctx context.Context, prog Program, query any) (*Result, error) {
+	return s.s.RunModeCtx(ctx, query, prog, s.mode)
+}
+
+// SSSPCtx is SSSP bound to a context.
+func (s *Session) SSSPCtx(ctx context.Context, source VertexID) (map[VertexID]float64, *Stats, error) {
+	res, err := s.s.RunModeCtx(ctx, source, pie.SSSP{}, s.mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Output.(map[VertexID]float64), res.Stats, nil
+}
+
+// CCCtx is CC bound to a context.
+func (s *Session) CCCtx(ctx context.Context) (map[VertexID]VertexID, *Stats, error) {
+	res, err := s.s.RunModeCtx(ctx, nil, pie.CC{}, s.mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Output.(map[VertexID]VertexID), res.Stats, nil
+}
+
+// SimCtx is Sim bound to a context.
+func (s *Session) SimCtx(ctx context.Context, pattern *Graph) (SimResult, *Stats, error) {
+	res, err := s.s.RunModeCtx(ctx, pattern, pie.Sim{}, s.mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Output.(SimResult), res.Stats, nil
+}
+
+// SubIsoCtx is SubIso bound to a context.
+func (s *Session) SubIsoCtx(ctx context.Context, pattern *Graph, maxMatches int) ([]Match, *Stats, error) {
+	res, err := s.s.RunModeCtx(ctx, pattern, pie.SubIso{MaxMatches: maxMatches}, s.mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Output.([]Match), res.Stats, nil
+}
+
+// CFCtx is CF bound to a context.
+func (s *Session) CFCtx(ctx context.Context, query CFQuery) (CFModel, *Stats, error) {
+	res, err := s.s.RunModeCtx(ctx, query, pie.CF{}, s.mode)
+	if err != nil {
+		return CFModel{}, nil, err
+	}
+	return res.Output.(CFModel), res.Stats, nil
+}
+
+// PageRankCtx is PageRank bound to a context.
+func (s *Session) PageRankCtx(ctx context.Context) (map[VertexID]float64, *Stats, error) {
+	res, err := s.s.RunModeCtx(ctx, pie.DefaultPageRankQuery(), pie.PageRank{}, s.mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Output.(map[VertexID]float64), res.Stats, nil
+}
+
+// ApplyUpdatesCtx is ApplyUpdates bound to a context. Cancellation is honored
+// until the batch's delta ships to the worker processes; past that point the
+// epoch always installs, because aborting midway would diverge the cluster.
+func (s *Session) ApplyUpdatesCtx(ctx context.Context, batch []Update) (*UpdateStats, error) {
+	return s.s.ApplyUpdatesCtx(ctx, batch)
+}

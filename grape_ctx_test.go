@@ -1,0 +1,121 @@
+package grape
+
+// Context-cancellation tests for the Ctx session methods, on both the
+// in-process and the TCP transport and on both execution planes. The
+// deterministic "query that never finishes" is a PageRank with Tolerance 0
+// (delta < 0 never holds) and an enormous round budget: cancellation is the
+// only way out, so a prompt context.Canceled return proves the superstep- and
+// round-boundary checks work. Each test then runs a plain query to show the
+// session survived the abort.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"grape/internal/pie"
+)
+
+// neverConverges is a PageRank query that can only end by cancellation. With
+// Tolerance 0 every PEval/IncEval runs its full defensive local-sweep budget,
+// so the graphs below are kept tiny to keep each superstep short — the
+// cancellation check fires at superstep boundaries.
+var neverConverges = pie.PageRankQuery{Damping: 0.85, Tolerance: 0, MaxRounds: 1 << 30}
+
+// assertCancels runs the never-converging query under a context canceled
+// after delay and asserts a prompt context.Canceled return.
+func assertCancels(t *testing.T, s *Session, delay time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(delay, cancel)
+	start := time.Now()
+	_, err := s.RunCtx(ctx, pie.PageRank{}, neverConverges)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run returned %v, want context.Canceled", err)
+	}
+	// Generous bound: one superstep of the never-converging query plus
+	// race-detector slowdown, while still catching a run that ignored the
+	// context until some other limit ended it.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+}
+
+func TestCtxPreCanceledLocal(t *testing.T) {
+	g := distributedGraph(false, 100, 150, 2)
+	s, err := NewSession(g, Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.SSSPCtx(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SSSPCtx with a canceled context returned %v", err)
+	}
+	if _, err := s.ApplyUpdatesCtx(ctx, []Update{EdgeInsert(1, 50, 0.5)}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ApplyUpdatesCtx with a canceled context returned %v", err)
+	}
+	// The canceled calls left nothing behind: the session still works.
+	if _, _, err := s.SSSP(0); err != nil {
+		t.Fatalf("SSSP after canceled calls: %v", err)
+	}
+	if s.Epoch() != 0 {
+		t.Fatalf("canceled ApplyUpdatesCtx installed an epoch")
+	}
+}
+
+func TestCtxCancelMidRunLocal(t *testing.T) {
+	g := distributedGraph(false, 60, 100, 5)
+	for _, mode := range []Mode{BSP, Async} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s, err := NewSession(g, Options{Workers: 4, Mode: mode})
+			if err != nil {
+				t.Fatalf("NewSession: %v", err)
+			}
+			defer s.Close()
+			assertCancels(t, s, 50*time.Millisecond)
+			if _, _, err := s.SSSP(0); err != nil {
+				t.Fatalf("SSSP after a canceled run: %v", err)
+			}
+		})
+	}
+}
+
+func TestCtxCancelMidRunDistributed(t *testing.T) {
+	g := distributedGraph(false, 60, 100, 8)
+	for _, mode := range []Mode{BSP, Async} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s, waitWorkers := startCluster(t, g, 4, 2, mode)
+			defer waitWorkers()
+			defer s.Close()
+			assertCancels(t, s, 100*time.Millisecond)
+			// The abort released the query's remote state and epoch pin: the
+			// session keeps answering and absorbing updates.
+			if _, _, err := s.SSSP(0); err != nil {
+				t.Fatalf("SSSP after a canceled distributed run: %v", err)
+			}
+			if _, err := s.ApplyUpdates([]Update{EdgeInsert(2, 77, 0.25)}); err != nil {
+				t.Fatalf("ApplyUpdates after a canceled run: %v", err)
+			}
+		})
+	}
+}
+
+// TestCtxDeadline: a context deadline behaves like cancellation, returning
+// context.DeadlineExceeded.
+func TestCtxDeadline(t *testing.T) {
+	g := distributedGraph(false, 60, 100, 4)
+	s, err := NewSession(g, Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := s.RunCtx(ctx, pie.PageRank{}, neverConverges); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline run returned %v, want context.DeadlineExceeded", err)
+	}
+}

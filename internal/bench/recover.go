@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	stdnet "net"
+	"strings"
+	"sync"
+	"time"
+
+	"grape/internal/core"
+	"grape/internal/metrics"
+	grapenet "grape/internal/mpi/net"
+	"grape/internal/partition"
+	"grape/internal/pie"
+	"grape/internal/workload"
+)
+
+// RecoverRow is one point of the fault-tolerance experiment (grape-bench
+// -exp recover): the same SSSP query timed over a local-TCP cluster in three
+// configurations — fail-stop (no recovery), recovery enabled (checkpoints
+// every Interval supersteps, measuring what checkpointing costs a run that
+// never fails), and recovery enabled with one worker process killed
+// mid-query (measuring what a real failure costs end to end: death
+// detection, fragment reassignment to survivors, and the restart from the
+// last checkpointed cut).
+type RecoverRow struct {
+	Dataset  string `json:"dataset"`
+	Workers  int    `json:"workers"`
+	Procs    int    `json:"procs"`
+	Runs     int    `json:"runs"`
+	Interval int    `json:"checkpoint_interval"`
+
+	// HealthySec is the mean healthy query time without recovery;
+	// CheckpointedSec the same with checkpointing on. CheckpointOverhead is
+	// their ratio — the steady-state price of fault tolerance (1.00 = free).
+	HealthySec         float64 `json:"healthy_sec"`
+	CheckpointedSec    float64 `json:"checkpointed_sec"`
+	CheckpointOverhead float64 `json:"checkpoint_overhead"`
+
+	// DisruptedSec is the wall time of the query that absorbed a worker kill:
+	// it includes detecting the death, re-homing the dead process's fragments
+	// onto survivors, and restarting from the last checkpoint.
+	// RecoveryLatencySec is what the failure itself cost — DisruptedSec minus
+	// the checkpointed healthy time. Restarts counts how many times that
+	// query restarted (normally 1).
+	DisruptedSec       float64 `json:"disrupted_sec"`
+	RecoveryLatencySec float64 `json:"recovery_latency_sec"`
+	Restarts           int     `json:"restarts"`
+}
+
+// relay is a minimal TCP proxy whose connections can all be severed at once,
+// so an in-process worker loop can be "killed" the way a real worker process
+// dies: its coordinator link drops abruptly.
+type relay struct {
+	ln      stdnet.Listener
+	backend string
+
+	mu     sync.Mutex
+	conns  []stdnet.Conn
+	killed bool
+}
+
+func newRelay(backend string) (*relay, error) {
+	ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	r := &relay{ln: ln, backend: backend}
+	go r.accept()
+	return r, nil
+}
+
+func (r *relay) accept() {
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := stdnet.Dial("tcp", r.backend)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		r.mu.Lock()
+		if r.killed {
+			r.mu.Unlock()
+			conn.Close()
+			up.Close()
+			continue
+		}
+		r.conns = append(r.conns, conn, up)
+		r.mu.Unlock()
+		go func() { io.Copy(up, conn); up.Close() }()
+		go func() { io.Copy(conn, up); conn.Close() }()
+	}
+}
+
+// kill severs every relayed connection and refuses new ones. Idempotent.
+func (r *relay) kill() {
+	r.mu.Lock()
+	r.killed = true
+	conns := r.conns
+	r.conns = nil
+	r.mu.Unlock()
+	r.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// tcpSessionKillable is tcpSessionOpts with worker process 0 dialing the
+// coordinator through a relay; calling kill severs that process's link, which
+// the coordinator observes as the process dying. The other processes dial
+// directly.
+func tcpSessionKillable(p *partition.Partitioned, procs int, opts core.Options) (*core.Session, func(), func(), error) {
+	ln, err := grapenet.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rel, err := newRelay(ln.Addr())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		addr := ln.Addr()
+		if i == 0 {
+			addr = rel.ln.Addr().String()
+		}
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			host := core.NewWorkerHost(pie.ByName)
+			_ = grapenet.RunWorker(addr, host, grapenet.WorkerOptions{DialTimeout: 10 * time.Second})
+		}(addr)
+	}
+	cl, err := ln.Serve(p, procs, 30*time.Second)
+	if err != nil {
+		rel.kill()
+		return nil, nil, nil, err
+	}
+	peers := make([]core.RemotePeer, len(p.Fragments))
+	for i := range peers {
+		peers[i] = cl.Peer(i)
+	}
+	s, err := core.NewSessionRemote(p, opts, cl, peers)
+	if err != nil {
+		cl.Close()
+		rel.kill()
+		wg.Wait()
+		return nil, nil, nil, err
+	}
+	cleanup := func() { s.Close(); rel.kill(); wg.Wait() }
+	return s, cleanup, rel.kill, nil
+}
+
+// timedSSSP runs the query `runs` times and returns the mean seconds.
+func timedSSSP(s *core.Session, source any, runs int) (float64, error) {
+	var total float64
+	for i := 0; i < runs; i++ {
+		t := metrics.StartTimer()
+		if _, err := s.Run(source, pie.SSSP{}); err != nil {
+			return 0, err
+		}
+		total += t.Stop().Seconds()
+	}
+	return total / float64(runs), nil
+}
+
+// RecoverExperiment measures checkpoint overhead and recovery latency on the
+// road-network surrogate. The interval is the engine's default (16); the
+// headline number is CheckpointOverhead, which the e2e harness expects to
+// stay under 1.10.
+func RecoverExperiment(workers, procs int, scale workload.Scale, quick bool) ([]RecoverRow, error) {
+	if procs < 2 {
+		return nil, fmt.Errorf("bench: recover needs at least 2 worker processes, got %d", procs)
+	}
+	runs := 5
+	if quick {
+		runs = 2
+	}
+	const interval = 16
+
+	g, err := workload.Load(workload.Traffic, scale)
+	if err != nil {
+		return nil, err
+	}
+	source := workload.Sources(g, 1, 7)[0]
+	row := RecoverRow{Dataset: workload.Traffic, Workers: workers, Procs: procs,
+		Runs: runs, Interval: interval}
+
+	// Fail-stop baseline: no recovery machinery at all.
+	p := partition.Partition(g, workers, grapeStrategy)
+	s, cleanup, _, err := tcpSession(p, procs)
+	if err != nil {
+		return nil, err
+	}
+	row.HealthySec, err = timedSSSP(s, source, runs)
+	cleanup()
+	if err != nil {
+		return nil, fmt.Errorf("bench: healthy runs: %w", err)
+	}
+
+	// Checkpointing on, no failure: the steady-state overhead.
+	recOpts := core.Options{Recovery: &core.RecoveryOptions{Interval: interval}}
+	p = partition.Partition(g, workers, grapeStrategy)
+	s, cleanup, _, err = tcpSessionOpts(p, procs, recOpts)
+	if err != nil {
+		return nil, err
+	}
+	row.CheckpointedSec, err = timedSSSP(s, source, runs)
+	cleanup()
+	if err != nil {
+		return nil, fmt.Errorf("bench: checkpointed runs: %w", err)
+	}
+	row.CheckpointOverhead = safeRatio(row.CheckpointedSec, row.HealthySec)
+
+	// Kill one worker process mid-query and time the run that absorbs it.
+	p = partition.Partition(g, workers, grapeStrategy)
+	s, cleanup, kill, err := tcpSessionKillable(p, procs, recOpts)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	killAt := time.Duration(row.CheckpointedSec / 3 * float64(time.Second))
+	timer := time.AfterFunc(killAt, kill)
+	t := metrics.StartTimer()
+	res, err := s.Run(source, pie.SSSP{})
+	row.DisruptedSec = t.Stop().Seconds()
+	timer.Stop()
+	if err != nil {
+		return nil, fmt.Errorf("bench: disrupted run: %w", err)
+	}
+	row.Restarts = res.Restarts
+	if row.Restarts == 0 {
+		// The query beat the kill; the next one absorbs the dead process.
+		kill()
+		t = metrics.StartTimer()
+		if res, err = s.Run(source, pie.SSSP{}); err != nil {
+			return nil, fmt.Errorf("bench: post-kill run: %w", err)
+		}
+		row.DisruptedSec = t.Stop().Seconds()
+		row.Restarts = res.Restarts
+	}
+	row.RecoveryLatencySec = row.DisruptedSec - row.CheckpointedSec
+
+	return []RecoverRow{row}, nil
+}
+
+// FormatRecoverRows renders the experiment as a text table.
+func FormatRecoverRows(rows []RecoverRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nFault tolerance: checkpoint overhead and recovery latency (SSSP over TCP)\n")
+	fmt.Fprintf(&b, "%-10s %3s %6s %5s %9s %12s %12s %10s %13s %14s %9s\n",
+		"dataset", "n", "procs", "runs", "interval", "healthy(s)", "ckpt(s)", "overhead", "disrupted(s)", "recovery(s)", "restarts")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %3d %6d %5d %9d %12.4f %12.4f %9.2fx %13.4f %14.4f %9d\n",
+			r.Dataset, r.Workers, r.Procs, r.Runs, r.Interval,
+			r.HealthySec, r.CheckpointedSec, r.CheckpointOverhead,
+			r.DisruptedSec, r.RecoveryLatencySec, r.Restarts)
+	}
+	return b.String()
+}

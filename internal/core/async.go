@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -33,6 +34,9 @@ import (
 type asyncRunner struct {
 	opts    Options
 	cluster mpi.Transport
+	// ctx, when non-nil, aborts the run: cancellation fails the idle
+	// consensus, which stops every worker at its next round boundary.
+	ctx context.Context
 }
 
 func (r *asyncRunner) mode() ExecMode { return ModeAsync }
@@ -84,6 +88,15 @@ func (st *asyncState) allIdleLocked() bool {
 func (r *asyncRunner) run(tasks []*task, comm *mpi.Comm, stats *metrics.Stats, res *Result) error {
 	m := len(tasks)
 	st := newAsyncState(m)
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			return err
+		}
+		// Cancellation is delivered as a failure: it wakes the coordinator's
+		// consensus wait, which tears the workers down at their next round.
+		stop := context.AfterFunc(r.ctx, func() { st.fail(r.ctx.Err()) })
+		defer stop()
+	}
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 	// Safety net against non-monotone programs, mirroring MaxSupersteps: the

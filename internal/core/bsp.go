@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -25,14 +26,30 @@ type stepFn func(superstep int, body func(w int) error) error
 type bspRunner struct {
 	opts    Options
 	cluster mpi.Transport
+	// ctx, when non-nil, cancels the run at the next superstep boundary.
+	ctx context.Context
+	// ckpt, when non-nil, takes a consistent cut of the run every few
+	// supersteps (query runs on distributed sessions with Recovery enabled;
+	// see recovery.go). resume, when non-nil, restarts the run from such a
+	// cut instead of running PEval.
+	ckpt   *ckptRecorder
+	resume *checkpointCut
 }
 
 func (r *bspRunner) mode() ExecMode { return ModeBSP }
 
 func (r *bspRunner) run(tasks []*task, comm *mpi.Comm, stats *metrics.Stats, res *Result) error {
 	runStep := r.stepFunc(len(tasks), stats, res)
+	if r.resume != nil {
+		return r.restart(tasks, comm, stats, res, runStep)
+	}
 
 	// Superstep 1: partial evaluation on every fragment.
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			return err
+		}
+	}
 	superstep := 1
 	stats.BeginSuperstep()
 	for w := range tasks {
@@ -42,6 +59,33 @@ func (r *bspRunner) run(tasks []*task, comm *mpi.Comm, stats *metrics.Stats, res
 		return err
 	}
 	return r.iterate(tasks, comm, stats, res, runStep, superstep)
+}
+
+// restart resumes a run from a consistent cut instead of evaluating from
+// scratch: every rank's checkpointed state is reinstalled in place of PEval
+// (the restore binds a fresh worker-side task under this run's query id), the
+// cut's undelivered messages are replayed into this run's communicator, and
+// the superstep loop continues exactly where the cut was taken. Only reached
+// on distributed sessions whose peers checkpoint, so the type assertions
+// cannot fail.
+func (r *bspRunner) restart(tasks []*task, comm *mpi.Comm, stats *metrics.Stats,
+	res *Result, runStep stepFn) error {
+	cut := r.resume
+	failed, err := r.cluster.BarrierFor(func(int) bool { return true }, 0, func(w int) error {
+		t := tasks[w]
+		return t.remote.(RemoteCheckpointPeer).Restore(t.queryID, t.epoch, t.progName, t.queryBytes, cut.states[w])
+	})
+	if err != nil {
+		return fmt.Errorf("core: restoring checkpoint on fragment %d: %w", failed, err)
+	}
+	for _, envs := range cut.inboxes {
+		for _, e := range envs {
+			comm.Send(e.From, e.To, e.Tag, e.Payload)
+		}
+	}
+	// iterate delivers the replayed mailboxes as superstep cut.superstep and
+	// carries on to the fixpoint.
+	return r.iterate(tasks, comm, stats, res, runStep, cut.superstep-1)
 }
 
 // stepFunc builds the query-superstep executor: injected failures are
@@ -127,6 +171,11 @@ func (r *bspRunner) iterate(tasks []*task, comm *mpi.Comm, stats *metrics.Stats,
 	m := len(tasks)
 	prog := tasks[0].prog
 	for {
+		if r.ctx != nil {
+			if err := r.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if r.opts.CoordinatorFailureAt > 0 && superstep == r.opts.CoordinatorFailureAt {
 			// The standby coordinator S'c takes over; the coordinator's only
 			// state is termination detection, which is recomputed from the
@@ -151,6 +200,12 @@ func (r *bspRunner) iterate(tasks []*task, comm *mpi.Comm, stats *metrics.Stats,
 			if len(inboxes[w]) > 0 {
 				stats.AddWorkerRound(w)
 			}
+		}
+		// Consistent cut: with the mailboxes for this superstep materialized
+		// here and every fragment's state still "after the previous superstep",
+		// snapshotting both captures the whole computation.
+		if r.ckpt != nil && r.ckpt.due(superstep) {
+			r.ckpt.capture(tasks, superstep, inboxes)
 		}
 		if err := runStep(superstep, func(w int) error { return tasks[w].incremental(superstep, inboxes[w]) }); err != nil {
 			return err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -30,6 +31,17 @@ type coordinator struct {
 	// successful run instead of Ending it — Materialize uses it to leave the
 	// converged contexts behind as view state.
 	retain bool
+	// ctx, when non-nil, cancels the run at the next superstep (BSP) or round
+	// (async) boundary and is threaded into the runner planes.
+	ctx context.Context
+	// ckpt, when non-nil, records consistent cuts of the run every few
+	// supersteps so the session's restart loop can resume it after a worker
+	// loss (BSP plane only; see recovery.go).
+	ckpt *ckptRecorder
+	// resume, when non-nil, makes the BSP runner skip PEval and restart from
+	// the cut instead: every rank's state is restored and the cut's inboxes
+	// replayed.
+	resume *checkpointCut
 }
 
 // run evaluates one query with the given PIE program to fixpoint on the
@@ -97,10 +109,10 @@ func (c *coordinator) runMode(q Query, prog Program, mode ExecMode) (res *Result
 	switch mode {
 	case ModeAsync:
 		comm = c.cluster.NewAsyncComm(stats)
-		r = &asyncRunner{opts: c.opts, cluster: c.cluster}
+		r = &asyncRunner{opts: c.opts, cluster: c.cluster, ctx: c.ctx}
 	default:
 		comm = c.cluster.NewComm(stats)
-		r = &bspRunner{opts: c.opts, cluster: c.cluster}
+		r = &bspRunner{opts: c.opts, cluster: c.cluster, ctx: c.ctx, ckpt: c.ckpt, resume: c.resume}
 	}
 	if !c.opts.DisableGrouping {
 		// Fold same-(vertex,key) updates per destination under the program's

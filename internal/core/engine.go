@@ -64,6 +64,14 @@ type Options struct {
 	// MaxRecoveries caps how many failures the arbitrator will recover
 	// before giving up. Zero means a small default.
 	MaxRecoveries int
+	// Recovery enables fault tolerance and elasticity on distributed
+	// sessions: in-flight queries checkpoint consistent cuts every
+	// Recovery.Interval supersteps, a worker-process death triggers fragment
+	// reassignment plus query restart instead of an error, and freshly joined
+	// worker processes receive fragments through live rebalancing. Nil (the
+	// zero value) keeps the historical fail-stop behavior. Ignored by
+	// non-distributed sessions.
+	Recovery *RecoveryOptions
 	// NoMetrics turns off the observability plane for runs of this engine:
 	// no cluster-wide counters are incremented and no per-query trace is
 	// recorded. The benchmark harness uses it to measure instrumentation
@@ -107,6 +115,10 @@ type Result struct {
 	// CoordinatorFailovers counts coordinator failures taken over by the
 	// standby coordinator.
 	CoordinatorFailovers int
+	// Restarts counts how many times the run was restarted after losing a
+	// worker process or racing a topology change (only possible with
+	// Options.Recovery set on a distributed session).
+	Restarts int
 	// queryID is the communicator id of the run; on distributed sessions it
 	// also names the per-query state retained on the workers (Materialize
 	// promotes it into view state).

@@ -29,4 +29,12 @@ var (
 		"Individual graph update operations applied across fragments.")
 	obsViewMaintenance = obs.CounterVec("grape_view_maintenance_total",
 		"View maintenance passes, by kind (incremental or recompute).", "kind")
+	obsCheckpoints = obs.Counter("grape_checkpoints_total",
+		"Consistent cuts taken of in-flight queries (all ranks snapshotted at a barrier).")
+	obsCheckpointSeconds = obs.Histogram("grape_checkpoint_seconds",
+		"Wall-clock duration of consistent-cut checkpoints.", nil)
+	obsQueryRestarts = obs.Counter("grape_query_restarts_total",
+		"Query runs restarted after worker loss or a topology change.")
+	obsWorkerRecoveries = obs.Counter("grape_worker_recoveries_total",
+		"Worker-process deaths recovered by reassigning their fragments to survivors.")
 )

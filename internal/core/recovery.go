@@ -1,0 +1,309 @@
+package core
+
+// Fault tolerance for distributed sessions: consistent-cut checkpointing,
+// query restart, worker-death recovery and elastic rebalancing.
+//
+// The coordinator keeps a resident replica of every fragment (it routes graph
+// updates there), so losing a worker process never loses graph data — only
+// residency and in-flight query state. Recovery therefore has two halves:
+//
+//   - Fragments: the dead process's ranks are re-shipped from the
+//     coordinator's replica to surviving (or freshly joined) processes via
+//     RemoteRecoveryTransport.Reassign, which also rebinds each rank's peer so
+//     later calls route to the new host.
+//
+//   - Queries: a run that failed with a lost worker is restarted. If the run
+//     had taken a consistent cut — every rank's state snapshotted at a
+//     superstep barrier plus the undelivered messages of that superstep — the
+//     restart resumes from the cut (Restore on every rank, replay the saved
+//     inboxes, continue iterating); otherwise it restarts from PEval. Both are
+//     sound for the simultaneous-fixpoint semantics: the monotone built-in
+//     programs converge to the same answer from any prefix of the computation.
+//
+// A cut is taken every Interval supersteps between mailbox delivery and the
+// compute barrier, when the mailboxes for superstep S are materialized on the
+// coordinator and every fragment's state is exactly "after superstep S-1".
+// Checkpoint failures are fail-soft: the previous cut is kept.
+//
+// All of this activates only when Options.Recovery is set and the transport
+// declares RemoteRecoveryTransport; the zero value is today's fail-stop
+// behavior.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"grape/internal/metrics"
+	"grape/internal/mpi"
+	"grape/internal/partition"
+)
+
+// Default recovery tuning used when the corresponding RecoveryOptions fields
+// are zero.
+const (
+	defaultCheckpointInterval = 16
+	defaultMaxRetries         = 2
+)
+
+// RecoveryOptions enable fault tolerance and elasticity on distributed
+// sessions. The zero value of each field selects a default; a nil
+// Options.Recovery disables recovery entirely (fail-stop, the historical
+// behavior).
+type RecoveryOptions struct {
+	// Interval is the number of BSP supersteps between consistent cuts of an
+	// in-flight query (checkpoints). Zero means a default (16); a negative
+	// value disables checkpointing, so restarted queries re-run from PEval.
+	// Shorter intervals bound the recomputation a recovery replays at the
+	// price of one extra state-snapshot round trip per interval.
+	Interval int
+	// MaxRetries caps how many times one query run is restarted after worker
+	// loss before the error is surfaced. Zero means a default (2).
+	MaxRetries int
+}
+
+// interval resolves the checkpoint interval; 0 disables checkpointing.
+func (r *RecoveryOptions) interval() int {
+	if r == nil {
+		return 0
+	}
+	if r.Interval == 0 {
+		return defaultCheckpointInterval
+	}
+	if r.Interval < 0 {
+		return 0
+	}
+	return r.Interval
+}
+
+// maxRetries resolves the per-query restart budget.
+func (r *RecoveryOptions) maxRetries() int {
+	if r == nil {
+		return 0
+	}
+	if r.MaxRetries <= 0 {
+		return defaultMaxRetries
+	}
+	return r.MaxRetries
+}
+
+// workerLoster is the structural shape of the transport's worker-loss error
+// (net.WorkerLostError); core matches it via errors.As instead of importing
+// the transport package.
+type workerLoster interface {
+	WorkerLost() (proc int, fragments []int)
+}
+
+// workerLost reports whether err (anywhere in its tree) says a worker process
+// died.
+func workerLost(err error) bool {
+	var wl workerLoster
+	return errors.As(err, &wl)
+}
+
+// allWorkerLost reports whether every leaf of err's tree is a worker-loss
+// error — the condition under which a failed delta ship is recoverable: the
+// dead processes never installed the epoch, and every error-free survivor
+// did.
+func allWorkerLost(err error) bool {
+	if err == nil {
+		return false
+	}
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		for _, e := range joined.Unwrap() {
+			if !allWorkerLost(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if _, ok := err.(workerLoster); ok {
+		return true
+	}
+	if u := errors.Unwrap(err); u != nil {
+		return allWorkerLost(u)
+	}
+	return false
+}
+
+// checkpointCut is one consistent cut of an in-flight BSP query: every rank's
+// encoded state after superstep-1, plus the messages those supersteps routed
+// that superstep would deliver. Restoring the states and replaying the
+// inboxes reproduces the exact pre-superstep configuration.
+type checkpointCut struct {
+	epoch     int64
+	superstep int              // the superstep the saved inboxes feed
+	states    [][]byte         // per-rank encoded partial state (RemoteProgram codec)
+	inboxes   [][]mpi.Envelope // per-rank mailboxes for superstep
+}
+
+// ckptRecorder takes consistent cuts for one query run and hands the latest
+// one to the session's restart loop. It is created per run (the cut is only
+// meaningful for that query) and shared between the BSP runner, which
+// captures, and the session, which consumes on restart.
+type ckptRecorder struct {
+	interval  int
+	noMetrics bool
+
+	mu  sync.Mutex
+	cut *checkpointCut
+}
+
+// due reports whether a cut should be taken before the given superstep runs.
+func (k *ckptRecorder) due(superstep int) bool {
+	return k.interval > 0 && superstep%k.interval == 0
+}
+
+// capture snapshots every rank's state (in parallel) and retains it together
+// with the superstep's already-materialized inboxes. Failures are fail-soft:
+// the previous cut survives, and the run continues unscathed — a checkpoint
+// is an optimization of recovery, never a correctness requirement.
+func (k *ckptRecorder) capture(tasks []*task, superstep int, inboxes [][]mpi.Envelope) {
+	timer := metrics.StartTimer()
+	states := make([][]byte, len(tasks))
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for w, t := range tasks {
+		pe, ok := t.remote.(RemoteCheckpointPeer)
+		if !ok {
+			return
+		}
+		wg.Add(1)
+		go func(w int, pe RemoteCheckpointPeer, query uint64) {
+			defer wg.Done()
+			states[w], errs[w] = pe.Checkpoint(query)
+		}(w, pe, t.queryID)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return
+		}
+	}
+	k.mu.Lock()
+	k.cut = &checkpointCut{epoch: tasks[0].epoch, superstep: superstep, states: states, inboxes: inboxes}
+	k.mu.Unlock()
+	if !k.noMetrics {
+		obsCheckpoints.Inc()
+		obsCheckpointSeconds.Observe(timer.Stop().Seconds())
+	}
+}
+
+// take returns the latest cut, if any.
+func (k *ckptRecorder) take() *checkpointCut {
+	if k == nil {
+		return nil
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.cut
+}
+
+// recoverySetup resolves what the restart loop of one query run may use: the
+// transport's recovery capability (nil disables restarts entirely) and a
+// checkpoint recorder (nil makes restarts re-run from PEval). Checkpoints
+// require the BSP plane — cuts are defined at superstep barriers — plus
+// checkpoint-capable peers and IncEval (Restore creates worker-side tasks
+// that continue incrementally).
+func (s *Session) recoverySetup(prog Program, mode ExecMode) (RemoteRecoveryTransport, *ckptRecorder) {
+	if s.opts.Recovery == nil || s.remotes == nil {
+		return nil, nil
+	}
+	rt, ok := s.cluster.(RemoteRecoveryTransport)
+	if !ok {
+		return nil, nil
+	}
+	interval := s.opts.Recovery.interval()
+	if interval <= 0 || mode != ModeBSP || s.opts.DisableIncEval || !SupportsRemote(prog) {
+		return rt, nil
+	}
+	for _, pe := range s.remotes {
+		if _, ok := pe.(RemoteCheckpointPeer); !ok {
+			return rt, nil
+		}
+	}
+	return rt, &ckptRecorder{interval: interval, noMetrics: s.opts.NoMetrics}
+}
+
+// recoverLost re-homes every fragment rank whose hosting process died: the
+// coordinator's resident replica of each lost fragment is shipped to a
+// surviving process at the session's current epoch and the rank's peer is
+// rebound. Concurrent failed queries race here; the first one in does the
+// work and the rest see no lost fragments. Views are marked stale — their
+// worker-side state died with the process — so their next maintenance round
+// recomputes.
+func (s *Session) recoverLost(rt RemoteRecoveryTransport) error {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	lost := rt.LostFragments()
+	if len(lost) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	part := s.part
+	epoch := s.epoch
+	views := make([]*View, 0, len(s.views))
+	for v := range s.views {
+		views = append(views, v)
+	}
+	s.mu.Unlock()
+
+	if err := rt.Reassign(epoch, part.GP, fragmentsByRank(part.Fragments, lost)); err != nil {
+		return fmt.Errorf("core: reassigning fragments %v after worker loss: %w", lost, err)
+	}
+	s.topoGen.Add(1)
+	for _, v := range views {
+		v.markStale()
+	}
+	if !s.opts.NoMetrics {
+		obsWorkerRecoveries.Inc()
+	}
+	return nil
+}
+
+// handleJoin runs whenever a fresh worker process enters the cluster
+// mid-session: it asks the transport which ranks should move to even out the
+// load and ships them — the same path recovery uses, just with live sources.
+// In-flight queries whose ranks moved may fail their next call; the restart
+// loop retries them against the new topology (topoGen records that the
+// failure was churn, not a bug).
+func (s *Session) handleJoin(rt RemoteRecoveryTransport) {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	part := s.part
+	epoch := s.epoch
+	views := make([]*View, 0, len(s.views))
+	for v := range s.views {
+		views = append(views, v)
+	}
+	s.mu.Unlock()
+
+	ranks := rt.RebalanceFragments()
+	if len(ranks) == 0 {
+		return
+	}
+	if err := rt.Reassign(epoch, part.GP, fragmentsByRank(part.Fragments, ranks)); err != nil {
+		// The joiner keeps an uneven share (or none); the cluster stays
+		// correct either way, so a failed rebalance is not fatal.
+		return
+	}
+	s.topoGen.Add(1)
+	for _, v := range views {
+		v.markStale()
+	}
+}
+
+// fragmentsByRank picks the named fragments out of the session's resident
+// partition for shipping.
+func fragmentsByRank(all []*partition.Fragment, ranks []int) []*partition.Fragment {
+	out := make([]*partition.Fragment, 0, len(ranks))
+	for _, r := range ranks {
+		out = append(out, all[r])
+	}
+	return out
+}

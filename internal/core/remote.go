@@ -75,6 +75,44 @@ type RemoteViewPeer interface {
 	EvalDelta(query uint64, superstep int, ops []graph.Update, newInBorder []graph.VertexID) (absorbed bool, envs []mpi.Envelope, err error)
 }
 
+// RemoteCheckpointPeer is the optional extension a RemotePeer implements to
+// support consistent-cut checkpointing: Checkpoint snapshots a query's
+// in-flight per-fragment state at a superstep barrier, and Restore
+// reinstalls such a snapshot under a fresh query id so a restarted run
+// resumes from the cut instead of from scratch. The TCP transport's net.Peer
+// implements it.
+type RemoteCheckpointPeer interface {
+	RemotePeer
+	// Checkpoint returns the fragment's encoded in-flight query state
+	// (RemoteProgram's EncodePartial, taken mid-run at a barrier).
+	Checkpoint(query uint64) ([]byte, error)
+	// Restore installs a checkpointed state as a fresh task for query, bound
+	// to the given residency epoch, without running PEval.
+	Restore(query uint64, epoch int64, prog string, queryBytes, state []byte) error
+}
+
+// RemoteRecoveryTransport is the capability a distributed transport declares
+// to survive worker churn: it knows which fragment ranks lost their hosting
+// process, can ship fragments onto surviving (or freshly joined) processes
+// and rebind the rank's peer, and surfaces mid-session joins to the engine.
+// The TCP transport's net.Cluster implements it; the session's recovery path
+// activates only when Options.Recovery is set and the transport has it.
+type RemoteRecoveryTransport interface {
+	// LostFragments returns the fragment ranks whose hosting worker process
+	// is dead and not yet replaced. Empty after a successful Reassign.
+	LostFragments() []int
+	// RebalanceFragments returns the ranks that should move off the
+	// most-loaded processes to even the deal out after membership grew.
+	RebalanceFragments() []int
+	// Reassign ships each fragment (at the given epoch, with the matching
+	// fragmentation graph) to a live worker process of the transport's
+	// choosing and rebinds the rank's peer so subsequent calls route there.
+	Reassign(epoch int64, gp *partition.FragGraph, frags []*partition.Fragment) error
+	// SetJoinHandler registers fn to run whenever a fresh worker process
+	// joins mid-session.
+	SetJoinHandler(fn func())
+}
+
 // RemoteUpdateTransport is the capability a distributed transport declares to
 // ship graph-update deltas: ApplyUpdate installs a new epoch on every worker
 // process — the rebuilt fragments for the ranks each process hosts plus the
@@ -283,6 +321,121 @@ func (h *WorkerHost) ApplyUpdate(epoch, floor int64, gp *partition.FragGraph, fr
 		en.t.worker = w
 		en.t.ctx.Fragment = w.frag
 		en.t.ctx.GP = gp
+	}
+	return nil
+}
+
+// Adopt installs fragments this host did not previously serve, at the given
+// epoch. Recovery reassigns a dead process's ranks to survivors at the
+// session's current epoch, and rebalancing ships ranks onto a freshly joined
+// host whose residency may still be the handshake's epoch 0 — so unlike
+// ApplyUpdate, epoch may equal the current one (the fragments merge into it)
+// or exceed it (the current residency is carried forward into the new
+// epoch, exactly as an update install would).
+func (h *WorkerHost) Adopt(epoch int64, gp *partition.FragGraph, frags []*partition.Fragment) error {
+	if gp == nil {
+		return fmt.Errorf("core: worker host: nil fragmentation graph")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if epoch < h.current {
+		return fmt.Errorf("core: worker host: cannot adopt into past epoch %d (current %d)", epoch, h.current)
+	}
+	next := h.epochs[h.current]
+	if epoch > h.current {
+		cur := next
+		next = make(map[int]*worker, len(cur)+len(frags))
+		for rank, w := range cur {
+			next[rank] = newWorker(rank, w.frag, gp)
+		}
+		h.epochs[epoch] = next
+		h.current = epoch
+	}
+	for _, f := range frags {
+		if f == nil {
+			return fmt.Errorf("core: worker host: nil fragment in adoption")
+		}
+		next[f.ID] = newWorker(f.ID, f, gp)
+	}
+	return nil
+}
+
+// ReleaseFragment drops a hosted fragment from the current epoch: its rank
+// was reassigned to another process. Older epochs keep their copy so queries
+// pinned to them finish locally; retained tasks for the rank are dropped —
+// an in-flight query on it is being restarted by the coordinator anyway, and
+// a view's next maintenance round recomputes on the new host.
+func (h *WorkerHost) ReleaseFragment(rank int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.epochs[h.current], rank)
+	for key, en := range h.tasks {
+		if key.rank != rank {
+			continue
+		}
+		delete(h.tasks, key)
+		if !en.view {
+			h.live[en.epoch]--
+			h.pruneLocked(en.epoch)
+		}
+	}
+	return nil
+}
+
+// Checkpoint returns the query's encoded in-flight state on this fragment.
+// The codec is the program's partial-result codec: for the built-in
+// monotone programs the partial encoding round-trips the full evaluation
+// state, so a restored task continues exactly where the cut was taken.
+func (h *WorkerHost) Checkpoint(rank int, query uint64) ([]byte, error) {
+	en, err := h.task(rank, query)
+	if err != nil {
+		return nil, err
+	}
+	return en.t.prog.(RemoteProgram).EncodePartial(en.t.ctx)
+}
+
+// Restore installs a checkpointed query state as a fresh task — the restart
+// path's replacement for PEval: the task is created bound to the named
+// epoch's residency and its state decoded from the snapshot, ready for the
+// IncEval supersteps that follow the cut.
+func (h *WorkerHost) Restore(rank int, query uint64, epoch int64, progName string, queryBytes, state []byte) error {
+	h.mu.Lock()
+	workers, ok := h.epochs[epoch]
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("core: worker host: epoch %d is not resident (current %d)", epoch, h.current)
+	}
+	w, ok := workers[rank]
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("core: worker host does not serve fragment %d", rank)
+	}
+	prog, ok := h.resolve(progName)
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("core: worker host: unknown program %q", progName)
+	}
+	rp, ok := prog.(RemoteProgram)
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("core: program %s does not support distributed execution", progName)
+	}
+	q, err := rp.DecodeQuery(queryBytes)
+	if err != nil {
+		h.mu.Unlock()
+		return fmt.Errorf("core: worker host: decode %s query: %w", progName, err)
+	}
+	t := w.newTask(q, prog, &collector{}, Options{Parallelism: h.parallelism})
+	key := hostKey{query: query, rank: rank}
+	if old, ok := h.tasks[key]; ok && !old.view {
+		h.live[old.epoch]--
+	}
+	h.tasks[key] = &hostTask{t: t, epoch: epoch}
+	h.live[epoch]++
+	h.mu.Unlock()
+
+	if err := rp.DecodePartial(t.ctx, state); err != nil {
+		return fmt.Errorf("core: worker host: restore %s state: %w", progName, err)
 	}
 	return nil
 }

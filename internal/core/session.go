@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -50,6 +51,12 @@ type Session struct {
 	views    map[*View]struct{}
 	closed   bool
 	inFlight sync.WaitGroup
+	// topoGen counts fragment reassignments (worker-death recovery and
+	// elastic rebalances). The restart loop compares it across a failed run:
+	// a change means the failure may be churn — a call raced a fragment
+	// mid-move — and the run is worth retrying even without a worker-loss
+	// error.
+	topoGen atomic.Int64
 	// updatesBroken records a failed delta ship to remote workers: the
 	// cluster's residency epochs may have diverged, so all further update
 	// batches are rejected with this error (queries keep working — they only
@@ -146,6 +153,13 @@ func newSession(p *partition.Partitioned, opts Options, tr mpi.Transport, peers 
 		epochUse: make(map[int64]int),
 		views:    make(map[*View]struct{}),
 	}
+	if o.Recovery != nil && peers != nil {
+		if rt, ok := tr.(RemoteRecoveryTransport); ok {
+			// Elasticity: when a fresh worker process joins mid-session, move
+			// some fragments onto it (see recovery.go).
+			rt.SetJoinHandler(func() { s.handleJoin(rt) })
+		}
+	}
 	return s, nil
 }
 
@@ -213,15 +227,75 @@ func (s *Session) Run(q Query, prog Program) (*Result, error) {
 // fragments. ModeAsync requires the program to declare AsyncCapable;
 // otherwise ErrAsyncUnsupported is returned.
 func (s *Session) RunMode(q Query, prog Program, mode ExecMode) (*Result, error) {
-	workers, epoch, err := s.begin()
-	if err != nil {
+	return s.RunModeCtx(context.Background(), q, prog, mode)
+}
+
+// RunCtx is Run bound to a context: cancellation or deadline expiry aborts
+// the query at its next superstep (BSP) or round (async) boundary, releasing
+// its epoch pin and remote state, and the context's error is returned.
+func (s *Session) RunCtx(ctx context.Context, q Query, prog Program) (*Result, error) {
+	return s.RunModeCtx(ctx, q, prog, s.opts.Mode)
+}
+
+// RunModeCtx is RunMode bound to a context. On distributed sessions with
+// Options.Recovery set it is also the fault-tolerant entry point: a run that
+// fails because a worker process died (or because fragments moved mid-call)
+// triggers fragment reassignment and is restarted — from the last consistent
+// cut when one was checkpointed, from PEval otherwise — up to
+// Recovery.MaxRetries times. Result.Restarts reports how often that happened.
+func (s *Session) RunModeCtx(ctx context.Context, q Query, prog Program, mode ExecMode) (*Result, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	defer s.done(epoch)
-	s.queries.Add(1)
-
-	co := &coordinator{opts: s.opts, cluster: s.cluster, workers: workers, remotes: s.remotes, epoch: epoch}
-	return co.runMode(q, prog, mode)
+	rt, rec := s.recoverySetup(prog, mode)
+	var restarts int
+	var cut *checkpointCut
+	counted := false
+	for {
+		workers, epoch, err := s.begin()
+		if err != nil {
+			return nil, err
+		}
+		if !counted {
+			s.queries.Add(1)
+			counted = true
+		}
+		gen := s.topoGen.Load()
+		co := &coordinator{opts: s.opts, cluster: s.cluster, workers: workers,
+			remotes: s.remotes, epoch: epoch, ctx: ctx, ckpt: rec}
+		if cut != nil && cut.epoch == epoch {
+			// The cut names the residency epoch it was taken against; resume
+			// only while the session still serves it, restart afresh otherwise.
+			co.resume = cut
+		}
+		res, runErr := co.runMode(q, prog, mode)
+		s.done(epoch)
+		if res != nil {
+			res.Restarts = restarts
+		}
+		if runErr == nil {
+			return res, nil
+		}
+		if rt == nil || restarts >= s.opts.Recovery.maxRetries() || ctx.Err() != nil {
+			return res, runErr
+		}
+		lost := workerLost(runErr)
+		if !lost && s.topoGen.Load() == gen {
+			// Not a churn failure: a program bug or bad query retries the same
+			// way it failed, so surface it.
+			return res, runErr
+		}
+		if lost {
+			if rerr := s.recoverLost(rt); rerr != nil {
+				return res, errors.Join(runErr, rerr)
+			}
+		}
+		restarts++
+		if !s.opts.NoMetrics {
+			obsQueryRestarts.Inc()
+		}
+		cut = rec.take()
+	}
 }
 
 // Partition exposes the session's current resident partition (fragments, GP,

@@ -20,6 +20,7 @@ package core
 // fixpoint on the workers' retained contexts.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -114,7 +115,23 @@ type UpdateStats struct {
 // this session never will, permanently disables further updates on the
 // session (fail-stop): later ApplyUpdates calls return the recorded error,
 // while queries keep working against the last fully installed epoch.
+//
+// With Options.Recovery set, a ship that failed only because worker
+// processes died is not fail-stop: every error-free survivor installed the
+// epoch, so the dead processes' fragments are reassigned to survivors at the
+// new epoch and the batch completes normally.
 func (s *Session) ApplyUpdates(batch []graph.Update) (*UpdateStats, error) {
+	return s.ApplyUpdatesCtx(context.Background(), batch)
+}
+
+// ApplyUpdatesCtx is ApplyUpdates bound to a context. Cancellation is
+// honored up to the point the delta ships to the worker processes; past
+// that the batch always installs (aborting mid-install would diverge the
+// cluster's epochs).
+func (s *Session) ApplyUpdatesCtx(ctx context.Context, batch []graph.Update) (*UpdateStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var updater RemoteUpdateTransport
 	if s.Distributed() {
 		u, ok := s.cluster.(RemoteUpdateTransport)
@@ -149,6 +166,9 @@ func (s *Session) ApplyUpdates(batch []graph.Update) (*UpdateStats, error) {
 
 	var shipElapsed time.Duration
 	if updater != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Ship the delta — the rebuilt fragments plus the new fragmentation
 		// graph — before installing the epoch locally. Queries in flight keep
 		// naming their pinned epochs, which the workers retain at least until
@@ -160,7 +180,7 @@ func (s *Session) ApplyUpdates(batch []graph.Update) (*UpdateStats, error) {
 		shipTimer := metrics.StartTimer()
 		err := updater.ApplyUpdate(nextEpoch, floor, newPart.GP, changed)
 		shipElapsed = shipTimer.Stop()
-		if err != nil {
+		if err != nil && !s.recoverShip(err, nextEpoch, newPart) {
 			// A partial ship is unrecoverable: some processes may have
 			// installed the epoch this session never will. Fail this batch
 			// and every later one with an explicit error instead of letting
@@ -222,4 +242,43 @@ func (s *Session) ApplyUpdates(batch []graph.Update) (*UpdateStats, error) {
 	}
 	stats.MaintainElapsed = maintainTimer.Stop()
 	return stats, errors.Join(errs...)
+}
+
+// recoverShip tries to absorb a failed delta ship: when recovery is enabled
+// and every leaf of the error says a worker process died, the error-free
+// survivors all installed the epoch — so re-homing the dead processes' ranks
+// (shipping the post-batch fragments at the new epoch) makes the cluster
+// whole and the batch can proceed. Reports whether it did; callers fall back
+// to fail-stop otherwise. Called with updateMu held.
+func (s *Session) recoverShip(shipErr error, epoch int64, part *partition.Partitioned) bool {
+	if s.opts.Recovery == nil || !allWorkerLost(shipErr) {
+		return false
+	}
+	rt, ok := s.cluster.(RemoteRecoveryTransport)
+	if !ok {
+		return false
+	}
+	lost := rt.LostFragments()
+	if len(lost) == 0 {
+		return false
+	}
+	if err := rt.Reassign(epoch, part.GP, fragmentsByRank(part.Fragments, lost)); err != nil {
+		return false
+	}
+	s.topoGen.Add(1)
+	s.mu.Lock()
+	views := make([]*View, 0, len(s.views))
+	for v := range s.views {
+		views = append(views, v)
+	}
+	s.mu.Unlock()
+	// The dead hosts took their retained view state with them: force full
+	// recomputes in the maintenance pass that follows.
+	for _, v := range views {
+		v.markStale()
+	}
+	if !s.opts.NoMetrics {
+		obsWorkerRecoveries.Inc()
+	}
+	return true
 }

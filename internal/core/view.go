@@ -166,6 +166,16 @@ func (v *View) Close() error {
 	return nil
 }
 
+// markStale invalidates the view's retained incremental state: recovery and
+// rebalancing call it after moving fragments, because the worker-side view
+// tasks on a moved rank are gone (dead host) or dropped (released host). The
+// next maintenance round recomputes from scratch instead of trusting them.
+func (v *View) markStale() {
+	v.mu.Lock()
+	v.stale = true
+	v.mu.Unlock()
+}
+
 // maintain refreshes the view for a freshly installed epoch. It is called by
 // ApplyUpdates with updateMu held, so maintenance rounds are serialized. It
 // reports whether the round was incremental.

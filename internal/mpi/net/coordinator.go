@@ -44,6 +44,13 @@ type Listener struct {
 	// heartbeats entirely (calls to a dead worker then fail only when the OS
 	// reports the broken connection).
 	Heartbeat time.Duration
+
+	// Elastic keeps the listener open after bring-up: fresh worker processes
+	// may dial in mid-session (a version-5 hello with the join flag) and are
+	// admitted with a new process id and zero fragments, ready to adopt
+	// ranks. The listener then closes with the cluster. When false — the
+	// default — the listener is consumed by Serve exactly as before.
+	Elastic bool
 }
 
 // Listen binds the coordinator endpoint.
@@ -80,7 +87,21 @@ func (l *Listener) Close() error { return l.ln.Close() }
 // compute slots are coordinator-side, exactly as in the in-process cluster)
 // and exposes a Peer per fragment for forwarding evaluation calls.
 func (l *Listener) Serve(p *partition.Partitioned, procs int, timeout time.Duration) (*Cluster, error) {
-	defer l.ln.Close()
+	// Close every accepted connection — and the listener itself — on any
+	// failure below, wherever it surfaces: a leaked half-handshaken socket
+	// would leave its worker process blocked on a read until its own timeout.
+	// On success the listener closes here too unless Elastic hands it to the
+	// cluster's accept loop.
+	var raw []net.Conn
+	served := false
+	defer func() {
+		if !served {
+			for _, c := range raw {
+				c.Close()
+			}
+			l.ln.Close()
+		}
+	}()
 	m := len(p.Fragments)
 	if m == 0 {
 		return nil, fmt.Errorf("net: partition has no fragments")
@@ -103,19 +124,6 @@ func (l *Listener) Serve(p *partition.Partitioned, procs int, timeout time.Durat
 		return nil, fmt.Errorf("net: %w", err)
 	}
 	gpBytes := partition.EncodeFragGraph(p.GP)
-
-	// Close every accepted connection on any failure below, wherever it
-	// surfaces: a leaked half-handshaken socket would leave its worker
-	// process blocked on a read until its own timeout.
-	var raw []net.Conn
-	served := false
-	defer func() {
-		if !served {
-			for _, c := range raw {
-				c.Close()
-			}
-		}
-	}()
 
 	// Accept every process first, then handshake them concurrently: fragment
 	// shipping and worker-side installation overlap, so bring-up latency is
@@ -181,9 +189,19 @@ func (l *Listener) Serve(p *partition.Partitioned, procs int, timeout time.Durat
 	}
 	served = true
 
-	cl := &Cluster{Cluster: local, conns: conns, peers: make([]*Peer, m)}
+	cl := &Cluster{Cluster: local, conns: conns, peers: make([]*Peer, m),
+		heartbeat: heartbeat, gpBytes: gpBytes, nextProc: procs}
 	for rank := 0; rank < m; rank++ {
 		cl.peers[rank] = &Peer{pc: conns[rank%procs], rank: rank}
+	}
+	if l.Elastic {
+		if tl, ok := l.ln.(*net.TCPListener); ok {
+			_ = tl.SetDeadline(time.Time{})
+		}
+		cl.ln = l.ln
+		go cl.acceptLoop()
+	} else {
+		l.ln.Close()
 	}
 	return cl, nil
 }
@@ -209,18 +227,8 @@ func handshakeWorker(c net.Conn, deadline time.Time, proc, procs int, p *partiti
 	if err != nil {
 		return fmt.Errorf("reading hello: %w", err)
 	}
-	hr := &reader{buf: hello}
-	if ft := hr.u8(); ft != ftHello {
-		return fmt.Errorf("expected hello frame, got 0x%02x", ft)
-	}
-	v := hr.uvarint()
-	if hr.err != nil {
-		return fmt.Errorf("malformed hello: %w", hr.err)
-	}
-	if v != ProtocolVersion {
-		msg := fmt.Sprintf("protocol version mismatch: worker speaks %d, coordinator speaks %d", v, ProtocolVersion)
-		_ = writeFrame(c, appendString([]byte{ftError}, msg))
-		return fmt.Errorf("%s", msg)
+	if _, err := parseHello(c, hello); err != nil {
+		return err
 	}
 
 	ranks := assignedRanks(len(p.Fragments), proc, procs)
@@ -267,6 +275,30 @@ func handshakeWorker(c net.Conn, deadline time.Time, proc, procs int, p *partiti
 	}
 }
 
+// parseHello validates a hello frame and returns its flags byte (version 5's
+// join bit; a missing flags byte reads as zero). A version mismatch is
+// reported to the dialer with an error frame before failing.
+func parseHello(c net.Conn, hello []byte) (byte, error) {
+	hr := &reader{buf: hello}
+	if ft := hr.u8(); ft != ftHello {
+		return 0, fmt.Errorf("expected hello frame, got 0x%02x", ft)
+	}
+	v := hr.uvarint()
+	if hr.err != nil {
+		return 0, fmt.Errorf("malformed hello: %w", hr.err)
+	}
+	if v != ProtocolVersion {
+		msg := fmt.Sprintf("protocol version mismatch: worker speaks %d, coordinator speaks %d", v, ProtocolVersion)
+		_ = writeFrame(c, appendString([]byte{ftError}, msg))
+		return 0, fmt.Errorf("%s", msg)
+	}
+	var flags byte
+	if hr.off < len(hr.buf) {
+		flags = hr.u8()
+	}
+	return flags, nil
+}
+
 // assignedRanks returns the fragment ranks process proc hosts under the
 // round-robin deal.
 func assignedRanks(m, proc, procs int) []int {
@@ -283,10 +315,24 @@ func assignedRanks(m, proc, procs int) []int {
 // connections plus a Peer handle per fragment rank for remote evaluation
 // calls. It satisfies mpi.Transport, and core.RemoteUpdateTransport through
 // ApplyUpdate.
+//
+// Membership is no longer fixed at bring-up: Reassign moves fragment ranks
+// between processes (recovery after a death, rebalancing after a join), and
+// an elastic listener's accept loop appends freshly joined processes to
+// conns. mu guards both, plus the current fragmentation-graph encoding that
+// joiners are handshaked with.
 type Cluster struct {
 	*mpi.Cluster
+	mu    sync.RWMutex
 	conns []*procConn
 	peers []*Peer
+
+	ln        net.Listener // non-nil when elastic: joiners dial in here
+	heartbeat time.Duration
+	gpBytes   []byte // current epoch's encoded fragmentation graph
+	nextProc  int    // next process id to hand a joiner
+	joinFn    func()
+	closed    bool
 
 	closeOnce sync.Once
 	closeErr  error
@@ -301,8 +347,309 @@ func (c *Cluster) Peer(rank int) *Peer { return c.peers[rank] }
 // order.
 func (c *Cluster) Peers() []*Peer { return append([]*Peer(nil), c.peers...) }
 
-// Procs returns the number of worker processes in the cluster.
-func (c *Cluster) Procs() int { return len(c.conns) }
+// Procs returns the number of worker processes in the cluster, including any
+// that joined mid-session and any that died.
+func (c *Cluster) Procs() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.conns)
+}
+
+// liveConns snapshots the connections still worth talking to: not retired
+// (retired conns are dead processes whose ranks were already reassigned).
+func (c *Cluster) liveConns() []*procConn {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*procConn, 0, len(c.conns))
+	for _, pc := range c.conns {
+		if !pc.isRetired() {
+			out = append(out, pc)
+		}
+	}
+	return out
+}
+
+// SetJoinHandler registers fn to be invoked — on the transport's goroutine —
+// each time a fresh worker process completes a mid-session join handshake.
+// The engine uses it to rebalance fragment ranks onto the newcomer.
+func (c *Cluster) SetJoinHandler(fn func()) {
+	c.mu.Lock()
+	c.joinFn = fn
+	c.mu.Unlock()
+}
+
+// LostFragments returns the fragment ranks whose hosting worker process is
+// dead and has not been replaced yet. A graceful shutdown reports none.
+func (c *Cluster) LostFragments() []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []int
+	for _, pc := range c.conns {
+		if pc.isDead() && !pc.isRetired() && !pc.isClosing() {
+			out = append(out, pc.ranksSnapshot()...)
+		}
+	}
+	return out
+}
+
+// RebalanceFragments plans an even re-deal after membership grew: it returns
+// the fragment ranks that should move off the most-loaded live processes so
+// that no live process hosts more than one rank above any other. Reassign
+// ships each to the least-loaded process, so executing the plan converges to
+// the balance the plan assumed.
+func (c *Cluster) RebalanceFragments() []int {
+	live := c.liveConns()
+	load := make(map[*procConn]int, len(live))
+	alive := live[:0]
+	for _, pc := range live {
+		if !pc.isDead() {
+			alive = append(alive, pc)
+			load[pc] = len(pc.ranksSnapshot())
+		}
+	}
+	if len(alive) < 2 {
+		return nil
+	}
+	var out []int
+	for {
+		var max, min *procConn
+		for _, pc := range alive {
+			if max == nil || load[pc] > load[max] {
+				max = pc
+			}
+			if min == nil || load[pc] < load[min] {
+				min = pc
+			}
+		}
+		if load[max]-load[min] <= 1 {
+			return out
+		}
+		// Take ranks off the tail of the most-loaded process's deal; repeated
+		// takes against the same snapshot walk backwards through it.
+		out = append(out, max.ranksSnapshot()[load[max]-1])
+		load[max]--
+		load[min]++
+	}
+}
+
+// Reassign moves each fragment onto the least-loaded live worker process:
+// the fragment (at the given epoch, with the new fragmentation graph) is
+// shipped via an adopt call, the rank's peer is rebound so subsequent
+// evaluation calls route to the new host, and the old host — when still
+// alive, i.e. this is a rebalance rather than a recovery — receives a
+// release call dropping its copy. A dead process whose last rank moves away
+// is retired: update fan-outs and stats scrapes skip it from then on.
+//
+// Together with LostFragments this implements the engine's
+// RemoteRecoveryTransport contract.
+func (c *Cluster) Reassign(epoch int64, gp *partition.FragGraph, frags []*partition.Fragment) error {
+	if len(frags) == 0 {
+		return nil
+	}
+	gpBytes := partition.EncodeFragGraph(gp)
+
+	c.mu.Lock()
+	c.gpBytes = gpBytes
+	// Plan targets under the lock: count current loads once, then assign
+	// each fragment to the least-loaded live process that is not its
+	// current (live) host.
+	load := make(map[*procConn]int)
+	var alive []*procConn
+	for _, pc := range c.conns {
+		if !pc.isDead() && !pc.isRetired() {
+			alive = append(alive, pc)
+			load[pc] = len(pc.ranksSnapshot())
+		}
+	}
+	plan := make(map[*procConn][]*partition.Fragment)
+	oldHosts := make(map[int]*procConn, len(frags))
+	for _, f := range frags {
+		if f == nil || f.ID < 0 || f.ID >= len(c.peers) {
+			c.mu.Unlock()
+			return fmt.Errorf("net: reassignment names an unknown fragment")
+		}
+		old := c.peers[f.ID].conn()
+		oldHosts[f.ID] = old
+		var target *procConn
+		for _, pc := range alive {
+			if pc == old {
+				continue
+			}
+			if target == nil || load[pc] < load[target] {
+				target = pc
+			}
+		}
+		if target == nil {
+			c.mu.Unlock()
+			return fmt.Errorf("net: no live worker process to adopt fragment %d", f.ID)
+		}
+		load[target]++
+		plan[target] = append(plan[target], f)
+	}
+	c.mu.Unlock()
+
+	// Ship adoptions concurrently, one batched call per target process.
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var errs []error
+	for pc, batch := range plan {
+		wg.Add(1)
+		go func(pc *procConn, batch []*partition.Fragment) {
+			defer wg.Done()
+			_, err := pc.callCompressed(func(fr *frame, id uint64) {
+				fr.buf = append(fr.buf, ftCall)
+				fr.buf = binary.AppendUvarint(fr.buf, id)
+				fr.buf = append(fr.buf, callAdopt)
+				fr.buf = binary.AppendUvarint(fr.buf, uint64(epoch))
+				fr.buf = appendBytes(fr.buf, gpBytes)
+				fr.buf = binary.AppendUvarint(fr.buf, uint64(len(batch)))
+				for _, f := range batch {
+					fr.buf = binary.AppendUvarint(fr.buf, uint64(f.ID))
+					fr.buf = appendBytes(fr.buf, partition.EncodeFragment(f))
+				}
+			})
+			if err != nil {
+				errMu.Lock()
+				errs = append(errs, fmt.Errorf("net: adopting fragments on %s: %w", pc.describe(), err))
+				errMu.Unlock()
+				return
+			}
+			// Rebind each rank's peer and move the bookkeeping; release the
+			// fragment on its old host when that host is still alive.
+			for _, f := range batch {
+				old := oldHosts[f.ID]
+				c.mu.Lock()
+				c.peers[f.ID].rebind(pc)
+				c.mu.Unlock()
+				if old != nil {
+					old.removeRank(f.ID)
+				}
+				pc.addRank(f.ID)
+				obsFragmentsMoved.Inc()
+				if old != nil && !old.isDead() {
+					_ = old.callParsed(func(fr *frame, id uint64) {
+						fr.buf = append(fr.buf, ftCall)
+						fr.buf = binary.AppendUvarint(fr.buf, id)
+						fr.buf = append(fr.buf, callRelease)
+						fr.buf = binary.AppendUvarint(fr.buf, uint64(f.ID))
+					}, func([]byte) error { return nil })
+				}
+			}
+		}(pc, batch)
+	}
+	wg.Wait()
+
+	// Retire dead processes that no longer host anything: they are fully
+	// replaced, so nothing should wait on them or fan out to them again.
+	c.mu.RLock()
+	for _, pc := range c.conns {
+		if pc.isDead() && len(pc.ranksSnapshot()) == 0 {
+			pc.retire()
+		}
+	}
+	c.mu.RUnlock()
+	return errors.Join(errs...)
+}
+
+// acceptLoop admits mid-session joiners on an elastic listener until the
+// listener closes with the cluster.
+func (c *Cluster) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.admitJoiner(conn)
+	}
+}
+
+// admitJoiner handshakes one mid-session dialer: hello (version 5 with the
+// join flag), a welcome carrying a fresh process id and zero fragment ranks,
+// the current fragmentation graph, ready. On success the process becomes a
+// full cluster member with no residency — the join handler's rebalance is
+// what ships fragments onto it.
+func (c *Cluster) admitJoiner(conn net.Conn) {
+	fail := func(error) { conn.Close() }
+	deadline := time.Now().Add(DefaultHandshakeTimeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		fail(err)
+		return
+	}
+	hello, err := readFrame(conn)
+	if err != nil {
+		fail(err)
+		return
+	}
+	flags, err := parseHello(conn, hello)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if flags&helloJoin == 0 {
+		_ = writeFrame(conn, appendString([]byte{ftError}, "cluster already running: dial with the join flag to enter mid-session"))
+		fail(nil)
+		return
+	}
+
+	c.mu.Lock()
+	proc := c.nextProc
+	c.nextProc++
+	gpBytes := c.gpBytes
+	m := len(c.peers)
+	c.mu.Unlock()
+
+	welcome := []byte{ftWelcome}
+	welcome = binary.AppendUvarint(welcome, ProtocolVersion)
+	welcome = binary.AppendUvarint(welcome, uint64(m))
+	welcome = binary.AppendUvarint(welcome, uint64(proc))
+	welcome = binary.AppendUvarint(welcome, 0) // no ranks yet
+	if err := writeFrame(conn, welcome); err != nil {
+		fail(err)
+		return
+	}
+	gf := newFrame()
+	gf.buf = append(gf.buf, ftFragGfx)
+	gf.buf = append(gf.buf, gpBytes...)
+	if err := gf.sendCompressed(conn); err != nil {
+		fail(err)
+		return
+	}
+	ready, err := readFrame(conn)
+	if err != nil {
+		fail(err)
+		return
+	}
+	rr := &reader{buf: ready}
+	if ft := rr.u8(); ft != ftReady {
+		fail(nil)
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetKeepAlive(true)
+		_ = tc.SetKeepAlivePeriod(30 * time.Second)
+	}
+
+	pc := newProcConn(conn, proc, nil)
+	go pc.readLoop()
+	if c.heartbeat > 0 {
+		go pc.heartbeatLoop(c.heartbeat)
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		pc.shutdown()
+		return
+	}
+	c.conns = append(c.conns, pc)
+	fn := c.joinFn
+	c.mu.Unlock()
+	obsWorkerJoins.Inc()
+	if fn != nil {
+		fn()
+	}
+}
 
 // ApplyUpdate installs a new residency epoch on every worker process: each
 // receives the new fragmentation graph plus the rebuilt fragments among the
@@ -315,22 +662,29 @@ func (c *Cluster) Procs() int { return len(c.conns) }
 // It implements the engine's RemoteUpdateTransport contract.
 func (c *Cluster) ApplyUpdate(epoch, floor int64, gp *partition.FragGraph, changed []*partition.Fragment) error {
 	gpBytes := partition.EncodeFragGraph(gp)
-	perProc := make([][]*partition.Fragment, len(c.conns))
+	conns := c.liveConns()
+	c.mu.Lock()
+	c.gpBytes = gpBytes // joiners handshake against the current epoch's GP
+	c.mu.Unlock()
+	perConn := make(map[*procConn][]*partition.Fragment, len(conns))
+	c.mu.RLock()
 	for _, f := range changed {
 		if f == nil || f.ID < 0 || f.ID >= len(c.peers) {
+			c.mu.RUnlock()
 			return fmt.Errorf("net: update batch names an unknown fragment")
 		}
-		proc := c.peers[f.ID].pc.proc
-		perProc[proc] = append(perProc[proc], f)
+		pc := c.peers[f.ID].conn()
+		perConn[pc] = append(perConn[pc], f)
 	}
+	c.mu.RUnlock()
 
-	errs := make([]error, len(c.conns))
+	errs := make([]error, len(conns))
 	var wg sync.WaitGroup
-	for i, pc := range c.conns {
+	for i, pc := range conns {
 		wg.Add(1)
 		go func(i int, pc *procConn) {
 			defer wg.Done()
-			frags := perProc[i]
+			frags := perConn[pc]
 			_, err := pc.callCompressed(func(fr *frame, id uint64) {
 				fr.buf = append(fr.buf, ftCall)
 				fr.buf = binary.AppendUvarint(fr.buf, id)
@@ -362,9 +716,10 @@ func (c *Cluster) WorkerSamples() []obs.Sample {
 		proc    int
 		samples []obs.Sample
 	}
-	results := make([]result, len(c.conns))
+	conns := c.liveConns()
+	results := make([]result, len(conns))
 	var wg sync.WaitGroup
-	for i, pc := range c.conns {
+	for i, pc := range conns {
 		wg.Add(1)
 		go func(i int, pc *procConn) {
 			defer wg.Done()
@@ -400,7 +755,15 @@ func (c *Cluster) WorkerSamples() []obs.Sample {
 // closed. Close is idempotent.
 func (c *Cluster) Close() error {
 	c.closeOnce.Do(func() {
-		for _, pc := range c.conns {
+		c.mu.Lock()
+		c.closed = true
+		conns := append([]*procConn(nil), c.conns...)
+		ln := c.ln
+		c.mu.Unlock()
+		if ln != nil {
+			ln.Close()
+		}
+		for _, pc := range conns {
 			pc.shutdown()
 		}
 	})
@@ -419,11 +782,10 @@ func (c *Cluster) Close() error {
 // and every future call fails immediately. Nothing ever blocks on a reply
 // that can no longer arrive.
 type procConn struct {
-	c     net.Conn
-	proc  int
-	ranks []int
-	dead  chan struct{} // closed when the connection is poisoned
-	wmu   sync.Mutex    // serializes wire writes (the write loop's batches, shutdown)
+	c    net.Conn
+	proc int
+	dead chan struct{} // closed when the connection is poisoned
+	wmu  sync.Mutex    // serializes wire writes (the write loop's batches, shutdown)
 
 	// sendq carries wire-ready (sealed, possibly deflated) frames to the
 	// write loop, which coalesces everything queued into a single
@@ -435,10 +797,12 @@ type procConn struct {
 	sendq chan *frame
 
 	mu      sync.Mutex
+	ranks   []int // fragment ranks currently hosted; mutates under reassignment
 	nextReq uint64
 	pending map[uint64]chan callReply
 	err     error
 	closing bool // graceful shutdown in progress; don't count the poisoning as a failure
+	retired bool // dead and fully replaced; skip in fan-outs and scrapes
 }
 
 // callReply carries one demultiplexed reply. body aliases the pooled frame
@@ -469,6 +833,69 @@ func newProcConn(c net.Conn, proc int, ranks []int) *procConn {
 	// loop: calls enqueue frames, so every procConn needs a drain from birth.
 	go pc.writeLoop()
 	return pc
+}
+
+// isDead reports whether the connection has been poisoned.
+func (pc *procConn) isDead() bool {
+	select {
+	case <-pc.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+func (pc *procConn) isRetired() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.retired
+}
+
+func (pc *procConn) retire() {
+	pc.mu.Lock()
+	pc.retired = true
+	pc.mu.Unlock()
+}
+
+func (pc *procConn) isClosing() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.closing
+}
+
+func (pc *procConn) ranksSnapshot() []int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return append([]int(nil), pc.ranks...)
+}
+
+func (pc *procConn) addRank(rank int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for _, r := range pc.ranks {
+		if r == rank {
+			return
+		}
+	}
+	pc.ranks = append(pc.ranks, rank)
+}
+
+func (pc *procConn) removeRank(rank int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for i, r := range pc.ranks {
+		if r == rank {
+			pc.ranks = append(pc.ranks[:i], pc.ranks[i+1:]...)
+			return
+		}
+	}
+}
+
+// lost wraps a connection-level failure in a WorkerLostError naming this
+// process and the fragment ranks it hosted, preserving msg as the visible
+// error text.
+func (pc *procConn) lost(msg string, cause error) error {
+	return &WorkerLostError{Proc: pc.proc, Fragments: pc.ranksSnapshot(), Cause: cause, msg: msg}
 }
 
 // enqueue hands a wire-ready frame to the write loop. On a poisoned
@@ -529,7 +956,7 @@ func (pc *procConn) writeLoop() {
 				fr.release()
 			}
 			if err != nil {
-				pc.fail(fmt.Errorf("net: send to %s: %w", pc.describe(), err))
+				pc.fail(pc.lost(fmt.Sprintf("net: send to %s: %v", pc.describe(), err), err))
 				return
 			}
 		}
@@ -605,7 +1032,7 @@ func (pc *procConn) callOpt(compress bool, build func(f *frame, reqID uint64)) (
 		}
 	}
 	if err != nil {
-		pc.fail(fmt.Errorf("net: send request to %s: %w", pc.describe(), err))
+		pc.fail(pc.lost(fmt.Sprintf("net: send request to %s: %v", pc.describe(), err), err))
 	} else {
 		pc.enqueue(wf)
 	}
@@ -616,7 +1043,7 @@ func (pc *procConn) callOpt(compress bool, build func(f *frame, reqID uint64)) (
 // describe names the worker process and the fragment ranks it hosts, for
 // error messages that must identify the dead party.
 func (pc *procConn) describe() string {
-	return fmt.Sprintf("worker process %d (fragments %v)", pc.proc, pc.ranks)
+	return fmt.Sprintf("worker process %d (fragments %v)", pc.proc, pc.ranksSnapshot())
 }
 
 // readLoop demultiplexes reply frames to their waiting calls until the
@@ -627,13 +1054,13 @@ func (pc *procConn) readLoop() {
 	for {
 		f, err := readFrameP(pc.c)
 		if err != nil {
-			pc.fail(fmt.Errorf("net: %s connection lost: %w", pc.describe(), err))
+			pc.fail(pc.lost(fmt.Sprintf("net: %s connection lost: %v", pc.describe(), err), err))
 			return
 		}
 		r := &reader{buf: f.payload()}
 		if ft := r.u8(); ft != ftReply {
 			f.release()
-			pc.fail(fmt.Errorf("net: unexpected frame 0x%02x from %s", ft, pc.describe()))
+			pc.fail(pc.lost(fmt.Sprintf("net: unexpected frame 0x%02x from %s", ft, pc.describe()), nil))
 			return
 		}
 		id := r.uvarint()
@@ -646,7 +1073,7 @@ func (pc *procConn) readLoop() {
 		}
 		if r.err != nil {
 			f.release()
-			pc.fail(fmt.Errorf("net: malformed reply from %s: %w", pc.describe(), r.err))
+			pc.fail(pc.lost(fmt.Sprintf("net: malformed reply from %s: %v", pc.describe(), r.err), r.err))
 			return
 		}
 		if rep.f == nil {
@@ -704,7 +1131,7 @@ func (pc *procConn) heartbeatLoop(interval time.Duration) {
 			expire.Stop()
 			return
 		case <-expire.C:
-			pc.fail(fmt.Errorf("net: %s unresponsive: no heartbeat reply within %v", pc.describe(), timeout))
+			pc.fail(pc.lost(fmt.Sprintf("net: %s unresponsive: no heartbeat reply within %v", pc.describe(), timeout), nil))
 			return
 		}
 	}
@@ -749,15 +1176,37 @@ func (pc *procConn) shutdown() {
 }
 
 // Peer is the coordinator's evaluation handle for one fragment hosted by a
-// worker process. It implements the engine's RemotePeer contract, and
-// RemoteViewPeer through Materialize/EvalDelta.
+// worker process. It implements the engine's RemotePeer contract,
+// RemoteViewPeer through Materialize/EvalDelta, and RemoteCheckpointPeer
+// through Checkpoint/Restore.
+//
+// The binding to a process connection is mutable: when the fragment's rank
+// is reassigned (its host died, or the cluster rebalanced onto a joiner),
+// rebind repoints the peer and every subsequent call routes to the new
+// host. The engine holds peers by pointer, so in-flight retries see the new
+// binding without re-plumbing.
 type Peer struct {
+	mu   sync.RWMutex
 	pc   *procConn
 	rank int
 }
 
 // Rank returns the fragment rank this peer evaluates.
 func (p *Peer) Rank() int { return p.rank }
+
+// conn returns the current process connection hosting this fragment.
+func (p *Peer) conn() *procConn {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.pc
+}
+
+// rebind repoints the peer at a new hosting process.
+func (p *Peer) rebind(pc *procConn) {
+	p.mu.Lock()
+	p.pc = pc
+	p.mu.Unlock()
+}
 
 // callHeader appends the common [ftCall][reqID][kind][rank][query] prefix of
 // per-fragment calls to the frame under construction.
@@ -774,7 +1223,7 @@ func (p *Peer) callHeader(f *frame, reqID uint64, kind byte, query uint64) {
 func (p *Peer) PEval(query uint64, epoch int64, prog string, queryBytes []byte, superstep int,
 	disableIncEval, disableGrouping bool) ([]mpi.Envelope, error) {
 	var envs []mpi.Envelope
-	err := p.pc.callParsed(func(f *frame, id uint64) {
+	err := p.conn().callParsed(func(f *frame, id uint64) {
 		p.callHeader(f, id, callPEval, query)
 		f.buf = binary.AppendUvarint(f.buf, uint64(superstep))
 		f.buf = binary.AppendUvarint(f.buf, uint64(epoch))
@@ -802,7 +1251,7 @@ func (p *Peer) PEval(query uint64, epoch int64, prog string, queryBytes []byte, 
 // the envelopes its incremental evaluation routed.
 func (p *Peer) IncEval(query uint64, superstep int, envs []mpi.Envelope) ([]mpi.Envelope, error) {
 	var out []mpi.Envelope
-	err := p.pc.callParsed(func(f *frame, id uint64) {
+	err := p.conn().callParsed(func(f *frame, id uint64) {
 		p.callHeader(f, id, callIncEval, query)
 		f.buf = binary.AppendUvarint(f.buf, uint64(superstep))
 		f.buf = appendEnvelopes(f.buf, envs)
@@ -818,14 +1267,36 @@ func (p *Peer) IncEval(query uint64, superstep int, envs []mpi.Envelope) ([]mpi.
 
 // Fetch retrieves the fragment's encoded partial result.
 func (p *Peer) Fetch(query uint64) ([]byte, error) {
-	return p.pc.call(func(f *frame, id uint64) {
+	return p.conn().call(func(f *frame, id uint64) {
 		p.callHeader(f, id, callFetch, query)
 	})
 }
 
+// Checkpoint retrieves the query's encoded in-flight state on this fragment.
+// The engine calls it at a superstep barrier on every rank at once, making
+// the union a consistent cut it can later restore from.
+func (p *Peer) Checkpoint(query uint64) ([]byte, error) {
+	return p.conn().call(func(f *frame, id uint64) {
+		p.callHeader(f, id, callCheckpoint, query)
+	})
+}
+
+// Restore reinstalls a checkpointed query state on this fragment under a
+// fresh query id bound to the given residency epoch, so a restarted run can
+// resume from the cut's superstep instead of re-evaluating from scratch.
+func (p *Peer) Restore(query uint64, epoch int64, prog string, queryBytes, state []byte) error {
+	return p.conn().callParsed(func(f *frame, id uint64) {
+		p.callHeader(f, id, callRestore, query)
+		f.buf = binary.AppendUvarint(f.buf, uint64(epoch))
+		f.buf = appendString(f.buf, prog)
+		f.buf = appendBytes(f.buf, queryBytes)
+		f.buf = appendBytes(f.buf, state)
+	}, func([]byte) error { return nil })
+}
+
 // End releases the fragment's per-query state (query runs and views alike).
 func (p *Peer) End(query uint64) error {
-	return p.pc.callParsed(func(f *frame, id uint64) {
+	return p.conn().callParsed(func(f *frame, id uint64) {
 		p.callHeader(f, id, callEnd, query)
 	}, func([]byte) error { return nil })
 }
@@ -834,7 +1305,7 @@ func (p *Peer) End(query uint64) error {
 // view state: the worker retains it across epochs for maintenance rounds,
 // until End releases it.
 func (p *Peer) Materialize(query uint64) error {
-	return p.pc.callParsed(func(f *frame, id uint64) {
+	return p.conn().callParsed(func(f *frame, id uint64) {
 		p.callHeader(f, id, callMaterialize, query)
 	}, func([]byte) error { return nil })
 }
@@ -847,7 +1318,7 @@ func (p *Peer) EvalDelta(query uint64, superstep int, ops []graph.Update,
 	newInBorder []graph.VertexID) (bool, []mpi.Envelope, error) {
 	var absorbed bool
 	var envs []mpi.Envelope
-	err := p.pc.callParsed(func(f *frame, id uint64) {
+	err := p.conn().callParsed(func(f *frame, id uint64) {
 		p.callHeader(f, id, callEvalDelta, query)
 		f.buf = binary.AppendUvarint(f.buf, uint64(superstep))
 		f.buf = appendBytes(f.buf, mpi.EncodeGraphUpdates(ops))

@@ -11,12 +11,16 @@ package net
 
 import (
 	"encoding/binary"
+	"errors"
 	stdnet "net"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"grape/internal/partition"
 )
 
 // fakeWorker speaks just enough of the worker protocol to join a cluster and
@@ -35,6 +39,21 @@ type fakeWorker struct {
 
 func dialFakeWorker(t *testing.T, addr string) *fakeWorker {
 	t.Helper()
+	fw, _ := dialFake(t, addr, false)
+	return fw
+}
+
+// dialFakeJoiner dials an elastic cluster with the join flag set and asserts
+// the mid-session handshake shape: a welcome carrying a fresh process id and
+// zero fragment ranks, followed by the current fragmentation graph.
+func dialFakeJoiner(t *testing.T, addr string) (*fakeWorker, int) {
+	t.Helper()
+	fw, proc := dialFake(t, addr, true)
+	return fw, proc
+}
+
+func dialFake(t *testing.T, addr string, join bool) (*fakeWorker, int) {
+	t.Helper()
 	conn, err := stdnet.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		t.Fatalf("fake worker dial: %v", err)
@@ -43,6 +62,9 @@ func dialFakeWorker(t *testing.T, addr string) *fakeWorker {
 
 	hello := []byte{ftHello}
 	hello = binary.AppendUvarint(hello, ProtocolVersion)
+	if join {
+		hello = append(hello, helloJoin)
+	}
 	if err := writeFrame(conn, hello); err != nil {
 		t.Fatalf("fake worker hello: %v", err)
 	}
@@ -56,8 +78,11 @@ func dialFakeWorker(t *testing.T, addr string) *fakeWorker {
 	}
 	r.uvarint() // version
 	r.uvarint() // m
-	r.uvarint() // proc
+	proc := int(r.uvarint())
 	nRanks := int(r.uvarint())
+	if join && nRanks != 0 {
+		t.Errorf("joiner was welcomed with %d fragment ranks, want 0", nRanks)
+	}
 	if _, err := readFrame(conn); err != nil { // fragmentation graph
 		t.Fatalf("fake worker gp: %v", err)
 	}
@@ -71,7 +96,7 @@ func dialFakeWorker(t *testing.T, addr string) *fakeWorker {
 	}
 
 	go fw.loop()
-	return fw
+	return fw, proc
 }
 
 func (fw *fakeWorker) loop() {
@@ -88,10 +113,12 @@ func (fw *fakeWorker) loop() {
 		case ftCall:
 			reqID := r.uvarint()
 			kind := r.u8()
-			// While alive, answer the cheap bookkeeping calls (pings and
-			// Ends); swallow every evaluation call — the worker accepted the
-			// query and then hung.
-			if (kind == callPing || kind == callEnd) && !fw.dead.Load() {
+			// While alive, answer the cheap bookkeeping calls (pings, Ends,
+			// fragment adoptions and releases); swallow every evaluation
+			// call — the worker accepted the query and then hung.
+			ack := kind == callPing || kind == callEnd ||
+				kind == callAdopt || kind == callRelease
+			if ack && !fw.dead.Load() {
 				out := []byte{ftReply}
 				out = binary.AppendUvarint(out, reqID)
 				out = append(out, 1)
@@ -139,7 +166,9 @@ func serveFake(t *testing.T, heartbeat time.Duration) (*Cluster, *fakeWorker) {
 }
 
 // awaitCallError asserts that a blocked call returns an error (within
-// timeout) whose message names the dead worker process.
+// timeout) whose message names the dead worker process, and that the error is
+// a typed *WorkerLostError matchable via errors.As carrying the process id
+// and the lost fragment ranks.
 func awaitCallError(t *testing.T, done <-chan error, timeout time.Duration, context string) {
 	t.Helper()
 	select {
@@ -152,6 +181,16 @@ func awaitCallError(t *testing.T, done <-chan error, timeout time.Duration, cont
 		}
 		if !strings.Contains(err.Error(), "fragments [0 1]") {
 			t.Fatalf("%s: error does not name the lost fragment ranks: %v", context, err)
+		}
+		var lost *WorkerLostError
+		if !errors.As(err, &lost) {
+			t.Fatalf("%s: error is not an *WorkerLostError: %v", context, err)
+		}
+		if lost.Proc != 0 {
+			t.Fatalf("%s: WorkerLostError.Proc = %d, want 0", context, lost.Proc)
+		}
+		if !reflect.DeepEqual(lost.Fragments, []int{0, 1}) {
+			t.Fatalf("%s: WorkerLostError.Fragments = %v, want [0 1]", context, lost.Fragments)
 		}
 	case <-time.After(timeout):
 		t.Fatalf("%s: coordinator still blocked on the reply demultiplexer", context)
@@ -219,6 +258,100 @@ func TestHeartbeatKeepsHealthyClusterAlive(t *testing.T) {
 	case <-fw.done:
 		t.Fatalf("fake worker loop exited on a healthy cluster")
 	default:
+	}
+}
+
+// TestElasticJoinReassignsOntoJoiner covers the elastic-membership protocol
+// end to end at the wire level: a fresh process dials a running cluster with
+// the join flag and is admitted with zero ranks, a flagless dialer is refused
+// with an explicit error, and after the founding worker crashes both of its
+// fragment ranks are reported lost and Reassign ships them onto the joiner —
+// after which evaluation calls route there.
+func TestElasticJoinReassignsOntoJoiner(t *testing.T) {
+	p := testPartition(t)
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	l.Elastic = true
+	type serveRes struct {
+		cl  *Cluster
+		err error
+	}
+	ch := make(chan serveRes, 1)
+	go func() {
+		cl, err := l.Serve(p, 1, 10*time.Second)
+		ch <- serveRes{cl, err}
+	}()
+	fw := dialFakeWorker(t, l.Addr())
+	res := <-ch
+	if res.err != nil {
+		t.Fatalf("Serve: %v", res.err)
+	}
+	cl := res.cl
+	defer cl.Close()
+
+	joined := make(chan struct{})
+	cl.SetJoinHandler(func() { close(joined) })
+
+	// A mid-session dialer without the join flag must be refused with an
+	// explicit error frame, not a hang or a silent close.
+	refused, err := stdnet.DialTimeout("tcp", l.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("flagless dial: %v", err)
+	}
+	hello := []byte{ftHello}
+	hello = binary.AppendUvarint(hello, ProtocolVersion)
+	if err := writeFrame(refused, hello); err != nil {
+		t.Fatalf("flagless hello: %v", err)
+	}
+	reply, err := readFrame(refused)
+	if err != nil {
+		t.Fatalf("flagless dialer got no reply: %v", err)
+	}
+	if len(reply) == 0 || reply[0] != ftError || !strings.Contains(string(reply[1:]), "join flag") {
+		t.Fatalf("flagless dialer not refused with an error frame: 0x%02x %q", reply[0], reply[1:])
+	}
+	refused.Close()
+
+	joiner, proc := dialFakeJoiner(t, l.Addr())
+	defer joiner.crash()
+	if proc != 1 {
+		t.Fatalf("joiner was assigned process id %d, want 1", proc)
+	}
+	select {
+	case <-joined:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("join handler never fired")
+	}
+	if got := cl.Procs(); got != 2 {
+		t.Fatalf("Procs() = %d after a join, want 2", got)
+	}
+
+	// The founding worker crashes: both of its fragment ranks lose their
+	// host, and a reassignment ships them onto the joiner.
+	fw.crash()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(cl.LostFragments()) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("lost fragments never reported after the crash: %v", cl.LostFragments())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if lost := cl.LostFragments(); !reflect.DeepEqual(lost, []int{0, 1}) {
+		t.Fatalf("LostFragments() = %v, want [0 1]", lost)
+	}
+	if err := cl.Reassign(2, p.GP, []*partition.Fragment{p.Fragments[0], p.Fragments[1]}); err != nil {
+		t.Fatalf("Reassign onto the joiner: %v", err)
+	}
+	if got := cl.LostFragments(); len(got) != 0 {
+		t.Fatalf("LostFragments() = %v after reassignment, want none", got)
+	}
+	// Calls for both ranks now route to the joiner.
+	for rank := 0; rank < 2; rank++ {
+		if err := cl.Peer(rank).End(7); err != nil {
+			t.Fatalf("call to reassigned fragment %d: %v", rank, err)
+		}
 	}
 }
 

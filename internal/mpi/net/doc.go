@@ -77,10 +77,42 @@
 // vertices), replying with the absorbed flag and the routed envelopes; the
 // maintenance fixpoint then iterates through ordinary IncEval calls.
 //
+// # Fault tolerance and elastic membership (protocol version 5)
+//
+// Version 5 adds an optional flags byte to the hello frame and four call
+// kinds that let a cluster survive worker deaths and grow mid-session.
+//
+// A checkpoint call (rank, query id) asks the worker to encode the named
+// query's per-fragment evaluation state with the program's wire codec; the
+// coordinator captures one such snapshot per fragment at superstep
+// boundaries to form a consistent cut. Its inverse, a restore call (rank,
+// query id, epoch, program name, encoded query, encoded state), re-creates
+// the query's state on whichever process hosts the rank now, so a restarted
+// run resumes from the cut instead of from PEval.
+//
+// An adopt call re-homes fragments: it carries the residency epoch, the
+// fragmentation graph and a batch of (rank, encoded fragment) pairs, shipped
+// compressed from the coordinator's resident replica. The receiving process
+// installs them and serves all later calls for those ranks; the rank's peer
+// is rebound coordinator-side so routing follows. A release call (rank)
+// tells a still-live former host to drop its copy after a rebalance. Both
+// recovery (a dead process's ranks move to survivors) and elasticity (ranks
+// move onto a joiner) are exactly these two calls.
+//
+// A worker that dials an already running elastic cluster sets the join flag
+// in its hello; the handshake then carries a fresh process id and zero
+// ranks, and only the GP frame follows before ready — fragments arrive later
+// through adopt calls when the engine rebalances. A mid-session dialer
+// without the flag is refused with an explicit error frame. Dead processes
+// whose last rank was adopted elsewhere are retired: update fan-outs, stats
+// scrapes and heartbeats skip them from then on.
+//
 // # Liveness
 //
-// A lost connection poisons all in-flight calls with an error naming the
-// dead worker process and its fragment ranks instead of hanging them. For
+// A lost connection poisons all in-flight calls with a typed
+// *WorkerLostError — matchable via errors.As, carrying the dead process id
+// and its fragment ranks, and still naming both in its message — instead of
+// hanging them. For
 // deaths the OS never reports (half-open connections after a partition, a
 // hung process), the coordinator heartbeats every worker with ping calls —
 // answered by the worker's frame loop directly, never queued behind an

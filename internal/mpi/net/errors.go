@@ -1,0 +1,43 @@
+package net
+
+// WorkerLostError reports that a worker process died or became unreachable:
+// its connection broke, a write to it failed, or it stopped answering
+// heartbeats. Calls routed to the process fail with an error wrapping one of
+// these, so callers can match structurally via errors.As instead of string
+// matching, and read which fragments lost their host:
+//
+//	var lost *net.WorkerLostError
+//	if errors.As(err, &lost) {
+//	    reassign(lost.Fragments)
+//	}
+//
+// A graceful cluster shutdown is not a lost worker: Close poisons
+// connections with a plain error, so recovery logic keyed on this type never
+// triggers on teardown.
+type WorkerLostError struct {
+	// Proc is the dead worker's process id.
+	Proc int
+	// Fragments are the fragment ranks the process hosted when it was lost.
+	Fragments []int
+	// Cause is the underlying transport error, if any (nil for heartbeat
+	// timeouts, where no I/O error ever surfaced).
+	Cause error
+
+	msg string
+}
+
+// Error keeps the historical "worker process N (fragments [...])" wording
+// inside the message, so logs and scripts that matched the old strings still
+// do.
+func (e *WorkerLostError) Error() string { return e.msg }
+
+// Unwrap exposes the underlying transport error to errors.Is/As chains.
+func (e *WorkerLostError) Unwrap() error { return e.Cause }
+
+// WorkerLost reports the dead process and its fragments. It exists so
+// packages that cannot import this one (the engine core, which the transport
+// is plugged into) can still detect the condition with errors.As against an
+// anonymous interface.
+func (e *WorkerLostError) WorkerLost() (proc int, fragments []int) {
+	return e.Proc, e.Fragments
+}

@@ -31,4 +31,8 @@ var (
 		"Connections poisoned by a failure, by worker process.", "proc")
 	obsDialRetries = obs.Counter("grape_net_dial_retries_total",
 		"Worker dial attempts that failed and were retried with backoff.")
+	obsWorkerJoins = obs.Counter("grape_net_worker_joins_total",
+		"Worker processes admitted into a running cluster mid-session.")
+	obsFragmentsMoved = obs.Counter("grape_net_fragments_moved_total",
+		"Fragment ranks shipped to a different worker process (death recovery or elastic rebalance).")
 )

@@ -30,7 +30,19 @@ import (
 // Version 4 added the stats call: the coordinator polls each worker process
 // for a snapshot of its observability counters, which it re-labels and
 // merges into its own /metrics exposition.
-const ProtocolVersion = 4
+//
+// Version 5 added fault tolerance and elasticity: the hello frame grew a
+// flags byte (bit 0 marks a mid-session join), and four call kinds were
+// added — checkpoint/restore snapshot and reinstall in-flight query state at
+// superstep boundaries, adopt/release move fragment residency between worker
+// processes when a dead worker's ranks are reassigned to survivors or a
+// freshly joined worker is rebalanced onto.
+const ProtocolVersion = 5
+
+// helloJoin is the hello flags bit a worker sets when it dials into an
+// already-running cluster: the coordinator admits it with a fresh process id
+// and zero fragments instead of counting it toward the bring-up quorum.
+const helloJoin = byte(0x01)
 
 // maxFrame bounds a single frame (a shipped fragment is the largest payload
 // in practice). Oversized lengths indicate a corrupt or hostile stream. It
@@ -73,6 +85,17 @@ const (
 //	callStats       (empty) — the worker replies with obs.EncodeSamples of
 //	                its counter registry; answered by the frame loop directly
 //	                like ping, so a scrape never queues behind an evaluation
+//	callCheckpoint  [rank][query] — the worker replies with the query's
+//	                encoded partial state (the coordinator's consistent-cut
+//	                snapshot, taken at a superstep barrier)
+//	callRestore     [rank][query][epoch][prog][queryBytes][stateBytes] —
+//	                reinstall a checkpointed query state under a fresh query
+//	                id so the run can resume from the cut's superstep
+//	callAdopt       [epoch][gpBytes][n]{[rank][fragBytes]}... — install
+//	                fragments this process did not previously host (recovery
+//	                reassignment or elastic rebalance)
+//	callRelease     [rank] — drop a fragment this process hosts at the
+//	                current epoch (its rank moved to another process)
 const (
 	callPEval       = byte(0x01)
 	callIncEval     = byte(0x02)
@@ -83,6 +106,10 @@ const (
 	callMaterialize = byte(0x07)
 	callEvalDelta   = byte(0x08)
 	callStats       = byte(0x09)
+	callCheckpoint  = byte(0x0a)
+	callRestore     = byte(0x0b)
+	callAdopt       = byte(0x0c)
+	callRelease     = byte(0x0d)
 )
 
 // frame is a pooled frame buffer. buf holds a 4-byte length-header

@@ -33,6 +33,11 @@ type WorkerOptions struct {
 	// registry, which keeps several in-process workers (tests, benchmarks)
 	// from double counting into a shared one.
 	Metrics *obs.Registry
+	// Join marks this worker as a mid-session joiner: the hello carries the
+	// join flag, and the coordinator's elastic accept loop admits it with a
+	// fresh process id and no fragments (the cluster rebalances ranks onto it
+	// afterwards) instead of counting it toward the bring-up quorum.
+	Join bool
 }
 
 // loga emits one progress record. When Log carries the line the fields
@@ -99,6 +104,14 @@ func callKindName(kind byte) string {
 		return "evaldelta"
 	case callStats:
 		return "stats"
+	case callCheckpoint:
+		return "checkpoint"
+	case callRestore:
+		return "restore"
+	case callAdopt:
+		return "adopt"
+	case callRelease:
+		return "release"
 	default:
 		return "unknown"
 	}
@@ -133,6 +146,18 @@ type Handler interface {
 	// view state.
 	EvalDelta(rank int, query uint64, superstep int, ops []graph.Update,
 		newInBorder []graph.VertexID) (absorbed bool, envs []mpi.Envelope, err error)
+	// Checkpoint returns the query's encoded in-flight state on the fragment
+	// (the coordinator snapshots every rank at a superstep barrier).
+	Checkpoint(rank int, query uint64) ([]byte, error)
+	// Restore reinstalls a checkpointed query state under a fresh query id
+	// bound to the given residency epoch.
+	Restore(rank int, query uint64, epoch int64, prog string, queryBytes, state []byte) error
+	// Adopt installs fragments this process did not previously host, at the
+	// given epoch (>= the current one; the residency is carried forward).
+	Adopt(epoch int64, gp *partition.FragGraph, frags []*partition.Fragment) error
+	// ReleaseFragment drops a hosted fragment at the current epoch: its rank
+	// moved to another process.
+	ReleaseFragment(rank int) error
 }
 
 // handshakeIOTimeout bounds each read/write of the worker-side handshake
@@ -149,17 +174,31 @@ const handshakeIOTimeout = 30 * time.Second
 // graceful shutdown and an error if the handshake fails or the connection is
 // lost mid-run.
 func RunWorker(addr string, h Handler, opts WorkerOptions) error {
+	return RunWorkerCtx(context.Background(), addr, h, opts)
+}
+
+// RunWorkerCtx is RunWorker with cancellation: a done context aborts the
+// dial/backoff loop immediately and closes the connection mid-run, in both
+// cases returning the context's error.
+func RunWorkerCtx(ctx context.Context, addr string, h Handler, opts WorkerOptions) (err error) {
 	reg := opts.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	defer func() {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+		}
+	}()
 	wm := newWorkerMetrics(reg)
-	conn, retries, err := dialBackoff(addr, opts)
+	conn, retries, err := dialBackoff(ctx, addr, opts)
 	wm.dialRetries.Add(float64(retries))
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
 	if tc, ok := conn.(*net.TCPConn); ok {
 		_ = tc.SetKeepAlive(true)
 		_ = tc.SetKeepAlivePeriod(30 * time.Second)
@@ -262,33 +301,13 @@ func RunWorker(addr string, h Handler, opts WorkerOptions) error {
 // handleCall parses one call's kind-specific body and dispatches it to the
 // handler.
 func handleCall(h Handler, kind byte, r *reader, wm *workerMetrics, opts WorkerOptions) callReply {
-	if kind == callUpdate {
+	switch kind {
+	case callUpdate:
 		epoch := int64(r.uvarint())
 		floor := int64(r.uvarint())
-		gpBytes := r.bytes()
-		n := r.count()
-		if r.err != nil {
-			return callReply{err: r.err}
-		}
-		gp, err := partition.DecodeFragGraph(gpBytes)
-		if err != nil {
-			return callReply{err: err}
-		}
-		frags := make([]*partition.Fragment, 0, n)
-		for i := 0; i < n; i++ {
-			rank := int(r.uvarint())
-			fragBytes := r.bytes()
-			if r.err != nil {
-				return callReply{err: r.err}
-			}
-			f, err := partition.DecodeFragment(fragBytes)
-			if err != nil {
-				return callReply{err: fmt.Errorf("fragment %d: %w", rank, err)}
-			}
-			if f.ID != rank {
-				return callReply{err: fmt.Errorf("update frame for rank %d carries fragment %d", rank, f.ID)}
-			}
-			frags = append(frags, f)
+		gp, frags, rep := parseFragmentShip(r)
+		if rep != nil {
+			return *rep
 		}
 		if err := h.ApplyUpdate(epoch, floor, gp, frags); err != nil {
 			return callReply{err: err}
@@ -297,7 +316,29 @@ func handleCall(h Handler, kind byte, r *reader, wm *workerMetrics, opts WorkerO
 			wm.epochs.Inc()
 		}
 		opts.loga(slog.LevelInfo, "installed update epoch",
-			"epoch", epoch, "floor", floor, "fragments", n)
+			"epoch", epoch, "floor", floor, "fragments", len(frags))
+		return callReply{}
+	case callAdopt:
+		epoch := int64(r.uvarint())
+		gp, frags, rep := parseFragmentShip(r)
+		if rep != nil {
+			return *rep
+		}
+		if err := h.Adopt(epoch, gp, frags); err != nil {
+			return callReply{err: err}
+		}
+		opts.loga(slog.LevelInfo, "adopted fragments",
+			"epoch", epoch, "fragments", len(frags))
+		return callReply{}
+	case callRelease:
+		rank := int(r.uvarint())
+		if r.err != nil {
+			return callReply{err: r.err}
+		}
+		if err := h.ReleaseFragment(rank); err != nil {
+			return callReply{err: err}
+		}
+		opts.loga(slog.LevelInfo, "released fragment", "rank", rank)
 		return callReply{}
 	}
 
@@ -379,15 +420,70 @@ func handleCall(h Handler, kind byte, r *reader, wm *workerMetrics, opts WorkerO
 			body[0] = 1
 		}
 		return callReply{body: appendEnvelopes(body, envs)}
+	case callCheckpoint:
+		if r.err != nil {
+			return callReply{err: r.err}
+		}
+		data, err := h.Checkpoint(rank, query)
+		if err != nil {
+			return callReply{err: err}
+		}
+		return callReply{body: data}
+	case callRestore:
+		epoch := int64(r.uvarint())
+		prog := r.str()
+		// Copied out of the pooled frame buffer: both byte slices cross the
+		// handler interface and outlive this call.
+		queryBytes := append([]byte(nil), r.bytes()...)
+		state := append([]byte(nil), r.bytes()...)
+		if r.err != nil {
+			return callReply{err: r.err}
+		}
+		if err := h.Restore(rank, query, epoch, prog, queryBytes, state); err != nil {
+			return callReply{err: err}
+		}
+		return callReply{}
 	default:
 		return callReply{err: fmt.Errorf("unknown call kind 0x%02x", kind)}
 	}
 }
 
+// parseFragmentShip parses the shared tail of update and adopt calls: the
+// encoded fragmentation graph followed by a counted list of
+// [rank][fragBytes] pairs. A non-nil reply reports the parse failure.
+func parseFragmentShip(r *reader) (*partition.FragGraph, []*partition.Fragment, *callReply) {
+	gpBytes := r.bytes()
+	n := r.count()
+	if r.err != nil {
+		return nil, nil, &callReply{err: r.err}
+	}
+	gp, err := partition.DecodeFragGraph(gpBytes)
+	if err != nil {
+		return nil, nil, &callReply{err: err}
+	}
+	frags := make([]*partition.Fragment, 0, n)
+	for i := 0; i < n; i++ {
+		rank := int(r.uvarint())
+		fragBytes := r.bytes()
+		if r.err != nil {
+			return nil, nil, &callReply{err: r.err}
+		}
+		f, err := partition.DecodeFragment(fragBytes)
+		if err != nil {
+			return nil, nil, &callReply{err: fmt.Errorf("fragment %d: %w", rank, err)}
+		}
+		if f.ID != rank {
+			return nil, nil, &callReply{err: fmt.Errorf("ship frame for rank %d carries fragment %d", rank, f.ID)}
+		}
+		frags = append(frags, f)
+	}
+	return gp, frags, nil
+}
+
 // dialBackoff dials the coordinator with exponential backoff until the
 // options' dial budget is exhausted. It returns how many attempts failed and
 // were retried alongside the connection.
-func dialBackoff(addr string, opts WorkerOptions) (net.Conn, int, error) {
+func dialBackoff(ctx context.Context, addr string, opts WorkerOptions) (net.Conn, int, error) {
 	budget := opts.DialTimeout
 	if budget <= 0 {
 		budget = 30 * time.Second
@@ -395,10 +491,15 @@ func dialBackoff(addr string, opts WorkerOptions) (net.Conn, int, error) {
 	deadline := time.Now().Add(budget)
 	delay := 50 * time.Millisecond
 	retries := 0
+	var d net.Dialer
+	d.Deadline = deadline
 	for attempt := 1; ; attempt++ {
-		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
 			return conn, retries, nil
+		}
+		if ctx.Err() != nil {
+			return nil, retries, ctx.Err()
 		}
 		if time.Now().Add(delay).After(deadline) {
 			return nil, retries, fmt.Errorf("net: dialing coordinator %s: %w", addr, err)
@@ -407,7 +508,13 @@ func dialBackoff(addr string, opts WorkerOptions) (net.Conn, int, error) {
 		obsDialRetries.Inc()
 		opts.loga(slog.LevelInfo, "dial failed; retrying",
 			"addr", addr, "attempt", attempt, "err", err, "retry_in", delay)
-		time.Sleep(delay)
+		pause := time.NewTimer(delay)
+		select {
+		case <-pause.C:
+		case <-ctx.Done():
+			pause.Stop()
+			return nil, retries, ctx.Err()
+		}
 		if delay *= 2; delay > 2*time.Second {
 			delay = 2 * time.Second
 		}
@@ -421,6 +528,11 @@ func handshakeCoordinator(conn net.Conn, opts WorkerOptions) ([]int, []*partitio
 	conn.SetDeadline(time.Now().Add(handshakeIOTimeout))
 	hello := []byte{ftHello}
 	hello = binary.AppendUvarint(hello, ProtocolVersion)
+	var flags byte
+	if opts.Join {
+		flags |= helloJoin
+	}
+	hello = append(hello, flags)
 	if err := writeFrame(conn, hello); err != nil {
 		return nil, nil, nil, fmt.Errorf("net: sending hello: %w", err)
 	}

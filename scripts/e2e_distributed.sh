@@ -211,4 +211,105 @@ grep -q traceEvents "$WORKDIR/trace.json" || {
 }
 echo "OK: /metrics shows all $PROCS worker processes and the trace exported"
 
+echo "=== fault tolerance: worker kill + elastic join (chaos phase) ==="
+# The same query/update stream on a single process is the oracle; the cluster
+# run interleaves it with a kill -9 of one worker and a mid-session join of a
+# replacement. Recovery must keep every answer byte-identical.
+cat > "$WORKDIR/chaos_cmds.txt" <<'EOF'
+sssp 5
+sssp 5
+cc
+insert 5 1200 0.25
+insert 1200 1300 0.25
+sssp 5
+cc
+sssp 5
+cc
+quit
+EOF
+"$WORKDIR/grape" -graph "$WORKDIR/g.txt" -workers "$WORKERS" -serve -top 1000000 \
+  < "$WORKDIR/chaos_cmds.txt" > "$WORKDIR/single_chaos.txt"
+
+CHAOS_OBS="127.0.0.1:$((PORT + 2))"
+mkfifo "$WORKDIR/chaos_in"
+worker_pids=()
+for _ in $(seq "$PROCS"); do
+  "$WORKDIR/grape-worker" -coordinator "127.0.0.1:$PORT" &
+  worker_pids+=($!)
+done
+"$WORKDIR/grape" -graph "$WORKDIR/g.txt" -workers "$WORKERS" -serve -top 1000000 \
+  -listen "127.0.0.1:$PORT" -worker-procs "$PROCS" -recovery \
+  -debug-listen "$CHAOS_OBS" \
+  < "$WORKDIR/chaos_in" > "$WORKDIR/dist_chaos.txt" &
+coord_pid=$!
+exec 3> "$WORKDIR/chaos_in"
+
+echo "sssp 5" >&3       # healthy query
+sleep 0.2
+kill -9 "${worker_pids[0]}"  # one worker process dies mid-stream
+echo "sssp 5" >&3       # must recover: reassign fragments, answer exactly
+echo "cc" >&3
+echo "insert 5 1200 0.25" >&3
+echo "insert 1200 1300 0.25" >&3
+echo "sssp 5" >&3
+echo "cc" >&3
+
+# A replacement worker joins the running cluster; wait until the coordinator
+# reports the join and at least one fragment rebalanced onto it.
+"$WORKDIR/grape-worker" -coordinator "127.0.0.1:$PORT" -join &
+join_pid=$!
+for _ in $(seq 100); do
+  if curl -fsS "http://$CHAOS_OBS/metrics" 2>/dev/null | grep -qE '^grape_net_worker_joins_total [1-9]'; then
+    break
+  fi
+  sleep 0.2
+done
+curl -fsS "http://$CHAOS_OBS/metrics" > "$WORKDIR/chaos_metrics.txt"
+grep -qE '^grape_net_worker_joins_total [1-9]' "$WORKDIR/chaos_metrics.txt" || {
+  echo "FAIL: replacement worker never joined the cluster" >&2
+  exit 1
+}
+grep -qE '^grape_net_fragments_moved_total [1-9]' "$WORKDIR/chaos_metrics.txt" || {
+  echo "FAIL: no fragments moved after the kill + join" >&2
+  exit 1
+}
+grep -qE '^grape_worker_recoveries_total [1-9]' "$WORKDIR/chaos_metrics.txt" || {
+  echo "FAIL: the kill never triggered a recovery" >&2
+  exit 1
+}
+
+echo "sssp 5" >&3       # the rebalanced cluster still answers exactly
+echo "cc" >&3
+echo "quit" >&3
+exec 3>&-
+
+if ! wait "$coord_pid"; then
+  echo "FAIL: coordinator exited non-zero during the chaos phase" >&2
+  exit 1
+fi
+# The killed worker died by SIGKILL (exit 137) — expected. The survivors and
+# the joiner must exit 0 on the coordinator's shutdown frame.
+wait "${worker_pids[0]}" 2>/dev/null || true
+for pid in "${worker_pids[@]:1}"; do
+  if ! wait "$pid"; then
+    echo "FAIL: surviving grape-worker (pid $pid) exited non-zero during the chaos phase" >&2
+    exit 1
+  fi
+done
+if ! wait "$join_pid"; then
+  echo "FAIL: joined grape-worker exited non-zero" >&2
+  exit 1
+fi
+
+if grep -qE 'query failed|update failed' "$WORKDIR/dist_chaos.txt"; then
+  echo "FAIL: queries or updates failed during the chaos phase:" >&2
+  grep -E 'query failed|update failed' "$WORKDIR/dist_chaos.txt" >&2
+  exit 1
+fi
+if ! diff <(extract "$WORKDIR/single_chaos.txt") <(extract "$WORKDIR/dist_chaos.txt"); then
+  echo "MISMATCH: answers across a worker kill + join differ from the single-process run" >&2
+  exit 1
+fi
+echo "OK: answers byte-identical across a worker kill and an elastic join"
+
 echo "e2e-distributed: all checks passed"
