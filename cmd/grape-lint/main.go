@@ -1,0 +1,105 @@
+// grape-lint runs the internal/analysis suite over the module: a
+// dependency-free static-analysis pass enforcing the engine's correctness
+// conventions (pooled-buffer discipline, deterministic folds, bounded
+// decodes, context threading, metric naming). See internal/analysis/doc.go
+// for the analyzer catalogue and the war stories behind it.
+//
+// Usage:
+//
+//	grape-lint [flags] [packages]
+//
+// Packages default to ./... resolved against the enclosing module.
+// Diagnostics print one per line as
+//
+//	file:line:col: analyzer: message
+//
+// and a non-empty run exits 1, so the command gates CI directly. With
+// -github each diagnostic is also emitted as a GitHub Actions workflow
+// command so the findings annotate the pull request diff.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"grape/internal/analysis"
+)
+
+func main() {
+	var (
+		only   = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list   = flag.Bool("list", false, "list analyzers and exit")
+		github = flag.Bool("github", false, "also emit GitHub Actions ::error annotations")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: grape-lint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "grape-lint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, module, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.Load(root, module, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	var selected []*analysis.Package
+	for _, p := range pkgs {
+		if p.Selected {
+			selected = append(selected, p)
+		}
+	}
+
+	diags := analysis.Lint(selected, analyzers)
+	for _, d := range diags {
+		// Print module-relative paths: stable across checkouts and what
+		// GitHub's annotation matcher expects.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = filepath.ToSlash(rel)
+		}
+		fmt.Println(d)
+		if *github {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=grape-lint %s::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "grape-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "grape-lint:", err)
+	os.Exit(2)
+}

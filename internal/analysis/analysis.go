@@ -1,0 +1,137 @@
+// Package analysis is grape's repo-invariant static-analysis framework: a
+// dependency-free (stdlib go/ast + go/parser + go/types only) analyzer
+// driver that mechanically enforces the engine's correctness conventions on
+// every push. See doc.go for the catalogue of analyzers and the war stories
+// behind them.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check. Run receives a fully parsed and (tolerantly)
+// type-checked package and reports diagnostics through the pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -only selections and
+	// //lint:ignore directives. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// PathSuffixes, when non-empty, restricts the analyzer to packages whose
+	// import path ends in one of the listed suffixes (the determinism-critical
+	// packages for detmap, for example). The fixture harness bypasses the
+	// filter so every analyzer is testable in isolation.
+	PathSuffixes []string
+	// Run performs the check.
+	Run func(*Pass)
+}
+
+// applies reports whether the analyzer runs on the given import path.
+func (a *Analyzer) applies(path string) bool {
+	if len(a.PathSuffixes) == 0 {
+		return true
+	}
+	for _, s := range a.PathSuffixes {
+		if path == s || hasPathSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasPathSuffix(path, suffix string) bool {
+	n := len(path) - len(suffix)
+	return n > 0 && path[n-1] == '/' && path[n:] == suffix
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test source files, parsed with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package. Type checking is tolerant: on an
+	// unresolvable import or a type error the checker keeps going, so objects
+	// and types may be missing. Analyzers must treat nil types as unknown.
+	Pkg *types.Package
+	// Info holds the (possibly partial) type information for Files.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when type information is missing.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Lint runs the analyzers over the packages and returns the surviving
+// diagnostics, sorted by position, with //lint:ignore-suppressed findings
+// removed and malformed ignore directives reported as findings of their own.
+func Lint(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores, bad := collectIgnores(pkg)
+		diags = append(diags, bad...)
+		for _, a := range analyzers {
+			if !a.applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    new([]Diagnostic),
+			}
+			a.Run(pass)
+			for _, d := range *pass.diags {
+				if !ignores.suppresses(d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

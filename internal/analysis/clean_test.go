@@ -1,0 +1,34 @@
+package analysis
+
+import "testing"
+
+// TestTreeIsClean asserts the acceptance criterion the CI job enforces: the
+// full analyzer suite runs over this repository and reports nothing. Every
+// deliberate exception is a //lint:ignore with a reason, so a new finding
+// here is either a real bug or a new exception that must be argued for in
+// review.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, module, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	pkgs, err := Load(root, module, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	var selected []*Package
+	for _, p := range pkgs {
+		if p.Selected {
+			selected = append(selected, p)
+		}
+	}
+	if len(selected) == 0 {
+		t.Fatal("no packages selected")
+	}
+	for _, d := range Lint(selected, All()) {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

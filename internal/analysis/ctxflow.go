@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the context-threading contract of the ...Ctx API surface
+// (PR 9): a function that accepts a context.Context must actually thread it.
+// Three rules:
+//
+//   - an exported function whose name ends in "Ctx" must use its context
+//     parameter somewhere in its body (an unused or blank ctx means the
+//     cancellable variant silently isn't);
+//   - a function holding a context parameter must not manufacture
+//     context.Background() or context.TODO() — that severs the caller's
+//     cancellation exactly where it was promised (plain non-Ctx wrappers
+//     without a ctx parameter may still call Background to delegate);
+//   - a call from such a function to any callee whose first parameter is a
+//     context.Context must pass a context value derived in scope, not a
+//     freshly minted root (covered by the Background rule) — callees taking
+//     a context get one.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "...Ctx functions must thread their context; no context.Background/TODO where a ctx is in scope",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ctxParams := contextParams(pass, fn.Type)
+			isCtxVariant := strings.HasSuffix(fn.Name.Name, "Ctx") && ast.IsExported(fn.Name.Name)
+			if isCtxVariant {
+				if len(ctxParams) == 0 {
+					pass.Reportf(fn.Pos(), "exported %s has no context.Context parameter; the Ctx suffix promises cancellation", fn.Name.Name)
+				} else {
+					for _, p := range ctxParams {
+						if p == "_" {
+							pass.Reportf(fn.Pos(), "exported %s discards its context parameter", fn.Name.Name)
+						} else if !usesIdent(fn.Body, p) {
+							pass.Reportf(fn.Pos(), "exported %s never uses its context parameter %s; cancellation is silently dropped", fn.Name.Name, p)
+						}
+					}
+				}
+			}
+			if len(ctxParams) == 0 {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok && n != fn.Body {
+					// Closures often outlive the call (AfterFunc handlers,
+					// goroutines); judge only the function's own statements.
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == "context" &&
+						(sel.Sel.Name == "Background" || sel.Sel.Name == "TODO") {
+						pass.Reportf(call.Pos(), "context.%s() inside a function that already has a context parameter; thread %s instead",
+							sel.Sel.Name, ctxParams[0])
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// contextParams returns the names of ft's context.Context parameters.
+func contextParams(pass *Pass, ft *ast.FuncType) []string {
+	var out []string
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		if !isContextType(pass, field.Type) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			out = append(out, "_")
+		}
+		for _, name := range field.Names {
+			out = append(out, name.Name)
+		}
+	}
+	return out
+}
+
+// isContextType recognizes context.Context by type information when
+// available, by spelling otherwise.
+func isContextType(pass *Pass, e ast.Expr) bool {
+	if t := pass.TypeOf(e); t != nil {
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+		}
+		// fall through to the syntactic check: the placeholder-import case
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "context"
+}
+
+func usesIdent(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

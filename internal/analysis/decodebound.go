@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// DecodeBound guards against the allocation-bomb class the PR-6 fuzzers
+// found in DecodeKeyValues: a count read off the wire (binary.Uvarint, an
+// endian Uint32/Uint64, a reader's uvarint helper) flowing into make — or
+// into an append loop bounded by it — before any comparison constrains it.
+// A hostile peer then makes a 20-byte frame allocate gigabytes.
+//
+// The analysis is an intraprocedural taint walk: decoded integers are
+// tainted, taint propagates through conversions and arithmetic, and any
+// comparison mentioning the tainted variable (the `if n > remaining/size`
+// bound idiom, or an equality rejection) clears it. Helpers that bound
+// internally by convention — the sticky readers' count() — are not taint
+// sources; give bounded accessors that name, or bound at the call site.
+var DecodeBound = &Analyzer{
+	Name: "decodebound",
+	Doc:  "wire-decoded counts must be bounds-checked before sizing allocations",
+	Run:  runDecodeBound,
+}
+
+// decodeHelperName matches method/function names that read raw integers off
+// a decode cursor.
+var decodeHelperName = regexp.MustCompile(`^(uvarint|varint|readUvarint|readVarint|ReadUvarint|ReadVarint)$`)
+
+// endianIntName matches the fixed-width integer readers of binary.ByteOrder.
+var endianIntName = regexp.MustCompile(`^Uint(16|32|64)$`)
+
+func runDecodeBound(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkDecodeFunc(pass, fn)
+		}
+	}
+}
+
+// isDecodeSource reports whether the expression reads an attacker-sized
+// integer: binary.Uvarint/Varint, <order>.Uint16/32/64, or a cursor helper
+// named (read)uvarint/varint — possibly wrapped in conversions/arithmetic.
+func isDecodeSource(e ast.Expr, tainted map[string]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if tainted[x.Name] {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if decodeHelperName.MatchString(name) {
+				found = true
+				return false
+			}
+			if endianIntName.MatchString(name) {
+				// binary.LittleEndian.Uint32(...), order.Uint64(...), etc.
+				found = true
+				return false
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "binary" &&
+				(name == "Uvarint" || name == "Varint") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func checkDecodeFunc(pass *Pass, fn *ast.FuncDecl) {
+	tainted := make(map[string]bool) // currently unguarded decoded counts
+	guarded := make(map[string]bool) // names that appeared in a comparison
+	var reports []struct {
+		pos  token.Pos
+		what string
+	}
+
+	// Walk statements in source order; for straight-line decode functions
+	// (the shape of every codec in this repo) source order approximates
+	// dominance well enough.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				var rhs ast.Expr
+				switch {
+				case len(st.Rhs) == len(st.Lhs):
+					rhs = st.Rhs[i]
+				case len(st.Rhs) == 1 && i == 0:
+					// n, off := binary.Uvarint(buf): taint the first result.
+					rhs = st.Rhs[0]
+				default:
+					continue
+				}
+				if isDecodeSource(rhs, tainted) {
+					if !guarded[id.Name] {
+						tainted[id.Name] = true
+					}
+				} else if st.Tok == token.DEFINE {
+					delete(tainted, id.Name)
+					delete(guarded, id.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			// Any comparison mentioning a tainted name counts as its bound
+			// check (the codecs' `if n > (len(buf)-off)/k+1` idiom).
+			switch st.Op {
+			case token.GTR, token.GEQ, token.LSS, token.LEQ, token.EQL, token.NEQ:
+				for name := range tainted {
+					if mentionsIdent(st, name) {
+						delete(tainted, name)
+						guarded[name] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "make" && len(st.Args) >= 2 {
+				for _, arg := range st.Args[1:] {
+					if name, ok := taintedIn(arg, tainted); ok {
+						reports = append(reports, struct {
+							pos  token.Pos
+							what string
+						}{st.Pos(), name})
+					} else if isDecodeSource(arg, nil) {
+						// make([]T, int(binary.Uvarint(...))) inline, with no
+						// variable to ever guard.
+						reports = append(reports, struct {
+							pos  token.Pos
+							what string
+						}{st.Pos(), "<inline decode>"})
+					}
+				}
+			}
+		case *ast.ForStmt:
+			// for i := 0; i < n; i++ { s = append(s, ...) } with unguarded n.
+			if cond, ok := st.Cond.(*ast.BinaryExpr); ok {
+				if name, ok := taintedIn(cond, tainted); ok && containsAppend(st.Body) {
+					reports = append(reports, struct {
+						pos  token.Pos
+						what string
+					}{st.Pos(), name})
+					// The loop itself acts as the guard for later uses.
+					delete(tainted, name)
+					guarded[name] = true
+				}
+			}
+		}
+		return true
+	})
+	for _, r := range reports {
+		pass.Reportf(r.pos, "allocation sized by wire-decoded count %q with no prior bound check (allocation-bomb class; compare it against the remaining input first)", r.what)
+	}
+}
+
+func mentionsIdent(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func taintedIn(e ast.Expr, tainted map[string]bool) (string, bool) {
+	var name string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		// len(x) of already-materialized data is bounded by input the decoder
+		// actually holds — a slice built by a decode loop is not an
+		// attacker-amplified count, so sizing by its length is safe.
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "len" {
+				return false
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && tainted[id.Name] {
+			name = id.Name
+			return false
+		}
+		return true
+	})
+	return name, name != ""
+}
+
+func containsAppend(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetMap enforces deterministic folding in the packages whose outputs must
+// be byte-identical across runs, workers and transports (the GRAPE
+// equivalence guarantee): internal/pie, internal/seq, internal/inc and
+// internal/mpi. Go's map iteration order is deliberately randomized, so a
+// `for ... range m` over a map must not
+//
+//   - accumulate floating-point values into a variable declared outside the
+//     loop (float addition is not associative — two identical runs disagree
+//     in the last bits, the exact nondeterminism PR 8 found by hand in the
+//     PageRank incast fold), or
+//   - append to a slice declared outside the loop unless the slice is
+//     visibly sorted later in the same function (the collect-then-sort idiom
+//     is the sanctioned way to fold a map deterministically).
+//
+// Map reads, map-to-map copies and boolean/set building are order-independent
+// and stay legal.
+var DetMap = &Analyzer{
+	Name:         "detmap",
+	Doc:          "no float accumulation or unsorted slice collection in map-iteration order",
+	PathSuffixes: []string{"internal/pie", "internal/seq", "internal/inc", "internal/mpi", "internal/mpi/net"},
+	Run:          runDetMap,
+}
+
+func runDetMap(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapType(pass.TypeOf(rng.X)) {
+					return true
+				}
+				checkMapRange(pass, fn, rng)
+				return true
+			})
+		}
+	}
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				if isFloatExpr(pass, lhs) && declaredOutside(pass, lhs, rng) {
+					pass.Reportf(as.Pos(),
+						"floating-point accumulation folds in map-iteration order; fold over sorted keys instead")
+				}
+			}
+		case token.ASSIGN, token.DEFINE:
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				// x = x + <f> spelled out.
+				if bin, ok := rhs.(*ast.BinaryExpr); ok && as.Tok == token.ASSIGN &&
+					(bin.Op == token.ADD || bin.Op == token.SUB || bin.Op == token.MUL || bin.Op == token.QUO) &&
+					sameIdent(as.Lhs[i], bin.X) && isFloatExpr(pass, as.Lhs[i]) &&
+					declaredOutside(pass, as.Lhs[i], rng) {
+					pass.Reportf(as.Pos(),
+						"floating-point accumulation folds in map-iteration order; fold over sorted keys instead")
+					continue
+				}
+				// s = append(s, ...) collecting into an outer slice.
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				lhs, ok := as.Lhs[i].(*ast.Ident)
+				if !ok || !declaredOutside(pass, lhs, rng) {
+					continue
+				}
+				if !sortedLater(pass, fn, rng, lhs) {
+					pass.Reportf(as.Pos(),
+						"slice %s collects map keys/values in iteration order and is never sorted; sort it before it crosses a fold or encode boundary", lhs.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func sameIdent(a, b ast.Expr) bool {
+	ai, aok := a.(*ast.Ident)
+	bi, bok := b.(*ast.Ident)
+	return aok && bok && ai.Name == bi.Name
+}
+
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declaredOutside reports whether the identifier (or the base of a selector/
+// index expression) refers to an object declared outside the range body —
+// accumulating into a loop-local is fine, it cannot leak iteration order.
+func declaredOutside(pass *Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+			continue
+		case *ast.IndexExpr:
+			e = x.X
+			continue
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		}
+		break
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return true // unknown shape: assume outer, stay conservative
+	}
+	if pass.Info == nil {
+		return true
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedLater reports whether s is visibly handed to a sort call after the
+// range loop within the same function: sort.Slice(s, ...), sort.Sort(...s...),
+// slices.Sort(s), sort.Strings/Ints(s), or any call whose selector starts
+// with "Sort" taking s.
+func sortedLater(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, s *ast.Ident) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !isSortCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && id.Name == s.Name {
+					found = true
+					return false
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+		return true
+	}
+	return len(sel.Sel.Name) >= 4 && sel.Sel.Name[:4] == "Sort"
+}

@@ -1,0 +1,73 @@
+// Package analysis is grape-lint: a dependency-free static-analysis suite
+// that mechanically enforces the engine's correctness conventions. go.mod
+// stays requires-free — the framework is stdlib go/ast + go/parser +
+// go/types with a GOROOT source importer, and module packages are
+// type-checked in dependency order by the loader in this package.
+//
+// # Why these analyzers exist
+//
+// GRAPE's pitch (Fan et al., SIGMOD '17) is that parallel, incremental and
+// distributed evaluation stay equivalent to the sequential semantics. Nine
+// PRs in, several of the invariants backing that guarantee were enforced
+// only by convention and reviewer vigilance; each analyzer turns one of
+// them into a machine check grounded in a real past bug:
+//
+//   - poolescape — the pooled wire buffers of internal/mpi/net (PR 6/7)
+//     must be released on every path and must not escape their frame. The
+//     bug class: an early error return that leaks the buffer the happy path
+//     recycles. Intentional ownership transfers (newFrame-style
+//     constructors) are baselined with //lint:ignore and thereby documented.
+//
+//   - detmap — deterministic kernels must never fold in map-iteration
+//     order. PR 8 found a latent last-bit nondeterminism in the PageRank
+//     incast fold by hand; detmap finds the pattern (float accumulation or
+//     unsorted slice collection under a map range) mechanically in
+//     internal/pie, internal/seq, internal/inc and internal/mpi.
+//
+//   - decodebound — decode paths must bounds-check hostile counts before
+//     allocating. The PR 6 fuzzers found DecodeKeyValues allocating
+//     gigabytes for a 20-byte hostile frame; decodebound taints
+//     wire-decoded integers and requires a comparison before they size a
+//     make or drive an append loop.
+//
+//   - ctxflow — the ...Ctx API surface (PR 9) must actually thread its
+//     context: an exported FooCtx that drops ctx, or a function that holds
+//     a ctx parameter yet manufactures context.Background()/TODO(), severs
+//     cancellation exactly where it was promised.
+//
+//   - metricname — obs metric names must match
+//     ^grape_[a-z0-9]+(_[a-z0-9]+)*$. Replaces scripts/lint_metric_names.sh
+//     (a grep) with a type-aware check that constant-folds names built via
+//     constants.
+//
+// # Running
+//
+//	go run ./cmd/grape-lint ./...          # whole tree, all analyzers
+//	go run ./cmd/grape-lint -only metricname ./...
+//	go run ./cmd/grape-lint -list
+//
+// Diagnostics print as file:line:col: analyzer: message and exit non-zero;
+// the CI grape-lint job gates merges on a clean run.
+//
+// # Baselining with //lint:ignore
+//
+// A finding that is intentional is suppressed with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the offending line or the line directly above. The reason is
+// mandatory — a bare ignore is itself a diagnostic — so the baseline reads
+// as an auditable record of deliberate exceptions (for example, wire.go's
+// pooled-frame constructors, whose callers own the release).
+//
+// # Testing analyzers
+//
+// Each analyzer has a fixture package under testdata/src/<name>/ whose
+// expected findings are marked with // want "regexp" comments on the
+// offending lines; the harness in harness.go loads the fixture with the
+// same loader and diffs actual against expected. clean_test.go asserts the
+// suite exits clean on this repository, and seeded_test.go asserts that
+// reintroducing known-bad patterns (an unsorted map-range fold in a pie-like
+// package, an unbounded decode make in an mpi-like package) fails with
+// file:line diagnostics.
+package analysis

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The golden-file harness: fixture packages under testdata/src/<analyzer>/
+// mark each expected diagnostic with a trailing
+//
+//	// want "regexp"
+//
+// comment on the offending line (several per line allowed). RunFixture runs
+// one analyzer over one fixture and diffs actual diagnostics against the
+// want set: a want with no matching diagnostic on its line fails, and so
+// does a diagnostic no want expects. //lint:ignore directives are honored,
+// so suppression is testable too.
+
+// TB is the subset of *testing.T the harness needs; keeping it an interface
+// keeps the testing package out of the non-test build.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// RunFixture loads dir as a single package and checks analyzer a against
+// the fixture's want comments.
+func RunFixture(t TB, a *Analyzer, dir string) {
+	t.Helper()
+	pkg, err := LoadDir(dir, a.Name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	// Bypass the PathSuffixes filter: fixtures test analyzers in isolation,
+	// whatever tree subset they normally run on.
+	fa := *a
+	fa.PathSuffixes = nil
+	diags := Lint([]*Package{pkg}, []*Analyzer{&fa})
+
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		hit  bool
+	}
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// splitQuoted parses the quoted regexp list of a want comment — double or
+// back quotes, several per comment: `"a" "b c"` -> ["a", "b c"]. Backquoted
+// patterns are convenient when the expected message itself contains double
+// quotes (%q-formatted names).
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			break
+		}
+		end := 1
+		for end < len(s) && (s[end] != quote || (quote == '"' && s[end-1] == '\\')) {
+			end++
+		}
+		if end >= len(s) {
+			break
+		}
+		if quote == '`' {
+			out = append(out, s[1:end])
+		} else if q, err := strconv.Unquote(s[:end+1]); err == nil {
+			out = append(out, q)
+		}
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestFixtures runs every analyzer over its golden fixture package and diffs
+// actual diagnostics against the // want comments.
+func TestFixtures(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			RunFixture(t, a, filepath.Join("testdata", "src", a.Name))
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not resolve", a.Name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Errorf("ByName(nosuch) = non-nil")
+	}
+}
+
+func TestSplitQuoted(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{`"a" "b c"`, []string{"a", "b c"}},
+		{"`x \"quoted\" y`", []string{`x "quoted" y`}},
+		{`"one"`, []string{"one"}},
+		{"`a` \"b\"", []string{"a", "b"}},
+		{`unquoted`, nil},
+	}
+	for _, c := range cases {
+		got := splitQuoted(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("splitQuoted(%q) = %q, want %q", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitQuoted(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}

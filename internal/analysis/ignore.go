@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// //lint:ignore discipline: a finding that is intentional — an ownership
+// transfer the analyzer cannot see, for example — is baselined with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory: an ignore that does not say why is itself reported, so the
+// baseline stays an auditable record instead of a mute button. "*" ignores
+// every analyzer on the line (use sparingly).
+
+const ignorePrefix = "lint:ignore"
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int      // line the comment ends on
+	analyzers []string // names, or ["*"]
+}
+
+type ignoreSet struct {
+	directives []ignoreDirective
+}
+
+// suppresses reports whether d is covered by a directive on its line or the
+// line above.
+func (s ignoreSet) suppresses(d Diagnostic) bool {
+	for _, ig := range s.directives {
+		if ig.file != d.Pos.Filename {
+			continue
+		}
+		if ig.line != d.Pos.Line && ig.line != d.Pos.Line-1 {
+			continue
+		}
+		for _, name := range ig.analyzers {
+			if name == "*" || name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectIgnores parses every //lint:ignore directive in the package.
+// Malformed directives (no analyzer list, or no reason) come back as
+// diagnostics so they fail the build instead of silently ignoring nothing —
+// or worse, everything.
+func collectIgnores(pkg *Package) (ignoreSet, []Diagnostic) {
+	var set ignoreSet
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments don't carry directives
+				}
+				text, ok = strings.CutPrefix(strings.TrimSpace(text), ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.End())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Analyzer: "lintdirective",
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\" (the reason is mandatory)",
+					})
+					continue
+				}
+				set.directives = append(set.directives, ignoreDirective{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: strings.Split(fields[0], ","),
+				})
+			}
+		}
+	}
+	return set, bad
+}

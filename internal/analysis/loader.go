@@ -1,0 +1,335 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader turns "./..."-style patterns into parsed, type-checked
+// packages without leaving the standard library: module packages are
+// discovered by walking the tree from go.mod, topologically sorted by their
+// in-module imports and type-checked in dependency order; imports outside
+// the module resolve through go/importer's source importer (GOROOT sources).
+// Type checking is tolerant — a failed import or a type error degrades the
+// available information instead of aborting the lint — because analyzers are
+// conservative with missing types anyway and a broken tree should still get
+// whatever findings are derivable.
+
+// Package is one loaded module package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Selected marks packages matched by the load patterns; the others were
+	// loaded only because a selected package imports them.
+	Selected bool
+	// TypeErrors collects the (tolerated) type-check errors.
+	TypeErrors []error
+}
+
+// FindModuleRoot walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModuleRoot(dir string) (root, module string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if m, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(m), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load parses and type-checks the module packages matched by patterns
+// (plus their in-module dependencies, unselected). Patterns are the familiar
+// shapes: "./...", "./internal/mpi", "./internal/mpi/...", or bare and
+// module-qualified import paths.
+func Load(root, module string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	byPath := make(map[string]*rawPkg, len(dirs))
+	var paths []string
+	for _, dir := range dirs {
+		rp, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if rp == nil {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		rp.path = module
+		if rel != "." {
+			rp.path = module + "/" + filepath.ToSlash(rel)
+		}
+		byPath[rp.path] = rp
+		paths = append(paths, rp.path)
+	}
+	order, err := topoSort(byPath, paths)
+	if err != nil {
+		return nil, err
+	}
+
+	std := newStdImporter(fset)
+	local := make(map[string]*types.Package, len(order))
+	var pkgs []*Package
+	for _, p := range order {
+		rp := byPath[p]
+		pkg := typeCheck(fset, rp, &chainImporter{local: local, std: std})
+		pkg.Selected = selected(module, rp.path, patterns)
+		if pkg.Types != nil {
+			local[rp.path] = pkg.Types
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the given
+// import path, resolving imports from the standard library only. The fixture
+// harness uses it to load testdata packages.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	rp, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if rp == nil {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	rp.path = importPath
+	pkg := typeCheck(fset, rp, &chainImporter{std: newStdImporter(fset)})
+	pkg.Selected = true
+	return pkg, nil
+}
+
+// rawPkg is a parsed-but-unchecked package.
+type rawPkg struct {
+	path    string
+	dir     string
+	name    string
+	files   []*ast.File
+	imports []string
+}
+
+// packageDirs walks root for directories that may hold module packages.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dirs, nil
+}
+
+// parseDir parses the non-test Go files of one directory with comments. A
+// directory with no Go files returns nil.
+func parseDir(fset *token.FileSet, dir string) (*rawPkg, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rp := &rawPkg{dir: dir}
+	seen := make(map[string]bool)
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		if rp.name == "" {
+			rp.name = f.Name.Name
+		} else if f.Name.Name != rp.name {
+			// Mixed package clauses (ignored build-tagged variants); keep the
+			// majority package established by the first file.
+			continue
+		}
+		rp.files = append(rp.files, f)
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if !seen[p] {
+				seen[p] = true
+				rp.imports = append(rp.imports, p)
+			}
+		}
+	}
+	if len(rp.files) == 0 {
+		return nil, nil
+	}
+	return rp, nil
+}
+
+// topoSort orders paths so every in-module import precedes its importer.
+func topoSort(byPath map[string]*rawPkg, paths []string) ([]string, error) {
+	sort.Strings(paths)
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := make(map[string]int, len(paths))
+	var order []string
+	var visit func(p string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("analysis: import cycle through %s", p)
+		}
+		state[p] = grey
+		rp := byPath[p]
+		for _, imp := range rp.imports {
+			if _, ok := byPath[imp]; ok {
+				if err := visit(imp); err != nil {
+					return err
+				}
+			}
+		}
+		state[p] = black
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// typeCheck runs the tolerant checker over one parsed package.
+func typeCheck(fset *token.FileSet, rp *rawPkg, imp types.Importer) *Package {
+	pkg := &Package{Path: rp.path, Dir: rp.dir, Fset: fset, Files: rp.files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:         imp,
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+		Error:            func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(rp.path, fset, rp.files, info) // errors collected above
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg
+}
+
+// newStdImporter returns the GOROOT source importer, with cgo disabled so
+// cgo-capable packages (net, os/user) resolve to their pure-Go variants
+// instead of needing the cgo tool.
+func newStdImporter(fset *token.FileSet) types.ImporterFrom {
+	build.Default.CgoEnabled = false
+	return importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+}
+
+// chainImporter resolves in-module imports from the already-checked set,
+// everything else from the standard library, and degrades unresolvable
+// imports to empty placeholder packages so checking can continue.
+type chainImporter struct {
+	local    map[string]*types.Package
+	std      types.ImporterFrom
+	fallback map[string]*types.Package
+}
+
+func (ci *chainImporter) Import(p string) (*types.Package, error) {
+	if pkg, ok := ci.local[p]; ok {
+		return pkg, nil
+	}
+	if pkg, err := ci.std.Import(p); err == nil {
+		return pkg, nil
+	}
+	if ci.fallback == nil {
+		ci.fallback = make(map[string]*types.Package)
+	}
+	if pkg, ok := ci.fallback[p]; ok {
+		return pkg, nil
+	}
+	pkg := types.NewPackage(p, path.Base(p))
+	pkg.MarkComplete()
+	ci.fallback[p] = pkg
+	return pkg, nil
+}
+
+// selected reports whether import path p matches any load pattern, given the
+// module path for resolving relative patterns.
+func selected(module, p string, patterns []string) bool {
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" || pat == "." {
+			pat = "..."
+		}
+		if !strings.HasPrefix(pat, module) {
+			if pat == "..." {
+				pat = module + "/..."
+			} else {
+				pat = module + "/" + pat
+			}
+		}
+		if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+			if p == prefix || strings.HasPrefix(p, prefix+"/") {
+				return true
+			}
+		} else if p == pat {
+			return true
+		}
+	}
+	return false
+}

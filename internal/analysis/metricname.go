@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+	"strconv"
+)
+
+// MetricName replaces scripts/lint_metric_names.sh with a type-aware check:
+// every metric registered through internal/obs — the package-level
+// Counter/Gauge/Histogram constructors, their Vec variants, and the same
+// methods on a Registry — must carry a grape_-prefixed snake_case name.
+// Unlike the grep it retires, this check constant-folds the first argument
+// with go/types, so names built from constants (or concatenations of them)
+// are validated too; only genuinely dynamic names escape static checking,
+// and those still hit the registry's runtime panic.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "obs metric names must match ^grape_[a-z0-9]+(_[a-z0-9]+)*$",
+	Run:  runMetricName,
+}
+
+var metricNameRE = regexp.MustCompile(`^grape_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+var metricConstructors = map[string]bool{
+	"Counter": true, "CounterVec": true,
+	"Gauge": true, "GaugeVec": true,
+	"Histogram": true, "HistogramVec": true,
+}
+
+func runMetricName(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !metricConstructors[sel.Sel.Name] {
+				return true
+			}
+			name, ok := constStringValue(pass, call.Args[0])
+			if !ok {
+				return true // dynamic name; the registry panics at runtime
+			}
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q is not grape_-prefixed snake_case (want %s)", name, metricNameRE)
+			}
+			return true
+		})
+	}
+}
+
+// constStringValue resolves e to a compile-time string: a literal, a named
+// constant, or any constant expression go/types can fold.
+func constStringValue(pass *Pass, e ast.Expr) (string, bool) {
+	if pass.Info != nil {
+		if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			return constant.StringVal(tv.Value), true
+		}
+	}
+	if lit, ok := e.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		if s, err := strconv.Unquote(lit.Value); err == nil {
+			return s, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,435 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// PoolEscape enforces the pooled-buffer discipline of the wire hot paths
+// (internal/mpi/net/wire.go): a value taken from a sync.Pool must be handed
+// back. Concretely, for every x := pool.Get() (optionally through a type
+// assertion) inside one function:
+//
+//   - storing x into a struct field, map, slice element, package-level
+//     variable or channel is reported — the pooled value has escaped the
+//     frame that owns it, and nothing guarantees a matching Put;
+//   - returning x is reported — ownership transfers invisibly, so the
+//     constructor idiom (newFrame, readFrameP) must carry a //lint:ignore
+//     documenting who releases;
+//   - otherwise every path from the Get to a return must release x: pass it
+//     to some call (pool.Put(x), a consuming helper, a goroutine) or invoke
+//     a releasing method on it (Put/Release/Close/Free/Recycle/Send...).
+//     The PR-6 bug class this catches is the early error return that leaks
+//     the buffer the happy path recycles.
+//
+// The check is intraprocedural and conservative: wrappers around Get are not
+// traced, and a release inside a conditional does not count for the paths
+// that bypass it.
+var PoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc:  "sync.Pool values must not escape their frame and must be released on every path",
+	Run:  runPoolEscape,
+}
+
+// releasingMethod matches method names that plausibly hand a pooled value
+// back (directly or by documented internal contract, like frame.send).
+var releasingMethod = regexp.MustCompile(`(?i)(put|release|close|free|recycle|send|flush)`)
+
+func runPoolEscape(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPoolFunc(pass, fn)
+		}
+	}
+}
+
+// poolGetCall reports whether call is <pool>.Get() for a sync.Pool-typed
+// receiver. Without type information it falls back to the receiver's
+// spelling ending in "Pool" — the naming convention of every pool in this
+// repo and the fixtures.
+func poolGetCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" || len(call.Args) != 0 {
+		return false
+	}
+	if t := pass.TypeOf(sel.X); t != nil {
+		for {
+			ptr, ok := t.(*types.Pointer)
+			if !ok {
+				break
+			}
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+		}
+		return false
+	}
+	// Type info unavailable: fall back to naming convention.
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		return strings.HasSuffix(x.Name, "Pool")
+	case *ast.SelectorExpr:
+		return strings.HasSuffix(x.Sel.Name, "Pool")
+	}
+	return false
+}
+
+// unwrapAssert strips a type assertion: pool.Get().(*T) -> pool.Get().
+func unwrapAssert(e ast.Expr) ast.Expr {
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		return ta.X
+	}
+	return e
+}
+
+func checkPoolFunc(pass *Pass, fn *ast.FuncDecl) {
+	// Find every x := pool.Get() binding in the function (including if-init
+	// statements) and check each tracked variable independently.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := unwrapAssert(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !poolGetCall(pass, call) {
+			return true
+		}
+		if len(as.Lhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		tr := &poolTracker{pass: pass, fn: fn, get: as, names: map[string]bool{id.Name: true}}
+		tr.collectAliases(fn.Body)
+		tr.check()
+		return true
+	})
+}
+
+// poolTracker follows one pooled value through its function.
+type poolTracker struct {
+	pass     *Pass
+	fn       *ast.FuncDecl
+	get      *ast.AssignStmt // the x := pool.Get() statement
+	names    map[string]bool // x and its aliases
+	reported bool
+}
+
+// collectAliases adds y for statements of the form y := x or y := x.(T).
+func (tr *poolTracker) collectAliases(body *ast.BlockStmt) {
+	for {
+		added := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as == tr.get || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			src, ok := unwrapAssert(as.Rhs[0]).(*ast.Ident)
+			if !ok || !tr.names[src.Name] {
+				return true
+			}
+			dst, ok := as.Lhs[0].(*ast.Ident)
+			if ok && dst.Name != "_" && !tr.names[dst.Name] {
+				tr.names[dst.Name] = true
+				added = true
+			}
+			return true
+		})
+		if !added {
+			return
+		}
+	}
+}
+
+func (tr *poolTracker) isTracked(e ast.Expr) bool {
+	id, ok := unwrapAssert(e).(*ast.Ident)
+	return ok && tr.names[id.Name]
+}
+
+// report emits at most one diagnostic per Get, anchored at the Get so a
+// single //lint:ignore baselines the whole finding.
+func (tr *poolTracker) report(format string, args ...any) {
+	if tr.reported {
+		return
+	}
+	tr.reported = true
+	tr.pass.Reportf(tr.get.Pos(), format, args...)
+}
+
+func (tr *poolTracker) check() {
+	// Escapes and returns are position-independent: scan the whole body.
+	ast.Inspect(tr.fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if !tr.isTracked(rhs) || i >= len(st.Lhs) {
+					continue
+				}
+				switch lhs := st.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					tr.report("pooled value escapes to field %s (line %d) without a guaranteed Put",
+						lhs.Sel.Name, tr.pass.Fset.Position(st.Pos()).Line)
+				case *ast.IndexExpr:
+					tr.report("pooled value escapes into a map or slice element (line %d) without a guaranteed Put",
+						tr.pass.Fset.Position(st.Pos()).Line)
+				case *ast.Ident:
+					if obj := tr.objectOf(lhs); obj != nil && obj.Parent() == tr.pass.Pkg.Scope() {
+						tr.report("pooled value escapes to package-level variable %s (line %d)",
+							lhs.Name, tr.pass.Fset.Position(st.Pos()).Line)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if tr.isTracked(st.Value) {
+				tr.report("pooled value escapes into a channel send (line %d) without a guaranteed Put",
+					tr.pass.Fset.Position(st.Pos()).Line)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if tr.isTracked(res) {
+					tr.report("pooled value returned (line %d): ownership transfer needs a documented release contract",
+						tr.pass.Fset.Position(st.Pos()).Line)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range st.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if tr.isTracked(elt) {
+					tr.report("pooled value escapes into a composite literal (line %d) without a guaranteed Put",
+						tr.pass.Fset.Position(st.Pos()).Line)
+				}
+			}
+		}
+		return true
+	})
+	if tr.reported {
+		return
+	}
+	// No escapes: require a release on every path from the Get onward.
+	stmts, ok := stmtsAfter(tr.fn.Body, tr.get)
+	if !ok {
+		return // Get buried in a construct we don't model; stay silent
+	}
+	released, diverged := tr.walk(stmts, false)
+	if !released && !diverged {
+		tr.report("pooled value is not released on the fall-through path of %s", tr.fn.Name.Name)
+	}
+}
+
+func (tr *poolTracker) objectOf(id *ast.Ident) types.Object {
+	if tr.pass.Info == nil {
+		return nil
+	}
+	if obj := tr.pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return tr.pass.Info.Defs[id]
+}
+
+// stmtsAfter returns the statements following target in its enclosing block,
+// searching nested blocks and if-init statements.
+func stmtsAfter(body *ast.BlockStmt, target ast.Stmt) ([]ast.Stmt, bool) {
+	var find func(list []ast.Stmt) ([]ast.Stmt, bool)
+	find = func(list []ast.Stmt) ([]ast.Stmt, bool) {
+		for i, s := range list {
+			if s == target {
+				return list[i+1:], true
+			}
+			switch st := s.(type) {
+			case *ast.BlockStmt:
+				if r, ok := find(st.List); ok {
+					return r, true
+				}
+			case *ast.IfStmt:
+				if st.Init == target {
+					// The tracked value lives only inside the if; check its body.
+					return st.Body.List, true
+				}
+				if r, ok := find(st.Body.List); ok {
+					return r, true
+				}
+				if eb, ok := st.Else.(*ast.BlockStmt); ok {
+					if r, ok := find(eb.List); ok {
+						return r, true
+					}
+				}
+			case *ast.ForStmt:
+				if r, ok := find(st.Body.List); ok {
+					return r, true
+				}
+			case *ast.RangeStmt:
+				if r, ok := find(st.Body.List); ok {
+					return r, true
+				}
+			}
+		}
+		return nil, false
+	}
+	return find(body.List)
+}
+
+// releasesIn reports whether the subtree contains a release of the tracked
+// value: the value passed as a call argument, or a releasing-named method
+// invoked on it.
+func (tr *poolTracker) releasesIn(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if tr.isTracked(arg) {
+				found = true
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if tr.isTracked(sel.X) && releasingMethod.MatchString(sel.Sel.Name) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// terminates reports whether a statement unconditionally leaves the
+// function.
+func terminates(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// walk evaluates the release obligation over a statement list. It returns
+// whether the value is certainly released when control falls off the end of
+// the list, and whether every path through the list diverges (returns or
+// panics). Returns reached while unreleased are reported.
+func (tr *poolTracker) walk(stmts []ast.Stmt, released bool) (rel, diverged bool) {
+	for _, s := range stmts {
+		if tr.reported {
+			return true, false
+		}
+		switch st := s.(type) {
+		case *ast.ReturnStmt:
+			if !released && !tr.releasesIn(st) {
+				tr.report("pooled value leaks on the return at line %d",
+					tr.pass.Fset.Position(st.Pos()).Line)
+			}
+			return released, true
+		case *ast.DeferStmt:
+			if tr.releasesIn(st.Call) {
+				released = true
+			}
+		case *ast.IfStmt:
+			if st.Init != nil && tr.releasesIn(st.Init) {
+				released = true
+			}
+			condReleases := tr.releasesIn(st.Cond)
+			bRel, bDiv := tr.walk(st.Body.List, released || condReleases)
+			eRel, eDiv := released || condReleases, false
+			switch eb := st.Else.(type) {
+			case *ast.BlockStmt:
+				eRel, eDiv = tr.walk(eb.List, released || condReleases)
+			case *ast.IfStmt:
+				eRel, eDiv = tr.walk([]ast.Stmt{eb}, released || condReleases)
+			}
+			switch {
+			case bDiv && eDiv:
+				return released, true
+			case bDiv:
+				released = eRel
+			case eDiv:
+				released = bRel
+			default:
+				released = bRel && eRel
+			}
+		case *ast.BlockStmt:
+			var div bool
+			released, div = tr.walk(st.List, released)
+			if div {
+				return released, true
+			}
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.ForStmt, *ast.RangeStmt, *ast.GoStmt:
+			// Conservative: a release inside a conditional construct is not
+			// guaranteed on every iteration/path, but check the branches for
+			// unreleased returns and accept an unconditional release that every
+			// branch performs.
+			released = released || tr.allBranchesRelease(s)
+		default:
+			if terminates(s) {
+				return released, true
+			}
+			if tr.releasesIn(s) {
+				released = true
+			}
+		}
+	}
+	return released, false
+}
+
+// allBranchesRelease handles switch/select/loop constructs: it reports
+// returns that leak, and returns true only when every branch both releases
+// and exists (so fall-through after the construct is certainly released).
+func (tr *poolTracker) allBranchesRelease(s ast.Stmt) bool {
+	branches := func(list []ast.Stmt) (all bool) {
+		all = len(list) > 0
+		for _, c := range list {
+			var body []ast.Stmt
+			switch cc := c.(type) {
+			case *ast.CaseClause:
+				body = cc.Body
+			case *ast.CommClause:
+				body = cc.Body
+			}
+			rel, div := tr.walk(body, false)
+			if !rel && !div {
+				all = false
+			}
+			if div {
+				// A diverging branch checked its own returns; it doesn't
+				// guarantee release after the construct.
+				all = false
+			}
+		}
+		return all
+	}
+	switch st := s.(type) {
+	case *ast.SwitchStmt:
+		return branches(st.Body.List)
+	case *ast.TypeSwitchStmt:
+		return branches(st.Body.List)
+	case *ast.SelectStmt:
+		return branches(st.Body.List)
+	case *ast.ForStmt:
+		rel, _ := tr.walk(st.Body.List, false)
+		_ = rel
+		return false // a loop may run zero times
+	case *ast.RangeStmt:
+		_, _ = tr.walk(st.Body.List, false)
+		return false
+	case *ast.GoStmt:
+		return tr.releasesIn(st.Call) // goroutine takes ownership via argument
+	}
+	return false
+}

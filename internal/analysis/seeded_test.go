@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSeededViolations reintroduces the two historical bug patterns the
+// suite exists to block — an unsorted map-range fold in a pie package and an
+// unbounded decode-side make in an mpi package — into a scratch module named
+// like this one, and asserts the suite convicts both with file:line
+// diagnostics. This is the end-to-end proof that a regression of either
+// class cannot land silently.
+func TestSeededViolations(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module grape\n\ngo 1.24\n")
+	// The PR-8 PageRank bug class: a float fold in map-iteration order.
+	write("internal/pie/rank.go", `package pie
+
+func fold(m map[int64]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+`)
+	// The PR-6 DecodeKeyValues bug class: a wire count sizing a make with no
+	// bound check.
+	write("internal/mpi/codec.go", `package mpi
+
+import "encoding/binary"
+
+func decode(buf []byte) []uint64 {
+	n, _ := binary.Uvarint(buf)
+	out := make([]uint64, 0, n)
+	return out
+}
+`)
+
+	pkgs, err := Load(root, "grape", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading seeded module: %v", err)
+	}
+	diags := Lint(pkgs, All())
+
+	expect := []struct {
+		analyzer, file string
+		line           int
+	}{
+		{"detmap", filepath.Join("internal", "pie", "rank.go"), 6},
+		{"decodebound", filepath.Join("internal", "mpi", "codec.go"), 7},
+	}
+	for _, e := range expect {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == e.analyzer && strings.HasSuffix(d.Pos.Filename, e.file) && d.Pos.Line == e.line {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("seeded %s violation at %s:%d not reported; got %d diagnostics:", e.analyzer, e.file, e.line, len(diags))
+			for _, d := range diags {
+				t.Logf("  %s", d)
+			}
+		}
+	}
+	if len(diags) != len(expect) {
+		t.Errorf("want exactly %d findings, got %d:", len(expect), len(diags))
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Fixture for the ctxflow analyzer: the ...Ctx API surface must thread its
+// context.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// RunCtx is the correct shape: the context parameter flows into the body.
+func RunCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// EvalCtx promises cancellation in its name but takes no context.
+func EvalCtx(n int) int { // want `exported EvalCtx has no context.Context parameter`
+	return n * 2
+}
+
+// StepCtx accepts a context and then ignores it.
+func StepCtx(ctx context.Context, n int) int { // want `exported StepCtx never uses its context parameter ctx`
+	return n + 1
+}
+
+// DrainCtx explicitly discards its context.
+func DrainCtx(_ context.Context) {} // want `exported DrainCtx discards its context parameter`
+
+// severedContext holds a caller context and mints a fresh root anyway,
+// cutting the cancellation chain exactly where it was promised.
+func severedContext(ctx context.Context) error {
+	return RunCtx(context.Background(), time.Second) // want `context.Background\(\) inside a function that already has a context parameter; thread ctx instead`
+}
+
+// threaded is the right version of the same call.
+func threaded(ctx context.Context) error {
+	return RunCtx(ctx, time.Second)
+}
+
+// Run is a plain non-Ctx wrapper without a context parameter: delegating to
+// Background here is the documented pattern, not a finding.
+func Run(d time.Duration) error {
+	return RunCtx(context.Background(), d)
+}
+
+// spawns demonstrates the closure exemption: goroutine bodies and handlers
+// often outlive the call, so ctxflow judges only the function's own
+// statements.
+func spawns(ctx context.Context) {
+	go func() {
+		_ = RunCtx(context.Background(), time.Second)
+	}()
+	_ = ctx
+}
+
+// baselined shows suppression for a deliberate detach (lifecycle outliving
+// the request).
+func baselined(ctx context.Context) error {
+	//lint:ignore ctxflow checkpoint upload must survive query cancellation
+	return RunCtx(context.Background(), time.Second)
+}

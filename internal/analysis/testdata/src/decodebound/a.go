@@ -1,0 +1,105 @@
+// Fixture for the decodebound analyzer: wire-decoded counts must be
+// bounds-checked before they size an allocation.
+package decodebound
+
+import "encoding/binary"
+
+type pair struct {
+	K uint64
+	V int64
+}
+
+// unboundedMake is the PR-6 DecodeKeyValues bug class: a hostile 20-byte
+// frame claims a billion elements and the decoder allocates them.
+func unboundedMake(buf []byte) []pair {
+	n, off := binary.Uvarint(buf)
+	out := make([]pair, 0, n) // want `allocation sized by wire-decoded count "n" with no prior bound check`
+	_ = off
+	return out
+}
+
+// boundedMake is the sanctioned shape: reject counts the remaining input
+// cannot possibly hold, then allocate.
+func boundedMake(buf []byte) []pair {
+	n, off := binary.Uvarint(buf)
+	if off <= 0 || n > uint64(len(buf)-off)/9+1 {
+		return nil
+	}
+	out := make([]pair, 0, n)
+	return out
+}
+
+// inlineDecode sizes the make straight from the reader with no variable to
+// ever guard.
+func inlineDecode(buf []byte) []byte {
+	out := make([]byte, binary.LittleEndian.Uint32(buf)) // want `allocation sized by wire-decoded count "<inline decode>"`
+	return out
+}
+
+// endianCount taints through the fixed-width readers and a conversion.
+func endianCount(buf []byte) []uint64 {
+	n := int(binary.BigEndian.Uint32(buf))
+	vals := make([]uint64, n) // want `allocation sized by wire-decoded count "n" with no prior bound check`
+	return vals
+}
+
+// guardedEndian clears taint through any comparison mentioning the count.
+func guardedEndian(buf []byte) []uint64 {
+	n := int(binary.BigEndian.Uint32(buf))
+	if n > (len(buf)-4)/8 {
+		return nil
+	}
+	vals := make([]uint64, n)
+	return vals
+}
+
+// appendLoop grows a slice under a loop bounded by an unguarded count — the
+// same bomb without a make.
+func appendLoop(buf []byte) []uint64 {
+	n, off := binary.Uvarint(buf)
+	var out []uint64
+	for i := uint64(0); i < n; i++ { // want `allocation sized by wire-decoded count "n" with no prior bound check`
+		v, m := binary.Uvarint(buf[off:])
+		out = append(out, v)
+		off += m
+	}
+	return out
+}
+
+// constSize is fine: the count never came off the wire.
+func constSize(buf []byte) []byte {
+	out := make([]byte, 64)
+	copy(out, buf)
+	return out
+}
+
+// lenSized is fine: sized by the input we actually hold.
+func lenSized(buf []byte) []byte {
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	return out
+}
+
+// lenOfDecoded is fine: the slice was materialized by a self-limiting decode
+// loop, so len() of it is bounded by input we actually hold, not by a
+// claimed count.
+func lenOfDecoded(buf []byte) []pair {
+	var ids []uint64
+	for len(buf) >= 8 {
+		ids = append(ids, binary.BigEndian.Uint64(buf))
+		buf = buf[8:]
+	}
+	out := make([]pair, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, pair{K: id})
+	}
+	return out
+}
+
+// baselined documents a deliberately unbounded decode (trusted local file).
+func baselined(buf []byte) []pair {
+	n, _ := binary.Uvarint(buf)
+	//lint:ignore decodebound input is a local checkpoint file, not a peer frame
+	out := make([]pair, 0, n)
+	return out
+}

@@ -1,0 +1,92 @@
+// Fixture for the detmap analyzer: no order-dependent folding under a map
+// range.
+package detmap
+
+import "sort"
+
+// floatFold is the PR-8 PageRank bug class: float addition in map-iteration
+// order flips last bits between runs.
+func floatFold(m map[int64]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation folds in map-iteration order`
+	}
+	return sum
+}
+
+// floatFoldSpelledOut is the same fold written without the compound operator.
+func floatFoldSpelledOut(m map[int64]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want `floating-point accumulation folds in map-iteration order`
+	}
+	return sum
+}
+
+// sortedFold is the sanctioned idiom: collect keys, sort, fold in key order.
+func sortedFold(m map[int64]float64) float64 {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// unsortedCollect leaks iteration order into a slice that is never sorted.
+func unsortedCollect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `slice out collects map keys/values in iteration order and is never sorted`
+	}
+	return out
+}
+
+// intFold is fine: integer addition is associative and commutative, so
+// iteration order cannot change the result.
+func intFold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// localAccumulator is fine: the accumulation target lives inside the loop.
+func localAccumulator(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		var rowSum float64
+		for _, v := range vs {
+			rowSum += v
+		}
+		if rowSum > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// mapToMap is fine: building a map under a map range is order-independent.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// baselined shows suppression of a deliberate order-dependent collect (e.g.
+// feeding a commutative hash).
+func baselined(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:ignore detmap consumer folds with an order-independent combiner
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+// Fixture for the metricname analyzer: every obs metric registration must
+// carry a grape_-prefixed snake_case name, checked with constant folding.
+package metricname
+
+// registry mirrors the internal/obs constructor surface; metricname matches
+// the method names, so a local stand-in exercises the same code path.
+type registry struct{}
+
+func (registry) Counter(name string) int                        { return 0 }
+func (registry) CounterVec(name string, labels ...string) int   { return 0 }
+func (registry) Gauge(name string) int                          { return 0 }
+func (registry) GaugeVec(name string, labels ...string) int     { return 0 }
+func (registry) Histogram(name string, buckets ...float64) int  { return 0 }
+func (registry) HistogramVec(name string, labels ...string) int { return 0 }
+func (registry) Register(name string) int                       { return 0 }
+
+const (
+	prefix  = "grape_"
+	subsys  = "worker_"
+	badBase = "Worker-Steps"
+)
+
+func register(r registry) {
+	// Literal names, good and bad.
+	r.Counter("grape_queries_total")
+	r.Gauge("grape_worker_backlog")
+	r.Counter("queries_total")        // want `metric name "queries_total" is not grape_-prefixed snake_case`
+	r.Histogram("grape_Step_Seconds") // want `metric name "grape_Step_Seconds" is not grape_-prefixed snake_case`
+	r.GaugeVec("grape_frag_size", "frag")
+	r.CounterVec("frag-msgs", "frag") // want `metric name "frag-msgs" is not grape_-prefixed snake_case`
+
+	// Constant-built names: the grep this analyzer replaced could not see
+	// through these.
+	r.Counter(prefix + subsys + "steps_total")
+	r.Gauge(prefix + badBase) // want `metric name "grape_Worker-Steps" is not grape_-prefixed snake_case`
+
+	// Dynamic names are skipped statically; the registry panics at runtime.
+	name := dynamicName()
+	r.Counter(name)
+
+	// Non-constructor methods are out of scope even with a string literal.
+	r.Register("whatever")
+
+	// Trailing underscore and double underscore are malformed.
+	r.Counter("grape_steps_") // want `metric name "grape_steps_" is not grape_-prefixed snake_case`
+	r.Gauge("grape__backlog") // want `metric name "grape__backlog" is not grape_-prefixed snake_case`
+
+	// Baselined exception: a legacy name kept for dashboard compatibility.
+	//lint:ignore metricname legacy dashboard name predates the grape_ prefix
+	r.Counter("engine_uptime_seconds")
+}
+
+func dynamicName() string { return "grape_dynamic" }

@@ -1,0 +1,111 @@
+// Fixture for the poolescape analyzer: pooled values must be released on
+// every path and must not escape their frame.
+package poolescape
+
+import (
+	"errors"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+type holder struct{ b *[]byte }
+
+var global *[]byte
+
+// leakOnErrorPath is the PR-6 bug class: the error return skips the Put the
+// happy path performs.
+func leakOnErrorPath(fail bool) error {
+	b := bufPool.Get().(*[]byte) // want `leaks on the return at line \d+`
+	if fail {
+		return errFail
+	}
+	bufPool.Put(b)
+	return nil
+}
+
+// releasedEverywhere is fine: both paths hand the value back.
+func releasedEverywhere(fail bool) error {
+	b := bufPool.Get().(*[]byte)
+	if fail {
+		bufPool.Put(b)
+		return errFail
+	}
+	bufPool.Put(b)
+	return nil
+}
+
+// deferredRelease is fine: defer covers every path.
+func deferredRelease(fail bool) error {
+	b := bufPool.Get().(*[]byte)
+	defer bufPool.Put(b)
+	if fail {
+		return errFail
+	}
+	use(b)
+	return nil
+}
+
+// escapeToField parks the pooled value in a struct: nothing guarantees a
+// matching Put.
+func escapeToField(h *holder) {
+	b := bufPool.Get().(*[]byte) // want `escapes to field b`
+	h.b = b
+	bufPool.Put(b)
+}
+
+// escapeToGlobal stores the pooled value in a package-level variable.
+func escapeToGlobal() {
+	b := bufPool.Get().(*[]byte) // want `escapes to package-level variable global`
+	global = b
+}
+
+// escapeToChannel sends the pooled value away.
+func escapeToChannel(ch chan *[]byte) {
+	b := bufPool.Get().(*[]byte) // want `escapes into a channel send`
+	ch <- b
+}
+
+// returned transfers ownership invisibly; constructors must baseline this
+// with an ignore documenting who releases.
+func returned() *[]byte {
+	b := bufPool.Get().(*[]byte) // want `pooled value returned`
+	return b
+}
+
+// constructor shows the sanctioned baseline: the ignore names the analyzer
+// and carries a reason, so no diagnostic survives.
+func constructor() *[]byte {
+	//lint:ignore poolescape callers own the value and must Put it back
+	b := bufPool.Get().(*[]byte)
+	return b
+}
+
+// missingEverywhere never releases at all: passing the value to a consuming
+// call would count as a release, so only a blank use keeps it alive here.
+func missingEverywhere() {
+	b := bufPool.Get().(*[]byte) // want `not released on the fall-through path`
+	_ = b
+}
+
+// aliasLeak tracks the value through a plain alias.
+func aliasLeak(fail bool) error {
+	v := bufPool.Get().(*[]byte) // want `leaks on the return at line \d+`
+	b := v
+	if fail {
+		return errFail
+	}
+	bufPool.Put(b)
+	return nil
+}
+
+// consumedByCallee passes the value to a helper that owns it now.
+func consumedByCallee() {
+	b := bufPool.Get().(*[]byte)
+	recycle(b)
+}
+
+var errFail = errors.New("fail")
+
+func use(*[]byte)     {}
+func recycle(*[]byte) {}

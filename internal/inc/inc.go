@@ -17,6 +17,7 @@ package inc
 
 import (
 	"container/heap"
+	"sort"
 
 	"grape/internal/graph"
 	"grape/internal/seq"
@@ -72,6 +73,9 @@ func SSSPDecrease(g *graph.Graph, dist map[graph.VertexID]float64, decreases map
 	for v := range changedSet {
 		out = append(out, v)
 	}
+	// The changed set feeds message shipping; emit it in vertex order so the
+	// wire bytes do not depend on map iteration order.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -276,6 +280,9 @@ func (s *CCState) Merge(updates map[graph.VertexID]graph.VertexID) []graph.Verte
 		s.members[newCid] = append(s.members[newCid], s.members[oldCid]...)
 		delete(s.members, oldCid)
 	}
+	// changed accumulates in the iteration order of the updates map; sort so
+	// downstream shipping and assembly see a deterministic sequence.
+	sort.Slice(changed, func(i, j int) bool { return changed[i] < changed[j] })
 	return changed
 }
 

@@ -510,6 +510,7 @@ func (c *Cluster) Reassign(epoch int64, gp *partition.FragGraph, frags []*partit
 			})
 			if err != nil {
 				errMu.Lock()
+				//lint:ignore detmap error order is scheduler-dependent regardless of map order; the errors are joined for reporting only
 				errs = append(errs, fmt.Errorf("net: adopting fragments on %s: %w", pc.describe(), err))
 				errMu.Unlock()
 				return

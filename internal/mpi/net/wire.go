@@ -128,6 +128,7 @@ const framePoolMaxCap = 1 << 20
 
 // newFrame returns a pooled frame seeded with the header placeholder.
 func newFrame() *frame {
+	//lint:ignore poolescape constructor transfers ownership; callers release() after send
 	f := framePool.Get().(*frame)
 	f.buf = append(f.buf[:0], 0, 0, 0, 0)
 	return f
@@ -187,6 +188,7 @@ func (f *frame) sealCompressed() (*frame, error) {
 		}
 		return f, nil
 	}
+	//lint:ignore poolescape cf is returned on success and release()d on every failure path
 	cf := framePool.Get().(*frame)
 	cf.buf = append(cf.buf[:0], 0, 0, 0, 0)
 	cf.buf = binary.AppendUvarint(cf.buf, uint64(len(body)))
@@ -244,6 +246,7 @@ var flatePool sync.Pool
 
 // newFlateWriter returns a pooled BestSpeed deflate writer reset onto w.
 func newFlateWriter(w io.Writer) *flate.Writer {
+	//lint:ignore poolescape constructor transfers ownership; callers flatePool.Put after Close
 	if v := flatePool.Get(); v != nil {
 		fw := v.(*flate.Writer)
 		fw.Reset(w)
@@ -277,6 +280,7 @@ func readFrameP(r io.Reader) (*frame, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("net: frame of %d bytes exceeds limit", n)
 	}
+	//lint:ignore poolescape the returned frame aliases pooled memory; callers must release() (documented above)
 	f := framePool.Get().(*frame)
 	f.buf = growFrame(f.buf, 4+int(n))
 	if _, err := io.ReadFull(r, f.buf[4:]); err != nil {
@@ -300,6 +304,15 @@ func inflateFrame(body []byte) (*frame, error) {
 	if k <= 0 || rawLen > maxFrame {
 		return nil, fmt.Errorf("net: corrupt compressed frame header")
 	}
+	// Deflate cannot expand past ~1032:1, so a claimed raw length beyond that
+	// multiple of the compressed bytes actually present is hostile or corrupt;
+	// reject it before the allocation, not after. Without this, a ~1 KiB frame
+	// could demand the full 1 GiB maxFrame allocation.
+	const maxDeflateRatio = 1032
+	if rawLen > uint64(len(body)-k)*maxDeflateRatio {
+		return nil, fmt.Errorf("net: compressed frame claims %d raw bytes from %d compressed", rawLen, len(body)-k)
+	}
+	//lint:ignore poolescape constructor transfers ownership; the caller releases the inflated frame
 	df := framePool.Get().(*frame)
 	df.buf = growFrame(df.buf, 4+int(rawLen))
 	fr := flate.NewReader(bytes.NewReader(body[k:]))

@@ -2,6 +2,7 @@ package pie
 
 import (
 	"fmt"
+	"sort"
 
 	"grape/internal/core"
 	"grape/internal/graph"
@@ -254,6 +255,9 @@ func (SSSP) EvalDelta(ctx *core.Context, d core.FragmentDelta) (bool, error) {
 	for i, dv := range seedIdx {
 		seeds = append(seeds, seq.Seed{Index: i, Dist: dv})
 	}
+	// Seed in index order so heap tie-breaking (and therefore any float
+	// relaxation order) is identical across runs.
+	sort.Slice(seeds, func(a, b int) bool { return seeds[a].Index < seeds[b].Index })
 	seq.DijkstraFromDense(g, st.dist, seeds)
 	shipBorderDistances(ctx, st)
 	// Vertices that gained a new mirror must be re-shipped even when their

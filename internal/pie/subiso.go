@@ -342,6 +342,12 @@ func decodePiece(buf []byte) (piece, error) {
 	if err != nil {
 		return p, err
 	}
+	// Bound the claimed count before the append loop grows on its behalf: a
+	// vertex costs at least 12 bytes (id + empty-label length), so a hostile
+	// count beyond that is rejected without allocating.
+	if int(nv) > (len(buf)-off)/12 {
+		return p, fmt.Errorf("piece claims %d vertices, input holds %d bytes", nv, len(buf)-off)
+	}
 	for i := uint32(0); i < nv; i++ {
 		id, err := readUint64()
 		if err != nil {
@@ -356,6 +362,11 @@ func decodePiece(buf []byte) (piece, error) {
 	ne, err := readUint32()
 	if err != nil {
 		return p, err
+	}
+	// Same bound for edges: src + dst + weight + empty-label length is 28
+	// bytes minimum per edge.
+	if int(ne) > (len(buf)-off)/28 {
+		return p, fmt.Errorf("piece claims %d edges, input holds %d bytes", ne, len(buf)-off)
 	}
 	for i := uint32(0); i < ne; i++ {
 		src, err := readUint64()

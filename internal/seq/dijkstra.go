@@ -10,6 +10,7 @@ package seq
 import (
 	"container/heap"
 	"math"
+	"sort"
 
 	"grape/internal/graph"
 )
@@ -100,8 +101,15 @@ func DijkstraFrom(g *graph.Graph, dist map[graph.VertexID]float64, seeds map[gra
 			}
 		}
 	}
-	out := make([]graph.VertexID, 0, len(changed))
+	// Emit the changed set in dense-index order: the caller ships these
+	// vertices, and the wire bytes must not depend on map iteration order.
+	idxs := make([]int, 0, len(changed))
 	for i := range changed {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]graph.VertexID, 0, len(idxs))
+	for _, i := range idxs {
 		id := g.VertexAt(i)
 		dist[id] = d[i]
 		out = append(out, id)

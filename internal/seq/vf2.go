@@ -165,11 +165,13 @@ func matchingOrder(q *graph.Graph, cands [][]int) []int {
 				}
 			}
 			if adj {
+				//lint:ignore detmap pickBest sorts its candidates, so collection order cannot leak into the match order
 				frontier = append(frontier, uq)
 			}
 		}
 		if len(frontier) == 0 {
 			for uq := range remaining {
+				//lint:ignore detmap pickBest sorts its candidates, so collection order cannot leak into the match order
 				frontier = append(frontier, uq)
 			}
 		}
